@@ -1,0 +1,54 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fa::bench {
+
+namespace {
+
+double env_or(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end != value ? parsed : fallback;
+}
+
+}  // namespace
+
+synth::ScenarioConfig bench_scenario() {
+  synth::ScenarioConfig cfg;
+  cfg.whp_cell_m = env_or("FA_CELL_M", 1350.0);
+  cfg.corpus_scale = env_or("FA_SCALE", 8.0);
+  cfg.seed = static_cast<std::uint64_t>(env_or("FA_SEED", 20191022.0));
+  return cfg;
+}
+
+core::World build_bench_world(const std::string& bench_name) {
+  const synth::ScenarioConfig cfg = bench_scenario();
+  std::printf("== %s ==\n", bench_name.c_str());
+  std::printf(
+      "scenario: seed=%llu  whp_cell=%.0fm  corpus=1/%.0f of 5,364,949 "
+      "(%zu transceivers)\n",
+      static_cast<unsigned long long>(cfg.seed), cfg.whp_cell_m,
+      cfg.corpus_scale, cfg.corpus_size());
+  Stopwatch timer;
+  core::World world = core::World::build(cfg);
+  std::printf("world build: %.2fs\n\n", timer.seconds());
+  return world;
+}
+
+void print_json_trailer(const std::string& bench_name,
+                        const io::JsonValue& payload) {
+  io::JsonObject doc;
+  doc["bench"] = bench_name;
+  doc["result"] = payload;
+  std::printf("\nJSON %s\n", io::to_json(io::JsonValue{std::move(doc)}).c_str());
+}
+
+double to_paper_scale(const core::World& world, std::size_t measured) {
+  return static_cast<double>(measured) * world.config().corpus_scale;
+}
+
+}  // namespace fa::bench

@@ -1,0 +1,47 @@
+// Shared scaffolding for the reproduction harness binaries.
+//
+// Every bench_* executable prints (a) the scenario banner, (b) the
+// paper's rows next to the measured values, and (c) a machine-readable
+// JSON trailer. The scenario can be overridden via environment:
+//   FA_CELL_M  - WHP cell size in metres   (default 1350)
+//   FA_SCALE   - corpus scale denominator  (default 8)
+//   FA_SEED    - master seed               (default 20191022)
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/world.hpp"
+#include "io/json.hpp"
+
+namespace fa::bench {
+
+// Scenario from defaults + environment overrides.
+synth::ScenarioConfig bench_scenario();
+
+// Builds the world and prints the banner (scenario + build time).
+core::World build_bench_world(const std::string& bench_name);
+
+// Prints the machine-readable trailer (single line, greppable).
+void print_json_trailer(const std::string& bench_name,
+                        const io::JsonValue& payload);
+
+// Paper-normalized count: measured * corpus_scale, for comparing scaled
+// runs against the paper's full-corpus numbers.
+double to_paper_scale(const core::World& world, std::size_t measured);
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fa::bench

@@ -1,0 +1,69 @@
+// Ablation of the Section 3.11 "alternate approach": how much population
+// actually loses *service* when a season burns, under two models —
+// county-bucket degradation vs the spatial service-disc model — compared
+// with the paper's raw "population served by at-risk transceivers".
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/coverage.hpp"
+#include "core/population.hpp"
+#include "synth/firecalib.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world = bench::build_bench_world(
+      "Coverage ablation: hardware-at-risk vs users-without-service");
+
+  bench::Stopwatch timer;
+  // The paper's framing: population of counties holding at-risk hardware.
+  const core::PopulationImpactResult impact =
+      core::run_population_impact(world);
+  std::printf("paper-style statistic — population of counties served by "
+              "at-risk transceivers: %.1fM (paper: >85M)\n\n",
+              impact.population_served / 1e6);
+
+  // A concrete season: 2018.
+  firesim::FireSimulator sim(world.whp(), world.atlas(),
+                             world.config().seed);
+  const firesim::FireSeason season =
+      sim.simulate_year(synth::historical_fire_years().back());
+
+  // Model A: county degradation curve.
+  const core::CoverageResult county =
+      core::run_coverage_loss(world, season.fires);
+  // Model B: spatial service discs over the population surface.
+  const synth::PopulationSurface population =
+      synth::PopulationSurface::build(world.atlas(), world.config());
+  const core::SpatialCoverageResult spatial =
+      core::run_spatial_coverage_loss(world, season.fires, population);
+
+  core::TextTable table({"Model", "Txr/sites lost", "Users affected"});
+  table.add_row({"county degradation curve",
+                 core::fmt_count(county.transceivers_lost),
+                 core::fmt_count(static_cast<std::size_t>(
+                     county.total_users_affected))});
+  table.add_row({"spatial service discs", core::fmt_count(spatial.sites_lost),
+                 core::fmt_count(static_cast<std::size_t>(
+                     spatial.uncovered_by_fires))});
+  std::printf("2018 season, users losing service:\n%s\n", table.str().c_str());
+  std::printf(
+      "population within a service radius of the 2018 fires: %.2fM, of\n"
+      "which %.2fM had coverage and %s lose it — both models agree the\n"
+      "service harm is orders of magnitude below the %.0fM-people-served\n"
+      "headline, because redundancy absorbs scattered hardware losses.\n"
+      "That gap is the paper's motivation for studying coverage directly.\n",
+      spatial.population_analyzed / 1e6, spatial.covered_before / 1e6,
+      core::fmt_count(static_cast<std::size_t>(spatial.uncovered_by_fires))
+          .c_str(),
+      impact.population_served / 1e6);
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer(
+      "coverage_models",
+      io::JsonObject{
+          {"population_served_headline", impact.population_served},
+          {"county_users_affected", county.total_users_affected},
+          {"spatial_users_affected", spatial.uncovered_by_fires},
+          {"spatial_population_analyzed", spatial.population_analyzed}});
+  return 0;
+}

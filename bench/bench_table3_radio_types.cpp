@@ -1,0 +1,60 @@
+// Reproduces Table 3: cell transceiver types (CDMA/GSM/LTE/UMTS) at risk
+// per WHP class.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/provider_risk.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world =
+      bench::build_bench_world("Table 3: transceiver types at risk");
+
+  bench::Stopwatch timer;
+  const core::RadioRiskResult r = core::run_radio_risk(world);
+
+  // Paper row order: CDMA, GSM, LTE, UMTS (alphabetical), with totals.
+  const cellnet::RadioType order[] = {
+      cellnet::RadioType::kCdma, cellnet::RadioType::kGsm,
+      cellnet::RadioType::kLte, cellnet::RadioType::kUmts};
+  struct PaperRow {
+    const char* vh;
+    const char* h;
+    const char* m;
+    const char* total;
+  };
+  const PaperRow paper[] = {
+      {"2,178", "13,801", "25,062", "41,041"},
+      {"1,943", "10,096", "17,955", "29,994"},
+      {"12,022", "75,072", "141,324", "228,418"},
+      {"10,164", "43,999", "77,228", "131,391"},
+  };
+
+  core::TextTable table({"Type", "WHP VH", "WHP H", "WHP M", "Total",
+                         "x-scale", "Paper total"});
+  io::JsonArray rows;
+  for (std::size_t i = 0; i < std::size(order); ++i) {
+    const core::RadioRiskRow& row =
+        r.rows[static_cast<std::size_t>(order[i])];
+    table.add_row({std::string{cellnet::radio_type_name(row.radio)},
+                   core::fmt_count(row.very_high), core::fmt_count(row.high),
+                   core::fmt_count(row.moderate), core::fmt_count(row.total()),
+                   core::fmt_count(static_cast<std::size_t>(
+                       bench::to_paper_scale(world, row.total()))),
+                   paper[i].total});
+    rows.push_back(io::JsonObject{
+        {"type", std::string{cellnet::radio_type_name(row.radio)}},
+        {"very_high", row.very_high},
+        {"high", row.high},
+        {"moderate", row.moderate}});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "shape checks: LTE leads every class, UMTS second, CDMA > GSM; no NR\n"
+      "rows (the 2019 snapshot pre-dates 5G, Section 3.5).\n");
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer("table3_radio_types",
+                            io::JsonValue{std::move(rows)});
+  return 0;
+}

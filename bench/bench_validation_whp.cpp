@@ -1,0 +1,49 @@
+// Reproduces Section 3.4: validating WHP-based risk flags against the
+// 2019 fire season — the 46% hit rate, the concentration of misses in
+// two LA-edge fires, and the 84% rate once those are excluded.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/validation.hpp"
+
+int main() {
+  using namespace fa;
+  const core::World world =
+      bench::build_bench_world("Section 3.4: WHP validation vs the 2019 season");
+
+  bench::Stopwatch timer;
+  // One season realization, like the paper's single real 2019 (pass
+  // replicas > 1 to pool several and shrink the variance).
+  const core::ValidationResult v = core::run_whp_validation(world, 1);
+
+  std::printf("in-perimeter transceivers: %s "
+              "(paper, one season: 656)\n",
+              core::fmt_count(v.in_perimeter).c_str());
+  std::printf("flagged by WHP M/H/VH: %s  =>  accuracy %s   (paper: 46%%)\n",
+              core::fmt_count(v.predicted).c_str(),
+              core::fmt_pct(v.accuracy()).c_str());
+  const std::size_t misses = v.in_perimeter - v.predicted;
+  std::printf("misses: %s, of which the two worst fires hold %s "
+              "(paper: 288 of 354)\n",
+              core::fmt_count(misses).c_str(),
+              core::fmt_count(v.misses_in_top2).c_str());
+  std::printf("accuracy excluding those two fires: %s   (paper: 84%%)\n\n",
+              core::fmt_pct(v.accuracy_excluding_top2()).c_str());
+
+  core::TextTable table({"Fire (worst miss counts)", "Unflagged txr"});
+  for (std::size_t i = 0; i < v.top_miss_fires.size() && i < 6; ++i) {
+    table.add_row({v.top_miss_fires[i].name,
+                   core::fmt_count(v.top_miss_fires[i].misses)});
+  }
+  if (table.rows() > 0) std::printf("%s\n", table.str().c_str());
+  std::printf("elapsed: %.2fs\n", timer.seconds());
+
+  bench::print_json_trailer(
+      "validation_whp",
+      io::JsonObject{{"in_perimeter", v.in_perimeter},
+                     {"predicted", v.predicted},
+                     {"accuracy", v.accuracy()},
+                     {"misses_in_top2", v.misses_in_top2},
+                     {"accuracy_excluding_top2", v.accuracy_excluding_top2()}});
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Coverage gap: the Section 3.11 "alternate approach" — estimate how many
+// people lose cellular service in a fire season, per county, rather than
+// counting burned hardware.
+//
+//   $ ./coverage_gap            # 2018 season
+//   $ ./coverage_gap 2007       # any year in 2000-2018
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/coverage.hpp"
+#include "core/report.hpp"
+#include "core/world.hpp"
+#include "synth/firecalib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fa;
+  const int year = argc > 1 ? std::atoi(argv[1]) : 2018;
+
+  synth::ScenarioConfig config;
+  config.corpus_scale = 32.0;
+  config.whp_cell_m = 2700.0;
+  const core::World world = core::World::build(config);
+
+  const synth::FireYearStats* target = nullptr;
+  for (const auto& y : synth::historical_fire_years()) {
+    if (y.year == year) target = &y;
+  }
+  if (target == nullptr) {
+    std::fprintf(stderr, "year %d not in 2000-2018\n", year);
+    return 1;
+  }
+
+  firesim::FireSimulator sim(world.whp(), world.atlas(), config.seed);
+  const firesim::FireSeason season = sim.simulate_year(*target);
+  const core::CoverageResult coverage =
+      core::run_coverage_loss(world, season.fires);
+
+  std::printf("=== Service-coverage impact of the %d fire season ===\n",
+              year);
+  std::printf("%zu transceivers inside perimeters across %zu counties\n\n",
+              coverage.transceivers_lost, coverage.counties.size());
+
+  core::TextTable table({"County", "St", "Population", "Txr lost", "Share",
+                         "Users affected"});
+  for (std::size_t i = 0; i < coverage.counties.size() && i < 10; ++i) {
+    const core::CountyCoverageRow& row = coverage.counties[i];
+    table.add_row({row.name, row.state_abbr,
+                   core::fmt_count(static_cast<std::size_t>(row.population)),
+                   core::fmt_count(row.lost) + "/" +
+                       core::fmt_count(row.transceivers),
+                   core::fmt_pct(row.lost_share()),
+                   core::fmt_count(static_cast<std::size_t>(row.users_affected))});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("estimated users affected, all counties: %s\n",
+              core::fmt_count(static_cast<std::size_t>(
+                                  coverage.total_users_affected))
+                  .c_str());
+  std::printf(
+      "\nnote the redundancy knee: counties losing under %.0f%% of their\n"
+      "transceivers show zero user impact — co-sited radios and cell overlap\n"
+      "absorb small losses, so hardware counts alone overstate harm.\n",
+      core::CoverageConfig{}.redundancy * 100.0);
+  return 0;
+}

@@ -1,0 +1,115 @@
+// experiments_runner — one-shot regeneration of every headline number in
+// EXPERIMENTS.md as a single JSON document, so the comparison table can
+// be refreshed (or CI-diffed) without scraping bench stdout.
+//
+//   $ ./experiments_runner > experiments.json
+//   $ ./experiments_runner --scale 16 --cell 2700
+#include <cstdio>
+#include <cstring>
+
+#include "core/case_study.hpp"
+#include "core/climate.hpp"
+#include "core/escape.hpp"
+#include "core/population.hpp"
+#include "core/provider_risk.hpp"
+#include "core/roadside.hpp"
+#include "core/validation.hpp"
+#include "core/whp_overlay.hpp"
+#include "io/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fa;
+  synth::ScenarioConfig config;
+  config.corpus_scale = 16.0;
+  config.whp_cell_m = 2700.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      config.corpus_scale = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--cell") == 0) {
+      config.whp_cell_m = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  std::fprintf(stderr, "building world (scale 1/%.0f, cell %.0f m)...\n",
+               config.corpus_scale, config.whp_cell_m);
+  const core::World world = core::World::build(config);
+
+  io::JsonObject doc;
+  doc["scenario"] = io::JsonObject{{"seed", config.seed},
+                                   {"corpus_scale", config.corpus_scale},
+                                   {"whp_cell_m", config.whp_cell_m},
+                                   {"corpus_size", config.corpus_size()}};
+
+  // Figure 7 / at-risk overlay.
+  const core::WhpOverlayResult overlay = core::run_whp_overlay(world);
+  io::JsonArray top_states;
+  const auto rank = overlay.rank_by_at_risk();
+  for (int i = 0; i < 5; ++i) {
+    top_states.push_back(std::string{
+        world.atlas().states()[static_cast<std::size_t>(rank[i])].abbr});
+  }
+  doc["whp_overlay"] = io::JsonObject{
+      {"moderate", overlay.txr_by_class[3]},
+      {"high", overlay.txr_by_class[4]},
+      {"very_high", overlay.txr_by_class[5]},
+      {"total_at_risk", overlay.total_at_risk()},
+      {"at_risk_share", static_cast<double>(overlay.total_at_risk()) /
+                            world.corpus().size()},
+      {"top_states", std::move(top_states)}};
+
+  // Table 2 shape.
+  const core::ProviderRiskResult providers = core::run_provider_risk(world);
+  io::JsonArray provider_rows;
+  for (const core::ProviderRiskRow& row : providers.rows) {
+    provider_rows.push_back(
+        io::JsonObject{{"provider", std::string{provider_name(row.provider)}},
+                       {"pct_moderate", row.pct_moderate()},
+                       {"pct_high", row.pct_high()},
+                       {"pct_very_high", row.pct_very_high()}});
+  }
+  doc["providers"] = std::move(provider_rows);
+
+  // Section 3.4 validation + 3.8 extension.
+  const core::ValidationResult validation = core::run_whp_validation(world);
+  const core::ExtensionResult extension =
+      core::run_perimeter_extension(world, validation);
+  doc["validation"] = io::JsonObject{
+      {"in_perimeter", validation.in_perimeter},
+      {"accuracy", validation.accuracy()},
+      {"accuracy_excluding_top2", validation.accuracy_excluding_top2()},
+      {"vh_before", extension.vh_before},
+      {"vh_after", extension.vh_after},
+      {"at_risk_after_extension", extension.at_risk_after}};
+
+  // Figure 5 case study.
+  const firesim::DirsReport report = core::run_california_case_study(world);
+  const auto& peak =
+      report.days[static_cast<std::size_t>(report.peak_day())];
+  doc["case_study"] = io::JsonObject{
+      {"peak_label", peak.label},
+      {"peak_total", peak.total()},
+      {"peak_power_share",
+       peak.total() ? static_cast<double>(peak.power) / peak.total() : 0.0},
+      {"final_day_total", report.days.back().total()}};
+
+  // Figures 10-11.
+  const core::PopulationImpactResult impact =
+      core::run_population_impact(world);
+  doc["population"] = io::JsonObject{
+      {"population_served", impact.population_served},
+      {"at_risk_pop_vh", impact.at_risk_pop_vh()},
+      {"very_high_pop_vh", impact.very_high_pop_vh()}};
+
+  // Extensions.
+  const core::FutureExposureResult future = core::run_future_exposure(world);
+  const core::RoadsideResult roadside = core::run_roadside_shadow(world, 8);
+  doc["extensions"] = io::JsonObject{
+      {"future_exposure_growth",
+       future.at_risk_2040 / std::max<double>(1.0, future.at_risk_now)},
+      {"roadside_flag_rate", roadside.roadside_flag_rate()},
+      {"interior_flag_rate", roadside.interior_flag_rate()}};
+
+  std::printf("%s\n", io::to_json(io::JsonValue{std::move(doc)}, 2).c_str());
+  return 0;
+}

@@ -1,0 +1,169 @@
+// facli — command-line front end for the data-exchange workflow, so the
+// library is usable without writing C++:
+//
+//   facli generate-corpus  out.csv        [--scale N]            OpenCelliD CSV
+//   facli generate-whp     out.fagrid     [--cell M]             hazard raster
+//   facli overlay          corpus.csv whp.fagrid                 risk table
+//   facli season           YEAR out.geojson [--scale N]          fire season
+//
+// generate-* products round-trip through `overlay`, which ingests them
+// like externally-supplied data (the paper's actual inputs would take the
+// same path: an OpenCelliD CSV plus a WHP raster).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/world.hpp"
+#include "io/fagrid.hpp"
+#include "io/geojson.hpp"
+#include "synth/cells.hpp"
+#include "synth/firecalib.hpp"
+#include "firesim/fire.hpp"
+
+namespace {
+
+using namespace fa;
+
+double arg_value(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+synth::ScenarioConfig config_from(int argc, char** argv) {
+  synth::ScenarioConfig config;
+  config.corpus_scale = arg_value(argc, argv, "--scale", 64.0);
+  config.whp_cell_m = arg_value(argc, argv, "--cell", 5400.0);
+  config.seed =
+      static_cast<std::uint64_t>(arg_value(argc, argv, "--seed", 20191022.0));
+  return config;
+}
+
+int cmd_generate_corpus(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: facli generate-corpus out.csv [--scale N]\n");
+    return 1;
+  }
+  const synth::ScenarioConfig config = config_from(argc, argv);
+  const cellnet::CellCorpus corpus =
+      synth::generate_corpus(synth::UsAtlas::get(), config);
+  std::ofstream out(argv[0]);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[0]);
+    return 1;
+  }
+  cellnet::write_opencellid_csv(out, corpus);
+  std::printf("wrote %zu transceivers to %s\n", corpus.size(), argv[0]);
+  return 0;
+}
+
+int cmd_generate_whp(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: facli generate-whp out.fagrid [--cell M]\n");
+    return 1;
+  }
+  const synth::ScenarioConfig config = config_from(argc, argv);
+  const synth::WhpModel whp =
+      synth::generate_whp(synth::UsAtlas::get(), config);
+  io::save_fagrid(argv[0], whp.grid());
+  std::printf("wrote %dx%d WHP grid (%.0f m cells) to %s\n",
+              whp.grid().cols(), whp.grid().rows(), config.whp_cell_m,
+              argv[0]);
+  return 0;
+}
+
+int cmd_overlay(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: facli overlay corpus.csv whp.fagrid\n");
+    return 1;
+  }
+  std::ifstream csv(argv[0]);
+  if (!csv) {
+    std::fprintf(stderr, "cannot open %s\n", argv[0]);
+    return 1;
+  }
+  cellnet::CsvLoadStats stats;
+  const cellnet::CellCorpus corpus = cellnet::read_opencellid_csv(csv, &stats);
+  const raster::ClassRaster grid = io::load_fagrid(argv[1]);
+  std::printf("loaded %zu transceivers (%zu skipped), %dx%d hazard grid\n",
+              corpus.size(), stats.skipped, grid.cols(), grid.rows());
+
+  // The raster is in Albers metres (as generate-whp wrote it).
+  const geo::AlbersConus proj;
+  std::array<std::size_t, synth::kNumWhpClasses> by_class{};
+  for (const cellnet::Transceiver& t : corpus.transceivers()) {
+    const auto cls = grid.sample(proj.forward(t.position), 0);
+    ++by_class[std::min<std::uint8_t>(cls, synth::kNumWhpClasses - 1)];
+  }
+  core::TextTable table({"WHP class", "Transceivers", "Share"});
+  for (int cls = 0; cls < synth::kNumWhpClasses; ++cls) {
+    table.add_row(
+        {std::string{synth::whp_class_name(static_cast<synth::WhpClass>(cls))},
+         core::fmt_count(by_class[static_cast<std::size_t>(cls)]),
+         core::fmt_pct(static_cast<double>(by_class[cls]) /
+                       std::max<std::size_t>(1, corpus.size()))});
+  }
+  std::printf("%s", table.str().c_str());
+  const std::size_t at_risk = by_class[3] + by_class[4] + by_class[5];
+  std::printf("at risk (M/H/VH): %s (%s)\n", core::fmt_count(at_risk).c_str(),
+              core::fmt_pct(static_cast<double>(at_risk) /
+                            std::max<std::size_t>(1, corpus.size()))
+                  .c_str());
+  return 0;
+}
+
+int cmd_season(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: facli season YEAR out.geojson [--scale N]\n");
+    return 1;
+  }
+  const int year = std::atoi(argv[0]);
+  const synth::ScenarioConfig config = config_from(argc, argv);
+  const synth::FireYearStats* target = nullptr;
+  for (const auto& y : synth::historical_fire_years()) {
+    if (y.year == year) target = &y;
+  }
+  if (target == nullptr) {
+    std::fprintf(stderr, "year %d not in 2000-2018\n", year);
+    return 1;
+  }
+  const synth::WhpModel whp =
+      synth::generate_whp(synth::UsAtlas::get(), config);
+  firesim::FireSimulator sim(whp, synth::UsAtlas::get(), config.seed);
+  const firesim::FireSeason season = sim.simulate_year(*target);
+  io::JsonArray features;
+  for (const firesim::FirePerimeter& fire : season.fires) {
+    features.push_back(io::feature(io::multipolygon_geometry(fire.perimeter),
+                                   io::JsonObject{{"name", fire.name},
+                                                  {"acres", fire.acres}}));
+  }
+  std::ofstream out(argv[1]);
+  out << io::to_json(io::feature_collection(std::move(features)));
+  std::printf("wrote %zu perimeters (%.2fM acres) to %s\n",
+              season.fires.size(), season.simulated_acres / 1e6, argv[1]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "facli — fivealarms command line\n"
+                 "  facli generate-corpus out.csv     [--scale N] [--seed S]\n"
+                 "  facli generate-whp    out.fagrid  [--cell M]  [--seed S]\n"
+                 "  facli overlay         corpus.csv whp.fagrid\n"
+                 "  facli season          YEAR out.geojson [--scale N]\n");
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "generate-corpus") return cmd_generate_corpus(argc - 2, argv + 2);
+  if (cmd == "generate-whp") return cmd_generate_whp(argc - 2, argv + 2);
+  if (cmd == "overlay") return cmd_overlay(argc - 2, argv + 2);
+  if (cmd == "season") return cmd_season(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 1;
+}

@@ -1,0 +1,75 @@
+// Outage drill: a provider resilience exercise. Replays the 2019-style
+// PSPS event under different mitigation policies — longer batteries,
+// hardened feeders — and prints the peak/total outage deltas. This is the
+// "what should we buy?" question the paper's Section 3.10 raises.
+//
+//   $ ./outage_drill
+#include <cstdio>
+
+#include "core/case_study.hpp"
+#include "core/report.hpp"
+#include "core/world.hpp"
+
+namespace {
+
+struct Policy {
+  const char* name;
+  double battery_hours;
+  double feeder_psps_base;
+};
+
+}  // namespace
+
+int main() {
+  using namespace fa;
+  synth::ScenarioConfig config;
+  config.corpus_scale = 32.0;
+  config.whp_cell_m = 2700.0;
+  const core::World world = core::World::build(config);
+
+  // Baseline: Section 3.2 conditions. Mitigations: 48h batteries (the
+  // post-Katrina FCC proposal that was never adopted), hardened feeders,
+  // and both.
+  const Policy policies[] = {
+      {"baseline (6h battery)", 6.0, 0.055},
+      {"48h batteries", 48.0, 0.055},
+      {"hardened feeders", 6.0, 0.0275},
+      {"both", 48.0, 0.0275},
+  };
+
+  core::TextTable table({"Policy", "Peak outages", "Outage site-days",
+                         "vs baseline"});
+  double baseline_days = -1.0;
+  for (const Policy& policy : policies) {
+    firesim::OutageSimConfig sim;
+    sim.battery_hours = policy.battery_hours;
+    sim.feeder_psps_base = policy.feeder_psps_base;
+    const firesim::DirsReport report =
+        core::run_california_case_study(world, sim);
+    std::size_t peak = 0;
+    std::size_t site_days = 0;
+    for (const firesim::DayOutages& day : report.days) {
+      peak = std::max(peak, day.total());
+      site_days += day.total();
+    }
+    if (baseline_days < 0.0) baseline_days = static_cast<double>(site_days);
+    table.add_row(
+        {policy.name, core::fmt_count(peak), core::fmt_count(site_days),
+         core::fmt_pct(baseline_days > 0.0
+                           ? static_cast<double>(site_days) / baseline_days
+                           : 0.0,
+                       0)});
+  }
+  std::printf("2019-style PSPS drill over the California fleet "
+              "(%s sites monitored at this scale):\n\n%s\n",
+              core::fmt_count(
+                  core::run_california_case_study(world).sites_monitored)
+                  .c_str(),
+              table.str().c_str());
+  std::printf(
+      "reading: batteries that bridge a full-day de-energization eliminate\n"
+      "power-cause outages entirely (the dominant cause); feeder hardening\n"
+      "only halves them. That is the paper's Section 3.10 argument for\n"
+      "backup power as the first mitigation dollar.\n");
+  return 0;
+}

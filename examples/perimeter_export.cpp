@@ -1,0 +1,105 @@
+// Perimeter export: simulate a fire season and write it out as GeoJSON +
+// OpenCelliD-schema CSV of the affected transceivers — the data-exchange
+// path a GIS analyst would use to pull results into QGIS/ArcGIS.
+//
+//   $ ./perimeter_export 2018 season_2018.geojson affected_2018.csv
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/overlay.hpp"
+#include "core/world.hpp"
+#include "io/geojson.hpp"
+#include "io/wkt.hpp"
+#include "synth/firecalib.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fa;
+  const int year = argc > 1 ? std::atoi(argv[1]) : 2018;
+  const std::string geojson_path =
+      argc > 2 ? argv[2] : "season_" + std::to_string(year) + ".geojson";
+  const std::string csv_path =
+      argc > 3 ? argv[3] : "affected_" + std::to_string(year) + ".csv";
+
+  synth::ScenarioConfig config;
+  config.corpus_scale = 32.0;
+  config.whp_cell_m = 2700.0;
+  const core::World world = core::World::build(config);
+
+  // Find the requested season in the Table 1 calibration record.
+  const synth::FireYearStats* target = nullptr;
+  for (const auto& y : synth::historical_fire_years()) {
+    if (y.year == year) target = &y;
+  }
+  if (target == nullptr) {
+    std::fprintf(stderr, "year %d not in 2000-2018\n", year);
+    return 1;
+  }
+
+  firesim::FireSimulator sim(world.whp(), world.atlas(), config.seed);
+  const firesim::FireSeason season = sim.simulate_year(*target);
+  std::printf("%d: %zu large fires, %.2fM acres simulated\n", year,
+              season.fires.size(), season.simulated_acres / 1e6);
+
+  // GeoJSON FeatureCollection of perimeters.
+  io::JsonArray features;
+  for (const firesim::FirePerimeter& fire : season.fires) {
+    features.push_back(io::feature(
+        io::multipolygon_geometry(fire.perimeter),
+        io::JsonObject{{"name", fire.name},
+                       {"year", fire.year},
+                       {"acres", fire.acres},
+                       {"start_day", fire.start_day},
+                       {"end_day", fire.end_day}}));
+  }
+  {
+    std::ofstream out(geojson_path);
+    out << io::to_json(io::feature_collection(std::move(features)), 2);
+  }
+  std::printf("wrote %s\n", geojson_path.c_str());
+
+  // Affected transceivers as OpenCelliD-schema CSV.
+  const auto hit_ids = core::transceivers_in_perimeters(world, season.fires);
+  std::vector<cellnet::Transceiver> affected;
+  affected.reserve(hit_ids.size());
+  for (const std::uint32_t id : hit_ids) {
+    affected.push_back(world.corpus()[id]);
+  }
+  {
+    std::ofstream out(csv_path);
+    cellnet::write_opencellid_csv(out, cellnet::CellCorpus{affected});
+  }
+  std::printf("wrote %s (%zu affected transceivers)\n", csv_path.c_str(),
+              affected.size());
+
+  // Daily progression of a named large fire (GeoMAC-style real-time
+  // perimeters), exported alongside the season.
+  {
+    const auto prog = sim.spread_fire_staged({-120.6, 39.2}, 40000.0, 6,
+                                             year, 9000);
+    io::JsonArray days;
+    for (std::size_t d = 0; d < prog.daily.size(); ++d) {
+      days.push_back(io::feature(
+          io::multipolygon_geometry(prog.daily[d]),
+          io::JsonObject{{"day", d + 1},
+                         {"cumulative_acres", prog.daily_acres[d]}}));
+    }
+    std::ofstream out("progression_" + std::to_string(year) + ".geojson");
+    out << io::to_json(io::feature_collection(std::move(days)));
+    std::printf("wrote progression_%d.geojson (%zu daily perimeters, "
+                "final %.0f acres)\n",
+                year, prog.daily.size(), prog.daily_acres.back());
+  }
+
+  // And the largest perimeter as WKT, for copy-paste into a SQL console.
+  if (!season.fires.empty()) {
+    const firesim::FirePerimeter* biggest = &season.fires.front();
+    for (const auto& f : season.fires) {
+      if (f.acres > biggest->acres) biggest = &f;
+    }
+    const std::string wkt = io::to_wkt(biggest->perimeter);
+    std::printf("largest fire %s (%.0f acres), WKT prefix: %.120s...\n",
+                biggest->name.c_str(), biggest->acres, wkt.c_str());
+  }
+  return 0;
+}

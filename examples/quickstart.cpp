@@ -1,0 +1,67 @@
+// Quickstart: build a world, run the core overlay, print a risk summary.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the public API: ScenarioConfig ->
+// World::build -> run_whp_overlay / run_provider_risk -> TextTable.
+#include <cstdio>
+
+#include "core/provider_risk.hpp"
+#include "core/report.hpp"
+#include "core/whp_overlay.hpp"
+#include "core/world.hpp"
+
+int main() {
+  using namespace fa;
+
+  // 1. Configure the scenario. Everything downstream is deterministic in
+  //    (seed, scale): rerun with the same config, get the same numbers.
+  synth::ScenarioConfig config;
+  config.seed = 20191022;      // the paper's OpenCelliD snapshot date
+  config.corpus_scale = 32.0;  // 1/32 of the 5.36M-transceiver corpus
+  config.whp_cell_m = 2700.0;  // 10x the USFS WHP resolution
+
+  // 2. Build the world: hazard surface, transceiver corpus, county layer.
+  std::printf("building world (%zu transceivers)...\n", config.corpus_size());
+  const core::World world = core::World::build(config);
+
+  // 3. Who is at risk? The Section 3.3 overlay.
+  const core::WhpOverlayResult overlay = core::run_whp_overlay(world);
+  std::printf("\n%s of %s transceivers sit in moderate-or-worse wildfire "
+              "hazard (%s)\n\n",
+              core::fmt_count(overlay.total_at_risk()).c_str(),
+              core::fmt_count(world.corpus().size()).c_str(),
+              core::fmt_pct(static_cast<double>(overlay.total_at_risk()) /
+                            world.corpus().size())
+                  .c_str());
+
+  // 4. Top states, like the paper's Figure 8.
+  core::TextTable table({"State", "Moderate", "High", "Very High"});
+  const auto rank = overlay.rank_by_at_risk();
+  for (int i = 0; i < 5; ++i) {
+    const core::StateWhpRow& row =
+        overlay.states[static_cast<std::size_t>(rank[i])];
+    table.add_row(
+        {std::string{world.atlas().states()[row.state].name},
+         core::fmt_count(row.moderate), core::fmt_count(row.high),
+         core::fmt_count(row.very_high)});
+  }
+  std::printf("top five states by at-risk transceivers:\n%s\n",
+              table.str().c_str());
+
+  // 5. Per-provider exposure, like Table 2.
+  const core::ProviderRiskResult providers = core::run_provider_risk(world);
+  core::TextTable ptable({"Provider", "At risk", "Share of fleet"});
+  for (const core::ProviderRiskRow& row : providers.rows) {
+    const std::size_t at_risk = row.moderate + row.high + row.very_high;
+    ptable.add_row({std::string{cellnet::provider_name(row.provider)},
+                    core::fmt_count(at_risk),
+                    core::fmt_pct(row.fleet ? static_cast<double>(at_risk) /
+                                                  row.fleet
+                                            : 0.0)});
+  }
+  std::printf("provider exposure:\n%s\n", ptable.str().c_str());
+  std::printf("next: see examples/state_risk_report.cpp for a deep dive "
+              "into one state.\n");
+  return 0;
+}

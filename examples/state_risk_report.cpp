@@ -1,0 +1,100 @@
+// State risk report: the workload a state public-utility commission would
+// run — exposure by hazard class, by provider, by county density, plus a
+// metro WUI gradient — for one state given on the command line.
+//
+//   $ ./state_risk_report CA
+//   $ ./state_risk_report FL
+#include <cstdio>
+#include <algorithm>
+#include <map>
+#include <cstring>
+
+#include "core/metro.hpp"
+#include "core/population.hpp"
+#include "core/report.hpp"
+#include "core/world.hpp"
+#include "geo/geodesy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fa;
+  const char* abbr = argc > 1 ? argv[1] : "CA";
+
+  synth::ScenarioConfig config;
+  config.corpus_scale = 32.0;
+  config.whp_cell_m = 2700.0;
+  const core::World world = core::World::build(config);
+
+  const int state = world.atlas().state_index(abbr);
+  if (state < 0) {
+    std::fprintf(stderr, "unknown state '%s' (use a postal code, e.g. CA)\n",
+                 abbr);
+    return 1;
+  }
+  const synth::StateInfo& info = world.atlas().states()[state];
+  std::printf("=== Wildfire risk report: %s ===\n", info.name.data());
+  std::printf("population %.1fM, fire propensity %.2f\n\n",
+              info.population / 1e6, info.fire_propensity);
+
+  // Exposure by hazard class.
+  std::array<std::size_t, synth::kNumWhpClasses> by_class{};
+  std::size_t state_total = 0;
+  for (const auto& t : world.corpus().transceivers()) {
+    if (t.state != state) continue;
+    ++state_total;
+    ++by_class[static_cast<std::size_t>(world.txr_class(t.id))];
+  }
+  core::TextTable classes({"WHP class", "Transceivers", "Share"});
+  for (int cls = 0; cls < synth::kNumWhpClasses; ++cls) {
+    classes.add_row(
+        {std::string{synth::whp_class_name(static_cast<synth::WhpClass>(cls))},
+         core::fmt_count(by_class[static_cast<std::size_t>(cls)]),
+         core::fmt_pct(state_total ? static_cast<double>(by_class[cls]) /
+                                         state_total
+                                   : 0.0)});
+  }
+  std::printf("exposure by hazard class (%s transceivers in state):\n%s\n",
+              core::fmt_count(state_total).c_str(), classes.str().c_str());
+
+  // County hot list: at-risk transceivers by county.
+  std::map<int, std::size_t> by_county;
+  for (const auto& t : world.corpus().transceivers()) {
+    if (t.state != state || !synth::whp_at_risk(world.txr_class(t.id))) {
+      continue;
+    }
+    const int county = world.txr_county(t.id);
+    if (county >= 0) ++by_county[county];
+  }
+  std::vector<std::pair<std::size_t, int>> hot;
+  for (const auto& [county, count] : by_county) hot.push_back({count, county});
+  std::sort(hot.rbegin(), hot.rend());
+  core::TextTable counties({"County", "Population", "At-risk txr"});
+  for (std::size_t i = 0; i < hot.size() && i < 8; ++i) {
+    const synth::County& c = world.counties().county(hot[i].second);
+    counties.add_row({c.name, core::fmt_count(static_cast<std::size_t>(
+                                  c.population)),
+                      core::fmt_count(hot[i].first)});
+  }
+  std::printf("county hot list:\n%s\n", counties.str().c_str());
+
+  // Metro gradient for the state's largest metro.
+  const synth::CityInfo* metro = nullptr;
+  for (const synth::CityInfo& city : world.atlas().cities()) {
+    if (world.atlas().state_index(city.state_abbr) != state) continue;
+    if (metro == nullptr || city.metro_population > metro->metro_population) {
+      metro = &city;
+    }
+  }
+  if (metro != nullptr) {
+    std::printf("WUI gradient around %s:\n", metro->name.data());
+    core::TextTable rings({"Ring (km)", "Transceivers", "At-risk share"});
+    for (const core::MetroRing& ring :
+         core::metro_risk_gradient(world, metro->position, 90e3)) {
+      rings.add_row({core::fmt_double(ring.inner_m / 1000.0, 0) + "-" +
+                         core::fmt_double(ring.outer_m / 1000.0, 0),
+                     core::fmt_count(ring.transceivers),
+                     core::fmt_pct(ring.at_risk_share())});
+    }
+    std::printf("%s", rings.str().c_str());
+  }
+  return 0;
+}

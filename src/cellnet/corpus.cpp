@@ -1,0 +1,172 @@
+#include "cellnet/corpus.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "geo/geodesy.hpp"
+#include "io/csv.hpp"
+
+namespace fa::cellnet {
+
+CellCorpus::CellCorpus(std::vector<Transceiver> transceivers)
+    : txr_(std::move(transceivers)) {}
+
+std::array<std::size_t, kNumRadioTypes> CellCorpus::count_by_radio() const {
+  std::array<std::size_t, kNumRadioTypes> counts{};
+  for (const Transceiver& t : txr_) {
+    ++counts[static_cast<std::size_t>(t.radio)];
+  }
+  return counts;
+}
+
+std::array<std::size_t, kNumProviders> CellCorpus::count_by_provider(
+    const ProviderRegistry& registry) const {
+  std::array<std::size_t, kNumProviders> counts{};
+  for (const Transceiver& t : txr_) {
+    ++counts[static_cast<std::size_t>(registry.resolve(t.mcc, t.mnc))];
+  }
+  return counts;
+}
+
+std::vector<CellSite> CellCorpus::infer_sites(double merge_dist_m) const {
+  // Greedy lattice clustering: positions are hashed onto a merge_dist_m
+  // grid, and each transceiver joins the nearest existing site within
+  // merge_dist_m found in its own or the 8 neighbouring lattice cells
+  // (so co-located radios straddling a lattice line still merge). Cheap,
+  // deterministic, and in line with OpenCelliD position noise.
+  const double lat_step = merge_dist_m / geo::meters_per_deg_lat();
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cell_sites;
+  std::vector<CellSite> sites;
+  const auto key_of = [](std::int64_t qx, std::int64_t qy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(qx)) << 32) |
+           static_cast<std::uint32_t>(qy);
+  };
+  for (const Transceiver& t : txr_) {
+    const double lon_step =
+        merge_dist_m / std::max(1.0, geo::meters_per_deg_lon(t.position.lat));
+    const auto qx =
+        static_cast<std::int64_t>(std::floor(t.position.lon / lon_step));
+    const auto qy =
+        static_cast<std::int64_t>(std::floor(t.position.lat / lat_step));
+    std::uint32_t best = 0;
+    double best_d = merge_dist_m;
+    bool found = false;
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cell_sites.find(key_of(qx + dx, qy + dy));
+        if (it == cell_sites.end()) continue;
+        for (const std::uint32_t site_id : it->second) {
+          const double d = geo::haversine_m(sites[site_id].position, t.position);
+          if (d <= best_d) {
+            best_d = d;
+            best = site_id;
+            found = true;
+          }
+        }
+      }
+    }
+    if (found) {
+      ++sites[best].transceiver_count;
+    } else {
+      CellSite site;
+      site.id = static_cast<std::uint32_t>(sites.size());
+      site.position = t.position;
+      site.first_transceiver = t.id;
+      site.transceiver_count = 1;
+      cell_sites[key_of(qx, qy)].push_back(site.id);
+      sites.push_back(site);
+    }
+  }
+  return sites;
+}
+
+namespace {
+
+bool parse_u16(const std::string& s, std::uint16_t& out) {
+  unsigned v = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size() || v > 0xffff) {
+    return false;
+  }
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+bool parse_u32(const std::string& s, std::uint32_t& out) {
+  unsigned long v = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (res.ec != std::errc{} || res.ptr != s.data() + s.size() ||
+      v > 0xffffffffUL) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), out);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+void write_opencellid_csv(std::ostream& out, const CellCorpus& corpus) {
+  io::CsvWriter writer(out);
+  writer.write_row({"radio", "mcc", "net", "area", "cell", "unit", "lon",
+                    "lat", "range", "samples", "changeable", "created",
+                    "updated", "averageSignal"});
+  for (const Transceiver& t : corpus.transceivers()) {
+    writer.write_row({std::string{radio_type_name(t.radio)},
+                      std::to_string(t.mcc), std::to_string(t.mnc),
+                      std::to_string(t.cell_id >> 16),
+                      std::to_string(t.cell_id), "0",
+                      std::to_string(t.position.lon),
+                      std::to_string(t.position.lat), "1000", "1", "1",
+                      "1571702400", "1571702400", "0"});
+  }
+}
+
+CellCorpus read_opencellid_csv(std::istream& in, CsvLoadStats* stats) {
+  io::CsvReader reader(in);
+  const int c_radio = reader.column("radio");
+  const int c_mcc = reader.column("mcc");
+  const int c_net = reader.column("net");
+  const int c_cell = reader.column("cell");
+  const int c_lon = reader.column("lon");
+  const int c_lat = reader.column("lat");
+  std::vector<Transceiver> txr;
+  CsvLoadStats local;
+  while (auto row = reader.next()) {
+    const auto& r = *row;
+    const auto field = [&r](int idx) -> const std::string& {
+      static const std::string empty;
+      return idx >= 0 && static_cast<std::size_t>(idx) < r.size()
+                 ? r[static_cast<std::size_t>(idx)]
+                 : empty;
+    };
+    Transceiver t;
+    double lon = 0.0, lat = 0.0;
+    const bool ok = parse_radio_type(field(c_radio), t.radio) &&
+                    parse_u16(field(c_mcc), t.mcc) &&
+                    parse_u16(field(c_net), t.mnc) &&
+                    parse_u32(field(c_cell), t.cell_id) &&
+                    parse_double(field(c_lon), lon) &&
+                    parse_double(field(c_lat), lat) &&
+                    geo::is_valid({lon, lat});
+    if (!ok) {
+      ++local.skipped;
+      continue;
+    }
+    t.position = {lon, lat};
+    t.id = static_cast<std::uint32_t>(txr.size());
+    txr.push_back(t);
+    ++local.parsed;
+  }
+  if (stats != nullptr) *stats = local;
+  return CellCorpus{std::move(txr)};
+}
+
+}  // namespace fa::cellnet

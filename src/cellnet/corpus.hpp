@@ -1,0 +1,55 @@
+// The transceiver corpus: container + statistics + tower inference +
+// OpenCelliD-schema CSV round-trip.
+#pragma once
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "cellnet/providers.hpp"
+#include "cellnet/types.hpp"
+
+namespace fa::cellnet {
+
+class CellCorpus {
+ public:
+  CellCorpus() = default;
+  explicit CellCorpus(std::vector<Transceiver> transceivers);
+
+  const std::vector<Transceiver>& transceivers() const { return txr_; }
+  std::size_t size() const { return txr_.size(); }
+  bool empty() const { return txr_.empty(); }
+  const Transceiver& operator[](std::size_t i) const { return txr_[i]; }
+
+  // Count per radio technology (indexed by RadioType).
+  std::array<std::size_t, kNumRadioTypes> count_by_radio() const;
+  // Count per provider resolved through `registry`.
+  std::array<std::size_t, kNumProviders> count_by_provider(
+      const ProviderRegistry& registry) const;
+
+  // Groups transceivers that report the same rounded position into cell
+  // sites (co-location inference; see Section 2.2.3 for why this is an
+  // approximation). `merge_dist_m` controls the rounding granularity.
+  std::vector<CellSite> infer_sites(double merge_dist_m = 50.0) const;
+
+ private:
+  std::vector<Transceiver> txr_;
+};
+
+// OpenCelliD CSV schema:
+//   radio,mcc,net,area,cell,unit,lon,lat,range,samples,changeable,created,
+//   updated,averageSignal
+// Only the columns the analysis consumes (radio, mcc, net, cell, lon, lat)
+// are meaningful here; the rest are emitted as plausible constants and
+// ignored on read. Unparseable/out-of-range records are skipped and
+// counted, mirroring real crowd-sourced data hygiene.
+struct CsvLoadStats {
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;
+};
+
+void write_opencellid_csv(std::ostream& out, const CellCorpus& corpus);
+CellCorpus read_opencellid_csv(std::istream& in, CsvLoadStats* stats = nullptr);
+
+}  // namespace fa::cellnet

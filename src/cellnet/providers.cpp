@@ -1,0 +1,213 @@
+#include "cellnet/providers.hpp"
+
+#include <algorithm>
+
+#include "cellnet/types.hpp"
+
+namespace fa::cellnet {
+
+std::string_view radio_type_name(RadioType t) {
+  switch (t) {
+    case RadioType::kGsm: return "GSM";
+    case RadioType::kCdma: return "CDMA";
+    case RadioType::kUmts: return "UMTS";
+    case RadioType::kLte: return "LTE";
+    case RadioType::kNr: return "NR";
+  }
+  return "?";
+}
+
+bool parse_radio_type(std::string_view name, RadioType& out) {
+  for (int i = 0; i < kNumRadioTypes; ++i) {
+    const auto t = static_cast<RadioType>(i);
+    if (name == radio_type_name(t)) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view provider_name(Provider p) {
+  switch (p) {
+    case Provider::kAtt: return "AT&T";
+    case Provider::kTMobile: return "T-Mobile";
+    case Provider::kSprint: return "Sprint";
+    case Provider::kVerizon: return "Verizon";
+    case Provider::kRegional: return "Others";
+  }
+  return "?";
+}
+
+namespace {
+
+// Identifier blocks as of the paper's October 2019 snapshot. National
+// carriers list their principal home MNCs plus blocks inherited through
+// acquisitions (e.g. AT&T <- Cingular/Centennial, T-Mobile <- MetroPCS,
+// Verizon <- Alltel, Sprint <- Nextel/Clearwire).
+constexpr MncRecord kRecords[] = {
+    // --- AT&T Mobility ---
+    {310, 30, Provider::kAtt, "AT&T Mobility"},
+    {310, 70, Provider::kAtt, "AT&T Mobility"},
+    {310, 80, Provider::kAtt, "AT&T Mobility"},
+    {310, 90, Provider::kAtt, "AT&T Mobility"},
+    {310, 150, Provider::kAtt, "AT&T Mobility"},
+    {310, 170, Provider::kAtt, "AT&T Mobility"},
+    {310, 280, Provider::kAtt, "AT&T Mobility"},
+    {310, 380, Provider::kAtt, "AT&T Mobility"},
+    {310, 410, Provider::kAtt, "AT&T Mobility"},
+    {310, 560, Provider::kAtt, "AT&T Mobility"},
+    {310, 680, Provider::kAtt, "AT&T Mobility"},
+    {310, 980, Provider::kAtt, "AT&T Mobility"},
+    {311, 70, Provider::kAtt, "AT&T Mobility"},
+    {311, 90, Provider::kAtt, "AT&T Mobility"},
+    {311, 180, Provider::kAtt, "AT&T Mobility"},
+    {311, 190, Provider::kAtt, "AT&T Mobility"},
+    {312, 670, Provider::kAtt, "AT&T Mobility"},
+    {313, 100, Provider::kAtt, "AT&T FirstNet"},
+    // --- T-Mobile USA ---
+    {310, 160, Provider::kTMobile, "T-Mobile USA"},
+    {310, 200, Provider::kTMobile, "T-Mobile USA"},
+    {310, 210, Provider::kTMobile, "T-Mobile USA"},
+    {310, 220, Provider::kTMobile, "T-Mobile USA"},
+    {310, 230, Provider::kTMobile, "T-Mobile USA"},
+    {310, 240, Provider::kTMobile, "T-Mobile USA"},
+    {310, 250, Provider::kTMobile, "T-Mobile USA"},
+    {310, 260, Provider::kTMobile, "T-Mobile USA"},
+    {310, 270, Provider::kTMobile, "T-Mobile USA"},
+    {310, 300, Provider::kTMobile, "T-Mobile USA"},
+    {310, 310, Provider::kTMobile, "T-Mobile USA"},
+    {310, 490, Provider::kTMobile, "T-Mobile USA"},
+    {310, 660, Provider::kTMobile, "MetroPCS"},
+    {310, 800, Provider::kTMobile, "T-Mobile USA"},
+    // --- Sprint ---
+    {310, 120, Provider::kSprint, "Sprint"},
+    {311, 490, Provider::kSprint, "Sprint"},
+    {311, 870, Provider::kSprint, "Sprint (Boost)"},
+    {311, 880, Provider::kSprint, "Sprint"},
+    {312, 190, Provider::kSprint, "Sprint"},
+    {316, 10, Provider::kSprint, "Sprint (Nextel)"},
+    // --- Verizon Wireless ---
+    {310, 4, Provider::kVerizon, "Verizon Wireless"},
+    {310, 10, Provider::kVerizon, "Verizon Wireless"},
+    {310, 12, Provider::kVerizon, "Verizon Wireless"},
+    {310, 13, Provider::kVerizon, "Verizon Wireless"},
+    {310, 590, Provider::kVerizon, "Verizon Wireless"},
+    {310, 890, Provider::kVerizon, "Verizon Wireless"},
+    {310, 910, Provider::kVerizon, "Verizon Wireless"},
+    {311, 110, Provider::kVerizon, "Verizon Wireless"},
+    {311, 270, Provider::kVerizon, "Verizon Wireless"},
+    {311, 280, Provider::kVerizon, "Verizon Wireless"},
+    {311, 480, Provider::kVerizon, "Verizon Wireless"},
+    {311, 486, Provider::kVerizon, "Verizon Wireless"},
+    // --- Regional carriers (the paper's "46 smaller providers") ---
+    {310, 100, Provider::kRegional, "Plateau Wireless"},
+    {310, 320, Provider::kRegional, "Cellular One of AZ"},
+    {310, 350, Provider::kRegional, "Carolina West Wireless"},
+    {310, 370, Provider::kRegional, "Docomo Pacific"},
+    {310, 450, Provider::kRegional, "Viaero Wireless"},
+    {310, 540, Provider::kRegional, "Oklahoma Western Tel"},
+    {310, 570, Provider::kRegional, "Broadpoint"},
+    {310, 600, Provider::kRegional, "NewCell (Cellcom)"},
+    {310, 640, Provider::kRegional, "SmartCom"},
+    {310, 740, Provider::kRegional, "Convey Wireless"},
+    {310, 770, Provider::kRegional, "iWireless"},
+    {310, 850, Provider::kRegional, "Aeris"},
+    {310, 950, Provider::kRegional, "Texas RSA"},
+    {311, 20, Provider::kRegional, "Missouri RSA"},
+    {311, 30, Provider::kRegional, "Indigo Wireless"},
+    {311, 40, Provider::kRegional, "Commnet Wireless"},
+    {311, 80, Provider::kRegional, "Pine Telephone"},
+    {311, 120, Provider::kRegional, "James Valley Wireless"},
+    {311, 220, Provider::kRegional, "US Cellular"},
+    {311, 230, Provider::kRegional, "CellSouth (C Spire)"},
+    {311, 320, Provider::kRegional, "Commnet Midwest"},
+    {311, 330, Provider::kRegional, "Bug Tussel Wireless"},
+    {311, 340, Provider::kRegional, "Illinois Valley Cellular"},
+    {311, 350, Provider::kRegional, "Nemont"},
+    {311, 370, Provider::kRegional, "GCI Wireless"},
+    {311, 410, Provider::kRegional, "Chat Mobility"},
+    {311, 420, Provider::kRegional, "NorthwestCell"},
+    {311, 430, Provider::kRegional, "Cellcom"},
+    {311, 440, Provider::kRegional, "Bluegrass Cellular"},
+    {311, 530, Provider::kRegional, "NewCore Wireless"},
+    {311, 580, Provider::kRegional, "US Cellular"},
+    {311, 650, Provider::kRegional, "United Wireless"},
+    {311, 670, Provider::kRegional, "Pine Belt Wireless"},
+    {311, 690, Provider::kRegional, "TeleBEEPER of NM"},
+    {311, 740, Provider::kRegional, "Ltd Mobile"},
+    {311, 850, Provider::kRegional, "Cellular Network Partnership"},
+    {312, 30, Provider::kRegional, "Cross Wireless (Bravado)"},
+    {312, 40, Provider::kRegional, "Custer Telephone"},
+    {312, 60, Provider::kRegional, "CoverageCo"},
+    {312, 120, Provider::kRegional, "East Kentucky Network"},
+    {312, 130, Provider::kRegional, "East Kentucky Network"},
+    {312, 150, Provider::kRegional, "NorthwestCell"},
+    {312, 170, Provider::kRegional, "Chat Mobility"},
+    {312, 260, Provider::kRegional, "NewCore Wireless"},
+    {312, 270, Provider::kRegional, "Pioneer Cellular"},
+    {312, 280, Provider::kRegional, "Pioneer Cellular"},
+    {312, 420, Provider::kRegional, "Nex-Tech Wireless"},
+    {312, 470, Provider::kRegional, "Carolina West Wireless"},
+    {312, 530, Provider::kRegional, "Sprocket Wireless"},
+    {312, 860, Provider::kRegional, "ClearSky Technologies"},
+    {312, 900, Provider::kRegional, "ClearSky Technologies"},
+    {313, 50, Provider::kRegional, "Blue Wireless"},
+    {313, 60, Provider::kRegional, "Country Wireless"},
+    {313, 210, Provider::kRegional, "Tulare County Office of Ed"},
+    {314, 100, Provider::kRegional, "Triangle Communication"},
+    {316, 11, Provider::kRegional, "Southern Communications"},
+};
+
+}  // namespace
+
+ProviderRegistry::ProviderRegistry()
+    : records_(std::begin(kRecords), std::end(kRecords)) {
+  std::sort(records_.begin(), records_.end(),
+            [](const MncRecord& a, const MncRecord& b) {
+              return a.mcc != b.mcc ? a.mcc < b.mcc : a.mnc < b.mnc;
+            });
+}
+
+const MncRecord* ProviderRegistry::find(std::uint16_t mcc,
+                                        std::uint16_t mnc) const {
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), std::pair{mcc, mnc},
+      [](const MncRecord& r, const std::pair<std::uint16_t, std::uint16_t>& k) {
+        return r.mcc != k.first ? r.mcc < k.first : r.mnc < k.second;
+      });
+  if (it != records_.end() && it->mcc == mcc && it->mnc == mnc) return &*it;
+  return nullptr;
+}
+
+Provider ProviderRegistry::resolve(std::uint16_t mcc,
+                                   std::uint16_t mnc) const {
+  const MncRecord* r = find(mcc, mnc);
+  return r != nullptr ? r->provider : Provider::kRegional;
+}
+
+std::string_view ProviderRegistry::brand(std::uint16_t mcc,
+                                         std::uint16_t mnc) const {
+  const MncRecord* r = find(mcc, mnc);
+  return r != nullptr ? r->brand : "Unknown regional";
+}
+
+std::vector<MncRecord> ProviderRegistry::blocks_of(Provider p) const {
+  std::vector<MncRecord> out;
+  for (const MncRecord& r : records_) {
+    if (r.provider == p) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t ProviderRegistry::regional_brand_count() const {
+  std::vector<std::string_view> brands;
+  for (const MncRecord& r : records_) {
+    if (r.provider == Provider::kRegional) brands.push_back(r.brand);
+  }
+  std::sort(brands.begin(), brands.end());
+  brands.erase(std::unique(brands.begin(), brands.end()), brands.end());
+  return brands.size();
+}
+
+}  // namespace fa::cellnet

@@ -1,0 +1,60 @@
+// MCC/MNC -> service-provider resolution (paper Section 3.5).
+//
+// The four national carriers of 2019 (AT&T, T-Mobile, Sprint, Verizon)
+// each own many MNCs accumulated through mergers; the registry below
+// cross-references the identifier blocks the way the paper did with
+// mcc-mnc.com and IFAST, plus a tail of regional carriers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fa::cellnet {
+
+enum class Provider : std::uint8_t {
+  kAtt,
+  kTMobile,
+  kSprint,
+  kVerizon,
+  kRegional,  // any of the ~46 smaller carriers
+};
+
+inline constexpr int kNumProviders = 5;
+
+std::string_view provider_name(Provider p);
+
+struct MncRecord {
+  std::uint16_t mcc;
+  std::uint16_t mnc;
+  Provider provider;
+  std::string_view brand;  // operating brand for this identifier block
+};
+
+class ProviderRegistry {
+ public:
+  // Builds the built-in registry (US MCCs 310..316).
+  ProviderRegistry();
+
+  // Resolves an identifier pair; unknown pairs map to kRegional with a
+  // synthesized brand, mirroring how the paper buckets the long tail.
+  Provider resolve(std::uint16_t mcc, std::uint16_t mnc) const;
+  // Brand string for diagnostics ("AT&T Mobility", "Cellcom", ...).
+  std::string_view brand(std::uint16_t mcc, std::uint16_t mnc) const;
+
+  // All identifier blocks registered for `p` (used by the generator to
+  // stamp realistic MCC/MNC pairs onto synthetic transceivers).
+  std::vector<MncRecord> blocks_of(Provider p) const;
+
+  std::size_t size() const { return records_.size(); }
+  // Number of distinct regional brands (the paper footnotes 46).
+  std::size_t regional_brand_count() const;
+
+ private:
+  const MncRecord* find(std::uint16_t mcc, std::uint16_t mnc) const;
+  std::vector<MncRecord> records_;  // sorted by (mcc, mnc)
+};
+
+}  // namespace fa::cellnet

@@ -1,0 +1,45 @@
+// Core cellular-infrastructure value types, mirroring the fields of the
+// OpenCelliD corpus the paper analyses (Section 2.2.3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "geo/lonlat.hpp"
+
+namespace fa::cellnet {
+
+// Radio access technologies present in the 2019 OpenCelliD snapshot. NR
+// (5G) was absent from the snapshot (Section 3.5) but is modelled so the
+// forward-looking analysis has somewhere to grow.
+enum class RadioType : std::uint8_t { kGsm, kCdma, kUmts, kLte, kNr };
+
+inline constexpr int kNumRadioTypes = 5;
+
+std::string_view radio_type_name(RadioType t);
+// Parses OpenCelliD radio strings ("GSM", "CDMA", "UMTS", "LTE", "NR");
+// returns false on unknown input.
+bool parse_radio_type(std::string_view name, RadioType& out);
+
+// One cell transceiver record: an individual radio serving handsets.
+// Matches the subset of OpenCelliD columns the analysis consumes.
+struct Transceiver {
+  std::uint32_t id = 0;      // dense corpus index
+  geo::LonLat position;      // estimated location (crowd-sourced accuracy)
+  RadioType radio = RadioType::kLte;
+  std::uint16_t mcc = 310;   // mobile country code (310..316 in the US)
+  std::uint16_t mnc = 0;     // mobile network code
+  std::uint32_t cell_id = 0; // provider-scoped cell identifier
+  std::int16_t state = -1;   // index into the state table, -1 = unassigned
+};
+
+// A cell site groups co-located transceivers (Figure 1 of the paper):
+// the physical tower/rooftop plus power and backhaul connections.
+struct CellSite {
+  std::uint32_t id = 0;
+  geo::LonLat position;
+  std::uint32_t first_transceiver = 0;  // range into corpus order
+  std::uint32_t transceiver_count = 0;
+};
+
+}  // namespace fa::cellnet

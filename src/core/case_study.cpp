@@ -1,0 +1,12 @@
+#include "core/case_study.hpp"
+
+namespace fa::core {
+
+firesim::DirsReport run_california_case_study(
+    const World& world, const firesim::OutageSimConfig& config) {
+  return firesim::simulate_california_2019(world.corpus(), world.whp(),
+                                           world.atlas(),
+                                           world.config().seed, config);
+}
+
+}  // namespace fa::core

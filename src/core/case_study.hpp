@@ -1,0 +1,14 @@
+// Section 3.2 / Figure 5: the fall-2019 California PSPS case study,
+// bridged through the outage simulator.
+#pragma once
+
+#include "core/world.hpp"
+#include "firesim/outage.hpp"
+
+namespace fa::core {
+
+// Runs the 2019 California event against this world's corpus and WHP.
+firesim::DirsReport run_california_case_study(
+    const World& world, const firesim::OutageSimConfig& config = {});
+
+}  // namespace fa::core

@@ -1,0 +1,64 @@
+#include "core/climate.hpp"
+
+#include <algorithm>
+
+namespace fa::core {
+
+ClimateResult run_climate_projection(const World& world) {
+  ClimateResult result;
+  const auto ecoregions = world.atlas().ecoregions();
+  result.rows.reserve(ecoregions.size());
+  for (const synth::EcoregionInfo& eco : ecoregions) {
+    result.corridor.expand(eco.boundary.bbox());
+    result.rows.push_back({std::string{eco.name}, eco.delta_burn_pct_2040,
+                           0, 0});
+  }
+
+  world.txr_index().query(result.corridor, [&](std::uint32_t id, geo::Vec2 p) {
+    ++result.corridor_transceivers;
+    for (std::size_t e = 0; e < ecoregions.size(); ++e) {
+      if (!ecoregions[e].boundary.contains(p)) continue;
+      ++result.rows[e].transceivers;
+      if (synth::whp_at_risk(world.txr_class(id))) ++result.rows[e].at_risk;
+      break;  // bands are disjoint; first containing region wins
+    }
+  });
+  return result;
+}
+
+std::vector<int> FutureExposureResult::rank() const {
+  std::vector<int> order(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return states[static_cast<std::size_t>(a)].at_risk_2040 >
+           states[static_cast<std::size_t>(b)].at_risk_2040;
+  });
+  return order;
+}
+
+FutureExposureResult run_future_exposure(const World& world) {
+  FutureExposureResult result;
+  result.states.resize(static_cast<std::size_t>(world.atlas().num_states()));
+  for (std::size_t s = 0; s < result.states.size(); ++s) {
+    result.states[s].state = static_cast<int>(s);
+  }
+  const auto west = world.atlas().western_ecoregions();
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    if (!synth::whp_at_risk(world.txr_class(t.id)) || t.state < 0) continue;
+    double multiplier = 1.0;  // eastern default: no Littell projection
+    for (const synth::EcoregionInfo& eco : west) {
+      if (eco.boundary.contains(t.position.as_vec())) {
+        multiplier = std::max(0.0, 1.0 + eco.delta_burn_pct_2040 / 100.0);
+        break;
+      }
+    }
+    FutureStateRow& row = result.states[static_cast<std::size_t>(t.state)];
+    ++row.at_risk_now;
+    row.at_risk_2040 += multiplier;
+    ++result.at_risk_now;
+    result.at_risk_2040 += multiplier;
+  }
+  return result;
+}
+
+}  // namespace fa::core

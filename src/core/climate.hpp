@@ -1,0 +1,57 @@
+// Section 3.9 / Figures 14-15: future wildfire activity in the Salt Lake
+// City - Denver corridor under the Littell et al. ecoregion projections,
+// overlaid with current cellular infrastructure and WHP risk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace fa::core {
+
+struct EcoregionRiskRow {
+  std::string name;
+  double delta_burn_pct_2040 = 0.0;  // projected change in area burned
+  std::size_t transceivers = 0;      // current infrastructure in region
+  std::size_t at_risk = 0;           // of those, in M/H/VH WHP today
+  // Simple exposure index: current at-risk count scaled by the projected
+  // burn-area change (1 + delta/100, floored at 0).
+  double projected_exposure() const {
+    const double mult = std::max(0.0, 1.0 + delta_burn_pct_2040 / 100.0);
+    return static_cast<double>(at_risk) * mult;
+  }
+};
+
+struct ClimateResult {
+  std::vector<EcoregionRiskRow> rows;   // atlas ecoregion order
+  std::size_t corridor_transceivers = 0;
+  geo::BBox corridor;                   // lon/lat extent of the analysis
+};
+
+ClimateResult run_climate_projection(const World& world);
+
+// Extension: CONUS-wide 2040 exposure projection. Each at-risk western
+// transceiver is scaled by its ecoregion's burn-area delta; eastern
+// transceivers (outside the Littell coverage) keep today's exposure.
+struct FutureStateRow {
+  int state = -1;
+  std::size_t at_risk_now = 0;
+  double at_risk_2040 = 0.0;   // exposure index, comparable to at_risk_now
+  double growth() const {
+    return at_risk_now ? at_risk_2040 / static_cast<double>(at_risk_now)
+                       : 1.0;
+  }
+};
+
+struct FutureExposureResult {
+  std::vector<FutureStateRow> states;  // atlas order
+  std::size_t at_risk_now = 0;
+  double at_risk_2040 = 0.0;
+  // States ranked by projected 2040 exposure.
+  std::vector<int> rank() const;
+};
+
+FutureExposureResult run_future_exposure(const World& world);
+
+}  // namespace fa::core

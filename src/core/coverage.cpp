@@ -1,0 +1,156 @@
+#include "core/coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/overlay.hpp"
+#include "geo/geodesy.hpp"
+#include "index/grid_index.hpp"
+
+namespace fa::core {
+
+double coverage_loss_share(double lost_txr_share,
+                           const CoverageConfig& config) {
+  const double clamped = std::clamp(lost_txr_share, 0.0, 1.0);
+  if (clamped <= config.redundancy) return 0.0;
+  const double over =
+      (clamped - config.redundancy) / (1.0 - config.redundancy);
+  return std::pow(over, config.degradation_exponent);
+}
+
+CoverageResult run_coverage_loss(
+    const World& world, const std::vector<firesim::FirePerimeter>& fires,
+    const CoverageConfig& config) {
+  CoverageResult result;
+
+  // County totals (denominator) and losses (numerator).
+  std::map<int, std::size_t> total_by_county;
+  for (std::uint32_t id = 0; id < world.corpus().size(); ++id) {
+    const int county = world.txr_county(id);
+    if (county >= 0) ++total_by_county[county];
+  }
+  std::map<int, std::size_t> lost_by_county;
+  for (const std::uint32_t id : transceivers_in_perimeters(world, fires)) {
+    const int county = world.txr_county(id);
+    if (county >= 0) ++lost_by_county[county];
+    ++result.transceivers_lost;
+  }
+
+  for (const auto& [county, lost] : lost_by_county) {
+    CountyCoverageRow row;
+    row.county = county;
+    const synth::County& info = world.counties().county(county);
+    row.name = info.name;
+    row.state_abbr = std::string{
+        world.atlas().states()[static_cast<std::size_t>(info.state)].abbr};
+    row.population = info.population;
+    row.transceivers = total_by_county[county];
+    row.lost = lost;
+    row.users_affected =
+        info.population * coverage_loss_share(row.lost_share(), config);
+    result.total_users_affected += row.users_affected;
+    result.counties.push_back(std::move(row));
+  }
+  std::sort(result.counties.begin(), result.counties.end(),
+            [](const CountyCoverageRow& a, const CountyCoverageRow& b) {
+              return a.users_affected != b.users_affected
+                         ? a.users_affected > b.users_affected
+                         : a.lost > b.lost;
+            });
+  return result;
+}
+
+SpatialCoverageResult run_spatial_coverage_loss(
+    const World& world, const std::vector<firesim::FirePerimeter>& fires,
+    const synth::PopulationSurface& population,
+    const SpatialCoverageConfig& config) {
+  SpatialCoverageResult result;
+
+  // Sites and their status after the fires.
+  const std::vector<cellnet::CellSite> sites =
+      world.corpus().infer_sites(120.0);
+  std::vector<std::uint8_t> site_lost(sites.size(), 0);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (const firesim::FirePerimeter& fire : fires) {
+      if (fire.perimeter.contains(sites[i].position.as_vec())) {
+        site_lost[i] = 1;
+        ++result.sites_lost;
+        break;
+      }
+    }
+  }
+
+  // Spatial index over site positions (lon/lat plane) for disc queries.
+  std::vector<geo::Vec2> site_points;
+  site_points.reserve(sites.size());
+  for (const cellnet::CellSite& s : sites) {
+    site_points.push_back(s.position.as_vec());
+  }
+  const index::GridIndex site_index(site_points,
+                                    world.atlas().conus_bbox().inflated(0.5),
+                                    256, 128);
+
+  // Analysis region: population cells within service radius of a fire
+  // (coverage can only change there).
+  const auto& geom = population.grid().geom();
+  const auto& proj = population.projection();
+  const double margin = config.service_radius_m + geom.cell_w;
+  std::vector<geo::BBox> fire_boxes;  // in Albers metres
+  fire_boxes.reserve(fires.size());
+  for (const firesim::FirePerimeter& fire : fires) {
+    if (fire.perimeter.empty()) continue;
+    geo::BBox box;  // project the perimeter bbox corners
+    const geo::BBox ll = fire.perimeter.bbox();
+    box.expand(proj.forward({ll.min_x, ll.min_y}));
+    box.expand(proj.forward({ll.min_x, ll.max_y}));
+    box.expand(proj.forward({ll.max_x, ll.min_y}));
+    box.expand(proj.forward({ll.max_x, ll.max_y}));
+    fire_boxes.push_back(box.inflated(margin));
+  }
+
+  const auto covered_by = [&](geo::LonLat p, bool after) {
+    // Any functioning site within the service radius covers the cell.
+    const double dlat = config.service_radius_m / geo::meters_per_deg_lat();
+    const double dlon =
+        config.service_radius_m / geo::meters_per_deg_lon(p.lat);
+    bool covered = false;
+    site_index.query(
+        geo::BBox{p.lon - dlon, p.lat - dlat, p.lon + dlon, p.lat + dlat},
+        [&](std::uint32_t id, geo::Vec2 q) {
+          if (covered) return;
+          if (after && site_lost[id] != 0) return;
+          if (geo::haversine_m(p, geo::LonLat::from_vec(q)) <=
+              config.service_radius_m) {
+            covered = true;
+          }
+        });
+    return covered;
+  };
+
+  for (int r = 0; r < geom.rows; ++r) {
+    for (int c = 0; c < geom.cols; ++c) {
+      const float persons = population.grid().at(c, r);
+      if (persons <= 0.0f) continue;
+      const geo::Vec2 center = geom.cell_center(c, r);
+      bool near_fire = false;
+      for (const geo::BBox& box : fire_boxes) {
+        if (box.contains(center)) {
+          near_fire = true;
+          break;
+        }
+      }
+      if (!near_fire) continue;
+      result.population_analyzed += persons;
+      const geo::LonLat ll = proj.inverse(center);
+      if (!covered_by(ll, /*after=*/false)) continue;
+      result.covered_before += persons;
+      if (!covered_by(ll, /*after=*/true)) {
+        result.uncovered_by_fires += persons;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fa::core

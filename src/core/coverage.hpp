@@ -1,0 +1,87 @@
+// Section 3.11 alternate approach: wildfire threat to cellular *service
+// coverage* rather than to the hardware itself.
+//
+// Each county's residents are served by the county's transceivers; when a
+// fire season knocks out a share of them, remaining capacity absorbs some
+// load (redundancy) and the rest is a service gap. The model is a
+// county-granularity approximation — the paper notes exact usage maps are
+// provider-proprietary — but it turns "N transceivers burned" into the
+// quantity decision-makers ask about: how many people lose service.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+#include "firesim/fire.hpp"
+#include "synth/population.hpp"
+
+namespace fa::core {
+
+struct CoverageConfig {
+  // Fraction of a county's transceivers that can be lost before service
+  // degrades at all (co-sited radios + overlapping cells are redundant).
+  double redundancy = 0.30;
+  // Above the redundancy knee, lost-user share grows with this exponent
+  // (>1: the last sites serve the hardest-to-cover users).
+  double degradation_exponent = 1.4;
+};
+
+struct CountyCoverageRow {
+  int county = -1;
+  std::string name;
+  std::string state_abbr;
+  double population = 0.0;
+  std::size_t transceivers = 0;  // county total
+  std::size_t lost = 0;          // inside fire perimeters
+  double lost_share() const {
+    return transceivers ? static_cast<double>(lost) / transceivers : 0.0;
+  }
+  double users_affected = 0.0;   // model output
+};
+
+struct CoverageResult {
+  std::vector<CountyCoverageRow> counties;  // only counties with losses,
+                                            // descending users_affected
+  double total_users_affected = 0.0;
+  std::size_t transceivers_lost = 0;
+};
+
+// Service-coverage impact of one fire set (e.g. a simulated season).
+CoverageResult run_coverage_loss(const World& world,
+                                 const std::vector<firesim::FirePerimeter>& fires,
+                                 const CoverageConfig& config = {});
+
+// The degradation curve itself (exposed for tests/ablation): maps the
+// lost-transceiver share of a county to the lost-user share.
+double coverage_loss_share(double lost_txr_share, const CoverageConfig& config);
+
+// ---------------------------------------------------------------------------
+// Spatial coverage model: instead of county buckets, each site covers a
+// service disc and residents are covered when any functioning site's disc
+// reaches them. Finer than the county model and independent of county
+// shapes — the ablation pair for the population-served statistic.
+
+struct SpatialCoverageConfig {
+  double service_radius_m = 8000.0;  // macro-cell service reach
+  double analysis_cell_m = 0.0;      // population raster cell (0 = default)
+};
+
+struct SpatialCoverageResult {
+  double population_analyzed = 0.0;   // residents near the fires
+  double covered_before = 0.0;        // of those, covered pre-fire
+  double uncovered_by_fires = 0.0;    // covered before, dark after
+  std::size_t sites_lost = 0;
+  double loss_share() const {
+    return covered_before > 0.0 ? uncovered_by_fires / covered_before : 0.0;
+  }
+};
+
+// Evaluates coverage over the population cells within `margin_m` of any
+// fire perimeter (the rest of the CONUS cannot change).
+SpatialCoverageResult run_spatial_coverage_loss(
+    const World& world, const std::vector<firesim::FirePerimeter>& fires,
+    const synth::PopulationSurface& population,
+    const SpatialCoverageConfig& config = {});
+
+}  // namespace fa::core

@@ -1,0 +1,133 @@
+#include "core/escape.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/whp_overlay.hpp"
+#include "geo/geodesy.hpp"
+
+namespace fa::core {
+
+namespace {
+
+// Relative ignition intensity per hazard class (mirrors the fire
+// simulator's weights; duplicated as a policy of this model rather than a
+// shared constant because the two models may diverge independently).
+double ignition_intensity(synth::WhpClass cls) {
+  switch (cls) {
+    case synth::WhpClass::kNonBurnable: return 0.0;
+    case synth::WhpClass::kVeryLow: return 0.4;
+    case synth::WhpClass::kLow: return 1.2;
+    case synth::WhpClass::kModerate: return 4.0;
+    case synth::WhpClass::kHigh: return 9.0;
+    case synth::WhpClass::kVeryHigh: return 16.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double escape_risk_score(const World& world, geo::LonLat p,
+                         const EscapeConfig& config) {
+  // Ring integral: a fire igniting at distance r reaches p only if its
+  // burned area exceeds ~pi r^2; under HOT that has probability
+  // (A0 / A(r))^alpha (clamped at 1 inside the containment scale).
+  double score = 0.0;
+  const double ring_step = config.max_radius_m / config.radial_steps;
+  for (int k = 0; k < config.radial_steps; ++k) {
+    const double radius = (k + 0.5) * ring_step;
+    const double area_acres =
+        std::numbers::pi * radius * radius / geo::kSquareMetersPerAcre;
+    const double p_escape =
+        std::min(1.0, std::pow(config.a0_acres / area_acres, config.alpha));
+    double ring_intensity = 0.0;
+    for (int a = 0; a < config.angular_steps; ++a) {
+      const double bearing = 360.0 * a / config.angular_steps +
+                             15.0 * k;  // de-align rings
+      const geo::LonLat sample = geo::destination(p, bearing, radius);
+      ring_intensity += ignition_intensity(world.whp().class_at(sample));
+    }
+    // Ring area grows with radius: weight by annulus width x circumference.
+    const double annulus_weight = radius * ring_step;
+    score += p_escape * annulus_weight * ring_intensity / config.angular_steps;
+  }
+  // Normalize so scores are O(1) for a uniformly very-high neighborhood.
+  const double norm = config.max_radius_m * config.max_radius_m * 16.0 / 2.0;
+  return score / norm * 16.0;
+}
+
+EscapeResult run_escape_risk(const World& world, std::size_t stride,
+                             const EscapeConfig& config) {
+  EscapeResult result;
+  result.stride = std::max<std::size_t>(1, stride);
+  result.states.resize(static_cast<std::size_t>(world.atlas().num_states()));
+  for (std::size_t s = 0; s < result.states.size(); ++s) {
+    result.states[s].state = static_cast<int>(s);
+  }
+  for (std::size_t i = 0; i < world.corpus().size(); i += result.stride) {
+    const cellnet::Transceiver& t = world.corpus()[i];
+    const double score = escape_risk_score(world, t.position, config);
+    result.scores.push_back(score);
+    if (t.state >= 0) {
+      EscapeStateRow& row = result.states[static_cast<std::size_t>(t.state)];
+      row.mean_score += score;
+      ++row.transceivers;
+    }
+  }
+  for (EscapeStateRow& row : result.states) {
+    if (row.transceivers > 0) {
+      row.mean_score /= static_cast<double>(row.transceivers);
+    }
+  }
+  return result;
+}
+
+std::vector<int> EscapeResult::rank() const {
+  std::vector<int> order(states.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return states[static_cast<std::size_t>(a)].mean_score >
+           states[static_cast<std::size_t>(b)].mean_score;
+  });
+  return order;
+}
+
+double escape_vs_whp_rank_correlation(const World& world,
+                                      const EscapeResult& escape) {
+  const WhpOverlayResult overlay = run_whp_overlay(world);
+  // Ranks over states that hold transceivers in both views.
+  std::vector<int> states;
+  for (const EscapeStateRow& row : escape.states) {
+    if (row.transceivers > 0) states.push_back(row.state);
+  }
+  const auto rank_of = [&states](const std::vector<int>& order) {
+    std::vector<double> rank(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      const auto it = std::find(order.begin(), order.end(), states[i]);
+      rank[i] = static_cast<double>(std::distance(order.begin(), it));
+    }
+    return rank;
+  };
+  const std::vector<double> a = rank_of(overlay.rank_by_at_risk());
+  const std::vector<double> b = rank_of(escape.rank());
+  // Spearman = Pearson over ranks.
+  const double n = static_cast<double>(states.size());
+  if (n < 2.0) return 1.0;
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  return va > 0.0 && vb > 0.0 ? cov / std::sqrt(va * vb) : 1.0;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,61 @@
+// Section 3.11 extension: wildfire escape probability.
+//
+// The WHP scores the chance that a fire *occurs* at a location; it does
+// not model a fire starting in high-risk terrain and *spreading* into
+// lower-risk terrain. The paper proposes closing that gap with the
+// highly-optimized-tolerance (HOT) framework of Moritz et al., where the
+// probability that a fire escapes initial containment and reaches burned
+// area A follows a power law P(size >= A) ~ (A0 / A)^alpha.
+//
+// This module implements that extension: each transceiver's escape-
+// weighted risk integrates, over rings of increasing radius, the chance
+// that a fire ignites in the surrounding terrain (hazard-weighted) AND
+// grows large enough to reach the transceiver.
+#pragma once
+
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace fa::core {
+
+struct EscapeConfig {
+  double alpha = 0.62;        // HOT size-distribution exponent
+  double a0_acres = 300.0;    // containment scale (escape threshold size)
+  double max_radius_m = 24e3; // furthest ignition considered
+  int radial_steps = 4;       // rings sampled between 0 and max_radius
+  int angular_steps = 8;      // samples per ring
+};
+
+// Escape-weighted risk score for one location (dimensionless; only the
+// ordering and ratios are meaningful).
+double escape_risk_score(const World& world, geo::LonLat p,
+                         const EscapeConfig& config = {});
+
+struct EscapeStateRow {
+  int state = -1;
+  double mean_score = 0.0;   // over the state's transceivers
+  std::size_t transceivers = 0;
+};
+
+struct EscapeResult {
+  // Per-transceiver scores, parallel to the corpus (subsampled corpora
+  // carry a stride: scores[i] belongs to corpus[i * stride]).
+  std::vector<double> scores;
+  std::size_t stride = 1;
+  std::vector<EscapeStateRow> states;  // atlas order
+  // State ranking by mean escape-weighted score (descending).
+  std::vector<int> rank() const;
+};
+
+// Scores every stride-th transceiver (the score is a 32-sample terrain
+// integral; stride keeps full-corpus runs cheap).
+EscapeResult run_escape_risk(const World& world, std::size_t stride = 1,
+                             const EscapeConfig& config = {});
+
+// Agreement between the plain-WHP state ranking and the escape-weighted
+// one: Spearman rank correlation over states with any transceivers.
+double escape_vs_whp_rank_correlation(const World& world,
+                                      const EscapeResult& escape);
+
+}  // namespace fa::core

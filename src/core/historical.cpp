@@ -1,0 +1,68 @@
+#include "core/historical.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/overlay.hpp"
+
+namespace fa::core {
+
+HistoricalResult run_historical_overlay(
+    const World& world, std::span<const synth::FireYearStats> years,
+    const firesim::FireSimConfig& fire_config) {
+  HistoricalResult result;
+  result.corpus_scale = world.config().corpus_scale;
+  firesim::FireSimulator sim(world.whp(), world.atlas(),
+                             world.config().seed);
+  for (const synth::FireYearStats& target : years) {
+    const firesim::FireSeason season = sim.simulate_year(target, fire_config);
+    const auto hits = transceivers_in_perimeters(world, season.fires);
+
+    HistoricalYearRow row;
+    row.year = target.year;
+    row.fires = season.total_ignitions;
+    row.acres_millions = season.simulated_acres / 1e6;
+    row.txr_in_perimeters = hits.size();
+    row.txr_per_macre =
+        row.acres_millions > 0.0
+            ? static_cast<double>(hits.size()) / row.acres_millions
+            : 0.0;
+    row.paper_txr = target.paper_transceivers;
+    result.total_txr += hits.size();
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+BurnedByStateResult burned_by_state(
+    const World& world, std::span<const synth::FireYearStats> years,
+    const firesim::FireSimConfig& config) {
+  BurnedByStateResult result;
+  std::map<int, BurnedByStateRow> by_state;
+  double west_acres = 0.0;
+  firesim::FireSimulator sim(world.whp(), world.atlas(),
+                             world.config().seed ^ 0xB125ULL);
+  for (const synth::FireYearStats& target : years) {
+    const firesim::FireSeason season = sim.simulate_year(target, config);
+    for (const firesim::FirePerimeter& fire : season.fires) {
+      const int state = world.atlas().state_of(fire.ignition);
+      if (state < 0) continue;
+      BurnedByStateRow& row = by_state[state];
+      row.state = state;
+      row.acres += fire.acres;
+      ++row.fires;
+      result.total_acres += fire.acres;
+      if (fire.ignition.lon < -100.0) west_acres += fire.acres;
+    }
+  }
+  for (const auto& [_, row] : by_state) result.rows.push_back(row);
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const BurnedByStateRow& a, const BurnedByStateRow& b) {
+              return a.acres > b.acres;
+            });
+  result.west_share =
+      result.total_acres > 0.0 ? west_acres / result.total_acres : 0.0;
+  return result;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,54 @@
+// Section 3.1 / Table 1: per-year fires, acreage, and transceivers inside
+// wildfire perimeters, 2000-2018.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/world.hpp"
+#include "firesim/fire.hpp"
+#include "synth/firecalib.hpp"
+
+namespace fa::core {
+
+struct HistoricalYearRow {
+  int year = 0;
+  int fires = 0;                     // total ignitions (reported)
+  double acres_millions = 0.0;       // simulated burned area
+  std::size_t txr_in_perimeters = 0; // measured by overlay (scaled corpus)
+  double txr_per_macre = 0.0;        // transceivers per million acres
+  int paper_txr = 0;                 // Table 1 reference value (full corpus)
+};
+
+struct HistoricalResult {
+  std::vector<HistoricalYearRow> rows;  // ascending year
+  std::size_t total_txr = 0;
+  // Scale factor to compare measured counts against the paper's full-
+  // corpus numbers (== config.corpus_scale).
+  double corpus_scale = 1.0;
+};
+
+// Simulates every season in `years` and overlays it on the corpus.
+HistoricalResult run_historical_overlay(
+    const World& world, std::span<const synth::FireYearStats> years,
+    const firesim::FireSimConfig& fire_config = {});
+
+// Figure 3's geography, quantified: burned acreage attributed to the
+// ignition state, summed over a simulated multi-year record.
+struct BurnedByStateRow {
+  int state = -1;
+  double acres = 0.0;
+  std::size_t fires = 0;
+};
+// Rows ordered by descending acreage; `west_share` is the fraction of
+// attributed acreage igniting west of -100 degrees longitude.
+struct BurnedByStateResult {
+  std::vector<BurnedByStateRow> rows;
+  double total_acres = 0.0;
+  double west_share = 0.0;
+};
+BurnedByStateResult burned_by_state(const World& world,
+                                    std::span<const synth::FireYearStats> years,
+                                    const firesim::FireSimConfig& config = {});
+
+}  // namespace fa::core

@@ -1,0 +1,114 @@
+#include "core/maps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fa::core {
+
+namespace {
+
+std::vector<std::uint32_t> bin_points(std::span<const geo::Vec2> points,
+                                      const geo::BBox& box, int cols,
+                                      int rows) {
+  std::vector<std::uint32_t> bins(
+      static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows), 0);
+  const double inv_w = cols / std::max(1e-12, box.width());
+  const double inv_h = rows / std::max(1e-12, box.height());
+  for (const geo::Vec2& p : points) {
+    if (!box.contains(p)) continue;
+    const int c = std::min(cols - 1, static_cast<int>((p.x - box.min_x) * inv_w));
+    const int r = std::min(rows - 1, static_cast<int>((p.y - box.min_y) * inv_h));
+    ++bins[static_cast<std::size_t>(r) * cols + c];
+  }
+  return bins;
+}
+
+}  // namespace
+
+std::string render_ascii_density(std::span<const geo::Vec2> points,
+                                 const geo::BBox& box, int cols, int rows) {
+  const auto bins = bin_points(points, box, cols, rows);
+  const std::uint32_t peak =
+      *std::max_element(bins.begin(), bins.end());
+  constexpr std::string_view ramp = " .:-=+*#%@";
+  std::string out;
+  out.reserve(static_cast<std::size_t>((cols + 1) * rows));
+  for (int r = rows - 1; r >= 0; --r) {  // north-up
+    for (int c = 0; c < cols; ++c) {
+      const std::uint32_t v = bins[static_cast<std::size_t>(r) * cols + c];
+      if (v == 0 || peak == 0) {
+        out.push_back(' ');
+        continue;
+      }
+      // Log scale: urban peaks would otherwise wash out everything else.
+      const double t = std::log1p(static_cast<double>(v)) /
+                       std::log1p(static_cast<double>(peak));
+      const std::size_t idx = std::min(
+          ramp.size() - 1,
+          static_cast<std::size_t>(t * static_cast<double>(ramp.size() - 1) + 0.5));
+      out.push_back(ramp[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string render_ascii_classes(const raster::ClassRaster& grid,
+                                 std::string_view glyphs, int cols,
+                                 int rows) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>((cols + 1) * rows));
+  const auto& g = grid.geom();
+  for (int r = rows - 1; r >= 0; --r) {
+    for (int c = 0; c < cols; ++c) {
+      // Sample the dominant class in the covered block (mode of a sparse
+      // subsample keeps this cheap).
+      const int gc0 = g.cols * c / cols;
+      const int gc1 = std::max(gc0 + 1, g.cols * (c + 1) / cols);
+      const int gr0 = g.rows * r / rows;
+      const int gr1 = std::max(gr0 + 1, g.rows * (r + 1) / rows);
+      std::array<int, 16> votes{};
+      for (int gr = gr0; gr < gr1; gr += std::max(1, (gr1 - gr0) / 4)) {
+        for (int gc = gc0; gc < gc1; gc += std::max(1, (gc1 - gc0) / 4)) {
+          ++votes[std::min<std::uint8_t>(15, grid.at(gc, gr))];
+        }
+      }
+      int best = 0;
+      for (int k = 1; k < 16; ++k) {
+        if (votes[static_cast<std::size_t>(k)] >
+            votes[static_cast<std::size_t>(best)]) {
+          best = k;
+        }
+      }
+      const auto idx = std::min<std::size_t>(glyphs.size() - 1,
+                                             static_cast<std::size_t>(best));
+      out.push_back(glyphs[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void save_density_pgm(const std::string& path,
+                      std::span<const geo::Vec2> points, const geo::BBox& box,
+                      int cols, int rows) {
+  const auto bins = bin_points(points, box, cols, rows);
+  const std::uint32_t peak = *std::max_element(bins.begin(), bins.end());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "P5\n" << cols << " " << rows << "\n255\n";
+  for (int r = rows - 1; r >= 0; --r) {
+    for (int c = 0; c < cols; ++c) {
+      const std::uint32_t v = bins[static_cast<std::size_t>(r) * cols + c];
+      const double t = peak == 0 ? 0.0
+                                 : std::log1p(static_cast<double>(v)) /
+                                       std::log1p(static_cast<double>(peak));
+      out.put(static_cast<char>(static_cast<int>(t * 255.0)));
+    }
+  }
+}
+
+}  // namespace fa::core

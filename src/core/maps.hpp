@@ -1,0 +1,30 @@
+// Quick-look map rendering for the figure reproductions: ASCII density
+// fields for the terminal and PGM/GeoJSON exports for GIS tools.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/world.hpp"
+#include "raster/raster.hpp"
+
+namespace fa::core {
+
+// Point-density map over `box` rendered as ASCII (darker glyph = more
+// points per cell). Rows are emitted north-up.
+std::string render_ascii_density(std::span<const geo::Vec2> points,
+                                 const geo::BBox& box, int cols = 100,
+                                 int rows = 34);
+
+// Class raster rendered with one glyph per class (index into `glyphs`,
+// clamped). North-up.
+std::string render_ascii_classes(const raster::ClassRaster& grid,
+                                 std::string_view glyphs, int cols = 100,
+                                 int rows = 34);
+
+// Binary PGM (P5) export of a density field for external viewers.
+void save_density_pgm(const std::string& path,
+                      std::span<const geo::Vec2> points, const geo::BBox& box,
+                      int cols, int rows);
+
+}  // namespace fa::core

@@ -1,0 +1,68 @@
+#include "core/metro.hpp"
+
+#include <algorithm>
+
+#include "geo/geodesy.hpp"
+
+namespace fa::core {
+
+std::vector<MetroRiskRow> run_metro_risk(const World& world,
+                                         const MetroConfig& config) {
+  std::vector<MetroRiskRow> rows;
+  for (const synth::CityInfo& city : world.atlas().cities()) {
+    if (city.metro_population < config.min_metro_population) continue;
+    MetroRiskRow row;
+    row.metro = std::string{city.name};
+    row.state_abbr = std::string{city.state_abbr};
+    // Query the index by bbox around the metro, refine by haversine.
+    const double dlat = config.radius_m / geo::meters_per_deg_lat();
+    const double dlon =
+        config.radius_m / geo::meters_per_deg_lon(city.position.lat);
+    const geo::BBox box{city.position.lon - dlon, city.position.lat - dlat,
+                        city.position.lon + dlon, city.position.lat + dlat};
+    world.txr_index().query(box, [&](std::uint32_t id, geo::Vec2 p) {
+      if (geo::haversine_m(city.position, geo::LonLat::from_vec(p)) >
+          config.radius_m) {
+        return;
+      }
+      switch (world.txr_class(id)) {
+        case synth::WhpClass::kModerate: ++row.moderate; break;
+        case synth::WhpClass::kHigh: ++row.high; break;
+        case synth::WhpClass::kVeryHigh: ++row.very_high; break;
+        default: break;
+      }
+    });
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetroRiskRow& a, const MetroRiskRow& b) {
+              return a.total() > b.total();
+            });
+  return rows;
+}
+
+std::vector<MetroRing> metro_risk_gradient(const World& world,
+                                           geo::LonLat center,
+                                           double radius_m,
+                                           double ring_width_m) {
+  const int rings = static_cast<int>(std::ceil(radius_m / ring_width_m));
+  std::vector<MetroRing> out(static_cast<std::size_t>(rings));
+  for (int i = 0; i < rings; ++i) {
+    out[static_cast<std::size_t>(i)].inner_m = i * ring_width_m;
+    out[static_cast<std::size_t>(i)].outer_m = (i + 1) * ring_width_m;
+  }
+  const double dlat = radius_m / geo::meters_per_deg_lat();
+  const double dlon = radius_m / geo::meters_per_deg_lon(center.lat);
+  const geo::BBox box{center.lon - dlon, center.lat - dlat,
+                      center.lon + dlon, center.lat + dlat};
+  world.txr_index().query(box, [&](std::uint32_t id, geo::Vec2 p) {
+    const double d = geo::haversine_m(center, geo::LonLat::from_vec(p));
+    if (d >= radius_m) return;
+    MetroRing& ring = out[static_cast<std::size_t>(d / ring_width_m)];
+    ++ring.transceivers;
+    if (synth::whp_at_risk(world.txr_class(id))) ++ring.at_risk;
+  });
+  return out;
+}
+
+}  // namespace fa::core

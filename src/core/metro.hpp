@@ -1,0 +1,48 @@
+// Section 3.7 / Figures 12-13: metro areas ranked by at-risk cell
+// infrastructure within a fixed radius of the metro center, plus the
+// WUI gradient (risk share as a function of distance from the center).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace fa::core {
+
+struct MetroRiskRow {
+  std::string metro;
+  std::string state_abbr;
+  std::size_t moderate = 0;
+  std::size_t high = 0;
+  std::size_t very_high = 0;
+  std::size_t total() const { return moderate + high + very_high; }
+};
+
+struct MetroConfig {
+  double radius_m = 120e3;  // metro catchment radius
+  double min_metro_population = 1.0e6;  // metros considered
+};
+
+// One row per qualifying metro, descending by total at-risk count.
+std::vector<MetroRiskRow> run_metro_risk(const World& world,
+                                         const MetroConfig& config = {});
+
+// Figure 13's key observation: the share of transceivers at risk rises
+// with distance from the metro center. Buckets of `ring_width_m` from 0
+// to radius; each entry is {transceivers, at_risk} for that ring.
+struct MetroRing {
+  double inner_m = 0.0;
+  double outer_m = 0.0;
+  std::size_t transceivers = 0;
+  std::size_t at_risk = 0;
+  double at_risk_share() const {
+    return transceivers ? static_cast<double>(at_risk) / transceivers : 0.0;
+  }
+};
+std::vector<MetroRing> metro_risk_gradient(const World& world,
+                                           geo::LonLat center,
+                                           double radius_m = 120e3,
+                                           double ring_width_m = 15e3);
+
+}  // namespace fa::core

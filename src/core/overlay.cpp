@@ -1,0 +1,33 @@
+#include "core/overlay.hpp"
+
+#include <algorithm>
+
+namespace fa::core {
+
+PerimeterHits transceivers_in_perimeters_attributed(
+    const World& world, const std::vector<firesim::FirePerimeter>& fires) {
+  PerimeterHits hits;
+  std::vector<std::uint8_t> seen(world.corpus().size(), 0);
+  // Query the transceiver grid index by fire bbox, then run the exact
+  // polygon test — fires are few and small relative to the corpus, so
+  // this direction of the join is the cheap one.
+  for (std::uint32_t f = 0; f < fires.size(); ++f) {
+    const auto& perimeter = fires[f].perimeter;
+    if (perimeter.empty()) continue;
+    world.txr_index().query(
+        perimeter.bbox(), [&](std::uint32_t id, geo::Vec2 p) {
+          if (seen[id] != 0 || !perimeter.contains(p)) return;
+          seen[id] = 1;
+          hits.txr_ids.push_back(id);
+          hits.fire_idx.push_back(f);
+        });
+  }
+  return hits;
+}
+
+std::vector<std::uint32_t> transceivers_in_perimeters(
+    const World& world, const std::vector<firesim::FirePerimeter>& fires) {
+  return transceivers_in_perimeters_attributed(world, fires).txr_ids;
+}
+
+}  // namespace fa::core

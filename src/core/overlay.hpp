@@ -1,0 +1,26 @@
+// Shared overlay primitive: which transceivers fall inside a set of fire
+// perimeters. Used by the historical analysis (Table 1), the WHP
+// validation (Section 3.4) and the extension study (Section 3.8).
+#pragma once
+
+#include <vector>
+
+#include "core/world.hpp"
+#include "firesim/fire.hpp"
+
+namespace fa::core {
+
+// Ids of corpus transceivers inside any of `fires` (each id once).
+std::vector<std::uint32_t> transceivers_in_perimeters(
+    const World& world, const std::vector<firesim::FirePerimeter>& fires);
+
+// For per-fire attribution: the fire index (into `fires`) containing each
+// hit, parallel to the returned ids (first containing fire wins).
+struct PerimeterHits {
+  std::vector<std::uint32_t> txr_ids;
+  std::vector<std::uint32_t> fire_idx;
+};
+PerimeterHits transceivers_in_perimeters_attributed(
+    const World& world, const std::vector<firesim::FirePerimeter>& fires);
+
+}  // namespace fa::core

@@ -1,0 +1,89 @@
+#include "core/population.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace fa::core {
+
+namespace {
+
+// Matrix row for an at-risk WHP class, or -1.
+int whp_row(synth::WhpClass cls) {
+  switch (cls) {
+    case synth::WhpClass::kModerate: return 0;
+    case synth::WhpClass::kHigh: return 1;
+    case synth::WhpClass::kVeryHigh: return 2;
+    default: return -1;
+  }
+}
+
+}  // namespace
+
+std::size_t PopulationImpactResult::at_risk_total() const {
+  std::size_t n = 0;
+  for (const auto& row : matrix) {
+    for (const std::size_t v : row) n += v;
+  }
+  return n;
+}
+
+std::size_t PopulationImpactResult::at_risk_pop_m_plus() const {
+  std::size_t n = 0;
+  for (const auto& row : matrix) {
+    n += row[1] + row[2] + row[3];
+  }
+  return n;
+}
+
+std::size_t PopulationImpactResult::at_risk_pop_vh() const {
+  return matrix[0][3] + matrix[1][3] + matrix[2][3];
+}
+
+PopulationImpactResult run_population_impact(const World& world) {
+  PopulationImpactResult result;
+  std::set<int> counties_at_risk;
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    const int w = whp_row(world.txr_class(t.id));
+    if (w < 0) continue;
+    const int county = world.txr_county(t.id);
+    if (county < 0) continue;
+    const synth::County& c = world.counties().county(county);
+    const auto pop =
+        static_cast<std::size_t>(synth::pop_category(c.population));
+    ++result.matrix[static_cast<std::size_t>(w)][pop];
+    counties_at_risk.insert(county);
+  }
+  for (const int county : counties_at_risk) {
+    result.population_served += world.counties().county(county).population;
+  }
+  return result;
+}
+
+std::vector<CityVhRow> very_high_by_major_county(const World& world) {
+  std::map<int, std::size_t> counts;
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    if (world.txr_class(t.id) != synth::WhpClass::kVeryHigh) continue;
+    const int county = world.txr_county(t.id);
+    if (county < 0) continue;
+    const synth::County& c = world.counties().county(county);
+    if (synth::pop_category(c.population) != synth::PopCategory::kVeryDense) {
+      continue;
+    }
+    ++counts[county];
+  }
+  std::vector<CityVhRow> rows;
+  for (const auto& [county, count] : counts) {
+    const synth::County& c = world.counties().county(county);
+    rows.push_back(
+        {c.name,
+         std::string{world.atlas().states()[static_cast<std::size_t>(c.state)].abbr},
+         count});
+  }
+  std::sort(rows.begin(), rows.end(), [](const CityVhRow& a, const CityVhRow& b) {
+    return a.count > b.count;
+  });
+  return rows;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,44 @@
+// Section 3.6 / Figures 10-11: cross-tabulation of at-risk transceivers
+// by WHP class and county population density, plus the aggregate
+// population of the counties served by at-risk infrastructure.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace fa::core {
+
+struct PopulationImpactResult {
+  // matrix[whp][pop]: whp in {0=Moderate, 1=High, 2=VeryHigh},
+  // pop in {0=Rural, 1=Pop M, 2=Pop H, 3=Pop VH}.
+  std::array<std::array<std::size_t, 4>, 3> matrix{};
+
+  // Aggregate population of counties holding at least one at-risk
+  // transceiver (the paper's "over 85 million" claim).
+  double population_served = 0.0;
+
+  std::size_t at_risk_total() const;
+  // At-risk transceivers in counties above 200k people (Fig 11 left).
+  std::size_t at_risk_pop_m_plus() const;
+  // At-risk transceivers in counties above 1.5M people (Fig 11 center;
+  // the paper reports 57,504 at full scale).
+  std::size_t at_risk_pop_vh() const;
+  // Very-high WHP transceivers in >1.5M counties (Fig 11 right; paper
+  // reports just over 7,000).
+  std::size_t very_high_pop_vh() const { return matrix[2][3]; }
+};
+
+PopulationImpactResult run_population_impact(const World& world);
+
+// Fig 11 right-panel city attribution: very-high-WHP transceivers in
+// very dense counties, grouped by the county's anchor metro.
+struct CityVhRow {
+  std::string county;
+  std::string metro_state;
+  std::size_t count = 0;
+};
+std::vector<CityVhRow> very_high_by_major_county(const World& world);
+
+}  // namespace fa::core

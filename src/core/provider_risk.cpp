@@ -1,0 +1,59 @@
+#include "core/provider_risk.hpp"
+
+#include <set>
+#include <string_view>
+
+namespace fa::core {
+
+ProviderRiskResult run_provider_risk(const World& world) {
+  ProviderRiskResult result;
+  const cellnet::ProviderRegistry registry;
+  for (int p = 0; p < cellnet::kNumProviders; ++p) {
+    result.rows[static_cast<std::size_t>(p)].provider =
+        static_cast<cellnet::Provider>(p);
+  }
+  std::set<std::string_view> regional_brands;
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    const cellnet::Provider p = registry.resolve(t.mcc, t.mnc);
+    ProviderRiskRow& row = result.rows[static_cast<std::size_t>(p)];
+    ++row.fleet;
+    switch (world.txr_class(t.id)) {
+      case synth::WhpClass::kModerate:
+        ++row.moderate;
+        break;
+      case synth::WhpClass::kHigh:
+        ++row.high;
+        break;
+      case synth::WhpClass::kVeryHigh:
+        ++row.very_high;
+        break;
+      default:
+        continue;  // not at risk: skip the brand bookkeeping below
+    }
+    if (p == cellnet::Provider::kRegional) {
+      regional_brands.insert(registry.brand(t.mcc, t.mnc));
+    }
+  }
+  result.regional_brands_at_risk = regional_brands.size();
+  return result;
+}
+
+RadioRiskResult run_radio_risk(const World& world) {
+  RadioRiskResult result;
+  for (int r = 0; r < cellnet::kNumRadioTypes; ++r) {
+    result.rows[static_cast<std::size_t>(r)].radio =
+        static_cast<cellnet::RadioType>(r);
+  }
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    RadioRiskRow& row = result.rows[static_cast<std::size_t>(t.radio)];
+    switch (world.txr_class(t.id)) {
+      case synth::WhpClass::kModerate: ++row.moderate; break;
+      case synth::WhpClass::kHigh: ++row.high; break;
+      case synth::WhpClass::kVeryHigh: ++row.very_high; break;
+      default: break;
+    }
+  }
+  return result;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,51 @@
+// Section 3.5 / Tables 2-3: at-risk infrastructure per service provider
+// and per radio technology.
+#pragma once
+
+#include <array>
+
+#include "core/world.hpp"
+
+namespace fa::core {
+
+struct ProviderRiskRow {
+  cellnet::Provider provider{};
+  std::size_t fleet = 0;      // total transceivers operated
+  std::size_t moderate = 0;   // in WHP moderate
+  std::size_t high = 0;
+  std::size_t very_high = 0;
+  double pct_moderate() const {
+    return fleet ? 100.0 * static_cast<double>(moderate) / fleet : 0.0;
+  }
+  double pct_high() const {
+    return fleet ? 100.0 * static_cast<double>(high) / fleet : 0.0;
+  }
+  double pct_very_high() const {
+    return fleet ? 100.0 * static_cast<double>(very_high) / fleet : 0.0;
+  }
+};
+
+struct ProviderRiskResult {
+  std::array<ProviderRiskRow, cellnet::kNumProviders> rows{};
+  // Distinct regional brands with at least one at-risk transceiver (the
+  // paper footnotes 46).
+  std::size_t regional_brands_at_risk = 0;
+};
+
+ProviderRiskResult run_provider_risk(const World& world);
+
+struct RadioRiskRow {
+  cellnet::RadioType radio{};
+  std::size_t very_high = 0;
+  std::size_t high = 0;
+  std::size_t moderate = 0;
+  std::size_t total() const { return very_high + high + moderate; }
+};
+
+struct RadioRiskResult {
+  std::array<RadioRiskRow, cellnet::kNumRadioTypes> rows{};
+};
+
+RadioRiskResult run_radio_risk(const World& world);
+
+}  // namespace fa::core

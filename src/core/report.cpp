@@ -1,0 +1,83 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace fa::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char ch : s) {
+    if (!std::isdigit(static_cast<unsigned char>(ch)) && ch != '.' &&
+        ch != ',' && ch != '-' && ch != '+' && ch != '%' && ch != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << "  ";
+      const bool right = looks_numeric(cells[c]);
+      const std::size_t pad = width[c] - cells[c].size();
+      if (right) out << std::string(pad, ' ') << cells[c];
+      else out << cells[c] << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  out << std::string(total >= 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt_count(std::size_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_double(double v, int precision) {
+  std::array<char, 64> buf;
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision, v);
+  return buf.data();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace fa::core

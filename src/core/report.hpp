@@ -1,0 +1,30 @@
+// Plain-text table rendering for the reproduction harness: every bench
+// prints paper-style rows through this, so the output format is uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fa::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders with padded columns, a header underline, and right-aligned
+  // numeric-looking cells.
+  std::string str() const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting used across the benches.
+std::string fmt_count(std::size_t n);            // 12,345
+std::string fmt_double(double v, int precision); // fixed precision
+std::string fmt_pct(double fraction, int precision = 1);  // 12.3%
+
+}  // namespace fa::core

@@ -1,0 +1,45 @@
+#include "core/roadside.hpp"
+
+#include "geo/geodesy.hpp"
+#include "synth/roads.hpp"
+
+namespace fa::core {
+
+RoadsideResult run_roadside_shadow(const World& world, std::size_t stride,
+                                   const RoadsideConfig& config) {
+  RoadsideResult result;
+  const synth::RoadNetwork& roads = synth::RoadNetwork::get();
+  stride = std::max<std::size_t>(1, stride);
+
+  const auto shadowed_by_neighborhood = [&](geo::LonLat p) {
+    for (int k = 0; k < config.angular_samples; ++k) {
+      const double bearing = 360.0 * k / config.angular_samples;
+      const geo::LonLat sample =
+          geo::destination(p, bearing, config.shadow_reach_m);
+      if (synth::whp_at_risk(world.whp().class_at(sample))) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < world.corpus().size(); i += stride) {
+    const cellnet::Transceiver& t = world.corpus()[i];
+    const bool flagged =
+        synth::whp_at_risk(world.txr_class(t.id));
+    const bool near_road =
+        roads.nearest(t.position).distance_m <= config.roadside_m;
+    if (near_road) {
+      ++result.roadside;
+      if (flagged) {
+        ++result.roadside_flagged;
+      } else if (shadowed_by_neighborhood(t.position)) {
+        ++result.roadside_shadowed;
+      }
+    } else {
+      ++result.interior;
+      if (flagged) ++result.interior_flagged;
+    }
+  }
+  return result;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,48 @@
+// Roadside shadow analysis — the mechanism behind the paper's Section 3.4
+// validation gap, measured directly.
+//
+// WHP classifies managed road corridors as low/non-burnable, yet towers
+// stand along those corridors and fires burning the surrounding terrain
+// take them with it. A transceiver is "shadowed" when its own cell is
+// below moderate but at-risk terrain sits within a given reach — exactly
+// the infrastructure the plain WHP flag misses and the Section 3.8
+// extension is designed to recover.
+#pragma once
+
+#include "core/world.hpp"
+
+namespace fa::core {
+
+struct RoadsideConfig {
+  double roadside_m = 3000.0;   // "roadside" = within this of a corridor
+  double shadow_reach_m = 2700.0;  // neighborhood scanned for at-risk cells
+  int angular_samples = 8;
+};
+
+struct RoadsideResult {
+  std::size_t roadside = 0;          // transceivers near a corridor
+  std::size_t roadside_flagged = 0;  // of those, themselves in M/H/VH
+  std::size_t roadside_shadowed = 0; // unflagged but at-risk terrain nearby
+  std::size_t interior = 0;          // everyone else
+  std::size_t interior_flagged = 0;
+
+  double roadside_flag_rate() const {
+    return roadside ? static_cast<double>(roadside_flagged) / roadside : 0.0;
+  }
+  double interior_flag_rate() const {
+    return interior ? static_cast<double>(interior_flagged) / interior : 0.0;
+  }
+  // Share of unflagged roadside transceivers that the half-mile-style
+  // neighborhood test would recover.
+  double shadow_share() const {
+    const std::size_t unflagged = roadside - roadside_flagged;
+    return unflagged ? static_cast<double>(roadside_shadowed) / unflagged
+                     : 0.0;
+  }
+};
+
+// Scores every stride-th transceiver (neighborhood scans are per-point).
+RoadsideResult run_roadside_shadow(const World& world, std::size_t stride = 1,
+                                   const RoadsideConfig& config = {});
+
+}  // namespace fa::core

@@ -1,0 +1,41 @@
+#include "core/site_risk.hpp"
+
+namespace fa::core {
+
+SiteRiskResult run_site_risk(const World& world, double merge_dist_m) {
+  SiteRiskResult result;
+  result.transceivers = world.corpus().size();
+  const std::vector<cellnet::CellSite> sites =
+      world.corpus().infer_sites(merge_dist_m);
+  result.sites = sites.size();
+  result.radios_per_site =
+      result.sites ? static_cast<double>(result.transceivers) / result.sites
+                   : 0.0;
+
+  std::size_t at_risk_radios = 0;
+  std::size_t safe_radios = 0;
+  std::size_t at_risk_sites = 0;
+  std::size_t safe_sites = 0;
+  for (const cellnet::CellSite& site : sites) {
+    const synth::WhpClass cls = world.whp().class_at(site.position);
+    ++result.sites_by_class[static_cast<std::size_t>(cls)];
+    if (synth::whp_at_risk(cls)) {
+      ++at_risk_sites;
+      at_risk_radios += site.transceiver_count;
+    } else {
+      ++safe_sites;
+      safe_radios += site.transceiver_count;
+    }
+  }
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    ++result.txr_by_class[static_cast<std::size_t>(world.txr_class(t.id))];
+  }
+  result.radios_per_at_risk_site =
+      at_risk_sites ? static_cast<double>(at_risk_radios) / at_risk_sites
+                    : 0.0;
+  result.radios_per_safe_site =
+      safe_sites ? static_cast<double>(safe_radios) / safe_sites : 0.0;
+  return result;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,39 @@
+// Section 2.2.3 ablation: transceivers vs towers.
+//
+// The paper analyses transceivers because tower identity can only be
+// inferred from noisy crowd-sourced positions. This module runs the
+// analysis at the inferred-site level anyway and quantifies how the two
+// views differ — the robustness check the paper's methodology section
+// implies but could not run against provider ground truth.
+#pragma once
+
+#include <array>
+
+#include "core/world.hpp"
+
+namespace fa::core {
+
+struct SiteRiskResult {
+  std::size_t sites = 0;                // inferred cell sites
+  std::size_t transceivers = 0;         // corpus size
+  double radios_per_site = 0.0;
+  // Counts per WHP class, site-level and transceiver-level (index =
+  // WhpClass).
+  std::array<std::size_t, synth::kNumWhpClasses> sites_by_class{};
+  std::array<std::size_t, synth::kNumWhpClasses> txr_by_class{};
+  std::size_t sites_at_risk() const {
+    return sites_by_class[3] + sites_by_class[4] + sites_by_class[5];
+  }
+  std::size_t txr_at_risk() const {
+    return txr_by_class[3] + txr_by_class[4] + txr_by_class[5];
+  }
+  // Radios per at-risk site vs per safe site: at-risk sites are more
+  // rural and carry fewer tenants, so the transceiver view *undercounts*
+  // relative exposure of physical structures.
+  double radios_per_at_risk_site = 0.0;
+  double radios_per_safe_site = 0.0;
+};
+
+SiteRiskResult run_site_risk(const World& world, double merge_dist_m = 120.0);
+
+}  // namespace fa::core

@@ -1,0 +1,118 @@
+#include "core/validation.hpp"
+#include <cmath>
+
+#include <algorithm>
+#include <map>
+
+#include "core/overlay.hpp"
+#include "raster/morphology.hpp"
+#include "synth/firecalib.hpp"
+
+namespace fa::core {
+
+double ValidationResult::accuracy_excluding_top2() const {
+  // The paper discards the misses attributable to the two worst fires
+  // (Saddle Ridge + Tick) and rescores: predicted / (total - discarded).
+  const std::size_t kept_total =
+      in_perimeter >= misses_in_top2 ? in_perimeter - misses_in_top2 : 0;
+  return kept_total ? static_cast<double>(predicted) / kept_total : 0.0;
+}
+
+ValidationResult run_whp_validation(const World& world, int replicas) {
+  ValidationResult result;
+  std::map<std::string, std::size_t> misses_by_fire;
+  for (int rep = 0; rep < std::max(1, replicas); ++rep) {
+    firesim::FireSimulator sim(
+        world.whp(), world.atlas(),
+        world.config().seed ^ (0x2019ULL + 0x9E37ULL * static_cast<std::uint64_t>(rep)));
+    result.season = sim.simulate_year(synth::fire_year_2019());
+    // The real 2019 record includes the Saddle Ridge and Tick fires at
+    // the northern edge of Los Angeles — the two perimeters that held
+    // 288 of the paper's 354 validation misses. Anchor their analogs
+    // explicitly so the season reproduces that WUI structure.
+    {
+      firesim::FirePerimeter saddle = sim.spread_named_fire(
+          "Saddle Ridge (sim)", {-118.49, 34.33}, 8800.0, 2019,
+          static_cast<std::uint32_t>(result.season.fires.size()));
+      result.season.simulated_acres += saddle.acres;
+      result.season.fires.push_back(std::move(saddle));
+      firesim::FirePerimeter tick = sim.spread_named_fire(
+          "Tick (sim)", {-118.53, 34.44}, 4600.0, 2019,
+          static_cast<std::uint32_t>(result.season.fires.size()));
+      result.season.simulated_acres += tick.acres;
+      result.season.fires.push_back(std::move(tick));
+    }
+
+    const PerimeterHits hits =
+        transceivers_in_perimeters_attributed(world, result.season.fires);
+    result.in_perimeter += hits.txr_ids.size();
+    for (std::size_t i = 0; i < hits.txr_ids.size(); ++i) {
+      result.hit_ids.push_back(hits.txr_ids[i]);
+      result.hit_fire.push_back(hits.fire_idx[i]);
+      if (synth::whp_at_risk(world.txr_class(hits.txr_ids[i]))) {
+        ++result.predicted;
+      } else {
+        ++misses_by_fire[result.season.fires[hits.fire_idx[i]].name];
+      }
+    }
+  }
+  for (const auto& [fire, misses] : misses_by_fire) {
+    result.top_miss_fires.push_back({fire, misses});
+  }
+  std::sort(result.top_miss_fires.begin(), result.top_miss_fires.end(),
+            [](const MissFire& a, const MissFire& b) {
+              return a.misses > b.misses;
+            });
+  for (std::size_t i = 0; i < result.top_miss_fires.size() && i < 2; ++i) {
+    result.misses_in_top2 += result.top_miss_fires[i].misses;
+  }
+  return result;
+}
+
+ExtensionResult run_perimeter_extension(const World& world,
+                                        const ValidationResult& validation,
+                                        double radius_m) {
+  ExtensionResult result;
+  result.radius_m = radius_m;
+
+  // Dilate the very-high class on the WHP grid. The operator is discrete:
+  // a physical radius expands the class by ceil(radius / cell) whole
+  // cells, so it stays meaningful on research grids coarser than the
+  // 270 m USFS product (where 0.5 mi is exactly the paper's 3 cells).
+  const raster::MaskRaster vh_mask = raster::class_mask(
+      world.whp().grid(), static_cast<std::uint8_t>(synth::WhpClass::kVeryHigh));
+  const double cell = world.whp().grid().geom().cell_w;
+  const double effective_m =
+      std::ceil(radius_m / cell) * cell + 0.01 * cell;
+  const raster::MaskRaster vh_ext = raster::dilate_mask(vh_mask, effective_m);
+
+  const auto& proj = world.whp().projection();
+  const auto in_ext = [&](geo::LonLat p) {
+    return vh_ext.sample(proj.forward(p), 0) != 0;
+  };
+
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    const synth::WhpClass cls = world.txr_class(t.id);
+    const bool risk_before = synth::whp_at_risk(cls);
+    if (cls == synth::WhpClass::kVeryHigh) ++result.vh_before;
+    if (risk_before) ++result.at_risk_before;
+    if (in_ext(t.position)) {
+      ++result.vh_after;
+      if (!risk_before) ++result.at_risk_after;  // newly flagged
+    }
+  }
+  result.at_risk_after += result.at_risk_before;
+
+  // Re-validate against the cached 2019 hits.
+  result.in_perimeter = validation.in_perimeter;
+  for (const std::uint32_t id : validation.hit_ids) {
+    const bool before = synth::whp_at_risk(world.txr_class(id));
+    if (before) ++result.predicted_before;
+    if (before || in_ext(world.corpus()[id].position)) {
+      ++result.predicted_after;
+    }
+  }
+  return result;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,72 @@
+// Section 3.4: validate WHP-based risk flags against the (simulated)
+// 2019 fire season, and Section 3.8: the half-mile very-high extension
+// that lifts validation accuracy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+#include "firesim/fire.hpp"
+
+namespace fa::core {
+
+struct MissFire {
+  std::string name;
+  std::size_t misses = 0;  // in-perimeter transceivers not flagged at risk
+};
+
+struct ValidationResult {
+  std::size_t in_perimeter = 0;  // transceivers inside 2019 perimeters
+  std::size_t predicted = 0;     // of those, inside M/H/VH WHP
+  double accuracy() const {
+    return in_perimeter ? static_cast<double>(predicted) / in_perimeter : 0.0;
+  }
+  // Fires ranked by how many unflagged transceivers they contained; the
+  // paper found 288 of 354 misses inside just two LA-edge fires.
+  std::vector<MissFire> top_miss_fires;
+  std::size_t misses_in_top2 = 0;
+  // Accuracy after discarding the two worst fires (the paper's 84%).
+  double accuracy_excluding_top2() const;
+
+  // Retained for the extension study.
+  firesim::FireSeason season;
+  std::vector<std::uint32_t> hit_ids;   // in-perimeter transceiver ids
+  std::vector<std::uint32_t> hit_fire;  // containing fire index
+};
+
+// Simulates the 2019 season and scores the WHP flags against it.
+// `replicas` > 1 pools several independently-seeded season realizations
+// (the paper has exactly one real 2019; replicas stabilize the scaled
+// corpus statistic). hit arrays then hold the union across replicas and
+// `season` holds the last realization.
+ValidationResult run_whp_validation(const World& world, int replicas = 1);
+
+struct ExtensionResult {
+  double radius_m = 0.0;
+  // Transceiver counts before/after dilating the very-high class.
+  std::size_t vh_before = 0;
+  std::size_t vh_after = 0;
+  std::size_t at_risk_before = 0;
+  std::size_t at_risk_after = 0;
+  // Re-validation against the same 2019 season.
+  std::size_t in_perimeter = 0;
+  std::size_t predicted_before = 0;
+  std::size_t predicted_after = 0;
+  double accuracy_before() const {
+    return in_perimeter ? static_cast<double>(predicted_before) / in_perimeter
+                        : 0.0;
+  }
+  double accuracy_after() const {
+    return in_perimeter ? static_cast<double>(predicted_after) / in_perimeter
+                        : 0.0;
+  }
+};
+
+// Dilates the very-high WHP class by `radius_m` (paper: 0.5 mi) and
+// recounts exposure + validation accuracy.
+ExtensionResult run_perimeter_extension(const World& world,
+                                        const ValidationResult& validation,
+                                        double radius_m = 804.672);
+
+}  // namespace fa::core

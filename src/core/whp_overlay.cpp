@@ -1,0 +1,61 @@
+#include "core/whp_overlay.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fa::core {
+
+WhpOverlayResult run_whp_overlay(const World& world) {
+  WhpOverlayResult result;
+  result.states.resize(static_cast<std::size_t>(world.atlas().num_states()));
+  for (std::size_t s = 0; s < result.states.size(); ++s) {
+    result.states[s].state = static_cast<int>(s);
+  }
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    const synth::WhpClass cls = world.txr_class(t.id);
+    ++result.txr_by_class[static_cast<std::size_t>(cls)];
+    if (t.state < 0) continue;
+    StateWhpRow& row = result.states[static_cast<std::size_t>(t.state)];
+    switch (cls) {
+      case synth::WhpClass::kModerate: ++row.moderate; break;
+      case synth::WhpClass::kHigh: ++row.high; break;
+      case synth::WhpClass::kVeryHigh: ++row.very_high; break;
+      default: break;
+    }
+  }
+  for (StateWhpRow& row : result.states) {
+    const double pop_k =
+        world.atlas().states()[static_cast<std::size_t>(row.state)].population /
+        1000.0;
+    if (pop_k <= 0.0) continue;
+    row.per_thousand_m = static_cast<double>(row.moderate) / pop_k;
+    row.per_thousand_h = static_cast<double>(row.high) / pop_k;
+    row.per_thousand_vh = static_cast<double>(row.very_high) / pop_k;
+  }
+  return result;
+}
+
+std::vector<int> WhpOverlayResult::rank_by_at_risk() const {
+  std::vector<int> order(states.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return states[static_cast<std::size_t>(a)].at_risk() >
+           states[static_cast<std::size_t>(b)].at_risk();
+  });
+  return order;
+}
+
+std::vector<int> WhpOverlayResult::rank_by_per_capita() const {
+  std::vector<int> order(states.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    const StateWhpRow& ra = states[static_cast<std::size_t>(a)];
+    const StateWhpRow& rb = states[static_cast<std::size_t>(b)];
+    const double pa = ra.per_thousand_m + ra.per_thousand_h + ra.per_thousand_vh;
+    const double pb = rb.per_thousand_m + rb.per_thousand_h + rb.per_thousand_vh;
+    return pa > pb;
+  });
+  return order;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,39 @@
+// Section 3.3 / Figures 6-9: transceivers per WHP class, overall and by
+// state, in absolute counts and per capita.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/world.hpp"
+
+namespace fa::core {
+
+struct StateWhpRow {
+  int state = -1;
+  std::size_t moderate = 0;
+  std::size_t high = 0;
+  std::size_t very_high = 0;
+  std::size_t at_risk() const { return moderate + high + very_high; }
+  // Per 1000 residents (computed against real state population, so it is
+  // scale-dependent; multiply by corpus_scale for full-corpus rates).
+  double per_thousand_m = 0.0;
+  double per_thousand_h = 0.0;
+  double per_thousand_vh = 0.0;
+};
+
+struct WhpOverlayResult {
+  // Transceiver counts per WHP class (index = WhpClass).
+  std::array<std::size_t, synth::kNumWhpClasses> txr_by_class{};
+  std::vector<StateWhpRow> states;  // one row per state, atlas order
+  std::size_t total_at_risk() const {
+    return txr_by_class[3] + txr_by_class[4] + txr_by_class[5];
+  }
+  // States ordered by descending at-risk count / per-capita rate.
+  std::vector<int> rank_by_at_risk() const;
+  std::vector<int> rank_by_per_capita() const;
+};
+
+WhpOverlayResult run_whp_overlay(const World& world);
+
+}  // namespace fa::core

@@ -1,0 +1,30 @@
+#include "core/world.hpp"
+
+namespace fa::core {
+
+World World::build(const synth::ScenarioConfig& config) {
+  World w;
+  w.config_ = config;
+  w.atlas_ = &synth::UsAtlas::get();
+  w.whp_ = synth::generate_whp(*w.atlas_, config);
+  w.corpus_ = synth::generate_corpus(*w.atlas_, config);
+  w.counties_ = synth::CountyMap::build(*w.atlas_, config);
+
+  const std::size_t n = w.corpus_.size();
+  w.txr_class_.resize(n);
+  w.txr_county_.resize(n);
+  std::vector<geo::Vec2> positions;
+  positions.reserve(n);
+  for (const cellnet::Transceiver& t : w.corpus_.transceivers()) {
+    w.txr_class_[t.id] =
+        static_cast<std::uint8_t>(w.whp_.class_at(t.position));
+    w.txr_county_[t.id] = w.counties_.county_of(t.position);
+    positions.push_back(t.position.as_vec());
+  }
+  w.txr_index_ = index::GridIndex(std::move(positions),
+                                  w.atlas_->conus_bbox().inflated(0.5),
+                                  512, 256);
+  return w;
+}
+
+}  // namespace fa::core

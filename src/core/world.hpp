@@ -1,0 +1,51 @@
+// The analysis world: one bundle holding the synthetic data products the
+// paper overlays (transceiver corpus, WHP surface, county layer) plus the
+// derived caches every analysis reuses (per-transceiver hazard class and
+// a spatial index over transceiver positions).
+#pragma once
+
+#include <memory>
+
+#include "cellnet/corpus.hpp"
+#include "index/grid_index.hpp"
+#include "synth/cells.hpp"
+#include "synth/counties.hpp"
+#include "synth/hazard.hpp"
+#include "synth/scenario.hpp"
+#include "synth/usatlas.hpp"
+
+namespace fa::core {
+
+class World {
+ public:
+  // Generates every layer from `config` (deterministic).
+  static World build(const synth::ScenarioConfig& config);
+
+  const synth::ScenarioConfig& config() const { return config_; }
+  const synth::UsAtlas& atlas() const { return *atlas_; }
+  const synth::WhpModel& whp() const { return whp_; }
+  const cellnet::CellCorpus& corpus() const { return corpus_; }
+  const synth::CountyMap& counties() const { return counties_; }
+
+  // Cached WHP class of each transceiver (index = transceiver id).
+  synth::WhpClass txr_class(std::uint32_t id) const {
+    return static_cast<synth::WhpClass>(txr_class_[id]);
+  }
+  // Cached county of each transceiver (-1 if unresolved).
+  int txr_county(std::uint32_t id) const { return txr_county_[id]; }
+
+  // Lon/lat grid index over all transceiver positions.
+  const index::GridIndex& txr_index() const { return txr_index_; }
+
+ private:
+  synth::ScenarioConfig config_;
+  const synth::UsAtlas* atlas_ = nullptr;
+  synth::WhpModel whp_;
+  cellnet::CellCorpus corpus_;
+  synth::CountyMap counties_;
+  std::vector<std::uint8_t> txr_class_;
+  std::vector<std::int32_t> txr_county_;
+  index::GridIndex txr_index_;
+};
+
+}  // namespace fa::core

@@ -1,0 +1,137 @@
+#include "firesim/dirs.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "firesim/fire.hpp"
+
+namespace fa::firesim {
+
+std::vector<DayOutages> DirsActivation::daily_summary() const {
+  std::map<int, DayOutages> by_day;
+  for (const DirsFiling& filing : filings) {
+    DayOutages& day = by_day[filing.day_index];
+    day.day_index = filing.day_index;
+    if (filing.day_index < static_cast<int>(day_labels.size())) {
+      day.label = day_labels[static_cast<std::size_t>(filing.day_index)];
+    }
+    day.damaged += filing.out_damage;
+    day.power += filing.out_power;
+    day.transport += filing.out_transport;
+  }
+  std::vector<DayOutages> out;
+  out.reserve(by_day.size());
+  for (auto& [_, day] : by_day) out.push_back(std::move(day));
+  return out;
+}
+
+std::vector<std::pair<int, std::size_t>> DirsActivation::worst_counties()
+    const {
+  std::map<int, std::size_t> peak;
+  std::map<std::pair<int, int>, std::size_t> per_county_day;
+  for (const DirsFiling& filing : filings) {
+    per_county_day[{filing.county, filing.day_index}] += filing.sites_out;
+  }
+  for (const auto& [key, total] : per_county_day) {
+    peak[key.first] = std::max(peak[key.first], total);
+  }
+  std::vector<std::pair<int, std::size_t>> out(peak.begin(), peak.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::map<cellnet::Provider, std::size_t>
+DirsActivation::per_provider_site_days() const {
+  std::map<cellnet::Provider, std::size_t> out;
+  for (const DirsFiling& filing : filings) {
+    out[filing.provider] += filing.sites_out;
+  }
+  return out;
+}
+
+DirsActivation run_dirs_activation(const cellnet::CellCorpus& corpus,
+                                   const synth::WhpModel& whp,
+                                   const synth::UsAtlas& atlas,
+                                   const synth::CountyMap& counties,
+                                   std::uint64_t seed,
+                                   const OutageSimConfig& outage_config,
+                                   const DirsConfig& dirs_config) {
+  DirsActivation activation;
+  activation.day_labels = outage_config.day_labels;
+
+  // California fleet with densified ids so sites can look attributes up.
+  const int ca = atlas.state_index("CA");
+  std::vector<cellnet::Transceiver> ca_txr;
+  for (const auto& t : corpus.transceivers()) {
+    if (t.state != ca) continue;
+    cellnet::Transceiver copy = t;
+    copy.id = static_cast<std::uint32_t>(ca_txr.size());
+    ca_txr.push_back(copy);
+  }
+  const cellnet::CellCorpus ca_corpus{ca_txr};
+  const std::vector<cellnet::CellSite> sites = ca_corpus.infer_sites(120.0);
+
+  // Per-site provider (the first radio's tenant) and county.
+  const cellnet::ProviderRegistry registry;
+  std::vector<cellnet::Provider> provider_of(sites.size());
+  std::vector<int> county_of(sites.size(), -1);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const cellnet::Transceiver& t = ca_txr[sites[i].first_transceiver];
+    provider_of[i] = registry.resolve(t.mcc, t.mnc);
+    county_of[i] = counties.county_of(sites[i].position);
+  }
+
+  // Same four named 2019 fires as the case study.
+  FireSimulator fire_sim(whp, atlas, seed ^ 0x2019CA11ULL);
+  FirePerimeter kincade = fire_sim.spread_named_fire(
+      "Kincade (sim)", {-122.78, 38.75}, 77000.0, 2019, 0);
+  kincade.start_day = 0;
+  kincade.end_day = 7;
+  FirePerimeter saddle = fire_sim.spread_named_fire(
+      "Saddle Ridge (sim)", {-118.49, 34.33}, 8800.0, 2019, 1);
+  saddle.start_day = 0;
+  saddle.end_day = 6;
+
+  OutageSimulator sim(whp, seed);
+  std::vector<std::vector<OutageCause>> per_site;
+  sim.simulate(sites, {std::move(kincade), std::move(saddle)}, outage_config,
+               nullptr, &per_site);
+
+  // Filing generation: provider x county x day, with the voluntary gap.
+  synth::Rng filing_rng(seed ^ 0xD165F111ULL);
+  std::map<std::pair<int, int>, std::vector<std::size_t>> group_sites;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (county_of[i] < 0) continue;
+    group_sites[{static_cast<int>(provider_of[i]), county_of[i]}].push_back(i);
+  }
+  std::set<int> counties_seen;
+  std::set<int> providers_seen;
+  for (std::size_t day = 0; day < per_site.size(); ++day) {
+    for (const auto& [key, members] : group_sites) {
+      if (!filing_rng.chance(dirs_config.filing_rate)) continue;  // no filing
+      DirsFiling filing;
+      filing.day_index = static_cast<int>(day);
+      filing.provider = static_cast<cellnet::Provider>(key.first);
+      filing.county = key.second;
+      filing.sites_served = members.size();
+      for (const std::size_t site : members) {
+        switch (per_site[day][site]) {
+          case OutageCause::kDamage: ++filing.out_damage; break;
+          case OutageCause::kPower: ++filing.out_power; break;
+          case OutageCause::kTransport: ++filing.out_transport; break;
+          case OutageCause::kNone: continue;
+        }
+        ++filing.sites_out;
+      }
+      counties_seen.insert(filing.county);
+      providers_seen.insert(key.first);
+      activation.filings.push_back(filing);
+    }
+  }
+  activation.counties_covered = counties_seen.size();
+  activation.providers_reporting = providers_seen.size();
+  return activation;
+}
+
+}  // namespace fa::firesim

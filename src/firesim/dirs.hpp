@@ -1,0 +1,65 @@
+// FCC Disaster Information Reporting System (DIRS) layer.
+//
+// DIRS (Section 3.2) is a voluntary system where providers self-report
+// site status per county during an activation. The outage simulator
+// produces ground truth; this layer turns it into the filings the FCC
+// actually receives — per provider, per county, per day — including the
+// voluntary-reporting gap (not every provider files every day), and
+// aggregates them back the way the FCC's public summaries do.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cellnet/corpus.hpp"
+#include "firesim/outage.hpp"
+#include "synth/counties.hpp"
+#include "synth/rng.hpp"
+
+namespace fa::firesim {
+
+// One provider's filing for one county on one day.
+struct DirsFiling {
+  int day_index = 0;
+  cellnet::Provider provider{};
+  int county = -1;               // CountyMap index
+  std::size_t sites_served = 0;  // provider's sites in the county
+  std::size_t sites_out = 0;
+  std::size_t out_damage = 0;
+  std::size_t out_power = 0;
+  std::size_t out_transport = 0;
+};
+
+struct DirsActivation {
+  std::vector<DirsFiling> filings;  // all days, all providers, all counties
+  std::vector<std::string> day_labels;
+  std::size_t counties_covered = 0;
+  std::size_t providers_reporting = 0;
+
+  // FCC-style daily roll-up across filings.
+  std::vector<DayOutages> daily_summary() const;
+  // Counties ranked by peak outage count.
+  std::vector<std::pair<int, std::size_t>> worst_counties() const;
+  // Per-provider outage totals (site-days).
+  std::map<cellnet::Provider, std::size_t> per_provider_site_days() const;
+};
+
+struct DirsConfig {
+  // Probability a provider files for a given county-day (DIRS is
+  // voluntary; coverage was high but not complete in 2019).
+  double filing_rate = 0.93;
+};
+
+// Runs the 2019 California activation end to end: outage simulation over
+// the corpus' California sites, per-site cause attribution, then filing
+// generation against `counties`.
+DirsActivation run_dirs_activation(const cellnet::CellCorpus& corpus,
+                                   const synth::WhpModel& whp,
+                                   const synth::UsAtlas& atlas,
+                                   const synth::CountyMap& counties,
+                                   std::uint64_t seed,
+                                   const OutageSimConfig& outage_config = {},
+                                   const DirsConfig& dirs_config = {});
+
+}  // namespace fa::firesim

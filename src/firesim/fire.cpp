@@ -1,0 +1,400 @@
+#include "firesim/fire.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "geo/algorithms.hpp"
+#include "geo/geodesy.hpp"
+#include "raster/raster.hpp"
+#include "raster/morphology.hpp"
+#include "raster/regions.hpp"
+
+namespace fa::firesim {
+
+double fuel_factor(synth::WhpClass cls) {
+  switch (cls) {
+    case synth::WhpClass::kNonBurnable: return 0.03;  // ember jumps only
+    case synth::WhpClass::kVeryLow: return 0.38;
+    case synth::WhpClass::kLow: return 0.58;
+    case synth::WhpClass::kModerate: return 0.78;
+    case synth::WhpClass::kHigh: return 0.92;
+    case synth::WhpClass::kVeryHigh: return 1.0;
+  }
+  return 0.0;
+}
+
+namespace {
+
+// Relative ignition likelihood per WHP class (lightning + human starts
+// concentrate where fuels are; urban cores effectively never ignite).
+double ignition_weight(synth::WhpClass cls) {
+  switch (cls) {
+    case synth::WhpClass::kNonBurnable: return 0.0;
+    case synth::WhpClass::kVeryLow: return 0.4;
+    case synth::WhpClass::kLow: return 1.2;
+    case synth::WhpClass::kModerate: return 4.0;
+    case synth::WhpClass::kHigh: return 9.0;
+    case synth::WhpClass::kVeryHigh: return 16.0;
+  }
+  return 0.0;
+}
+
+constexpr double kAcresPerCell270 = 18.01;  // 270 m x 270 m in acres
+
+}  // namespace
+
+FireSimulator::FireSimulator(const synth::WhpModel& whp,
+                             const synth::UsAtlas& atlas, std::uint64_t seed)
+    : whp_(whp), atlas_(atlas), rng_(seed ^ 0xF14E5EEDULL) {
+  // Build the ignition CDF once over all burnable cells. Hazard class
+  // sets the base weight; remoteness scales it down near metros, where
+  // ignitions are suppressed quickly (most large fires start in open
+  // wildland, which is also where cell infrastructure is sparsest).
+  const auto& grid = whp_.grid();
+  const raster::FloatRaster urban_dist =
+      raster::distance_transform(whp_.urban_mask());
+  ignition_cdf_.reserve(grid.size() / 4);
+  ignition_cells_.reserve(grid.size() / 4);
+  double acc = 0.0;
+  for (std::uint32_t i = 0; i < grid.data().size(); ++i) {
+    double w = ignition_weight(static_cast<synth::WhpClass>(grid.data()[i]));
+    if (w <= 0.0) continue;
+    const double remoteness =
+        std::clamp(static_cast<double>(urban_dist.data()[i]) / 60000.0,
+                   0.03, 1.0);
+    w *= remoteness;
+    acc += w;
+    ignition_cdf_.push_back(acc);
+    ignition_cells_.push_back(i);
+  }
+}
+
+geo::LonLat FireSimulator::sample_ignition(const FireSimConfig& config) {
+  // Occasionally ignite at the wildland-urban interface of a fire-prone
+  // metro — the SoCal pattern behind the paper's high-impact seasons.
+  if (rng_.chance(config.wui_ignition_frac)) {
+    const auto cities = atlas_.cities();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const synth::CityInfo& city = cities[rng_.below(cities.size())];
+      const int s = atlas_.state_index(city.state_abbr);
+      if (s < 0 ||
+          atlas_.states()[static_cast<std::size_t>(s)].fire_propensity < 0.55) {
+        continue;
+      }
+      // Just outside the urban core.
+      const double radius_m =
+          (3.0 + 4.4 * std::sqrt(city.metro_population / 1e6)) * 1000.0;
+      const geo::LonLat p =
+          geo::destination(city.position, rng_.uniform(0.0, 360.0),
+                           radius_m * rng_.uniform(1.6, 3.2));
+      if (whp_.class_at(p) != synth::WhpClass::kNonBurnable) return p;
+    }
+  }
+  // Hazard-weighted draw over burnable cells.
+  const double target = rng_.uniform() * ignition_cdf_.back();
+  const auto it =
+      std::lower_bound(ignition_cdf_.begin(), ignition_cdf_.end(), target);
+  const std::size_t k =
+      static_cast<std::size_t>(std::distance(ignition_cdf_.begin(), it));
+  const std::uint32_t cell = ignition_cells_[k];
+  const auto& geom = whp_.grid().geom();
+  const int c = static_cast<int>(cell % static_cast<std::uint32_t>(geom.cols));
+  const int r = static_cast<int>(cell / static_cast<std::uint32_t>(geom.cols));
+  // Jitter within the cell so repeated draws do not collide exactly.
+  const geo::Vec2 xy{geom.origin_x + (c + rng_.uniform()) * geom.cell_w,
+                     geom.origin_y + (r + rng_.uniform()) * geom.cell_h};
+  return whp_.projection().inverse(xy);
+}
+
+geo::LonLat FireSimulator::nudge_to_burnable(geo::LonLat p) {
+  if (whp_.class_at(p) != synth::WhpClass::kNonBurnable) return p;
+  for (double radius_m = 2000.0; radius_m < 80000.0; radius_m *= 1.35) {
+    for (int k = 0; k < 10; ++k) {
+      const geo::LonLat cand =
+          geo::destination(p, rng_.uniform(0.0, 360.0), radius_m);
+      if (whp_.class_at(cand) != synth::WhpClass::kNonBurnable) return cand;
+    }
+  }
+  return p;
+}
+
+FirePerimeter FireSimulator::spread_named_fire(std::string name,
+                                               geo::LonLat ignition,
+                                               double acres, int year,
+                                               std::uint32_t fire_id,
+                                               const FireSimConfig& config) {
+  FirePerimeter fire =
+      spread_fire(nudge_to_burnable(ignition), acres, year, fire_id, config);
+  fire.name = std::move(name);
+  return fire;
+}
+
+FirePerimeter FireSimulator::spread_fire(geo::LonLat ignition,
+                                         double target_acres, int year,
+                                         std::uint32_t fire_id,
+                                         const FireSimConfig& config) {
+  FirePerimeter fire;
+  fire.id = fire_id;
+  fire.year = year;
+  fire.ignition = ignition;
+  fire.name = "SIM-" + std::to_string(year) + "-" + std::to_string(fire_id);
+
+  const double cell_m = config.local_cell_m;
+  const double acres_per_cell =
+      kAcresPerCell270 * (cell_m / 270.0) * (cell_m / 270.0);
+  const auto target_cells = static_cast<std::size_t>(
+      std::max(1.0, target_acres / acres_per_cell));
+  // Local grid sized to hold the fire with margin.
+  const int radius_cells = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(target_cells)) * 1.8)) + 4;
+  const int n = std::min(config.max_local_cells, 2 * radius_cells + 1);
+
+  raster::GridGeometry geom;
+  geom.origin_x = -0.5 * n * cell_m;
+  geom.origin_y = -0.5 * n * cell_m;
+  geom.cell_w = cell_m;
+  geom.cell_h = cell_m;
+  geom.cols = n;
+  geom.rows = n;
+  raster::MaskRaster burned(geom, 0);
+
+  const geo::LocalEquirect local(ignition);
+  // Wind: one prevailing direction per fire, elongating the burn.
+  const double wind_dir = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const double wind_strength = rng_.uniform(0.35, 0.85);
+
+  const auto fuel_at = [&](int c, int r) {
+    const geo::Vec2 xy = geom.cell_center(c, r);
+    const geo::LonLat ll = local.inverse(xy);
+    return fuel_factor(whp_.class_at(ll));
+  };
+
+  // Stochastic frontier spread.
+  std::deque<std::pair<int, int>> frontier;
+  const int mid = n / 2;
+  burned.at(mid, mid) = 1;
+  frontier.push_back({mid, mid});
+  std::size_t burned_cells = 1;
+
+  constexpr int dc[] = {1, -1, 0, 0, 1, 1, -1, -1};
+  constexpr int dr[] = {0, 0, 1, -1, 1, -1, 1, -1};
+  const double diag_penalty[] = {1, 1, 1, 1, 0.707, 0.707, 0.707, 0.707};
+
+  while (!frontier.empty() && burned_cells < target_cells) {
+    // Random frontier pick keeps the shape irregular.
+    const std::size_t pick = rng_.below(frontier.size());
+    std::swap(frontier[pick], frontier.back());
+    const auto [c, r] = frontier.back();
+    frontier.pop_back();
+
+    bool unburned_neighbor = false;
+    for (int k = 0; k < 8; ++k) {
+      const int nc = c + dc[k];
+      const int nr = r + dr[k];
+      if (!geom.in_bounds(nc, nr) || burned.at(nc, nr) != 0) continue;
+      const double angle = std::atan2(static_cast<double>(dr[k]),
+                                      static_cast<double>(dc[k]));
+      const double wind =
+          1.0 + wind_strength * std::cos(angle - wind_dir);
+      const double p = 0.38 * fuel_at(nc, nr) * wind * diag_penalty[k];
+      if (rng_.chance(std::min(0.95, p))) {
+        burned.at(nc, nr) = 1;
+        frontier.push_back({nc, nr});
+        if (++burned_cells >= target_cells) break;
+      } else {
+        unburned_neighbor = true;
+      }
+    }
+    // A cell that failed to spread gets only a limited number of further
+    // chances (re-push with decaying probability); without this cap,
+    // fires grind through non-burnable terrain instead of being
+    // contained — the natural-containment behaviour Section 2.1 of the
+    // paper describes.
+    if (unburned_neighbor && rng_.chance(0.6)) frontier.push_back({c, r});
+  }
+
+  fire.acres = static_cast<double>(burned_cells) * acres_per_cell;
+
+  // Perimeter extraction: largest burned region, simplified, to lon/lat.
+  std::vector<geo::Polygon> regions = raster::extract_regions(burned);
+  std::vector<geo::Polygon> parts;
+  for (geo::Polygon& region : regions) {
+    geo::Ring outer =
+        geo::simplify_ring(region.outer(), config.simplify_tol_m);
+    std::vector<geo::Vec2> ll_pts;
+    ll_pts.reserve(outer.size());
+    for (const geo::Vec2& v : outer.points()) {
+      ll_pts.push_back(local.inverse(v).as_vec());
+    }
+    std::vector<geo::Ring> holes;
+    for (const geo::Ring& hole : region.holes()) {
+      const geo::Ring simp = geo::simplify_ring(hole, config.simplify_tol_m);
+      std::vector<geo::Vec2> hole_pts;
+      hole_pts.reserve(simp.size());
+      for (const geo::Vec2& v : simp.points()) {
+        hole_pts.push_back(local.inverse(v).as_vec());
+      }
+      holes.emplace_back(std::move(hole_pts));
+    }
+    parts.emplace_back(geo::Ring{std::move(ll_pts)}, std::move(holes));
+  }
+  fire.perimeter = geo::MultiPolygon{std::move(parts)};
+
+  // Season timing: peak in late July; duration grows with size.
+  fire.start_day = std::clamp(
+      static_cast<int>(rng_.normal(210.0, 45.0)), 32, 340);
+  const int duration =
+      2 + static_cast<int>(std::pow(fire.acres, 0.33) * rng_.uniform(0.4, 1.2));
+  fire.end_day = std::min(364, fire.start_day + duration);
+  return fire;
+}
+
+namespace {
+
+// Logistic daily-growth fractions: slow establishment, driven middle,
+// containment tail; normalized to sum to 1 over `days`.
+std::vector<double> growth_profile(int days) {
+  std::vector<double> f(static_cast<std::size_t>(std::max(1, days)));
+  double sum = 0.0;
+  for (std::size_t d = 0; d < f.size(); ++d) {
+    const double t = (static_cast<double>(d) + 0.5) / f.size();  // (0,1)
+    f[d] = std::exp(-8.0 * (t - 0.45) * (t - 0.45));  // bell around day ~45%
+    sum += f[d];
+  }
+  for (double& v : f) v /= sum;
+  return f;
+}
+
+}  // namespace
+
+FireSimulator::FireProgression FireSimulator::spread_fire_staged(
+    geo::LonLat ignition, double target_acres, int days, int year,
+    std::uint32_t fire_id, const FireSimConfig& config) {
+  FireProgression out;
+  const double cell_m = config.local_cell_m;
+  const double acres_per_cell =
+      kAcresPerCell270 * (cell_m / 270.0) * (cell_m / 270.0);
+  const auto target_cells = static_cast<std::size_t>(
+      std::max(1.0, target_acres / acres_per_cell));
+  const int radius_cells = static_cast<int>(
+      std::ceil(std::sqrt(static_cast<double>(target_cells)) * 1.8)) + 4;
+  const int n = std::min(config.max_local_cells, 2 * radius_cells + 1);
+
+  raster::GridGeometry geom;
+  geom.origin_x = -0.5 * n * cell_m;
+  geom.origin_y = -0.5 * n * cell_m;
+  geom.cell_w = cell_m;
+  geom.cell_h = cell_m;
+  geom.cols = n;
+  geom.rows = n;
+  raster::MaskRaster burned(geom, 0);
+
+  const geo::LocalEquirect local(ignition);
+  const double wind_dir = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const double wind_strength = rng_.uniform(0.35, 0.85);
+  const auto fuel_at = [&](int c, int r) {
+    return fuel_factor(whp_.class_at(local.inverse(geom.cell_center(c, r))));
+  };
+
+  std::deque<std::pair<int, int>> frontier;
+  const int mid = n / 2;
+  burned.at(mid, mid) = 1;
+  frontier.push_back({mid, mid});
+  std::size_t burned_cells = 1;
+
+  constexpr int dc[] = {1, -1, 0, 0, 1, 1, -1, -1};
+  constexpr int dr[] = {0, 0, 1, -1, 1, -1, 1, -1};
+  const double diag_penalty[] = {1, 1, 1, 1, 0.707, 0.707, 0.707, 0.707};
+
+  const std::vector<double> profile = growth_profile(days);
+  const auto extract_lonlat = [&](const raster::MaskRaster& mask) {
+    geo::MultiPolygon mp;
+    for (geo::Polygon& region : raster::extract_regions(mask)) {
+      geo::Ring outer =
+          geo::simplify_ring(region.outer(), config.simplify_tol_m);
+      std::vector<geo::Vec2> pts;
+      pts.reserve(outer.size());
+      for (const geo::Vec2& v : outer.points()) {
+        pts.push_back(local.inverse(v).as_vec());
+      }
+      mp.push_back(geo::Polygon{geo::Ring{std::move(pts)}});
+    }
+    return mp;
+  };
+
+  std::size_t day_target = 0;
+  for (int day = 0; day < days; ++day) {
+    day_target += static_cast<std::size_t>(
+        profile[static_cast<std::size_t>(day)] *
+        static_cast<double>(target_cells));
+    if (day == days - 1) day_target = target_cells;
+    while (!frontier.empty() && burned_cells < day_target) {
+      const std::size_t pick = rng_.below(frontier.size());
+      std::swap(frontier[pick], frontier.back());
+      const auto [c, r] = frontier.back();
+      frontier.pop_back();
+      bool unburned_neighbor = false;
+      for (int k = 0; k < 8; ++k) {
+        const int nc = c + dc[k];
+        const int nr = r + dr[k];
+        if (!geom.in_bounds(nc, nr) || burned.at(nc, nr) != 0) continue;
+        const double angle = std::atan2(static_cast<double>(dr[k]),
+                                        static_cast<double>(dc[k]));
+        const double wind = 1.0 + wind_strength * std::cos(angle - wind_dir);
+        const double p = 0.38 * fuel_at(nc, nr) * wind * diag_penalty[k];
+        if (rng_.chance(std::min(0.95, p))) {
+          burned.at(nc, nr) = 1;
+          frontier.push_back({nc, nr});
+          if (++burned_cells >= day_target) break;
+        } else {
+          unburned_neighbor = true;
+        }
+      }
+      if (unburned_neighbor && rng_.chance(0.6)) frontier.push_back({c, r});
+    }
+    out.daily.push_back(extract_lonlat(burned));
+    out.daily_acres.push_back(static_cast<double>(burned_cells) *
+                              acres_per_cell);
+  }
+
+  out.final_perimeter.id = fire_id;
+  out.final_perimeter.year = year;
+  out.final_perimeter.ignition = ignition;
+  out.final_perimeter.name =
+      "SIM-" + std::to_string(year) + "-" + std::to_string(fire_id);
+  out.final_perimeter.acres = out.daily_acres.back();
+  out.final_perimeter.perimeter = out.daily.back();
+  out.final_perimeter.start_day = 1;
+  out.final_perimeter.end_day = days;
+  return out;
+}
+
+FireSeason FireSimulator::simulate_year(const synth::FireYearStats& target,
+                                        const FireSimConfig& config) {
+  FireSeason season;
+  season.year = target.year;
+  season.total_ignitions = target.fires;
+  season.total_acres = target.acres_millions * 1e6;
+
+  // Large fires carry ~97% of burned area; draw sizes from a bounded
+  // Pareto until the budget is spent.
+  const double budget = season.total_acres * 0.97;
+  std::uint32_t id = 0;
+  // The expected fire count is a few hundred; the cap only guards
+  // against pathological configurations (e.g. a fuel-free hazard grid).
+  while (season.simulated_acres < budget && id < 20000) {
+    const double want = rng_.pareto(config.min_sim_acres,
+                                    config.max_fire_acres, config.size_alpha);
+    const geo::LonLat ignition = sample_ignition(config);
+    FirePerimeter fire =
+        spread_fire(ignition, std::min(want, budget - season.simulated_acres),
+                    target.year, id++, config);
+    if (fire.acres <= 0.0 || fire.perimeter.empty()) continue;
+    season.simulated_acres += fire.acres;
+    season.fires.push_back(std::move(fire));
+  }
+  return season;
+}
+
+}  // namespace fa::firesim

@@ -1,0 +1,110 @@
+// Wildfire season simulator.
+//
+// Stands in for the GeoMAC historical perimeter record: each season is
+// grown on the synthetic WHP fuel surface by a stochastic cellular-
+// automaton spread model, so perimeters have realistic shapes and the
+// *partial* spatial correlation with WHP classes that the paper's
+// Section 3.4 validation measures. Seasons are calibrated to the paper's
+// Table 1 ignition counts and burned acreage; transceiver overlap counts
+// are never fed in — they must emerge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/polygon.hpp"
+#include "synth/firecalib.hpp"
+#include "synth/hazard.hpp"
+#include "synth/rng.hpp"
+#include "synth/usatlas.hpp"
+
+namespace fa::firesim {
+
+struct FirePerimeter {
+  std::uint32_t id = 0;
+  std::string name;
+  int year = 0;
+  int start_day = 0;  // day of year
+  int end_day = 0;
+  geo::LonLat ignition;
+  geo::MultiPolygon perimeter;  // lon/lat
+  double acres = 0.0;
+};
+
+struct FireSeason {
+  int year = 0;
+  // Spatially-simulated large fires (>= FireSimConfig::min_sim_acres).
+  // Small fires carry ~3% of burned area and essentially never contain
+  // cell infrastructure; they are accounted for in the totals only.
+  std::vector<FirePerimeter> fires;
+  double simulated_acres = 0.0;
+  int total_ignitions = 0;      // includes unsimulated small fires
+  double total_acres = 0.0;     // calibration target (Table 1)
+};
+
+struct FireSimConfig {
+  double min_sim_acres = 300.0;   // smallest spatially-simulated fire
+  double max_fire_acres = 6e5;    // upper bound of the size distribution
+  double size_alpha = 0.62;       // bounded-Pareto shape of fire sizes
+  double local_cell_m = 270.0;    // spread-grid resolution
+  int max_local_cells = 360;      // local grid dimension cap (cells)
+  double wui_ignition_frac = 0.007; // share of fires igniting at city edges
+  double simplify_tol_m = 135.0;  // perimeter simplification tolerance
+};
+
+class FireSimulator {
+ public:
+  FireSimulator(const synth::WhpModel& whp, const synth::UsAtlas& atlas,
+                std::uint64_t seed);
+
+  // One season calibrated to `target` (fires + acreage).
+  FireSeason simulate_year(const synth::FireYearStats& target,
+                           const FireSimConfig& config = {});
+
+  // Grows a single fire from `ignition` toward `target_acres`; may stop
+  // short when fuel runs out. Exposed for unit tests.
+  FirePerimeter spread_fire(geo::LonLat ignition, double target_acres,
+                            int year, std::uint32_t fire_id,
+                            const FireSimConfig& config);
+
+  // Draws an ignition point from the hazard-weighted distribution.
+  geo::LonLat sample_ignition(const FireSimConfig& config);
+
+  // Moves `p` to the nearest burnable fuel (searching outward); used to
+  // anchor real named fires whose ignition points fall inside the
+  // synthetic urban cores.
+  geo::LonLat nudge_to_burnable(geo::LonLat p);
+
+  // Named historical fire: nudged ignition + spread to the recorded size.
+  FirePerimeter spread_named_fire(std::string name, geo::LonLat ignition,
+                                  double acres, int year,
+                                  std::uint32_t fire_id,
+                                  const FireSimConfig& config = {});
+
+  // Multi-day progression: the same spread, checkpointed into daily
+  // cumulative perimeters (what GeoMAC's real-time collection records).
+  // Daily growth follows a logistic profile — slow establishment,
+  // wind-driven middle days, containment tail.
+  struct FireProgression {
+    FirePerimeter final_perimeter;
+    std::vector<geo::MultiPolygon> daily;  // cumulative, one per day
+    std::vector<double> daily_acres;       // cumulative burned area
+  };
+  FireProgression spread_fire_staged(geo::LonLat ignition,
+                                     double target_acres, int days, int year,
+                                     std::uint32_t fire_id,
+                                     const FireSimConfig& config = {});
+
+ private:
+  const synth::WhpModel& whp_;
+  const synth::UsAtlas& atlas_;
+  synth::Rng rng_;
+  // Cumulative hazard weights over WHP cells for ignition sampling.
+  std::vector<double> ignition_cdf_;
+  std::vector<std::uint32_t> ignition_cells_;
+};
+
+// Per-WHP-class relative fuel availability used by the spread model.
+double fuel_factor(synth::WhpClass cls);
+
+}  // namespace fa::firesim

@@ -1,0 +1,241 @@
+#include "firesim/outage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesy.hpp"
+
+namespace fa::firesim {
+
+std::string_view outage_cause_name(OutageCause c) {
+  switch (c) {
+    case OutageCause::kNone: return "none";
+    case OutageCause::kDamage: return "damage";
+    case OutageCause::kPower: return "power";
+    case OutageCause::kTransport: return "transport";
+  }
+  return "?";
+}
+
+int DirsReport::peak_day() const {
+  int best = 0;
+  std::size_t best_total = 0;
+  for (const DayOutages& d : days) {
+    if (d.total() > best_total) {
+      best_total = d.total();
+      best = d.day_index;
+    }
+  }
+  return best;
+}
+
+OutageSimulator::OutageSimulator(const synth::WhpModel& whp,
+                                 std::uint64_t seed)
+    : whp_(whp), rng_(seed ^ 0x0D1A5BEEULL) {}
+
+DirsReport OutageSimulator::simulate(
+    const std::vector<cellnet::CellSite>& sites,
+    const std::vector<FirePerimeter>& fires, const OutageSimConfig& config,
+    const FeederPlan* plan, std::vector<std::vector<OutageCause>>* per_site) {
+  DirsReport report;
+  report.sites_monitored = sites.size();
+  const int num_days = static_cast<int>(config.wind_severity.size());
+
+  // --- Feeder assignment ---------------------------------------------------
+  // With no external plan, sites are grouped onto feeders in index order
+  // after a spatial sort, so feeder neighbourhoods are geographically
+  // coherent. Each feeder carries a fixed de-energization risk weighted
+  // by the hazard class around it: utilities shut off circuits running
+  // through high-fire-threat terrain. A powergrid::GridModel plan
+  // replaces all of this with real feeder topology.
+  std::size_t feeders = 0;
+  std::vector<double> feeder_risk;
+  std::vector<std::uint32_t> feeder_of;
+  std::vector<double> feeder_hardening;
+  std::vector<std::uint8_t> feeder_exempt;
+  if (plan != nullptr) {
+    feeder_of = plan->feeder_of;
+    feeder_risk = plan->risk;
+    feeders = feeder_risk.size();
+    feeder_hardening.assign(feeders, 1.0);
+    feeder_exempt.assign(feeders, 0);
+    for (std::size_t f = 0; f < feeders && f < plan->hardened.size(); ++f) {
+      feeder_exempt[f] = plan->hardened[f];
+    }
+  } else {
+    std::vector<std::uint32_t> order(sites.size());
+    for (std::uint32_t i = 0; i < sites.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const auto& pa = sites[a].position;
+      const auto& pb = sites[b].position;
+      // Morton-ish interleave on a coarse lattice keeps neighbours together.
+      const auto qa = std::pair{static_cast<int>(pa.lon * 8), static_cast<int>(pa.lat * 8)};
+      const auto qb = std::pair{static_cast<int>(pb.lon * 8), static_cast<int>(pb.lat * 8)};
+      return qa != qb ? qa < qb : a < b;
+    });
+
+    feeders = (sites.size() + config.sites_per_feeder - 1) /
+              std::max(1, config.sites_per_feeder);
+    feeder_risk.assign(feeders, 0.0);
+    feeder_of.assign(sites.size(), 0);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t f = k / config.sites_per_feeder;
+      feeder_of[order[k]] = static_cast<std::uint32_t>(f);
+      const synth::WhpClass cls = whp_.class_at(sites[order[k]].position);
+      feeder_risk[f] = std::max(feeder_risk[f], fuel_factor(cls));
+    }
+    // Independent per-feeder susceptibility (some circuits are hardened).
+    feeder_hardening.assign(feeders, 1.0);
+    for (double& h : feeder_hardening) h = rng_.uniform(0.4, 1.0);
+    feeder_exempt.assign(feeders, 0);
+  }
+
+  // --- Per-site state ------------------------------------------------------
+  // remaining repair days when damaged; 0 = healthy.
+  std::vector<double> damage_left(sites.size(), 0.0);
+  std::vector<std::uint8_t> transport_out(sites.size(), 0);
+  // IAB equipage is a fixed per-site property of the scenario.
+  std::vector<std::uint8_t> has_iab(sites.size(), 0);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    has_iab[i] = rng_.chance(config.iab_fraction) ? 1 : 0;
+  }
+
+  std::vector<std::uint8_t> feeder_off(feeders, 0);
+  if (per_site != nullptr) {
+    per_site->assign(static_cast<std::size_t>(num_days),
+                     std::vector<OutageCause>(sites.size(), OutageCause::kNone));
+  }
+
+  for (int day = 0; day < num_days; ++day) {
+    DayOutages out;
+    out.day_index = day;
+    out.label = day < static_cast<int>(config.day_labels.size())
+                    ? config.day_labels[static_cast<std::size_t>(day)]
+                    : "day " + std::to_string(day);
+    const double severity = config.wind_severity[static_cast<std::size_t>(day)];
+
+    // Feeder de-energization is persistent: once shut off, a circuit
+    // stays dark until the wind event subsides and crews re-inspect the
+    // line (the multi-day outages Section 3.2 describes).
+    for (std::size_t f = 0; f < feeders; ++f) {
+      if (feeder_off[f] == 0) {
+        if (feeder_exempt[f] != 0 && severity < 0.9) continue;
+        const double p = config.feeder_psps_base * severity * feeder_risk[f] *
+                         feeder_hardening[f] * 2.0;
+        if (rng_.chance(std::min(0.9, p))) feeder_off[f] = 1;
+      } else if (severity < 0.45 && rng_.chance(0.55)) {
+        feeder_off[f] = 0;  // restored after inspection
+      }
+    }
+
+    const auto record = [&](std::size_t site, OutageCause cause) {
+      if (per_site != nullptr) {
+        (*per_site)[static_cast<std::size_t>(day)][site] = cause;
+      }
+    };
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      // Damage persists across days until repaired.
+      if (damage_left[i] > 0.0) {
+        damage_left[i] -= 1.0;
+        ++out.damaged;
+        record(i, OutageCause::kDamage);
+        continue;
+      }
+      // New damage: site inside an active fire perimeter today.
+      bool in_fire = false;
+      for (const FirePerimeter& fire : fires) {
+        if (day >= fire.start_day && day <= fire.end_day &&
+            fire.perimeter.contains(sites[i].position.as_vec())) {
+          in_fire = true;
+          break;
+        }
+      }
+      if (in_fire && rng_.chance(config.damage_prob)) {
+        damage_left[i] =
+            rng_.uniform(config.repair_days_min, config.repair_days_max);
+        ++out.damaged;
+        record(i, OutageCause::kDamage);
+        continue;
+      }
+
+      // Power: feeder off and battery cannot bridge a full day.
+      if (feeder_off[feeder_of[i]] != 0) {
+        const double battery =
+            config.battery_hours * rng_.uniform(0.5, 1.5);
+        if (battery < 24.0) {
+          ++out.power;
+          if (!in_fire) ++out.power_outside_fire;
+          record(i, OutageCause::kPower);
+          continue;
+        }
+      }
+
+      // Backhaul: cuts appear with wind and linger a day or two. A
+      // powered IAB site rides out a fiber cut on wireless backhaul.
+      if (transport_out[i] != 0) {
+        transport_out[i] = rng_.chance(0.5) ? 1 : 0;
+        if (transport_out[i] != 0 && has_iab[i] == 0) {
+          ++out.transport;
+          record(i, OutageCause::kTransport);
+          continue;
+        }
+      } else if (in_fire || rng_.chance(config.transport_base * severity)) {
+        transport_out[i] = 1;
+        if (has_iab[i] == 0) {
+          ++out.transport;
+          record(i, OutageCause::kTransport);
+          continue;
+        }
+      }
+    }
+    report.days.push_back(std::move(out));
+  }
+  return report;
+}
+
+DirsReport simulate_california_2019(const cellnet::CellCorpus& corpus,
+                                    const synth::WhpModel& whp,
+                                    const synth::UsAtlas& atlas,
+                                    std::uint64_t seed,
+                                    const OutageSimConfig& config) {
+  // Affected region: California (the DIRS activation covered 37 CA
+  // counties; our corpus filter uses the whole state).
+  const int ca = atlas.state_index("CA");
+  std::vector<cellnet::Transceiver> ca_txr;
+  for (const auto& t : corpus.transceivers()) {
+    if (t.state == ca) ca_txr.push_back(t);
+  }
+  const cellnet::CellCorpus ca_corpus{std::move(ca_txr)};
+  std::vector<cellnet::CellSite> sites = ca_corpus.infer_sites(120.0);
+
+  // Kincade analog: 77,000 acres north of the Bay Area, burning the whole
+  // window. Getty analog: 745 acres at the LA urban edge, days 3..7.
+  FireSimulator fire_sim(whp, atlas, seed ^ 0x2019CA11ULL);
+  FirePerimeter kincade = fire_sim.spread_named_fire(
+      "Kincade (sim)", {-122.78, 38.75}, 77000.0, 2019, 0);
+  kincade.start_day = 0;
+  kincade.end_day = 7;
+  FirePerimeter getty = fire_sim.spread_named_fire(
+      "Getty (sim)", {-118.48, 34.09}, 745.0, 2019, 1);
+  getty.start_day = 3;
+  getty.end_day = 7;
+  // The DIRS window also overlapped the Saddle Ridge and Tick fires at
+  // the northern edge of Los Angeles (the same two fires that dominate
+  // the paper's Section 3.4 validation gap).
+  FirePerimeter saddle_ridge = fire_sim.spread_named_fire(
+      "Saddle Ridge (sim)", {-118.49, 34.33}, 8800.0, 2019, 2);
+  saddle_ridge.start_day = 0;
+  saddle_ridge.end_day = 6;
+  FirePerimeter tick = fire_sim.spread_named_fire(
+      "Tick (sim)", {-118.53, 34.44}, 4600.0, 2019, 3);
+  tick.start_day = 0;
+  tick.end_day = 5;
+
+  OutageSimulator sim(whp, seed);
+  return sim.simulate(sites,
+                      {std::move(kincade), std::move(getty),
+                       std::move(saddle_ridge), std::move(tick)},
+                      config);
+}
+
+}  // namespace fa::firesim

@@ -1,0 +1,67 @@
+#include "firesim/wind.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fa::firesim {
+
+double WindEvent::peak() const {
+  double p = 0.0;
+  for (const double s : severity) p = std::max(p, s);
+  return p;
+}
+
+std::vector<WindEvent> generate_wind_season(std::uint64_t seed,
+                                            const WindSeasonConfig& config) {
+  synth::Rng rng(seed ^ 0x51A7AA11ULL);
+  std::vector<WindEvent> events;
+  const auto count = rng.poisson(config.events_per_season);
+  int cursor = 0;
+  for (std::uint64_t e = 0; e < count; ++e) {
+    WindEvent event;
+    const int duration = rng.range(config.min_duration, config.max_duration);
+    // Gap before this event; bail when the season is full.
+    cursor += rng.range(2, std::max(3, config.season_days / 4));
+    if (cursor + duration >= config.season_days) break;
+    event.start_day = cursor;
+    const double peak = rng.uniform(config.peak_min, config.peak_max);
+    // Asymmetric ramp: fast onset (offshore flow arrives abruptly),
+    // slower decay. Peak lands in the first half of the event.
+    const int peak_day = std::max(1, duration / 3);
+    event.severity.resize(static_cast<std::size_t>(duration));
+    for (int d = 0; d < duration; ++d) {
+      double s;
+      if (d <= peak_day) {
+        s = peak * (0.3 + 0.7 * static_cast<double>(d) / peak_day);
+      } else {
+        const double t = static_cast<double>(d - peak_day) /
+                         std::max(1, duration - 1 - peak_day);
+        s = peak * (1.0 - 0.85 * t);
+      }
+      // Day-to-day gustiness.
+      event.severity[static_cast<std::size_t>(d)] =
+          std::clamp(s * rng.uniform(0.85, 1.15), 0.05, 1.0);
+    }
+    cursor += duration;
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<double> wind_severity_series(const std::vector<WindEvent>& events,
+                                         int season_days) {
+  std::vector<double> series(static_cast<std::size_t>(season_days), 0.0);
+  for (const WindEvent& event : events) {
+    for (int d = 0; d < event.duration(); ++d) {
+      const int day = event.start_day + d;
+      if (day >= 0 && day < season_days) {
+        series[static_cast<std::size_t>(day)] =
+            std::max(series[static_cast<std::size_t>(day)],
+                     event.severity[static_cast<std::size_t>(d)]);
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace fa::firesim

@@ -1,0 +1,38 @@
+// Wind-event generator: multi-day offshore-wind episodes (Santa Ana /
+// Diablo pattern) that drive both PSPS decisions and fire blow-ups. The
+// 2019 case study hard-codes the observed Oct 25 - Nov 1 curve; this
+// module generates statistically similar episodes for drills, ablations
+// and multi-year outage studies.
+#pragma once
+
+#include <vector>
+
+#include "synth/rng.hpp"
+
+namespace fa::firesim {
+
+struct WindEvent {
+  int start_day = 0;                  // day-of-season index
+  std::vector<double> severity;       // daily 0..1, one per event day
+  double peak() const;
+  int duration() const { return static_cast<int>(severity.size()); }
+};
+
+struct WindSeasonConfig {
+  int season_days = 120;        // fall wind season length
+  double events_per_season = 3.5;  // Poisson mean
+  int min_duration = 3;
+  int max_duration = 9;
+  double peak_min = 0.45;
+  double peak_max = 1.0;
+};
+
+// All wind events of one season, chronological, non-overlapping.
+std::vector<WindEvent> generate_wind_season(std::uint64_t seed,
+                                            const WindSeasonConfig& config = {});
+
+// Severity per season day (0 outside events) — the daily forcing series.
+std::vector<double> wind_severity_series(const std::vector<WindEvent>& events,
+                                         int season_days);
+
+}  // namespace fa::firesim

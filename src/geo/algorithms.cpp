@@ -1,0 +1,223 @@
+#include "geo/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fa::geo {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+bool on_segment(Vec2 p, Vec2 a, Vec2 b) {
+  return std::abs(orient2d(a, b, p)) < kEps &&
+         p.x >= std::min(a.x, b.x) - kEps && p.x <= std::max(a.x, b.x) + kEps &&
+         p.y >= std::min(a.y, b.y) - kEps && p.y <= std::max(a.y, b.y) + kEps;
+}
+
+}  // namespace
+
+std::optional<Vec2> segment_intersection(Vec2 a1, Vec2 a2, Vec2 b1, Vec2 b2) {
+  const Vec2 r = a2 - a1;
+  const Vec2 s = b2 - b1;
+  const double denom = r.cross(s);
+  const Vec2 qp = b1 - a1;
+  if (std::abs(denom) < kEps) {
+    // Parallel. Check collinear overlap and report a shared point.
+    if (std::abs(qp.cross(r)) > kEps) return std::nullopt;
+    for (Vec2 cand : {b1, b2}) {
+      if (on_segment(cand, a1, a2)) return cand;
+    }
+    for (Vec2 cand : {a1, a2}) {
+      if (on_segment(cand, b1, b2)) return cand;
+    }
+    return std::nullopt;
+  }
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) {
+    return std::nullopt;
+  }
+  return a1 + r * std::clamp(t, 0.0, 1.0);
+}
+
+bool segments_intersect(Vec2 a1, Vec2 a2, Vec2 b1, Vec2 b2) {
+  return segment_intersection(a1, a2, b1, b2).has_value();
+}
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 < kEps) return distance(p, a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+double point_ring_distance(Vec2 p, const Ring& ring) {
+  if (ring.size() == 0) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  const auto pts = ring.points();
+  for (std::size_t i = 0, n = pts.size(); i < n; ++i) {
+    best = std::min(best, point_segment_distance(p, pts[i], pts[(i + 1) % n]));
+  }
+  return best;
+}
+
+Ring convex_hull(std::span<const Vec2> pts) {
+  std::vector<Vec2> p(pts.begin(), pts.end());
+  std::sort(p.begin(), p.end(), [](Vec2 a, Vec2 b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  p.erase(std::unique(p.begin(), p.end()), p.end());
+  if (p.size() < 3) return Ring{std::move(p)};
+
+  std::vector<Vec2> hull(2 * p.size());
+  std::size_t k = 0;
+  for (const Vec2& pt : p) {  // lower hull
+    while (k >= 2 && orient2d(hull[k - 2], hull[k - 1], pt) <= 0.0) --k;
+    hull[k++] = pt;
+  }
+  const std::size_t lower = k + 1;
+  for (auto it = p.rbegin() + 1; it != p.rend(); ++it) {  // upper hull
+    while (k >= lower && orient2d(hull[k - 2], hull[k - 1], *it) <= 0.0) --k;
+    hull[k++] = *it;
+  }
+  hull.resize(k - 1);  // last point equals first
+  return Ring{std::move(hull)};
+}
+
+namespace {
+
+void dp_recurse(std::span<const Vec2> pts, std::size_t lo, std::size_t hi,
+                double tol, std::vector<bool>& keep) {
+  if (hi <= lo + 1) return;
+  double max_d = -1.0;
+  std::size_t max_i = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double d = point_segment_distance(pts[i], pts[lo], pts[hi]);
+    if (d > max_d) {
+      max_d = d;
+      max_i = i;
+    }
+  }
+  if (max_d > tol) {
+    keep[max_i] = true;
+    dp_recurse(pts, lo, max_i, tol, keep);
+    dp_recurse(pts, max_i, hi, tol, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<Vec2> simplify_polyline(std::span<const Vec2> pts,
+                                    double tolerance) {
+  if (pts.size() <= 2) return {pts.begin(), pts.end()};
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = keep.back() = true;
+  dp_recurse(pts, 0, pts.size() - 1, tolerance, keep);
+  std::vector<Vec2> out;
+  out.reserve(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.push_back(pts[i]);
+  }
+  return out;
+}
+
+Ring simplify_ring(const Ring& ring, double tolerance) {
+  if (ring.size() < 4) return ring;
+  // Close the loop so the endpoints are anchored, then strip the closer.
+  std::vector<Vec2> closed(ring.points().begin(), ring.points().end());
+  closed.push_back(closed.front());
+  std::vector<Vec2> simp = simplify_polyline(closed, tolerance);
+  simp.pop_back();
+  if (simp.size() < 3) return ring;
+  return Ring{std::move(simp)};
+}
+
+Ring clip_ring_to_rect(const Ring& ring, const BBox& rect) {
+  // Clip successively against the four half planes of the rectangle.
+  std::vector<Vec2> poly(ring.points().begin(), ring.points().end());
+  // inside(p) per edge; intersect(a,b) returns crossing with the edge line.
+  const auto clip_edge = [&poly](auto inside, auto intersect) {
+    std::vector<Vec2> out;
+    out.reserve(poly.size() + 4);
+    for (std::size_t i = 0, n = poly.size(); i < n; ++i) {
+      const Vec2 cur = poly[i];
+      const Vec2 prev = poly[(i + n - 1) % n];
+      const bool cur_in = inside(cur);
+      const bool prev_in = inside(prev);
+      if (cur_in) {
+        if (!prev_in) out.push_back(intersect(prev, cur));
+        out.push_back(cur);
+      } else if (prev_in) {
+        out.push_back(intersect(prev, cur));
+      }
+    }
+    poly = std::move(out);
+  };
+
+  const auto x_cross = [](Vec2 a, Vec2 b, double x) {
+    const double t = (x - a.x) / (b.x - a.x);
+    return Vec2{x, a.y + t * (b.y - a.y)};
+  };
+  const auto y_cross = [](Vec2 a, Vec2 b, double y) {
+    const double t = (y - a.y) / (b.y - a.y);
+    return Vec2{a.x + t * (b.x - a.x), y};
+  };
+
+  clip_edge([&](Vec2 p) { return p.x >= rect.min_x; },
+            [&](Vec2 a, Vec2 b) { return x_cross(a, b, rect.min_x); });
+  if (poly.empty()) return Ring{};
+  clip_edge([&](Vec2 p) { return p.x <= rect.max_x; },
+            [&](Vec2 a, Vec2 b) { return x_cross(a, b, rect.max_x); });
+  if (poly.empty()) return Ring{};
+  clip_edge([&](Vec2 p) { return p.y >= rect.min_y; },
+            [&](Vec2 a, Vec2 b) { return y_cross(a, b, rect.min_y); });
+  if (poly.empty()) return Ring{};
+  clip_edge([&](Vec2 p) { return p.y <= rect.max_y; },
+            [&](Vec2 a, Vec2 b) { return y_cross(a, b, rect.max_y); });
+  return Ring{std::move(poly)};
+}
+
+bool is_simple(const Ring& ring) {
+  const auto pts = ring.points();
+  const std::size_t n = pts.size();
+  if (n < 3) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a1 = pts[i];
+    const Vec2 a2 = pts[(i + 1) % n];
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Skip adjacent edges (they share an endpoint by construction).
+      if (j == i || (j + 1) % n == i || (i + 1) % n == j) continue;
+      const Vec2 b1 = pts[j];
+      const Vec2 b2 = pts[(j + 1) % n];
+      if (segments_intersect(a1, a2, b1, b2)) return false;
+    }
+  }
+  return true;
+}
+
+double polyline_length(std::span<const Vec2> pts) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    acc += distance(pts[i], pts[i + 1]);
+  }
+  return acc;
+}
+
+Vec2 point_along_polyline(std::span<const Vec2> pts, double t) {
+  if (pts.empty()) return {};
+  if (pts.size() == 1) return pts[0];
+  const double target = std::clamp(t, 0.0, 1.0) * polyline_length(pts);
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const double seg = distance(pts[i], pts[i + 1]);
+    if (acc + seg >= target && seg > 0.0) {
+      return lerp(pts[i], pts[i + 1], (target - acc) / seg);
+    }
+    acc += seg;
+  }
+  return pts.back();
+}
+
+}  // namespace fa::geo

@@ -1,0 +1,51 @@
+// Planar computational-geometry algorithms used by the overlay pipeline.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geo/polygon.hpp"
+#include "geo/vec2.hpp"
+
+namespace fa::geo {
+
+// Proper or touching intersection point of segments [a1,a2] and [b1,b2].
+// Collinear overlaps report one interior point of the overlap.
+std::optional<Vec2> segment_intersection(Vec2 a1, Vec2 a2, Vec2 b1, Vec2 b2);
+
+// True if the two closed segments share at least one point.
+bool segments_intersect(Vec2 a1, Vec2 a2, Vec2 b1, Vec2 b2);
+
+// Distance from point `p` to closed segment [a, b].
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+// Minimum distance from `p` to the boundary of `ring` (0 if on boundary).
+double point_ring_distance(Vec2 p, const Ring& ring);
+
+// Andrew's monotone chain; returns CCW hull without repeated last point.
+// Degenerate inputs (<3 distinct points) return what is available.
+Ring convex_hull(std::span<const Vec2> pts);
+
+// Douglas-Peucker polyline simplification with absolute tolerance.
+std::vector<Vec2> simplify_polyline(std::span<const Vec2> pts,
+                                    double tolerance);
+// Ring simplification; guarantees the result keeps >= 3 vertices by
+// falling back to the input when over-simplified.
+Ring simplify_ring(const Ring& ring, double tolerance);
+
+// Sutherland-Hodgman clip of a (possibly concave) ring against an
+// axis-aligned rectangle. Result may be empty.
+Ring clip_ring_to_rect(const Ring& ring, const BBox& rect);
+
+// True if `ring` is simple (no self intersections between non-adjacent
+// edges). O(n^2); intended for validation/tests, not hot paths.
+bool is_simple(const Ring& ring);
+
+// Length of an open polyline.
+double polyline_length(std::span<const Vec2> pts);
+
+// Point at arc-length parameter t in [0,1] along an open polyline.
+Vec2 point_along_polyline(std::span<const Vec2> pts, double t);
+
+}  // namespace fa::geo

@@ -1,0 +1,69 @@
+// Axis-aligned bounding box over planar (or lon/lat-as-planar) coordinates.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/vec2.hpp"
+
+namespace fa::geo {
+
+struct BBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  constexpr BBox() = default;
+  constexpr BBox(double min_x_, double min_y_, double max_x_, double max_y_)
+      : min_x(min_x_), min_y(min_y_), max_x(max_x_), max_y(max_y_) {}
+
+  static constexpr BBox of_point(Vec2 p) { return {p.x, p.y, p.x, p.y}; }
+
+  constexpr bool valid() const { return min_x <= max_x && min_y <= max_y; }
+  constexpr bool operator==(const BBox&) const = default;
+
+  constexpr double width() const { return max_x - min_x; }
+  constexpr double height() const { return max_y - min_y; }
+  constexpr double area() const {
+    return valid() ? width() * height() : 0.0;
+  }
+  constexpr Vec2 center() const {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  constexpr void expand(Vec2 p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  constexpr void expand(const BBox& o) {
+    min_x = std::min(min_x, o.min_x);
+    min_y = std::min(min_y, o.min_y);
+    max_x = std::max(max_x, o.max_x);
+    max_y = std::max(max_y, o.max_y);
+  }
+  // Box grown by `margin` on every side.
+  constexpr BBox inflated(double margin) const {
+    return {min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+  }
+
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  constexpr bool contains(const BBox& o) const {
+    return o.min_x >= min_x && o.max_x <= max_x && o.min_y >= min_y &&
+           o.max_y <= max_y;
+  }
+  constexpr bool intersects(const BBox& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+  constexpr BBox intersection(const BBox& o) const {
+    return {std::max(min_x, o.min_x), std::max(min_y, o.min_y),
+            std::min(max_x, o.max_x), std::min(max_y, o.max_y)};
+  }
+};
+
+}  // namespace fa::geo

@@ -1,0 +1,46 @@
+#include "geo/buffer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/algorithms.hpp"
+
+namespace fa::geo {
+
+Ring buffer_convex(const Ring& convex_ccw, double radius, int arc_segments) {
+  if (convex_ccw.empty() || radius <= 0.0) return convex_ccw;
+  std::vector<Vec2> pts;
+  pts.reserve(convex_ccw.size() * static_cast<std::size_t>(arc_segments));
+  for (const Vec2& v : convex_ccw.points()) {
+    for (int i = 0; i < arc_segments; ++i) {
+      const double t =
+          2.0 * std::numbers::pi * static_cast<double>(i) / arc_segments;
+      pts.push_back(v + Vec2{radius * std::cos(t), radius * std::sin(t)});
+    }
+  }
+  return convex_hull(pts);
+}
+
+Ring buffer_hull(const Ring& ring, double radius, int arc_segments) {
+  if (ring.empty() || radius <= 0.0) return ring;
+  std::vector<Vec2> pts(ring.points().begin(), ring.points().end());
+  const auto boundary = ring.points();
+  for (std::size_t i = 0, n = boundary.size(); i < n; ++i) {
+    const Vec2 a = boundary[i];
+    const Vec2 b = boundary[(i + 1) % n];
+    // Sample along the edge so long edges still bulge outward.
+    const double len = distance(a, b);
+    const int steps = std::max(1, static_cast<int>(len / (2.0 * radius)));
+    for (int s = 0; s <= steps; ++s) {
+      const Vec2 c = lerp(a, b, static_cast<double>(s) / steps);
+      for (int k = 0; k < arc_segments; ++k) {
+        const double t =
+            2.0 * std::numbers::pi * static_cast<double>(k) / arc_segments;
+        pts.push_back(c + Vec2{radius * std::cos(t), radius * std::sin(t)});
+      }
+    }
+  }
+  return convex_hull(pts);
+}
+
+}  // namespace fa::geo

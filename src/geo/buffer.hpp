@@ -1,0 +1,22 @@
+// Positive buffering of planar geometry. Exact Minkowski sums are overkill
+// here: buffers are used (a) to grow fire perimeters for containment margins
+// and (b) as a vector-space cross-check of the raster dilation used by the
+// paper's Section 3.8 extension. Both tolerate the small concavity loss of
+// the sampling approach below.
+#pragma once
+
+#include "geo/polygon.hpp"
+
+namespace fa::geo {
+
+// Buffer of a convex ring: exact Minkowski sum with a regular `arc_segments`-
+// gon circle (result is convex, CCW).
+Ring buffer_convex(const Ring& convex_ccw, double radius, int arc_segments = 16);
+
+// Approximate buffer of an arbitrary simple ring: samples circles on the
+// boundary and takes the convex hull of ring + samples. Conservative
+// (never smaller than the true buffer) for convex inputs; for concave
+// inputs the hull fills concavities — acceptable for containment tests.
+Ring buffer_hull(const Ring& ring, double radius, int arc_segments = 12);
+
+}  // namespace fa::geo

@@ -1,0 +1,53 @@
+#include "geo/geodesy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fa::geo {
+
+double haversine_m(LonLat a, LonLat b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dphi = (b.lat - a.lat) * kDegToRad;
+  const double dlam = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dphi / 2.0);
+  const double s2 = std::sin(dlam / 2.0);
+  const double h = s1 * s1 + std::cos(phi1) * std::cos(phi2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+double bearing_deg(LonLat a, LonLat b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dlam = (b.lon - a.lon) * kDegToRad;
+  const double y = std::sin(dlam) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlam);
+  const double theta = std::atan2(y, x) * kRadToDeg;
+  return theta < 0.0 ? theta + 360.0 : theta;
+}
+
+LonLat destination(LonLat origin, double bearing, double distance_m) {
+  const double delta = distance_m / kEarthRadiusM;  // angular distance
+  const double theta = bearing * kDegToRad;
+  const double phi1 = origin.lat * kDegToRad;
+  const double lam1 = origin.lon * kDegToRad;
+  const double sin_phi2 = std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(theta);
+  const double phi2 = std::asin(std::clamp(sin_phi2, -1.0, 1.0));
+  const double lam2 =
+      lam1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(phi1),
+                        std::cos(delta) - std::sin(phi1) * sin_phi2);
+  double lon = lam2 * kRadToDeg;
+  if (lon > 180.0) lon -= 360.0;
+  if (lon < -180.0) lon += 360.0;
+  return {lon, phi2 * kRadToDeg};
+}
+
+double meters_per_deg_lat() { return kEarthRadiusM * kDegToRad; }
+
+double meters_per_deg_lon(double lat_deg) {
+  return kEarthRadiusM * kDegToRad * std::cos(lat_deg * kDegToRad);
+}
+
+}  // namespace fa::geo

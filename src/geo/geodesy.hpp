@@ -1,0 +1,32 @@
+// Spherical-earth geodesy: distances, bearings, destination points and
+// area. A spherical model (R = 6371.0088 km mean radius) is accurate to
+// ~0.5% over the distances this library cares about (metres to a few
+// hundred km), which is far below the noise floor of the crowd-sourced
+// transceiver positions it measures.
+#pragma once
+
+#include "geo/lonlat.hpp"
+
+namespace fa::geo {
+
+inline constexpr double kEarthRadiusM = 6371008.8;
+inline constexpr double kMetersPerMile = 1609.344;
+inline constexpr double kSquareMetersPerAcre = 4046.8564224;
+
+// Great-circle distance in metres (haversine formulation; numerically
+// stable for small separations, unlike the spherical law of cosines).
+double haversine_m(LonLat a, LonLat b);
+
+// Initial bearing from `a` to `b` in degrees clockwise from north, [0,360).
+double bearing_deg(LonLat a, LonLat b);
+
+// Point reached by travelling `distance_m` from `origin` along the great
+// circle with initial bearing `bearing` (degrees clockwise from north).
+LonLat destination(LonLat origin, double bearing_deg, double distance_m);
+
+// Local metres per degree of longitude/latitude at latitude `lat_deg`.
+// Used for fast small-extent conversions (e.g. raster cell sizing).
+double meters_per_deg_lon(double lat_deg);
+double meters_per_deg_lat();
+
+}  // namespace fa::geo

@@ -1,0 +1,37 @@
+// Geographic coordinate (WGS-84 longitude/latitude in decimal degrees).
+#pragma once
+
+#include <numbers>
+
+#include "geo/vec2.hpp"
+
+namespace fa::geo {
+
+inline constexpr double kDegToRad = std::numbers::pi / 180.0;
+inline constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+
+struct LonLat {
+  double lon = 0.0;  // degrees east, conterminous US is roughly [-125, -66]
+  double lat = 0.0;  // degrees north, conterminous US is roughly [24, 50]
+
+  constexpr LonLat() = default;
+  constexpr LonLat(double lon_, double lat_) : lon(lon_), lat(lat_) {}
+  constexpr bool operator==(const LonLat&) const = default;
+
+  // View as a planar point (x = lon, y = lat). Only safe for topological
+  // predicates (point-in-polygon, bbox tests), never for metric ones.
+  constexpr Vec2 as_vec() const { return {lon, lat}; }
+  static constexpr LonLat from_vec(Vec2 v) { return {v.x, v.y}; }
+};
+
+// Loose sanity check used to reject corrupt input records.
+constexpr bool is_valid(LonLat p) {
+  return p.lon >= -180.0 && p.lon <= 180.0 && p.lat >= -90.0 && p.lat <= 90.0;
+}
+
+// Conterminous-US bounding test (coarse; the synthetic map lives here).
+constexpr bool in_conus_bounds(LonLat p) {
+  return p.lon >= -125.5 && p.lon <= -66.0 && p.lat >= 24.0 && p.lat <= 49.8;
+}
+
+}  // namespace fa::geo

@@ -1,0 +1,160 @@
+#include "geo/polygon.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace fa::geo {
+
+namespace {
+
+// Drops a trailing vertex equal to the first (tolerates pre-closed input).
+std::vector<Vec2> strip_closing_point(std::vector<Vec2> pts) {
+  while (pts.size() > 1 && pts.back() == pts.front()) pts.pop_back();
+  return pts;
+}
+
+}  // namespace
+
+Ring::Ring(std::vector<Vec2> pts) : pts_(strip_closing_point(std::move(pts))) {
+  for (const Vec2& p : pts_) bbox_.expand(p);
+}
+
+void Ring::push_back(Vec2 p) {
+  pts_.push_back(p);
+  bbox_.expand(p);
+}
+
+double Ring::signed_area() const {
+  if (empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0, n = pts_.size(); i < n; ++i) {
+    const Vec2& a = pts_[i];
+    const Vec2& b = pts_[(i + 1) % n];
+    acc += a.cross(b);
+  }
+  return acc / 2.0;
+}
+
+double Ring::area() const { return std::abs(signed_area()); }
+
+void Ring::reverse() {
+  for (std::size_t i = 0, j = pts_.size(); i + 1 < j; ++i, --j) {
+    std::swap(pts_[i], pts_[j - 1]);
+  }
+}
+
+double Ring::perimeter() const {
+  if (empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0, n = pts_.size(); i < n; ++i) {
+    acc += distance(pts_[i], pts_[(i + 1) % n]);
+  }
+  return acc;
+}
+
+Vec2 Ring::centroid() const {
+  if (empty()) return {};
+  // Area-weighted centroid; falls back to vertex mean for degenerate rings.
+  double a = 0.0;
+  Vec2 c{};
+  for (std::size_t i = 0, n = pts_.size(); i < n; ++i) {
+    const Vec2& p = pts_[i];
+    const Vec2& q = pts_[(i + 1) % n];
+    const double w = p.cross(q);
+    a += w;
+    c += (p + q) * w;
+  }
+  if (std::abs(a) < 1e-12) {
+    Vec2 mean{};
+    for (const Vec2& p : pts_) mean += p;
+    return mean / static_cast<double>(pts_.size());
+  }
+  return c / (3.0 * a);
+}
+
+bool Ring::contains(Vec2 p) const {
+  if (empty() || !bbox_.contains(p)) return false;
+  // Ray crossing with explicit boundary handling: points on an edge are
+  // considered inside (the paper counts perimeter transceivers as at risk).
+  bool inside = false;
+  for (std::size_t i = 0, n = pts_.size(); i < n; ++i) {
+    const Vec2& a = pts_[i];
+    const Vec2& b = pts_[(i + 1) % n];
+    // On-segment check (collinear and within the segment's bbox).
+    const double cr = orient2d(a, b, p);
+    if (cr == 0.0 && p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+        p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y)) {
+      return true;
+    }
+    // Standard half-open crossing rule, robust at vertices.
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_int = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_int > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Polygon::Polygon(Ring outer, std::vector<Ring> holes)
+    : outer_(std::move(outer)), holes_(std::move(holes)) {
+  if (!outer_.is_ccw()) outer_.reverse();
+  for (Ring& h : holes_) {
+    if (h.is_ccw()) h.reverse();
+  }
+}
+
+double Polygon::area() const {
+  double a = outer_.area();
+  for (const Ring& h : holes_) a -= h.area();
+  return a;
+}
+
+bool Polygon::contains(Vec2 p) const {
+  if (!outer_.contains(p)) return false;
+  for (const Ring& h : holes_) {
+    if (h.contains(p)) return false;
+  }
+  return true;
+}
+
+MultiPolygon::MultiPolygon(std::vector<Polygon> parts)
+    : parts_(std::move(parts)) {
+  for (const Polygon& p : parts_) bbox_.expand(p.bbox());
+}
+
+void MultiPolygon::push_back(Polygon p) {
+  bbox_.expand(p.bbox());
+  parts_.push_back(std::move(p));
+}
+
+double MultiPolygon::area() const {
+  double a = 0.0;
+  for (const Polygon& p : parts_) a += p.area();
+  return a;
+}
+
+bool MultiPolygon::contains(Vec2 p) const {
+  if (!bbox_.contains(p)) return false;
+  for (const Polygon& part : parts_) {
+    if (part.contains(p)) return true;
+  }
+  return false;
+}
+
+Ring make_rect(double min_x, double min_y, double max_x, double max_y) {
+  return Ring{{{min_x, min_y}, {max_x, min_y}, {max_x, max_y}, {min_x, max_y}}};
+}
+
+Ring make_circle(Vec2 center, double radius, int segments) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(segments));
+  for (int i = 0; i < segments; ++i) {
+    const double t =
+        2.0 * std::numbers::pi * static_cast<double>(i) / segments;
+    pts.push_back(center + Vec2{radius * std::cos(t), radius * std::sin(t)});
+  }
+  return Ring{std::move(pts)};
+}
+
+}  // namespace fa::geo

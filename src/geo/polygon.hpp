@@ -1,0 +1,91 @@
+// Polygon types: Ring (closed simple loop), Polygon (outer ring + holes),
+// MultiPolygon. Vertices are stored without the closing duplicate; all
+// algorithms treat rings as implicitly closed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geo/bbox.hpp"
+#include "geo/vec2.hpp"
+
+namespace fa::geo {
+
+class Ring {
+ public:
+  Ring() = default;
+  explicit Ring(std::vector<Vec2> pts);
+
+  std::span<const Vec2> points() const { return pts_; }
+  std::size_t size() const { return pts_.size(); }
+  bool empty() const { return pts_.size() < 3; }
+  const Vec2& operator[](std::size_t i) const { return pts_[i]; }
+  const BBox& bbox() const { return bbox_; }
+
+  // Signed area: positive for counter-clockwise winding (shoelace).
+  double signed_area() const;
+  double area() const;
+  bool is_ccw() const { return signed_area() > 0.0; }
+  // Reverses winding in place.
+  void reverse();
+  double perimeter() const;
+  Vec2 centroid() const;
+
+  // Point-in-ring by ray crossing; boundary points count as inside.
+  bool contains(Vec2 p) const;
+
+  void push_back(Vec2 p);
+
+ private:
+  std::vector<Vec2> pts_;
+  BBox bbox_;
+};
+
+class Polygon {
+ public:
+  Polygon() = default;
+  // Normalizes winding: outer CCW, holes CW.
+  explicit Polygon(Ring outer, std::vector<Ring> holes = {});
+
+  const Ring& outer() const { return outer_; }
+  std::span<const Ring> holes() const { return holes_; }
+  const BBox& bbox() const { return outer_.bbox(); }
+  bool empty() const { return outer_.empty(); }
+
+  // Area of outer ring minus hole areas.
+  double area() const;
+  // Inside the outer ring and not inside any hole.
+  bool contains(Vec2 p) const;
+
+ private:
+  Ring outer_;
+  std::vector<Ring> holes_;
+};
+
+class MultiPolygon {
+ public:
+  MultiPolygon() = default;
+  explicit MultiPolygon(std::vector<Polygon> parts);
+
+  std::span<const Polygon> parts() const { return parts_; }
+  std::size_t size() const { return parts_.size(); }
+  bool empty() const { return parts_.empty(); }
+  const BBox& bbox() const { return bbox_; }
+
+  double area() const;
+  bool contains(Vec2 p) const;
+
+  void push_back(Polygon p);
+
+ private:
+  std::vector<Polygon> parts_;
+  BBox bbox_;
+};
+
+// Convenience factories.
+Ring make_rect(double min_x, double min_y, double max_x, double max_y);
+// Regular n-gon approximating a circle (n >= 3), CCW.
+Ring make_circle(Vec2 center, double radius, int segments = 32);
+
+}  // namespace fa::geo

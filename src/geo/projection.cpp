@@ -1,0 +1,104 @@
+#include "geo/projection.hpp"
+
+#include <cmath>
+
+#include "geo/geodesy.hpp"
+
+namespace fa::geo {
+
+namespace {
+constexpr double kPhi1 = 29.5 * kDegToRad;  // southern standard parallel
+constexpr double kPhi2 = 45.5 * kDegToRad;  // northern standard parallel
+constexpr double kPhi0 = 23.0 * kDegToRad;  // latitude of origin
+constexpr double kLam0 = -96.0 * kDegToRad; // central meridian
+}  // namespace
+
+AlbersConus::AlbersConus() {
+  n_ = (std::sin(kPhi1) + std::sin(kPhi2)) / 2.0;
+  c_ = std::cos(kPhi1) * std::cos(kPhi1) + 2.0 * n_ * std::sin(kPhi1);
+  rho0_ = kEarthRadiusM * std::sqrt(c_ - 2.0 * n_ * std::sin(kPhi0)) / n_;
+  lam0_ = kLam0;
+}
+
+Vec2 AlbersConus::forward(LonLat p) const {
+  const double phi = p.lat * kDegToRad;
+  const double lam = p.lon * kDegToRad;
+  const double rho =
+      kEarthRadiusM * std::sqrt(c_ - 2.0 * n_ * std::sin(phi)) / n_;
+  const double theta = n_ * (lam - lam0_);
+  return {rho * std::sin(theta), rho0_ - rho * std::cos(theta)};
+}
+
+LonLat AlbersConus::inverse(Vec2 xy) const {
+  const double rho = std::hypot(xy.x, rho0_ - xy.y);
+  double theta = std::atan2(xy.x, rho0_ - xy.y);
+  const double r = rho * n_ / kEarthRadiusM;
+  const double sin_phi = (c_ - r * r) / (2.0 * n_);
+  const double phi = std::asin(std::clamp(sin_phi, -1.0, 1.0));
+  const double lam = lam0_ + theta / n_;
+  return {lam * kRadToDeg, phi * kRadToDeg};
+}
+
+Ring AlbersConus::project(const Ring& lonlat_ring) const {
+  std::vector<Vec2> out;
+  out.reserve(lonlat_ring.size());
+  for (const Vec2& p : lonlat_ring.points()) {
+    out.push_back(forward(LonLat::from_vec(p)));
+  }
+  return Ring{std::move(out)};
+}
+
+Polygon AlbersConus::project(const Polygon& lonlat_poly) const {
+  std::vector<Ring> holes;
+  holes.reserve(lonlat_poly.holes().size());
+  for (const Ring& h : lonlat_poly.holes()) holes.push_back(project(h));
+  return Polygon{project(lonlat_poly.outer()), std::move(holes)};
+}
+
+LocalEquirect::LocalEquirect(LonLat origin)
+    : origin_(origin),
+      mx_(meters_per_deg_lon(origin.lat)),
+      my_(meters_per_deg_lat()) {}
+
+Vec2 LocalEquirect::forward(LonLat p) const {
+  return {(p.lon - origin_.lon) * mx_, (p.lat - origin_.lat) * my_};
+}
+
+LonLat LocalEquirect::inverse(Vec2 xy) const {
+  return {origin_.lon + xy.x / mx_, origin_.lat + xy.y / my_};
+}
+
+double spherical_ring_area_m2(const Ring& lonlat_ring) {
+  // Signed spherical excess via the sum over edges of
+  //   (lam2 - lam1) * (2 + sin(phi1) + sin(phi2)) / 2
+  // which is exact for great-ellipse-free small polygons and standard in
+  // GIS practice (same formula as turf.js / PostGIS spheroid fallback).
+  const auto pts = lonlat_ring.points();
+  const std::size_t n = pts.size();
+  if (n < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = pts[i];
+    const Vec2 b = pts[(i + 1) % n];
+    acc += (b.x - a.x) * kDegToRad *
+           (2.0 + std::sin(a.y * kDegToRad) + std::sin(b.y * kDegToRad));
+  }
+  return std::abs(acc * kEarthRadiusM * kEarthRadiusM / 2.0);
+}
+
+double polygon_area_m2(const Polygon& lonlat_poly) {
+  static const AlbersConus proj;
+  return proj.project(lonlat_poly).area();
+}
+
+double polygon_area_acres(const Polygon& lonlat_poly) {
+  return polygon_area_m2(lonlat_poly) / kSquareMetersPerAcre;
+}
+
+double multipolygon_area_acres(const MultiPolygon& lonlat_mp) {
+  double acc = 0.0;
+  for (const Polygon& p : lonlat_mp.parts()) acc += polygon_area_acres(p);
+  return acc;
+}
+
+}  // namespace fa::geo

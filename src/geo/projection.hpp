@@ -1,0 +1,58 @@
+// Map projections. The library stores geometry in WGS-84 lon/lat and
+// projects on demand:
+//   * AlbersConus  - equal-area; all acreage/area statistics use this.
+//   * Equirect     - local flat approximation; fast, used for rendering.
+// Spherical polygon area is provided as a projection-free cross-check.
+#pragma once
+
+#include "geo/lonlat.hpp"
+#include "geo/polygon.hpp"
+
+namespace fa::geo {
+
+// Albers equal-area conic with the standard conterminous-US parameters
+// (std parallels 29.5N / 45.5N, origin 23N 96W), spherical earth.
+// Output coordinates are metres.
+class AlbersConus {
+ public:
+  AlbersConus();
+
+  Vec2 forward(LonLat p) const;
+  LonLat inverse(Vec2 xy) const;
+
+  Ring project(const Ring& lonlat_ring) const;
+  Polygon project(const Polygon& lonlat_poly) const;
+
+ private:
+  double n_ = 0.0;    // cone constant
+  double c_ = 0.0;
+  double rho0_ = 0.0;
+  double lam0_ = 0.0; // origin longitude (radians)
+};
+
+// Plate carree scaled so that one unit = one metre at `ref_lat`.
+// Adequate for small extents (a metro map, a fire perimeter).
+class LocalEquirect {
+ public:
+  explicit LocalEquirect(LonLat origin);
+
+  Vec2 forward(LonLat p) const;
+  LonLat inverse(Vec2 xy) const;
+
+ private:
+  LonLat origin_;
+  double mx_ = 0.0;  // metres per degree lon at origin latitude
+  double my_ = 0.0;  // metres per degree lat
+};
+
+// Area in square metres of a lon/lat ring computed on the sphere
+// (l'Huilier-free excess formulation via the signed spherical shoelace).
+double spherical_ring_area_m2(const Ring& lonlat_ring);
+
+// Area of a lon/lat polygon (outer minus holes) in square metres / acres,
+// via the Albers projection.
+double polygon_area_m2(const Polygon& lonlat_poly);
+double polygon_area_acres(const Polygon& lonlat_poly);
+double multipolygon_area_acres(const MultiPolygon& lonlat_mp);
+
+}  // namespace fa::geo

@@ -1,0 +1,56 @@
+// Planar 2-D vector/point type shared by all geometry code.
+//
+// `Vec2` is used both for projected (metre) coordinates and, where noted,
+// for geographic (lon, lat in degrees) coordinates; the semantic type
+// `LonLat` in lonlat.hpp wraps the latter to keep call sites honest.
+#pragma once
+
+#include <cmath>
+
+namespace fa::geo {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  // z-component of the 3-D cross product; >0 means `o` is CCW from *this.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm2() const { return x * x + y * y; }
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  // Perpendicular vector (rotated +90 degrees).
+  constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+// Linear interpolation; t in [0,1] maps a -> b.
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+// Twice the signed area of triangle (a, b, c); >0 for CCW order.
+constexpr double orient2d(Vec2 a, Vec2 b, Vec2 c) {
+  return (b - a).cross(c - a);
+}
+
+}  // namespace fa::geo

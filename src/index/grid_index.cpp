@@ -1,0 +1,152 @@
+#include "index/grid_index.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cmath>
+
+namespace fa::index {
+
+GridIndex::GridIndex(std::vector<geo::Vec2> points, geo::BBox bounds,
+                     int cols, int rows)
+    : points_(std::move(points)),
+      bounds_(bounds),
+      cols_(std::max(1, cols)),
+      rows_(std::max(1, rows)) {
+  const double w = std::max(bounds_.width(), 1e-12);
+  const double h = std::max(bounds_.height(), 1e-12);
+  inv_cw_ = static_cast<double>(cols_) / w;
+  inv_ch_ = static_cast<double>(rows_) / h;
+
+  const std::size_t num_cells =
+      static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  // Counting sort into bins.
+  std::vector<std::uint32_t> counts(num_cells, 0);
+  const auto bin_of = [this](geo::Vec2 p) {
+    return static_cast<std::size_t>(row_of(p.y)) * cols_ +
+           static_cast<std::size_t>(col_of(p.x));
+  };
+  for (const geo::Vec2& p : points_) ++counts[bin_of(p)];
+
+  cell_start_.assign(num_cells + 1, 0);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  }
+  binned_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::uint32_t id = 0; id < points_.size(); ++id) {
+    binned_[cursor[bin_of(points_[id])]++] = id;
+  }
+}
+
+int GridIndex::col_of(double x) const {
+  const int c = static_cast<int>((x - bounds_.min_x) * inv_cw_);
+  return std::clamp(c, 0, cols_ - 1);
+}
+
+int GridIndex::row_of(double y) const {
+  const int r = static_cast<int>((y - bounds_.min_y) * inv_ch_);
+  return std::clamp(r, 0, rows_ - 1);
+}
+
+template <bool Exact>
+void GridIndex::visit(
+    const geo::BBox& query,
+    const std::function<void(std::uint32_t, geo::Vec2)>& fn) const {
+  if (points_.empty() || !query.valid() || !query.intersects(bounds_)) return;
+  const int c0 = col_of(query.min_x);
+  const int c1 = col_of(query.max_x);
+  const int r0 = row_of(query.min_y);
+  const int r1 = row_of(query.max_y);
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      const std::size_t cell = static_cast<std::size_t>(r) * cols_ + c;
+      for (std::uint32_t k = cell_start_[cell]; k < cell_start_[cell + 1];
+           ++k) {
+        const std::uint32_t id = binned_[k];
+        const geo::Vec2 p = points_[id];
+        if constexpr (Exact) {
+          if (!query.contains(p)) continue;
+        }
+        fn(id, p);
+      }
+    }
+  }
+}
+
+void GridIndex::query(
+    const geo::BBox& query,
+    const std::function<void(std::uint32_t, geo::Vec2)>& fn) const {
+  visit<true>(query, fn);
+}
+
+void GridIndex::query_candidates(
+    const geo::BBox& query,
+    const std::function<void(std::uint32_t, geo::Vec2)>& fn) const {
+  visit<false>(query, fn);
+}
+
+std::vector<std::uint32_t> GridIndex::query_ids(const geo::BBox& q) const {
+  std::vector<std::uint32_t> out;
+  query(q, [&out](std::uint32_t id, geo::Vec2) { out.push_back(id); });
+  return out;
+}
+
+std::size_t GridIndex::count(const geo::BBox& q) const {
+  std::size_t n = 0;
+  query(q, [&n](std::uint32_t, geo::Vec2) { ++n; });
+  return n;
+}
+
+std::vector<std::uint32_t> GridIndex::nearest(geo::Vec2 target,
+                                              std::size_t k) const {
+  std::vector<std::uint32_t> out;
+  if (points_.empty() || k == 0) return out;
+  k = std::min(k, points_.size());
+
+  const int tc = col_of(target.x);
+  const int tr = row_of(target.y);
+  // candidates: (distance2, id), grown ring by ring until the kth-best
+  // confirmed distance is inside the searched ring radius.
+  std::vector<std::pair<double, std::uint32_t>> candidates;
+  const double cell_w = bounds_.width() / cols_;
+  const double cell_h = bounds_.height() / rows_;
+  const int max_ring = std::max(cols_, rows_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Visit the cells on this ring only.
+    for (int r = tr - ring; r <= tr + ring; ++r) {
+      if (r < 0 || r >= rows_) continue;
+      for (int c = tc - ring; c <= tc + ring; ++c) {
+        if (c < 0 || c >= cols_) continue;
+        if (std::max(std::abs(c - tc), std::abs(r - tr)) != ring) continue;
+        const std::size_t cell =
+            static_cast<std::size_t>(r) * cols_ + c;
+        for (std::uint32_t i = cell_start_[cell]; i < cell_start_[cell + 1];
+             ++i) {
+          const std::uint32_t id = binned_[i];
+          candidates.push_back({geo::distance2(points_[id], target), id});
+        }
+      }
+    }
+    if (candidates.size() >= k) {
+      std::nth_element(candidates.begin(),
+                       candidates.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       candidates.end());
+      // Confirmed when the kth distance fits inside the searched ring.
+      const double ring_reach =
+          static_cast<double>(ring) * std::min(cell_w, cell_h);
+      if (candidates[k - 1].first <= ring_reach * ring_reach ||
+          ring == max_ring) {
+        break;
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  out.reserve(k);
+  for (std::size_t i = 0; i < k && i < candidates.size(); ++i) {
+    out.push_back(candidates[i].second);
+  }
+  return out;
+}
+
+}  // namespace fa::index

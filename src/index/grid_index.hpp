@@ -1,0 +1,66 @@
+// Uniform grid index over points. Complements the R-tree: the transceiver
+// corpus is large (10^5..10^6 points) and queried by region, where binned
+// points give cache-friendly scans and O(1) cell addressing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geo/bbox.hpp"
+
+namespace fa::index {
+
+class GridIndex {
+ public:
+  GridIndex() = default;
+  // Builds over `points` (copied) covering `bounds`, with `cols` x `rows`
+  // bins. Points outside `bounds` are clamped into the edge bins. Point
+  // ids are the indices into the input vector.
+  GridIndex(std::vector<geo::Vec2> points, geo::BBox bounds, int cols,
+            int rows);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const geo::BBox& bounds() const { return bounds_; }
+
+  // Invokes fn(point_id, point) for every point inside `query`.
+  void query(const geo::BBox& query,
+             const std::function<void(std::uint32_t, geo::Vec2)>& fn) const;
+  std::vector<std::uint32_t> query_ids(const geo::BBox& query) const;
+
+  // Invokes fn for every point in bins that intersect `query`, without the
+  // per-point containment test — callers that run an exact polygon test
+  // afterwards use this to skip the redundant bbox check.
+  void query_candidates(
+      const geo::BBox& query,
+      const std::function<void(std::uint32_t, geo::Vec2)>& fn) const;
+
+  // Count of points within `query` (exact).
+  std::size_t count(const geo::BBox& query) const;
+
+  // The k nearest points to `target` (Euclidean in index coordinates),
+  // nearest first. Expands the bin search ring until k candidates are
+  // confirmed; returns fewer than k only when the index holds fewer.
+  std::vector<std::uint32_t> nearest(geo::Vec2 target, std::size_t k) const;
+
+  geo::Vec2 point(std::uint32_t id) const { return points_[id]; }
+
+ private:
+  int col_of(double x) const;
+  int row_of(double y) const;
+  template <bool Exact>
+  void visit(const geo::BBox& query,
+             const std::function<void(std::uint32_t, geo::Vec2)>& fn) const;
+
+  std::vector<geo::Vec2> points_;       // original order; id == index
+  std::vector<std::uint32_t> binned_;   // point ids sorted by bin
+  std::vector<std::uint32_t> cell_start_;  // size cols*rows+1, into binned_
+  geo::BBox bounds_;
+  int cols_ = 0;
+  int rows_ = 0;
+  double inv_cw_ = 0.0;
+  double inv_ch_ = 0.0;
+};
+
+}  // namespace fa::index

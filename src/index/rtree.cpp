@@ -1,0 +1,107 @@
+#include "index/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fa::index {
+
+RTree::RTree(std::vector<Entry> entries, int max_fanout)
+    : entries_(std::move(entries)), num_entries_(entries_.size()) {
+  if (entries_.empty()) return;
+  const std::size_t fanout = static_cast<std::size_t>(std::max(2, max_fanout));
+
+  // --- STR packing of the leaf level ---
+  // Sort by x-center into vertical slices, then each slice by y-center.
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return a.box.center().x < b.box.center().x;
+  });
+  const std::size_t n = entries_.size();
+  const std::size_t num_leaves = (n + fanout - 1) / fanout;
+  const std::size_t slices =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const std::size_t slice_size = (n + slices - 1) / slices;
+  for (std::size_t s = 0; s < slices; ++s) {
+    const std::size_t lo = s * slice_size;
+    const std::size_t hi = std::min(n, lo + slice_size);
+    if (lo >= hi) break;
+    std::sort(entries_.begin() + static_cast<std::ptrdiff_t>(lo),
+              entries_.begin() + static_cast<std::ptrdiff_t>(hi),
+              [](const Entry& a, const Entry& b) {
+                return a.box.center().y < b.box.center().y;
+              });
+  }
+
+  // Build leaf nodes over contiguous runs of `fanout` entries.
+  std::vector<std::uint32_t> level;
+  for (std::size_t i = 0; i < n; i += fanout) {
+    Node node;
+    node.leaf = true;
+    node.first = static_cast<std::uint32_t>(i);
+    node.count = static_cast<std::uint16_t>(std::min(fanout, n - i));
+    for (std::size_t j = i; j < i + node.count; ++j) {
+      node.box.expand(entries_[j].box);
+    }
+    level.push_back(static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(node);
+  }
+  height_ = 1;
+
+  // Pack upper levels until a single root remains. Children built by one
+  // pass are contiguous in nodes_, so ranges stay valid.
+  while (level.size() > 1) {
+    std::vector<std::uint32_t> next;
+    for (std::size_t i = 0; i < level.size(); i += fanout) {
+      Node node;
+      node.leaf = false;
+      node.first = level[i];
+      node.count =
+          static_cast<std::uint16_t>(std::min(fanout, level.size() - i));
+      for (std::size_t j = i; j < i + node.count; ++j) {
+        node.box.expand(nodes_[level[j]].box);
+      }
+      next.push_back(static_cast<std::uint32_t>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+geo::BBox RTree::bounds() const {
+  return nodes_.empty() ? geo::BBox{} : nodes_[root_].box;
+}
+
+void RTree::query_impl(std::uint32_t node_idx, const geo::BBox& query,
+                       const std::function<void(std::uint32_t)>& fn) const {
+  const Node& node = nodes_[node_idx];
+  if (!node.box.intersects(query)) return;
+  if (node.leaf) {
+    for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+      if (entries_[i].box.intersects(query)) fn(entries_[i].id);
+    }
+    return;
+  }
+  for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+    query_impl(i, query, fn);
+  }
+}
+
+void RTree::query(const geo::BBox& query,
+                  const std::function<void(std::uint32_t)>& fn) const {
+  if (nodes_.empty() || !query.valid()) return;
+  query_impl(root_, query, fn);
+}
+
+std::vector<std::uint32_t> RTree::query(const geo::BBox& query) const {
+  std::vector<std::uint32_t> out;
+  this->query(query, [&out](std::uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+void RTree::query_point(geo::Vec2 p,
+                        const std::function<void(std::uint32_t)>& fn) const {
+  query(geo::BBox::of_point(p), fn);
+}
+
+}  // namespace fa::index

@@ -1,0 +1,65 @@
+// Static STR-packed R-tree over (BBox, id) entries.
+//
+// The tree is bulk-loaded once with Sort-Tile-Recursive packing and is
+// immutable afterwards — exactly the access pattern of the overlay
+// pipeline, where a year's fire perimeters are indexed once and probed by
+// millions of transceiver points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geo/bbox.hpp"
+
+namespace fa::index {
+
+class RTree {
+ public:
+  struct Entry {
+    geo::BBox box;
+    std::uint32_t id = 0;
+  };
+
+  RTree() = default;
+  // Bulk-loads `entries` (copied); `max_fanout` children per node.
+  explicit RTree(std::vector<Entry> entries, int max_fanout = 16);
+
+  std::size_t size() const { return num_entries_; }
+  bool empty() const { return num_entries_ == 0; }
+  geo::BBox bounds() const;
+
+  // Invokes `fn(id)` for every entry whose box intersects `query`.
+  void query(const geo::BBox& query,
+             const std::function<void(std::uint32_t)>& fn) const;
+  // Convenience: collect intersecting ids (unordered).
+  std::vector<std::uint32_t> query(const geo::BBox& query) const;
+  // Invokes `fn(id)` for every entry whose box contains the point.
+  void query_point(geo::Vec2 p,
+                   const std::function<void(std::uint32_t)>& fn) const;
+
+  // Number of tree levels (1 = leaves only); exposed for tests/benchmarks.
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    geo::BBox box;
+    // Children are a contiguous range: nodes_[first .. first+count) for
+    // internal nodes, entries_[first .. first+count) for leaves.
+    std::uint32_t first = 0;
+    std::uint16_t count = 0;
+    bool leaf = true;
+  };
+
+  void query_impl(std::uint32_t node_idx, const geo::BBox& query,
+                  const std::function<void(std::uint32_t)>& fn) const;
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;  // nodes_[root_] is the root when non-empty
+  std::uint32_t root_ = 0;
+  std::size_t num_entries_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace fa::index

@@ -1,0 +1,90 @@
+#include "io/csv.hpp"
+
+#include <algorithm>
+
+namespace fa::io {
+
+std::vector<std::string> parse_csv_line(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(ch);
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (ch == '\r' && i + 1 == line.size()) {
+      // Swallow trailing CR from CRLF input.
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string escape_csv_field(std::string_view field, char sep) {
+  const bool needs_quotes =
+      field.find(sep) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      (!field.empty() && (field.front() == ' ' || field.back() == ' '));
+  if (!needs_quotes) return std::string{field};
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvReader::CsvReader(std::istream& in, bool has_header, char sep)
+    : in_(in), sep_(sep) {
+  if (has_header) {
+    std::string line;
+    if (std::getline(in_, line)) header_ = parse_csv_line(line, sep_);
+  }
+}
+
+int CsvReader::column(std::string_view name) const {
+  const auto it = std::find(header_.begin(), header_.end(), name);
+  return it == header_.end()
+             ? -1
+             : static_cast<int>(std::distance(header_.begin(), it));
+}
+
+std::optional<std::vector<std::string>> CsvReader::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || line == "\r") continue;
+    ++records_;
+    return parse_csv_line(line, sep_);
+  }
+  return std::nullopt;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << sep_;
+    out_ << escape_csv_field(fields[i], sep_);
+  }
+  out_ << '\n';
+}
+
+}  // namespace fa::io

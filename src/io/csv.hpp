@@ -1,0 +1,55 @@
+// RFC-4180-style CSV reading/writing. The OpenCelliD corpus ships as CSV;
+// the synthetic corpus round-trips through the same schema so the pipeline
+// exercises a realistic ingest path.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fa::io {
+
+// Splits one CSV record honouring double-quote escaping ("" -> ").
+// Newlines inside quoted fields are NOT supported (none of our schemas
+// use them); a dangling quote is treated as extending to end of line.
+std::vector<std::string> parse_csv_line(std::string_view line, char sep = ',');
+
+// Quotes `field` if it contains the separator, a quote, or whitespace.
+std::string escape_csv_field(std::string_view field, char sep = ',');
+
+class CsvReader {
+ public:
+  // Does not own the stream. If `has_header` the first row is consumed
+  // and exposed via header().
+  explicit CsvReader(std::istream& in, bool has_header = true, char sep = ',');
+
+  const std::vector<std::string>& header() const { return header_; }
+  // Column index by header name, or -1.
+  int column(std::string_view name) const;
+
+  // Next record, or nullopt at EOF. Blank lines are skipped.
+  std::optional<std::vector<std::string>> next();
+
+  std::size_t records_read() const { return records_; }
+
+ private:
+  std::istream& in_;
+  std::vector<std::string> header_;
+  char sep_;
+  std::size_t records_ = 0;
+};
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+}  // namespace fa::io

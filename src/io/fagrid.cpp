@@ -1,0 +1,84 @@
+#include "io/fagrid.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fa::io {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'F', 'A', 'G', 'R', 'I', 'D', '1', 0};
+
+static_assert(std::endian::native == std::endian::little,
+              "fagrid assumes a little-endian host");
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("fagrid: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void write_fagrid(std::ostream& out, const raster::ClassRaster& grid) {
+  out.write(kMagic.data(), kMagic.size());
+  const raster::GridGeometry& g = grid.geom();
+  write_pod(out, g.origin_x);
+  write_pod(out, g.origin_y);
+  write_pod(out, g.cell_w);
+  write_pod(out, g.cell_h);
+  write_pod(out, static_cast<std::int32_t>(g.cols));
+  write_pod(out, static_cast<std::int32_t>(g.rows));
+  out.write(reinterpret_cast<const char*>(grid.data().data()),
+            static_cast<std::streamsize>(grid.data().size()));
+}
+
+raster::ClassRaster read_fagrid(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw std::runtime_error("fagrid: bad magic");
+  raster::GridGeometry g;
+  g.origin_x = read_pod<double>(in);
+  g.origin_y = read_pod<double>(in);
+  g.cell_w = read_pod<double>(in);
+  g.cell_h = read_pod<double>(in);
+  g.cols = read_pod<std::int32_t>(in);
+  g.rows = read_pod<std::int32_t>(in);
+  if (g.cols <= 0 || g.rows <= 0 || g.cell_w <= 0.0 || g.cell_h <= 0.0) {
+    throw std::runtime_error("fagrid: invalid geometry");
+  }
+  // Dimension sanity cap: the CONUS at 270 m is ~180M cells; anything an
+  // order of magnitude beyond that is a corrupt header, not data.
+  if (g.cell_count() > 2'000'000'000ULL) {
+    throw std::runtime_error("fagrid: implausible dimensions");
+  }
+  raster::ClassRaster grid(g, 0);
+  in.read(reinterpret_cast<char*>(grid.data().data()),
+          static_cast<std::streamsize>(grid.data().size()));
+  if (!in) throw std::runtime_error("fagrid: truncated data");
+  return grid;
+}
+
+void save_fagrid(const std::string& path, const raster::ClassRaster& grid) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("fagrid: cannot open " + path);
+  write_fagrid(out, grid);
+}
+
+raster::ClassRaster load_fagrid(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fagrid: cannot open " + path);
+  return read_fagrid(in);
+}
+
+}  // namespace fa::io

@@ -1,0 +1,26 @@
+// Portable binary raster container (".fagrid"): a fixed little-endian
+// header followed by row-major uint8 cell data. Stands in for GeoTIFF so
+// generated WHP grids can be cached between runs without GDAL.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "raster/raster.hpp"
+
+namespace fa::io {
+
+// Format:
+//   magic   "FAGRID1\0"              (8 bytes)
+//   geometry: origin_x, origin_y, cell_w, cell_h as float64 LE (32 bytes)
+//   cols, rows as int32 LE            (8 bytes)
+//   data: cols*rows uint8, row 0 first (south-up, matching GridGeometry)
+void write_fagrid(std::ostream& out, const raster::ClassRaster& grid);
+raster::ClassRaster read_fagrid(std::istream& in);  // throws std::runtime_error
+
+// File helpers.
+void save_fagrid(const std::string& path, const raster::ClassRaster& grid);
+raster::ClassRaster load_fagrid(const std::string& path);
+
+}  // namespace fa::io

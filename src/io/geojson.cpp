@@ -1,0 +1,101 @@
+#include "io/geojson.hpp"
+
+namespace fa::io {
+
+namespace {
+
+JsonArray coord(geo::Vec2 p) { return JsonArray{p.x, p.y}; }
+
+// GeoJSON rings are closed (first == last).
+JsonArray ring_coords(const geo::Ring& ring) {
+  JsonArray out;
+  const auto pts = ring.points();
+  out.reserve(pts.size() + 1);
+  for (const geo::Vec2& p : pts) out.push_back(coord(p));
+  if (!pts.empty()) out.push_back(coord(pts.front()));
+  return out;
+}
+
+JsonArray polygon_coords(const geo::Polygon& poly) {
+  JsonArray rings;
+  rings.push_back(ring_coords(poly.outer()));
+  for (const geo::Ring& h : poly.holes()) rings.push_back(ring_coords(h));
+  return rings;
+}
+
+geo::Vec2 parse_coord(const JsonValue& v) {
+  if (!v.is_array() || v.size() < 2) throw JsonError("bad coordinate");
+  return {v.at(std::size_t{0}).as_number(), v.at(std::size_t{1}).as_number()};
+}
+
+geo::Ring parse_ring(const JsonValue& v) {
+  std::vector<geo::Vec2> pts;
+  pts.reserve(v.size());
+  for (const JsonValue& c : v.as_array()) pts.push_back(parse_coord(c));
+  return geo::Ring{std::move(pts)};
+}
+
+geo::Polygon parse_polygon_coords(const JsonValue& rings) {
+  if (!rings.is_array() || rings.size() == 0) throw JsonError("bad polygon");
+  geo::Ring outer = parse_ring(rings.at(std::size_t{0}));
+  std::vector<geo::Ring> holes;
+  for (std::size_t i = 1; i < rings.size(); ++i) {
+    holes.push_back(parse_ring(rings.at(i)));
+  }
+  return geo::Polygon{std::move(outer), std::move(holes)};
+}
+
+void check_type(const JsonValue& geometry, std::string_view want) {
+  if (!geometry.is_object() || !geometry.has("type") ||
+      geometry.at("type").as_string() != want) {
+    throw JsonError("expected geometry type " + std::string(want));
+  }
+}
+
+}  // namespace
+
+JsonValue point_geometry(geo::Vec2 p) {
+  return JsonObject{{"type", "Point"}, {"coordinates", coord(p)}};
+}
+
+JsonValue polygon_geometry(const geo::Polygon& poly) {
+  return JsonObject{{"type", "Polygon"}, {"coordinates", polygon_coords(poly)}};
+}
+
+JsonValue multipolygon_geometry(const geo::MultiPolygon& mp) {
+  JsonArray parts;
+  for (const geo::Polygon& p : mp.parts()) parts.push_back(polygon_coords(p));
+  return JsonObject{{"type", "MultiPolygon"}, {"coordinates", std::move(parts)}};
+}
+
+JsonValue feature(JsonValue geometry, JsonObject properties) {
+  return JsonObject{{"type", "Feature"},
+                    {"geometry", std::move(geometry)},
+                    {"properties", std::move(properties)}};
+}
+
+JsonValue feature_collection(JsonArray features) {
+  return JsonObject{{"type", "FeatureCollection"},
+                    {"features", std::move(features)}};
+}
+
+geo::Vec2 parse_point_geometry(const JsonValue& geometry) {
+  check_type(geometry, "Point");
+  return parse_coord(geometry.at("coordinates"));
+}
+
+geo::Polygon parse_polygon_geometry(const JsonValue& geometry) {
+  check_type(geometry, "Polygon");
+  return parse_polygon_coords(geometry.at("coordinates"));
+}
+
+geo::MultiPolygon parse_multipolygon_geometry(const JsonValue& geometry) {
+  check_type(geometry, "MultiPolygon");
+  std::vector<geo::Polygon> parts;
+  for (const JsonValue& p : geometry.at("coordinates").as_array()) {
+    parts.push_back(parse_polygon_coords(p));
+  }
+  return geo::MultiPolygon{std::move(parts)};
+}
+
+}  // namespace fa::io

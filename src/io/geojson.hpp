@@ -1,0 +1,27 @@
+// GeoJSON (RFC 7946) encoding of library geometry, plus feature-collection
+// helpers. Used by the benches to export reproduced figures as map layers
+// that any GIS viewer can open.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/polygon.hpp"
+#include "io/json.hpp"
+
+namespace fa::io {
+
+JsonValue point_geometry(geo::Vec2 p);
+JsonValue polygon_geometry(const geo::Polygon& poly);
+JsonValue multipolygon_geometry(const geo::MultiPolygon& mp);
+
+// A feature pairs a geometry with free-form properties.
+JsonValue feature(JsonValue geometry, JsonObject properties);
+JsonValue feature_collection(JsonArray features);
+
+// Inverse mappings; throw JsonError on schema violations.
+geo::Vec2 parse_point_geometry(const JsonValue& geometry);
+geo::Polygon parse_polygon_geometry(const JsonValue& geometry);
+geo::MultiPolygon parse_multipolygon_geometry(const JsonValue& geometry);
+
+}  // namespace fa::io

@@ -1,0 +1,319 @@
+#include "io/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace fa::io {
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonObject& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw JsonError("missing key: " + key);
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  const JsonArray& arr = as_array();
+  if (i >= arr.size()) throw JsonError("index out of range");
+  return arr[i];
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  throw JsonError("size() on non-container");
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("JSON error at offset " + std::to_string(pos_) + ": " +
+                    why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char ch) {
+    if (peek() != ch) fail(std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char ch = peek();
+    switch (ch) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue{parse_string()};
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue{true};
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue{false};
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{nullptr};
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(obj)};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char ch = peek();
+      if (ch == ',') {
+        ++pos_;
+        continue;
+      }
+      if (ch == '}') {
+        ++pos_;
+        return JsonValue{std::move(obj)};
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(arr)};
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char ch = peek();
+      if (ch == ',') {
+        ++pos_;
+        continue;
+      }
+      if (ch == ']') {
+        ++pos_;
+        return JsonValue{std::move(arr)};
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit");
+          }
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ ||
+        start == pos_) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return JsonValue{value};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void escape_into(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::array<char, 8> buf;
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf.data();
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void number_into(double d, std::string& out) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    // Integral values print without a fractional part.
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  std::array<char, 32> buf;
+  const std::size_t n = static_cast<std::size_t>(
+      std::snprintf(buf.data(), buf.size(), "%.17g", d));
+  out.append(buf.data(), n);
+}
+
+void serialize(const JsonValue& v, std::string& out, int indent, int depth) {
+  const auto newline = [&out, indent, depth](int extra) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * (depth + extra)), ' ');
+  };
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    number_into(v.as_number(), out);
+  } else if (v.is_string()) {
+    escape_into(v.as_string(), out);
+  } else if (v.is_array()) {
+    const JsonArray& arr = v.as_array();
+    out.push_back('[');
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out.push_back(',');
+      newline(1);
+      serialize(arr[i], out, indent, depth + 1);
+    }
+    if (!arr.empty()) newline(0);
+    out.push_back(']');
+  } else {
+    const JsonObject& obj = v.as_object();
+    out.push_back('{');
+    std::size_t i = 0;
+    for (const auto& [key, val] : obj) {
+      if (i++) out.push_back(',');
+      newline(1);
+      escape_into(key, out);
+      out.push_back(':');
+      if (indent > 0) out.push_back(' ');
+      serialize(val, out, indent, depth + 1);
+    }
+    if (!obj.empty()) newline(0);
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser{text}.parse_document();
+}
+
+std::string to_json(const JsonValue& value, int indent) {
+  std::string out;
+  serialize(value, out, indent, 0);
+  return out;
+}
+
+}  // namespace fa::io

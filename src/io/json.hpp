@@ -1,0 +1,77 @@
+// Minimal JSON document model + parser + serializer (RFC 8259 subset:
+// no \u surrogate pairs beyond the BMP, numbers as double). Backs the
+// GeoJSON layer and machine-readable experiment output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace fa::io {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+// std::map keeps key order deterministic, which keeps serialized output
+// byte-stable across runs — important for golden-file tests.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class JsonValue {
+ public:
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}
+  JsonValue(bool b) : v_(b) {}
+  JsonValue(double d) : v_(d) {}
+  JsonValue(int i) : v_(static_cast<double>(i)) {}
+  JsonValue(std::int64_t i) : v_(static_cast<double>(i)) {}
+  JsonValue(std::size_t i) : v_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : v_(std::string{s}) {}
+  JsonValue(std::string s) : v_(std::move(s)) {}
+  JsonValue(JsonArray a) : v_(std::move(a)) {}
+  JsonValue(JsonObject o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(v_); }
+  JsonArray& as_array() { return std::get<JsonArray>(v_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(v_); }
+  JsonObject& as_object() { return std::get<JsonObject>(v_); }
+
+  // Object member access; throws JsonError when absent or not an object.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const;
+  // Array element access.
+  const JsonValue& at(std::size_t i) const;
+  std::size_t size() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      v_;
+};
+
+// Parses a complete JSON document; throws JsonError with a byte offset on
+// malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+// Compact serialization (no whitespace). `indent` > 0 pretty-prints.
+std::string to_json(const JsonValue& value, int indent = 0);
+
+}  // namespace fa::io

@@ -1,0 +1,205 @@
+#include "io/wkt.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fa::io {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  std::array<char, 32> buf;
+  const int n = std::snprintf(buf.data(), buf.size(), "%.9g", v);
+  out.append(buf.data(), static_cast<std::size_t>(n));
+}
+
+void append_ring(std::string& out, const geo::Ring& ring) {
+  out.push_back('(');
+  const auto pts = ring.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    append_number(out, pts[i].x);
+    out.push_back(' ');
+    append_number(out, pts[i].y);
+    out += ", ";
+  }
+  // Close the ring per the WKT spec (first point repeated).
+  if (!pts.empty()) {
+    append_number(out, pts[0].x);
+    out.push_back(' ');
+    append_number(out, pts[0].y);
+  }
+  out.push_back(')');
+}
+
+void append_polygon_body(std::string& out, const geo::Polygon& poly) {
+  out.push_back('(');
+  append_ring(out, poly.outer());
+  for (const geo::Ring& h : poly.holes()) {
+    out += ", ";
+    append_ring(out, h);
+  }
+  out.push_back(')');
+}
+
+class WktParser {
+ public:
+  explicit WktParser(std::string_view text) : text_(text) {}
+
+  geo::Vec2 point() {
+    expect_tag("POINT");
+    expect('(');
+    const geo::Vec2 p = coord();
+    expect(')');
+    return p;
+  }
+
+  geo::Polygon polygon() {
+    expect_tag("POLYGON");
+    return polygon_body();
+  }
+
+  geo::MultiPolygon multipolygon() {
+    expect_tag("MULTIPOLYGON");
+    skip_ws();
+    std::vector<geo::Polygon> parts;
+    expect('(');
+    while (true) {
+      parts.push_back(polygon_body());
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect(')');
+    return geo::MultiPolygon{std::move(parts)};
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("WKT error at offset " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void expect(char ch) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != ch) {
+      fail(std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  void expect_tag(std::string_view tag) {
+    skip_ws();
+    for (const char want : tag) {
+      if (pos_ >= text_.size() ||
+          std::toupper(static_cast<unsigned char>(text_[pos_])) != want) {
+        fail(std::string("expected tag ") + std::string(tag));
+      }
+      ++pos_;
+    }
+  }
+
+  double number() {
+    skip_ws();
+    double value = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + pos_, text_.data() + text_.size(),
+                        value);
+    if (res.ec != std::errc{}) fail("bad number");
+    pos_ = static_cast<std::size_t>(res.ptr - text_.data());
+    return value;
+  }
+
+  geo::Vec2 coord() {
+    const double x = number();
+    const double y = number();
+    return {x, y};
+  }
+
+  geo::Ring ring() {
+    expect('(');
+    std::vector<geo::Vec2> pts;
+    while (true) {
+      pts.push_back(coord());
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect(')');
+    return geo::Ring{std::move(pts)};  // Ring strips the closing duplicate
+  }
+
+  geo::Polygon polygon_body() {
+    expect('(');
+    geo::Ring outer = ring();
+    std::vector<geo::Ring> holes;
+    skip_ws();
+    while (pos_ < text_.size() && text_[pos_] == ',') {
+      ++pos_;
+      holes.push_back(ring());
+      skip_ws();
+    }
+    expect(')');
+    return geo::Polygon{std::move(outer), std::move(holes)};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string to_wkt(geo::Vec2 point) {
+  std::string out = "POINT (";
+  append_number(out, point.x);
+  out.push_back(' ');
+  append_number(out, point.y);
+  out.push_back(')');
+  return out;
+}
+
+std::string to_wkt(const geo::Polygon& poly) {
+  std::string out = "POLYGON ";
+  append_polygon_body(out, poly);
+  return out;
+}
+
+std::string to_wkt(const geo::MultiPolygon& mp) {
+  std::string out = "MULTIPOLYGON (";
+  const auto parts = mp.parts();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += ", ";
+    append_polygon_body(out, parts[i]);
+  }
+  out.push_back(')');
+  return out;
+}
+
+geo::Vec2 parse_wkt_point(std::string_view wkt) {
+  return WktParser{wkt}.point();
+}
+
+geo::Polygon parse_wkt_polygon(std::string_view wkt) {
+  return WktParser{wkt}.polygon();
+}
+
+geo::MultiPolygon parse_wkt_multipolygon(std::string_view wkt) {
+  return WktParser{wkt}.multipolygon();
+}
+
+}  // namespace fa::io

@@ -1,0 +1,22 @@
+// Well-Known Text geometry serialization (POINT, POLYGON, MULTIPOLYGON).
+// GeoMAC distributes perimeters as shapefiles; WKT is the interchange form
+// this library emits/ingests for perimeter records.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "geo/polygon.hpp"
+
+namespace fa::io {
+
+std::string to_wkt(geo::Vec2 point);
+std::string to_wkt(const geo::Polygon& poly);
+std::string to_wkt(const geo::MultiPolygon& mp);
+
+// Parsers throw std::invalid_argument on malformed input.
+geo::Vec2 parse_wkt_point(std::string_view wkt);
+geo::Polygon parse_wkt_polygon(std::string_view wkt);
+geo::MultiPolygon parse_wkt_multipolygon(std::string_view wkt);
+
+}  // namespace fa::io

@@ -1,0 +1,159 @@
+#include "powergrid/grid_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "firesim/fire.hpp"  // fuel_factor
+#include "geo/geodesy.hpp"
+
+namespace fa::powergrid {
+
+namespace {
+
+// Exposure of the straight conductor run between two points: sampled WHP
+// fuel along the segment.
+struct SegmentExposure {
+  double max_fuel = 0.0;
+  double sum_fuel = 0.0;
+  int samples = 0;
+};
+
+SegmentExposure segment_exposure(geo::LonLat a, geo::LonLat b,
+                                 const synth::WhpModel& whp, double step_m) {
+  SegmentExposure out;
+  const double length = geo::haversine_m(a, b);
+  const int steps = std::max(1, static_cast<int>(length / step_m));
+  const double bearing = geo::bearing_deg(a, b);
+  for (int s = 0; s <= steps; ++s) {
+    const geo::LonLat p =
+        geo::destination(a, bearing, length * s / steps);
+    const double fuel = firesim::fuel_factor(whp.class_at(p));
+    out.max_fuel = std::max(out.max_fuel, fuel);
+    out.sum_fuel += fuel;
+    ++out.samples;
+  }
+  return out;
+}
+
+}  // namespace
+
+GridModel GridModel::build(const std::vector<cellnet::CellSite>& sites,
+                           const synth::WhpModel& whp,
+                           const synth::UsAtlas& atlas, std::uint64_t seed,
+                           const GridModelConfig& config) {
+  GridModel model;
+  synth::Rng rng(seed ^ 0x9051D5EEDULL);
+
+  // --- Substations: one per city (plus isolated-site fallbacks) -----------
+  for (const synth::CityInfo& city : atlas.cities()) {
+    Substation sub;
+    sub.id = static_cast<std::uint32_t>(model.substations_.size());
+    sub.position = city.position;
+    sub.name = std::string{city.name} + " substation";
+    model.substations_.push_back(std::move(sub));
+  }
+
+  // --- Assign each site to its nearest substation --------------------------
+  std::vector<std::vector<std::uint32_t>> sites_of_sub(
+      model.substations_.size());
+  model.feeder_of_.assign(sites.size(), 0);
+  for (std::uint32_t i = 0; i < sites.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    std::uint32_t best_sub = 0;
+    for (const Substation& sub : model.substations_) {
+      // Cheap planar metric with latitude compression (fine for ranking).
+      const double dx = (sites[i].position.lon - sub.position.lon) *
+                        std::cos(sites[i].position.lat * geo::kDegToRad);
+      const double dy = sites[i].position.lat - sub.position.lat;
+      const double d = dx * dx + dy * dy;
+      if (d < best) {
+        best = d;
+        best_sub = sub.id;
+      }
+    }
+    sites_of_sub[best_sub].push_back(i);
+  }
+
+  // --- Grow feeders: nearest-unserved-neighbour chains ---------------------
+  // Each substation's sites are chained greedily: start at the site
+  // closest to the substation, extend to the nearest unserved site, cut
+  // over to a new feeder at capacity. This approximates how radial
+  // distribution feeders follow load outward.
+  for (const Substation& sub : model.substations_) {
+    auto& pool = sites_of_sub[sub.id];
+    std::vector<bool> used(pool.size(), false);
+    std::size_t remaining = pool.size();
+    while (remaining > 0) {
+      Feeder feeder;
+      feeder.id = static_cast<std::uint32_t>(model.feeders_.size());
+      feeder.substation = sub.id;
+      geo::LonLat cursor = sub.position;
+      int exposure_samples = 0;
+      while (static_cast<int>(feeder.sites.size()) < config.sites_per_feeder &&
+             remaining > 0) {
+        // Nearest unserved site to the cursor.
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_k = 0;
+        for (std::size_t k = 0; k < pool.size(); ++k) {
+          if (used[k]) continue;
+          const double dx =
+              (sites[pool[k]].position.lon - cursor.lon) *
+              std::cos(cursor.lat * geo::kDegToRad);
+          const double dy = sites[pool[k]].position.lat - cursor.lat;
+          const double d = dx * dx + dy * dy;
+          if (d < best) {
+            best = d;
+            best_k = k;
+          }
+        }
+        used[best_k] = true;
+        --remaining;
+        const std::uint32_t site = pool[best_k];
+        // Accumulate exposure along the new segment.
+        const SegmentExposure seg = segment_exposure(
+            cursor, sites[site].position, whp, config.sample_step_m);
+        feeder.max_exposure = std::max(feeder.max_exposure, seg.max_fuel);
+        feeder.mean_exposure += seg.sum_fuel;
+        exposure_samples += seg.samples;
+        feeder.length_m += geo::haversine_m(cursor, sites[site].position);
+        feeder.sites.push_back(site);
+        model.feeder_of_[site] = feeder.id;
+        cursor = sites[site].position;
+      }
+      if (!feeder.sites.empty()) {
+        feeder.mean_exposure /= std::max(1, exposure_samples);
+        feeder.hardened = rng.chance(config.hardened_fraction);
+        model.feeders_.push_back(std::move(feeder));
+      }
+    }
+  }
+  return model;
+}
+
+double GridModel::shutoff_probability(const Feeder& feeder,
+                                      double wind_severity,
+                                      double base_rate) const {
+  if (feeder.sites.empty()) return 0.0;
+  // Hardened circuits stay energized except in extreme wind.
+  if (feeder.hardened && wind_severity < 0.9) return 0.0;
+  // Utilities cut the circuits whose worst span crosses heavy fuel.
+  const double exposure =
+      0.7 * feeder.max_exposure + 0.3 * feeder.mean_exposure;
+  return std::min(0.95, base_rate * wind_severity * exposure * 4.0);
+}
+
+double GridModel::share_of_sites_on_exposed_feeders(
+    double exposure_threshold) const {
+  std::size_t exposed = 0;
+  std::size_t total = 0;
+  for (const Feeder& feeder : feeders_) {
+    total += feeder.sites.size();
+    if (feeder.max_exposure >= exposure_threshold) {
+      exposed += feeder.sites.size();
+    }
+  }
+  return total ? static_cast<double>(exposed) / total : 0.0;
+}
+
+}  // namespace fa::powergrid

@@ -1,0 +1,97 @@
+#include "powergrid/psps.hpp"
+
+#include "firesim/fire.hpp"
+
+namespace fa::powergrid {
+
+firesim::FeederPlan to_feeder_plan(const GridModel& model) {
+  firesim::FeederPlan plan;
+  plan.feeder_of = model.feeder_of_site();
+  plan.risk.reserve(model.feeders().size());
+  plan.hardened.reserve(model.feeders().size());
+  for (const Feeder& feeder : model.feeders()) {
+    plan.risk.push_back(0.7 * feeder.max_exposure + 0.3 * feeder.mean_exposure);
+    plan.hardened.push_back(feeder.hardened ? 1 : 0);
+  }
+  return plan;
+}
+
+firesim::DirsReport simulate_california_2019_with_grid(
+    const cellnet::CellCorpus& corpus, const synth::WhpModel& whp,
+    const synth::UsAtlas& atlas, std::uint64_t seed,
+    const firesim::OutageSimConfig& config,
+    const GridModelConfig& grid_config) {
+  // Same region filter and named fires as the firesim-native case study.
+  const int ca = atlas.state_index("CA");
+  std::vector<cellnet::Transceiver> ca_txr;
+  for (const auto& t : corpus.transceivers()) {
+    if (t.state == ca) ca_txr.push_back(t);
+  }
+  const cellnet::CellCorpus ca_corpus{std::move(ca_txr)};
+  const std::vector<cellnet::CellSite> sites = ca_corpus.infer_sites(120.0);
+
+  firesim::FireSimulator fire_sim(whp, atlas, seed ^ 0x2019CA11ULL);
+  firesim::FirePerimeter kincade = fire_sim.spread_named_fire(
+      "Kincade (sim)", {-122.78, 38.75}, 77000.0, 2019, 0);
+  kincade.start_day = 0;
+  kincade.end_day = 7;
+  firesim::FirePerimeter getty = fire_sim.spread_named_fire(
+      "Getty (sim)", {-118.48, 34.09}, 745.0, 2019, 1);
+  getty.start_day = 3;
+  getty.end_day = 7;
+  firesim::FirePerimeter saddle = fire_sim.spread_named_fire(
+      "Saddle Ridge (sim)", {-118.49, 34.33}, 8800.0, 2019, 2);
+  saddle.start_day = 0;
+  saddle.end_day = 6;
+  firesim::FirePerimeter tick = fire_sim.spread_named_fire(
+      "Tick (sim)", {-118.53, 34.44}, 4600.0, 2019, 3);
+  tick.start_day = 0;
+  tick.end_day = 5;
+
+  const GridModel grid = GridModel::build(sites, whp, atlas, seed, grid_config);
+  const firesim::FeederPlan plan = to_feeder_plan(grid);
+  firesim::OutageSimulator sim(whp, seed);
+  return sim.simulate(sites,
+                      {std::move(kincade), std::move(getty),
+                       std::move(saddle), std::move(tick)},
+                      config, &plan);
+}
+
+GridStats analyze_grid(const GridModel& model,
+                       const std::vector<cellnet::CellSite>& sites,
+                       const synth::WhpModel& whp) {
+  GridStats stats;
+  stats.substations = model.substations().size();
+  stats.feeders = model.feeders().size();
+  std::size_t total_sites = 0;
+  for (const Feeder& feeder : model.feeders()) {
+    stats.mean_feeder_length_km += feeder.length_m / 1000.0;
+    total_sites += feeder.sites.size();
+  }
+  if (stats.feeders > 0) {
+    stats.mean_feeder_length_km /= static_cast<double>(stats.feeders);
+    stats.mean_sites_per_feeder =
+        static_cast<double>(total_sites) / static_cast<double>(stats.feeders);
+  }
+  // Exposure overhang: moderate-class fuel factor is the threshold.
+  const double threshold = firesim::fuel_factor(synth::WhpClass::kModerate);
+  stats.sites_on_exposed_feeders =
+      model.share_of_sites_on_exposed_feeders(threshold);
+
+  std::size_t clean_on_dirty = 0;
+  std::size_t clean_total = 0;
+  const auto& feeder_of = model.feeder_of_site();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const bool site_at_risk =
+        synth::whp_at_risk(whp.class_at(sites[i].position));
+    if (site_at_risk) continue;
+    ++clean_total;
+    const Feeder& feeder = model.feeders()[feeder_of[i]];
+    if (feeder.max_exposure >= threshold) ++clean_on_dirty;
+  }
+  stats.clean_sites_dirty_feeders =
+      clean_total ? static_cast<double>(clean_on_dirty) / clean_total : 0.0;
+  return stats;
+}
+
+}  // namespace fa::powergrid

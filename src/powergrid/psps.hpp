@@ -1,0 +1,40 @@
+// Bridge between the distribution-grid model and the outage simulator,
+// plus grid-level PSPS analytics.
+#pragma once
+
+#include "firesim/outage.hpp"
+#include "powergrid/grid_model.hpp"
+
+namespace fa::powergrid {
+
+// Converts the grid model into the outage simulator's feeder plan.
+firesim::FeederPlan to_feeder_plan(const GridModel& model);
+
+// The 2019 California case study driven by the real feeder topology
+// instead of the simulator's lattice bucketing. The fires are the same
+// four named perimeters as firesim::simulate_california_2019.
+firesim::DirsReport simulate_california_2019_with_grid(
+    const cellnet::CellCorpus& corpus, const synth::WhpModel& whp,
+    const synth::UsAtlas& atlas, std::uint64_t seed,
+    const firesim::OutageSimConfig& config = {},
+    const GridModelConfig& grid_config = {});
+
+// Aggregate PSPS analytics for EXPERIMENTS/benches.
+struct GridStats {
+  std::size_t substations = 0;
+  std::size_t feeders = 0;
+  double mean_feeder_length_km = 0.0;
+  double mean_sites_per_feeder = 0.0;
+  // Share of sites whose feeder crosses heavy fuel (fuel factor >= 0.78,
+  // i.e. WHP moderate or worse) even though the site itself may not.
+  double sites_on_exposed_feeders = 0.0;
+  // Share of sites that are NOT in at-risk terrain themselves but whose
+  // feeder is exposed — the pure interdependence overhang.
+  double clean_sites_dirty_feeders = 0.0;
+};
+
+GridStats analyze_grid(const GridModel& model,
+                       const std::vector<cellnet::CellSite>& sites,
+                       const synth::WhpModel& whp);
+
+}  // namespace fa::powergrid

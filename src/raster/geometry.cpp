@@ -1,0 +1,19 @@
+#include "raster/raster.hpp"
+
+#include <cmath>
+
+namespace fa::raster {
+
+GridGeometry GridGeometry::covering(const geo::BBox& box, double cell_w,
+                                    double cell_h) {
+  GridGeometry g;
+  g.origin_x = box.min_x;
+  g.origin_y = box.min_y;
+  g.cell_w = cell_w;
+  g.cell_h = cell_h;
+  g.cols = std::max(1, static_cast<int>(std::ceil(box.width() / cell_w)));
+  g.rows = std::max(1, static_cast<int>(std::ceil(box.height() / cell_h)));
+  return g;
+}
+
+}  // namespace fa::raster

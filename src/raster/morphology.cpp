@@ -1,0 +1,85 @@
+#include "raster/morphology.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fa::raster {
+
+FloatRaster distance_transform(const MaskRaster& mask) {
+  const GridGeometry& g = mask.geom();
+  FloatRaster dist(g, std::numeric_limits<float>::max());
+  if (mask.empty()) return dist;
+
+  // Chamfer weights in world units; assumes square-ish cells.
+  const float straight = static_cast<float>(std::min(g.cell_w, g.cell_h));
+  const float diagonal = straight * 4.0f / 3.0f;
+
+  for (int r = 0; r < g.rows; ++r) {
+    for (int c = 0; c < g.cols; ++c) {
+      if (mask.at(c, r) != 0) dist.at(c, r) = 0.0f;
+    }
+  }
+
+  const auto relax = [&dist, &g](int c, int r, int dc, int dr, float w) {
+    const int cc = c + dc;
+    const int rr = r + dr;
+    if (!g.in_bounds(cc, rr)) return;
+    const float cand = dist.at(cc, rr) + w;
+    if (cand < dist.at(c, r)) dist.at(c, r) = cand;
+  };
+
+  // Forward pass (scan south-west -> north-east).
+  for (int r = 0; r < g.rows; ++r) {
+    for (int c = 0; c < g.cols; ++c) {
+      relax(c, r, -1, 0, straight);
+      relax(c, r, 0, -1, straight);
+      relax(c, r, -1, -1, diagonal);
+      relax(c, r, 1, -1, diagonal);
+    }
+  }
+  // Backward pass.
+  for (int r = g.rows - 1; r >= 0; --r) {
+    for (int c = g.cols - 1; c >= 0; --c) {
+      relax(c, r, 1, 0, straight);
+      relax(c, r, 0, 1, straight);
+      relax(c, r, 1, 1, diagonal);
+      relax(c, r, -1, 1, diagonal);
+    }
+  }
+  return dist;
+}
+
+MaskRaster dilate_mask(const MaskRaster& mask, double radius) {
+  const FloatRaster dist = distance_transform(mask);
+  MaskRaster out(mask.geom(), 0);
+  const float rad = static_cast<float>(radius);
+  for (std::size_t i = 0; i < dist.data().size(); ++i) {
+    out.data()[i] = dist.data()[i] <= rad ? 1 : 0;
+  }
+  return out;
+}
+
+MaskRaster class_mask(const ClassRaster& classes, std::uint8_t cls) {
+  MaskRaster out(classes.geom(), 0);
+  for (std::size_t i = 0; i < classes.data().size(); ++i) {
+    out.data()[i] = classes.data()[i] == cls ? 1 : 0;
+  }
+  return out;
+}
+
+std::map<std::uint8_t, std::size_t> class_histogram(const ClassRaster& r) {
+  std::map<std::uint8_t, std::size_t> hist;
+  for (std::uint8_t v : r.data()) ++hist[v];
+  return hist;
+}
+
+std::map<std::uint8_t, double> class_area(const ClassRaster& r) {
+  std::map<std::uint8_t, double> area;
+  const double cell = r.geom().cell_area();
+  for (const auto& [cls, n] : class_histogram(r)) {
+    area[cls] = static_cast<double>(n) * cell;
+  }
+  return area;
+}
+
+}  // namespace fa::raster

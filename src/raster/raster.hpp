@@ -1,0 +1,123 @@
+// Regular-grid raster with an affine cell<->world mapping.
+//
+// Convention: row 0 is the SOUTHERN edge (south-up, i.e. world y grows with
+// row index) and cell (0,0)'s lower-left corner sits at (origin_x,
+// origin_y). This differs from GDAL's north-up default on purpose: it keeps
+// the mapping monotone in both axes and removes a whole class of sign bugs.
+//
+// Rasters are used in two coordinate systems:
+//   * Albers metres for the WHP hazard grid (270 m cells, like USFS WHP)
+//   * lon/lat degrees for quick-look density maps
+// The raster itself is CRS-agnostic; callers keep track.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.hpp"
+
+namespace fa::raster {
+
+struct GridGeometry {
+  double origin_x = 0.0;  // world x of the left edge of column 0
+  double origin_y = 0.0;  // world y of the bottom edge of row 0
+  double cell_w = 1.0;    // world units per column step (> 0)
+  double cell_h = 1.0;    // world units per row step (> 0)
+  int cols = 0;
+  int rows = 0;
+
+  bool operator==(const GridGeometry&) const = default;
+
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows);
+  }
+  geo::BBox extent() const {
+    return {origin_x, origin_y, origin_x + cell_w * cols,
+            origin_y + cell_h * rows};
+  }
+  // Cell indices of the world point; may be out of range.
+  int col_of(double x) const {
+    return static_cast<int>(std::floor((x - origin_x) / cell_w));
+  }
+  int row_of(double y) const {
+    return static_cast<int>(std::floor((y - origin_y) / cell_h));
+  }
+  bool in_bounds(int c, int r) const {
+    return c >= 0 && c < cols && r >= 0 && r < rows;
+  }
+  bool contains_world(geo::Vec2 p) const {
+    return in_bounds(col_of(p.x), row_of(p.y));
+  }
+  // World coordinates of the center of cell (c, r).
+  geo::Vec2 cell_center(int c, int r) const {
+    return {origin_x + (c + 0.5) * cell_w, origin_y + (r + 0.5) * cell_h};
+  }
+  geo::BBox cell_box(int c, int r) const {
+    return {origin_x + c * cell_w, origin_y + r * cell_h,
+            origin_x + (c + 1) * cell_w, origin_y + (r + 1) * cell_h};
+  }
+  double cell_area() const { return cell_w * cell_h; }
+
+  // Geometry covering `box` with the given cell size (box is expanded to a
+  // whole number of cells).
+  static GridGeometry covering(const geo::BBox& box, double cell_w,
+                               double cell_h);
+};
+
+template <typename T>
+class Raster {
+ public:
+  Raster() = default;
+  Raster(GridGeometry geom, T fill = T{})
+      : geom_(geom), data_(geom.cell_count(), fill) {}
+
+  const GridGeometry& geom() const { return geom_; }
+  int cols() const { return geom_.cols; }
+  int rows() const { return geom_.rows; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& at(int c, int r) {
+    assert(geom_.in_bounds(c, r));
+    return data_[static_cast<std::size_t>(r) * geom_.cols + c];
+  }
+  const T& at(int c, int r) const {
+    assert(geom_.in_bounds(c, r));
+    return data_[static_cast<std::size_t>(r) * geom_.cols + c];
+  }
+  // Value at a world point, or `fallback` when outside the grid.
+  T sample(geo::Vec2 world, T fallback = T{}) const {
+    const int c = geom_.col_of(world.x);
+    const int r = geom_.row_of(world.y);
+    return geom_.in_bounds(c, r) ? at(c, r) : fallback;
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  // Number of cells equal to `value`.
+  std::size_t count(T value) const {
+    std::size_t n = 0;
+    for (const T& v : data_) n += (v == value) ? 1 : 0;
+    return n;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {  // fn(col, row, value)
+    for (int r = 0; r < geom_.rows; ++r) {
+      for (int c = 0; c < geom_.cols; ++c) fn(c, r, at(c, r));
+    }
+  }
+
+ private:
+  GridGeometry geom_;
+  std::vector<T> data_;
+};
+
+using MaskRaster = Raster<std::uint8_t>;
+using ClassRaster = Raster<std::uint8_t>;
+using FloatRaster = Raster<float>;
+
+}  // namespace fa::raster

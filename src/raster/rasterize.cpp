@@ -1,0 +1,100 @@
+#include "raster/rasterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace fa::raster {
+
+namespace {
+
+// Collects the x-coordinates where the scanline y crosses ring edges.
+void ring_crossings(const geo::Ring& ring, double y, std::vector<double>& xs) {
+  const auto pts = ring.points();
+  for (std::size_t i = 0, n = pts.size(); i < n; ++i) {
+    const geo::Vec2 a = pts[i];
+    const geo::Vec2 b = pts[(i + 1) % n];
+    // Half-open rule: count edges whose span covers y in [min, max).
+    if ((a.y > y) != (b.y > y)) {
+      xs.push_back(a.x + (y - a.y) * (b.x - a.x) / (b.y - a.y));
+    }
+  }
+}
+
+}  // namespace
+
+void scan_polygon(const GridGeometry& geom, const geo::Polygon& poly,
+                  const std::function<void(int, int)>& fn) {
+  if (poly.empty() || geom.cell_count() == 0) return;
+  const geo::BBox box = poly.bbox().intersection(geom.extent());
+  if (!box.valid()) return;
+
+  const int r0 = std::max(0, geom.row_of(box.min_y));
+  const int r1 = std::min(geom.rows - 1, geom.row_of(box.max_y));
+  std::vector<double> xs;
+  for (int r = r0; r <= r1; ++r) {
+    const double y = geom.origin_y + (r + 0.5) * geom.cell_h;
+    xs.clear();
+    ring_crossings(poly.outer(), y, xs);
+    for (const geo::Ring& h : poly.holes()) ring_crossings(h, y, xs);
+    std::sort(xs.begin(), xs.end());
+    // Crossings pair up into inside spans (even-odd rule; holes simply add
+    // crossings, which carves them out).
+    for (std::size_t k = 0; k + 1 < xs.size(); k += 2) {
+      const int c0 = std::max(0, geom.col_of(xs[k] + geom.cell_w * 0.5));
+      const int c1 =
+          std::min(geom.cols - 1,
+                   geom.col_of(xs[k + 1] - geom.cell_w * 0.5));
+      for (int c = c0; c <= c1; ++c) {
+        // Cell-center test, consistent with Raster::sample semantics.
+        const double cx = geom.origin_x + (c + 0.5) * geom.cell_w;
+        if (cx >= xs[k] && cx <= xs[k + 1]) fn(c, r);
+      }
+    }
+  }
+}
+
+void rasterize_polygon(MaskRaster& target, const geo::Polygon& poly,
+                       std::uint8_t value) {
+  scan_polygon(target.geom(), poly,
+               [&](int c, int r) { target.at(c, r) = value; });
+}
+
+void rasterize_multipolygon(MaskRaster& target, const geo::MultiPolygon& mp,
+                            std::uint8_t value) {
+  for (const geo::Polygon& p : mp.parts()) rasterize_polygon(target, p, value);
+}
+
+void rasterize_polyline(MaskRaster& target, std::span<const geo::Vec2> line,
+                        double half_width, std::uint8_t value) {
+  const GridGeometry& geom = target.geom();
+  if (line.size() < 2 || geom.cell_count() == 0) return;
+  const double step = std::min(geom.cell_w, geom.cell_h) * 0.5;
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    const geo::Vec2 a = line[i];
+    const geo::Vec2 b = line[i + 1];
+    const double len = geo::distance(a, b);
+    const int steps = std::max(1, static_cast<int>(len / step));
+    for (int s = 0; s <= steps; ++s) {
+      const geo::Vec2 p = geo::lerp(a, b, static_cast<double>(s) / steps);
+      if (half_width <= 0.0) {
+        const int c = geom.col_of(p.x);
+        const int r = geom.row_of(p.y);
+        if (geom.in_bounds(c, r)) target.at(c, r) = value;
+        continue;
+      }
+      const int c0 = geom.col_of(p.x - half_width);
+      const int c1 = geom.col_of(p.x + half_width);
+      const int r0 = geom.row_of(p.y - half_width);
+      const int r1 = geom.row_of(p.y + half_width);
+      for (int r = std::max(0, r0); r <= std::min(geom.rows - 1, r1); ++r) {
+        for (int c = std::max(0, c0); c <= std::min(geom.cols - 1, c1); ++c) {
+          const geo::Vec2 cc = geom.cell_center(c, r);
+          if (geo::distance(cc, p) <= half_width) target.at(c, r) = value;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fa::raster

@@ -1,0 +1,29 @@
+// Vector -> raster: polygon scanline fill and polyline stamping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "geo/polygon.hpp"
+#include "raster/raster.hpp"
+
+namespace fa::raster {
+
+// Invokes fn(col, row) for every cell whose CENTER lies inside `poly`
+// (holes respected), restricted to the raster geometry.
+void scan_polygon(const GridGeometry& geom, const geo::Polygon& poly,
+                  const std::function<void(int, int)>& fn);
+
+// Burns `value` into cells covered by the polygon.
+void rasterize_polygon(MaskRaster& target, const geo::Polygon& poly,
+                       std::uint8_t value);
+void rasterize_multipolygon(MaskRaster& target, const geo::MultiPolygon& mp,
+                            std::uint8_t value);
+
+// Burns `value` along a polyline with the given half-width (world units;
+// a width of 0 stamps only the traversed cells).
+void rasterize_polyline(MaskRaster& target, std::span<const geo::Vec2> line,
+                        double half_width, std::uint8_t value);
+
+}  // namespace fa::raster

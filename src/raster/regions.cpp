@@ -1,0 +1,172 @@
+#include "raster/regions.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+namespace fa::raster {
+
+Labeling label_components(const MaskRaster& mask) {
+  const GridGeometry& g = mask.geom();
+  Labeling out;
+  out.labels = Raster<std::uint32_t>(g, 0);
+  if (mask.empty()) return out;
+
+  std::vector<std::pair<int, int>> stack;
+  for (int r = 0; r < g.rows; ++r) {
+    for (int c = 0; c < g.cols; ++c) {
+      if (mask.at(c, r) == 0 || out.labels.at(c, r) != 0) continue;
+      const std::uint32_t label = ++out.count;
+      std::size_t cells = 0;
+      stack.push_back({c, r});
+      out.labels.at(c, r) = label;
+      while (!stack.empty()) {
+        const auto [cc, cr] = stack.back();
+        stack.pop_back();
+        ++cells;
+        constexpr int dc[] = {1, -1, 0, 0};
+        constexpr int dr[] = {0, 0, 1, -1};
+        for (int k = 0; k < 4; ++k) {
+          const int nc = cc + dc[k];
+          const int nr = cr + dr[k];
+          if (g.in_bounds(nc, nr) && mask.at(nc, nr) != 0 &&
+              out.labels.at(nc, nr) == 0) {
+            out.labels.at(nc, nr) = label;
+            stack.push_back({nc, nr});
+          }
+        }
+      }
+      out.sizes.push_back(cells);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Lattice corner (col, row) packed into one key.
+std::uint64_t pack(int c, int r) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c)) << 32) |
+         static_cast<std::uint32_t>(r);
+}
+
+struct Corner {
+  int c;
+  int r;
+};
+
+// Drops collinear intermediate vertices from a closed rectilinear loop.
+std::vector<geo::Vec2> collapse_collinear(const std::vector<geo::Vec2>& pts) {
+  const std::size_t n = pts.size();
+  if (n < 4) return pts;
+  std::vector<geo::Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geo::Vec2 prev = pts[(i + n - 1) % n];
+    const geo::Vec2 cur = pts[i];
+    const geo::Vec2 next = pts[(i + 1) % n];
+    if (geo::orient2d(prev, cur, next) != 0.0) out.push_back(cur);
+  }
+  return out.size() >= 3 ? out : pts;
+}
+
+}  // namespace
+
+std::vector<geo::Ring> trace_component(const Raster<std::uint32_t>& labels,
+                                       std::uint32_t label) {
+  const GridGeometry& g = labels.geom();
+  // Directed boundary edges with the component on the left; CCW cell walk
+  // is bottom: (c,r)->(c+1,r), right: up, top: right->left, left: down.
+  std::unordered_map<std::uint64_t, std::vector<Corner>> next_of;
+  const auto is_label = [&](int c, int r) {
+    return g.in_bounds(c, r) && labels.at(c, r) == label;
+  };
+  std::size_t num_edges = 0;
+  for (int r = 0; r < g.rows; ++r) {
+    for (int c = 0; c < g.cols; ++c) {
+      if (labels.at(c, r) != label) continue;
+      if (!is_label(c, r - 1)) {
+        next_of[pack(c, r)].push_back({c + 1, r});
+        ++num_edges;
+      }
+      if (!is_label(c + 1, r)) {
+        next_of[pack(c + 1, r)].push_back({c + 1, r + 1});
+        ++num_edges;
+      }
+      if (!is_label(c, r + 1)) {
+        next_of[pack(c + 1, r + 1)].push_back({c, r + 1});
+        ++num_edges;
+      }
+      if (!is_label(c - 1, r)) {
+        next_of[pack(c, r + 1)].push_back({c, r});
+        ++num_edges;
+      }
+    }
+  }
+
+  std::vector<geo::Ring> loops;
+  std::size_t consumed = 0;
+  while (consumed < num_edges) {
+    // Find any vertex with an unconsumed outgoing edge.
+    auto it = std::find_if(next_of.begin(), next_of.end(),
+                           [](const auto& kv) { return !kv.second.empty(); });
+    if (it == next_of.end()) break;
+    const std::uint64_t start_key = it->first;
+    Corner cur{static_cast<int>(start_key >> 32),
+               static_cast<int>(start_key & 0xffffffffULL)};
+    std::vector<geo::Vec2> pts;
+    std::uint64_t cur_key = start_key;
+    do {
+      auto& outs = next_of[cur_key];
+      if (outs.empty()) break;  // defensive: malformed boundary
+      const Corner nxt = outs.back();
+      outs.pop_back();
+      ++consumed;
+      pts.push_back({g.origin_x + cur.c * g.cell_w,
+                     g.origin_y + cur.r * g.cell_h});
+      cur = nxt;
+      cur_key = pack(cur.c, cur.r);
+    } while (cur_key != start_key);
+    if (pts.size() >= 3) loops.emplace_back(collapse_collinear(pts));
+  }
+  return loops;
+}
+
+std::vector<geo::Polygon> extract_regions(const MaskRaster& mask) {
+  const Labeling lab = label_components(mask);
+  struct Region {
+    geo::Polygon poly;
+    std::size_t cells;
+  };
+  std::vector<Region> regions;
+  regions.reserve(lab.count);
+  for (std::uint32_t label = 1; label <= lab.count; ++label) {
+    std::vector<geo::Ring> loops = trace_component(lab.labels, label);
+    if (loops.empty()) continue;
+    // The outer boundary is the CCW loop; all CW loops are holes.
+    geo::Ring outer;
+    std::vector<geo::Ring> holes;
+    double best_area = -1.0;
+    for (geo::Ring& loop : loops) {
+      if (loop.is_ccw() && loop.area() > best_area) {
+        if (!outer.empty()) holes.push_back(std::move(outer));
+        best_area = loop.area();
+        outer = std::move(loop);
+      } else {
+        holes.push_back(std::move(loop));
+      }
+    }
+    regions.push_back(
+        {geo::Polygon{std::move(outer), std::move(holes)},
+         lab.sizes[label - 1]});
+  }
+  std::sort(regions.begin(), regions.end(),
+            [](const Region& a, const Region& b) { return a.cells > b.cells; });
+  std::vector<geo::Polygon> out;
+  out.reserve(regions.size());
+  for (Region& r : regions) out.push_back(std::move(r.poly));
+  return out;
+}
+
+}  // namespace fa::raster

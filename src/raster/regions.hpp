@@ -1,0 +1,33 @@
+// Binary-mask -> vector conversion: connected-component labelling and
+// boundary tracing. This turns the fire simulator's burned-cell masks into
+// the perimeter polygons the overlay pipeline consumes (the synthetic
+// GeoMAC record).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/polygon.hpp"
+#include "raster/raster.hpp"
+
+namespace fa::raster {
+
+// 4-connected component labelling; label 0 = background, components are
+// numbered from 1. Returns the label raster and the component count.
+struct Labeling {
+  Raster<std::uint32_t> labels;
+  std::uint32_t count = 0;
+  std::vector<std::size_t> sizes;  // sizes[i] = cells of component i+1
+};
+Labeling label_components(const MaskRaster& mask);
+
+// Extracts every component of `mask` as a polygon in world coordinates:
+// one CCW outer ring plus CW hole rings, vertices on cell corners with
+// collinear points collapsed. Ordered by descending cell count.
+std::vector<geo::Polygon> extract_regions(const MaskRaster& mask);
+
+// Boundary loops of a single labelled component (exposed for tests).
+std::vector<geo::Ring> trace_component(const Raster<std::uint32_t>& labels,
+                                       std::uint32_t label);
+
+}  // namespace fa::raster

@@ -1,0 +1,25 @@
+// Synthetic transceiver-corpus generator.
+//
+// Reproduces the spatial statistics of the OpenCelliD snapshot (Figure 2):
+// dense urban clusters, strings along inter-city road corridors, and a
+// sparse rural scatter; provider and radio-type marginals match the
+// paper's Tables 2-3. Deterministic in (seed, scale).
+#pragma once
+
+#include "cellnet/corpus.hpp"
+#include "synth/scenario.hpp"
+#include "synth/usatlas.hpp"
+
+namespace fa::synth {
+
+struct CorpusMixture {
+  double urban_fraction = 0.76;  // clustered around metro centers
+  double road_fraction = 0.16;   // along inter-city corridors
+  double rural_fraction = 0.08;  // population-weighted scatter
+};
+
+cellnet::CellCorpus generate_corpus(const UsAtlas& atlas,
+                                    const ScenarioConfig& config,
+                                    const CorpusMixture& mix = {});
+
+}  // namespace fa::synth

@@ -1,0 +1,131 @@
+#include "synth/counties.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/rng.hpp"
+
+namespace fa::synth {
+
+PopCategory pop_category(double county_population) {
+  if (county_population > 1.5e6) return PopCategory::kVeryDense;
+  if (county_population > 0.5e6) return PopCategory::kDense;
+  if (county_population > 0.2e6) return PopCategory::kModerate;
+  return PopCategory::kRural;
+}
+
+std::string_view pop_category_name(PopCategory c) {
+  switch (c) {
+    case PopCategory::kRural: return "Rural";
+    case PopCategory::kModerate: return "Pop M";
+    case PopCategory::kDense: return "Pop H";
+    case PopCategory::kVeryDense: return "Pop VH";
+  }
+  return "?";
+}
+
+CountyMap CountyMap::build(const UsAtlas& atlas,
+                           const ScenarioConfig& config) {
+  CountyMap map;
+  map.atlas_ = &atlas;
+  map.by_state_.resize(static_cast<std::size_t>(atlas.num_states()));
+  Rng rng(config.seed ^ 0xC0117117ULL);
+
+  // 1. Hard-coded major counties keep their real populations.
+  std::vector<double> major_pop_in_state(
+      static_cast<std::size_t>(atlas.num_states()), 0.0);
+  for (const MajorCountyInfo& mc : atlas.major_counties()) {
+    const int state = atlas.state_index(mc.state_abbr);
+    if (state < 0) continue;
+    County county;
+    county.name = std::string{mc.name};
+    county.state = state;
+    county.anchor = mc.anchor;
+    county.population = mc.population;
+    county.is_major = true;
+    map.by_state_[static_cast<std::size_t>(state)].push_back(
+        static_cast<int>(map.counties_.size()));
+    map.counties_.push_back(std::move(county));
+    major_pop_in_state[static_cast<std::size_t>(state)] += mc.population;
+  }
+
+  // 2. Synthetic counties fill out each state. Anchors: 55% suburban
+  // (near a city of the state), 45% open land (uniform in the state
+  // bbox, rejected into the boundary).
+  for (int s = 0; s < atlas.num_states(); ++s) {
+    const StateInfo& info = atlas.states()[static_cast<std::size_t>(s)];
+    const geo::Polygon& boundary = atlas.state_boundary(s);
+    const geo::BBox box = boundary.bbox();
+
+    std::vector<const CityInfo*> state_cities;
+    for (const CityInfo& c : atlas.cities()) {
+      if (atlas.state_index(c.state_abbr) == s) state_cities.push_back(&c);
+    }
+
+    const int n = std::max(4, config.counties_per_state);
+    std::vector<double> weights(static_cast<std::size_t>(n));
+    double weight_sum = 0.0;
+    for (double& w : weights) {
+      // Power-law county sizes (alpha ~ 1.1 gives a realistic skew).
+      w = rng.pareto(1.0, 120.0, 1.1);
+      weight_sum += w;
+    }
+    const double remaining = std::max(
+        0.0, info.population - major_pop_in_state[static_cast<std::size_t>(s)]);
+
+    for (int k = 0; k < n; ++k) {
+      County county;
+      county.state = s;
+      county.name = std::string{info.abbr} + " County " + std::to_string(k + 1);
+      county.population =
+          remaining * weights[static_cast<std::size_t>(k)] / weight_sum;
+      // Anchor placement.
+      geo::LonLat anchor;
+      bool placed = false;
+      if (!state_cities.empty() && rng.chance(0.55)) {
+        const CityInfo& city =
+            *state_cities[rng.below(state_cities.size())];
+        for (int attempt = 0; attempt < 32 && !placed; ++attempt) {
+          anchor = {city.position.lon + rng.normal(0.0, 0.6),
+                    city.position.lat + rng.normal(0.0, 0.5)};
+          placed = boundary.contains(anchor.as_vec());
+        }
+      }
+      for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+        anchor = {rng.uniform(box.min_x, box.max_x),
+                  rng.uniform(box.min_y, box.max_y)};
+        placed = boundary.contains(anchor.as_vec());
+      }
+      if (!placed) anchor = geo::LonLat::from_vec(boundary.outer().centroid());
+      county.anchor = anchor;
+      map.by_state_[static_cast<std::size_t>(s)].push_back(
+          static_cast<int>(map.counties_.size()));
+      map.counties_.push_back(std::move(county));
+    }
+  }
+  return map;
+}
+
+int CountyMap::county_of(geo::LonLat p) const {
+  const int state = atlas_->state_of(p);
+  if (state < 0) return -1;
+  const std::vector<int>& candidates =
+      by_state_[static_cast<std::size_t>(state)];
+  int best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const int idx : candidates) {
+    const County& c = counties_[static_cast<std::size_t>(idx)];
+    // Longitude compressed by cos(lat) so "nearest" is roughly metric.
+    const double dx =
+        (p.lon - c.anchor.lon) * std::cos(p.lat * geo::kDegToRad);
+    const double dy = p.lat - c.anchor.lat;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = idx;
+    }
+  }
+  return best;
+}
+
+}  // namespace fa::synth

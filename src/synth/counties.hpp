@@ -1,0 +1,64 @@
+// Synthetic county layer: the paper's population-impact analysis
+// (Figures 10-12) buckets transceivers by the population of their county.
+// We keep the real >1.5M-person counties (hard-coded in UsAtlas) and fill
+// each state with synthetic counties whose populations follow a power law,
+// anchored partly near cities (suburban counties) and partly in open land.
+// County assignment is nearest-anchor within the containing state — a
+// discrete Voronoi partition, which is all the bucketing needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/lonlat.hpp"
+#include "synth/scenario.hpp"
+#include "synth/usatlas.hpp"
+
+namespace fa::synth {
+
+struct County {
+  std::string name;
+  int state = -1;          // index into UsAtlas::states()
+  geo::LonLat anchor;
+  double population = 0.0;
+  bool is_major = false;   // one of the hard-coded >1.5M counties
+};
+
+// Population-density categories from paper Section 3.6.
+enum class PopCategory : std::uint8_t {
+  kRural = 0,     // < 200k
+  kModerate = 1,  // 200k .. 500k   (paper "Pop M")
+  kDense = 2,     // 500k .. 1.5M   (paper "Pop H")
+  kVeryDense = 3, // > 1.5M         (paper "Pop VH")
+};
+
+PopCategory pop_category(double county_population);
+std::string_view pop_category_name(PopCategory c);
+
+class CountyMap {
+ public:
+  // An empty map (no counties); populate via build().
+  CountyMap() = default;
+
+  static CountyMap build(const UsAtlas& atlas, const ScenarioConfig& config);
+
+  const std::vector<County>& counties() const { return counties_; }
+  // Index of the county containing `p`, or -1 when `p` is outside every
+  // state.
+  int county_of(geo::LonLat p) const;
+  const County& county(int idx) const {
+    return counties_[static_cast<std::size_t>(idx)];
+  }
+
+  // Counties of one state.
+  const std::vector<int>& counties_in_state(int state_idx) const {
+    return by_state_[static_cast<std::size_t>(state_idx)];
+  }
+
+ private:
+  const UsAtlas* atlas_ = nullptr;
+  std::vector<County> counties_;
+  std::vector<std::vector<int>> by_state_;
+};
+
+}  // namespace fa::synth

@@ -1,0 +1,27 @@
+// Historical fire-season calibration targets, straight from the paper's
+// Table 1 (fires and acres burned per year; NIFC statistics). The fire
+// simulator consumes fires/acres as generation targets; the paper's
+// transceiver counts are carried along for EXPERIMENTS.md comparison only
+// and are never fed back into the generator.
+#pragma once
+
+#include <span>
+
+namespace fa::synth {
+
+struct FireYearStats {
+  int year;
+  int fires;                 // ignitions nationwide
+  double acres_millions;     // total burned area
+  int paper_transceivers;    // Table 1: transceivers inside perimeters
+  int paper_txr_per_macre;   // Table 1: transceivers per million acres
+};
+
+// 2000..2018 in ascending year order.
+std::span<const FireYearStats> historical_fire_years();
+
+// 2019: the validation season of Section 3.4 (acreage from NIFC; the
+// paper reports 656 transceivers inside 2019 perimeters).
+FireYearStats fire_year_2019();
+
+}  // namespace fa::synth

@@ -1,0 +1,48 @@
+#include "synth/noise.hpp"
+
+#include <cmath>
+
+#include "synth/rng.hpp"
+
+namespace fa::synth {
+
+double ValueNoise::lattice(std::int64_t ix, std::int64_t iy) const {
+  return static_cast<double>(hash_coords(seed_, ix, iy) >> 11) * 0x1.0p-53;
+}
+
+double ValueNoise::sample(double x, double y) const {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  double tx = x - fx;
+  double ty = y - fy;
+  // Smoothstep for C1 continuity at lattice lines.
+  tx = tx * tx * (3.0 - 2.0 * tx);
+  ty = ty * ty * (3.0 - 2.0 * ty);
+  const double v00 = lattice(ix, iy);
+  const double v10 = lattice(ix + 1, iy);
+  const double v01 = lattice(ix, iy + 1);
+  const double v11 = lattice(ix + 1, iy + 1);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+double ValueNoise::fbm(double x, double y, int octaves, double lacunarity,
+                       double gain) const {
+  double amp = 1.0;
+  double freq = 1.0;
+  double total = 0.0;
+  double norm = 0.0;
+  for (int i = 0; i < octaves; ++i) {
+    // Offset each octave so lattice artifacts do not align.
+    total += amp * sample(x * freq + 31.7 * i, y * freq - 17.3 * i);
+    norm += amp;
+    amp *= gain;
+    freq *= lacunarity;
+  }
+  return norm > 0.0 ? total / norm : 0.0;
+}
+
+}  // namespace fa::synth

@@ -1,0 +1,29 @@
+// Spatially-correlated random fields: bilinear value noise + fractal
+// Brownian motion. Drives the synthetic Wildfire Hazard Potential surface
+// so hazard classes form contiguous blobs like the USFS product rather
+// than salt-and-pepper noise.
+#pragma once
+
+#include <cstdint>
+
+namespace fa::synth {
+
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint64_t seed) : seed_(seed) {}
+
+  // Smooth noise in [0, 1] at continuous coordinates (period-free lattice
+  // with smoothstep interpolation).
+  double sample(double x, double y) const;
+
+  // `octaves` layers of sample() at doubling frequency / halving gain;
+  // normalized back to [0, 1].
+  double fbm(double x, double y, int octaves, double lacunarity = 2.0,
+             double gain = 0.5) const;
+
+ private:
+  double lattice(std::int64_t ix, std::int64_t iy) const;
+  std::uint64_t seed_;
+};
+
+}  // namespace fa::synth

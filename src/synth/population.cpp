@@ -1,0 +1,105 @@
+#include "synth/population.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace fa::synth {
+
+PopulationSurface PopulationSurface::build(const UsAtlas& atlas,
+                                           const ScenarioConfig& config,
+                                           double cell_m) {
+  PopulationSurface surface;
+  if (cell_m <= 0.0) cell_m = config.whp_cell_m * 4.0;
+
+  geo::BBox albers_box;
+  for (int s = 0; s < atlas.num_states(); ++s) {
+    for (const geo::Vec2& v : atlas.state_boundary(s).outer().points()) {
+      albers_box.expand(surface.proj_.forward(geo::LonLat::from_vec(v)));
+    }
+  }
+  const raster::GridGeometry geom = raster::GridGeometry::covering(
+      albers_box.inflated(cell_m), cell_m, cell_m);
+  surface.grid_ = raster::Raster<float>(geom, 0.0f);
+
+  // Pass 1: state membership per cell and per-state land-cell counts.
+  raster::Raster<std::int16_t> state_of(geom, -1);
+  std::vector<std::size_t> cells_in_state(
+      static_cast<std::size_t>(atlas.num_states()), 0);
+  for (int r = 0; r < geom.rows; ++r) {
+    for (int c = 0; c < geom.cols; ++c) {
+      const geo::LonLat ll = surface.proj_.inverse(geom.cell_center(c, r));
+      const int s = atlas.state_of(ll);
+      state_of.at(c, r) = static_cast<std::int16_t>(s);
+      if (s >= 0) ++cells_in_state[static_cast<std::size_t>(s)];
+    }
+  }
+
+  // Pass 2: metro gaussians. 70% of each state's population lives in the
+  // gaussian footprints of its cities (allocated proportionally to metro
+  // population), the rest is rural base.
+  std::vector<double> metro_pop_in_state(
+      static_cast<std::size_t>(atlas.num_states()), 0.0);
+  for (const CityInfo& city : atlas.cities()) {
+    const int s = atlas.state_index(city.state_abbr);
+    if (s >= 0) {
+      metro_pop_in_state[static_cast<std::size_t>(s)] += city.metro_population;
+    }
+  }
+  for (const CityInfo& city : atlas.cities()) {
+    const int s = atlas.state_index(city.state_abbr);
+    if (s < 0) continue;
+    const StateInfo& info = atlas.states()[static_cast<std::size_t>(s)];
+    const double metro_total = metro_pop_in_state[static_cast<std::size_t>(s)];
+    if (metro_total <= 0.0) continue;
+    // This city's share of the state's urban 70%.
+    const double persons = 0.70 * info.population *
+                           (city.metro_population / metro_total);
+    const geo::Vec2 center = surface.proj_.forward(city.position);
+    const double sigma_m =
+        (4.0 + 9.0 * std::sqrt(city.metro_population / 1e6)) * 1000.0;
+    // Stamp within 3 sigma; accumulate weights, then scale to `persons`.
+    const int reach = static_cast<int>(3.0 * sigma_m / cell_m) + 1;
+    const int c0 = geom.col_of(center.x);
+    const int r0 = geom.row_of(center.y);
+    double weight_sum = 0.0;
+    std::vector<std::pair<std::pair<int, int>, double>> stamped;
+    for (int r = r0 - reach; r <= r0 + reach; ++r) {
+      for (int c = c0 - reach; c <= c0 + reach; ++c) {
+        if (!geom.in_bounds(c, r) || state_of.at(c, r) < 0) continue;
+        const geo::Vec2 p = geom.cell_center(c, r);
+        const double d2 = geo::distance2(p, center);
+        const double w = std::exp(-0.5 * d2 / (sigma_m * sigma_m));
+        if (w < 1e-4) continue;
+        weight_sum += w;
+        stamped.push_back({{c, r}, w});
+      }
+    }
+    if (weight_sum <= 0.0) continue;
+    for (const auto& [cell, w] : stamped) {
+      surface.grid_.at(cell.first, cell.second) +=
+          static_cast<float>(persons * w / weight_sum);
+    }
+  }
+
+  // Pass 3: rural base — each state's remaining 30% spread uniformly.
+  for (int r = 0; r < geom.rows; ++r) {
+    for (int c = 0; c < geom.cols; ++c) {
+      const int s = state_of.at(c, r);
+      if (s < 0) continue;
+      const StateInfo& info = atlas.states()[static_cast<std::size_t>(s)];
+      const double rural = 0.30 * info.population /
+                           static_cast<double>(std::max<std::size_t>(
+                               1, cells_in_state[static_cast<std::size_t>(s)]));
+      surface.grid_.at(c, r) += static_cast<float>(rural);
+    }
+  }
+  return surface;
+}
+
+double PopulationSurface::total() const {
+  double acc = 0.0;
+  for (const float v : grid_.data()) acc += v;
+  return acc;
+}
+
+}  // namespace fa::synth

@@ -1,0 +1,41 @@
+// Synthetic population-density surface for the conterminous US.
+//
+// Census block data is the paper's population source; this raster stands
+// in for it with the same moments the analyses consume: metro gaussians
+// carrying each city's metro population plus a uniform rural base per
+// state, normalized so every state's raster total matches its 2018
+// population. Used by the spatial coverage-loss model and available to
+// any analysis that needs people-per-cell.
+#pragma once
+
+#include "geo/projection.hpp"
+#include "raster/raster.hpp"
+#include "synth/scenario.hpp"
+#include "synth/usatlas.hpp"
+
+namespace fa::synth {
+
+class PopulationSurface {
+ public:
+  // Persons per cell on an Albers grid with `cell_m` spacing (defaults to
+  // 4x the scenario's WHP cell to keep memory modest).
+  static PopulationSurface build(const UsAtlas& atlas,
+                                 const ScenarioConfig& config,
+                                 double cell_m = 0.0);
+
+  const raster::Raster<float>& grid() const { return grid_; }
+  const geo::AlbersConus& projection() const { return proj_; }
+
+  // Persons in the cell containing `p` (0 offshore).
+  double population_at(geo::LonLat p) const {
+    return grid_.sample(proj_.forward(p), 0.0f);
+  }
+  // Total persons over all cells (approximately the CONUS population).
+  double total() const;
+
+ private:
+  raster::Raster<float> grid_;
+  geo::AlbersConus proj_;
+};
+
+}  // namespace fa::synth

@@ -1,0 +1,133 @@
+// Deterministic random number generation for the synthetic-data layer.
+//
+// Everything downstream of a `ScenarioConfig` seed must be reproducible
+// byte-for-byte, so generators receive explicit Rng instances (no global
+// state) and derive child seeds with split() rather than sharing streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+
+namespace fa::synth {
+
+// splitmix64: used for seeding and cheap hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless position hash used by the noise field.
+constexpr std::uint64_t hash_coords(std::uint64_t seed, std::int64_t x,
+                                    std::int64_t y) {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(x)) ^
+                    (0xC2B2AE3D27D4EB4FULL * static_cast<std::uint64_t>(y));
+  return splitmix64(s);
+}
+
+// xoshiro256++: fast, high-quality, 2^256 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (std::uint64_t& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Independent child generator; deterministic function of current state.
+  Rng split() { return Rng{next_u64() ^ 0xD1B54A32D192ED03ULL}; }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+  int range(int lo, int hi) {  // inclusive bounds
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  // Standard normal via Box-Muller (one value per call; simple > fast).
+  double normal() {
+    const double u1 = 1.0 - uniform();  // avoid log(0)
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  double exponential(double mean) {
+    return -mean * std::log(1.0 - uniform());
+  }
+
+  // Log-normal parameterized by the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  // Bounded Pareto (power law) on [lo, hi] with shape alpha > 0.
+  double pareto(double lo, double hi, double alpha) {
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    const double u = uniform();
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  // Index drawn proportionally to non-negative weights (sum > 0).
+  std::size_t weighted(std::span<const double> weights) {
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Poisson (Knuth for small lambda, normal approximation for large).
+  std::uint64_t poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    if (lambda > 64.0) {
+      const double v = normal(lambda, std::sqrt(lambda));
+      return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace fa::synth

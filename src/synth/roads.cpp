@@ -1,0 +1,78 @@
+#include "synth/roads.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "geo/geodesy.hpp"
+
+namespace fa::synth {
+
+RoadNetwork::RoadNetwork(const UsAtlas& atlas) {
+  const auto cities = atlas.cities();
+  for (std::size_t i = 0; i < cities.size(); ++i) {
+    // Two nearest other cities (kept identical to the original generator
+    // logic so existing seeds reproduce the same corridors).
+    std::size_t best[2] = {i, i};
+    double best_d[2] = {1e30, 1e30};
+    for (std::size_t j = 0; j < cities.size(); ++j) {
+      if (j == i) continue;
+      const double d =
+          geo::haversine_m(cities[i].position, cities[j].position);
+      if (d < best_d[0]) {
+        best_d[1] = best_d[0];
+        best[1] = best[0];
+        best_d[0] = d;
+        best[0] = j;
+      } else if (d < best_d[1]) {
+        best_d[1] = d;
+        best[1] = j;
+      }
+    }
+    for (const std::size_t j : best) {
+      if (j == i || j < i) continue;  // each corridor once
+      RoadSegment segment;
+      segment.city_a = i;
+      segment.city_b = j;
+      segment.a = cities[i].position;
+      segment.b = cities[j].position;
+      segment.length_m = geo::haversine_m(segment.a, segment.b);
+      segment.weight =
+          std::sqrt(best_d[j == best[0] ? 0 : 1]) *
+          std::sqrt((cities[i].metro_population +
+                     cities[j].metro_population) / 1e6);
+      total_length_m_ += segment.length_m;
+      segments_.push_back(segment);
+    }
+  }
+}
+
+const RoadNetwork& RoadNetwork::get() {
+  static const RoadNetwork network(UsAtlas::get());
+  return network;
+}
+
+RoadNetwork::Nearest RoadNetwork::nearest(geo::LonLat p) const {
+  Nearest out;
+  out.distance_m = std::numeric_limits<double>::infinity();
+  const double coslat = std::cos(p.lat * geo::kDegToRad);
+  const geo::Vec2 q{p.lon * coslat, p.lat};
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    // Local-plane point-to-segment distance in degree units, converted
+    // to metres at this latitude — accurate to ~1% at corridor scales.
+    const geo::Vec2 a{segments_[s].a.lon * coslat, segments_[s].a.lat};
+    const geo::Vec2 b{segments_[s].b.lon * coslat, segments_[s].b.lat};
+    const geo::Vec2 ab = b - a;
+    const double len2 = ab.norm2();
+    double t = len2 > 0.0 ? (q - a).dot(ab) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const double d_deg = geo::distance(q, a + ab * t);
+    const double d_m = d_deg * geo::meters_per_deg_lat();
+    if (d_m < out.distance_m) {
+      out.distance_m = d_m;
+      out.segment = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace fa::synth

@@ -1,0 +1,47 @@
+// Inter-city road network: the corridor graph shared by the hazard
+// generator (managed, low-fuel strips), the corpus generator (roadside
+// tower strings) and the road-exposure analysis. Built once per atlas:
+// each city connects to its two nearest neighbours, deduplicated.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/lonlat.hpp"
+#include "synth/usatlas.hpp"
+
+namespace fa::synth {
+
+struct RoadSegment {
+  std::size_t city_a = 0;  // indices into UsAtlas::cities()
+  std::size_t city_b = 0;
+  geo::LonLat a;
+  geo::LonLat b;
+  double length_m = 0.0;
+  // Placement weight used by the corpus generator: longer corridors
+  // between bigger metros carry more roadside sites.
+  double weight = 0.0;
+};
+
+class RoadNetwork {
+ public:
+  static const RoadNetwork& get();  // built over UsAtlas::get(), cached
+
+  std::span<const RoadSegment> segments() const { return segments_; }
+  double total_length_m() const { return total_length_m_; }
+
+  // Distance from `p` to the nearest corridor centreline (great-circle
+  // approximated on a local plane), and that segment's index.
+  struct Nearest {
+    std::size_t segment = 0;
+    double distance_m = 0.0;
+  };
+  Nearest nearest(geo::LonLat p) const;
+
+ private:
+  explicit RoadNetwork(const UsAtlas& atlas);
+  std::vector<RoadSegment> segments_;
+  double total_length_m_ = 0.0;
+};
+
+}  // namespace fa::synth

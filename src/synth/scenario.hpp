@@ -1,0 +1,36 @@
+// Scenario configuration: the single knob set that controls every
+// synthetic generator. Same config + same seed => byte-identical world.
+#pragma once
+
+#include <cstdint>
+
+namespace fa::synth {
+
+struct ScenarioConfig {
+  // Master seed. Default is the paper's OpenCelliD snapshot date.
+  std::uint64_t seed = 20191022;
+
+  // The real corpus has 5,364,949 transceivers; we generate that count
+  // divided by `corpus_scale`. Counts in reproduced tables scale by
+  // ~1/corpus_scale; shape metrics (orderings, percentages) do not.
+  double corpus_scale = 16.0;
+
+  // WHP raster cell edge in Albers metres. The USFS product is 270 m;
+  // the default trades 10x resolution for a ~100x smaller grid. Tests
+  // use coarser cells still.
+  double whp_cell_m = 2700.0;
+
+  // Synthetic county seeds per state, in addition to the hard-coded
+  // >1.5M-person counties.
+  int counties_per_state = 24;
+
+  // Number of transceivers in the full (unscaled) corpus.
+  static constexpr std::size_t kFullCorpusSize = 5364949;
+
+  std::size_t corpus_size() const {
+    return static_cast<std::size_t>(
+        static_cast<double>(kFullCorpusSize) / corpus_scale);
+  }
+};
+
+}  // namespace fa::synth

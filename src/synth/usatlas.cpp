@@ -1,0 +1,444 @@
+#include "synth/usatlas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/algorithms.hpp"
+#include "geo/geodesy.hpp"
+
+namespace fa::synth {
+
+namespace {
+
+// --- States --------------------------------------------------------------
+// Populations: 2018 Census estimates. Fire propensity: [0,1] prior derived
+// from the USFS WHP geography (Figure 6 of the paper): high across the
+// west and the southeastern coastal plain, low in the agricultural midwest
+// and urban northeast.
+constexpr StateInfo kStates[] = {
+    {"Alabama", "AL", 4.89e6, 0.40},
+    {"Arizona", "AZ", 7.17e6, 0.80},
+    {"Arkansas", "AR", 3.01e6, 0.35},
+    {"California", "CA", 39.56e6, 0.95},
+    {"Colorado", "CO", 5.70e6, 0.70},
+    {"Connecticut", "CT", 3.57e6, 0.12},
+    {"Delaware", "DE", 0.97e6, 0.20},
+    {"District of Columbia", "DC", 0.70e6, 0.02},
+    {"Florida", "FL", 21.30e6, 0.80},
+    {"Georgia", "GA", 10.52e6, 0.55},
+    {"Idaho", "ID", 1.75e6, 0.90},
+    {"Illinois", "IL", 12.74e6, 0.12},
+    {"Indiana", "IN", 6.69e6, 0.12},
+    {"Iowa", "IA", 3.16e6, 0.15},
+    {"Kansas", "KS", 2.91e6, 0.25},
+    {"Kentucky", "KY", 4.47e6, 0.25},
+    {"Louisiana", "LA", 4.66e6, 0.35},
+    {"Maine", "ME", 1.34e6, 0.25},
+    {"Maryland", "MD", 6.04e6, 0.15},
+    {"Massachusetts", "MA", 6.90e6, 0.15},
+    {"Michigan", "MI", 9.99e6, 0.20},
+    {"Minnesota", "MN", 5.61e6, 0.30},
+    {"Mississippi", "MS", 2.99e6, 0.40},
+    {"Missouri", "MO", 6.13e6, 0.25},
+    {"Montana", "MT", 1.06e6, 0.85},
+    {"Nebraska", "NE", 1.93e6, 0.25},
+    {"Nevada", "NV", 3.03e6, 0.70},
+    {"New Hampshire", "NH", 1.36e6, 0.18},
+    {"New Jersey", "NJ", 8.91e6, 0.25},
+    {"New Mexico", "NM", 2.10e6, 0.75},
+    {"New York", "NY", 19.54e6, 0.15},
+    {"North Carolina", "NC", 10.38e6, 0.50},
+    {"North Dakota", "ND", 0.76e6, 0.30},
+    {"Ohio", "OH", 11.69e6, 0.12},
+    {"Oklahoma", "OK", 3.94e6, 0.40},
+    {"Oregon", "OR", 4.19e6, 0.75},
+    {"Pennsylvania", "PA", 12.81e6, 0.18},
+    {"Rhode Island", "RI", 1.06e6, 0.12},
+    {"South Carolina", "SC", 5.08e6, 0.60},
+    {"South Dakota", "SD", 0.88e6, 0.40},
+    {"Tennessee", "TN", 6.77e6, 0.30},
+    {"Texas", "TX", 28.70e6, 0.45},
+    {"Utah", "UT", 3.16e6, 0.80},
+    {"Vermont", "VT", 0.63e6, 0.15},
+    {"Virginia", "VA", 8.52e6, 0.30},
+    {"Washington", "WA", 7.54e6, 0.60},
+    {"West Virginia", "WV", 1.81e6, 0.30},
+    {"Wisconsin", "WI", 5.81e6, 0.20},
+    {"Wyoming", "WY", 0.58e6, 0.65},
+};
+
+using P = geo::Vec2;  // (lon, lat) vertex shorthand for the tables below
+
+// Coarse boundary outlines, one per kStates entry (same order). Vertices
+// hand-digitized at ~0.1-0.5 degree fidelity; straight-line state borders
+// (41N, 37N, -109.05W, ...) are exact.
+const std::vector<P> kBoundaries[] = {
+    // Alabama
+    {{-88.4, 30.2}, {-87.5, 30.3}, {-85.0, 31.0}, {-85.6, 35.0},
+     {-88.2, 35.0}, {-88.1, 30.5}},
+    // Arizona
+    {{-114.8, 32.5}, {-111.1, 31.33}, {-109.05, 31.33}, {-109.05, 37.0},
+     {-114.05, 37.0}, {-114.05, 36.1}, {-114.6, 35.1}, {-114.5, 34.3},
+     {-114.7, 33.4}},
+    // Arkansas
+    {{-94.6, 33.0}, {-91.2, 33.0}, {-91.1, 34.9}, {-90.3, 35.0},
+     {-90.1, 36.5}, {-94.62, 36.5}},
+    // California
+    {{-124.3, 42.0}, {-120.0, 42.0}, {-120.0, 39.0}, {-114.6, 35.0},
+     {-114.7, 34.3}, {-114.5, 32.7}, {-117.1, 32.5}, {-118.4, 33.7},
+     {-120.6, 34.55}, {-121.9, 36.3}, {-122.4, 37.2}, {-123.7, 38.9},
+     {-124.4, 40.4}},
+    // Colorado
+    {{-109.05, 37.0}, {-102.05, 37.0}, {-102.05, 41.0}, {-109.05, 41.0}},
+    // Connecticut
+    {{-73.7, 41.0}, {-71.8, 41.3}, {-71.8, 42.05}, {-73.5, 42.05}},
+    // Delaware
+    {{-75.8, 38.45}, {-75.05, 38.45}, {-75.4, 39.8}, {-75.8, 39.7}},
+    // District of Columbia
+    {{-77.12, 38.80}, {-76.90, 38.80}, {-76.90, 39.00}, {-77.12, 39.00}},
+    // Florida
+    {{-87.6, 30.25}, {-85.5, 29.7}, {-84.0, 30.0}, {-82.7, 29.0},
+     {-82.8, 27.8}, {-81.9, 26.4}, {-81.2, 25.1}, {-80.1, 25.2},
+     {-80.0, 26.8}, {-80.5, 28.5}, {-81.3, 29.7}, {-81.5, 30.7},
+     {-82.2, 30.55}, {-84.9, 30.7}, {-85.0, 31.0}, {-87.6, 31.0}},
+    // Georgia
+    {{-85.6, 35.0}, {-85.0, 31.0}, {-84.9, 30.7}, {-82.2, 30.55},
+     {-81.1, 31.5}, {-81.0, 32.0}, {-81.4, 32.6}, {-83.35, 34.7},
+     {-83.1, 35.0}},
+    // Idaho
+    {{-117.25, 42.0}, {-111.05, 42.0}, {-111.05, 44.5}, {-112.9, 45.2},
+     {-113.9, 45.7}, {-116.0, 46.3}, {-116.05, 49.0}, {-117.05, 49.0},
+     {-117.05, 46.4}, {-116.9, 45.9}, {-117.25, 44.3}},
+    // Illinois
+    {{-91.5, 40.2}, {-91.0, 39.4}, {-90.1, 38.6}, {-89.5, 37.1}, {-88.0, 37.2},
+     {-87.5, 39.0}, {-87.5, 41.7}, {-87.0, 42.5}, {-90.6, 42.5},
+     {-91.1, 41.4}},
+    // Indiana
+    {{-88.0, 37.8}, {-86.3, 38.0}, {-84.8, 38.8}, {-84.8, 41.7},
+     {-87.5, 41.7}, {-87.5, 39.0}},
+    // Iowa
+    {{-96.6, 42.5}, {-96.1, 41.8}, {-95.85, 41.1}, {-95.8, 40.6},
+     {-91.7, 40.6}, {-90.1, 41.4}, {-91.1, 42.5}, {-91.2, 43.5},
+     {-96.45, 43.5}},
+    // Kansas
+    {{-102.05, 37.0}, {-94.62, 37.0}, {-94.62, 40.0}, {-102.05, 40.0}},
+    // Kentucky
+    {{-89.5, 36.5}, {-88.0, 36.5}, {-86.0, 36.6}, {-83.7, 36.6},
+     {-82.0, 37.5}, {-82.6, 38.4}, {-83.7, 38.6}, {-85.0, 38.8},
+     {-86.3, 38.0}, {-88.0, 37.8}, {-89.4, 37.1}},
+    // Louisiana
+    {{-94.05, 29.7}, {-89.0, 29.0}, {-89.2, 30.5}, {-90.0, 30.6},
+     {-91.6, 31.0}, {-91.5, 33.0}, {-94.05, 33.0}},
+    // Maine
+    {{-71.1, 45.3}, {-70.7, 43.1}, {-70.0, 43.7}, {-68.0, 44.4},
+     {-67.0, 44.8}, {-67.8, 45.7}, {-69.2, 47.45}, {-70.3, 46.6},
+     {-71.0, 46.0}},
+    // Maryland
+    {{-79.5, 39.2}, {-79.5, 39.72}, {-75.8, 39.72}, {-75.05, 38.45},
+     {-75.2, 38.0}, {-76.0, 37.9}, {-76.3, 38.7}, {-77.2, 38.6},
+     {-77.5, 39.2}},
+    // Massachusetts
+    {{-73.5, 42.05}, {-71.8, 42.05}, {-71.8, 42.0}, {-71.1, 42.0},
+     {-71.1, 41.7}, {-70.6, 41.6}, {-70.0, 41.5}, {-69.9, 42.0},
+     {-70.5, 42.7}, {-72.5, 42.73}, {-73.3, 42.75}},
+    // Michigan (lower peninsula; the sparsely-built UP is omitted)
+    {{-87.0, 41.7}, {-84.8, 41.7}, {-82.4, 42.9}, {-82.5, 43.9},
+     {-83.5, 43.6}, {-83.9, 43.8}, {-82.8, 44.6}, {-83.3, 45.1},
+     {-84.7, 45.8}, {-85.6, 45.2}, {-86.2, 44.7}, {-86.5, 43.7},
+     {-86.2, 42.5}, {-86.6, 41.9}},
+    // Minnesota
+    {{-96.45, 43.5}, {-91.2, 43.5}, {-91.6, 44.8}, {-92.8, 45.6},
+     {-92.3, 46.7}, {-90.0, 46.6}, {-89.97, 47.8}, {-95.2, 49.0},
+     {-97.2, 49.0}, {-96.75, 46.9}, {-96.6, 45.4}, {-96.45, 45.3}},
+    // Mississippi
+    {{-91.5, 33.0}, {-91.6, 31.0}, {-90.0, 30.6}, {-89.8, 30.2},
+     {-88.4, 30.2}, {-88.1, 30.5}, {-88.2, 35.0}, {-90.3, 35.0},
+     {-91.1, 34.9}, {-91.2, 33.0}},
+    // Missouri
+    {{-95.77, 40.6}, {-94.62, 40.0}, {-94.62, 36.5}, {-89.5, 36.5},
+     {-89.4, 37.1}, {-90.1, 38.6}, {-91.0, 39.4}, {-91.4, 40.2},
+     {-91.7, 40.6}},
+    // Montana
+    {{-116.05, 49.0}, {-116.05, 48.0}, {-114.4, 46.7}, {-114.4, 45.6},
+     {-113.9, 45.7}, {-112.9, 45.2}, {-111.05, 44.5}, {-111.05, 45.0},
+     {-104.05, 45.0}, {-104.05, 49.0}},
+    // Nebraska
+    {{-104.05, 40.0}, {-95.3, 40.0}, {-95.8, 40.6}, {-95.85, 41.1},
+     {-96.1, 41.8}, {-96.6, 42.5}, {-98.0, 42.8}, {-104.05, 43.0}},
+    // Nevada
+    {{-120.0, 42.0}, {-114.05, 42.0}, {-114.05, 37.0}, {-114.6, 35.0},
+     {-120.0, 39.0}},
+    // New Hampshire
+    {{-72.55, 42.7}, {-70.7, 42.9}, {-70.7, 43.1}, {-71.1, 45.3},
+     {-72.3, 45.0}},
+    // New Jersey
+    {{-75.4, 39.6}, {-75.05, 38.9}, {-74.0, 39.7}, {-73.9, 40.5},
+     {-74.7, 41.35}, {-75.1, 40.4}, {-74.95, 40.05}},
+    // New Mexico
+    {{-109.05, 31.33}, {-108.2, 31.33}, {-108.2, 31.8}, {-106.5, 31.8},
+     {-106.6, 32.0}, {-103.0, 32.0}, {-103.0, 37.0}, {-109.05, 37.0}},
+    // New York
+    {{-79.76, 42.0}, {-75.35, 42.0}, {-74.7, 41.35}, {-73.9, 40.5},
+     {-72.0, 40.8}, {-72.0, 41.15}, {-73.6, 41.1}, {-73.5, 41.2},
+     {-73.5, 42.05}, {-73.35, 42.05}, {-73.35, 45.0}, {-74.7, 45.0},
+     {-76.2, 44.2}, {-76.8, 43.6}, {-79.0, 43.3}, {-78.9, 42.8}},
+    // North Carolina
+    {{-84.3, 35.0}, {-83.1, 35.0}, {-80.9, 35.1}, {-80.8, 34.8},
+     {-79.7, 34.8}, {-78.5, 33.9}, {-77.9, 34.0}, {-75.5, 35.2},
+     {-75.8, 36.55}, {-81.7, 36.55}},
+    // North Dakota
+    {{-104.05, 45.95}, {-96.55, 45.95}, {-96.75, 46.9}, {-97.2, 49.0},
+     {-104.05, 49.0}},
+    // Ohio
+    {{-84.8, 39.1}, {-83.0, 38.7}, {-82.2, 38.6}, {-80.6, 40.6},
+     {-80.52, 41.98}, {-83.45, 41.73}, {-84.8, 41.7}},
+    // Oklahoma
+    {{-103.0, 36.5}, {-103.0, 37.0}, {-94.62, 37.0}, {-94.62, 33.9},
+     {-97.15, 33.74}, {-99.2, 34.2}, {-100.0, 34.56}, {-100.0, 36.5}},
+    // Oregon
+    {{-124.5, 42.0}, {-117.0, 42.0}, {-116.9, 45.95}, {-119.0, 45.95},
+     {-123.2, 46.15}, {-124.7, 46.3}},
+    // Pennsylvania
+    {{-80.52, 39.72}, {-75.4, 39.8}, {-74.95, 40.05}, {-75.1, 40.4},
+     {-74.7, 41.35}, {-75.35, 42.0}, {-79.76, 42.0}, {-79.76, 42.27},
+     {-80.52, 42.33}},
+    // Rhode Island
+    {{-71.8, 41.3}, {-71.1, 41.4}, {-71.1, 42.0}, {-71.8, 42.0}},
+    // South Carolina
+    {{-83.35, 34.7}, {-81.4, 32.6}, {-81.0, 32.0}, {-80.8, 32.5},
+     {-79.2, 33.2}, {-78.5, 33.9}, {-79.7, 34.8}, {-80.8, 34.8},
+     {-80.9, 35.1}, {-83.1, 35.0}},
+    // South Dakota
+    {{-104.05, 43.0}, {-98.0, 42.8}, {-96.6, 42.5}, {-96.45, 43.5},
+     {-96.45, 45.3}, {-96.55, 45.95}, {-104.05, 45.95}},
+    // Tennessee
+    {{-90.1, 35.0}, {-88.2, 35.0}, {-85.6, 35.0}, {-84.3, 35.0},
+     {-81.7, 36.6}, {-83.7, 36.6}, {-86.0, 36.6}, {-88.0, 36.5},
+     {-89.5, 36.5}, {-89.7, 36.0}},
+    // Texas
+    {{-106.6, 32.0}, {-103.0, 32.0}, {-103.0, 36.5}, {-100.0, 36.5},
+     {-100.0, 34.56}, {-99.2, 34.2}, {-97.15, 33.74}, {-94.43, 33.64},
+     {-94.05, 33.0}, {-94.05, 29.7}, {-93.8, 29.7}, {-95.4, 29.0},
+     {-96.9, 28.0}, {-97.15, 25.95}, {-99.2, 26.9}, {-100.0, 28.0},
+     {-101.4, 29.8}, {-103.1, 29.0}, {-104.0, 30.6}, {-106.5, 31.8}},
+    // Utah
+    {{-114.05, 37.0}, {-109.05, 37.0}, {-109.05, 41.0}, {-111.05, 41.0},
+     {-111.05, 42.0}, {-114.05, 42.0}},
+    // Vermont
+    {{-73.35, 42.75}, {-72.5, 42.73}, {-72.3, 45.0}, {-73.35, 45.0}},
+    // Virginia
+    {{-83.7, 36.6}, {-81.7, 36.6}, {-75.8, 36.55}, {-76.0, 37.2},
+     {-76.3, 38.0}, {-77.2, 38.6}, {-77.5, 39.2}, {-78.3, 39.4},
+     {-79.5, 39.2}, {-80.3, 37.5}, {-81.9, 37.5}, {-83.0, 36.85}},
+    // Washington
+    {{-124.7, 46.3}, {-123.2, 46.15}, {-119.0, 45.95}, {-116.9, 45.95},
+     {-117.05, 49.0}, {-124.7, 49.0}},
+    // West Virginia
+    {{-82.6, 38.4}, {-82.2, 38.6}, {-80.6, 40.6}, {-80.52, 39.72},
+     {-79.5, 39.2}, {-78.3, 39.4}, {-80.3, 37.5}, {-81.9, 37.5}},
+    // Wisconsin
+    {{-92.8, 45.6}, {-91.6, 44.8}, {-91.2, 43.5}, {-91.1, 42.5},
+     {-87.0, 42.5}, {-87.1, 43.4}, {-87.4, 44.7}, {-88.0, 44.6},
+     {-87.8, 45.3}, {-89.0, 45.8}, {-90.1, 46.3}, {-92.3, 46.7}},
+    // Wyoming
+    {{-111.05, 41.0}, {-104.05, 41.0}, {-104.05, 45.0}, {-111.05, 45.0}},
+};
+
+static_assert(std::size(kStates) == std::size(kBoundaries));
+
+// --- Cities ---------------------------------------------------------------
+constexpr CityInfo kCities[] = {
+    {"New York", "NY", {-74.006, 40.713}, 20.0e6},
+    {"Los Angeles", "CA", {-118.244, 34.052}, 13.3e6},
+    {"Chicago", "IL", {-87.630, 41.878}, 9.5e6},
+    {"Dallas", "TX", {-96.797, 32.777}, 7.5e6},
+    {"Houston", "TX", {-95.369, 29.760}, 7.0e6},
+    {"Washington", "DC", {-77.037, 38.907}, 6.2e6},
+    {"Miami", "FL", {-80.192, 25.762}, 6.1e6},
+    {"Philadelphia", "PA", {-75.165, 39.953}, 6.1e6},
+    {"Atlanta", "GA", {-84.388, 33.749}, 5.9e6},
+    {"Phoenix", "AZ", {-112.074, 33.448}, 4.9e6},
+    {"Boston", "MA", {-71.059, 42.360}, 4.8e6},
+    {"San Francisco", "CA", {-122.419, 37.775}, 4.7e6},
+    {"Riverside", "CA", {-117.396, 33.953}, 4.6e6},
+    {"Detroit", "MI", {-83.046, 42.331}, 4.3e6},
+    {"Seattle", "WA", {-122.330, 47.606}, 3.9e6},
+    {"Minneapolis", "MN", {-93.265, 44.978}, 3.6e6},
+    {"San Diego", "CA", {-117.161, 32.716}, 3.3e6},
+    {"Tampa", "FL", {-82.457, 27.951}, 3.1e6},
+    {"Denver", "CO", {-104.990, 39.739}, 2.9e6},
+    {"St. Louis", "MO", {-90.199, 38.627}, 2.8e6},
+    {"Baltimore", "MD", {-76.612, 39.290}, 2.8e6},
+    {"Charlotte", "NC", {-80.843, 35.227}, 2.6e6},
+    {"Orlando", "FL", {-81.379, 28.538}, 2.5e6},
+    {"San Antonio", "TX", {-98.494, 29.425}, 2.5e6},
+    {"Portland", "OR", {-122.676, 45.523}, 2.5e6},
+    {"Sacramento", "CA", {-121.494, 38.582}, 2.3e6},
+    {"Pittsburgh", "PA", {-79.995, 40.441}, 2.3e6},
+    {"Las Vegas", "NV", {-115.140, 36.170}, 2.2e6},
+    {"Austin", "TX", {-97.743, 30.267}, 2.2e6},
+    {"Cincinnati", "OH", {-84.512, 39.104}, 2.2e6},
+    {"Kansas City", "MO", {-94.579, 39.100}, 2.1e6},
+    {"Columbus", "OH", {-82.999, 39.961}, 2.1e6},
+    {"Indianapolis", "IN", {-86.158, 39.768}, 2.0e6},
+    {"Cleveland", "OH", {-81.694, 41.500}, 2.0e6},
+    {"San Jose", "CA", {-121.886, 37.338}, 2.0e6},
+    {"Nashville", "TN", {-86.781, 36.163}, 1.9e6},
+    {"Virginia Beach", "VA", {-75.978, 36.853}, 1.7e6},
+    {"Providence", "RI", {-71.413, 41.824}, 1.6e6},
+    {"Milwaukee", "WI", {-87.906, 43.039}, 1.6e6},
+    {"Jacksonville", "FL", {-81.656, 30.332}, 1.5e6},
+    {"Oklahoma City", "OK", {-97.516, 35.468}, 1.4e6},
+    {"Raleigh", "NC", {-78.638, 35.772}, 1.4e6},
+    {"Memphis", "TN", {-90.049, 35.150}, 1.3e6},
+    {"Richmond", "VA", {-77.460, 37.541}, 1.3e6},
+    {"New Orleans", "LA", {-90.072, 29.951}, 1.3e6},
+    {"Louisville", "KY", {-85.758, 38.253}, 1.3e6},
+    {"Salt Lake City", "UT", {-111.891, 40.761}, 1.2e6},
+    {"Hartford", "CT", {-72.685, 41.764}, 1.2e6},
+    {"Buffalo", "NY", {-78.878, 42.886}, 1.1e6},
+    {"Birmingham", "AL", {-86.802, 33.521}, 1.1e6},
+    {"Tucson", "AZ", {-110.975, 32.222}, 1.0e6},
+    {"Fresno", "CA", {-119.785, 36.739}, 1.0e6},
+    {"Omaha", "NE", {-95.934, 41.257}, 0.94e6},
+    {"Albuquerque", "NM", {-106.650, 35.084}, 0.92e6},
+    {"Greenville", "SC", {-82.394, 34.852}, 0.90e6},
+    {"Knoxville", "TN", {-83.921, 35.961}, 0.87e6},
+    {"El Paso", "TX", {-106.486, 31.759}, 0.84e6},
+    {"Columbia", "SC", {-81.035, 34.001}, 0.83e6},
+    {"Charleston", "SC", {-79.932, 32.776}, 0.80e6},
+    {"Boise", "ID", {-116.202, 43.615}, 0.75e6},
+    {"Colorado Springs", "CO", {-104.821, 38.834}, 0.74e6},
+    {"Little Rock", "AR", {-92.289, 34.746}, 0.74e6},
+    {"Des Moines", "IA", {-93.609, 41.587}, 0.70e6},
+    {"Wichita", "KS", {-97.336, 37.686}, 0.64e6},
+    {"Jackson", "MS", {-90.185, 32.299}, 0.60e6},
+    {"Spokane", "WA", {-117.426, 47.659}, 0.57e6},
+    {"Chattanooga", "TN", {-85.310, 35.046}, 0.56e6},
+    {"Portland", "ME", {-70.257, 43.661}, 0.54e6},
+    {"Reno", "NV", {-119.814, 39.530}, 0.47e6},
+    {"Manchester", "NH", {-71.463, 42.991}, 0.42e6},
+    {"Savannah", "GA", {-81.100, 32.081}, 0.39e6},
+    {"Shreveport", "LA", {-93.750, 32.525}, 0.39e6},
+    {"Fargo", "ND", {-96.790, 46.877}, 0.25e6},
+    {"Sioux Falls", "SD", {-96.731, 43.550}, 0.27e6},
+    {"Burlington", "VT", {-73.212, 44.476}, 0.22e6},
+    {"Billings", "MT", {-108.501, 45.783}, 0.18e6},
+    {"Charleston", "WV", {-81.633, 38.350}, 0.21e6},
+    {"Wilmington", "DE", {-75.547, 39.746}, 0.72e6},
+    {"Cheyenne", "WY", {-104.820, 41.140}, 0.10e6},
+};
+
+// --- Counties over 1.5M people (paper Figure 10's Pop VH category) --------
+constexpr MajorCountyInfo kMajorCounties[] = {
+    {"Los Angeles County", "CA", {-118.244, 34.052}, 10.04e6},
+    {"Cook County", "IL", {-87.630, 41.878}, 5.15e6},
+    {"Harris County", "TX", {-95.369, 29.760}, 4.70e6},
+    {"Maricopa County", "AZ", {-112.074, 33.448}, 4.49e6},
+    {"San Diego County", "CA", {-117.161, 32.716}, 3.34e6},
+    {"Orange County", "CA", {-117.87, 33.71}, 3.19e6},
+    {"Miami-Dade County", "FL", {-80.192, 25.762}, 2.72e6},
+    {"Dallas County", "TX", {-96.797, 32.777}, 2.64e6},
+    {"Kings County", "NY", {-73.95, 40.65}, 2.56e6},
+    {"Riverside County", "CA", {-117.396, 33.953}, 2.47e6},
+    {"Clark County", "NV", {-115.140, 36.170}, 2.27e6},
+    {"King County", "WA", {-122.330, 47.606}, 2.25e6},
+    {"Queens County", "NY", {-73.80, 40.72}, 2.25e6},
+    {"San Bernardino County", "CA", {-117.29, 34.11}, 2.18e6},
+    {"Tarrant County", "TX", {-97.32, 32.76}, 2.10e6},
+    {"Bexar County", "TX", {-98.494, 29.425}, 2.00e6},
+    {"Broward County", "FL", {-80.14, 26.12}, 1.95e6},
+    {"Santa Clara County", "CA", {-121.886, 37.338}, 1.93e6},
+    {"Wayne County", "MI", {-83.046, 42.331}, 1.75e6},
+    {"Alameda County", "CA", {-122.27, 37.80}, 1.67e6},
+    {"New York County", "NY", {-73.97, 40.78}, 1.63e6},
+    {"Middlesex County", "MA", {-71.25, 42.46}, 1.61e6},
+    {"Philadelphia County", "PA", {-75.165, 39.953}, 1.58e6},
+    {"Sacramento County", "CA", {-121.494, 38.582}, 1.55e6},
+};
+
+}  // namespace
+
+UsAtlas::UsAtlas() : states_(kStates), cities_(kCities),
+                     major_counties_(kMajorCounties) {
+  boundaries_.reserve(std::size(kBoundaries));
+  for (const auto& outline : kBoundaries) {
+    boundaries_.emplace_back(geo::Ring{outline});
+    conus_bbox_.expand(boundaries_.back().bbox());
+  }
+  centroids_.reserve(boundaries_.size());
+  for (const geo::Polygon& b : boundaries_) {
+    centroids_.push_back(b.outer().centroid());
+  }
+  for (const StateInfo& s : states_) total_population_ += s.population;
+
+  // Ecoregions for the SLC-Denver corridor (Figures 14-15): bands running
+  // west->east with the Littell et al. projected change in burned area.
+  const auto band = [](double lon0, double lon1, double lat0, double lat1) {
+    return geo::Polygon{geo::make_rect(lon0, lat0, lon1, lat1)};
+  };
+  ecoregions_ = {
+      {"Great Basin (W of SLC)", +43.0, band(-114.0, -112.2, 39.0, 42.0)},
+      {"Wasatch / Uinta Mtns", +240.0, band(-112.2, -109.8, 39.2, 41.8)},
+      {"Colorado Plateau", +132.0, band(-109.8, -107.6, 38.8, 41.5)},
+      {"Wyoming Basin (Hwy 80)", +240.0, band(-109.8, -106.0, 41.0, 42.5)},
+      {"Southern Rockies", +132.0, band(-107.6, -105.2, 38.5, 41.2)},
+      {"Front Range foothills", +43.0, band(-105.6, -104.6, 38.6, 40.9)},
+      {"High Plains (E of Denver)", -119.0, band(-104.6, -102.0, 38.5, 41.0)},
+  };
+
+  // Western-US bands for the future-exposure extension. Deltas follow the
+  // Littell et al. pattern: largest increases in the interior mountain
+  // west and the Great Basin margins, moderate on the Pacific slope,
+  // decreases on the wetter plains fringe.
+  western_ecoregions_ = {
+      {"Pacific Northwest maritime", +55.0, band(-125.0, -120.5, 42.0, 49.2)},
+      {"Cascades / E Oregon", +130.0, band(-120.5, -116.5, 42.0, 49.2)},
+      {"Northern Rockies", +180.0, band(-116.5, -109.0, 44.0, 49.2)},
+      {"California coast + Sierra", +85.0, band(-125.0, -117.5, 32.3, 42.0)},
+      {"Great Basin", +160.0, band(-117.5, -112.0, 36.0, 42.0)},
+      {"Mojave / Sonoran", +40.0, band(-117.5, -109.0, 31.2, 36.0)},
+      {"Colorado Plateau / S Rockies", +140.0, band(-112.0, -104.5, 36.0, 42.0)},
+      {"Wyoming / Montana basins", +240.0, band(-112.0, -104.0, 42.0, 44.0)},
+      {"Southern plains fringe", -60.0, band(-104.5, -98.0, 31.2, 41.0)},
+      {"Northern plains fringe", -119.0, band(-104.0, -98.0, 41.0, 49.2)},
+  };
+}
+
+const UsAtlas& UsAtlas::get() {
+  static const UsAtlas atlas;
+  return atlas;
+}
+
+int UsAtlas::state_of(geo::LonLat p) const {
+  const geo::Vec2 v = p.as_vec();
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    if (boundaries_[i].bbox().contains(v) && boundaries_[i].contains(v)) {
+      return static_cast<int>(i);
+    }
+  }
+  // Gap fallback: the coarse outlines leave slivers along real borders
+  // and coastlines; assign those to the state with the nearest boundary
+  // within ~0.25 degrees. Kept tight so the fallback heals interior
+  // slivers without annexing open water or Canada/Mexico.
+  int best = -1;
+  double best_d = 0.25;
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    if (!boundaries_[i].bbox().inflated(best_d).contains(v)) continue;
+    const double d = geo::point_ring_distance(v, boundaries_[i].outer());
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int UsAtlas::state_index(std::string_view abbr) const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].abbr == abbr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace fa::synth

@@ -1,0 +1,100 @@
+// Coarse built-in geography of the conterminous US: state boundaries
+// (5-20 vertex approximations), 2018 state populations, per-state wildfire
+// propensity priors, major cities with metro populations, the >1.5M-person
+// counties the paper's Figures 10-12 key on, and the Littell et al.
+// ecoregion projections for the Salt Lake City-Denver corridor.
+//
+// This is the stand-in for Census TIGER + the paper's basemap layers. The
+// boundaries are deliberately coarse (this is synthetic-data scaffolding,
+// not cartography) but areas, adjacency and the containment of the listed
+// cities are correct, which is what the overlay analysis depends on.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "geo/bbox.hpp"
+#include "geo/lonlat.hpp"
+#include "geo/polygon.hpp"
+
+namespace fa::synth {
+
+struct StateInfo {
+  std::string_view name;
+  std::string_view abbr;
+  double population;        // 2018 estimate
+  double fire_propensity;   // [0,1] prior for the WHP generator
+};
+
+struct CityInfo {
+  std::string_view name;
+  std::string_view state_abbr;
+  geo::LonLat position;
+  double metro_population;  // persons in the metro area
+};
+
+// Counties with more than 1.5M people (the paper's "very dense" Pop VH
+// category), anchored at their principal city.
+struct MajorCountyInfo {
+  std::string_view name;
+  std::string_view state_abbr;
+  geo::LonLat anchor;
+  double population;
+};
+
+// Littell et al. ecoregion burn-area projections for the SLC-Denver
+// corridor (paper Section 3.9, Figures 14-15).
+struct EcoregionInfo {
+  std::string_view name;
+  double delta_burn_pct_2040;  // projected % change in area burned
+  geo::Polygon boundary;       // lon/lat
+};
+
+class UsAtlas {
+ public:
+  // The atlas is immutable, built once.
+  static const UsAtlas& get();
+
+  std::span<const StateInfo> states() const { return states_; }
+  const geo::Polygon& state_boundary(int state_idx) const {
+    return boundaries_[static_cast<std::size_t>(state_idx)];
+  }
+  int num_states() const { return static_cast<int>(states_.size()); }
+
+  // State containing `p`; falls back to the nearest state centroid within
+  // ~150 km for points in boundary-approximation gaps; -1 when offshore.
+  int state_of(geo::LonLat p) const;
+  // Index by postal abbreviation, -1 if unknown.
+  int state_index(std::string_view abbr) const;
+
+  std::span<const CityInfo> cities() const { return cities_; }
+  std::span<const MajorCountyInfo> major_counties() const {
+    return major_counties_;
+  }
+  std::span<const EcoregionInfo> ecoregions() const { return ecoregions_; }
+  // Western-US-wide ecoregion projections (Littell et al. cover the
+  // western states); used by the future-exposure extension. Coarser bands
+  // than ecoregions(), which stays faithful to the paper's Figures 14-15
+  // corridor.
+  std::span<const EcoregionInfo> western_ecoregions() const {
+    return western_ecoregions_;
+  }
+
+  // Total population over all conterminous states.
+  double total_population() const { return total_population_; }
+  geo::BBox conus_bbox() const { return conus_bbox_; }
+
+ private:
+  UsAtlas();
+  std::span<const StateInfo> states_;
+  std::vector<geo::Polygon> boundaries_;
+  std::vector<geo::Vec2> centroids_;
+  std::span<const CityInfo> cities_;
+  std::span<const MajorCountyInfo> major_counties_;
+  std::vector<EcoregionInfo> ecoregions_;
+  std::vector<EcoregionInfo> western_ecoregions_;
+  double total_population_ = 0.0;
+  geo::BBox conus_bbox_;
+};
+
+}  // namespace fa::synth

@@ -1,0 +1,122 @@
+#include "cellnet/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fa::cellnet {
+namespace {
+
+Transceiver make_txr(std::uint32_t id, double lon, double lat,
+                     RadioType radio = RadioType::kLte,
+                     std::uint16_t mcc = 310, std::uint16_t mnc = 410) {
+  Transceiver t;
+  t.id = id;
+  t.position = {lon, lat};
+  t.radio = radio;
+  t.mcc = mcc;
+  t.mnc = mnc;
+  t.cell_id = 1000 + id;
+  return t;
+}
+
+TEST(CellCorpus, CountByRadio) {
+  const CellCorpus corpus{{
+      make_txr(0, -118.0, 34.0, RadioType::kLte),
+      make_txr(1, -118.1, 34.1, RadioType::kLte),
+      make_txr(2, -118.2, 34.2, RadioType::kUmts),
+      make_txr(3, -118.3, 34.3, RadioType::kGsm),
+  }};
+  const auto counts = corpus.count_by_radio();
+  EXPECT_EQ(counts[static_cast<int>(RadioType::kLte)], 2u);
+  EXPECT_EQ(counts[static_cast<int>(RadioType::kUmts)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(RadioType::kGsm)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(RadioType::kCdma)], 0u);
+}
+
+TEST(CellCorpus, CountByProvider) {
+  const ProviderRegistry reg;
+  const CellCorpus corpus{{
+      make_txr(0, -118.0, 34.0, RadioType::kLte, 310, 410),  // AT&T
+      make_txr(1, -118.1, 34.1, RadioType::kLte, 310, 260),  // T-Mobile
+      make_txr(2, -118.2, 34.2, RadioType::kLte, 310, 260),  // T-Mobile
+      make_txr(3, -118.3, 34.3, RadioType::kLte, 399, 1),    // unknown
+  }};
+  const auto counts = corpus.count_by_provider(reg);
+  EXPECT_EQ(counts[static_cast<int>(Provider::kAtt)], 1u);
+  EXPECT_EQ(counts[static_cast<int>(Provider::kTMobile)], 2u);
+  EXPECT_EQ(counts[static_cast<int>(Provider::kRegional)], 1u);
+}
+
+TEST(CellCorpus, InferSitesGroupsColocated) {
+  // Three transceivers within metres of each other + one far away.
+  const CellCorpus corpus{{
+      make_txr(0, -118.0000, 34.0000),
+      make_txr(1, -118.00005, 34.00003),
+      make_txr(2, -118.00010, 34.00006),
+      make_txr(3, -118.2, 34.2),
+  }};
+  const auto sites = corpus.infer_sites(100.0);
+  ASSERT_EQ(sites.size(), 2u);
+  std::size_t members = 0;
+  for (const CellSite& s : sites) members += s.transceiver_count;
+  EXPECT_EQ(members, corpus.size());
+  EXPECT_EQ(std::max(sites[0].transceiver_count, sites[1].transceiver_count),
+            3u);
+}
+
+TEST(CellCorpus, InferSitesGranularity) {
+  // 200 m apart: one site at 500 m merge distance, two at 50 m.
+  const CellCorpus corpus{{
+      make_txr(0, -118.0, 34.0),
+      make_txr(1, -118.0022, 34.0),
+  }};
+  EXPECT_EQ(corpus.infer_sites(500.0).size(), 1u);
+  EXPECT_EQ(corpus.infer_sites(50.0).size(), 2u);
+}
+
+TEST(OpenCellIdCsv, RoundTrip) {
+  const CellCorpus corpus{{
+      make_txr(0, -118.0, 34.0, RadioType::kLte, 310, 410),
+      make_txr(1, -80.2, 25.8, RadioType::kCdma, 311, 480),
+  }};
+  std::stringstream buf;
+  write_opencellid_csv(buf, corpus);
+  CsvLoadStats stats;
+  const CellCorpus back = read_opencellid_csv(buf, &stats);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_EQ(back[0].radio, RadioType::kLte);
+  EXPECT_EQ(back[0].mcc, 310);
+  EXPECT_EQ(back[0].mnc, 410);
+  EXPECT_NEAR(back[1].position.lon, -80.2, 1e-9);
+  EXPECT_NEAR(back[1].position.lat, 25.8, 1e-9);
+}
+
+TEST(OpenCellIdCsv, SkipsCorruptRecords) {
+  std::stringstream buf;
+  buf << "radio,mcc,net,area,cell,unit,lon,lat,range,samples,changeable,"
+         "created,updated,averageSignal\n"
+      << "LTE,310,410,1,12345,0,-118.0,34.0,1000,1,1,0,0,0\n"
+      << "LTE,310,410,1,12345,0,-300.0,34.0,1000,1,1,0,0,0\n"  // bad lon
+      << "5G!,310,410,1,12345,0,-118.0,34.0,1000,1,1,0,0,0\n"  // bad radio
+      << "LTE,banana,410,1,12345,0,-118.0,34.0,1000,1,1,0,0,0\n";
+  CsvLoadStats stats;
+  const CellCorpus corpus = read_opencellid_csv(buf, &stats);
+  EXPECT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(stats.parsed, 1u);
+  EXPECT_EQ(stats.skipped, 3u);
+}
+
+TEST(OpenCellIdCsv, AssignsSequentialIds) {
+  std::stringstream buf;
+  write_opencellid_csv(buf, CellCorpus{{make_txr(7, -118.0, 34.0),
+                                        make_txr(9, -118.1, 34.1)}});
+  const CellCorpus back = read_opencellid_csv(buf);
+  EXPECT_EQ(back[0].id, 0u);  // ids are re-densified on load
+  EXPECT_EQ(back[1].id, 1u);
+}
+
+}  // namespace
+}  // namespace fa::cellnet

@@ -1,0 +1,78 @@
+#include "cellnet/providers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cellnet/types.hpp"
+
+namespace fa::cellnet {
+namespace {
+
+TEST(RadioTypeNames, RoundTrip) {
+  for (int i = 0; i < kNumRadioTypes; ++i) {
+    const auto t = static_cast<RadioType>(i);
+    RadioType parsed;
+    ASSERT_TRUE(parse_radio_type(radio_type_name(t), parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  RadioType out;
+  EXPECT_FALSE(parse_radio_type("WIMAX", out));
+  EXPECT_FALSE(parse_radio_type("", out));
+  EXPECT_FALSE(parse_radio_type("lte", out));  // case-sensitive like the data
+}
+
+TEST(ProviderRegistry, ResolvesNationalCarriers) {
+  const ProviderRegistry reg;
+  EXPECT_EQ(reg.resolve(310, 410), Provider::kAtt);
+  EXPECT_EQ(reg.resolve(310, 260), Provider::kTMobile);
+  EXPECT_EQ(reg.resolve(310, 120), Provider::kSprint);
+  EXPECT_EQ(reg.resolve(311, 480), Provider::kVerizon);
+}
+
+TEST(ProviderRegistry, AcquiredBlocksResolveToParent) {
+  const ProviderRegistry reg;
+  EXPECT_EQ(reg.resolve(310, 660), Provider::kTMobile);  // MetroPCS
+  EXPECT_EQ(reg.resolve(316, 10), Provider::kSprint);    // Nextel
+  EXPECT_EQ(reg.resolve(313, 100), Provider::kAtt);      // FirstNet
+}
+
+TEST(ProviderRegistry, UnknownPairsAreRegional) {
+  const ProviderRegistry reg;
+  EXPECT_EQ(reg.resolve(310, 999), Provider::kRegional);
+  EXPECT_EQ(reg.resolve(311, 1), Provider::kRegional);
+  EXPECT_EQ(reg.brand(310, 999), "Unknown regional");
+}
+
+TEST(ProviderRegistry, BrandsForKnownBlocks) {
+  const ProviderRegistry reg;
+  EXPECT_EQ(reg.brand(310, 410), "AT&T Mobility");
+  EXPECT_EQ(reg.brand(311, 220), "US Cellular");
+}
+
+TEST(ProviderRegistry, BlocksOfPartitionRegistry) {
+  const ProviderRegistry reg;
+  std::size_t total = 0;
+  for (int p = 0; p < kNumProviders; ++p) {
+    const auto blocks = reg.blocks_of(static_cast<Provider>(p));
+    EXPECT_FALSE(blocks.empty()) << provider_name(static_cast<Provider>(p));
+    for (const MncRecord& r : blocks) {
+      EXPECT_EQ(r.provider, static_cast<Provider>(p));
+    }
+    total += blocks.size();
+  }
+  EXPECT_EQ(total, reg.size());
+}
+
+TEST(ProviderRegistry, ManyRegionalBrands) {
+  // The paper footnotes 46 smaller carriers with at-risk infrastructure.
+  const ProviderRegistry reg;
+  EXPECT_GE(reg.regional_brand_count(), 40u);
+}
+
+TEST(ProviderNames, Stable) {
+  EXPECT_EQ(provider_name(Provider::kAtt), "AT&T");
+  EXPECT_EQ(provider_name(Provider::kVerizon), "Verizon");
+  EXPECT_EQ(provider_name(Provider::kRegional), "Others");
+}
+
+}  // namespace
+}  // namespace fa::cellnet

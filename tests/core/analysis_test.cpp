@@ -1,0 +1,291 @@
+// Integration tests over the analysis pipeline: each checks the *shape*
+// claims of the corresponding paper section against the shared world.
+#include <gtest/gtest.h>
+
+#include "core/historical.hpp"
+#include "core/metro.hpp"
+#include "core/overlay.hpp"
+#include "core/population.hpp"
+#include "core/provider_risk.hpp"
+#include "core/whp_overlay.hpp"
+#include "test_world.hpp"
+
+namespace fa::core {
+namespace {
+
+using testing::test_world;
+
+// --- Overlay primitive ----------------------------------------------------
+
+TEST(Overlay, EmptyFireListFindsNothing) {
+  EXPECT_TRUE(transceivers_in_perimeters(test_world(), {}).empty());
+}
+
+TEST(Overlay, ConusSizedPerimeterFindsEverything) {
+  firesim::FirePerimeter everything;
+  const geo::BBox box = test_world().atlas().conus_bbox().inflated(1.0);
+  everything.perimeter = geo::MultiPolygon{{geo::Polygon{
+      geo::make_rect(box.min_x, box.min_y, box.max_x, box.max_y)}}};
+  const auto hits = transceivers_in_perimeters(test_world(), {everything});
+  EXPECT_EQ(hits.size(), test_world().corpus().size());
+}
+
+TEST(Overlay, NoDuplicateIdsAcrossOverlappingFires) {
+  firesim::FirePerimeter a, b;
+  a.perimeter = geo::MultiPolygon{{geo::Polygon{
+      geo::make_rect(-119.0, 33.5, -117.0, 34.8)}}};  // LA box
+  b.perimeter = geo::MultiPolygon{{geo::Polygon{
+      geo::make_rect(-118.5, 33.8, -117.5, 34.5)}}};  // inside a
+  const auto hits = transceivers_in_perimeters(test_world(), {a, b});
+  std::vector<std::uint32_t> sorted = hits;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_GT(hits.size(), 0u);
+}
+
+TEST(Overlay, AttributionPointsAtContainingFire) {
+  firesim::FirePerimeter a;
+  a.name = "box";
+  a.perimeter = geo::MultiPolygon{{geo::Polygon{
+      geo::make_rect(-123.0, 37.0, -121.5, 38.5)}}};  // Bay Area box
+  const auto hits = transceivers_in_perimeters_attributed(test_world(), {a});
+  ASSERT_GT(hits.txr_ids.size(), 0u);
+  for (std::size_t i = 0; i < hits.txr_ids.size(); ++i) {
+    EXPECT_EQ(hits.fire_idx[i], 0u);
+    EXPECT_TRUE(a.perimeter.contains(
+        test_world().corpus()[hits.txr_ids[i]].position.as_vec()));
+  }
+}
+
+// --- Section 3.3 / Figures 7-9 ---------------------------------------------
+
+TEST(WhpOverlay, ClassCountsCoverCorpus) {
+  const WhpOverlayResult r = run_whp_overlay(test_world());
+  std::size_t total = 0;
+  for (const std::size_t n : r.txr_by_class) total += n;
+  EXPECT_EQ(total, test_world().corpus().size());
+}
+
+TEST(WhpOverlay, AtRiskShareMatchesPaperBallpark) {
+  // Paper: 430,844 of 5,364,949 => 8.0% of the corpus is at risk.
+  const WhpOverlayResult r = run_whp_overlay(test_world());
+  const double share = static_cast<double>(r.total_at_risk()) /
+                       test_world().corpus().size();
+  EXPECT_GT(share, 0.04);
+  EXPECT_LT(share, 0.16);
+}
+
+TEST(WhpOverlay, ModerateExceedsHighExceedsVeryHigh) {
+  const WhpOverlayResult r = run_whp_overlay(test_world());
+  EXPECT_GT(r.txr_by_class[3], r.txr_by_class[4]);
+  EXPECT_GT(r.txr_by_class[4], r.txr_by_class[5]);
+  EXPECT_GT(r.txr_by_class[5], 0u);
+}
+
+TEST(WhpOverlay, CaliforniaLeadsAndTopStatesMatch) {
+  // Paper: CA, FL, TX are the top three at-risk states.
+  const WhpOverlayResult r = run_whp_overlay(test_world());
+  const auto rank = r.rank_by_at_risk();
+  const auto& atlas = test_world().atlas();
+  EXPECT_EQ(atlas.states()[rank[0]].abbr, "CA");
+  // FL and TX in the top four (exact order is scale-sensitive).
+  std::vector<std::string_view> top4;
+  for (int i = 0; i < 4; ++i) top4.push_back(atlas.states()[rank[i]].abbr);
+  EXPECT_NE(std::find(top4.begin(), top4.end(), "FL"), top4.end());
+  EXPECT_NE(std::find(top4.begin(), top4.end(), "TX"), top4.end());
+}
+
+TEST(WhpOverlay, PerCapitaReshufflesRanking) {
+  // Paper Figure 9: small western states (UT, NV, NM) rise on a
+  // per-capita basis; the per-capita leader differs from the absolute one.
+  const WhpOverlayResult r = run_whp_overlay(test_world());
+  const auto by_count = r.rank_by_at_risk();
+  const auto by_capita = r.rank_by_per_capita();
+  EXPECT_NE(by_count, by_capita);
+  // Some mountain-west state appears in the per-capita top 6.
+  const auto& atlas = test_world().atlas();
+  bool west_present = false;
+  for (int i = 0; i < 6; ++i) {
+    const auto abbr = atlas.states()[by_capita[i]].abbr;
+    if (abbr == "UT" || abbr == "NV" || abbr == "NM" || abbr == "ID" ||
+        abbr == "MT" || abbr == "WY") {
+      west_present = true;
+    }
+  }
+  EXPECT_TRUE(west_present);
+}
+
+// --- Section 3.5 / Tables 2-3 ----------------------------------------------
+
+TEST(ProviderRisk, AttHasTheMostAtRiskInfrastructure) {
+  const ProviderRiskResult r = run_provider_risk(test_world());
+  const auto at_risk = [&](cellnet::Provider p) {
+    const auto& row = r.rows[static_cast<std::size_t>(p)];
+    return row.moderate + row.high + row.very_high;
+  };
+  EXPECT_GT(at_risk(cellnet::Provider::kAtt),
+            at_risk(cellnet::Provider::kTMobile));
+  EXPECT_GT(at_risk(cellnet::Provider::kTMobile),
+            at_risk(cellnet::Provider::kSprint));
+}
+
+TEST(ProviderRisk, ModeratePctHighestVeryHighPctLowest) {
+  // Table 2: for every provider, % in moderate > % in high > % in VH.
+  const ProviderRiskResult r = run_provider_risk(test_world());
+  for (const ProviderRiskRow& row : r.rows) {
+    ASSERT_GT(row.fleet, 0u);
+    EXPECT_GT(row.pct_moderate(), row.pct_high())
+        << provider_name(row.provider);
+    EXPECT_GT(row.pct_high(), row.pct_very_high())
+        << provider_name(row.provider);
+  }
+}
+
+TEST(ProviderRisk, SprintLeastExposedOfNationals) {
+  // Table 2: Sprint's metro-heavy footprint gives it the lowest share of
+  // fleet at risk among the four national carriers.
+  const ProviderRiskResult r = run_provider_risk(test_world());
+  const auto pct_m = [&](cellnet::Provider p) {
+    return r.rows[static_cast<std::size_t>(p)].pct_moderate();
+  };
+  EXPECT_LT(pct_m(cellnet::Provider::kSprint), pct_m(cellnet::Provider::kAtt));
+  EXPECT_LT(pct_m(cellnet::Provider::kSprint),
+            pct_m(cellnet::Provider::kVerizon));
+}
+
+TEST(ProviderRisk, ManyRegionalBrandsExposed) {
+  const ProviderRiskResult r = run_provider_risk(test_world());
+  EXPECT_GE(r.regional_brands_at_risk, 20u);  // paper footnotes 46
+}
+
+TEST(RadioRisk, LteLeadsEveryClass) {
+  // Table 3: LTE has the most at-risk transceivers in each WHP class.
+  const RadioRiskResult r = run_radio_risk(test_world());
+  const auto& lte = r.rows[static_cast<std::size_t>(cellnet::RadioType::kLte)];
+  for (const RadioRiskRow& row : r.rows) {
+    if (row.radio == cellnet::RadioType::kLte) continue;
+    EXPECT_GE(lte.moderate, row.moderate);
+    EXPECT_GE(lte.high, row.high);
+    EXPECT_GE(lte.very_high, row.very_high);
+  }
+  EXPECT_GT(lte.total(), 0u);
+  // No 5G in the 2019 snapshot.
+  EXPECT_EQ(r.rows[static_cast<std::size_t>(cellnet::RadioType::kNr)].total(),
+            0u);
+}
+
+TEST(RadioRisk, UmtsSecond) {
+  const RadioRiskResult r = run_radio_risk(test_world());
+  const auto total = [&](cellnet::RadioType t) {
+    return r.rows[static_cast<std::size_t>(t)].total();
+  };
+  EXPECT_GT(total(cellnet::RadioType::kUmts), total(cellnet::RadioType::kCdma));
+  EXPECT_GT(total(cellnet::RadioType::kUmts), total(cellnet::RadioType::kGsm));
+}
+
+// --- Section 3.6 / Figures 10-11 -------------------------------------------
+
+TEST(PopulationImpact, MatrixSumsToAtRiskTotal) {
+  const PopulationImpactResult r = run_population_impact(test_world());
+  const WhpOverlayResult overlay = run_whp_overlay(test_world());
+  // County resolution can drop a handful of transceivers.
+  EXPECT_NEAR(static_cast<double>(r.at_risk_total()),
+              static_cast<double>(overlay.total_at_risk()),
+              static_cast<double>(overlay.total_at_risk()) * 0.02);
+}
+
+TEST(PopulationImpact, ServedPopulationIsLarge) {
+  // Paper: the counties served by at-risk transceivers hold > 85M people.
+  const PopulationImpactResult r = run_population_impact(test_world());
+  EXPECT_GT(r.population_served, 50e6);
+  EXPECT_LT(r.population_served, 330e6);
+}
+
+TEST(PopulationImpact, VeryDenseCountiesHoldSubstantialRisk) {
+  // Paper: 57,504 of ~431k at-risk transceivers (13%) sit in counties
+  // over 1.5M people.
+  const PopulationImpactResult r = run_population_impact(test_world());
+  const double share = static_cast<double>(r.at_risk_pop_vh()) /
+                       std::max<std::size_t>(1, r.at_risk_total());
+  EXPECT_GT(share, 0.03);
+  EXPECT_LT(share, 0.55);
+}
+
+TEST(PopulationImpact, VhMapIsDominatedByKnownMetros) {
+  // Fig 11 right: LA + San Diego dominate; Miami and the Bay Area appear.
+  const auto rows = very_high_by_major_county(test_world());
+  ASSERT_FALSE(rows.empty());
+  bool la_top3 = false;
+  for (std::size_t i = 0; i < rows.size() && i < 3; ++i) {
+    if (rows[i].county == "Los Angeles County" ||
+        rows[i].county == "San Diego County" ||
+        rows[i].county == "Riverside County" ||
+        rows[i].county == "San Bernardino County") {
+      la_top3 = true;
+    }
+  }
+  EXPECT_TRUE(la_top3);
+}
+
+// --- Section 3.7 / Figures 12-13 -------------------------------------------
+
+TEST(MetroRisk, RowsSortedAndNonEmpty) {
+  const auto rows = run_metro_risk(test_world());
+  ASSERT_GT(rows.size(), 10u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].total(), rows[i].total());
+  }
+}
+
+TEST(MetroRisk, CaliforniaMetrosNearTheTop) {
+  // Paper: LA, SD, SF/San Jose, Sacramento and the Florida metros carry
+  // the most at-risk infrastructure.
+  const auto rows = run_metro_risk(test_world());
+  bool ca_or_fl_first = rows[0].state_abbr == "CA" ||
+                        rows[0].state_abbr == "FL";
+  EXPECT_TRUE(ca_or_fl_first) << rows[0].metro;
+  std::size_t ca_in_top8 = 0;
+  for (std::size_t i = 0; i < rows.size() && i < 8; ++i) {
+    if (rows[i].state_abbr == "CA") ++ca_in_top8;
+  }
+  EXPECT_GE(ca_in_top8, 2u);
+}
+
+TEST(MetroRisk, GradientRisesAwayFromCenter) {
+  // Figure 13: risk share increases with distance from the metro core.
+  const auto rings = metro_risk_gradient(test_world(),
+                                         {-118.244, 34.052});  // LA
+  ASSERT_GE(rings.size(), 6u);
+  const double inner = rings[0].at_risk_share();
+  double outer_max = 0.0;
+  for (std::size_t i = 3; i < rings.size(); ++i) {
+    outer_max = std::max(outer_max, rings[i].at_risk_share());
+  }
+  EXPECT_GT(outer_max, inner + 0.05);
+  EXPECT_LT(rings[0].at_risk_share(), 0.2);  // core is non-burnable
+}
+
+// --- Figure 3 geography ------------------------------------------------------
+
+TEST(BurnedByState, WestDominatesAndRowsSorted) {
+  // One shrunk season is enough for the geographic claim.
+  synth::FireYearStats year{2018, 58083, 2.0, 3099, 353};
+  const BurnedByStateResult r =
+      burned_by_state(test_world(), std::span{&year, 1});
+  ASSERT_FALSE(r.rows.empty());
+  EXPECT_GT(r.total_acres, 1e6);
+  // Figure 3: fires concentrated in the west.
+  EXPECT_GT(r.west_share, 0.6);
+  for (std::size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(r.rows[i - 1].acres, r.rows[i].acres);
+  }
+  // The top state is a high-propensity one.
+  EXPECT_GE(test_world()
+                .atlas()
+                .states()[static_cast<std::size_t>(r.rows[0].state)]
+                .fire_propensity,
+            0.55);
+}
+
+}  // namespace
+}  // namespace fa::core

@@ -1,0 +1,257 @@
+// Tests for the Section 3.11 / 3.5 extension modules: HOT escape-
+// probability weighting, service-coverage loss, and IAB resilience.
+#include <gtest/gtest.h>
+
+#include "core/case_study.hpp"
+#include "core/coverage.hpp"
+#include "core/climate.hpp"
+#include "core/escape.hpp"
+#include "core/site_risk.hpp"
+#include "test_world.hpp"
+
+namespace fa::core {
+namespace {
+
+using testing::test_world;
+
+// --- Escape-probability model ----------------------------------------------
+
+TEST(EscapeRisk, ScoreIsNonNegativeAndBounded) {
+  const World& w = test_world();
+  for (const geo::LonLat p : {geo::LonLat{-120.6, 39.2},   // Sierra foothills
+                              geo::LonLat{-87.63, 41.88},  // Chicago
+                              geo::LonLat{-105.5, 39.5}}) {
+    const double s = escape_risk_score(w, p);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 40.0);
+  }
+}
+
+TEST(EscapeRisk, HazardousTerrainScoresHigher) {
+  const World& w = test_world();
+  // Sierra foothills vs downtown Chicago (non-burnable farmland belt).
+  const double sierra = escape_risk_score(w, {-120.6, 39.2});
+  const double chicago = escape_risk_score(w, {-87.63, 41.88});
+  EXPECT_GT(sierra, chicago * 2.0);
+}
+
+TEST(EscapeRisk, TailExponentControlsReach) {
+  // Smaller alpha (heavier tail) means distant ignitions matter more, so
+  // scores can only grow when alpha shrinks.
+  const World& w = test_world();
+  EscapeConfig heavy;
+  heavy.alpha = 0.3;
+  EscapeConfig light;
+  light.alpha = 1.2;
+  const geo::LonLat p{-120.6, 39.2};
+  EXPECT_GE(escape_risk_score(w, p, heavy),
+            escape_risk_score(w, p, light));
+}
+
+TEST(EscapeRisk, RunPopulatesStates) {
+  const EscapeResult r = run_escape_risk(test_world(), 64);
+  EXPECT_FALSE(r.scores.empty());
+  EXPECT_EQ(r.stride, 64u);
+  std::size_t scored = 0;
+  for (const EscapeStateRow& row : r.states) scored += row.transceivers;
+  EXPECT_EQ(scored, r.scores.size());
+}
+
+TEST(EscapeRisk, WesternStatesLeadTheRanking) {
+  const EscapeResult r = run_escape_risk(test_world(), 64);
+  const auto rank = r.rank();
+  const auto& atlas = test_world().atlas();
+  // Every top-5 escape-weighted state is a high-propensity state.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_GE(atlas.states()[rank[i]].fire_propensity, 0.55)
+        << atlas.states()[rank[i]].abbr;
+  }
+}
+
+TEST(EscapeRisk, RankCorrelationWithWhpIsStrongButImperfect) {
+  const EscapeResult r = run_escape_risk(test_world(), 64);
+  const double rho = escape_vs_whp_rank_correlation(test_world(), r);
+  EXPECT_GT(rho, 0.4);   // same broad geography
+  EXPECT_LT(rho, 0.999); // but not identical — the model adds information
+}
+
+// --- Coverage loss -----------------------------------------------------------
+
+TEST(CoverageCurve, ZeroBelowRedundancyKnee) {
+  const CoverageConfig cfg;
+  EXPECT_DOUBLE_EQ(coverage_loss_share(0.0, cfg), 0.0);
+  EXPECT_DOUBLE_EQ(coverage_loss_share(cfg.redundancy, cfg), 0.0);
+  EXPECT_DOUBLE_EQ(coverage_loss_share(cfg.redundancy - 0.05, cfg), 0.0);
+}
+
+TEST(CoverageCurve, FullLossAtTotalDestruction) {
+  EXPECT_DOUBLE_EQ(coverage_loss_share(1.0, CoverageConfig{}), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_loss_share(1.5, CoverageConfig{}), 1.0);  // clamp
+}
+
+TEST(CoverageCurve, MonotoneAboveKnee) {
+  const CoverageConfig cfg;
+  double prev = 0.0;
+  for (double share = cfg.redundancy; share <= 1.0; share += 0.05) {
+    const double loss = coverage_loss_share(share, cfg);
+    EXPECT_GE(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(CoverageLoss, EmptyFiresNoImpact) {
+  const CoverageResult r = run_coverage_loss(test_world(), {});
+  EXPECT_TRUE(r.counties.empty());
+  EXPECT_DOUBLE_EQ(r.total_users_affected, 0.0);
+  EXPECT_EQ(r.transceivers_lost, 0u);
+}
+
+TEST(CoverageLoss, CountyWipeoutAffectsItsPopulation) {
+  // A perimeter covering all of Florida wipes every FL county.
+  firesim::FirePerimeter fire;
+  fire.perimeter = geo::MultiPolygon{
+      {geo::Polygon{geo::make_rect(-88.0, 24.5, -79.5, 31.2)}}};
+  const CoverageResult r = run_coverage_loss(test_world(), {fire});
+  EXPECT_GT(r.transceivers_lost, 100u);
+  EXPECT_GT(r.total_users_affected, 1e6);
+  ASSERT_FALSE(r.counties.empty());
+  // Sorted by users affected, and losses never exceed county totals.
+  for (std::size_t i = 0; i < r.counties.size(); ++i) {
+    EXPECT_LE(r.counties[i].lost, r.counties[i].transceivers);
+    if (i > 0) {
+      EXPECT_GE(r.counties[i - 1].users_affected,
+                r.counties[i].users_affected);
+    }
+  }
+}
+
+TEST(CoverageLoss, RedundancyAbsorbsSmallLosses) {
+  // A tiny box loses few transceivers per county => zero user impact.
+  firesim::FirePerimeter fire;
+  fire.perimeter = geo::MultiPolygon{
+      {geo::Polygon{geo::make_rect(-120.65, 39.15, -120.55, 39.25)}}};
+  const CoverageResult r = run_coverage_loss(test_world(), {fire});
+  for (const CountyCoverageRow& row : r.counties) {
+    if (row.lost_share() <= CoverageConfig{}.redundancy) {
+      EXPECT_DOUBLE_EQ(row.users_affected, 0.0) << row.name;
+    }
+  }
+}
+
+// --- Future exposure (western ecoregion projection) -------------------------
+
+TEST(FutureExposure, AggregateGrowsWestDriven) {
+  const FutureExposureResult r = run_future_exposure(test_world());
+  EXPECT_GT(r.at_risk_now, 0u);
+  // The west dominates at-risk infrastructure and its deltas are mostly
+  // positive, so the aggregate index must grow.
+  EXPECT_GT(r.at_risk_2040, static_cast<double>(r.at_risk_now));
+}
+
+TEST(FutureExposure, EasternStatesHoldCurrentExposure) {
+  const FutureExposureResult r = run_future_exposure(test_world());
+  const int fl = test_world().atlas().state_index("FL");
+  const auto& row = r.states[static_cast<std::size_t>(fl)];
+  // Florida sits outside the Littell-covered west: growth factor 1.0.
+  EXPECT_NEAR(row.growth(), 1.0, 1e-9);
+}
+
+TEST(FutureExposure, WesternStatesGrow) {
+  const FutureExposureResult r = run_future_exposure(test_world());
+  for (const char* abbr : {"CA", "ID", "MT", "NV"}) {
+    const int s = test_world().atlas().state_index(abbr);
+    const auto& row = r.states[static_cast<std::size_t>(s)];
+    if (row.at_risk_now == 0) continue;
+    EXPECT_GT(row.growth(), 1.0) << abbr;
+  }
+}
+
+TEST(FutureExposure, RankingIsDescending) {
+  const FutureExposureResult r = run_future_exposure(test_world());
+  const auto rank = r.rank();
+  for (std::size_t i = 1; i < rank.size(); ++i) {
+    EXPECT_GE(r.states[static_cast<std::size_t>(rank[i - 1])].at_risk_2040,
+              r.states[static_cast<std::size_t>(rank[i])].at_risk_2040);
+  }
+}
+
+// --- IAB resilience -----------------------------------------------------------
+
+TEST(IabResilience, FullDeploymentRemovesTransportOutages) {
+  firesim::OutageSimConfig config;
+  config.iab_fraction = 1.0;
+  const firesim::DirsReport report =
+      run_california_case_study(test_world(), config);
+  for (const firesim::DayOutages& day : report.days) {
+    EXPECT_EQ(day.transport, 0u) << day.label;
+  }
+}
+
+TEST(IabResilience, PowerOutagesAreUntouched) {
+  firesim::OutageSimConfig base;
+  firesim::OutageSimConfig full;
+  full.iab_fraction = 1.0;
+  const firesim::DirsReport a = run_california_case_study(test_world(), base);
+  const firesim::DirsReport b = run_california_case_study(test_world(), full);
+  // IAB only changes the transport category; damage + power categories
+  // stay in the same regime (not exactly equal: the per-site IAB draws
+  // shift the RNG stream).
+  std::size_t power_a = 0, power_b = 0;
+  for (std::size_t d = 0; d < a.days.size(); ++d) {
+    power_a += a.days[d].power;
+    power_b += b.days[d].power;
+  }
+  EXPECT_GT(power_b, power_a / 2);
+  EXPECT_LT(power_b, power_a * 2);
+}
+
+TEST(IabResilience, PartialDeploymentPartialBenefit) {
+  firesim::OutageSimConfig none, half;
+  half.iab_fraction = 0.5;
+  std::size_t t_none = 0, t_half = 0;
+  const firesim::DirsReport a = run_california_case_study(test_world(), none);
+  const firesim::DirsReport b = run_california_case_study(test_world(), half);
+  for (std::size_t d = 0; d < a.days.size(); ++d) {
+    t_none += a.days[d].transport;
+    t_half += b.days[d].transport;
+  }
+  EXPECT_LT(t_half, t_none);
+  EXPECT_GT(t_half, 0u);
+}
+
+// --- Site-level ablation ------------------------------------------------------
+
+TEST(SiteRisk, SitesFewerThanTransceivers) {
+  const SiteRiskResult r = run_site_risk(test_world());
+  EXPECT_GT(r.sites, 0u);
+  EXPECT_LT(r.sites, r.transceivers);
+  EXPECT_GT(r.radios_per_site, 2.0);
+  // Class counts partition both populations.
+  std::size_t site_total = 0, txr_total = 0;
+  for (int cls = 0; cls < synth::kNumWhpClasses; ++cls) {
+    site_total += r.sites_by_class[static_cast<std::size_t>(cls)];
+    txr_total += r.txr_by_class[static_cast<std::size_t>(cls)];
+  }
+  EXPECT_EQ(site_total, r.sites);
+  EXPECT_EQ(txr_total, r.transceivers);
+}
+
+TEST(SiteRisk, AtRiskSitesAreThinnerThanSafeOnes) {
+  // Rural at-risk sites host fewer radios: the transceiver view
+  // understates structural exposure.
+  const SiteRiskResult r = run_site_risk(test_world());
+  EXPECT_GT(r.radios_per_safe_site, r.radios_per_at_risk_site);
+  const double site_share = static_cast<double>(r.sites_at_risk()) / r.sites;
+  const double txr_share =
+      static_cast<double>(r.txr_at_risk()) / r.transceivers;
+  EXPECT_GT(site_share, txr_share);
+}
+
+TEST(SiteRisk, MergeDistanceShrinksSiteCount) {
+  const SiteRiskResult fine = run_site_risk(test_world(), 50.0);
+  const SiteRiskResult coarse = run_site_risk(test_world(), 500.0);
+  EXPECT_GT(fine.sites, coarse.sites);
+}
+
+}  // namespace
+}  // namespace fa::core

@@ -1,0 +1,75 @@
+// End-to-end integration: the full data-exchange loop. A world's corpus
+// is serialized to OpenCelliD CSV and its hazard grid to a .fagrid file;
+// both are re-ingested cold (as external data would be) and the overlay
+// must reproduce the in-memory analysis exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/whp_overlay.hpp"
+#include "geo/projection.hpp"
+#include "io/fagrid.hpp"
+#include "test_world.hpp"
+
+namespace fa::core {
+namespace {
+
+using testing::test_world;
+
+TEST(Pipeline, CsvPlusFagridRoundTripMatchesInMemoryOverlay) {
+  const World& world = test_world();
+
+  // Export.
+  std::stringstream csv;
+  cellnet::write_opencellid_csv(csv, world.corpus());
+  std::stringstream grid_bytes;
+  io::write_fagrid(grid_bytes, world.whp().grid());
+
+  // Cold re-ingest.
+  cellnet::CsvLoadStats stats;
+  const cellnet::CellCorpus corpus = cellnet::read_opencellid_csv(csv, &stats);
+  ASSERT_EQ(stats.skipped, 0u);
+  ASSERT_EQ(corpus.size(), world.corpus().size());
+  const raster::ClassRaster grid = io::read_fagrid(grid_bytes);
+  ASSERT_EQ(grid.geom(), world.whp().grid().geom());
+
+  // Recompute the per-class counts from the re-ingested artifacts.
+  const geo::AlbersConus proj;
+  std::array<std::size_t, synth::kNumWhpClasses> by_class{};
+  for (const cellnet::Transceiver& t : corpus.transceivers()) {
+    ++by_class[grid.sample(proj.forward(t.position), 0)];
+  }
+  const WhpOverlayResult reference = run_whp_overlay(world);
+  for (int cls = 0; cls < synth::kNumWhpClasses; ++cls) {
+    EXPECT_EQ(by_class[static_cast<std::size_t>(cls)],
+              reference.txr_by_class[static_cast<std::size_t>(cls)])
+        << synth::whp_class_name(static_cast<synth::WhpClass>(cls));
+  }
+}
+
+TEST(Pipeline, ProviderResolutionSurvivesCsvRoundTrip) {
+  const World& world = test_world();
+  std::stringstream csv;
+  cellnet::write_opencellid_csv(csv, world.corpus());
+  const cellnet::CellCorpus corpus = cellnet::read_opencellid_csv(csv);
+  const cellnet::ProviderRegistry registry;
+  EXPECT_EQ(corpus.count_by_provider(registry),
+            world.corpus().count_by_provider(registry));
+  EXPECT_EQ(corpus.count_by_radio(), world.corpus().count_by_radio());
+}
+
+TEST(Pipeline, WorldRebuildIsByteStable) {
+  // Same config => identical corpus and hazard grid (the determinism
+  // guarantee the whole harness rests on).
+  const World& a = test_world();
+  const World b = World::build(a.config());
+  ASSERT_EQ(a.corpus().size(), b.corpus().size());
+  for (std::size_t i = 0; i < a.corpus().size(); i += 97) {
+    EXPECT_EQ(a.corpus()[i].position, b.corpus()[i].position);
+    EXPECT_EQ(a.corpus()[i].mnc, b.corpus()[i].mnc);
+  }
+  EXPECT_EQ(a.whp().grid().data(), b.whp().grid().data());
+}
+
+}  // namespace
+}  // namespace fa::core

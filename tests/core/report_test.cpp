@@ -1,0 +1,106 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/maps.hpp"
+
+namespace fa::core {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Name", "Count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12,345"});
+  const std::string s = t.str();
+  // Header + underline + 2 rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // Numeric column is right-aligned: "1" ends where "12,345" ends.
+  const auto lines_end = [&](int line) {
+    std::size_t pos = 0;
+    for (int i = 0; i < line; ++i) pos = s.find('\n', pos) + 1;
+    return s.find('\n', pos);
+  };
+  EXPECT_EQ(s[lines_end(2) - 1], '1');
+  EXPECT_EQ(s[lines_end(3) - 1], '5');
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"only-one"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(FmtCount, InsertsThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(5364949), "5,364,949");
+  EXPECT_EQ(fmt_count(430844), "430,844");
+}
+
+TEST(FmtDouble, FixedPrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(10.0, 3), "10.000");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(FmtPct, FractionToPercent) {
+  EXPECT_EQ(fmt_pct(0.46), "46.0%");
+  EXPECT_EQ(fmt_pct(0.055, 2), "5.50%");
+}
+
+TEST(AsciiDensity, RendersPeaksDarker) {
+  std::vector<geo::Vec2> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back({5.0, 5.0});  // one hot spot
+  pts.push_back({1.0, 1.0});
+  const std::string map =
+      render_ascii_density(pts, geo::BBox{0, 0, 10, 10}, 20, 10);
+  EXPECT_NE(map.find('@'), std::string::npos);  // peak glyph present
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 10);
+}
+
+TEST(AsciiDensity, EmptyInputIsAllBlank) {
+  const std::string map =
+      render_ascii_density({}, geo::BBox{0, 0, 1, 1}, 8, 4);
+  for (const char ch : map) {
+    EXPECT_TRUE(ch == ' ' || ch == '\n');
+  }
+}
+
+TEST(AsciiClasses, UsesGlyphPerClass) {
+  raster::GridGeometry g;
+  g.cols = 16;
+  g.rows = 16;
+  g.cell_w = g.cell_h = 1.0;
+  raster::ClassRaster grid(g, 0);
+  for (int r = 8; r < 16; ++r) {
+    for (int c = 0; c < 16; ++c) grid.at(c, r) = 2;
+  }
+  const std::string map = render_ascii_classes(grid, " .X", 16, 8);
+  // Northern half (rendered first) uses 'X', southern half blanks.
+  const std::size_t first_newline = map.find('\n');
+  EXPECT_NE(map.substr(0, first_newline).find('X'), std::string::npos);
+  EXPECT_EQ(map.substr(map.size() - first_newline - 1).find('X'),
+            std::string::npos);
+}
+
+TEST(DensityPgm, WritesValidHeader) {
+  const std::string path = ::testing::TempDir() + "/density.pgm";
+  std::vector<geo::Vec2> pts{{0.5, 0.5}, {0.2, 0.8}};
+  save_density_pgm(path, pts, geo::BBox{0, 0, 1, 1}, 16, 8);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  in >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 16);
+  EXPECT_EQ(h, 8);
+  EXPECT_EQ(maxv, 255);
+}
+
+}  // namespace
+}  // namespace fa::core

@@ -1,0 +1,62 @@
+#include "core/roadside.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+namespace fa::core {
+namespace {
+
+using testing::test_world;
+
+const RoadsideResult& shared_result() {
+  static const RoadsideResult r = run_roadside_shadow(test_world(), 8);
+  return r;
+}
+
+TEST(Roadside, PartitionsTheSampledCorpus) {
+  const RoadsideResult& r = shared_result();
+  EXPECT_GT(r.roadside, 0u);
+  EXPECT_GT(r.interior, 0u);
+  // stride-8 sampling of the corpus.
+  EXPECT_NEAR(static_cast<double>(r.roadside + r.interior),
+              static_cast<double>(test_world().corpus().size()) / 8.0, 2.0);
+}
+
+TEST(Roadside, RoadsideFlagRateIsDepressed) {
+  // The Section 3.4 mechanism: corridor cells are classified low, so
+  // roadside towers are flagged far less often than interior ones.
+  const RoadsideResult& r = shared_result();
+  EXPECT_LT(r.roadside_flag_rate(), r.interior_flag_rate());
+}
+
+TEST(Roadside, ShadowIsSubsetOfUnflagged) {
+  const RoadsideResult& r = shared_result();
+  EXPECT_LE(r.roadside_shadowed, r.roadside - r.roadside_flagged);
+  EXPECT_GE(r.shadow_share(), 0.0);
+  EXPECT_LE(r.shadow_share(), 1.0);
+}
+
+TEST(Roadside, WiderReachShadowsMore) {
+  RoadsideConfig narrow;
+  narrow.shadow_reach_m = 1000.0;
+  RoadsideConfig wide;
+  wide.shadow_reach_m = 9000.0;
+  const RoadsideResult a = run_roadside_shadow(test_world(), 16, narrow);
+  const RoadsideResult b = run_roadside_shadow(test_world(), 16, wide);
+  EXPECT_GE(b.roadside_shadowed, a.roadside_shadowed);
+}
+
+TEST(Roadside, RoadsideDefinitionControlsSplit) {
+  RoadsideConfig tight;
+  tight.roadside_m = 500.0;
+  RoadsideConfig loose;
+  loose.roadside_m = 10000.0;
+  const RoadsideResult a = run_roadside_shadow(test_world(), 16, tight);
+  const RoadsideResult b = run_roadside_shadow(test_world(), 16, loose);
+  EXPECT_LT(a.roadside, b.roadside);
+  EXPECT_EQ(a.roadside + a.interior, b.roadside + b.interior);
+}
+
+}  // namespace
+}  // namespace fa::core

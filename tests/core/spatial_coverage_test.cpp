@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/coverage.hpp"
+#include "test_world.hpp"
+
+namespace fa::core {
+namespace {
+
+using testing::test_world;
+
+const synth::PopulationSurface& population() {
+  static const synth::PopulationSurface s = synth::PopulationSurface::build(
+      test_world().atlas(), test_world().config(), 27000.0);
+  return s;
+}
+
+TEST(SpatialCoverage, NoFiresNoLoss) {
+  const SpatialCoverageResult r =
+      run_spatial_coverage_loss(test_world(), {}, population());
+  EXPECT_DOUBLE_EQ(r.population_analyzed, 0.0);
+  EXPECT_DOUBLE_EQ(r.uncovered_by_fires, 0.0);
+  EXPECT_EQ(r.sites_lost, 0u);
+}
+
+TEST(SpatialCoverage, UrbanFireRarelyDarkensAnyone) {
+  // A fire box inside metro LA: sites are lost, but the surviving ones
+  // keep the area covered (density = redundancy).
+  firesim::FirePerimeter fire;
+  fire.perimeter = geo::MultiPolygon{
+      {geo::Polygon{geo::make_rect(-118.35, 33.95, -118.15, 34.15)}}};
+  const SpatialCoverageResult r =
+      run_spatial_coverage_loss(test_world(), {fire}, population());
+  EXPECT_GT(r.sites_lost, 0u);
+  EXPECT_GT(r.covered_before, 0.0);
+  EXPECT_LT(r.loss_share(), 0.30);
+}
+
+TEST(SpatialCoverage, TotalWipeoutDarkensTheRegion) {
+  // Losing every site in a broad box leaves its residents dark.
+  firesim::FirePerimeter fire;
+  fire.perimeter = geo::MultiPolygon{
+      {geo::Polygon{geo::make_rect(-109.5, 31.4, -103.1, 36.9)}}};  // ~NM
+  const SpatialCoverageResult r =
+      run_spatial_coverage_loss(test_world(), {fire}, population());
+  EXPECT_GT(r.sites_lost, 10u);
+  EXPECT_GT(r.uncovered_by_fires, 0.0);
+  // Interior cells (more than a service radius from the box edge) lose
+  // everything, so the loss share is substantial.
+  EXPECT_GT(r.loss_share(), 0.5);
+}
+
+TEST(SpatialCoverage, LossNeverExceedsCoveredPopulation) {
+  firesim::FirePerimeter fire;
+  fire.perimeter = geo::MultiPolygon{
+      {geo::Polygon{geo::make_rect(-121.0, 38.0, -119.5, 39.5)}}};
+  const SpatialCoverageResult r =
+      run_spatial_coverage_loss(test_world(), {fire}, population());
+  EXPECT_LE(r.uncovered_by_fires, r.covered_before);
+  EXPECT_LE(r.covered_before, r.population_analyzed);
+}
+
+TEST(SpatialCoverage, LargerServiceRadiusCoversMore) {
+  firesim::FirePerimeter fire;
+  fire.perimeter = geo::MultiPolygon{
+      {geo::Polygon{geo::make_rect(-121.0, 38.0, -119.5, 39.5)}}};
+  SpatialCoverageConfig narrow;
+  narrow.service_radius_m = 4000.0;
+  SpatialCoverageConfig wide;
+  wide.service_radius_m = 16000.0;
+  const SpatialCoverageResult a =
+      run_spatial_coverage_loss(test_world(), {fire}, population(), narrow);
+  const SpatialCoverageResult b =
+      run_spatial_coverage_loss(test_world(), {fire}, population(), wide);
+  EXPECT_GE(b.covered_before, a.covered_before);
+}
+
+}  // namespace
+}  // namespace fa::core

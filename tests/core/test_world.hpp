@@ -1,0 +1,21 @@
+// Shared test fixture: one coarse, small world reused by every core test
+// (world generation dominates runtime).
+#pragma once
+
+#include "core/world.hpp"
+
+namespace fa::core::testing {
+
+inline const World& test_world() {
+  static const World world = [] {
+    synth::ScenarioConfig cfg;
+    cfg.seed = 20191022;
+    cfg.whp_cell_m = 9000.0;
+    cfg.corpus_scale = 100.0;
+    cfg.counties_per_state = 16;
+    return World::build(cfg);
+  }();
+  return world;
+}
+
+}  // namespace fa::core::testing

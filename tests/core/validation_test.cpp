@@ -1,0 +1,158 @@
+// Tests for Section 3.4 validation, Section 3.8 extension, Section 3.9
+// climate projection and the Section 3.2 case study wrapper.
+#include <gtest/gtest.h>
+
+#include "core/case_study.hpp"
+#include "core/climate.hpp"
+#include "core/validation.hpp"
+#include "test_world.hpp"
+
+namespace fa::core {
+namespace {
+
+using testing::test_world;
+
+// Validation statistics need a finer world than the shared fixture: the
+// paper's 656 in-perimeter transceivers shrink with corpus scale, and at
+// the coarse fixture scale the expected count is ~6 (too noisy to test).
+const core::World& validation_world() {
+  static const core::World world = [] {
+    synth::ScenarioConfig cfg;
+    cfg.seed = 20191022;
+    cfg.whp_cell_m = 3600.0;
+    cfg.corpus_scale = 30.0;
+    return core::World::build(cfg);
+  }();
+  return world;
+}
+
+const ValidationResult& shared_validation() {
+  static const ValidationResult v =
+      run_whp_validation(validation_world(), 3);
+  return v;
+}
+
+TEST(Validation, SeasonIs2019Calibrated) {
+  const ValidationResult& v = shared_validation();
+  EXPECT_EQ(v.season.year, 2019);
+  EXPECT_NEAR(v.season.simulated_acres, 4.664e6 * 0.97, 4.664e6 * 0.1);
+  EXPECT_GT(v.in_perimeter, 0u);
+}
+
+TEST(Validation, AccuracyIsPartial) {
+  // Paper: 46% of in-perimeter transceivers were flagged by WHP — the
+  // flag is informative but far from perfect. The exact rate is strongly
+  // resolution- and seed-dependent (the misses come from road/urban-edge
+  // cells, which dominate at the coarse test resolution), so this only
+  // pins the regime: not everything in a perimeter was flagged.
+  const ValidationResult& v = shared_validation();
+  ASSERT_GT(v.in_perimeter, 0u);
+  EXPECT_LT(v.accuracy(), 0.99);
+  EXPECT_LE(v.predicted, v.in_perimeter);
+}
+
+TEST(Validation, MissesConcentrateInFewFires) {
+  // Paper: 288 of 354 misses sat inside just two fires.
+  const ValidationResult& v = shared_validation();
+  const std::size_t misses = v.in_perimeter - v.predicted;
+  if (misses < 10) GTEST_SKIP() << "too few misses at this scale";
+  EXPECT_GT(static_cast<double>(v.misses_in_top2) / misses, 0.25);
+  EXPECT_GE(v.accuracy_excluding_top2(), v.accuracy());
+}
+
+TEST(Validation, HitArraysConsistent) {
+  const ValidationResult& v = shared_validation();
+  ASSERT_EQ(v.hit_ids.size(), v.hit_fire.size());
+  ASSERT_EQ(v.hit_ids.size(), v.in_perimeter);
+  for (std::size_t i = 0; i < v.hit_ids.size(); ++i) {
+    ASSERT_LT(v.hit_ids[i], validation_world().corpus().size());
+  }
+}
+
+TEST(Extension, HalfMileGrowsVeryHighSubstantially) {
+  // Paper: 26,307 -> 176,275 (a ~6.7x growth of the VH class).
+  const ExtensionResult e =
+      run_perimeter_extension(validation_world(), shared_validation());
+  EXPECT_GT(e.vh_after, e.vh_before + e.vh_before / 2);  // >= 1.5x
+  EXPECT_GT(e.vh_before, 0u);
+}
+
+TEST(Extension, TotalAtRiskGrowsModestly) {
+  // Paper: 430,844 -> 509,693 (+18%): the extension adds risk coverage
+  // without exploding the flagged set.
+  const ExtensionResult e =
+      run_perimeter_extension(validation_world(), shared_validation());
+  EXPECT_GE(e.at_risk_after, e.at_risk_before);
+  EXPECT_LT(e.at_risk_after, e.at_risk_before * 2);
+}
+
+TEST(Extension, AccuracyImproves) {
+  // Paper: 46% -> 62%.
+  const ExtensionResult e =
+      run_perimeter_extension(validation_world(), shared_validation());
+  EXPECT_EQ(e.in_perimeter, shared_validation().in_perimeter);
+  EXPECT_GE(e.predicted_after, e.predicted_before);
+  EXPECT_GE(e.accuracy_after(), e.accuracy_before());
+}
+
+TEST(Extension, RadiusSweepIsMonotone) {
+  const ValidationResult& v = shared_validation();
+  std::size_t prev_vh = 0;
+  std::size_t prev_total = 0;
+  for (const double miles : {0.25, 0.5, 1.0}) {
+    const ExtensionResult e =
+        run_perimeter_extension(validation_world(), v, miles * 1609.344);
+    EXPECT_GE(e.vh_after, prev_vh);
+    EXPECT_GE(e.at_risk_after, prev_total);
+    prev_vh = e.vh_after;
+    prev_total = e.at_risk_after;
+  }
+}
+
+TEST(Climate, CorridorRowsCoverEcoregions) {
+  const ClimateResult c = run_climate_projection(test_world());
+  EXPECT_EQ(c.rows.size(), test_world().atlas().ecoregions().size());
+  EXPECT_GT(c.corridor_transceivers, 0u);
+  std::size_t assigned = 0;
+  for (const EcoregionRiskRow& row : c.rows) assigned += row.transceivers;
+  EXPECT_LE(assigned, c.corridor_transceivers);
+  EXPECT_GT(assigned, 0u);
+}
+
+TEST(Climate, MetroEcoregionsHoldTheInfrastructure) {
+  // Figure 14: infrastructure concentrates in SLC and Denver with thin
+  // strings along I-70/I-80.
+  const ClimateResult c = run_climate_projection(test_world());
+  std::size_t slc_denver = 0, rest = 0;
+  for (const EcoregionRiskRow& row : c.rows) {
+    if (row.name.find("Wasatch") != std::string::npos ||
+        row.name.find("Front Range") != std::string::npos ||
+        row.name.find("Great Basin") != std::string::npos ||
+        row.name.find("High Plains") != std::string::npos) {
+      slc_denver += row.transceivers;
+    } else {
+      rest += row.transceivers;
+    }
+  }
+  EXPECT_GT(slc_denver, rest);
+}
+
+TEST(Climate, ExposureIndexScalesWithDelta) {
+  const ClimateResult c = run_climate_projection(test_world());
+  for (const EcoregionRiskRow& row : c.rows) {
+    if (row.delta_burn_pct_2040 > 0.0) {
+      EXPECT_GE(row.projected_exposure(), static_cast<double>(row.at_risk));
+    } else {
+      EXPECT_LE(row.projected_exposure(), static_cast<double>(row.at_risk));
+    }
+  }
+}
+
+TEST(CaseStudy, WrapperProducesEightDays) {
+  const firesim::DirsReport report = run_california_case_study(test_world());
+  EXPECT_EQ(report.days.size(), 8u);
+  EXPECT_GT(report.sites_monitored, 50u);
+}
+
+}  // namespace
+}  // namespace fa::core

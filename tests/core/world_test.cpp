@@ -1,0 +1,53 @@
+#include "core/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+namespace fa::core {
+namespace {
+
+using testing::test_world;
+
+TEST(World, BuildsAllLayers) {
+  const World& w = test_world();
+  EXPECT_EQ(w.corpus().size(), w.config().corpus_size());
+  EXPECT_FALSE(w.whp().grid().empty());
+  EXPECT_GT(w.counties().counties().size(), 500u);
+  EXPECT_EQ(w.txr_index().size(), w.corpus().size());
+}
+
+TEST(World, CachedClassesMatchModel) {
+  const World& w = test_world();
+  for (std::uint32_t id = 0; id < 500; ++id) {
+    const auto& t = w.corpus()[id];
+    EXPECT_EQ(w.txr_class(id), w.whp().class_at(t.position)) << id;
+  }
+}
+
+TEST(World, CachedCountiesMatchMap) {
+  const World& w = test_world();
+  for (std::uint32_t id = 0; id < 200; ++id) {
+    const auto& t = w.corpus()[id];
+    EXPECT_EQ(w.txr_county(id), w.counties().county_of(t.position)) << id;
+  }
+}
+
+TEST(World, IndexFindsEveryTransceiver) {
+  const World& w = test_world();
+  // Count through the index over the whole CONUS box.
+  EXPECT_EQ(w.txr_index().count(w.atlas().conus_bbox().inflated(0.5)),
+            w.corpus().size());
+}
+
+TEST(World, MostTransceiversResolveToACounty) {
+  const World& w = test_world();
+  std::size_t unresolved = 0;
+  for (std::uint32_t id = 0; id < w.corpus().size(); ++id) {
+    if (w.txr_county(id) < 0) ++unresolved;
+  }
+  EXPECT_LT(unresolved, w.corpus().size() / 100);
+}
+
+}  // namespace
+}  // namespace fa::core

@@ -1,0 +1,116 @@
+#include "firesim/dirs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/cells.hpp"
+
+namespace fa::firesim {
+namespace {
+
+struct World {
+  synth::ScenarioConfig cfg;
+  synth::WhpModel whp;
+  cellnet::CellCorpus corpus;
+  synth::CountyMap counties;
+  World() {
+    cfg.whp_cell_m = 9000.0;
+    cfg.corpus_scale = 120.0;
+    whp = synth::generate_whp(synth::UsAtlas::get(), cfg);
+    corpus = synth::generate_corpus(synth::UsAtlas::get(), cfg);
+    counties = synth::CountyMap::build(synth::UsAtlas::get(), cfg);
+  }
+};
+
+const World& world() {
+  static const World w;
+  return w;
+}
+
+const DirsActivation& activation() {
+  static const DirsActivation a = run_dirs_activation(
+      world().corpus, world().whp, synth::UsAtlas::get(), world().counties,
+      2019);
+  return a;
+}
+
+TEST(Dirs, ActivationCoversManyCountiesAndProviders) {
+  // The 2019 activation covered 37 counties and every major provider.
+  EXPECT_GT(activation().counties_covered, 10u);
+  EXPECT_GE(activation().providers_reporting, 4u);
+  EXPECT_FALSE(activation().filings.empty());
+}
+
+TEST(Dirs, FilingsInternallyConsistent) {
+  for (const DirsFiling& filing : activation().filings) {
+    EXPECT_EQ(filing.sites_out,
+              filing.out_damage + filing.out_power + filing.out_transport);
+    EXPECT_LE(filing.sites_out, filing.sites_served);
+    EXPECT_GE(filing.county, 0);
+    EXPECT_GE(filing.day_index, 0);
+    EXPECT_LT(filing.day_index, 8);
+  }
+}
+
+TEST(Dirs, DailySummaryTracksFigureFiveShape) {
+  const std::vector<DayOutages> summary = activation().daily_summary();
+  ASSERT_EQ(summary.size(), 8u);
+  EXPECT_EQ(summary.front().label, "Oct 25");
+  // Peak in the middle of the window, power dominant.
+  std::size_t peak_total = 0;
+  int peak_day = 0;
+  std::size_t power = 0, other = 0;
+  for (const DayOutages& day : summary) {
+    if (day.total() > peak_total) {
+      peak_total = day.total();
+      peak_day = day.day_index;
+    }
+    power += day.power;
+    other += day.damaged + day.transport;
+  }
+  EXPECT_GE(peak_day, 1);
+  EXPECT_LE(peak_day, 5);
+  EXPECT_GT(power, other);
+}
+
+TEST(Dirs, WorstCountiesAreRankedAndReal) {
+  const auto worst = activation().worst_counties();
+  ASSERT_FALSE(worst.empty());
+  for (std::size_t i = 1; i < worst.size(); ++i) {
+    EXPECT_GE(worst[i - 1].second, worst[i].second);
+  }
+  // The worst county is a real index into the county map, in California.
+  const synth::County& top = world().counties.county(worst[0].first);
+  EXPECT_EQ(synth::UsAtlas::get().states()[top.state].abbr, "CA");
+}
+
+TEST(Dirs, ProviderRollupCoversMajors) {
+  const auto per_provider = activation().per_provider_site_days();
+  std::size_t total = 0;
+  for (const auto& [provider, site_days] : per_provider) total += site_days;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Dirs, VoluntaryGapReducesFilings) {
+  DirsConfig partial;
+  partial.filing_rate = 0.5;
+  const DirsActivation half = run_dirs_activation(
+      world().corpus, world().whp, synth::UsAtlas::get(), world().counties,
+      2019, OutageSimConfig{}, partial);
+  EXPECT_LT(half.filings.size(), activation().filings.size());
+  EXPECT_GT(half.filings.size(), activation().filings.size() / 4);
+}
+
+TEST(Dirs, DeterministicPerSeed) {
+  const DirsActivation a = run_dirs_activation(
+      world().corpus, world().whp, synth::UsAtlas::get(), world().counties, 7);
+  const DirsActivation b = run_dirs_activation(
+      world().corpus, world().whp, synth::UsAtlas::get(), world().counties, 7);
+  ASSERT_EQ(a.filings.size(), b.filings.size());
+  for (std::size_t i = 0; i < a.filings.size(); ++i) {
+    EXPECT_EQ(a.filings[i].sites_out, b.filings[i].sites_out);
+    EXPECT_EQ(a.filings[i].county, b.filings[i].county);
+  }
+}
+
+}  // namespace
+}  // namespace fa::firesim

@@ -1,0 +1,172 @@
+#include "firesim/fire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/projection.hpp"
+
+namespace fa::firesim {
+namespace {
+
+// Shared coarse world (hazard generation dominates test runtime).
+struct World {
+  synth::ScenarioConfig cfg;
+  synth::WhpModel whp;
+  World() {
+    cfg.whp_cell_m = 9000.0;
+    whp = synth::generate_whp(synth::UsAtlas::get(), cfg);
+  }
+};
+
+const World& world() {
+  static const World w;
+  return w;
+}
+
+TEST(FuelFactor, MonotoneInHazardClass) {
+  EXPECT_LT(fuel_factor(synth::WhpClass::kNonBurnable),
+            fuel_factor(synth::WhpClass::kVeryLow));
+  EXPECT_LT(fuel_factor(synth::WhpClass::kVeryLow),
+            fuel_factor(synth::WhpClass::kLow));
+  EXPECT_LT(fuel_factor(synth::WhpClass::kLow),
+            fuel_factor(synth::WhpClass::kModerate));
+  EXPECT_LT(fuel_factor(synth::WhpClass::kModerate),
+            fuel_factor(synth::WhpClass::kHigh));
+  EXPECT_LT(fuel_factor(synth::WhpClass::kHigh),
+            fuel_factor(synth::WhpClass::kVeryHigh));
+  EXPECT_DOUBLE_EQ(fuel_factor(synth::WhpClass::kVeryHigh), 1.0);
+}
+
+TEST(FireSimulator, IgnitionsAreBurnableAndOnshore) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 42);
+  const FireSimConfig cfg;
+  for (int i = 0; i < 200; ++i) {
+    const geo::LonLat p = sim.sample_ignition(cfg);
+    ASSERT_TRUE(geo::in_conus_bounds(p)) << p.lon << "," << p.lat;
+    ASSERT_GE(world().whp.state_at(p), -1);
+  }
+}
+
+TEST(FireSimulator, IgnitionsFavorHighHazard) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 43);
+  FireSimConfig cfg;
+  cfg.wui_ignition_frac = 0.0;
+  std::size_t at_risk = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const synth::WhpClass cls = world().whp.class_at(sim.sample_ignition(cfg));
+    at_risk += synth::whp_at_risk(cls) ? 1 : 0;
+  }
+  // M+H+VH is a minority of CONUS area but must carry most ignitions.
+  EXPECT_GT(at_risk, n / 2);
+}
+
+TEST(FireSimulator, SpreadReachesTargetSize) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 44);
+  const FireSimConfig cfg;
+  // Ignite in the Sierra foothills (high fuel).
+  const FirePerimeter fire =
+      sim.spread_fire({-120.6, 39.2}, 20000.0, 2018, 1, cfg);
+  EXPECT_NEAR(fire.acres, 20000.0, 20000.0 * 0.2);
+  EXPECT_FALSE(fire.perimeter.empty());
+  // Reported acreage matches the polygon's geodesic area (within the
+  // simplification tolerance).
+  const double poly_acres = geo::multipolygon_area_acres(fire.perimeter);
+  EXPECT_NEAR(poly_acres, fire.acres, fire.acres * 0.25);
+}
+
+TEST(FireSimulator, PerimeterContainsIgnition) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 45);
+  const FireSimConfig cfg;
+  const FirePerimeter fire =
+      sim.spread_fire({-120.6, 39.2}, 5000.0, 2018, 2, cfg);
+  EXPECT_TRUE(fire.perimeter.contains(fire.ignition.as_vec()));
+}
+
+TEST(FireSimulator, FiresStallOnUrbanFuel) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 46);
+  const FireSimConfig cfg;
+  // Ignite in downtown Chicago: non-burnable, fire must stay tiny.
+  const FirePerimeter fire =
+      sim.spread_fire({-87.63, 41.88}, 50000.0, 2018, 3, cfg);
+  EXPECT_LT(fire.acres, 2000.0);
+}
+
+TEST(FireSimulator, SeasonTimingWithinYear) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 47);
+  const FireSimConfig cfg;
+  for (int i = 0; i < 10; ++i) {
+    const FirePerimeter fire =
+        sim.spread_fire(sim.sample_ignition(cfg), 2000.0, 2012, i, cfg);
+    EXPECT_GE(fire.start_day, 1);
+    EXPECT_LE(fire.end_day, 365);
+    EXPECT_LE(fire.start_day, fire.end_day);
+    EXPECT_EQ(fire.year, 2012);
+  }
+}
+
+TEST(FireSimulator, SeasonMeetsAcreageTarget) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 48);
+  synth::FireYearStats target{2014, 63312, 3.595, 453, 126};
+  const FireSeason season = sim.simulate_year(target);
+  EXPECT_EQ(season.year, 2014);
+  EXPECT_EQ(season.total_ignitions, 63312);
+  EXPECT_NEAR(season.simulated_acres, 3.595e6 * 0.97, 3.595e6 * 0.08);
+  EXPECT_GT(season.fires.size(), 50u);
+  EXPECT_LT(season.fires.size(), 5000u);
+  // Every fire carries a non-empty perimeter and plausible acreage.
+  for (const FirePerimeter& fire : season.fires) {
+    EXPECT_FALSE(fire.perimeter.empty());
+    EXPECT_GT(fire.acres, 0.0);
+    EXPECT_LE(fire.acres, 7e5);
+  }
+}
+
+TEST(FireSimulator, SeasonsAreDeterministic) {
+  synth::FireYearStats target{2010, 71971, 0.4, 181, 53};  // shrunk acreage
+  FireSimulator a(world().whp, synth::UsAtlas::get(), 49);
+  FireSimulator b(world().whp, synth::UsAtlas::get(), 49);
+  const FireSeason sa = a.simulate_year(target);
+  const FireSeason sb = b.simulate_year(target);
+  ASSERT_EQ(sa.fires.size(), sb.fires.size());
+  for (std::size_t i = 0; i < sa.fires.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa.fires[i].acres, sb.fires[i].acres);
+    EXPECT_EQ(sa.fires[i].ignition, sb.fires[i].ignition);
+  }
+}
+
+TEST(FireSimulator, WesternStatesBurnMost) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 50);
+  synth::FireYearStats target{2017, 71499, 2.0, 2726, 272};  // shrunk
+  const FireSeason season = sim.simulate_year(target);
+  const auto& atlas = synth::UsAtlas::get();
+  double west_acres = 0.0;
+  for (const FirePerimeter& fire : season.fires) {
+    const int s = atlas.state_of(fire.ignition);
+    if (s < 0) continue;
+    if (fire.ignition.lon < -100.0 ||
+        atlas.states()[s].fire_propensity >= 0.55) {
+      west_acres += fire.acres;
+    }
+  }
+  EXPECT_GT(west_acres, season.simulated_acres * 0.6);
+}
+
+// Property sweep: requested size vs delivered size stays within tolerance
+// across two orders of magnitude (in high-fuel terrain).
+class FireSizeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FireSizeSweep, SizeTracking) {
+  FireSimulator sim(world().whp, synth::UsAtlas::get(), 51);
+  const FireSimConfig cfg;
+  const double target = GetParam();
+  const FirePerimeter fire =
+      sim.spread_fire({-120.6, 39.2}, target, 2018, 0, cfg);
+  EXPECT_GE(fire.acres, target * 0.5);
+  EXPECT_LE(fire.acres, target * 1.5 + 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FireSizeSweep,
+                         ::testing::Values(500.0, 5000.0, 50000.0, 200000.0));
+
+}  // namespace
+}  // namespace fa::firesim

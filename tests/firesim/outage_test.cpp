@@ -1,0 +1,155 @@
+#include "firesim/outage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "synth/cells.hpp"
+
+namespace fa::firesim {
+namespace {
+
+struct World {
+  synth::ScenarioConfig cfg;
+  synth::WhpModel whp;
+  cellnet::CellCorpus corpus;
+  World() {
+    cfg.whp_cell_m = 9000.0;
+    cfg.corpus_scale = 120.0;
+    whp = synth::generate_whp(synth::UsAtlas::get(), cfg);
+    corpus = synth::generate_corpus(synth::UsAtlas::get(), cfg);
+  }
+};
+
+const World& world() {
+  static const World w;
+  return w;
+}
+
+TEST(OutageCauseNames, Stable) {
+  EXPECT_EQ(outage_cause_name(OutageCause::kDamage), "damage");
+  EXPECT_EQ(outage_cause_name(OutageCause::kPower), "power");
+  EXPECT_EQ(outage_cause_name(OutageCause::kTransport), "transport");
+}
+
+TEST(DirsReport, PeakDayOfEmptyReport) {
+  EXPECT_EQ(DirsReport{}.peak_day(), 0);
+}
+
+DirsReport run_case_study(std::uint64_t seed) {
+  return simulate_california_2019(world().corpus, world().whp,
+                                  synth::UsAtlas::get(), seed);
+}
+
+TEST(CaliforniaCaseStudy, EightReportingDays) {
+  const DirsReport report = run_case_study(7);
+  ASSERT_EQ(report.days.size(), 8u);
+  EXPECT_EQ(report.days.front().label, "Oct 25");
+  EXPECT_EQ(report.days.back().label, "Nov 1");
+  EXPECT_GT(report.sites_monitored, 100u);
+}
+
+TEST(CaliforniaCaseStudy, PeakNearOct28) {
+  // Figure 5: outages peak on Oct 28 (day 3); allow one day of slack for
+  // simulator stochasticity.
+  const DirsReport report = run_case_study(8);
+  EXPECT_GE(report.peak_day(), 2);
+  EXPECT_LE(report.peak_day(), 4);
+}
+
+TEST(CaliforniaCaseStudy, PowerIsTheDominantCause) {
+  // Section 3.2: >80% of peak outages were loss of power.
+  const DirsReport report = run_case_study(9);
+  const DayOutages& peak =
+      report.days[static_cast<std::size_t>(report.peak_day())];
+  ASSERT_GT(peak.total(), 0u);
+  EXPECT_GT(static_cast<double>(peak.power) / peak.total(), 0.7);
+  EXPECT_GT(peak.power, peak.transport);
+  EXPECT_GT(peak.power, peak.damaged);
+}
+
+TEST(CaliforniaCaseStudy, RampUpAndDecline) {
+  const DirsReport report = run_case_study(10);
+  const int peak = report.peak_day();
+  EXPECT_LT(report.days.front().total(),
+            report.days[static_cast<std::size_t>(peak)].total());
+  EXPECT_LT(report.days.back().total(),
+            report.days[static_cast<std::size_t>(peak)].total());
+  // Residual outages persist on the final day (110 sites in the paper).
+  EXPECT_GT(report.days.back().total(), 0u);
+}
+
+TEST(CaliforniaCaseStudy, OutagesAreAMinorityOfSites) {
+  const DirsReport report = run_case_study(11);
+  const DayOutages& peak =
+      report.days[static_cast<std::size_t>(report.peak_day())];
+  EXPECT_LT(static_cast<double>(peak.total()) / report.sites_monitored, 0.4);
+}
+
+TEST(OutageSimulator, NoWindNoFiresNoPowerOutages) {
+  OutageSimConfig config;
+  config.wind_severity = {0.0, 0.0, 0.0};
+  config.transport_base = 0.0;
+  const auto sites = world().corpus.infer_sites(120.0);
+  OutageSimulator sim(world().whp, 5);
+  const DirsReport report = sim.simulate(sites, {}, config);
+  for (const DayOutages& d : report.days) {
+    EXPECT_EQ(d.total(), 0u);
+  }
+}
+
+TEST(OutageSimulator, FireDamagePersistsAcrossDays) {
+  // A synthetic fire covering every site guarantees damage on day 0 that
+  // must persist through the short window (repair takes >= 4 days).
+  OutageSimConfig config;
+  config.wind_severity = {0.0, 0.0, 0.0, 0.0};
+  config.transport_base = 0.0;
+  config.damage_prob = 1.0;
+  std::vector<cellnet::CellSite> sites;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    cellnet::CellSite s;
+    s.id = i;
+    s.position = {-120.0 + 0.001 * i, 39.0};
+    s.transceiver_count = 1;
+    sites.push_back(s);
+  }
+  FirePerimeter fire;
+  fire.perimeter =
+      geo::MultiPolygon{{geo::Polygon{geo::make_rect(-121.0, 38.5, -119.0, 39.5)}}};
+  fire.start_day = 0;
+  fire.end_day = 0;
+  OutageSimulator sim(world().whp, 6);
+  const DirsReport report = sim.simulate(sites, {fire}, config);
+  EXPECT_EQ(report.days[0].damaged, 50u);
+  EXPECT_EQ(report.days[1].damaged, 50u);  // still being repaired
+  EXPECT_EQ(report.days[3].damaged, 50u);
+}
+
+TEST(OutageSimulator, SeverityScalesOutages) {
+  const auto sites = world().corpus.infer_sites(120.0);
+  OutageSimConfig calm;
+  calm.wind_severity = {0.1};
+  OutageSimConfig storm;
+  storm.wind_severity = {1.0};
+  std::size_t calm_total = 0, storm_total = 0;
+  // Average a few seeds to control stochastic noise.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    OutageSimulator a(world().whp, seed);
+    OutageSimulator b(world().whp, seed);
+    calm_total += a.simulate(sites, {}, calm).days[0].total();
+    storm_total += b.simulate(sites, {}, storm).days[0].total();
+  }
+  EXPECT_GT(storm_total, calm_total * 2);
+}
+
+TEST(OutageSimulator, DeterministicPerSeed) {
+  const DirsReport a = run_case_study(12);
+  const DirsReport b = run_case_study(12);
+  ASSERT_EQ(a.days.size(), b.days.size());
+  for (std::size_t i = 0; i < a.days.size(); ++i) {
+    EXPECT_EQ(a.days[i].power, b.days[i].power);
+    EXPECT_EQ(a.days[i].damaged, b.days[i].damaged);
+    EXPECT_EQ(a.days[i].transport, b.days[i].transport);
+  }
+}
+
+}  // namespace
+}  // namespace fa::firesim

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "firesim/fire.hpp"
+#include "geo/projection.hpp"
+
+namespace fa::firesim {
+namespace {
+
+const synth::WhpModel& shared_whp() {
+  static const synth::WhpModel whp = [] {
+    synth::ScenarioConfig cfg;
+    cfg.whp_cell_m = 9000.0;
+    return synth::generate_whp(synth::UsAtlas::get(), cfg);
+  }();
+  return whp;
+}
+
+FireSimulator::FireProgression sierra_fire(int days,
+                                           std::uint64_t seed = 21) {
+  FireSimulator sim(shared_whp(), synth::UsAtlas::get(), seed);
+  return sim.spread_fire_staged({-120.6, 39.2}, 30000.0, days, 2018, 0);
+}
+
+TEST(Progression, OneSnapshotPerDay) {
+  const auto prog = sierra_fire(6);
+  ASSERT_EQ(prog.daily.size(), 6u);
+  ASSERT_EQ(prog.daily_acres.size(), 6u);
+}
+
+TEST(Progression, CumulativeAcresMonotone) {
+  const auto prog = sierra_fire(7);
+  for (std::size_t d = 1; d < prog.daily_acres.size(); ++d) {
+    EXPECT_GE(prog.daily_acres[d], prog.daily_acres[d - 1]) << d;
+  }
+  EXPECT_GT(prog.daily_acres.front(), 0.0);
+}
+
+TEST(Progression, FinalMatchesTarget) {
+  const auto prog = sierra_fire(5);
+  EXPECT_NEAR(prog.daily_acres.back(), 30000.0, 30000.0 * 0.25);
+  EXPECT_DOUBLE_EQ(prog.final_perimeter.acres, prog.daily_acres.back());
+  EXPECT_FALSE(prog.final_perimeter.perimeter.empty());
+}
+
+TEST(Progression, DailyPerimetersAreNested) {
+  // Each day's perimeter must contain (almost) everything burned before:
+  // sample points from day d must stay inside day d+1.
+  const auto prog = sierra_fire(5);
+  for (std::size_t d = 0; d + 1 < prog.daily.size(); ++d) {
+    if (prog.daily[d].empty()) continue;
+    // The earlier centroid stays covered.
+    const geo::Vec2 c = prog.daily[d].parts()[0].outer().centroid();
+    EXPECT_TRUE(prog.daily[d + 1].contains(c) ||
+                prog.daily[d].parts()[0].contains(c) == false)
+        << "day " << d;
+  }
+}
+
+TEST(Progression, MiddleDaysGrowFastest) {
+  // The logistic profile: growth on the middle days exceeds the first
+  // day's establishment growth.
+  const auto prog = sierra_fire(8);
+  const double first = prog.daily_acres[0];
+  double mid_growth = 0.0;
+  for (std::size_t d = 2; d <= 4; ++d) {
+    mid_growth =
+        std::max(mid_growth, prog.daily_acres[d] - prog.daily_acres[d - 1]);
+  }
+  EXPECT_GT(mid_growth, first);
+}
+
+TEST(Progression, GeoJsonRoundTripOfDaily) {
+  // Daily rings are valid geometry (area > 0, projectable).
+  const auto prog = sierra_fire(4);
+  for (const geo::MultiPolygon& mp : prog.daily) {
+    if (mp.empty()) continue;
+    EXPECT_GT(geo::multipolygon_area_acres(mp), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fa::firesim

@@ -1,0 +1,97 @@
+// Property suite over simulated fire seasons: invariants that must hold
+// for any year and seed, parameterized across the Table 1 record.
+#include <gtest/gtest.h>
+
+#include "firesim/fire.hpp"
+#include "geo/projection.hpp"
+
+namespace fa::firesim {
+namespace {
+
+const synth::WhpModel& shared_whp() {
+  static const synth::WhpModel whp = [] {
+    synth::ScenarioConfig cfg;
+    cfg.whp_cell_m = 9000.0;
+    return synth::generate_whp(synth::UsAtlas::get(), cfg);
+  }();
+  return whp;
+}
+
+class SeasonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeasonSweep, Invariants) {
+  const int index = GetParam();
+  const synth::FireYearStats target =
+      synth::historical_fire_years()[static_cast<std::size_t>(index)];
+  // Shrink acreage 4x to keep the sweep fast; invariants are
+  // scale-independent.
+  synth::FireYearStats shrunk = target;
+  shrunk.acres_millions /= 4.0;
+
+  FireSimulator sim(shared_whp(), synth::UsAtlas::get(),
+                    1000 + static_cast<std::uint64_t>(index));
+  const FireSeason season = sim.simulate_year(shrunk);
+
+  // (1) Acreage lands within tolerance of the calibration target.
+  EXPECT_NEAR(season.simulated_acres, shrunk.acres_millions * 1e6 * 0.97,
+              shrunk.acres_millions * 1e6 * 0.10)
+      << target.year;
+
+  // (2) Reported ignition count passes through unchanged.
+  EXPECT_EQ(season.total_ignitions, target.fires);
+
+  const geo::BBox conus =
+      synth::UsAtlas::get().conus_bbox().inflated(0.5);
+  double sum_acres = 0.0;
+  for (const FirePerimeter& fire : season.fires) {
+    // (3) Every fire is on the map and inside the season.
+    EXPECT_TRUE(conus.contains(fire.ignition.as_vec())) << fire.name;
+    EXPECT_TRUE(conus.intersects(fire.perimeter.bbox())) << fire.name;
+    EXPECT_EQ(fire.year, target.year);
+    EXPECT_GE(fire.start_day, 1);
+    EXPECT_LE(fire.end_day, 365);
+    // (4) Polygon area agrees with reported acreage (simplification slack).
+    const double poly_acres = geo::multipolygon_area_acres(fire.perimeter);
+    EXPECT_NEAR(poly_acres, fire.acres, fire.acres * 0.35 + 40.0)
+        << fire.name;
+    sum_acres += fire.acres;
+  }
+  // (5) Per-fire acres sum to the season total.
+  EXPECT_NEAR(sum_acres, season.simulated_acres, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOneYears, SeasonSweep,
+                         ::testing::Values(0, 3, 7, 10, 15, 18));
+
+TEST(SeasonProperties, DifferentSeedsDifferentSeasons) {
+  synth::FireYearStats target{2013, 47579, 0.5, 517, 120};
+  FireSimulator a(shared_whp(), synth::UsAtlas::get(), 1);
+  FireSimulator b(shared_whp(), synth::UsAtlas::get(), 2);
+  const FireSeason sa = a.simulate_year(target);
+  const FireSeason sb = b.simulate_year(target);
+  ASSERT_FALSE(sa.fires.empty());
+  ASSERT_FALSE(sb.fires.empty());
+  EXPECT_NE(sa.fires[0].ignition, sb.fires[0].ignition);
+}
+
+TEST(SeasonProperties, LargeFiresAreRare) {
+  // The size distribution is heavy-tailed: most simulated fires are
+  // small, a few carry most of the area (Section 2.1's containment
+  // narrative).
+  synth::FireYearStats target{2017, 71499, 2.5, 2726, 272};
+  FireSimulator sim(shared_whp(), synth::UsAtlas::get(), 3);
+  const FireSeason season = sim.simulate_year(target);
+  std::size_t big = 0;
+  double big_acres = 0.0;
+  for (const FirePerimeter& fire : season.fires) {
+    if (fire.acres > 10000.0) {
+      ++big;
+      big_acres += fire.acres;
+    }
+  }
+  EXPECT_LT(big, season.fires.size() / 3);
+  EXPECT_GT(big_acres, season.simulated_acres * 0.4);
+}
+
+}  // namespace
+}  // namespace fa::firesim

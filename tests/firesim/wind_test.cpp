@@ -1,0 +1,98 @@
+#include "firesim/wind.hpp"
+
+#include "firesim/outage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::firesim {
+namespace {
+
+TEST(Wind, SeasonsAreDeterministic) {
+  const auto a = generate_wind_season(42);
+  const auto b = generate_wind_season(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_day, b[i].start_day);
+    EXPECT_EQ(a[i].severity, b[i].severity);
+  }
+  const auto c = generate_wind_season(43);
+  if (!a.empty() && !c.empty()) {
+    EXPECT_TRUE(a[0].start_day != c[0].start_day ||
+                a[0].severity != c[0].severity);
+  }
+}
+
+TEST(Wind, EventsAreChronologicalAndDisjoint) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto events = generate_wind_season(seed);
+    int last_end = -1;
+    for (const WindEvent& e : events) {
+      EXPECT_GT(e.start_day, last_end) << "seed " << seed;
+      EXPECT_GE(e.duration(), 3);
+      EXPECT_LE(e.duration(), 9);
+      last_end = e.start_day + e.duration() - 1;
+      EXPECT_LT(last_end, 120);
+    }
+  }
+}
+
+TEST(Wind, SeverityBounded) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (const WindEvent& e : generate_wind_season(seed)) {
+      for (const double s : e.severity) {
+        EXPECT_GE(s, 0.05);
+        EXPECT_LE(s, 1.0);
+      }
+      EXPECT_GE(e.peak(), 0.3);  // peaks are meaningful events
+    }
+  }
+}
+
+TEST(Wind, OnsetFasterThanDecay) {
+  // The asymmetric profile: the peak sits in the first half of the event
+  // for long-enough events.
+  int checked = 0;
+  for (std::uint64_t seed = 0; seed < 40 && checked < 10; ++seed) {
+    for (const WindEvent& e : generate_wind_season(seed)) {
+      if (e.duration() < 6) continue;
+      std::size_t argmax = 0;
+      for (std::size_t d = 1; d < e.severity.size(); ++d) {
+        if (e.severity[d] > e.severity[argmax]) argmax = d;
+      }
+      EXPECT_LT(argmax, e.severity.size() * 2 / 3) << "seed " << seed;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Wind, SeriesCoversSeasonAndMatchesEvents) {
+  const auto events = generate_wind_season(7);
+  const auto series = wind_severity_series(events, 120);
+  ASSERT_EQ(series.size(), 120u);
+  double sum = 0.0;
+  for (const double s : series) sum += s;
+  if (!events.empty()) {
+    EXPECT_GT(sum, 0.0);
+  }
+  for (const WindEvent& e : events) {
+    for (int d = 0; d < e.duration(); ++d) {
+      EXPECT_GE(series[static_cast<std::size_t>(e.start_day + d)],
+                e.severity[static_cast<std::size_t>(d)] - 1e-12);
+    }
+  }
+}
+
+TEST(Wind, FeedsTheOutageSimulator) {
+  // A generated event can replace the hard-coded 2019 curve.
+  const auto events = generate_wind_season(99);
+  if (events.empty()) GTEST_SKIP() << "quiet season drawn";
+  OutageSimConfig config;
+  config.wind_severity = events[0].severity;
+  config.day_labels.clear();
+  EXPECT_EQ(static_cast<int>(config.wind_severity.size()),
+            events[0].duration());
+}
+
+}  // namespace
+}  // namespace fa::firesim

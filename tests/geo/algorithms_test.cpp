@@ -1,0 +1,150 @@
+#include "geo/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace fa::geo {
+namespace {
+
+TEST(SegmentIntersection, CrossingSegments) {
+  const auto p = segment_intersection({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+}
+
+TEST(SegmentIntersection, DisjointSegments) {
+  EXPECT_FALSE(segment_intersection({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  EXPECT_FALSE(segment_intersection({0, 0}, {1, 1}, {2, 2.5}, {3, 4}));
+}
+
+TEST(SegmentIntersection, TouchingEndpoint) {
+  const auto p = segment_intersection({0, 0}, {1, 1}, {1, 1}, {2, 0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Vec2{1, 1}));
+}
+
+TEST(SegmentIntersection, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+  // Parallel, offset.
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(PointSegmentDistance, Cases) {
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 1}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({2, 0}, {-1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({0, 0}, {-1, 0}, {1, 0}), 0.0);
+  // Degenerate segment = point distance.
+  EXPECT_DOUBLE_EQ(point_segment_distance({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+TEST(PointRingDistance, SquareBoundary) {
+  const Ring r = make_rect(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(point_ring_distance({1, 1}, r), 1.0);   // center
+  EXPECT_DOUBLE_EQ(point_ring_distance({3, 1}, r), 1.0);   // outside right
+  EXPECT_DOUBLE_EQ(point_ring_distance({0, 1}, r), 0.0);   // on boundary
+}
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  const std::vector<Vec2> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2},
+                              {1, 1}, {0.5, 0.5}, {1.5, 0.2}};
+  const Ring hull = convex_hull(pts);
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_DOUBLE_EQ(hull.area(), 4.0);
+  EXPECT_TRUE(hull.is_ccw());
+}
+
+TEST(ConvexHull, CollinearInput) {
+  const std::vector<Vec2> pts{{0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  const Ring hull = convex_hull(pts);
+  EXPECT_LE(hull.size(), 2u);  // degenerate, no area
+}
+
+TEST(ConvexHull, HullContainsAllInputPoints) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 200; ++i) pts.push_back({dist(rng), dist(rng)});
+  const Ring hull = convex_hull(pts);
+  for (const Vec2& p : pts) {
+    EXPECT_TRUE(hull.contains(p));
+  }
+}
+
+TEST(Simplify, StraightLineCollapses) {
+  const std::vector<Vec2> line{{0, 0}, {1, 0.001}, {2, -0.001}, {3, 0}};
+  const auto simp = simplify_polyline(line, 0.01);
+  EXPECT_EQ(simp.size(), 2u);
+  EXPECT_EQ(simp.front(), (Vec2{0, 0}));
+  EXPECT_EQ(simp.back(), (Vec2{3, 0}));
+}
+
+TEST(Simplify, PreservesLargeDeviations) {
+  const std::vector<Vec2> line{{0, 0}, {1, 5}, {2, 0}};
+  const auto simp = simplify_polyline(line, 0.5);
+  EXPECT_EQ(simp.size(), 3u);
+}
+
+TEST(Simplify, RingNeverDegenerates) {
+  const Ring square = make_rect(0, 0, 1, 1);
+  const Ring simp = simplify_ring(square, 100.0);  // huge tolerance
+  EXPECT_GE(simp.size(), 3u);
+}
+
+TEST(ClipRingToRect, FullyInsideUnchanged) {
+  const Ring r = make_rect(1, 1, 2, 2);
+  const Ring clipped = clip_ring_to_rect(r, BBox{0, 0, 5, 5});
+  EXPECT_DOUBLE_EQ(clipped.area(), 1.0);
+}
+
+TEST(ClipRingToRect, HalfOverlap) {
+  const Ring r = make_rect(0, 0, 2, 2);
+  const Ring clipped = clip_ring_to_rect(r, BBox{1, 0, 5, 5});
+  EXPECT_DOUBLE_EQ(clipped.area(), 2.0);  // right half
+}
+
+TEST(ClipRingToRect, Disjoint) {
+  const Ring r = make_rect(0, 0, 1, 1);
+  const Ring clipped = clip_ring_to_rect(r, BBox{5, 5, 6, 6});
+  EXPECT_TRUE(clipped.empty());
+}
+
+TEST(IsSimple, DetectsBowtie) {
+  EXPECT_TRUE(is_simple(make_rect(0, 0, 1, 1)));
+  const Ring bowtie{{{0, 0}, {1, 1}, {1, 0}, {0, 1}}};
+  EXPECT_FALSE(is_simple(bowtie));
+}
+
+TEST(Polyline, LengthAndInterpolation) {
+  const std::vector<Vec2> line{{0, 0}, {3, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(polyline_length(line), 7.0);
+  EXPECT_EQ(point_along_polyline(line, 0.0), (Vec2{0, 0}));
+  EXPECT_EQ(point_along_polyline(line, 1.0), (Vec2{3, 4}));
+  // 3/7 of the way = end of the first segment.
+  const Vec2 mid = point_along_polyline(line, 3.0 / 7.0);
+  EXPECT_NEAR(mid.x, 3.0, 1e-12);
+  EXPECT_NEAR(mid.y, 0.0, 1e-12);
+}
+
+// Property: clipping can only shrink area, and the result stays inside
+// the clip rectangle.
+class ClipSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClipSweep, AreaMonotoneAndBounded) {
+  const double offset = GetParam();
+  const Ring r{{{0, 0}, {4, 1}, {5, 4}, {2, 6}, {-1, 3}}};
+  const BBox rect{offset, offset, offset + 3.0, offset + 3.0};
+  const Ring clipped = clip_ring_to_rect(r, rect);
+  EXPECT_LE(clipped.area(), r.area() + 1e-9);
+  for (const Vec2& p : clipped.points()) {
+    EXPECT_TRUE(rect.inflated(1e-9).contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clipping, ClipSweep,
+                         ::testing::Values(-2.0, -1.0, 0.0, 1.0, 2.5, 4.0));
+
+}  // namespace
+}  // namespace fa::geo

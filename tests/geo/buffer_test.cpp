@@ -1,0 +1,59 @@
+#include "geo/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geo/algorithms.hpp"
+
+namespace fa::geo {
+namespace {
+
+TEST(BufferConvex, GrowsSquareByRadius) {
+  const Ring square = make_rect(0, 0, 10, 10);
+  const double r = 2.0;
+  const Ring buf = buffer_convex(square, r, 32);
+  // Minkowski sum area = A + P*r + pi*r^2.
+  const double expected = 100.0 + 40.0 * r + std::numbers::pi * r * r;
+  EXPECT_NEAR(buf.area(), expected, expected * 0.02);
+  // Contains the original and a point offset outward by < r.
+  for (const Vec2& p : square.points()) EXPECT_TRUE(buf.contains(p));
+  EXPECT_TRUE(buf.contains({-1.9, 5.0}));
+  EXPECT_FALSE(buf.contains({-2.5, 5.0}));
+}
+
+TEST(BufferConvex, ZeroOrNegativeRadiusIsIdentity) {
+  const Ring square = make_rect(0, 0, 1, 1);
+  EXPECT_DOUBLE_EQ(buffer_convex(square, 0.0).area(), 1.0);
+  EXPECT_DOUBLE_EQ(buffer_convex(square, -1.0).area(), 1.0);
+}
+
+TEST(BufferHull, CoversOriginal) {
+  const Ring shape{{{0, 0}, {8, 0}, {8, 3}, {4, 3}, {4, 6}, {0, 6}}};
+  const Ring buf = buffer_hull(shape, 1.0);
+  for (const Vec2& p : shape.points()) {
+    EXPECT_TRUE(buf.contains(p));
+  }
+  EXPECT_GE(buf.area(), shape.area());
+}
+
+// Property: buffering by r then testing a point at distance < r from the
+// boundary must succeed, for a range of radii.
+class BufferSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BufferSweep, BoundaryMargin) {
+  const double r = GetParam();
+  const Ring square = make_rect(0, 0, 4, 4);
+  const Ring buf = buffer_convex(square, r, 64);
+  EXPECT_TRUE(buf.contains({4.0 + 0.9 * r, 2.0}));
+  EXPECT_FALSE(buf.contains({4.0 + 1.1 * r, 2.0}));
+  // Area is monotone in r.
+  const Ring buf2 = buffer_convex(square, r * 1.5, 64);
+  EXPECT_GT(buf2.area(), buf.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffering, BufferSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 5.0));
+
+}  // namespace
+}  // namespace fa::geo

@@ -1,0 +1,82 @@
+#include "geo/geodesy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fa::geo {
+namespace {
+
+// Reference distances checked against published great-circle values.
+TEST(Geodesy, HaversineKnownPairs) {
+  const LonLat la{-118.2437, 34.0522};   // Los Angeles
+  const LonLat sf{-122.4194, 37.7749};   // San Francisco
+  const LonLat nyc{-74.0060, 40.7128};   // New York
+  // LA–SF is ~559 km, LA–NYC ~3936 km (spherical model, ±0.5%).
+  EXPECT_NEAR(haversine_m(la, sf), 559e3, 6e3);
+  EXPECT_NEAR(haversine_m(la, nyc), 3936e3, 25e3);
+}
+
+TEST(Geodesy, HaversineProperties) {
+  const LonLat a{-100.0, 40.0};
+  const LonLat b{-99.0, 41.0};
+  EXPECT_DOUBLE_EQ(haversine_m(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(haversine_m(a, b), haversine_m(b, a));  // symmetry
+  EXPECT_GT(haversine_m(a, b), 0.0);
+}
+
+TEST(Geodesy, OneDegreeLatitudeIsAbout111Km) {
+  const LonLat a{-100.0, 40.0};
+  const LonLat b{-100.0, 41.0};
+  EXPECT_NEAR(haversine_m(a, b), 111.2e3, 0.4e3);
+  EXPECT_NEAR(meters_per_deg_lat(), 111.2e3, 0.4e3);
+}
+
+TEST(Geodesy, LongitudeShrinksWithLatitude) {
+  EXPECT_NEAR(meters_per_deg_lon(0.0), meters_per_deg_lat(), 1.0);
+  EXPECT_NEAR(meters_per_deg_lon(60.0), meters_per_deg_lat() / 2.0, 10.0);
+  EXPECT_LT(meters_per_deg_lon(45.0), meters_per_deg_lon(30.0));
+}
+
+TEST(Geodesy, BearingCardinalDirections) {
+  const LonLat origin{-100.0, 40.0};
+  EXPECT_NEAR(bearing_deg(origin, LonLat{-100.0, 41.0}), 0.0, 1e-9);
+  EXPECT_NEAR(bearing_deg(origin, LonLat{-99.0, 40.0}), 90.0, 0.5);
+  EXPECT_NEAR(bearing_deg(origin, LonLat{-100.0, 39.0}), 180.0, 1e-9);
+  EXPECT_NEAR(bearing_deg(origin, LonLat{-101.0, 40.0}), 270.0, 0.5);
+}
+
+TEST(Geodesy, DestinationRoundTrip) {
+  const LonLat origin{-120.5, 38.2};
+  for (double bearing : {0.0, 45.0, 90.0, 135.0, 200.0, 315.0}) {
+    for (double dist_m : {100.0, 5e3, 250e3}) {
+      const LonLat dest = destination(origin, bearing, dist_m);
+      EXPECT_NEAR(haversine_m(origin, dest), dist_m, dist_m * 1e-9 + 1e-6)
+          << "bearing=" << bearing << " dist=" << dist_m;
+    }
+  }
+}
+
+TEST(Geodesy, DestinationZeroDistanceIsIdentity) {
+  const LonLat origin{-80.0, 27.5};
+  const LonLat dest = destination(origin, 123.0, 0.0);
+  EXPECT_NEAR(dest.lon, origin.lon, 1e-12);
+  EXPECT_NEAR(dest.lat, origin.lat, 1e-12);
+}
+
+TEST(Geodesy, HalfMileInMeters) {
+  // The Section 3.8 extension radius: 0.5 mi = 804.672 m.
+  EXPECT_NEAR(0.5 * kMetersPerMile, 804.672, 1e-9);
+}
+
+TEST(LonLatTest, ValidityChecks) {
+  EXPECT_TRUE(is_valid(LonLat{-100.0, 40.0}));
+  EXPECT_FALSE(is_valid(LonLat{-200.0, 40.0}));
+  EXPECT_FALSE(is_valid(LonLat{-100.0, 95.0}));
+  EXPECT_TRUE(in_conus_bounds(LonLat{-100.0, 40.0}));
+  EXPECT_FALSE(in_conus_bounds(LonLat{-150.0, 61.0}));  // Alaska
+  EXPECT_FALSE(in_conus_bounds(LonLat{-66.1, 18.4}));   // Puerto Rico
+}
+
+}  // namespace
+}  // namespace fa::geo

@@ -1,0 +1,133 @@
+#include "geo/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace fa::geo {
+namespace {
+
+Ring unit_square() { return make_rect(0.0, 0.0, 1.0, 1.0); }
+
+TEST(Ring, StripsClosingPoint) {
+  const Ring r{{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}}};
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(Ring, SignedAreaWinding) {
+  Ring ccw = unit_square();
+  EXPECT_DOUBLE_EQ(ccw.signed_area(), 1.0);
+  EXPECT_TRUE(ccw.is_ccw());
+  ccw.reverse();
+  EXPECT_DOUBLE_EQ(ccw.signed_area(), -1.0);
+  EXPECT_FALSE(ccw.is_ccw());
+  EXPECT_DOUBLE_EQ(ccw.area(), 1.0);  // unsigned area unaffected
+}
+
+TEST(Ring, PerimeterAndCentroid) {
+  const Ring r = make_rect(2.0, 3.0, 6.0, 5.0);
+  EXPECT_DOUBLE_EQ(r.perimeter(), 12.0);
+  EXPECT_EQ(r.centroid(), (Vec2{4.0, 4.0}));
+}
+
+TEST(Ring, BBoxTracksPoints) {
+  Ring r;
+  r.push_back({1.0, 2.0});
+  r.push_back({-1.0, 5.0});
+  r.push_back({3.0, 0.0});
+  EXPECT_EQ(r.bbox(), (BBox{-1.0, 0.0, 3.0, 5.0}));
+}
+
+TEST(Ring, ContainsInteriorExteriorBoundary) {
+  const Ring r = unit_square();
+  EXPECT_TRUE(r.contains({0.5, 0.5}));
+  EXPECT_FALSE(r.contains({1.5, 0.5}));
+  EXPECT_FALSE(r.contains({-0.1, 0.5}));
+  // Boundary counts as inside (paper counts perimeter assets as at risk).
+  EXPECT_TRUE(r.contains({0.0, 0.5}));
+  EXPECT_TRUE(r.contains({0.5, 1.0}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));  // vertex
+}
+
+TEST(Ring, ContainsConcave) {
+  // L-shaped ring.
+  const Ring r{{{0, 0}, {4, 0}, {4, 1}, {1, 1}, {1, 4}, {0, 4}}};
+  EXPECT_TRUE(r.contains({0.5, 3.0}));
+  EXPECT_TRUE(r.contains({3.0, 0.5}));
+  EXPECT_FALSE(r.contains({3.0, 3.0}));  // inside the notch
+}
+
+TEST(Ring, DegenerateIsEmpty) {
+  EXPECT_TRUE(Ring{}.empty());
+  EXPECT_TRUE((Ring{{{0, 0}, {1, 1}}}).empty());
+  EXPECT_FALSE(Ring{}.contains({0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(Ring{}.area(), 0.0);
+}
+
+TEST(Polygon, NormalizesWinding) {
+  Ring cw = unit_square();
+  cw.reverse();
+  Ring hole_ccw = make_rect(0.25, 0.25, 0.75, 0.75);
+  const Polygon p{cw, {hole_ccw}};
+  EXPECT_TRUE(p.outer().is_ccw());
+  EXPECT_FALSE(p.holes()[0].is_ccw());
+}
+
+TEST(Polygon, AreaSubtractsHoles) {
+  const Polygon p{unit_square(), {make_rect(0.25, 0.25, 0.75, 0.75)}};
+  EXPECT_DOUBLE_EQ(p.area(), 1.0 - 0.25);
+}
+
+TEST(Polygon, ContainsRespectsHoles) {
+  const Polygon p{unit_square(), {make_rect(0.4, 0.4, 0.6, 0.6)}};
+  EXPECT_TRUE(p.contains({0.1, 0.1}));
+  EXPECT_FALSE(p.contains({0.5, 0.5}));  // in the hole
+  EXPECT_FALSE(p.contains({1.5, 0.5}));
+}
+
+TEST(MultiPolygon, AggregatesParts) {
+  MultiPolygon mp;
+  mp.push_back(Polygon{make_rect(0, 0, 1, 1)});
+  mp.push_back(Polygon{make_rect(2, 0, 4, 1)});
+  EXPECT_EQ(mp.size(), 2u);
+  EXPECT_DOUBLE_EQ(mp.area(), 3.0);
+  EXPECT_TRUE(mp.contains({0.5, 0.5}));
+  EXPECT_TRUE(mp.contains({3.0, 0.5}));
+  EXPECT_FALSE(mp.contains({1.5, 0.5}));  // gap between parts
+  EXPECT_EQ(mp.bbox(), (BBox{0, 0, 4, 1}));
+}
+
+TEST(MakeCircle, AreaConvergesToPiR2) {
+  const double r = 3.0;
+  const Ring c = make_circle({1.0, 2.0}, r, 256);
+  EXPECT_NEAR(c.area(), std::numbers::pi * r * r, 0.01 * r * r);
+  EXPECT_TRUE(c.is_ccw());
+  EXPECT_TRUE(c.contains({1.0, 2.0}));
+}
+
+// Property sweep: point-in-polygon must agree with the winding of a
+// regular polygon for points on concentric circles.
+class RingContainsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingContainsSweep, CircleMembership) {
+  const int segments = GetParam();
+  const Vec2 center{5.0, -3.0};
+  const double radius = 2.0;
+  const Ring ring = make_circle(center, radius, segments);
+  // Inner circle points: inside; outer circle points: outside.
+  for (int k = 0; k < 24; ++k) {
+    const double t = 2.0 * std::numbers::pi * k / 24.0;
+    const Vec2 dir{std::cos(t), std::sin(t)};
+    EXPECT_TRUE(ring.contains(center + dir * (radius * 0.8)))
+        << "segments=" << segments << " k=" << k;
+    EXPECT_FALSE(ring.contains(center + dir * (radius * 1.05)))
+        << "segments=" << segments << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Polygons, RingContainsSweep,
+                         ::testing::Values(8, 16, 64, 256));
+
+}  // namespace
+}  // namespace fa::geo

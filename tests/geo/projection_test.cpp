@@ -1,0 +1,92 @@
+#include "geo/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.hpp"
+
+namespace fa::geo {
+namespace {
+
+TEST(AlbersConus, RoundTripAcrossConus) {
+  const AlbersConus proj;
+  const LonLat samples[] = {
+      {-120.0, 38.0}, {-96.0, 23.0}, {-75.0, 40.0},
+      {-110.0, 45.0}, {-81.0, 28.0}, {-122.4, 37.8},
+  };
+  for (const LonLat& p : samples) {
+    const LonLat back = proj.inverse(proj.forward(p));
+    EXPECT_NEAR(back.lon, p.lon, 1e-9) << p.lon << "," << p.lat;
+    EXPECT_NEAR(back.lat, p.lat, 1e-9) << p.lon << "," << p.lat;
+  }
+}
+
+TEST(AlbersConus, OriginMapsNearZero) {
+  const AlbersConus proj;
+  const Vec2 xy = proj.forward({-96.0, 23.0});
+  EXPECT_NEAR(xy.x, 0.0, 1e-6);
+  EXPECT_NEAR(xy.y, 0.0, 1e-6);
+}
+
+TEST(AlbersConus, DistancesApproximateGreatCircle) {
+  const AlbersConus proj;
+  const LonLat a{-120.0, 38.0};
+  const LonLat b{-119.0, 38.5};
+  const double planar = distance(proj.forward(a), proj.forward(b));
+  const double sphere = haversine_m(a, b);
+  EXPECT_NEAR(planar, sphere, sphere * 0.01);
+}
+
+TEST(AlbersConus, EqualAreaProperty) {
+  // Identically-sized lon/lat boxes at different latitudes must project
+  // to (nearly) identical areas only after cos(lat) correction — an
+  // equal-area projection preserves *true* area, which shrinks with
+  // latitude. Compare against the spherical area instead.
+  const AlbersConus proj;
+  for (double lat : {28.0, 35.0, 42.0, 48.0}) {
+    const Polygon box{make_rect(-100.0, lat, -99.0, lat + 1.0)};
+    const double albers = proj.project(box).area();
+    const double sphere = spherical_ring_area_m2(box.outer());
+    EXPECT_NEAR(albers, sphere, sphere * 0.005) << "lat=" << lat;
+  }
+}
+
+TEST(LocalEquirect, RoundTripAndScale) {
+  const LonLat origin{-118.0, 34.0};
+  const LocalEquirect proj(origin);
+  EXPECT_EQ(proj.forward(origin), (Vec2{0.0, 0.0}));
+  const LonLat p{-117.5, 34.25};
+  const LonLat back = proj.inverse(proj.forward(p));
+  EXPECT_NEAR(back.lon, p.lon, 1e-12);
+  EXPECT_NEAR(back.lat, p.lat, 1e-12);
+  // One degree of latitude ~ 111.2 km in projected y.
+  EXPECT_NEAR(proj.forward({-118.0, 35.0}).y, 111.2e3, 400.0);
+}
+
+TEST(SphericalArea, MatchesKnownMagnitudes) {
+  // 1x1 degree box at ~40N is about 9,500 km^2.
+  const Ring box = make_rect(-100.0, 40.0, -99.0, 41.0);
+  const double km2 = spherical_ring_area_m2(box) / 1e6;
+  EXPECT_NEAR(km2, 9500.0, 200.0);
+}
+
+TEST(AreaHelpers, AcresConversion) {
+  // A 640-acre section is one square mile.
+  const LonLat sw{-100.0, 40.0};
+  const double mile_deg_lon = kMetersPerMile / meters_per_deg_lon(40.0);
+  const double mile_deg_lat = kMetersPerMile / meters_per_deg_lat();
+  const Polygon section{make_rect(sw.lon, sw.lat, sw.lon + mile_deg_lon,
+                                  sw.lat + mile_deg_lat)};
+  EXPECT_NEAR(polygon_area_acres(section), 640.0, 6.0);
+}
+
+TEST(AreaHelpers, MultiPolygonSums) {
+  const double d = 0.01;
+  MultiPolygon mp;
+  mp.push_back(Polygon{make_rect(-100.0, 40.0, -100.0 + d, 40.0 + d)});
+  mp.push_back(Polygon{make_rect(-101.0, 40.0, -101.0 + d, 40.0 + d)});
+  const double one = polygon_area_acres(mp.parts()[0]);
+  EXPECT_NEAR(multipolygon_area_acres(mp), 2.0 * one, one * 0.01);
+}
+
+}  // namespace
+}  // namespace fa::geo

@@ -1,0 +1,133 @@
+// Adversarial and degenerate-input robustness for the geometry kernel:
+// the crowd-sourced corpus and machine-generated perimeters feed this
+// code millions of near-degenerate cases per run.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geo/algorithms.hpp"
+#include "geo/buffer.hpp"
+#include "geo/polygon.hpp"
+#include "geo/projection.hpp"
+
+namespace fa::geo {
+namespace {
+
+TEST(Robustness, PointExactlyOnEveryVertex) {
+  const Ring ring{{{0, 0}, {4, 0}, {4, 3}, {2, 5}, {0, 3}}};
+  for (const Vec2& v : ring.points()) {
+    EXPECT_TRUE(ring.contains(v)) << v.x << "," << v.y;
+  }
+}
+
+TEST(Robustness, PointOnHorizontalEdge) {
+  // Horizontal edges are the classic ray-casting trap.
+  const Ring ring{{{0, 0}, {10, 0}, {10, 10}, {0, 10}}};
+  EXPECT_TRUE(ring.contains({5, 0}));
+  EXPECT_TRUE(ring.contains({5, 10}));
+  // Collinear with the bottom edge but outside the segment.
+  EXPECT_FALSE(ring.contains({11, 0}));
+  EXPECT_FALSE(ring.contains({-1, 10}));
+}
+
+TEST(Robustness, RayThroughVertexCountsOnce) {
+  // A diamond: a horizontal ray through the apex vertex must not double
+  // count the two edges meeting there.
+  const Ring diamond{{{0, -2}, {2, 0}, {0, 2}, {-2, 0}}};
+  EXPECT_TRUE(diamond.contains({0.0, 0.0}));
+  EXPECT_FALSE(diamond.contains({3.0, 0.0}));
+  EXPECT_FALSE(diamond.contains({-3.0, 0.0}));
+  EXPECT_TRUE(diamond.contains({0.5, 0.0}));
+}
+
+TEST(Robustness, NeedleThinTriangle) {
+  const Ring needle{{{0, 0}, {100, 1e-9}, {100, 2e-9}}};
+  EXPECT_GT(needle.area(), 0.0);
+  EXPECT_FALSE(needle.contains({50, 1.0}));
+}
+
+TEST(Robustness, DuplicateConsecutiveVertices) {
+  const Ring ring{{{0, 0}, {0, 0}, {4, 0}, {4, 4}, {4, 4}, {0, 4}}};
+  EXPECT_DOUBLE_EQ(ring.area(), 16.0);
+  EXPECT_TRUE(ring.contains({2, 2}));
+  EXPECT_FALSE(ring.contains({5, 2}));
+}
+
+TEST(Robustness, HugeCoordinates) {
+  const Ring ring = make_rect(1e8, 1e8, 1e8 + 10, 1e8 + 10);
+  EXPECT_TRUE(ring.contains({1e8 + 5, 1e8 + 5}));
+  EXPECT_DOUBLE_EQ(ring.area(), 100.0);
+}
+
+TEST(Robustness, SimplifyNeverInflatesArea) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> jitter(-0.2, 0.2);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 100; ++i) {
+    const double t = 2.0 * std::numbers::pi * i / 100.0;
+    pts.push_back({3.0 * std::cos(t) + jitter(rng),
+                   3.0 * std::sin(t) + jitter(rng)});
+  }
+  const Ring noisy{pts};
+  for (const double tol : {0.05, 0.2, 0.8}) {
+    const Ring simp = simplify_ring(noisy, tol);
+    EXPECT_GE(simp.size(), 3u);
+    // Douglas-Peucker can locally add/remove area but stays near.
+    EXPECT_NEAR(simp.area(), noisy.area(), noisy.area() * 0.35) << tol;
+  }
+}
+
+TEST(Robustness, ConvexHullOfDuplicates) {
+  const std::vector<Vec2> pts(17, Vec2{1.0, 2.0});
+  const Ring hull = convex_hull(pts);
+  EXPECT_LE(hull.size(), 1u);
+}
+
+TEST(Robustness, ClipDegenerateRectangle) {
+  const Ring r = make_rect(0, 0, 4, 4);
+  // Zero-area clip window on the ring edge.
+  const Ring clipped = clip_ring_to_rect(r, BBox{2, 0, 2, 4});
+  EXPECT_DOUBLE_EQ(clipped.area(), 0.0);
+}
+
+TEST(Robustness, BufferOfDegenerateRing) {
+  EXPECT_NO_THROW(buffer_hull(Ring{}, 1.0));
+  const Ring point_ring{{{1, 1}, {1, 1}, {1, 1}}};
+  EXPECT_NO_THROW(buffer_hull(point_ring, 1.0));
+}
+
+// Projection sweep: round trip must hold everywhere over the CONUS at
+// sub-metre accuracy.
+class AlbersGridSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AlbersGridSweep, RoundTripSubMetre) {
+  const auto [lon, lat] = GetParam();
+  const AlbersConus proj;
+  const LonLat p{lon, lat};
+  const LonLat back = proj.inverse(proj.forward(p));
+  EXPECT_NEAR(back.lon, p.lon, 1e-8);
+  EXPECT_NEAR(back.lat, p.lat, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conus, AlbersGridSweep,
+    ::testing::Combine(::testing::Values(-124.0, -110.0, -96.0, -82.0, -67.0),
+                       ::testing::Values(25.0, 33.0, 41.0, 49.0)));
+
+// Containment consistency: for random polygons, rasterized membership of
+// the centroid always matches contains().
+TEST(Robustness, CentroidOfConvexHullIsInside) {
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> coord(-10.0, 10.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Vec2> pts;
+    for (int i = 0; i < 12; ++i) pts.push_back({coord(rng), coord(rng)});
+    const Ring hull = convex_hull(pts);
+    if (hull.size() < 3) continue;
+    EXPECT_TRUE(hull.contains(hull.centroid())) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fa::geo

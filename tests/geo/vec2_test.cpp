@@ -1,0 +1,71 @@
+#include "geo/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::geo {
+namespace {
+
+TEST(Vec2, ArithmeticOps) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+  v *= 2.0;
+  EXPECT_EQ(v, (Vec2{4.0, 6.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 y{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(x.cross(y), 1.0);   // y is CCW from x
+  EXPECT_DOUBLE_EQ(y.cross(x), -1.0);  // x is CW from y
+  EXPECT_DOUBLE_EQ(x.dot(x), 1.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_DOUBLE_EQ(Vec2{}.normalized().norm(), 0.0);  // zero stays zero
+}
+
+TEST(Vec2, PerpIsCcwRotation) {
+  const Vec2 v{1.0, 0.0};
+  EXPECT_EQ(v.perp(), (Vec2{0.0, 1.0}));
+  EXPECT_DOUBLE_EQ(v.dot(v.perp()), 0.0);
+}
+
+TEST(Vec2, DistanceAndLerp) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{6.0, 8.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 10.0);
+  EXPECT_DOUBLE_EQ(distance2(a, b), 100.0);
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec2{3.0, 4.0}));
+}
+
+TEST(Vec2, Orient2d) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{1.0, 0.0};
+  EXPECT_GT(orient2d(a, b, Vec2{0.5, 1.0}), 0.0);   // left turn
+  EXPECT_LT(orient2d(a, b, Vec2{0.5, -1.0}), 0.0);  // right turn
+  EXPECT_DOUBLE_EQ(orient2d(a, b, Vec2{2.0, 0.0}), 0.0);  // collinear
+}
+
+}  // namespace
+}  // namespace fa::geo

@@ -1,0 +1,142 @@
+#include "index/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace fa::index {
+namespace {
+
+using geo::BBox;
+using geo::Vec2;
+
+TEST(GridIndex, EmptyIndex) {
+  const GridIndex idx;
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.count(BBox{0, 0, 1, 1}), 0u);
+}
+
+TEST(GridIndex, SinglePoint) {
+  const GridIndex idx({{5.0, 5.0}}, BBox{0, 0, 10, 10}, 4, 4);
+  EXPECT_EQ(idx.count(BBox{4, 4, 6, 6}), 1u);
+  EXPECT_EQ(idx.count(BBox{0, 0, 1, 1}), 0u);
+  EXPECT_EQ(idx.point(0), (Vec2{5.0, 5.0}));
+}
+
+TEST(GridIndex, PointsOutsideBoundsAreClamped) {
+  // Clamped into edge bins but still exactly filtered on query.
+  const GridIndex idx({{-5.0, 5.0}, {15.0, 5.0}}, BBox{0, 0, 10, 10}, 4, 4);
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.count(BBox{-10, 0, 20, 10}), 2u);
+  EXPECT_EQ(idx.count(BBox{0, 0, 10, 10}), 0u);
+}
+
+TEST(GridIndex, MatchesBruteForce) {
+  std::mt19937_64 rng(321);
+  std::uniform_real_distribution<double> pos(0.0, 50.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 2000; ++i) pts.push_back({pos(rng), pos(rng)});
+  const GridIndex idx(pts, BBox{0, 0, 50, 50}, 16, 16);
+  for (int q = 0; q < 40; ++q) {
+    const double x = pos(rng), y = pos(rng);
+    const BBox query{x, y, x + 7.0, y + 4.0};
+    std::set<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (query.contains(pts[i])) expected.insert(i);
+    }
+    auto got_v = idx.query_ids(query);
+    const std::set<std::uint32_t> got(got_v.begin(), got_v.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(GridIndex, CandidatesAreSuperset) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> pos(0.0, 50.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 500; ++i) pts.push_back({pos(rng), pos(rng)});
+  const GridIndex idx(pts, BBox{0, 0, 50, 50}, 8, 8);
+  const BBox query{10.3, 20.7, 18.9, 33.1};
+  std::set<std::uint32_t> exact;
+  idx.query(query, [&](std::uint32_t id, Vec2) { exact.insert(id); });
+  std::set<std::uint32_t> cand;
+  idx.query_candidates(query, [&](std::uint32_t id, Vec2) { cand.insert(id); });
+  EXPECT_TRUE(std::includes(cand.begin(), cand.end(), exact.begin(),
+                            exact.end()));
+}
+
+TEST(GridIndex, IdsMapToOriginalOrder) {
+  const std::vector<Vec2> pts{{1, 1}, {9, 9}, {5, 5}};
+  const GridIndex idx(pts, BBox{0, 0, 10, 10}, 2, 2);
+  for (std::uint32_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(idx.point(i), pts[i]);
+  }
+}
+
+// Property: total count over a partition of the bounds equals size().
+class GridResolutionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridResolutionSweep, PartitionCountsSum) {
+  const int res = GetParam();
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> pos(0.0, 32.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 700; ++i) pts.push_back({pos(rng), pos(rng)});
+  const GridIndex idx(pts, BBox{0, 0, 32, 32}, res, res);
+  // Half-open quadrant partition (shrink top/right edges by epsilon to
+  // avoid double counting boundary points).
+  const double mid = 16.0, hi = 32.0, eps = 1e-9;
+  const std::size_t total =
+      idx.count(BBox{0, 0, mid - eps, mid - eps}) +
+      idx.count(BBox{mid, 0, hi, mid - eps}) +
+      idx.count(BBox{0, mid, mid - eps, hi}) +
+      idx.count(BBox{mid, mid, hi, hi});
+  EXPECT_EQ(total, pts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, GridResolutionSweep,
+                         ::testing::Values(1, 2, 8, 32, 100));
+
+TEST(GridIndexNearest, MatchesBruteForce) {
+  std::mt19937_64 rng(55);
+  std::uniform_real_distribution<double> pos(0.0, 40.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 800; ++i) pts.push_back({pos(rng), pos(rng)});
+  const GridIndex idx(pts, BBox{0, 0, 40, 40}, 10, 10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec2 q{pos(rng), pos(rng)};
+    const auto got = idx.nearest(q, 5);
+    ASSERT_EQ(got.size(), 5u);
+    // Brute-force reference.
+    std::vector<std::pair<double, std::uint32_t>> ref;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      ref.push_back({geo::distance2(pts[i], q), i});
+    }
+    std::sort(ref.begin(), ref.end());
+    for (std::size_t k = 0; k < 5; ++k) {
+      EXPECT_EQ(got[k], ref[k].second) << "trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(GridIndexNearest, EdgeCases) {
+  const GridIndex empty;
+  EXPECT_TRUE(empty.nearest({0, 0}, 3).empty());
+  const GridIndex one({{5, 5}}, BBox{0, 0, 10, 10}, 4, 4);
+  EXPECT_EQ(one.nearest({0, 0}, 3), std::vector<std::uint32_t>{0});
+  EXPECT_TRUE(one.nearest({0, 0}, 0).empty());
+  // Query far outside the bounds still resolves.
+  EXPECT_EQ(one.nearest({100, 100}, 1), std::vector<std::uint32_t>{0});
+}
+
+TEST(GridIndexNearest, NearestFirstOrdering) {
+  std::vector<Vec2> pts{{1, 1}, {2, 2}, {8, 8}, {9, 9}};
+  const GridIndex idx(pts, BBox{0, 0, 10, 10}, 5, 5);
+  const auto got = idx.nearest({0, 0}, 4);
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fa::index

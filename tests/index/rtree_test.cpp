@@ -1,0 +1,116 @@
+#include "index/rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace fa::index {
+namespace {
+
+using geo::BBox;
+using geo::Vec2;
+
+TEST(RTree, EmptyTree) {
+  const RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.query(BBox{0, 0, 1, 1}).empty());
+}
+
+TEST(RTree, SingleEntry) {
+  const RTree tree({{BBox{0, 0, 1, 1}, 7}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.query(BBox{0.5, 0.5, 2, 2}), std::vector<std::uint32_t>{7});
+  EXPECT_TRUE(tree.query(BBox{2, 2, 3, 3}).empty());
+}
+
+TEST(RTree, TouchingBoxesIntersect) {
+  const RTree tree({{BBox{0, 0, 1, 1}, 1}});
+  // Edge contact counts as intersection.
+  EXPECT_EQ(tree.query(BBox{1, 0, 2, 1}).size(), 1u);
+  EXPECT_EQ(tree.query(BBox{1, 1, 2, 2}).size(), 1u);  // corner contact
+}
+
+std::vector<RTree::Entry> random_entries(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pos(0.0, 100.0);
+  std::uniform_real_distribution<double> sz(0.01, 2.0);
+  std::vector<RTree::Entry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double x = pos(rng), y = pos(rng);
+    entries.push_back({BBox{x, y, x + sz(rng), y + sz(rng)}, i});
+  }
+  return entries;
+}
+
+TEST(RTree, MatchesBruteForce) {
+  const auto entries = random_entries(500, 1234);
+  const RTree tree(entries);
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> pos(0.0, 100.0);
+  for (int q = 0; q < 50; ++q) {
+    const double x = pos(rng), y = pos(rng);
+    const BBox query{x, y, x + 8.0, y + 8.0};
+    std::set<std::uint32_t> expected;
+    for (const auto& e : entries) {
+      if (e.box.intersects(query)) expected.insert(e.id);
+    }
+    auto got_v = tree.query(query);
+    const std::set<std::uint32_t> got(got_v.begin(), got_v.end());
+    EXPECT_EQ(got, expected) << "query " << q;
+    EXPECT_EQ(got_v.size(), got.size()) << "duplicate results";
+  }
+}
+
+TEST(RTree, QueryPoint) {
+  const RTree tree({{BBox{0, 0, 2, 2}, 0}, {BBox{1, 1, 3, 3}, 1}});
+  std::vector<std::uint32_t> hits;
+  tree.query_point({1.5, 1.5}, [&](std::uint32_t id) { hits.push_back(id); });
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::uint32_t>{0, 1}));
+  hits.clear();
+  tree.query_point({0.5, 0.5}, [&](std::uint32_t id) { hits.push_back(id); });
+  EXPECT_EQ(hits, std::vector<std::uint32_t>{0});
+}
+
+TEST(RTree, BoundsCoverAllEntries) {
+  const auto entries = random_entries(200, 5);
+  const RTree tree(entries);
+  const BBox b = tree.bounds();
+  for (const auto& e : entries) {
+    EXPECT_TRUE(b.contains(e.box));
+  }
+}
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  EXPECT_EQ(RTree(random_entries(10, 1), 16).height(), 1);
+  EXPECT_EQ(RTree(random_entries(17, 1), 16).height(), 2);
+  const RTree big(random_entries(5000, 1), 16);
+  EXPECT_LE(big.height(), 4);  // 16^4 >> 5000
+}
+
+// Property sweep over fanouts: results must be identical regardless of
+// the packing parameter.
+class RTreeFanoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeFanoutSweep, FanoutInvariance) {
+  const auto entries = random_entries(300, 777);
+  const RTree tree(entries, GetParam());
+  const RTree reference(entries, 8);
+  for (const BBox query :
+       {BBox{10, 10, 30, 30}, BBox{0, 0, 100, 100}, BBox{50, 50, 50.5, 50.5}}) {
+    auto a = tree.query(query);
+    auto b = reference.query(query);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeFanoutSweep,
+                         ::testing::Values(2, 4, 16, 64));
+
+}  // namespace
+}  // namespace fa::index

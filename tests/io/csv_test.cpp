@@ -1,0 +1,89 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fa::io {
+namespace {
+
+TEST(ParseCsvLine, SimpleFields) {
+  EXPECT_EQ(parse_csv_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_line(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(parse_csv_line("a,,c"),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(parse_csv_line("a,b,"),
+            (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(ParseCsvLine, QuotedFields) {
+  EXPECT_EQ(parse_csv_line(R"("a,b",c)"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(parse_csv_line(R"("he said ""hi""",x)"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+  EXPECT_EQ(parse_csv_line(R"("")"), (std::vector<std::string>{""}));
+}
+
+TEST(ParseCsvLine, TrailingCarriageReturn) {
+  EXPECT_EQ(parse_csv_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsvLine, AlternateSeparator) {
+  EXPECT_EQ(parse_csv_line("a;b;c", ';'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(EscapeCsvField, OnlyWhenNeeded) {
+  EXPECT_EQ(escape_csv_field("plain"), "plain");
+  EXPECT_EQ(escape_csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape_csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(escape_csv_field(" padded "), "\" padded \"");
+}
+
+TEST(CsvReader, HeaderAndRecords) {
+  std::istringstream in("lat,lon,radio\n34.0,-118.2,LTE\n37.7,-122.4,UMTS\n");
+  CsvReader reader(in);
+  EXPECT_EQ(reader.header(),
+            (std::vector<std::string>{"lat", "lon", "radio"}));
+  EXPECT_EQ(reader.column("lon"), 1);
+  EXPECT_EQ(reader.column("missing"), -1);
+  const auto r1 = reader.next();
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ((*r1)[2], "LTE");
+  const auto r2 = reader.next();
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ((*r2)[0], "37.7");
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.records_read(), 2u);
+}
+
+TEST(CsvReader, SkipsBlankLines) {
+  std::istringstream in("a\n\n1\n\r\n2\n");
+  CsvReader reader(in);
+  EXPECT_EQ((*reader.next())[0], "1");
+  EXPECT_EQ((*reader.next())[0], "2");
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(CsvReader, NoHeaderMode) {
+  std::istringstream in("1,2\n3,4\n");
+  CsvReader reader(in, /*has_header=*/false);
+  EXPECT_TRUE(reader.header().empty());
+  EXPECT_EQ((*reader.next())[0], "1");
+}
+
+TEST(CsvRoundTrip, WriterThenReader) {
+  std::stringstream buf;
+  CsvWriter writer(buf);
+  writer.write_row({"name", "note"});
+  writer.write_row({"alpha", "has,comma"});
+  writer.write_row({"beta", "has \"quote\""});
+  CsvReader reader(buf);
+  EXPECT_EQ((*reader.next()), (std::vector<std::string>{"alpha", "has,comma"}));
+  EXPECT_EQ((*reader.next()),
+            (std::vector<std::string>{"beta", "has \"quote\""}));
+}
+
+}  // namespace
+}  // namespace fa::io

@@ -1,0 +1,76 @@
+#include "io/fagrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fa::io {
+namespace {
+
+raster::ClassRaster sample_grid() {
+  raster::GridGeometry g;
+  g.origin_x = -2000000.0;
+  g.origin_y = 300000.0;
+  g.cell_w = 270.0;
+  g.cell_h = 270.0;
+  g.cols = 12;
+  g.rows = 7;
+  raster::ClassRaster grid(g, 0);
+  grid.at(0, 0) = 5;
+  grid.at(11, 6) = 3;
+  grid.at(4, 2) = 1;
+  return grid;
+}
+
+TEST(FaGrid, RoundTripPreservesEverything) {
+  const raster::ClassRaster grid = sample_grid();
+  std::stringstream buf;
+  write_fagrid(buf, grid);
+  const raster::ClassRaster back = read_fagrid(buf);
+  EXPECT_EQ(back.geom(), grid.geom());
+  EXPECT_EQ(back.data(), grid.data());
+}
+
+TEST(FaGrid, HeaderSizeIsStable) {
+  std::stringstream buf;
+  write_fagrid(buf, sample_grid());
+  // 8 magic + 32 geometry + 8 dims + 84 cells.
+  EXPECT_EQ(buf.str().size(), 8u + 32u + 8u + 84u);
+}
+
+TEST(FaGrid, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOTAGRID garbage";
+  EXPECT_THROW(read_fagrid(buf), std::runtime_error);
+}
+
+TEST(FaGrid, RejectsTruncatedData) {
+  std::stringstream buf;
+  write_fagrid(buf, sample_grid());
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() - 10);
+  std::stringstream cut(bytes);
+  EXPECT_THROW(read_fagrid(cut), std::runtime_error);
+}
+
+TEST(FaGrid, RejectsInvalidGeometry) {
+  // Corrupt the cols field (offset 40..44) to zero.
+  std::stringstream buf;
+  write_fagrid(buf, sample_grid());
+  std::string bytes = buf.str();
+  bytes[40] = bytes[41] = bytes[42] = bytes[43] = 0;
+  std::stringstream cut(bytes);
+  EXPECT_THROW(read_fagrid(cut), std::runtime_error);
+}
+
+TEST(FaGrid, FileHelpers) {
+  const std::string path = ::testing::TempDir() + "/test_grid.fagrid";
+  const raster::ClassRaster grid = sample_grid();
+  save_fagrid(path, grid);
+  const raster::ClassRaster back = load_fagrid(path);
+  EXPECT_EQ(back.data(), grid.data());
+  EXPECT_THROW(load_fagrid("/nonexistent/dir/x.fagrid"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fa::io

@@ -1,0 +1,129 @@
+// Deterministic mutation fuzzing of the parsers: every mutated input
+// must either parse or throw the module's documented exception — never
+// crash, hang, or corrupt memory (run under ASan in CI for full value).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cellnet/corpus.hpp"
+#include "io/fagrid.hpp"
+#include "io/json.hpp"
+#include "io/wkt.hpp"
+#include "synth/rng.hpp"
+
+namespace fa::io {
+namespace {
+
+// Applies `n` random byte mutations (overwrite / delete / duplicate).
+std::string mutate(std::string input, synth::Rng& rng, int n) {
+  for (int i = 0; i < n && !input.empty(); ++i) {
+    const std::size_t pos = rng.below(input.size());
+    switch (rng.below(3)) {
+      case 0:
+        input[pos] = static_cast<char>(rng.below(256));
+        break;
+      case 1:
+        input.erase(pos, 1);
+        break;
+      default:
+        input.insert(pos, 1, input[pos]);
+        break;
+    }
+  }
+  return input;
+}
+
+TEST(FuzzJson, MutatedDocumentsNeverCrash) {
+  const std::string seed_doc =
+      R"({"fires":[{"name":"Kincade","acres":77000,"days":[1,2,3]},null,true],)"
+      R"("year":2019,"note":"escaped \"quotes\" and é"})";
+  synth::Rng rng(2024);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string doc = mutate(seed_doc, rng, 1 + trial % 8);
+    try {
+      const JsonValue v = parse_json(doc);
+      // Whatever parsed must re-serialize and re-parse stably.
+      const JsonValue again = parse_json(to_json(v));
+      (void)again;
+      ++parsed;
+    } catch (const JsonError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 500);  // mutations usually break JSON
+  EXPECT_EQ(parsed + rejected, 2000);
+}
+
+TEST(FuzzWkt, MutatedGeometryNeverCrashes) {
+  const std::string seed_wkt =
+      "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1)),"
+      " ((10 10, 12 10, 12 12, 10 12, 10 10)))";
+  synth::Rng rng(99);
+  int ok = 0, rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::string wkt = mutate(seed_wkt, rng, 1 + trial % 6);
+    try {
+      const geo::MultiPolygon mp = parse_wkt_multipolygon(wkt);
+      EXPECT_GE(mp.area(), 0.0);
+      ++ok;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 2000);
+  EXPECT_GT(rejected, 200);
+}
+
+TEST(FuzzCsv, MutatedCorpusRowsAreSkippedNotFatal) {
+  std::ostringstream seed;
+  {
+    cellnet::Transceiver t;
+    t.position = {-118.0, 34.0};
+    t.mcc = 310;
+    t.mnc = 410;
+    cellnet::CellCorpus corpus{{t, t, t, t}};
+    write_opencellid_csv(seed, corpus);
+  }
+  synth::Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::istringstream in(mutate(seed.str(), rng, 1 + trial % 10));
+    cellnet::CsvLoadStats stats;
+    const cellnet::CellCorpus corpus =
+        cellnet::read_opencellid_csv(in, &stats);
+    // Loader never throws: bad records are counted, good ones returned.
+    EXPECT_LE(corpus.size(), 6u);
+    EXPECT_EQ(corpus.size(), stats.parsed);
+  }
+}
+
+TEST(FuzzFagrid, MutatedRastersThrowCleanly) {
+  std::stringstream seed;
+  {
+    raster::GridGeometry g;
+    g.cell_w = g.cell_h = 270.0;
+    g.cols = 6;
+    g.rows = 5;
+    write_fagrid(seed, raster::ClassRaster(g, 3));
+  }
+  synth::Rng rng(13);
+  int ok = 0, rejected = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::stringstream in(mutate(seed.str(), rng, 1 + trial % 4));
+    try {
+      const raster::ClassRaster grid = read_fagrid(in);
+      EXPECT_GT(grid.size(), 0u);
+      ++ok;
+    } catch (const std::runtime_error&) {
+      ++rejected;
+    } catch (const std::bad_alloc&) {
+      // A mutated dimension can request a huge-but-valid allocation.
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 500);
+}
+
+}  // namespace
+}  // namespace fa::io

@@ -1,0 +1,78 @@
+#include "io/geojson.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::io {
+namespace {
+
+using geo::MultiPolygon;
+using geo::Polygon;
+using geo::Vec2;
+
+TEST(GeoJson, PointGeometry) {
+  const JsonValue g = point_geometry({-120.5, 39.0});
+  EXPECT_EQ(g.at("type").as_string(), "Point");
+  EXPECT_EQ(to_json(g), R"({"coordinates":[-120.5,39],"type":"Point"})");
+  EXPECT_EQ(parse_point_geometry(g), (Vec2{-120.5, 39.0}));
+}
+
+TEST(GeoJson, PolygonRingIsClosed) {
+  const JsonValue g = polygon_geometry(Polygon{geo::make_rect(0, 0, 1, 1)});
+  const JsonValue& ring = g.at("coordinates").at(std::size_t{0});
+  EXPECT_EQ(ring.size(), 5u);  // 4 vertices + closing point
+  EXPECT_EQ(to_json(ring.at(std::size_t{0})),
+            to_json(ring.at(std::size_t{4})));
+}
+
+TEST(GeoJson, PolygonRoundTripWithHole) {
+  const Polygon poly{geo::make_rect(0, 0, 10, 10),
+                     {geo::make_rect(2, 2, 4, 4)}};
+  const Polygon back = parse_polygon_geometry(polygon_geometry(poly));
+  EXPECT_DOUBLE_EQ(back.area(), poly.area());
+  EXPECT_FALSE(back.contains({3, 3}));
+  EXPECT_TRUE(back.contains({1, 1}));
+}
+
+TEST(GeoJson, MultiPolygonRoundTrip) {
+  MultiPolygon mp;
+  mp.push_back(Polygon{geo::make_rect(0, 0, 1, 1)});
+  mp.push_back(Polygon{geo::make_rect(3, 3, 5, 4)});
+  const MultiPolygon back =
+      parse_multipolygon_geometry(multipolygon_geometry(mp));
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.area(), 3.0);
+}
+
+TEST(GeoJson, FeatureAndCollection) {
+  JsonValue f = feature(point_geometry({1, 2}),
+                        JsonObject{{"name", "tower-17"}, {"whp", 4}});
+  JsonValue fc = feature_collection(JsonArray{f});
+  EXPECT_EQ(fc.at("type").as_string(), "FeatureCollection");
+  EXPECT_EQ(fc.at("features").size(), 1u);
+  const JsonValue& feat = fc.at("features").at(std::size_t{0});
+  EXPECT_EQ(feat.at("properties").at("name").as_string(), "tower-17");
+  EXPECT_DOUBLE_EQ(feat.at("properties").at("whp").as_number(), 4.0);
+}
+
+TEST(GeoJson, ParseRejectsWrongType) {
+  EXPECT_THROW(parse_point_geometry(polygon_geometry(
+                   Polygon{geo::make_rect(0, 0, 1, 1)})),
+               JsonError);
+  EXPECT_THROW(parse_polygon_geometry(point_geometry({0, 0})), JsonError);
+  EXPECT_THROW(parse_polygon_geometry(parse_json("{}")), JsonError);
+}
+
+TEST(GeoJson, ExternallyAuthoredDocument) {
+  // A hand-written GeoJSON doc, as a GIS tool would emit it.
+  const JsonValue doc = parse_json(R"({
+    "type": "Polygon",
+    "coordinates": [[[ -122.5, 38.4 ], [ -122.3, 38.4 ],
+                     [ -122.3, 38.6 ], [ -122.5, 38.6 ], [ -122.5, 38.4 ]]]
+  })");
+  const Polygon p = parse_polygon_geometry(doc);
+  EXPECT_TRUE(p.contains({-122.4, 38.5}));
+  EXPECT_FALSE(p.contains({-122.6, 38.5}));
+}
+
+}  // namespace
+}  // namespace fa::io

@@ -1,0 +1,97 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::io {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_json("-17").as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\nb")").as_string(), "a\nb");
+  EXPECT_EQ(parse_json(R"("q\"q")").as_string(), "q\"q");
+  EXPECT_EQ(parse_json(R"("back\\slash")").as_string(), "back\\slash");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");  // é
+}
+
+TEST(JsonParse, NestedStructure) {
+  const JsonValue v = parse_json(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").at(std::size_t{1}).as_number(), 2.0);
+  EXPECT_TRUE(v.at("a").at(std::size_t{2}).at("b").as_bool());
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+  EXPECT_TRUE(v.has("e"));
+  EXPECT_FALSE(v.has("zzz"));
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(parse_json("[]").size(), 0u);
+  EXPECT_EQ(parse_json("{}").size(), 0u);
+  EXPECT_EQ(parse_json("[ ]").size(), 0u);
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const JsonValue v = parse_json("  {\n\t\"k\" :\r [ 1 , 2 ]\n} ");
+  EXPECT_EQ(v.at("k").size(), 2u);
+}
+
+TEST(JsonParse, Malformed) {
+  EXPECT_THROW(parse_json(""), JsonError);
+  EXPECT_THROW(parse_json("{"), JsonError);
+  EXPECT_THROW(parse_json("[1,]"), JsonError);
+  EXPECT_THROW(parse_json("{\"a\":}"), JsonError);
+  EXPECT_THROW(parse_json("tru"), JsonError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonError);
+  EXPECT_THROW(parse_json("1 2"), JsonError);  // trailing garbage
+  EXPECT_THROW(parse_json("{\"a\":1} x"), JsonError);
+}
+
+TEST(JsonAccess, TypeErrors) {
+  const JsonValue v = parse_json("[1]");
+  EXPECT_THROW(v.at("key"), std::exception);
+  EXPECT_THROW(v.at(std::size_t{5}), JsonError);
+  EXPECT_THROW(parse_json("3").size(), JsonError);
+}
+
+TEST(JsonSerialize, Compact) {
+  JsonObject obj;
+  obj["b"] = JsonArray{1, 2};
+  obj["a"] = "x";
+  obj["n"] = nullptr;
+  // std::map orders keys, so output is deterministic.
+  EXPECT_EQ(to_json(JsonValue{obj}), R"({"a":"x","b":[1,2],"n":null})");
+}
+
+TEST(JsonSerialize, NumbersIntegralAndReal) {
+  EXPECT_EQ(to_json(JsonValue{42.0}), "42");
+  EXPECT_EQ(to_json(JsonValue{-5.0}), "-5");
+  EXPECT_EQ(to_json(JsonValue{0.5}), "0.5");
+}
+
+TEST(JsonSerialize, EscapesControlCharacters) {
+  EXPECT_EQ(to_json(JsonValue{std::string{"a\nb"}}), R"("a\nb")");
+  EXPECT_EQ(to_json(JsonValue{std::string{"tab\t"}}), R"("tab\t")");
+  EXPECT_EQ(to_json(JsonValue{std::string{"\x01"}}), "\"\\u0001\"");
+}
+
+TEST(JsonRoundTrip, ParseSerializeParse) {
+  const std::string doc =
+      R"({"fires":[{"acres":1234.5,"name":"Kincade"},{"acres":745,"name":"Getty"}],"year":2019})";
+  const JsonValue v = parse_json(doc);
+  EXPECT_EQ(to_json(v), doc);
+  const JsonValue v2 = parse_json(to_json(v, 2));  // pretty output reparses
+  EXPECT_EQ(to_json(v2), doc);
+}
+
+}  // namespace
+}  // namespace fa::io

@@ -1,0 +1,74 @@
+#include "io/wkt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::io {
+namespace {
+
+using geo::MultiPolygon;
+using geo::Polygon;
+using geo::Ring;
+using geo::Vec2;
+
+TEST(Wkt, PointRoundTrip) {
+  const Vec2 p{-118.25, 34.05};
+  const Vec2 back = parse_wkt_point(to_wkt(p));
+  EXPECT_NEAR(back.x, p.x, 1e-6);
+  EXPECT_NEAR(back.y, p.y, 1e-6);
+}
+
+TEST(Wkt, PointFormat) {
+  EXPECT_EQ(to_wkt(Vec2{1.5, -2.0}), "POINT (1.5 -2)");
+}
+
+TEST(Wkt, ParsePointVariants) {
+  EXPECT_EQ(parse_wkt_point("POINT(1 2)"), (Vec2{1, 2}));
+  EXPECT_EQ(parse_wkt_point("point ( 1  2 )"), (Vec2{1, 2}));  // lax case/ws
+}
+
+TEST(Wkt, PolygonRoundTrip) {
+  const Polygon poly{geo::make_rect(0, 0, 4, 3),
+                     {geo::make_rect(1, 1, 2, 2)}};
+  const Polygon back = parse_wkt_polygon(to_wkt(poly));
+  EXPECT_DOUBLE_EQ(back.area(), poly.area());
+  EXPECT_EQ(back.holes().size(), 1u);
+  EXPECT_TRUE(back.contains({3.5, 0.5}));
+  EXPECT_FALSE(back.contains({1.5, 1.5}));
+}
+
+TEST(Wkt, ParsePolygonClosedRing) {
+  const Polygon p =
+      parse_wkt_polygon("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+  EXPECT_EQ(p.outer().size(), 4u);  // closing duplicate stripped
+  EXPECT_DOUBLE_EQ(p.area(), 1.0);
+}
+
+TEST(Wkt, MultiPolygonRoundTrip) {
+  MultiPolygon mp;
+  mp.push_back(Polygon{geo::make_rect(0, 0, 1, 1)});
+  mp.push_back(Polygon{geo::make_rect(5, 5, 7, 6), {}});
+  const MultiPolygon back = parse_wkt_multipolygon(to_wkt(mp));
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.area(), mp.area());
+}
+
+TEST(Wkt, NegativeAndScientificCoordinates) {
+  const Polygon p = parse_wkt_polygon(
+      "POLYGON ((-1.5e1 0, 0 0, 0 -2.5, -1.5e1 -2.5))");
+  EXPECT_DOUBLE_EQ(p.area(), 15.0 * 2.5);
+}
+
+TEST(Wkt, MalformedInputsThrow) {
+  EXPECT_THROW(parse_wkt_point("POINT 1 2"), std::invalid_argument);
+  EXPECT_THROW(parse_wkt_point("LINESTRING (0 0, 1 1)"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_wkt_polygon("POLYGON (0 0, 1 1)"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_wkt_polygon("POLYGON ((0 0, 1 x))"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_wkt_multipolygon("MULTIPOLYGON ()"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fa::io

@@ -1,0 +1,171 @@
+#include "powergrid/grid_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "powergrid/psps.hpp"
+#include "synth/cells.hpp"
+
+namespace fa::powergrid {
+namespace {
+
+struct World {
+  synth::ScenarioConfig cfg;
+  synth::WhpModel whp;
+  cellnet::CellCorpus corpus;
+  std::vector<cellnet::CellSite> ca_sites;
+  World() {
+    cfg.whp_cell_m = 9000.0;
+    cfg.corpus_scale = 120.0;
+    whp = synth::generate_whp(synth::UsAtlas::get(), cfg);
+    corpus = synth::generate_corpus(synth::UsAtlas::get(), cfg);
+    const int ca = synth::UsAtlas::get().state_index("CA");
+    std::vector<cellnet::Transceiver> txr;
+    for (const auto& t : corpus.transceivers()) {
+      if (t.state == ca) txr.push_back(t);
+    }
+    ca_sites = cellnet::CellCorpus{std::move(txr)}.infer_sites(120.0);
+  }
+};
+
+const World& world() {
+  static const World w;
+  return w;
+}
+
+const GridModel& ca_grid() {
+  static const GridModel g = GridModel::build(
+      world().ca_sites, world().whp, synth::UsAtlas::get(), 42);
+  return g;
+}
+
+TEST(GridModel, EverySiteIsServed) {
+  const GridModel& grid = ca_grid();
+  ASSERT_EQ(grid.feeder_of_site().size(), world().ca_sites.size());
+  std::size_t served = 0;
+  std::set<std::uint32_t> seen;
+  for (const Feeder& feeder : grid.feeders()) {
+    for (const std::uint32_t site : feeder.sites) {
+      EXPECT_TRUE(seen.insert(site).second) << "site on two feeders";
+      EXPECT_EQ(grid.feeder_of_site()[site], feeder.id);
+      ++served;
+    }
+  }
+  EXPECT_EQ(served, world().ca_sites.size());
+}
+
+TEST(GridModel, FeederCapacityRespected) {
+  const GridModelConfig cfg;
+  for (const Feeder& feeder : ca_grid().feeders()) {
+    EXPECT_LE(static_cast<int>(feeder.sites.size()), cfg.sites_per_feeder);
+    EXPECT_FALSE(feeder.sites.empty());
+  }
+}
+
+TEST(GridModel, SubstationsComeFromCities) {
+  EXPECT_EQ(ca_grid().substations().size(),
+            synth::UsAtlas::get().cities().size());
+}
+
+TEST(GridModel, ExposureBoundsAreSane) {
+  for (const Feeder& feeder : ca_grid().feeders()) {
+    EXPECT_GE(feeder.max_exposure, 0.0);
+    EXPECT_LE(feeder.max_exposure, 1.0);
+    EXPECT_GE(feeder.max_exposure, feeder.mean_exposure * 0.99);
+    EXPECT_GE(feeder.length_m, 0.0);
+  }
+}
+
+TEST(GridModel, ShutoffProbabilityBehaviour) {
+  const GridModel& grid = ca_grid();
+  const Feeder* exposed = nullptr;
+  const Feeder* hardened = nullptr;
+  for (const Feeder& feeder : grid.feeders()) {
+    if (!feeder.hardened && feeder.max_exposure > 0.8) exposed = &feeder;
+    if (feeder.hardened) hardened = &feeder;
+  }
+  ASSERT_NE(exposed, nullptr);
+  ASSERT_NE(hardened, nullptr);
+  // Monotone in wind severity; zero at calm.
+  EXPECT_DOUBLE_EQ(grid.shutoff_probability(*exposed, 0.0, 0.05), 0.0);
+  EXPECT_GT(grid.shutoff_probability(*exposed, 1.0, 0.05),
+            grid.shutoff_probability(*exposed, 0.4, 0.05));
+  // Hardened feeders exempt below extreme wind.
+  EXPECT_DOUBLE_EQ(grid.shutoff_probability(*hardened, 0.8, 0.05), 0.0);
+  EXPECT_GE(grid.shutoff_probability(*hardened, 0.95, 0.05), 0.0);
+}
+
+TEST(GridModel, DeterministicPerSeed) {
+  const GridModel a = GridModel::build(world().ca_sites, world().whp,
+                                       synth::UsAtlas::get(), 7);
+  const GridModel b = GridModel::build(world().ca_sites, world().whp,
+                                       synth::UsAtlas::get(), 7);
+  ASSERT_EQ(a.feeders().size(), b.feeders().size());
+  for (std::size_t i = 0; i < a.feeders().size(); ++i) {
+    EXPECT_EQ(a.feeders()[i].sites, b.feeders()[i].sites);
+    EXPECT_EQ(a.feeders()[i].hardened, b.feeders()[i].hardened);
+  }
+}
+
+TEST(Psps, FeederPlanMirrorsModel) {
+  const firesim::FeederPlan plan = to_feeder_plan(ca_grid());
+  EXPECT_EQ(plan.feeder_of.size(), world().ca_sites.size());
+  EXPECT_EQ(plan.risk.size(), ca_grid().feeders().size());
+  EXPECT_EQ(plan.hardened.size(), ca_grid().feeders().size());
+  for (const double r : plan.risk) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(Psps, GridDrivenCaseStudyRuns) {
+  const firesim::DirsReport report = simulate_california_2019_with_grid(
+      world().corpus, world().whp, synth::UsAtlas::get(), 99);
+  ASSERT_EQ(report.days.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& day : report.days) total += day.total();
+  EXPECT_GT(total, 0u);
+  // Interdependence visible: some power outages land outside perimeters.
+  std::size_t outside = 0, power = 0;
+  for (const auto& day : report.days) {
+    outside += day.power_outside_fire;
+    power += day.power;
+  }
+  EXPECT_LE(outside, power);
+  EXPECT_GT(outside, power / 4);  // PSPS reaches far beyond the burns
+}
+
+TEST(Psps, AnalyzeGridReportsOverhang) {
+  const GridStats stats =
+      analyze_grid(ca_grid(), world().ca_sites, world().whp);
+  EXPECT_GT(stats.substations, 0u);
+  EXPECT_GT(stats.feeders, 10u);
+  EXPECT_GT(stats.mean_sites_per_feeder, 1.0);
+  EXPECT_GE(stats.sites_on_exposed_feeders, 0.0);
+  EXPECT_LE(stats.sites_on_exposed_feeders, 1.0);
+  // The pure interdependence overhang exists: some not-at-risk sites draw
+  // power through at-risk terrain.
+  EXPECT_GT(stats.clean_sites_dirty_feeders, 0.0);
+}
+
+TEST(Psps, HardeningReducesShutoffs) {
+  GridModelConfig none;
+  none.hardened_fraction = 0.0;
+  GridModelConfig all;
+  all.hardened_fraction = 1.0;
+  firesim::OutageSimConfig sim_cfg;
+  const firesim::DirsReport soft = simulate_california_2019_with_grid(
+      world().corpus, world().whp, synth::UsAtlas::get(), 5, sim_cfg, none);
+  const firesim::DirsReport hard = simulate_california_2019_with_grid(
+      world().corpus, world().whp, synth::UsAtlas::get(), 5, sim_cfg, all);
+  std::size_t soft_power = 0, hard_power = 0;
+  for (const auto& day : soft.days) soft_power += day.power;
+  for (const auto& day : hard.days) hard_power += day.power;
+  // Hardened circuits are only exempt below extreme wind, so the peak
+  // days still shut off; require a clear but not total reduction.
+  EXPECT_LT(hard_power * 10, soft_power * 9);
+}
+
+}  // namespace
+}  // namespace fa::powergrid

@@ -1,0 +1,106 @@
+// Cross-validation between independent implementations of the same
+// geometric operation: the raster morphology path (used by the §3.8
+// extension) against the vector buffering path, and scanline membership
+// against analytic areas. Disagreement between two independent routes is
+// the strongest bug signal this substrate can generate.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "geo/buffer.hpp"
+#include "raster/morphology.hpp"
+#include "raster/rasterize.hpp"
+#include "raster/regions.hpp"
+
+namespace fa::raster {
+namespace {
+
+GridGeometry fine_grid(int n, double cell) {
+  GridGeometry g;
+  g.origin_x = g.origin_y = 0.0;
+  g.cell_w = g.cell_h = cell;
+  g.cols = g.rows = n;
+  return g;
+}
+
+TEST(CrossValidation, RasterDilationMatchesVectorBuffer) {
+  // Dilate a rasterized convex polygon by r on the grid; the result must
+  // agree cell-by-cell (within one cell of boundary slack) with the
+  // rasterization of the vector buffer of the same polygon.
+  const GridGeometry geom = fine_grid(120, 1.0);
+  const geo::Ring convex{{{35, 40}, {70, 35}, {85, 60}, {60, 85}, {38, 72}}};
+  const double radius = 7.0;
+
+  MaskRaster base(geom, 0);
+  rasterize_polygon(base, geo::Polygon{convex}, 1);
+  const MaskRaster dilated = dilate_mask(base, radius);
+
+  MaskRaster buffered(geom, 0);
+  rasterize_polygon(buffered, geo::Polygon{geo::buffer_convex(convex, radius, 64)},
+                    1);
+
+  std::size_t disagreements = 0;
+  std::size_t boundary_cells = 0;
+  const FloatRaster dist = distance_transform(base);
+  for (int r = 0; r < geom.rows; ++r) {
+    for (int c = 0; c < geom.cols; ++c) {
+      // Skip the ±1.5-cell annulus around the exact radius where the two
+      // discretizations legitimately disagree (chamfer vs polygon edge).
+      if (std::abs(dist.at(c, r) - radius) < 1.5) {
+        ++boundary_cells;
+        continue;
+      }
+      if (dilated.at(c, r) != buffered.at(c, r)) ++disagreements;
+    }
+  }
+  EXPECT_EQ(disagreements, 0u);
+  EXPECT_GT(boundary_cells, 0u);  // the annulus exists (sanity)
+}
+
+TEST(CrossValidation, DilatedAreaMatchesMinkowskiFormula) {
+  // Area(dilate(P, r)) ~ A + P*r + pi r^2 for convex P.
+  const GridGeometry geom = fine_grid(200, 1.0);
+  const geo::Ring square = geo::make_rect(60, 60, 140, 140);
+  MaskRaster base(geom, 0);
+  rasterize_polygon(base, geo::Polygon{square}, 1);
+  for (const double radius : {4.0, 8.0, 16.0}) {
+    const double measured =
+        static_cast<double>(dilate_mask(base, radius).count(1));
+    const double expected = 80.0 * 80.0 + 4.0 * 80.0 * radius +
+                            std::numbers::pi * radius * radius;
+    EXPECT_NEAR(measured, expected, expected * 0.06) << radius;
+  }
+}
+
+TEST(CrossValidation, ExtractedRegionAreaMatchesCellCount) {
+  // Region extraction must conserve area exactly (cells -> polygon).
+  const GridGeometry geom = fine_grid(60, 270.0);
+  MaskRaster mask(geom, 0);
+  std::size_t cells = 0;
+  for (int r = 10; r < 40; ++r) {
+    for (int c = 15; c < 45; ++c) {
+      if ((c + r) % 7 != 0) {  // holes and ragged edges
+        mask.at(c, r) = 1;
+        ++cells;
+      }
+    }
+  }
+  double polygon_area = 0.0;
+  for (const geo::Polygon& region : extract_regions(mask)) {
+    polygon_area += region.area();
+  }
+  EXPECT_NEAR(polygon_area, static_cast<double>(cells) * 270.0 * 270.0, 1.0);
+}
+
+TEST(CrossValidation, ScanlineMatchesAnalyticCircleArea) {
+  const GridGeometry geom = fine_grid(256, 1.0);
+  const double radius = 90.0;
+  MaskRaster mask(geom, 0);
+  rasterize_polygon(
+      mask, geo::Polygon{geo::make_circle({128, 128}, radius, 256)}, 1);
+  const double analytic = std::numbers::pi * radius * radius;
+  EXPECT_NEAR(static_cast<double>(mask.count(1)), analytic, analytic * 0.01);
+}
+
+}  // namespace
+}  // namespace fa::raster

@@ -1,0 +1,129 @@
+#include "raster/morphology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fa::raster {
+namespace {
+
+GridGeometry meter_grid(int n, double cell = 1.0) {
+  GridGeometry g;
+  g.cell_w = cell;
+  g.cell_h = cell;
+  g.cols = n;
+  g.rows = n;
+  return g;
+}
+
+TEST(DistanceTransform, ZeroInsideMask) {
+  MaskRaster m(meter_grid(9), 0);
+  m.at(4, 4) = 1;
+  const FloatRaster d = distance_transform(m);
+  EXPECT_FLOAT_EQ(d.at(4, 4), 0.0f);
+  EXPECT_FLOAT_EQ(d.at(5, 4), 1.0f);
+  EXPECT_FLOAT_EQ(d.at(4, 6), 2.0f);
+  // Diagonal neighbour: chamfer 4/3 vs exact sqrt(2)=1.414 (<6% error).
+  EXPECT_NEAR(d.at(5, 5), std::sqrt(2.0), 0.09);
+}
+
+TEST(DistanceTransform, ChamferErrorBounded) {
+  const int n = 41;
+  MaskRaster m(meter_grid(n), 0);
+  m.at(20, 20) = 1;
+  const FloatRaster d = distance_transform(m);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const double exact = std::hypot(c - 20, r - 20);
+      if (exact == 0.0) continue;
+      EXPECT_NEAR(d.at(c, r) / exact, 1.0, 0.08)
+          << "cell " << c << "," << r;
+    }
+  }
+}
+
+TEST(DistanceTransform, ScalesWithCellSize) {
+  MaskRaster m(meter_grid(9, 270.0), 0);  // WHP-like 270 m cells
+  m.at(4, 4) = 1;
+  const FloatRaster d = distance_transform(m);
+  EXPECT_FLOAT_EQ(d.at(6, 4), 540.0f);
+}
+
+TEST(DistanceTransform, EmptyMaskIsInfinite) {
+  const MaskRaster m(meter_grid(4), 0);
+  const FloatRaster d = distance_transform(m);
+  EXPECT_GT(d.at(0, 0), 1e30f);
+}
+
+TEST(Dilate, GrowsByRadius) {
+  MaskRaster m(meter_grid(21), 0);
+  m.at(10, 10) = 1;
+  const MaskRaster grown = dilate_mask(m, 3.0);
+  EXPECT_EQ(grown.at(10, 10), 1);
+  EXPECT_EQ(grown.at(13, 10), 1);
+  EXPECT_EQ(grown.at(14, 10), 0);
+  EXPECT_EQ(grown.at(10, 13), 1);
+  // Area close to a disc of radius 3 (chamfer disc, pi*9 ~ 28).
+  EXPECT_NEAR(static_cast<double>(grown.count(1)), 28.0, 6.0);
+}
+
+TEST(Dilate, ZeroRadiusIsIdentity) {
+  MaskRaster m(meter_grid(9), 0);
+  m.at(2, 7) = 1;
+  m.at(3, 3) = 1;
+  const MaskRaster same = dilate_mask(m, 0.0);
+  EXPECT_EQ(same.data(), m.data());
+}
+
+TEST(Dilate, MonotoneInRadius) {
+  MaskRaster m(meter_grid(31), 0);
+  m.at(15, 15) = 1;
+  m.at(5, 25) = 1;
+  std::size_t prev = 0;
+  for (double radius : {1.0, 2.0, 4.0, 8.0}) {
+    const std::size_t n = dilate_mask(m, radius).count(1);
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(ClassMask, SelectsSingleClass) {
+  ClassRaster c(meter_grid(4), 0);
+  c.at(0, 0) = 2;
+  c.at(1, 1) = 2;
+  c.at(2, 2) = 3;
+  const MaskRaster m = class_mask(c, 2);
+  EXPECT_EQ(m.count(1), 2u);
+  EXPECT_EQ(m.at(2, 2), 0);
+}
+
+TEST(ClassHistogram, CountsAllClasses) {
+  ClassRaster c(meter_grid(4), 0);  // 16 cells
+  c.at(0, 0) = 1;
+  c.at(1, 0) = 1;
+  c.at(2, 0) = 5;
+  const auto hist = class_histogram(c);
+  EXPECT_EQ(hist.at(0), 13u);
+  EXPECT_EQ(hist.at(1), 2u);
+  EXPECT_EQ(hist.at(5), 1u);
+}
+
+TEST(ClassArea, UsesCellArea) {
+  ClassRaster c(meter_grid(2, 270.0), 1);  // 4 cells of 270x270 m
+  const auto area = class_area(c);
+  EXPECT_DOUBLE_EQ(area.at(1), 4.0 * 270.0 * 270.0);
+}
+
+// The paper's Section 3.8 operator: dilating by half a mile on a 270 m
+// grid must reach exactly floor(804.67/270) ~ 2-3 cells outward.
+TEST(Dilate, HalfMileOnWhpGrid) {
+  MaskRaster m(meter_grid(21, 270.0), 0);
+  m.at(10, 10) = 1;
+  const MaskRaster grown = dilate_mask(m, 804.672);
+  EXPECT_EQ(grown.at(12, 10), 1);  // 540 m away
+  EXPECT_EQ(grown.at(10, 12), 1);
+  EXPECT_EQ(grown.at(13, 10), 0);  // 810 m away, just outside
+}
+
+}  // namespace
+}  // namespace fa::raster

@@ -1,0 +1,97 @@
+#include "raster/raster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::raster {
+namespace {
+
+using geo::BBox;
+using geo::Vec2;
+
+GridGeometry simple_geom() {
+  GridGeometry g;
+  g.origin_x = 100.0;
+  g.origin_y = 200.0;
+  g.cell_w = 10.0;
+  g.cell_h = 5.0;
+  g.cols = 8;
+  g.rows = 4;
+  return g;
+}
+
+TEST(GridGeometry, ExtentAndCellCount) {
+  const GridGeometry g = simple_geom();
+  EXPECT_EQ(g.cell_count(), 32u);
+  EXPECT_EQ(g.extent(), (BBox{100.0, 200.0, 180.0, 220.0}));
+  EXPECT_DOUBLE_EQ(g.cell_area(), 50.0);
+}
+
+TEST(GridGeometry, WorldToCellMapping) {
+  const GridGeometry g = simple_geom();
+  EXPECT_EQ(g.col_of(100.0), 0);
+  EXPECT_EQ(g.col_of(109.999), 0);
+  EXPECT_EQ(g.col_of(110.0), 1);
+  EXPECT_EQ(g.row_of(200.0), 0);
+  EXPECT_EQ(g.row_of(219.999), 3);
+  EXPECT_EQ(g.col_of(99.0), -1);  // out of range, not clamped
+  EXPECT_FALSE(g.in_bounds(-1, 0));
+  EXPECT_TRUE(g.in_bounds(7, 3));
+  EXPECT_FALSE(g.in_bounds(8, 3));
+}
+
+TEST(GridGeometry, CellCenterRoundTrip) {
+  const GridGeometry g = simple_geom();
+  for (int r = 0; r < g.rows; ++r) {
+    for (int c = 0; c < g.cols; ++c) {
+      const Vec2 center = g.cell_center(c, r);
+      EXPECT_EQ(g.col_of(center.x), c);
+      EXPECT_EQ(g.row_of(center.y), r);
+      EXPECT_TRUE(g.cell_box(c, r).contains(center));
+    }
+  }
+}
+
+TEST(GridGeometry, CoveringExpandsToWholeCells) {
+  const GridGeometry g =
+      GridGeometry::covering(BBox{0.0, 0.0, 25.0, 9.0}, 10.0, 10.0);
+  EXPECT_EQ(g.cols, 3);
+  EXPECT_EQ(g.rows, 1);
+  EXPECT_TRUE(g.extent().contains(BBox{0.0, 0.0, 25.0, 9.0}));
+}
+
+TEST(Raster, FillAndAt) {
+  Raster<int> r(simple_geom(), 3);
+  EXPECT_EQ(r.at(0, 0), 3);
+  r.at(2, 1) = 9;
+  EXPECT_EQ(r.at(2, 1), 9);
+  EXPECT_EQ(r.count(9), 1u);
+  EXPECT_EQ(r.count(3), 31u);
+  r.fill(0);
+  EXPECT_EQ(r.count(0), 32u);
+}
+
+TEST(Raster, SampleInsideAndOutside) {
+  Raster<int> r(simple_geom(), 0);
+  r.at(3, 2) = 42;
+  const Vec2 inside = r.geom().cell_center(3, 2);
+  EXPECT_EQ(r.sample(inside), 42);
+  EXPECT_EQ(r.sample({0.0, 0.0}, -1), -1);  // outside -> fallback
+}
+
+TEST(Raster, ForEachVisitsEveryCellOnce) {
+  Raster<int> r(simple_geom(), 1);
+  int visits = 0;
+  r.for_each([&](int, int, int v) {
+    visits += v;
+  });
+  EXPECT_EQ(visits, 32);
+}
+
+TEST(Raster, EmptyRasterIsSafe) {
+  const Raster<int> r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.sample({0, 0}, -7), -7);
+}
+
+}  // namespace
+}  // namespace fa::raster

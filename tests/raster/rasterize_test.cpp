@@ -1,0 +1,108 @@
+#include "raster/rasterize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::raster {
+namespace {
+
+using geo::BBox;
+using geo::Polygon;
+using geo::Ring;
+using geo::Vec2;
+
+GridGeometry unit_grid(int n) {
+  GridGeometry g;
+  g.cell_w = 1.0;
+  g.cell_h = 1.0;
+  g.cols = n;
+  g.rows = n;
+  return g;
+}
+
+TEST(Rasterize, FullCoverSquare) {
+  MaskRaster r(unit_grid(10), 0);
+  rasterize_polygon(r, Polygon{geo::make_rect(2.0, 3.0, 7.0, 8.0)}, 1);
+  EXPECT_EQ(r.count(1), 25u);  // 5x5 cells whose centers are inside
+  EXPECT_EQ(r.at(2, 3), 1);
+  EXPECT_EQ(r.at(6, 7), 1);
+  EXPECT_EQ(r.at(7, 8), 0);  // centers at 7.5 are outside
+  EXPECT_EQ(r.at(1, 3), 0);
+}
+
+TEST(Rasterize, RespectsHoles) {
+  MaskRaster r(unit_grid(10), 0);
+  const Polygon donut{geo::make_rect(0.0, 0.0, 10.0, 10.0),
+                      {geo::make_rect(3.0, 3.0, 7.0, 7.0)}};
+  rasterize_polygon(r, donut, 1);
+  EXPECT_EQ(r.count(1), 100u - 16u);
+  EXPECT_EQ(r.at(5, 5), 0);  // in the hole
+  EXPECT_EQ(r.at(0, 0), 1);
+}
+
+TEST(Rasterize, TriangleHalfCoverage) {
+  MaskRaster r(unit_grid(10), 0);
+  const Polygon tri{Ring{{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}}}};
+  rasterize_polygon(r, tri, 1);
+  // Half the grid, up to the diagonal's center-sampling discretization.
+  EXPECT_NEAR(static_cast<double>(r.count(1)), 50.0, 6.0);
+  EXPECT_EQ(r.at(0, 0), 1);
+  EXPECT_EQ(r.at(9, 9), 0);
+}
+
+TEST(Rasterize, AgreesWithPolygonContains) {
+  MaskRaster r(unit_grid(20), 0);
+  const Polygon poly{
+      Ring{{{2.2, 1.1}, {17.8, 3.4}, {15.2, 16.9}, {8.7, 18.2}, {1.4, 9.8}}}};
+  rasterize_polygon(r, poly, 1);
+  r.for_each([&](int c, int row, std::uint8_t v) {
+    const Vec2 center = r.geom().cell_center(c, row);
+    EXPECT_EQ(v != 0, poly.contains(center))
+        << "cell " << c << "," << row;
+  });
+}
+
+TEST(Rasterize, OutsideGridIsIgnored) {
+  MaskRaster r(unit_grid(4), 0);
+  rasterize_polygon(r, Polygon{geo::make_rect(10.0, 10.0, 20.0, 20.0)}, 1);
+  EXPECT_EQ(r.count(1), 0u);
+  // Partially overlapping clips cleanly.
+  rasterize_polygon(r, Polygon{geo::make_rect(2.0, 2.0, 20.0, 20.0)}, 1);
+  EXPECT_EQ(r.count(1), 4u);
+}
+
+TEST(Rasterize, MultiPolygon) {
+  MaskRaster r(unit_grid(10), 0);
+  geo::MultiPolygon mp;
+  mp.push_back(Polygon{geo::make_rect(0.0, 0.0, 2.0, 2.0)});
+  mp.push_back(Polygon{geo::make_rect(5.0, 5.0, 8.0, 8.0)});
+  rasterize_multipolygon(r, mp, 3);
+  EXPECT_EQ(r.count(3), 4u + 9u);
+}
+
+TEST(RasterizePolyline, ZeroWidthTracesCells) {
+  MaskRaster r(unit_grid(10), 0);
+  const std::vector<Vec2> line{{0.5, 0.5}, {9.5, 0.5}};
+  rasterize_polyline(r, line, 0.0, 1);
+  EXPECT_EQ(r.count(1), 10u);  // bottom row
+  for (int c = 0; c < 10; ++c) EXPECT_EQ(r.at(c, 0), 1);
+}
+
+TEST(RasterizePolyline, WidthStampsDisc) {
+  MaskRaster r(unit_grid(11), 0);
+  const std::vector<Vec2> line{{5.5, 5.5}, {5.5, 5.5001}};
+  rasterize_polyline(r, line, 2.0, 1);
+  // A radius-2 disc around (5.5,5.5) covers cells whose centers are within
+  // distance 2: the 3x3 block plus 4 edge cells = 13.
+  EXPECT_EQ(r.count(1), 13u);
+}
+
+TEST(RasterizePolyline, DiagonalIsConnected) {
+  MaskRaster r(unit_grid(10), 0);
+  const std::vector<Vec2> line{{0.5, 0.5}, {9.5, 9.5}};
+  rasterize_polyline(r, line, 0.75, 1);
+  // Every diagonal cell must be stamped.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.at(i, i), 1) << i;
+}
+
+}  // namespace
+}  // namespace fa::raster

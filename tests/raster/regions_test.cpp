@@ -1,0 +1,144 @@
+#include "raster/regions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "raster/rasterize.hpp"
+
+namespace fa::raster {
+namespace {
+
+using geo::Polygon;
+using geo::Vec2;
+
+GridGeometry unit_grid(int n) {
+  GridGeometry g;
+  g.cell_w = 1.0;
+  g.cell_h = 1.0;
+  g.cols = n;
+  g.rows = n;
+  return g;
+}
+
+TEST(LabelComponents, TwoSeparateBlobs) {
+  MaskRaster m(unit_grid(10), 0);
+  m.at(1, 1) = 1;
+  m.at(1, 2) = 1;
+  m.at(8, 8) = 1;
+  const Labeling lab = label_components(m);
+  EXPECT_EQ(lab.count, 2u);
+  EXPECT_EQ(lab.labels.at(1, 1), lab.labels.at(1, 2));
+  EXPECT_NE(lab.labels.at(1, 1), lab.labels.at(8, 8));
+  EXPECT_EQ(lab.labels.at(0, 0), 0u);
+  // Sizes recorded per component.
+  std::vector<std::size_t> sizes = lab.sizes;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(LabelComponents, DiagonalCellsAreSeparate) {
+  MaskRaster m(unit_grid(4), 0);
+  m.at(1, 1) = 1;
+  m.at(2, 2) = 1;  // touches only diagonally
+  EXPECT_EQ(label_components(m).count, 2u);
+}
+
+TEST(LabelComponents, EmptyMask) {
+  const MaskRaster m(unit_grid(4), 0);
+  const Labeling lab = label_components(m);
+  EXPECT_EQ(lab.count, 0u);
+  EXPECT_TRUE(lab.sizes.empty());
+}
+
+TEST(ExtractRegions, SingleSquare) {
+  MaskRaster m(unit_grid(10), 0);
+  for (int r = 2; r < 6; ++r) {
+    for (int c = 3; c < 8; ++c) m.at(c, r) = 1;
+  }
+  const auto regions = extract_regions(m);
+  ASSERT_EQ(regions.size(), 1u);
+  const Polygon& p = regions[0];
+  EXPECT_DOUBLE_EQ(p.area(), 20.0);  // 5x4 cells
+  EXPECT_TRUE(p.outer().is_ccw());
+  EXPECT_EQ(p.outer().size(), 4u);  // collinear points collapsed
+  EXPECT_TRUE(p.contains({5.5, 4.5}));
+  EXPECT_FALSE(p.contains({1.0, 1.0}));
+}
+
+TEST(ExtractRegions, RegionWithHole) {
+  MaskRaster m(unit_grid(10), 0);
+  for (int r = 1; r < 9; ++r) {
+    for (int c = 1; c < 9; ++c) m.at(c, r) = 1;
+  }
+  for (int r = 4; r < 6; ++r) {
+    for (int c = 4; c < 6; ++c) m.at(c, r) = 0;  // carve a hole
+  }
+  const auto regions = extract_regions(m);
+  ASSERT_EQ(regions.size(), 1u);
+  const Polygon& p = regions[0];
+  EXPECT_EQ(p.holes().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.area(), 64.0 - 4.0);
+  EXPECT_FALSE(p.contains({5.0, 5.0}));   // inside the hole
+  EXPECT_TRUE(p.contains({2.0, 2.0}));
+}
+
+TEST(ExtractRegions, SortedBySizeDescending) {
+  MaskRaster m(unit_grid(12), 0);
+  m.at(0, 0) = 1;  // size 1
+  for (int c = 4; c < 10; ++c) {
+    for (int r = 4; r < 10; ++r) m.at(c, r) = 1;  // size 36
+  }
+  const auto regions = extract_regions(m);
+  ASSERT_EQ(regions.size(), 2u);
+  EXPECT_GT(regions[0].area(), regions[1].area());
+}
+
+TEST(ExtractRegions, RoundTripThroughRasterize) {
+  // Rasterize a polygon, extract it back, and compare membership for
+  // every cell center: the vector->raster->vector loop must be stable.
+  MaskRaster m(unit_grid(20), 0);
+  const Polygon poly{
+      geo::Ring{{{2.0, 2.0}, {15.0, 4.0}, {17.0, 14.0}, {6.0, 17.0}}}};
+  rasterize_polygon(m, poly, 1);
+  const auto regions = extract_regions(m);
+  ASSERT_EQ(regions.size(), 1u);
+  m.for_each([&](int c, int r, std::uint8_t v) {
+    const Vec2 center = m.geom().cell_center(c, r);
+    EXPECT_EQ(v != 0, regions[0].contains(center))
+        << "cell " << c << "," << r;
+  });
+}
+
+TEST(ExtractRegions, WorldCoordinatesRespectGeometry) {
+  GridGeometry g;
+  g.origin_x = 1000.0;
+  g.origin_y = 2000.0;
+  g.cell_w = 270.0;
+  g.cell_h = 270.0;
+  g.cols = 10;
+  g.rows = 10;
+  MaskRaster m(g, 0);
+  m.at(2, 3) = 1;
+  const auto regions = extract_regions(m);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_DOUBLE_EQ(regions[0].area(), 270.0 * 270.0);
+  EXPECT_TRUE(regions[0].contains(g.cell_center(2, 3)));
+}
+
+TEST(TraceComponent, ProducesClosedLoops) {
+  MaskRaster m(unit_grid(8), 0);
+  // U-shape (concave).
+  for (int c = 1; c < 7; ++c) m.at(c, 1) = 1;
+  for (int r = 1; r < 6; ++r) {
+    m.at(1, r) = 1;
+    m.at(6, r) = 1;
+  }
+  const Labeling lab = label_components(m);
+  ASSERT_EQ(lab.count, 1u);
+  const auto loops = trace_component(lab.labels, 1);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_GE(loops[0].size(), 8u);  // concave outline has many corners
+  EXPECT_DOUBLE_EQ(loops[0].area(), static_cast<double>(m.count(1)));
+}
+
+}  // namespace
+}  // namespace fa::raster

@@ -1,0 +1,155 @@
+#include "synth/cells.hpp"
+
+#include "synth/firecalib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "geo/geodesy.hpp"
+
+namespace fa::synth {
+namespace {
+
+using cellnet::Provider;
+using cellnet::RadioType;
+
+const cellnet::CellCorpus& test_corpus() {
+  static const cellnet::CellCorpus corpus = [] {
+    ScenarioConfig cfg;
+    cfg.corpus_scale = 100.0;  // ~53.6k transceivers
+    return generate_corpus(UsAtlas::get(), cfg);
+  }();
+  return corpus;
+}
+
+TEST(GenerateCorpus, TargetCount) {
+  ScenarioConfig cfg;
+  cfg.corpus_scale = 100.0;
+  EXPECT_EQ(test_corpus().size(), cfg.corpus_size());
+  EXPECT_EQ(cfg.corpus_size(), 53649u);
+}
+
+TEST(GenerateCorpus, AllWithinConusStates) {
+  for (const auto& t : test_corpus().transceivers()) {
+    ASSERT_GE(t.state, 0);
+    ASSERT_LT(t.state, UsAtlas::get().num_states());
+    ASSERT_TRUE(geo::is_valid(t.position));
+  }
+}
+
+TEST(GenerateCorpus, SequentialIds) {
+  const auto& txr = test_corpus().transceivers();
+  for (std::size_t i = 0; i < txr.size(); ++i) {
+    ASSERT_EQ(txr[i].id, i);
+  }
+}
+
+TEST(GenerateCorpus, RadioMarginalsMatchTable3) {
+  const auto counts = test_corpus().count_by_radio();
+  const double n = static_cast<double>(test_corpus().size());
+  EXPECT_NEAR(counts[static_cast<int>(RadioType::kLte)] / n, 0.53, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(RadioType::kUmts)] / n, 0.305, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(RadioType::kCdma)] / n, 0.095, 0.01);
+  EXPECT_NEAR(counts[static_cast<int>(RadioType::kGsm)] / n, 0.07, 0.01);
+  EXPECT_EQ(counts[static_cast<int>(RadioType::kNr)], 0u);  // no 5G in 2019
+}
+
+TEST(GenerateCorpus, ProviderMarginalsMatchTable2) {
+  const cellnet::ProviderRegistry reg;
+  const auto counts = test_corpus().count_by_provider(reg);
+  const double n = static_cast<double>(test_corpus().size());
+  EXPECT_NEAR(counts[static_cast<int>(Provider::kAtt)] / n, 0.345, 0.03);
+  EXPECT_NEAR(counts[static_cast<int>(Provider::kTMobile)] / n, 0.30, 0.03);
+  EXPECT_NEAR(counts[static_cast<int>(Provider::kSprint)] / n, 0.153, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(Provider::kVerizon)] / n, 0.142, 0.02);
+  // Ordering (Table 2): AT&T > T-Mobile > Sprint > Verizon > Others.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[3]);
+  EXPECT_GT(counts[3], counts[4]);
+}
+
+TEST(GenerateCorpus, UrbanClustering) {
+  // A 30 km disc around Los Angeles must hold far more than a uniform
+  // share of the corpus (Figure 2's dense metro clusters).
+  const geo::LonLat la{-118.244, 34.052};
+  std::size_t near_la = 0;
+  for (const auto& t : test_corpus().transceivers()) {
+    if (geo::haversine_m(la, t.position) < 30e3) ++near_la;
+  }
+  const double share = static_cast<double>(near_la) / test_corpus().size();
+  EXPECT_GT(share, 0.02);  // LA metro holds several % of US transceivers
+  EXPECT_LT(share, 0.15);
+}
+
+TEST(GenerateCorpus, PopulousStatesLead) {
+  std::map<int, std::size_t> by_state;
+  for (const auto& t : test_corpus().transceivers()) ++by_state[t.state];
+  const UsAtlas& atlas = UsAtlas::get();
+  const auto count = [&](std::string_view abbr) {
+    return by_state[atlas.state_index(abbr)];
+  };
+  EXPECT_GT(count("CA"), count("WY") * 20);
+  EXPECT_GT(count("TX"), count("VT") * 20);
+  EXPECT_GT(count("CA") + count("TX") + count("FL") + count("NY"),
+            test_corpus().size() / 5);
+}
+
+TEST(GenerateCorpus, ValidMccMnc) {
+  const cellnet::ProviderRegistry reg;
+  for (const auto& t : test_corpus().transceivers()) {
+    ASSERT_GE(t.mcc, 310);
+    ASSERT_LE(t.mcc, 316);
+  }
+}
+
+TEST(GenerateCorpus, DeterministicPerSeed) {
+  ScenarioConfig cfg;
+  cfg.corpus_scale = 2000.0;
+  const auto a = generate_corpus(UsAtlas::get(), cfg);
+  const auto b = generate_corpus(UsAtlas::get(), cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].position, b[i].position);
+    ASSERT_EQ(a[i].mcc, b[i].mcc);
+    ASSERT_EQ(a[i].mnc, b[i].mnc);
+    ASSERT_EQ(a[i].radio, b[i].radio);
+  }
+  cfg.seed ^= 1;
+  const auto c = generate_corpus(UsAtlas::get(), cfg);
+  EXPECT_NE(a[0].position, c[0].position);
+}
+
+// Property sweep: corpus size scales inversely with corpus_scale.
+class CorpusScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorpusScaleSweep, SizeFollowsScale) {
+  ScenarioConfig cfg;
+  cfg.corpus_scale = GetParam();
+  const auto corpus = generate_corpus(UsAtlas::get(), cfg);
+  EXPECT_EQ(corpus.size(),
+            static_cast<std::size_t>(5364949.0 / GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CorpusScaleSweep,
+                         ::testing::Values(500.0, 1000.0, 5000.0));
+
+TEST(FireCalib, TableOneTargets) {
+  const auto years = historical_fire_years();
+  ASSERT_EQ(years.size(), 19u);
+  EXPECT_EQ(years.front().year, 2000);
+  EXPECT_EQ(years.back().year, 2018);
+  // Spot-check against Table 1.
+  EXPECT_EQ(years[7].year, 2007);
+  EXPECT_EQ(years[7].paper_transceivers, 4978);
+  EXPECT_EQ(years[10].year, 2010);
+  EXPECT_EQ(years[10].paper_transceivers, 181);
+  double total_acres = 0.0;
+  for (const auto& y : years) total_acres += y.acres_millions;
+  EXPECT_NEAR(total_acres, 133.1, 1.0);  // ~7M acres/yr over 19 years
+  EXPECT_EQ(fire_year_2019().paper_transceivers, 656);
+}
+
+}  // namespace
+}  // namespace fa::synth

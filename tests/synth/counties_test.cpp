@@ -1,0 +1,120 @@
+#include "synth/counties.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::synth {
+namespace {
+
+ScenarioConfig test_config() {
+  ScenarioConfig cfg;
+  cfg.seed = 77;
+  cfg.counties_per_state = 12;
+  return cfg;
+}
+
+TEST(PopCategory, PaperThresholds) {
+  EXPECT_EQ(pop_category(50e3), PopCategory::kRural);
+  EXPECT_EQ(pop_category(250e3), PopCategory::kModerate);
+  EXPECT_EQ(pop_category(800e3), PopCategory::kDense);
+  EXPECT_EQ(pop_category(2.0e6), PopCategory::kVeryDense);
+  // Boundary conventions: strictly greater-than.
+  EXPECT_EQ(pop_category(200e3), PopCategory::kRural);
+  EXPECT_EQ(pop_category(1.5e6), PopCategory::kDense);
+}
+
+TEST(CountyMap, BuildsMajorsPlusSynthetics) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const CountyMap map = CountyMap::build(atlas, test_config());
+  std::size_t majors = 0;
+  for (const County& c : map.counties()) majors += c.is_major ? 1 : 0;
+  EXPECT_EQ(majors, atlas.major_counties().size());
+  EXPECT_GE(map.counties().size(),
+            majors + 12u * static_cast<std::size_t>(atlas.num_states()));
+}
+
+TEST(CountyMap, EveryStateHasCounties) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const CountyMap map = CountyMap::build(atlas, test_config());
+  for (int s = 0; s < atlas.num_states(); ++s) {
+    EXPECT_FALSE(map.counties_in_state(s).empty())
+        << atlas.states()[s].abbr;
+  }
+}
+
+TEST(CountyMap, PopulationConservedPerState) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const CountyMap map = CountyMap::build(atlas, test_config());
+  for (int s = 0; s < atlas.num_states(); ++s) {
+    double pop = 0.0;
+    for (const int idx : map.counties_in_state(s)) {
+      pop += map.county(idx).population;
+    }
+    EXPECT_NEAR(pop, atlas.states()[s].population,
+                atlas.states()[s].population * 1e-6 + 1.0)
+        << atlas.states()[s].abbr;
+  }
+}
+
+TEST(CountyMap, MajorCountiesKeepRealPopulations) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const CountyMap map = CountyMap::build(atlas, test_config());
+  for (const County& c : map.counties()) {
+    if (!c.is_major) continue;
+    EXPECT_GT(c.population, 1.5e6) << c.name;  // the Pop VH threshold
+    EXPECT_EQ(pop_category(c.population), PopCategory::kVeryDense);
+  }
+}
+
+TEST(CountyMap, CountyOfRespectsStateBoundaries) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const CountyMap map = CountyMap::build(atlas, test_config());
+  // Los Angeles resolves to LA County (nearest anchor by construction).
+  const int idx = map.county_of({-118.244, 34.052});
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(map.county(idx).name, "Los Angeles County");
+  // A central-Texas point resolves to a Texas county.
+  const int tx = map.county_of({-99.5, 31.5});
+  ASSERT_GE(tx, 0);
+  EXPECT_EQ(atlas.states()[map.county(tx).state].abbr, "TX");
+  // Offshore resolves to nothing.
+  EXPECT_EQ(map.county_of({-140.0, 40.0}), -1);
+}
+
+TEST(CountyMap, AnchorsLieInTheirState) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const CountyMap map = CountyMap::build(atlas, test_config());
+  std::size_t misplaced = 0;
+  for (const County& c : map.counties()) {
+    const int s = atlas.state_of(c.anchor);
+    if (s != c.state) ++misplaced;
+  }
+  // Coarse boundaries allow a few edge cases, but the bulk must hold.
+  EXPECT_LE(misplaced, map.counties().size() / 50);
+}
+
+TEST(CountyMap, DeterministicAcrossBuilds) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const CountyMap a = CountyMap::build(atlas, test_config());
+  const CountyMap b = CountyMap::build(atlas, test_config());
+  ASSERT_EQ(a.counties().size(), b.counties().size());
+  for (std::size_t i = 0; i < a.counties().size(); ++i) {
+    EXPECT_EQ(a.counties()[i].name, b.counties()[i].name);
+    EXPECT_DOUBLE_EQ(a.counties()[i].population, b.counties()[i].population);
+    EXPECT_EQ(a.counties()[i].anchor, b.counties()[i].anchor);
+  }
+}
+
+// Property sweep: category thresholds partition the population axis.
+class PopCategorySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PopCategorySweep, MonotoneInPopulation) {
+  const double pop = GetParam();
+  EXPECT_GE(static_cast<int>(pop_category(pop * 1.5)),
+            static_cast<int>(pop_category(pop)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PopCategorySweep,
+                         ::testing::Values(1e3, 150e3, 300e3, 900e3, 2e6));
+
+}  // namespace
+}  // namespace fa::synth

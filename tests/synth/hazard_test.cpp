@@ -1,0 +1,142 @@
+#include "synth/hazard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "raster/morphology.hpp"
+
+namespace fa::synth {
+namespace {
+
+// One coarse WHP model shared by all tests in this file (generation is
+// the expensive part).
+const WhpModel& test_model() {
+  static const WhpModel model = [] {
+    ScenarioConfig cfg;
+    cfg.seed = 20191022;
+    cfg.whp_cell_m = 9000.0;
+    return generate_whp(UsAtlas::get(), cfg);
+  }();
+  return model;
+}
+
+TEST(WhpClassNames, AllNamed) {
+  EXPECT_EQ(whp_class_name(WhpClass::kNonBurnable), "Non-burnable");
+  EXPECT_EQ(whp_class_name(WhpClass::kModerate), "Moderate");
+  EXPECT_EQ(whp_class_name(WhpClass::kVeryHigh), "Very High");
+}
+
+TEST(WhpAtRisk, TopThreeClassesOnly) {
+  EXPECT_FALSE(whp_at_risk(WhpClass::kNonBurnable));
+  EXPECT_FALSE(whp_at_risk(WhpClass::kVeryLow));
+  EXPECT_FALSE(whp_at_risk(WhpClass::kLow));
+  EXPECT_TRUE(whp_at_risk(WhpClass::kModerate));
+  EXPECT_TRUE(whp_at_risk(WhpClass::kHigh));
+  EXPECT_TRUE(whp_at_risk(WhpClass::kVeryHigh));
+}
+
+TEST(WhpModel, ClassAreaOrdering) {
+  // Paper Figure 6/7: moderate area > high area > very high area.
+  const auto hist = raster::class_histogram(test_model().grid());
+  const auto count = [&](WhpClass c) {
+    const auto it = hist.find(static_cast<std::uint8_t>(c));
+    return it == hist.end() ? std::size_t{0} : it->second;
+  };
+  EXPECT_GT(count(WhpClass::kModerate), count(WhpClass::kHigh));
+  EXPECT_GT(count(WhpClass::kHigh), count(WhpClass::kVeryHigh));
+  EXPECT_GT(count(WhpClass::kVeryHigh), 0u);
+  // Burnable-but-low classes dominate, as in the real product.
+  EXPECT_GT(count(WhpClass::kVeryLow) + count(WhpClass::kLow),
+            count(WhpClass::kModerate) + count(WhpClass::kHigh) +
+                count(WhpClass::kVeryHigh));
+}
+
+TEST(WhpModel, UrbanCoresAreNonBurnable) {
+  const WhpModel& model = test_model();
+  const UsAtlas& atlas = UsAtlas::get();
+  for (const CityInfo& city : atlas.cities()) {
+    if (city.metro_population < 2e6) continue;
+    EXPECT_EQ(model.class_at(city.position), WhpClass::kNonBurnable)
+        << city.name;
+    EXPECT_TRUE(model.is_urban(city.position)) << city.name;
+  }
+}
+
+TEST(WhpModel, OffshoreIsNonBurnableAndUnassigned) {
+  const WhpModel& model = test_model();
+  EXPECT_EQ(model.class_at({-130.0, 40.0}), WhpClass::kNonBurnable);
+  EXPECT_EQ(model.state_at({-130.0, 40.0}), -1);
+}
+
+TEST(WhpModel, StateGridMatchesAtlas) {
+  const WhpModel& model = test_model();
+  const UsAtlas& atlas = UsAtlas::get();
+  EXPECT_EQ(model.state_at({-120.5, 37.5}), atlas.state_index("CA"));
+  EXPECT_EQ(model.state_at({-99.5, 31.5}), atlas.state_index("TX"));
+  EXPECT_EQ(model.state_at({-81.5, 28.0}), atlas.state_index("FL"));
+}
+
+TEST(WhpModel, HighPropensityStatesCarryMoreRisk) {
+  // Share of at-risk (M+) burnable cells must rank CA above the midwest.
+  const WhpModel& model = test_model();
+  const UsAtlas& atlas = UsAtlas::get();
+  std::map<int, std::pair<std::size_t, std::size_t>> per_state;  // at-risk, total
+  model.grid().for_each([&](int c, int r, std::uint8_t cls) {
+    const int s = model.state_grid().at(c, r);
+    if (s < 0 || cls == 0) return;
+    auto& [risk, total] = per_state[s];
+    total += 1;
+    risk += whp_at_risk(static_cast<WhpClass>(cls)) ? 1 : 0;
+  });
+  const auto share = [&](std::string_view abbr) {
+    const auto& [risk, total] = per_state[atlas.state_index(abbr)];
+    return total == 0 ? 0.0 : static_cast<double>(risk) / total;
+  };
+  EXPECT_GT(share("CA"), share("IL") + 0.05);
+  EXPECT_GT(share("CA"), share("OH") + 0.05);
+  EXPECT_GT(share("ID"), share("IA"));
+  EXPECT_GT(share("FL"), share("IN"));
+}
+
+TEST(WhpModel, RoadsAreLowOrBetter) {
+  const WhpModel& model = test_model();
+  const auto& roads = model.road_mask();
+  const auto& grid = model.grid();
+  std::size_t violations = 0, road_cells = 0;
+  grid.for_each([&](int c, int r, std::uint8_t cls) {
+    if (roads.at(c, r) == 0) return;
+    ++road_cells;
+    if (cls > static_cast<std::uint8_t>(WhpClass::kLow)) ++violations;
+  });
+  EXPECT_GT(road_cells, 100u);
+  EXPECT_EQ(violations, 0u);
+}
+
+TEST(WhpModel, DeterministicPerSeed) {
+  ScenarioConfig cfg;
+  cfg.whp_cell_m = 30000.0;  // very coarse for speed
+  const WhpModel a = generate_whp(UsAtlas::get(), cfg);
+  const WhpModel b = generate_whp(UsAtlas::get(), cfg);
+  EXPECT_EQ(a.grid().data(), b.grid().data());
+  cfg.seed = 999;
+  const WhpModel c = generate_whp(UsAtlas::get(), cfg);
+  EXPECT_NE(a.grid().data(), c.grid().data());
+}
+
+TEST(WhpModel, ResolutionChangesCellCountNotGeography) {
+  ScenarioConfig coarse;
+  coarse.whp_cell_m = 30000.0;
+  ScenarioConfig fine;
+  fine.whp_cell_m = 15000.0;
+  const WhpModel a = generate_whp(UsAtlas::get(), coarse);
+  const WhpModel b = generate_whp(UsAtlas::get(), fine);
+  EXPECT_NEAR(static_cast<double>(b.grid().size()),
+              4.0 * static_cast<double>(a.grid().size()),
+              0.1 * 4.0 * static_cast<double>(a.grid().size()));
+  // Same CONUS coverage either way.
+  EXPECT_EQ(a.state_at({-120.5, 37.5}), b.state_at({-120.5, 37.5}));
+}
+
+}  // namespace
+}  // namespace fa::synth

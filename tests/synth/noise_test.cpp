@@ -1,0 +1,90 @@
+#include "synth/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fa::synth {
+namespace {
+
+TEST(ValueNoise, DeterministicPerSeed) {
+  const ValueNoise a(99), b(99), c(100);
+  EXPECT_DOUBLE_EQ(a.sample(1.5, 2.5), b.sample(1.5, 2.5));
+  EXPECT_NE(a.sample(1.5, 2.5), c.sample(1.5, 2.5));
+}
+
+TEST(ValueNoise, BoundedZeroOne) {
+  const ValueNoise noise(7);
+  for (double x = -10.0; x < 10.0; x += 0.37) {
+    for (double y = -10.0; y < 10.0; y += 0.41) {
+      const double v = noise.sample(x, y);
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(ValueNoise, ContinuousAcrossLatticeLines) {
+  const ValueNoise noise(5);
+  // Values just left/right of an integer lattice line must be close.
+  const double eps = 1e-6;
+  for (double y : {0.3, 1.7, -2.2}) {
+    const double left = noise.sample(3.0 - eps, y);
+    const double right = noise.sample(3.0 + eps, y);
+    EXPECT_NEAR(left, right, 1e-4);
+  }
+}
+
+TEST(ValueNoise, SpatialCorrelation) {
+  // Nearby points are more similar than far points on average.
+  const ValueNoise noise(21);
+  double near_diff = 0.0, far_diff = 0.0;
+  int n = 0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    for (double y = 0.0; y < 20.0; y += 0.5) {
+      near_diff += std::abs(noise.sample(x, y) - noise.sample(x + 0.05, y));
+      far_diff += std::abs(noise.sample(x, y) - noise.sample(x + 7.3, y + 4.1));
+      ++n;
+    }
+  }
+  EXPECT_LT(near_diff / n, far_diff / n * 0.5);
+}
+
+TEST(ValueNoise, FbmBoundedAndDeterministic) {
+  const ValueNoise noise(3);
+  for (double x = -5.0; x < 5.0; x += 0.91) {
+    const double v = noise.fbm(x, -x * 0.7, 4);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(noise.fbm(1.0, 2.0, 4), noise.fbm(1.0, 2.0, 4));
+}
+
+TEST(ValueNoise, FbmAddsDetail) {
+  // More octaves => higher-frequency content => larger local variation.
+  const ValueNoise noise(17);
+  double v1 = 0.0, v4 = 0.0;
+  int n = 0;
+  for (double x = 0.0; x < 10.0; x += 0.1) {
+    v1 += std::abs(noise.fbm(x, 0.0, 1) - noise.fbm(x + 0.05, 0.0, 1));
+    v4 += std::abs(noise.fbm(x, 0.0, 5) - noise.fbm(x + 0.05, 0.0, 5));
+    ++n;
+  }
+  EXPECT_GT(v4, v1);
+}
+
+TEST(ValueNoise, MeanIsCentered) {
+  const ValueNoise noise(123);
+  double sum = 0.0;
+  int n = 0;
+  for (double x = 0.0; x < 40.0; x += 0.13) {
+    for (double y = 0.0; y < 40.0; y += 0.17) {
+      sum += noise.fbm(x, y, 4);
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace fa::synth

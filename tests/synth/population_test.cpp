@@ -1,0 +1,63 @@
+#include "synth/population.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fa::synth {
+namespace {
+
+const PopulationSurface& surface() {
+  static const PopulationSurface s = [] {
+    ScenarioConfig cfg;
+    cfg.whp_cell_m = 9000.0;  // population cells default to 4x => 36 km
+    return PopulationSurface::build(UsAtlas::get(), cfg);
+  }();
+  return s;
+}
+
+TEST(PopulationSurface, TotalMatchesConusPopulation) {
+  EXPECT_NEAR(surface().total(), UsAtlas::get().total_population(),
+              UsAtlas::get().total_population() * 0.05);
+}
+
+TEST(PopulationSurface, MetrosAreDenserThanWilderness) {
+  const double la = surface().population_at({-118.244, 34.052});
+  const double nyc = surface().population_at({-74.006, 40.713});
+  const double nevada_outback = surface().population_at({-116.8, 39.8});
+  EXPECT_GT(la, nevada_outback * 50.0);
+  EXPECT_GT(nyc, nevada_outback * 50.0);
+  EXPECT_GT(nevada_outback, 0.0);  // rural base exists
+}
+
+TEST(PopulationSurface, OffshoreIsEmpty) {
+  EXPECT_DOUBLE_EQ(surface().population_at({-130.0, 40.0}), 0.0);
+  EXPECT_DOUBLE_EQ(surface().population_at({-70.0, 30.0}), 0.0);
+}
+
+TEST(PopulationSurface, StateTotalsRoughlyConserved) {
+  // Sum the raster by state membership; CA must carry ~its population.
+  const UsAtlas& atlas = UsAtlas::get();
+  const auto& grid = surface().grid();
+  const auto& proj = surface().projection();
+  double ca_pop = 0.0;
+  const int ca = atlas.state_index("CA");
+  grid.for_each([&](int c, int r, float v) {
+    if (v <= 0.0f) return;
+    if (atlas.state_of(proj.inverse(grid.geom().cell_center(c, r))) == ca) {
+      ca_pop += v;
+    }
+  });
+  EXPECT_NEAR(ca_pop, 39.56e6, 39.56e6 * 0.2);
+}
+
+TEST(PopulationSurface, CustomCellSize) {
+  ScenarioConfig cfg;
+  const PopulationSurface coarse =
+      PopulationSurface::build(UsAtlas::get(), cfg, 72000.0);
+  const PopulationSurface finer =
+      PopulationSurface::build(UsAtlas::get(), cfg, 36000.0);
+  EXPECT_GT(finer.grid().size(), coarse.grid().size() * 3);
+  EXPECT_NEAR(coarse.total(), finer.total(), finer.total() * 0.03);
+}
+
+}  // namespace
+}  // namespace fa::synth

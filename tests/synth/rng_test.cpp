@@ -1,0 +1,142 @@
+#include "synth/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fa::synth {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIsIndependentButDeterministic) {
+  Rng parent1(7), parent2(7);
+  Rng child1 = parent1.split();
+  Rng child2 = parent2.split();
+  EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  // Child stream differs from what the parent produces next.
+  EXPECT_NE(parent1.next_u64(), Rng(7).split().next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.range(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.08);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ParetoBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.pareto(1.0, 100.0, 1.2);
+    ASSERT_GE(v, 1.0 - 1e-9);
+    ASSERT_LE(v, 100.0 + 1e-9);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng rng(23);
+  int small = 0, large = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.pareto(1.0, 1000.0, 1.0);
+    if (v < 10.0) ++small;
+    if (v > 100.0) ++large;
+  }
+  EXPECT_GT(small, 8000);  // mass concentrates at the low end
+  EXPECT_GT(large, 50);    // but the tail is populated
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(29);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.35);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(31);
+  for (const double lambda : {0.5, 4.0, 200.0}) {  // both code paths
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.1 + 0.1) << lambda;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(SplitMix, HashCoordsIsStable) {
+  EXPECT_EQ(hash_coords(1, 2, 3), hash_coords(1, 2, 3));
+  EXPECT_NE(hash_coords(1, 2, 3), hash_coords(1, 3, 2));
+  EXPECT_NE(hash_coords(1, 2, 3), hash_coords(2, 2, 3));
+}
+
+}  // namespace
+}  // namespace fa::synth

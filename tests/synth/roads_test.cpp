@@ -1,0 +1,69 @@
+#include "synth/roads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/geodesy.hpp"
+
+namespace fa::synth {
+namespace {
+
+TEST(RoadNetwork, BuildsDedupedCorridors) {
+  const RoadNetwork& roads = RoadNetwork::get();
+  ASSERT_FALSE(roads.segments().empty());
+  // Deduplication: every segment has city_a < city_b, no pair twice.
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const RoadSegment& s : roads.segments()) {
+    EXPECT_LT(s.city_a, s.city_b);
+    EXPECT_TRUE(seen.insert({s.city_a, s.city_b}).second);
+  }
+}
+
+TEST(RoadNetwork, SegmentsMatchCityPositions) {
+  const RoadNetwork& roads = RoadNetwork::get();
+  const auto cities = UsAtlas::get().cities();
+  for (const RoadSegment& s : roads.segments()) {
+    EXPECT_EQ(s.a, cities[s.city_a].position);
+    EXPECT_EQ(s.b, cities[s.city_b].position);
+    EXPECT_NEAR(s.length_m, geo::haversine_m(s.a, s.b), 1.0);
+    EXPECT_GT(s.weight, 0.0);
+  }
+}
+
+TEST(RoadNetwork, TotalLengthIsContinental) {
+  // ~80 cities x 2 nearest: tens of thousands of km of corridor.
+  const double km = RoadNetwork::get().total_length_m() / 1000.0;
+  EXPECT_GT(km, 10000.0);
+  EXPECT_LT(km, 80000.0);
+}
+
+TEST(RoadNetwork, NearestOnCorridorIsZero) {
+  const RoadNetwork& roads = RoadNetwork::get();
+  const RoadSegment& s = roads.segments()[0];
+  const geo::LonLat mid{(s.a.lon + s.b.lon) / 2.0, (s.a.lat + s.b.lat) / 2.0};
+  EXPECT_LT(roads.nearest(mid).distance_m, s.length_m * 0.01 + 500.0);
+  EXPECT_LT(roads.nearest(s.a).distance_m, 1.0);
+}
+
+TEST(RoadNetwork, NearestFarFromAnyCorridor) {
+  // Central Nevada outback: the nearest corridor is far away.
+  const auto hit = RoadNetwork::get().nearest({-116.8, 39.8});
+  EXPECT_GT(hit.distance_m, 20e3);
+}
+
+TEST(RoadNetwork, EveryCityTouchesTheNetwork) {
+  const RoadNetwork& roads = RoadNetwork::get();
+  std::set<std::size_t> connected;
+  for (const RoadSegment& s : roads.segments()) {
+    connected.insert(s.city_a);
+    connected.insert(s.city_b);
+  }
+  // Nearest-2 with j<i dedup can drop a city only if it is nobody's
+  // nearest neighbour AND its own links were deduped away; require
+  // near-complete coverage.
+  EXPECT_GE(connected.size(), UsAtlas::get().cities().size() * 9 / 10);
+}
+
+}  // namespace
+}  // namespace fa::synth

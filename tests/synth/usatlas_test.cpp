@@ -1,0 +1,137 @@
+#include "synth/usatlas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/projection.hpp"
+
+namespace fa::synth {
+namespace {
+
+TEST(UsAtlas, HasConterminousStatesPlusDc) {
+  const UsAtlas& atlas = UsAtlas::get();
+  EXPECT_EQ(atlas.num_states(), 49);  // 48 states + DC
+  EXPECT_NEAR(atlas.total_population(), 325e6, 8e6);
+}
+
+TEST(UsAtlas, StateIndexByAbbr) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const int ca = atlas.state_index("CA");
+  ASSERT_GE(ca, 0);
+  EXPECT_EQ(atlas.states()[ca].name, "California");
+  EXPECT_EQ(atlas.state_index("ZZ"), -1);
+  EXPECT_EQ(atlas.state_index("AK"), -1);  // not conterminous
+}
+
+TEST(UsAtlas, EveryCityResolvesToItsState) {
+  const UsAtlas& atlas = UsAtlas::get();
+  for (const CityInfo& city : atlas.cities()) {
+    const int s = atlas.state_of(city.position);
+    ASSERT_GE(s, 0) << city.name;
+    EXPECT_EQ(atlas.states()[s].abbr, city.state_abbr) << city.name;
+  }
+}
+
+TEST(UsAtlas, EveryMajorCountyResolvesToItsState) {
+  const UsAtlas& atlas = UsAtlas::get();
+  for (const MajorCountyInfo& county : atlas.major_counties()) {
+    const int s = atlas.state_of(county.anchor);
+    ASSERT_GE(s, 0) << county.name;
+    EXPECT_EQ(atlas.states()[s].abbr, county.state_abbr) << county.name;
+  }
+}
+
+TEST(UsAtlas, KnownInteriorPoints) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const auto expect_state = [&](double lon, double lat,
+                                std::string_view abbr) {
+    const int s = atlas.state_of({lon, lat});
+    ASSERT_GE(s, 0) << abbr;
+    EXPECT_EQ(atlas.states()[s].abbr, abbr);
+  };
+  expect_state(-120.5, 37.5, "CA");   // Central Valley
+  expect_state(-99.5, 31.5, "TX");    // central Texas
+  expect_state(-81.5, 28.0, "FL");    // central Florida
+  expect_state(-108.0, 43.0, "WY");
+  expect_state(-89.8, 44.5, "WI");
+  expect_state(-116.5, 39.5, "NV");
+}
+
+TEST(UsAtlas, OffshorePointsAreUnassigned) {
+  const UsAtlas& atlas = UsAtlas::get();
+  EXPECT_EQ(atlas.state_of({-140.0, 40.0}), -1);  // Pacific
+  EXPECT_EQ(atlas.state_of({-60.0, 35.0}), -1);   // Atlantic
+  EXPECT_EQ(atlas.state_of({-95.0, 20.0}), -1);   // Gulf of Mexico
+}
+
+TEST(UsAtlas, BorderGapFallbackAssignsSlivers) {
+  // Points straddling the coarse CA/NV diagonal still resolve somewhere.
+  const UsAtlas& atlas = UsAtlas::get();
+  for (double t = 0.0; t <= 1.0; t += 0.1) {
+    const geo::LonLat p{-120.0 + t * (120.0 - 114.6) * 0 - 120.0 * 0 +
+                            (-120.0 + t * 5.4),
+                        42.0 - t * 7.0};
+    // Any point along the (approximate) CA/NV border line lands in a state.
+    const int s = atlas.state_of({-120.0 + t * 5.4, 42.0 - t * 7.0});
+    EXPECT_GE(s, 0) << t;
+  }
+}
+
+TEST(UsAtlas, StateAreasAreRoughlyRight) {
+  // Sanity: projected polygon areas within 25% of real land areas for a
+  // few anchor states (sq km).
+  const UsAtlas& atlas = UsAtlas::get();
+  const geo::AlbersConus proj;
+  const auto area_km2 = [&](std::string_view abbr) {
+    const int s = atlas.state_index(abbr);
+    return proj.project(atlas.state_boundary(s)).area() / 1e6;
+  };
+  EXPECT_NEAR(area_km2("CA"), 424e3, 0.25 * 424e3);
+  EXPECT_NEAR(area_km2("TX"), 696e3, 0.25 * 696e3);
+  EXPECT_NEAR(area_km2("CO"), 269e3, 0.25 * 269e3);
+  EXPECT_NEAR(area_km2("WY"), 253e3, 0.25 * 253e3);
+  EXPECT_NEAR(area_km2("FL"), 170e3, 0.3 * 170e3);
+}
+
+TEST(UsAtlas, CaliforniaHasHighestFirePropensity) {
+  const UsAtlas& atlas = UsAtlas::get();
+  const auto prop = [&](std::string_view abbr) {
+    return atlas.states()[atlas.state_index(abbr)].fire_propensity;
+  };
+  for (const char* abbr : {"TX", "IL", "NY", "FL", "OH", "GA"}) {
+    EXPECT_GT(prop("CA"), prop(abbr)) << abbr;
+  }
+  // West + southeast above midwest (the paper's Figure 6 geography).
+  EXPECT_GT(prop("ID"), prop("IA"));
+  EXPECT_GT(prop("FL"), prop("OH"));
+  EXPECT_GT(prop("SC"), prop("IN"));
+}
+
+TEST(UsAtlas, EcoregionsCoverSlcDenverCorridor) {
+  const UsAtlas& atlas = UsAtlas::get();
+  ASSERT_GE(atlas.ecoregions().size(), 5u);
+  // Projections span the paper's +240% .. -119% range.
+  double max_delta = -1e9, min_delta = 1e9;
+  for (const EcoregionInfo& e : atlas.ecoregions()) {
+    max_delta = std::max(max_delta, e.delta_burn_pct_2040);
+    min_delta = std::min(min_delta, e.delta_burn_pct_2040);
+  }
+  EXPECT_DOUBLE_EQ(max_delta, 240.0);
+  EXPECT_DOUBLE_EQ(min_delta, -119.0);
+  // Salt Lake City and Denver fall inside some ecoregion band or border it.
+  int covered = 0;
+  for (const EcoregionInfo& e : atlas.ecoregions()) {
+    if (e.boundary.contains(geo::Vec2{-111.0, 40.9})) ++covered;
+  }
+  EXPECT_GE(covered, 1);
+}
+
+TEST(UsAtlas, ConusBBoxIsSane) {
+  const geo::BBox box = UsAtlas::get().conus_bbox();
+  EXPECT_LT(box.min_x, -124.0);
+  EXPECT_GT(box.max_x, -67.5);
+  EXPECT_LT(box.min_y, 25.5);
+  EXPECT_GT(box.max_y, 48.9);
+}
+
+}  // namespace
+}  // namespace fa::synth
