@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coverage_models.dir/bench_coverage_models.cpp.o"
+  "CMakeFiles/bench_coverage_models.dir/bench_coverage_models.cpp.o.d"
+  "bench_coverage_models"
+  "bench_coverage_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coverage_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_escape_ablation.dir/bench_escape_ablation.cpp.o"
+  "CMakeFiles/bench_escape_ablation.dir/bench_escape_ablation.cpp.o.d"
+  "bench_escape_ablation"
+  "bench_escape_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_escape_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_escape_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_halfmile.dir/bench_extension_halfmile.cpp.o"
+  "CMakeFiles/bench_extension_halfmile.dir/bench_extension_halfmile.cpp.o.d"
+  "bench_extension_halfmile"
+  "bench_extension_halfmile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_halfmile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

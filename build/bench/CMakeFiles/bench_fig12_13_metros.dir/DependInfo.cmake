@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_13_metros.cpp" "bench/CMakeFiles/bench_fig12_13_metros.dir/bench_fig12_13_metros.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_13_metros.dir/bench_fig12_13_metros.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fa_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/powergrid/CMakeFiles/fa_powergrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/firesim/CMakeFiles/fa_firesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fa_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/fa_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/fa_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

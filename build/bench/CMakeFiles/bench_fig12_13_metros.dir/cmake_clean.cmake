@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_metros.dir/bench_fig12_13_metros.cpp.o"
+  "CMakeFiles/bench_fig12_13_metros.dir/bench_fig12_13_metros.cpp.o.d"
+  "bench_fig12_13_metros"
+  "bench_fig12_13_metros.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_metros.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

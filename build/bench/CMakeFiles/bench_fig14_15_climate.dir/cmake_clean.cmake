@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_climate.dir/bench_fig14_15_climate.cpp.o"
+  "CMakeFiles/bench_fig14_15_climate.dir/bench_fig14_15_climate.cpp.o.d"
+  "bench_fig14_15_climate"
+  "bench_fig14_15_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

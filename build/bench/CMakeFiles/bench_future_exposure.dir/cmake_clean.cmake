@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_exposure.dir/bench_future_exposure.cpp.o"
+  "CMakeFiles/bench_future_exposure.dir/bench_future_exposure.cpp.o.d"
+  "bench_future_exposure"
+  "bench_future_exposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iab_resilience.dir/bench_iab_resilience.cpp.o"
+  "CMakeFiles/bench_iab_resilience.dir/bench_iab_resilience.cpp.o.d"
+  "bench_iab_resilience"
+  "bench_iab_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iab_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_substrate.dir/bench_perf_substrate.cpp.o"
+  "CMakeFiles/bench_perf_substrate.dir/bench_perf_substrate.cpp.o.d"
+  "bench_perf_substrate"
+  "bench_perf_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_interdependence.dir/bench_power_interdependence.cpp.o"
+  "CMakeFiles/bench_power_interdependence.dir/bench_power_interdependence.cpp.o.d"
+  "bench_power_interdependence"
+  "bench_power_interdependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_interdependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

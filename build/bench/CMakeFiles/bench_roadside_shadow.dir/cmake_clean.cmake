@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roadside_shadow.dir/bench_roadside_shadow.cpp.o"
+  "CMakeFiles/bench_roadside_shadow.dir/bench_roadside_shadow.cpp.o.d"
+  "bench_roadside_shadow"
+  "bench_roadside_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roadside_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

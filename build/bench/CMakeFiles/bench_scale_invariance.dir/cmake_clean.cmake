@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_invariance.dir/bench_scale_invariance.cpp.o"
+  "CMakeFiles/bench_scale_invariance.dir/bench_scale_invariance.cpp.o.d"
+  "bench_scale_invariance"
+  "bench_scale_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

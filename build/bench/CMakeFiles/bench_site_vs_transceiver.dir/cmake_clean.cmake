@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_site_vs_transceiver.dir/bench_site_vs_transceiver.cpp.o"
+  "CMakeFiles/bench_site_vs_transceiver.dir/bench_site_vs_transceiver.cpp.o.d"
+  "bench_site_vs_transceiver"
+  "bench_site_vs_transceiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_site_vs_transceiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_site_vs_transceiver.
+# This may be replaced when dependencies are built.

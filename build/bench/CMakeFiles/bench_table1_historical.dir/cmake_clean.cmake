@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_historical.dir/bench_table1_historical.cpp.o"
+  "CMakeFiles/bench_table1_historical.dir/bench_table1_historical.cpp.o.d"
+  "bench_table1_historical"
+  "bench_table1_historical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_historical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

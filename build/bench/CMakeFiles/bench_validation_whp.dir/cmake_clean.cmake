@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_whp.dir/bench_validation_whp.cpp.o"
+  "CMakeFiles/bench_validation_whp.dir/bench_validation_whp.cpp.o.d"
+  "bench_validation_whp"
+  "bench_validation_whp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_whp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/fa_bench_common.dir/bench_common.cpp.o.d"
+  "libfa_bench_common.a"
+  "libfa_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

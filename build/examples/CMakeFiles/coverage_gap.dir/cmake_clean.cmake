@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_gap.dir/coverage_gap.cpp.o"
+  "CMakeFiles/coverage_gap.dir/coverage_gap.cpp.o.d"
+  "coverage_gap"
+  "coverage_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

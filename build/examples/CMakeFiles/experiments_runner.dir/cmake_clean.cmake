@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_runner.dir/experiments_runner.cpp.o"
+  "CMakeFiles/experiments_runner.dir/experiments_runner.cpp.o.d"
+  "experiments_runner"
+  "experiments_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facli.dir/facli.cpp.o"
+  "CMakeFiles/facli.dir/facli.cpp.o.d"
+  "facli"
+  "facli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

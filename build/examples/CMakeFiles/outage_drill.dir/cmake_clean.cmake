@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_drill.dir/outage_drill.cpp.o"
+  "CMakeFiles/outage_drill.dir/outage_drill.cpp.o.d"
+  "outage_drill"
+  "outage_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

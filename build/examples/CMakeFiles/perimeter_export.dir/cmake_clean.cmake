@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perimeter_export.dir/perimeter_export.cpp.o"
+  "CMakeFiles/perimeter_export.dir/perimeter_export.cpp.o.d"
+  "perimeter_export"
+  "perimeter_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perimeter_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

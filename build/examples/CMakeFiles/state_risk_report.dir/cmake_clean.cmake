@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_risk_report.dir/state_risk_report.cpp.o"
+  "CMakeFiles/state_risk_report.dir/state_risk_report.cpp.o.d"
+  "state_risk_report"
+  "state_risk_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_risk_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cellnet/corpus.cpp" "src/cellnet/CMakeFiles/fa_cellnet.dir/corpus.cpp.o" "gcc" "src/cellnet/CMakeFiles/fa_cellnet.dir/corpus.cpp.o.d"
+  "/root/repo/src/cellnet/providers.cpp" "src/cellnet/CMakeFiles/fa_cellnet.dir/providers.cpp.o" "gcc" "src/cellnet/CMakeFiles/fa_cellnet.dir/providers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/fa_raster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_cellnet.dir/corpus.cpp.o"
+  "CMakeFiles/fa_cellnet.dir/corpus.cpp.o.d"
+  "CMakeFiles/fa_cellnet.dir/providers.cpp.o"
+  "CMakeFiles/fa_cellnet.dir/providers.cpp.o.d"
+  "libfa_cellnet.a"
+  "libfa_cellnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_cellnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fa_cellnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/case_study.cpp" "src/core/CMakeFiles/fa_core.dir/case_study.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/case_study.cpp.o.d"
+  "/root/repo/src/core/climate.cpp" "src/core/CMakeFiles/fa_core.dir/climate.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/climate.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/fa_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/escape.cpp" "src/core/CMakeFiles/fa_core.dir/escape.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/escape.cpp.o.d"
+  "/root/repo/src/core/historical.cpp" "src/core/CMakeFiles/fa_core.dir/historical.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/historical.cpp.o.d"
+  "/root/repo/src/core/maps.cpp" "src/core/CMakeFiles/fa_core.dir/maps.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/maps.cpp.o.d"
+  "/root/repo/src/core/metro.cpp" "src/core/CMakeFiles/fa_core.dir/metro.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/metro.cpp.o.d"
+  "/root/repo/src/core/overlay.cpp" "src/core/CMakeFiles/fa_core.dir/overlay.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/overlay.cpp.o.d"
+  "/root/repo/src/core/population.cpp" "src/core/CMakeFiles/fa_core.dir/population.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/population.cpp.o.d"
+  "/root/repo/src/core/provider_risk.cpp" "src/core/CMakeFiles/fa_core.dir/provider_risk.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/provider_risk.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/fa_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/roadside.cpp" "src/core/CMakeFiles/fa_core.dir/roadside.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/roadside.cpp.o.d"
+  "/root/repo/src/core/site_risk.cpp" "src/core/CMakeFiles/fa_core.dir/site_risk.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/site_risk.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/fa_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/validation.cpp.o.d"
+  "/root/repo/src/core/whp_overlay.cpp" "src/core/CMakeFiles/fa_core.dir/whp_overlay.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/whp_overlay.cpp.o.d"
+  "/root/repo/src/core/world.cpp" "src/core/CMakeFiles/fa_core.dir/world.cpp.o" "gcc" "src/core/CMakeFiles/fa_core.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/fa_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/fa_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fa_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/firesim/CMakeFiles/fa_firesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

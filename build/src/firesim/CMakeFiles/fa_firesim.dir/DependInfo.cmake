@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firesim/dirs.cpp" "src/firesim/CMakeFiles/fa_firesim.dir/dirs.cpp.o" "gcc" "src/firesim/CMakeFiles/fa_firesim.dir/dirs.cpp.o.d"
+  "/root/repo/src/firesim/fire.cpp" "src/firesim/CMakeFiles/fa_firesim.dir/fire.cpp.o" "gcc" "src/firesim/CMakeFiles/fa_firesim.dir/fire.cpp.o.d"
+  "/root/repo/src/firesim/outage.cpp" "src/firesim/CMakeFiles/fa_firesim.dir/outage.cpp.o" "gcc" "src/firesim/CMakeFiles/fa_firesim.dir/outage.cpp.o.d"
+  "/root/repo/src/firesim/wind.cpp" "src/firesim/CMakeFiles/fa_firesim.dir/wind.cpp.o" "gcc" "src/firesim/CMakeFiles/fa_firesim.dir/wind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/fa_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fa_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/fa_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fa_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

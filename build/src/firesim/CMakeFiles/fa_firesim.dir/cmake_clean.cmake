@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_firesim.dir/dirs.cpp.o"
+  "CMakeFiles/fa_firesim.dir/dirs.cpp.o.d"
+  "CMakeFiles/fa_firesim.dir/fire.cpp.o"
+  "CMakeFiles/fa_firesim.dir/fire.cpp.o.d"
+  "CMakeFiles/fa_firesim.dir/outage.cpp.o"
+  "CMakeFiles/fa_firesim.dir/outage.cpp.o.d"
+  "CMakeFiles/fa_firesim.dir/wind.cpp.o"
+  "CMakeFiles/fa_firesim.dir/wind.cpp.o.d"
+  "libfa_firesim.a"
+  "libfa_firesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_firesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/algorithms.cpp" "src/geo/CMakeFiles/fa_geo.dir/algorithms.cpp.o" "gcc" "src/geo/CMakeFiles/fa_geo.dir/algorithms.cpp.o.d"
+  "/root/repo/src/geo/buffer.cpp" "src/geo/CMakeFiles/fa_geo.dir/buffer.cpp.o" "gcc" "src/geo/CMakeFiles/fa_geo.dir/buffer.cpp.o.d"
+  "/root/repo/src/geo/geodesy.cpp" "src/geo/CMakeFiles/fa_geo.dir/geodesy.cpp.o" "gcc" "src/geo/CMakeFiles/fa_geo.dir/geodesy.cpp.o.d"
+  "/root/repo/src/geo/polygon.cpp" "src/geo/CMakeFiles/fa_geo.dir/polygon.cpp.o" "gcc" "src/geo/CMakeFiles/fa_geo.dir/polygon.cpp.o.d"
+  "/root/repo/src/geo/projection.cpp" "src/geo/CMakeFiles/fa_geo.dir/projection.cpp.o" "gcc" "src/geo/CMakeFiles/fa_geo.dir/projection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_geo.dir/algorithms.cpp.o"
+  "CMakeFiles/fa_geo.dir/algorithms.cpp.o.d"
+  "CMakeFiles/fa_geo.dir/buffer.cpp.o"
+  "CMakeFiles/fa_geo.dir/buffer.cpp.o.d"
+  "CMakeFiles/fa_geo.dir/geodesy.cpp.o"
+  "CMakeFiles/fa_geo.dir/geodesy.cpp.o.d"
+  "CMakeFiles/fa_geo.dir/polygon.cpp.o"
+  "CMakeFiles/fa_geo.dir/polygon.cpp.o.d"
+  "CMakeFiles/fa_geo.dir/projection.cpp.o"
+  "CMakeFiles/fa_geo.dir/projection.cpp.o.d"
+  "libfa_geo.a"
+  "libfa_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

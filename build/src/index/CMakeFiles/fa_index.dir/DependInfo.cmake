@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/grid_index.cpp" "src/index/CMakeFiles/fa_index.dir/grid_index.cpp.o" "gcc" "src/index/CMakeFiles/fa_index.dir/grid_index.cpp.o.d"
+  "/root/repo/src/index/rtree.cpp" "src/index/CMakeFiles/fa_index.dir/rtree.cpp.o" "gcc" "src/index/CMakeFiles/fa_index.dir/rtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

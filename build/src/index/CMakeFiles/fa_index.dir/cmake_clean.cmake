@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_index.dir/grid_index.cpp.o"
+  "CMakeFiles/fa_index.dir/grid_index.cpp.o.d"
+  "CMakeFiles/fa_index.dir/rtree.cpp.o"
+  "CMakeFiles/fa_index.dir/rtree.cpp.o.d"
+  "libfa_index.a"
+  "libfa_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/fa_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/fa_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/fagrid.cpp" "src/io/CMakeFiles/fa_io.dir/fagrid.cpp.o" "gcc" "src/io/CMakeFiles/fa_io.dir/fagrid.cpp.o.d"
+  "/root/repo/src/io/geojson.cpp" "src/io/CMakeFiles/fa_io.dir/geojson.cpp.o" "gcc" "src/io/CMakeFiles/fa_io.dir/geojson.cpp.o.d"
+  "/root/repo/src/io/json.cpp" "src/io/CMakeFiles/fa_io.dir/json.cpp.o" "gcc" "src/io/CMakeFiles/fa_io.dir/json.cpp.o.d"
+  "/root/repo/src/io/wkt.cpp" "src/io/CMakeFiles/fa_io.dir/wkt.cpp.o" "gcc" "src/io/CMakeFiles/fa_io.dir/wkt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/fa_raster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_io.dir/csv.cpp.o"
+  "CMakeFiles/fa_io.dir/csv.cpp.o.d"
+  "CMakeFiles/fa_io.dir/fagrid.cpp.o"
+  "CMakeFiles/fa_io.dir/fagrid.cpp.o.d"
+  "CMakeFiles/fa_io.dir/geojson.cpp.o"
+  "CMakeFiles/fa_io.dir/geojson.cpp.o.d"
+  "CMakeFiles/fa_io.dir/json.cpp.o"
+  "CMakeFiles/fa_io.dir/json.cpp.o.d"
+  "CMakeFiles/fa_io.dir/wkt.cpp.o"
+  "CMakeFiles/fa_io.dir/wkt.cpp.o.d"
+  "libfa_io.a"
+  "libfa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_powergrid.dir/grid_model.cpp.o"
+  "CMakeFiles/fa_powergrid.dir/grid_model.cpp.o.d"
+  "CMakeFiles/fa_powergrid.dir/psps.cpp.o"
+  "CMakeFiles/fa_powergrid.dir/psps.cpp.o.d"
+  "libfa_powergrid.a"
+  "libfa_powergrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_powergrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raster/geometry.cpp" "src/raster/CMakeFiles/fa_raster.dir/geometry.cpp.o" "gcc" "src/raster/CMakeFiles/fa_raster.dir/geometry.cpp.o.d"
+  "/root/repo/src/raster/morphology.cpp" "src/raster/CMakeFiles/fa_raster.dir/morphology.cpp.o" "gcc" "src/raster/CMakeFiles/fa_raster.dir/morphology.cpp.o.d"
+  "/root/repo/src/raster/rasterize.cpp" "src/raster/CMakeFiles/fa_raster.dir/rasterize.cpp.o" "gcc" "src/raster/CMakeFiles/fa_raster.dir/rasterize.cpp.o.d"
+  "/root/repo/src/raster/regions.cpp" "src/raster/CMakeFiles/fa_raster.dir/regions.cpp.o" "gcc" "src/raster/CMakeFiles/fa_raster.dir/regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_raster.dir/geometry.cpp.o"
+  "CMakeFiles/fa_raster.dir/geometry.cpp.o.d"
+  "CMakeFiles/fa_raster.dir/morphology.cpp.o"
+  "CMakeFiles/fa_raster.dir/morphology.cpp.o.d"
+  "CMakeFiles/fa_raster.dir/rasterize.cpp.o"
+  "CMakeFiles/fa_raster.dir/rasterize.cpp.o.d"
+  "CMakeFiles/fa_raster.dir/regions.cpp.o"
+  "CMakeFiles/fa_raster.dir/regions.cpp.o.d"
+  "libfa_raster.a"
+  "libfa_raster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/cells.cpp" "src/synth/CMakeFiles/fa_synth.dir/cells.cpp.o" "gcc" "src/synth/CMakeFiles/fa_synth.dir/cells.cpp.o.d"
+  "/root/repo/src/synth/counties.cpp" "src/synth/CMakeFiles/fa_synth.dir/counties.cpp.o" "gcc" "src/synth/CMakeFiles/fa_synth.dir/counties.cpp.o.d"
+  "/root/repo/src/synth/firecalib.cpp" "src/synth/CMakeFiles/fa_synth.dir/firecalib.cpp.o" "gcc" "src/synth/CMakeFiles/fa_synth.dir/firecalib.cpp.o.d"
+  "/root/repo/src/synth/hazard.cpp" "src/synth/CMakeFiles/fa_synth.dir/hazard.cpp.o" "gcc" "src/synth/CMakeFiles/fa_synth.dir/hazard.cpp.o.d"
+  "/root/repo/src/synth/noise.cpp" "src/synth/CMakeFiles/fa_synth.dir/noise.cpp.o" "gcc" "src/synth/CMakeFiles/fa_synth.dir/noise.cpp.o.d"
+  "/root/repo/src/synth/population.cpp" "src/synth/CMakeFiles/fa_synth.dir/population.cpp.o" "gcc" "src/synth/CMakeFiles/fa_synth.dir/population.cpp.o.d"
+  "/root/repo/src/synth/roads.cpp" "src/synth/CMakeFiles/fa_synth.dir/roads.cpp.o" "gcc" "src/synth/CMakeFiles/fa_synth.dir/roads.cpp.o.d"
+  "/root/repo/src/synth/usatlas.cpp" "src/synth/CMakeFiles/fa_synth.dir/usatlas.cpp.o" "gcc" "src/synth/CMakeFiles/fa_synth.dir/usatlas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/fa_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/fa_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fa_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

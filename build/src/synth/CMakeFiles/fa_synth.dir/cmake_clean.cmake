@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fa_synth.dir/cells.cpp.o"
+  "CMakeFiles/fa_synth.dir/cells.cpp.o.d"
+  "CMakeFiles/fa_synth.dir/counties.cpp.o"
+  "CMakeFiles/fa_synth.dir/counties.cpp.o.d"
+  "CMakeFiles/fa_synth.dir/firecalib.cpp.o"
+  "CMakeFiles/fa_synth.dir/firecalib.cpp.o.d"
+  "CMakeFiles/fa_synth.dir/hazard.cpp.o"
+  "CMakeFiles/fa_synth.dir/hazard.cpp.o.d"
+  "CMakeFiles/fa_synth.dir/noise.cpp.o"
+  "CMakeFiles/fa_synth.dir/noise.cpp.o.d"
+  "CMakeFiles/fa_synth.dir/population.cpp.o"
+  "CMakeFiles/fa_synth.dir/population.cpp.o.d"
+  "CMakeFiles/fa_synth.dir/roads.cpp.o"
+  "CMakeFiles/fa_synth.dir/roads.cpp.o.d"
+  "CMakeFiles/fa_synth.dir/usatlas.cpp.o"
+  "CMakeFiles/fa_synth.dir/usatlas.cpp.o.d"
+  "libfa_synth.a"
+  "libfa_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fa_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfa_synth.a"
+)

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cellnet.dir/cellnet/corpus_test.cpp.o"
+  "CMakeFiles/test_cellnet.dir/cellnet/corpus_test.cpp.o.d"
+  "CMakeFiles/test_cellnet.dir/cellnet/providers_test.cpp.o"
+  "CMakeFiles/test_cellnet.dir/cellnet/providers_test.cpp.o.d"
+  "test_cellnet"
+  "test_cellnet.pdb"
+  "test_cellnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cellnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analysis_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analysis_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/extensions_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/extensions_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/roadside_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/roadside_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/spatial_coverage_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/spatial_coverage_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/validation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/validation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/world_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/world_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/firesim/dirs_test.cpp" "tests/CMakeFiles/test_firesim.dir/firesim/dirs_test.cpp.o" "gcc" "tests/CMakeFiles/test_firesim.dir/firesim/dirs_test.cpp.o.d"
+  "/root/repo/tests/firesim/fire_test.cpp" "tests/CMakeFiles/test_firesim.dir/firesim/fire_test.cpp.o" "gcc" "tests/CMakeFiles/test_firesim.dir/firesim/fire_test.cpp.o.d"
+  "/root/repo/tests/firesim/outage_test.cpp" "tests/CMakeFiles/test_firesim.dir/firesim/outage_test.cpp.o" "gcc" "tests/CMakeFiles/test_firesim.dir/firesim/outage_test.cpp.o.d"
+  "/root/repo/tests/firesim/progression_test.cpp" "tests/CMakeFiles/test_firesim.dir/firesim/progression_test.cpp.o" "gcc" "tests/CMakeFiles/test_firesim.dir/firesim/progression_test.cpp.o.d"
+  "/root/repo/tests/firesim/season_properties_test.cpp" "tests/CMakeFiles/test_firesim.dir/firesim/season_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_firesim.dir/firesim/season_properties_test.cpp.o.d"
+  "/root/repo/tests/firesim/wind_test.cpp" "tests/CMakeFiles/test_firesim.dir/firesim/wind_test.cpp.o" "gcc" "tests/CMakeFiles/test_firesim.dir/firesim/wind_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/firesim/CMakeFiles/fa_firesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/fa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fa_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/fa_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/fa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/fa_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_firesim.dir/firesim/dirs_test.cpp.o"
+  "CMakeFiles/test_firesim.dir/firesim/dirs_test.cpp.o.d"
+  "CMakeFiles/test_firesim.dir/firesim/fire_test.cpp.o"
+  "CMakeFiles/test_firesim.dir/firesim/fire_test.cpp.o.d"
+  "CMakeFiles/test_firesim.dir/firesim/outage_test.cpp.o"
+  "CMakeFiles/test_firesim.dir/firesim/outage_test.cpp.o.d"
+  "CMakeFiles/test_firesim.dir/firesim/progression_test.cpp.o"
+  "CMakeFiles/test_firesim.dir/firesim/progression_test.cpp.o.d"
+  "CMakeFiles/test_firesim.dir/firesim/season_properties_test.cpp.o"
+  "CMakeFiles/test_firesim.dir/firesim/season_properties_test.cpp.o.d"
+  "CMakeFiles/test_firesim.dir/firesim/wind_test.cpp.o"
+  "CMakeFiles/test_firesim.dir/firesim/wind_test.cpp.o.d"
+  "test_firesim"
+  "test_firesim.pdb"
+  "test_firesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_firesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_firesim.
+# This may be replaced when dependencies are built.

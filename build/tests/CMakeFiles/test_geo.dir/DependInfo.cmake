@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geo/algorithms_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/algorithms_test.cpp.o.d"
+  "/root/repo/tests/geo/buffer_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/buffer_test.cpp.o.d"
+  "/root/repo/tests/geo/geodesy_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/geodesy_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/geodesy_test.cpp.o.d"
+  "/root/repo/tests/geo/polygon_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/polygon_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/polygon_test.cpp.o.d"
+  "/root/repo/tests/geo/projection_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/projection_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/projection_test.cpp.o.d"
+  "/root/repo/tests/geo/robustness_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/robustness_test.cpp.o.d"
+  "/root/repo/tests/geo/vec2_test.cpp" "tests/CMakeFiles/test_geo.dir/geo/vec2_test.cpp.o" "gcc" "tests/CMakeFiles/test_geo.dir/geo/vec2_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo.dir/geo/algorithms_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/algorithms_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/buffer_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/buffer_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/geodesy_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/geodesy_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/polygon_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/polygon_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/projection_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/projection_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/robustness_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/robustness_test.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/vec2_test.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/vec2_test.cpp.o.d"
+  "test_geo"
+  "test_geo.pdb"
+  "test_geo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/csv_test.cpp" "tests/CMakeFiles/test_io.dir/io/csv_test.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/csv_test.cpp.o.d"
+  "/root/repo/tests/io/fagrid_test.cpp" "tests/CMakeFiles/test_io.dir/io/fagrid_test.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/fagrid_test.cpp.o.d"
+  "/root/repo/tests/io/fuzz_test.cpp" "tests/CMakeFiles/test_io.dir/io/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/fuzz_test.cpp.o.d"
+  "/root/repo/tests/io/geojson_test.cpp" "tests/CMakeFiles/test_io.dir/io/geojson_test.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/geojson_test.cpp.o.d"
+  "/root/repo/tests/io/json_test.cpp" "tests/CMakeFiles/test_io.dir/io/json_test.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/json_test.cpp.o.d"
+  "/root/repo/tests/io/wkt_test.cpp" "tests/CMakeFiles/test_io.dir/io/wkt_test.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/wkt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/fa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cellnet/CMakeFiles/fa_cellnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/fa_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/raster/CMakeFiles/fa_raster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/fa_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powergrid.dir/powergrid/grid_model_test.cpp.o"
+  "CMakeFiles/test_powergrid.dir/powergrid/grid_model_test.cpp.o.d"
+  "test_powergrid"
+  "test_powergrid.pdb"
+  "test_powergrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powergrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raster.dir/raster/cross_validation_test.cpp.o"
+  "CMakeFiles/test_raster.dir/raster/cross_validation_test.cpp.o.d"
+  "CMakeFiles/test_raster.dir/raster/morphology_test.cpp.o"
+  "CMakeFiles/test_raster.dir/raster/morphology_test.cpp.o.d"
+  "CMakeFiles/test_raster.dir/raster/raster_test.cpp.o"
+  "CMakeFiles/test_raster.dir/raster/raster_test.cpp.o.d"
+  "CMakeFiles/test_raster.dir/raster/rasterize_test.cpp.o"
+  "CMakeFiles/test_raster.dir/raster/rasterize_test.cpp.o.d"
+  "CMakeFiles/test_raster.dir/raster/regions_test.cpp.o"
+  "CMakeFiles/test_raster.dir/raster/regions_test.cpp.o.d"
+  "test_raster"
+  "test_raster.pdb"
+  "test_raster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth.dir/synth/cells_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/cells_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/counties_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/counties_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/hazard_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/hazard_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/noise_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/noise_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/population_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/population_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/rng_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/rng_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/roads_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/roads_test.cpp.o.d"
+  "CMakeFiles/test_synth.dir/synth/usatlas_test.cpp.o"
+  "CMakeFiles/test_synth.dir/synth/usatlas_test.cpp.o.d"
+  "test_synth"
+  "test_synth.pdb"
+  "test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
