@@ -25,7 +25,7 @@ synth::ScenarioConfig bench_scenario() {
   return cfg;
 }
 
-core::World build_bench_world(const std::string& bench_name) {
+core::AnalysisContext& bench_context(const std::string& bench_name) {
   const synth::ScenarioConfig cfg = bench_scenario();
   std::printf("== %s ==\n", bench_name.c_str());
   std::printf(
@@ -33,10 +33,15 @@ core::World build_bench_world(const std::string& bench_name) {
       "(%zu transceivers)\n",
       static_cast<unsigned long long>(cfg.seed), cfg.whp_cell_m,
       cfg.corpus_scale, cfg.corpus_size());
-  Stopwatch timer;
-  core::World world = core::World::build(cfg);
-  std::printf("world build: %.2fs\n\n", timer.seconds());
-  return world;
+  core::AnalysisContext& ctx = core::AnalysisContext::shared(cfg);
+  if (!ctx.built()) {
+    Stopwatch timer;
+    ctx.world();
+    std::printf("world build: %.2fs\n\n", timer.seconds());
+  } else {
+    std::printf("world: cached scenario reused\n\n");
+  }
+  return ctx;
 }
 
 void print_json_trailer(const std::string& bench_name,

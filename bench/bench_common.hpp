@@ -11,6 +11,7 @@
 #include <chrono>
 #include <string>
 
+#include "core/analysis_context.hpp"
 #include "core/report.hpp"
 #include "core/world.hpp"
 #include "io/json.hpp"
@@ -20,8 +21,10 @@ namespace fa::bench {
 // Scenario from defaults + environment overrides.
 synth::ScenarioConfig bench_scenario();
 
-// Builds the world and prints the banner (scenario + build time).
-core::World build_bench_world(const std::string& bench_name);
+// The process-wide AnalysisContext for the env-configured scenario.
+// Prints the banner, and the build time when this call builds the world
+// (first bench in the process; reruns reuse the cached scenario).
+core::AnalysisContext& bench_context(const std::string& bench_name);
 
 // Prints the machine-readable trailer (single line, greppable).
 void print_json_trailer(const std::string& bench_name,

@@ -11,8 +11,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Coverage ablation: hardware-at-risk vs users-without-service");
+  core::AnalysisContext& ctx = bench::bench_context("Coverage ablation: hardware-at-risk vs users-without-service");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   // The paper's framing: population of counties holding at-risk hardware.

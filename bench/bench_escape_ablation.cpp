@@ -10,8 +10,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Section 3.11 extension: HOT escape-probability weighting");
+  core::AnalysisContext& ctx = bench::bench_context("Section 3.11 extension: HOT escape-probability weighting");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::EscapeResult escape = core::run_escape_risk(world, 8);

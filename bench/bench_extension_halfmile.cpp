@@ -9,8 +9,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Section 3.8: extending the very-high WHP class by 0.5 mi");
+  core::AnalysisContext& ctx = bench::bench_context("Section 3.8: extending the very-high WHP class by 0.5 mi");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::ValidationResult v = core::run_whp_validation(world, 1);

@@ -8,8 +8,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Figures 10-11: population-weighted impact");
+  core::AnalysisContext& ctx = bench::bench_context("Figures 10-11: population-weighted impact");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::PopulationImpactResult r = core::run_population_impact(world);

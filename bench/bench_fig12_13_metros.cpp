@@ -8,8 +8,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Figures 12-13: metro-area exposure");
+  core::AnalysisContext& ctx = bench::bench_context("Figures 12-13: metro-area exposure");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const auto rows = core::run_metro_risk(world);

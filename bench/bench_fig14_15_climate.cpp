@@ -9,8 +9,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Figures 14-15: SLC-Denver corridor climate projection");
+  core::AnalysisContext& ctx = bench::bench_context("Figures 14-15: SLC-Denver corridor climate projection");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::ClimateResult r = core::run_climate_projection(world);

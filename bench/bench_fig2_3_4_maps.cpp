@@ -12,8 +12,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Figures 2-4: corpus, perimeters and overlap maps");
+  core::AnalysisContext& ctx = bench::bench_context("Figures 2-4: corpus, perimeters and overlap maps");
+  const core::World& world = ctx.world();
   const geo::BBox conus = world.atlas().conus_bbox();
 
   // --- Figure 2: every transceiver -----------------------------------------

@@ -7,8 +7,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Figure 5: 2019 California PSPS case study");
+  core::AnalysisContext& ctx = bench::bench_context("Figure 5: 2019 California PSPS case study");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const firesim::DirsReport report = core::run_california_case_study(world);

@@ -10,8 +10,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Figures 6-7: Wildfire Hazard Potential overlay");
+  core::AnalysisContext& ctx = bench::bench_context("Figures 6-7: Wildfire Hazard Potential overlay");
+  const core::World& world = ctx.world();
 
   // --- Figure 6: the hazard surface ----------------------------------------
   // Glyphs by class: offshore/non-burnable ' ', very low '.', low ':',

@@ -7,8 +7,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Figures 8-9: per-state WHP exposure");
+  core::AnalysisContext& ctx = bench::bench_context("Figures 8-9: per-state WHP exposure");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::WhpOverlayResult overlay = core::run_whp_overlay(world);

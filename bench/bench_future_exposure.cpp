@@ -10,8 +10,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Section 3.9 extension: 2040 exposure projection, CONUS-wide");
+  core::AnalysisContext& ctx = bench::bench_context("Section 3.9 extension: 2040 exposure projection, CONUS-wide");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::FutureExposureResult r = core::run_future_exposure(world);

@@ -9,8 +9,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Section 3.5 extension: 5G IAB wireless-backhaul resilience");
+  core::AnalysisContext& ctx = bench::bench_context("Section 3.5 extension: 5G IAB wireless-backhaul resilience");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   core::TextTable table({"IAB share", "Peak total", "Transport site-days",

@@ -1,10 +1,27 @@
-// Microbenchmarks of the GIS substrate (google-benchmark): the overlay
-// primitives whose cost dominates the reproduction pipeline, plus the
-// R-tree vs uniform-grid index ablation called out in DESIGN.md.
+// Performance substrate report, in two parts:
+//
+//   1. fa::exec scaling — the Section 3.3 overlay primitive
+//      (transceivers_in_perimeters) timed at 1/2/4/8 worker threads via
+//      exec::ConcurrencyLimit, with an output-equality check against the
+//      single-thread run and a machine-readable JSON trailer. Speedups
+//      are whatever the host delivers: on a single-CPU container the
+//      multi-thread rows measure scheduling overhead, not speedup.
+//
+//   2. Microbenchmarks of the GIS substrate (google-benchmark): the
+//      overlay primitives whose cost dominates the reproduction
+//      pipeline, plus the R-tree vs uniform-grid index ablation called
+//      out in DESIGN.md. Filter with --benchmark_filter=...
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <numbers>
 #include <random>
+#include <thread>
 
+#include "bench_common.hpp"
+#include "core/overlay.hpp"
+#include "exec/exec.hpp"
+#include "firesim/fire.hpp"
 #include "geo/algorithms.hpp"
 #include "geo/buffer.hpp"
 #include "geo/projection.hpp"
@@ -17,6 +34,80 @@
 namespace {
 
 using namespace fa;
+
+// ---------------------------------------------------------------- part 1
+
+void run_overlay_scaling_report() {
+  core::AnalysisContext& ctx =
+      bench::bench_context("Perf substrate: fa::exec overlay scaling");
+  const core::World& world = ctx.world();
+
+  // One simulated fire season gives the overlay a realistic workload:
+  // a few hundred irregular perimeters against the full corpus index.
+  firesim::FireSimulator sim(world.whp(), world.atlas(),
+                             world.config().seed);
+  const firesim::FireSeason season =
+      sim.simulate_year(ctx.historical_years().back(), ctx.fire_config);
+  std::printf("workload: %zu fire perimeters vs %zu transceivers\n",
+              season.fires.size(), world.corpus().size());
+  std::printf("host: %u hardware threads, pool of %d workers\n\n",
+              std::thread::hardware_concurrency(),
+              exec::ThreadPool::global().max_workers());
+
+  constexpr int kReps = 3;
+  const int thread_counts[] = {1, 2, 4, 8};
+  std::vector<std::uint32_t> reference;
+  double serial_s = 0.0;
+  bool all_identical = true;
+
+  core::TextTable table(
+      {"Threads", "Best of 3 (ms)", "Speedup vs 1", "Hits", "Identical"});
+  io::JsonArray rows;
+  for (const int threads : thread_counts) {
+    exec::ConcurrencyLimit limit(threads);
+    double best = 0.0;
+    std::vector<std::uint32_t> hits;
+    for (int rep = 0; rep < kReps; ++rep) {
+      bench::Stopwatch sw;
+      hits = core::transceivers_in_perimeters(world, season.fires);
+      const double s = sw.seconds();
+      if (rep == 0 || s < best) best = s;
+    }
+    if (threads == 1) {
+      reference = hits;
+      serial_s = best;
+    }
+    const bool identical = hits == reference;
+    all_identical = all_identical && identical;
+    const double speedup = best > 0.0 ? serial_s / best : 0.0;
+    table.add_row({std::to_string(threads),
+                   core::fmt_double(best * 1e3, 2),
+                   core::fmt_double(speedup, 2) + "x",
+                   core::fmt_count(hits.size()), identical ? "yes" : "NO"});
+    rows.push_back(io::JsonObject{{"threads", threads},
+                                  {"best_ms", best * 1e3},
+                                  {"speedup", speedup},
+                                  {"hits", hits.size()},
+                                  {"identical", identical}});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("determinism: every thread count produced %s output\n\n",
+              all_identical ? "identical" : "DIVERGENT");
+
+  io::JsonObject payload;
+  payload["hardware_threads"] =
+      static_cast<int>(std::thread::hardware_concurrency());
+  payload["pool_workers"] = exec::ThreadPool::global().max_workers();
+  payload["perimeters"] = season.fires.size();
+  payload["transceivers"] = world.corpus().size();
+  payload["identical_across_threads"] = all_identical;
+  payload["scaling"] = io::JsonValue{std::move(rows)};
+  bench::print_json_trailer("perf_substrate_scaling",
+                            io::JsonValue{std::move(payload)});
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------- part 2
 
 std::vector<geo::Vec2> random_points(std::size_t n, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
@@ -104,6 +195,29 @@ void BM_GridIndexQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_GridIndexQuery)->Arg(1000)->Arg(100000);
 
+void BM_ParallelReduce(benchmark::State& state) {
+  // fa::exec region overhead + throughput on a trivially-parallel sum,
+  // swept over thread caps (Arg = max_threads; 1 = serial inline path).
+  const std::size_t n = 1 << 20;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = static_cast<double>(i % 97) * 0.25;
+  }
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const double total = exec::parallel_reduce(
+        n, 0.0,
+        [&values](std::size_t begin, std::size_t end, double& acc) {
+          for (std::size_t i = begin; i < end; ++i) acc += values[i];
+        },
+        [](double& into, double&& part) { into += part; },
+        {.grain = 1 << 14, .max_threads = threads});
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelReduce)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_RasterizePolygon(benchmark::State& state) {
   raster::GridGeometry geom;
   geom.origin_x = -2.0;
@@ -173,4 +287,11 @@ BENCHMARK(BM_BufferHull)->Arg(16)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_overlay_scaling_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

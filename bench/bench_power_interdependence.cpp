@@ -10,8 +10,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Power-grid interdependence (Sections 3.8 / 5)");
+  core::AnalysisContext& ctx = bench::bench_context("Power-grid interdependence (Sections 3.8 / 5)");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   // California site fleet and its grid.

@@ -11,8 +11,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Roadside shadow analysis + DIRS filings (Sections 3.2/3.4)");
+  core::AnalysisContext& ctx = bench::bench_context("Roadside shadow analysis + DIRS filings (Sections 3.2/3.4)");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::RoadsideResult r = core::run_roadside_shadow(world, 4);

@@ -28,7 +28,8 @@ int main() {
     synth::ScenarioConfig config;
     config.corpus_scale = s.scale;
     config.whp_cell_m = s.cell_m;
-    const core::World world = core::World::build(config);
+    const core::AnalysisContext ctx(config);
+    const core::World& world = ctx.world();
     const core::WhpOverlayResult overlay = core::run_whp_overlay(world);
     const double share = static_cast<double>(overlay.total_at_risk()) /
                          world.corpus().size();

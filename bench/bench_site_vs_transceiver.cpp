@@ -10,8 +10,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world(
-      "Section 2.2.3 ablation: transceivers vs inferred towers");
+  core::AnalysisContext& ctx = bench::bench_context("Section 2.2.3 ablation: transceivers vs inferred towers");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::SiteRiskResult r = core::run_site_risk(world);

@@ -8,7 +8,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world = bench::build_bench_world("Table 1: historical wildfire overlay, 2000-2018");
+  core::AnalysisContext& ctx = bench::bench_context("Table 1: historical wildfire overlay, 2000-2018");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::HistoricalResult result =

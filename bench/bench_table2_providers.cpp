@@ -7,8 +7,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Table 2: cellular service provider risk");
+  core::AnalysisContext& ctx = bench::bench_context("Table 2: cellular service provider risk");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::ProviderRiskResult r = core::run_provider_risk(world);

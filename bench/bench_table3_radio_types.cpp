@@ -7,8 +7,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Table 3: transceiver types at risk");
+  core::AnalysisContext& ctx = bench::bench_context("Table 3: transceiver types at risk");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   const core::RadioRiskResult r = core::run_radio_risk(world);

@@ -8,8 +8,8 @@
 
 int main() {
   using namespace fa;
-  const core::World world =
-      bench::build_bench_world("Section 3.4: WHP validation vs the 2019 season");
+  core::AnalysisContext& ctx = bench::bench_context("Section 3.4: WHP validation vs the 2019 season");
+  const core::World& world = ctx.world();
 
   bench::Stopwatch timer;
   // One season realization, like the paper's single real 2019 (pass

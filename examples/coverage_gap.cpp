@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/analysis_context.hpp"
 #include "core/coverage.hpp"
 #include "core/report.hpp"
 #include "core/world.hpp"
@@ -19,7 +20,8 @@ int main(int argc, char** argv) {
   synth::ScenarioConfig config;
   config.corpus_scale = 32.0;
   config.whp_cell_m = 2700.0;
-  const core::World world = core::World::build(config);
+  const core::AnalysisContext ctx(config);
+  const core::World& world = ctx.world();
 
   const synth::FireYearStats* target = nullptr;
   for (const auto& y : synth::historical_fire_years()) {

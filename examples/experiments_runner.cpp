@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/analysis_context.hpp"
 #include "core/case_study.hpp"
 #include "core/climate.hpp"
 #include "core/escape.hpp"
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "building world (scale 1/%.0f, cell %.0f m)...\n",
                config.corpus_scale, config.whp_cell_m);
-  const core::World world = core::World::build(config);
+  const core::AnalysisContext ctx(config);
+  const core::World& world = ctx.world();
 
   io::JsonObject doc;
   doc["scenario"] = io::JsonObject{{"seed", config.seed},

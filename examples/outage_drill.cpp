@@ -6,6 +6,7 @@
 //   $ ./outage_drill
 #include <cstdio>
 
+#include "core/analysis_context.hpp"
 #include "core/case_study.hpp"
 #include "core/report.hpp"
 #include "core/world.hpp"
@@ -25,7 +26,8 @@ int main() {
   synth::ScenarioConfig config;
   config.corpus_scale = 32.0;
   config.whp_cell_m = 2700.0;
-  const core::World world = core::World::build(config);
+  const core::AnalysisContext ctx(config);
+  const core::World& world = ctx.world();
 
   // Baseline: Section 3.2 conditions. Mitigations: 48h batteries (the
   // post-Katrina FCC proposal that was never adopted), hardened feeders,

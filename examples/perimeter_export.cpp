@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "core/analysis_context.hpp"
 #include "core/overlay.hpp"
 #include "core/world.hpp"
 #include "io/geojson.hpp"
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
   synth::ScenarioConfig config;
   config.corpus_scale = 32.0;
   config.whp_cell_m = 2700.0;
-  const core::World world = core::World::build(config);
+  const core::AnalysisContext ctx(config);
+  const core::World& world = ctx.world();
 
   // Find the requested season in the Table 1 calibration record.
   const synth::FireYearStats* target = nullptr;

@@ -3,9 +3,10 @@
 //   $ ./quickstart
 //
 // This is the 60-second tour of the public API: ScenarioConfig ->
-// World::build -> run_whp_overlay / run_provider_risk -> TextTable.
+// AnalysisContext -> run_whp_overlay / run_provider_risk -> TextTable.
 #include <cstdio>
 
+#include "core/analysis_context.hpp"
 #include "core/provider_risk.hpp"
 #include "core/report.hpp"
 #include "core/whp_overlay.hpp"
@@ -23,7 +24,8 @@ int main() {
 
   // 2. Build the world: hazard surface, transceiver corpus, county layer.
   std::printf("building world (%zu transceivers)...\n", config.corpus_size());
-  const core::World world = core::World::build(config);
+  const core::AnalysisContext ctx(config);
+  const core::World& world = ctx.world();
 
   // 3. Who is at risk? The Section 3.3 overlay.
   const core::WhpOverlayResult overlay = core::run_whp_overlay(world);

@@ -9,6 +9,7 @@
 #include <map>
 #include <cstring>
 
+#include "core/analysis_context.hpp"
 #include "core/metro.hpp"
 #include "core/population.hpp"
 #include "core/report.hpp"
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
   synth::ScenarioConfig config;
   config.corpus_scale = 32.0;
   config.whp_cell_m = 2700.0;
-  const core::World world = core::World::build(config);
+  const core::AnalysisContext ctx(config);
+  const core::World& world = ctx.world();
 
   const int state = world.atlas().state_index(abbr);
   if (state < 0) {

@@ -1,0 +1,26 @@
+#include "core/analysis_context.hpp"
+
+#include <memory>
+
+namespace fa::core {
+
+namespace {
+
+bool same_scenario(const synth::ScenarioConfig& a,
+                   const synth::ScenarioConfig& b) {
+  return a.seed == b.seed && a.corpus_scale == b.corpus_scale &&
+         a.whp_cell_m == b.whp_cell_m &&
+         a.counties_per_state == b.counties_per_state;
+}
+
+}  // namespace
+
+AnalysisContext& AnalysisContext::shared(const synth::ScenarioConfig& config) {
+  static std::unique_ptr<AnalysisContext> instance;
+  if (!instance || !same_scenario(instance->config(), config)) {
+    instance = std::make_unique<AnalysisContext>(config);
+  }
+  return *instance;
+}
+
+}  // namespace fa::core

@@ -1,0 +1,51 @@
+// The shared analysis entry point: one AnalysisContext owns one World
+// plus the options every analysis consumes, so benches, examples, and
+// embedding applications stop re-declaring the World::build +
+// FireSimConfig boilerplate — and a scenario is built once per process.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/world.hpp"
+#include "firesim/fire.hpp"
+#include "synth/firecalib.hpp"
+
+namespace fa::core {
+
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(synth::ScenarioConfig config)
+      : config_(config) {}
+
+  const synth::ScenarioConfig& config() const { return config_; }
+
+  // The world for this scenario, built on first use and cached for the
+  // lifetime of the context.
+  const World& world() const {
+    if (!world_) world_.emplace(World::build(config_));
+    return *world_;
+  }
+  bool built() const { return world_.has_value(); }
+
+  // Options shared across analyses. Mutate before the relevant run_*
+  // call; the world itself depends only on `config()`.
+  firesim::FireSimConfig fire_config;
+
+  // The paper's Table-1 fire seasons (2000-2018).
+  std::span<const synth::FireYearStats> historical_years() const {
+    return synth::historical_fire_years();
+  }
+
+  // Process-wide context: the first call builds, subsequent calls with
+  // the same config reuse the cached world, and a different config
+  // replaces it (one live scenario per process — the bench/example
+  // pattern). Not thread-safe; call from the main thread.
+  static AnalysisContext& shared(const synth::ScenarioConfig& config);
+
+ private:
+  synth::ScenarioConfig config_;
+  mutable std::optional<World> world_;
+};
+
+}  // namespace fa::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/exec.hpp"
+
 namespace fa::core {
 
 ClimateResult run_climate_projection(const World& world) {
@@ -43,21 +45,56 @@ FutureExposureResult run_future_exposure(const World& world) {
     result.states[s].state = static_cast<int>(s);
   }
   const auto west = world.atlas().western_ecoregions();
-  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
-    if (!synth::whp_at_risk(world.txr_class(t.id)) || t.state < 0) continue;
-    double multiplier = 1.0;  // eastern default: no Littell projection
-    for (const synth::EcoregionInfo& eco : west) {
-      if (eco.boundary.contains(t.position.as_vec())) {
-        multiplier = std::max(0.0, 1.0 + eco.delta_burn_pct_2040 / 100.0);
-        break;
-      }
-    }
-    FutureStateRow& row = result.states[static_cast<std::size_t>(t.state)];
-    ++row.at_risk_now;
-    row.at_risk_2040 += multiplier;
-    ++result.at_risk_now;
-    result.at_risk_2040 += multiplier;
+  // Point-in-ecoregion sweep over the corpus. Partials carry the same
+  // per-state rows as the result; the double accumulators are combined
+  // in chunk order, so totals are identical at any thread count.
+  struct Partial {
+    std::vector<FutureStateRow> states;
+    std::size_t at_risk_now = 0;
+    double at_risk_2040 = 0.0;
+  };
+  Partial identity;
+  identity.states.resize(result.states.size());
+  const std::vector<cellnet::Transceiver>& transceivers =
+      world.corpus().transceivers();
+  Partial tally = exec::parallel_reduce(
+      transceivers.size(), std::move(identity),
+      [&world, &west, &transceivers](std::size_t begin, std::size_t end,
+                                     Partial& acc) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const cellnet::Transceiver& t = transceivers[i];
+          if (!synth::whp_at_risk(world.txr_class(t.id)) || t.state < 0) {
+            continue;
+          }
+          double multiplier = 1.0;  // eastern default: no Littell projection
+          for (const synth::EcoregionInfo& eco : west) {
+            if (eco.boundary.contains(t.position.as_vec())) {
+              multiplier = std::max(0.0, 1.0 + eco.delta_burn_pct_2040 / 100.0);
+              break;
+            }
+          }
+          FutureStateRow& row = acc.states[static_cast<std::size_t>(t.state)];
+          ++row.at_risk_now;
+          row.at_risk_2040 += multiplier;
+          ++acc.at_risk_now;
+          acc.at_risk_2040 += multiplier;
+        }
+      },
+      [](Partial& into, Partial&& part) {
+        for (std::size_t s = 0; s < into.states.size(); ++s) {
+          into.states[s].at_risk_now += part.states[s].at_risk_now;
+          into.states[s].at_risk_2040 += part.states[s].at_risk_2040;
+        }
+        into.at_risk_now += part.at_risk_now;
+        into.at_risk_2040 += part.at_risk_2040;
+      },
+      {.grain = 4096});
+  for (std::size_t s = 0; s < result.states.size(); ++s) {
+    result.states[s].at_risk_now = tally.states[s].at_risk_now;
+    result.states[s].at_risk_2040 = tally.states[s].at_risk_2040;
   }
+  result.at_risk_now = tally.at_risk_now;
+  result.at_risk_2040 = tally.at_risk_2040;
   return result;
 }
 

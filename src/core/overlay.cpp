@@ -2,25 +2,41 @@
 
 #include <algorithm>
 
+#include "exec/exec.hpp"
+
 namespace fa::core {
 
 PerimeterHits transceivers_in_perimeters_attributed(
     const World& world, const std::vector<firesim::FirePerimeter>& fires) {
   PerimeterHits hits;
-  std::vector<std::uint8_t> seen(world.corpus().size(), 0);
   // Query the transceiver grid index by fire bbox, then run the exact
   // polygon test — fires are few and small relative to the corpus, so
   // this direction of the join is the cheap one.
+  //
+  // Parallel shape: each fire collects its own candidate list (reads
+  // only), then a serial merge in fire order applies the first-
+  // containing-fire dedup — byte-identical to the serial sweep.
+  std::vector<std::vector<std::uint32_t>> per_fire(fires.size());
+  exec::parallel_for(
+      fires.size(),
+      [&world, &fires, &per_fire](std::size_t f) {
+        const auto& perimeter = fires[f].perimeter;
+        if (perimeter.empty()) return;
+        world.txr_index().query(
+            perimeter.bbox(), [&](std::uint32_t id, geo::Vec2 p) {
+              if (perimeter.contains(p)) per_fire[f].push_back(id);
+            });
+      },
+      {.grain = 4});
+
+  std::vector<std::uint8_t> seen(world.corpus().size(), 0);
   for (std::uint32_t f = 0; f < fires.size(); ++f) {
-    const auto& perimeter = fires[f].perimeter;
-    if (perimeter.empty()) continue;
-    world.txr_index().query(
-        perimeter.bbox(), [&](std::uint32_t id, geo::Vec2 p) {
-          if (seen[id] != 0 || !perimeter.contains(p)) return;
-          seen[id] = 1;
-          hits.txr_ids.push_back(id);
-          hits.fire_idx.push_back(f);
-        });
+    for (const std::uint32_t id : per_fire[f]) {
+      if (seen[id] != 0) continue;
+      seen[id] = 1;
+      hits.txr_ids.push_back(id);
+      hits.fire_idx.push_back(f);
+    }
   }
   return hits;
 }

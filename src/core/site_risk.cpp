@@ -1,5 +1,9 @@
 #include "core/site_risk.hpp"
 
+#include <array>
+
+#include "exec/exec.hpp"
+
 namespace fa::core {
 
 SiteRiskResult run_site_risk(const World& world, double merge_dist_m) {
@@ -12,29 +16,67 @@ SiteRiskResult run_site_risk(const World& world, double merge_dist_m) {
       result.sites ? static_cast<double>(result.transceivers) / result.sites
                    : 0.0;
 
-  std::size_t at_risk_radios = 0;
-  std::size_t safe_radios = 0;
-  std::size_t at_risk_sites = 0;
-  std::size_t safe_sites = 0;
-  for (const cellnet::CellSite& site : sites) {
-    const synth::WhpClass cls = world.whp().class_at(site.position);
-    ++result.sites_by_class[static_cast<std::size_t>(cls)];
-    if (synth::whp_at_risk(cls)) {
-      ++at_risk_sites;
-      at_risk_radios += site.transceiver_count;
-    } else {
-      ++safe_sites;
-      safe_radios += site.transceiver_count;
-    }
-  }
-  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
-    ++result.txr_by_class[static_cast<std::size_t>(world.txr_class(t.id))];
-  }
+  // Per-site WHP sampling: integer tallies, so the chunked reduction is
+  // exactly the serial sweep.
+  struct SitePartial {
+    std::array<std::size_t, synth::kNumWhpClasses> by_class{};
+    std::size_t at_risk_radios = 0;
+    std::size_t safe_radios = 0;
+    std::size_t at_risk_sites = 0;
+    std::size_t safe_sites = 0;
+  };
+  const SitePartial tally = exec::parallel_reduce(
+      sites.size(), SitePartial{},
+      [&world, &sites](std::size_t begin, std::size_t end, SitePartial& acc) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const cellnet::CellSite& site = sites[i];
+          const synth::WhpClass cls = world.whp().class_at(site.position);
+          ++acc.by_class[static_cast<std::size_t>(cls)];
+          if (synth::whp_at_risk(cls)) {
+            ++acc.at_risk_sites;
+            acc.at_risk_radios += site.transceiver_count;
+          } else {
+            ++acc.safe_sites;
+            acc.safe_radios += site.transceiver_count;
+          }
+        }
+      },
+      [](SitePartial& into, SitePartial&& part) {
+        for (std::size_t c = 0; c < into.by_class.size(); ++c) {
+          into.by_class[c] += part.by_class[c];
+        }
+        into.at_risk_radios += part.at_risk_radios;
+        into.safe_radios += part.safe_radios;
+        into.at_risk_sites += part.at_risk_sites;
+        into.safe_sites += part.safe_sites;
+      },
+      {.grain = 1024});
+  result.sites_by_class = tally.by_class;
+
+  const std::vector<cellnet::Transceiver>& transceivers =
+      world.corpus().transceivers();
+  using ClassCounts = std::array<std::size_t, synth::kNumWhpClasses>;
+  result.txr_by_class = exec::parallel_reduce(
+      transceivers.size(), ClassCounts{},
+      [&world, &transceivers](std::size_t begin, std::size_t end,
+                              ClassCounts& acc) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ++acc[static_cast<std::size_t>(world.txr_class(transceivers[i].id))];
+        }
+      },
+      [](ClassCounts& into, ClassCounts&& part) {
+        for (std::size_t c = 0; c < into.size(); ++c) into[c] += part[c];
+      },
+      {.grain = 8192});
+
   result.radios_per_at_risk_site =
-      at_risk_sites ? static_cast<double>(at_risk_radios) / at_risk_sites
-                    : 0.0;
+      tally.at_risk_sites
+          ? static_cast<double>(tally.at_risk_radios) / tally.at_risk_sites
+          : 0.0;
   result.radios_per_safe_site =
-      safe_sites ? static_cast<double>(safe_radios) / safe_sites : 0.0;
+      tally.safe_sites
+          ? static_cast<double>(tally.safe_radios) / tally.safe_sites
+          : 0.0;
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/exec.hpp"
+
 namespace fa::core {
 
 WhpOverlayResult run_whp_overlay(const World& world) {
@@ -11,17 +13,48 @@ WhpOverlayResult run_whp_overlay(const World& world) {
   for (std::size_t s = 0; s < result.states.size(); ++s) {
     result.states[s].state = static_cast<int>(s);
   }
-  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
-    const synth::WhpClass cls = world.txr_class(t.id);
-    ++result.txr_by_class[static_cast<std::size_t>(cls)];
-    if (t.state < 0) continue;
-    StateWhpRow& row = result.states[static_cast<std::size_t>(t.state)];
-    switch (cls) {
-      case synth::WhpClass::kModerate: ++row.moderate; break;
-      case synth::WhpClass::kHigh: ++row.high; break;
-      case synth::WhpClass::kVeryHigh: ++row.very_high; break;
-      default: break;
-    }
+  // Pure counting: chunk partials are integer histograms, so the chunked
+  // reduction is exactly the serial tally.
+  struct Partial {
+    std::array<std::size_t, synth::kNumWhpClasses> by_class{};
+    std::vector<std::array<std::size_t, 3>> by_state;  // M/H/VH
+  };
+  Partial identity;
+  identity.by_state.resize(result.states.size());
+  const std::vector<cellnet::Transceiver>& transceivers =
+      world.corpus().transceivers();
+  const Partial tally = exec::parallel_reduce(
+      transceivers.size(), std::move(identity),
+      [&world, &transceivers](std::size_t begin, std::size_t end,
+                              Partial& acc) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const cellnet::Transceiver& t = transceivers[i];
+          const synth::WhpClass cls = world.txr_class(t.id);
+          ++acc.by_class[static_cast<std::size_t>(cls)];
+          if (t.state < 0) continue;
+          auto& row = acc.by_state[static_cast<std::size_t>(t.state)];
+          switch (cls) {
+            case synth::WhpClass::kModerate: ++row[0]; break;
+            case synth::WhpClass::kHigh: ++row[1]; break;
+            case synth::WhpClass::kVeryHigh: ++row[2]; break;
+            default: break;
+          }
+        }
+      },
+      [](Partial& into, Partial&& part) {
+        for (std::size_t c = 0; c < into.by_class.size(); ++c) {
+          into.by_class[c] += part.by_class[c];
+        }
+        for (std::size_t s = 0; s < into.by_state.size(); ++s) {
+          for (int k = 0; k < 3; ++k) into.by_state[s][k] += part.by_state[s][k];
+        }
+      },
+      {.grain = 8192});
+  result.txr_by_class = tally.by_class;
+  for (std::size_t s = 0; s < result.states.size(); ++s) {
+    result.states[s].moderate = tally.by_state[s][0];
+    result.states[s].high = tally.by_state[s][1];
+    result.states[s].very_high = tally.by_state[s][2];
   }
   for (StateWhpRow& row : result.states) {
     const double pop_k =

@@ -1,5 +1,7 @@
 #include "core/world.hpp"
 
+#include "exec/exec.hpp"
+
 namespace fa::core {
 
 World World::build(const synth::ScenarioConfig& config) {
@@ -10,17 +12,25 @@ World World::build(const synth::ScenarioConfig& config) {
   w.corpus_ = synth::generate_corpus(*w.atlas_, config);
   w.counties_ = synth::CountyMap::build(*w.atlas_, config);
 
+  // Per-transceiver classification and county resolution: every write is
+  // indexed by transceiver id, so chunks touch disjoint slots and the
+  // result is identical at any thread count.
+  const std::vector<cellnet::Transceiver>& transceivers =
+      w.corpus_.transceivers();
   const std::size_t n = w.corpus_.size();
   w.txr_class_.resize(n);
   w.txr_county_.resize(n);
-  std::vector<geo::Vec2> positions;
-  positions.reserve(n);
-  for (const cellnet::Transceiver& t : w.corpus_.transceivers()) {
-    w.txr_class_[t.id] =
-        static_cast<std::uint8_t>(w.whp_.class_at(t.position));
-    w.txr_county_[t.id] = w.counties_.county_of(t.position);
-    positions.push_back(t.position.as_vec());
-  }
+  std::vector<geo::Vec2> positions(n);
+  exec::parallel_for(
+      n,
+      [&w, &transceivers, &positions](std::size_t i) {
+        const cellnet::Transceiver& t = transceivers[i];
+        w.txr_class_[t.id] =
+            static_cast<std::uint8_t>(w.whp_.class_at(t.position));
+        w.txr_county_[t.id] = w.counties_.county_of(t.position);
+        positions[t.id] = t.position.as_vec();
+      },
+      {.grain = 256});
   w.txr_index_ = index::GridIndex(std::move(positions),
                                   w.atlas_->conus_bbox().inflated(0.5),
                                   512, 256);

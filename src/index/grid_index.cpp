@@ -49,43 +49,6 @@ int GridIndex::row_of(double y) const {
   return std::clamp(r, 0, rows_ - 1);
 }
 
-template <bool Exact>
-void GridIndex::visit(
-    const geo::BBox& query,
-    const std::function<void(std::uint32_t, geo::Vec2)>& fn) const {
-  if (points_.empty() || !query.valid() || !query.intersects(bounds_)) return;
-  const int c0 = col_of(query.min_x);
-  const int c1 = col_of(query.max_x);
-  const int r0 = row_of(query.min_y);
-  const int r1 = row_of(query.max_y);
-  for (int r = r0; r <= r1; ++r) {
-    for (int c = c0; c <= c1; ++c) {
-      const std::size_t cell = static_cast<std::size_t>(r) * cols_ + c;
-      for (std::uint32_t k = cell_start_[cell]; k < cell_start_[cell + 1];
-           ++k) {
-        const std::uint32_t id = binned_[k];
-        const geo::Vec2 p = points_[id];
-        if constexpr (Exact) {
-          if (!query.contains(p)) continue;
-        }
-        fn(id, p);
-      }
-    }
-  }
-}
-
-void GridIndex::query(
-    const geo::BBox& query,
-    const std::function<void(std::uint32_t, geo::Vec2)>& fn) const {
-  visit<true>(query, fn);
-}
-
-void GridIndex::query_candidates(
-    const geo::BBox& query,
-    const std::function<void(std::uint32_t, geo::Vec2)>& fn) const {
-  visit<false>(query, fn);
-}
-
 std::vector<std::uint32_t> GridIndex::query_ids(const geo::BBox& q) const {
   std::vector<std::uint32_t> out;
   query(q, [&out](std::uint32_t id, geo::Vec2) { out.push_back(id); });

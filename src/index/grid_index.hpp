@@ -1,10 +1,14 @@
 // Uniform grid index over points. Complements the R-tree: the transceiver
 // corpus is large (10^5..10^6 points) and queried by region, where binned
 // points give cache-friendly scans and O(1) cell addressing.
+//
+// Visitors are templated (`Fn&&`) so the per-point callback inlines into
+// the scan loop — no std::function indirection or allocation on the hot
+// path. A std::function still binds to the template at call sites that
+// genuinely need type erasure.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "geo/bbox.hpp"
@@ -25,16 +29,19 @@ class GridIndex {
   const geo::BBox& bounds() const { return bounds_; }
 
   // Invokes fn(point_id, point) for every point inside `query`.
-  void query(const geo::BBox& query,
-             const std::function<void(std::uint32_t, geo::Vec2)>& fn) const;
+  template <class Fn>
+  void query(const geo::BBox& query, Fn&& fn) const {
+    visit<true>(query, std::forward<Fn>(fn));
+  }
   std::vector<std::uint32_t> query_ids(const geo::BBox& query) const;
 
   // Invokes fn for every point in bins that intersect `query`, without the
   // per-point containment test — callers that run an exact polygon test
   // afterwards use this to skip the redundant bbox check.
-  void query_candidates(
-      const geo::BBox& query,
-      const std::function<void(std::uint32_t, geo::Vec2)>& fn) const;
+  template <class Fn>
+  void query_candidates(const geo::BBox& query, Fn&& fn) const {
+    visit<false>(query, std::forward<Fn>(fn));
+  }
 
   // Count of points within `query` (exact).
   std::size_t count(const geo::BBox& query) const;
@@ -49,9 +56,31 @@ class GridIndex {
  private:
   int col_of(double x) const;
   int row_of(double y) const;
-  template <bool Exact>
-  void visit(const geo::BBox& query,
-             const std::function<void(std::uint32_t, geo::Vec2)>& fn) const;
+
+  template <bool Exact, class Fn>
+  void visit(const geo::BBox& query, Fn&& fn) const {
+    if (points_.empty() || !query.valid() || !query.intersects(bounds_)) {
+      return;
+    }
+    const int c0 = col_of(query.min_x);
+    const int c1 = col_of(query.max_x);
+    const int r0 = row_of(query.min_y);
+    const int r1 = row_of(query.max_y);
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) {
+        const std::size_t cell = static_cast<std::size_t>(r) * cols_ + c;
+        for (std::uint32_t k = cell_start_[cell]; k < cell_start_[cell + 1];
+             ++k) {
+          const std::uint32_t id = binned_[k];
+          const geo::Vec2 p = points_[id];
+          if constexpr (Exact) {
+            if (!query.contains(p)) continue;
+          }
+          fn(id, p);
+        }
+      }
+    }
+  }
 
   std::vector<geo::Vec2> points_;       // original order; id == index
   std::vector<std::uint32_t> binned_;   // point ids sorted by bin

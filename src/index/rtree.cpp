@@ -8,7 +8,8 @@ namespace fa::index {
 RTree::RTree(std::vector<Entry> entries, int max_fanout)
     : entries_(std::move(entries)), num_entries_(entries_.size()) {
   if (entries_.empty()) return;
-  const std::size_t fanout = static_cast<std::size_t>(std::max(2, max_fanout));
+  const std::size_t fanout =
+      static_cast<std::size_t>(std::clamp(max_fanout, 2, kMaxFanout));
 
   // --- STR packing of the leaf level ---
   // Sort by x-center into vertical slices, then each slice by y-center.
@@ -72,36 +73,10 @@ geo::BBox RTree::bounds() const {
   return nodes_.empty() ? geo::BBox{} : nodes_[root_].box;
 }
 
-void RTree::query_impl(std::uint32_t node_idx, const geo::BBox& query,
-                       const std::function<void(std::uint32_t)>& fn) const {
-  const Node& node = nodes_[node_idx];
-  if (!node.box.intersects(query)) return;
-  if (node.leaf) {
-    for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
-      if (entries_[i].box.intersects(query)) fn(entries_[i].id);
-    }
-    return;
-  }
-  for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
-    query_impl(i, query, fn);
-  }
-}
-
-void RTree::query(const geo::BBox& query,
-                  const std::function<void(std::uint32_t)>& fn) const {
-  if (nodes_.empty() || !query.valid()) return;
-  query_impl(root_, query, fn);
-}
-
 std::vector<std::uint32_t> RTree::query(const geo::BBox& query) const {
   std::vector<std::uint32_t> out;
   this->query(query, [&out](std::uint32_t id) { out.push_back(id); });
   return out;
-}
-
-void RTree::query_point(geo::Vec2 p,
-                        const std::function<void(std::uint32_t)>& fn) const {
-  query(geo::BBox::of_point(p), fn);
 }
 
 }  // namespace fa::index

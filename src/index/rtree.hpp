@@ -4,10 +4,13 @@
 // immutable afterwards — exactly the access pattern of the overlay
 // pipeline, where a year's fire perimeters are indexed once and probed by
 // millions of transceiver points.
+//
+// Visitors are templated (`Fn&&`) so the per-entry callback inlines into
+// the traversal — no std::function indirection on the probe path. A
+// std::function still binds to the template where type erasure is needed.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -23,7 +26,8 @@ class RTree {
   };
 
   RTree() = default;
-  // Bulk-loads `entries` (copied); `max_fanout` children per node.
+  // Bulk-loads `entries` (copied); `max_fanout` children per node,
+  // clamped to [2, kMaxFanout] so query's traversal stack is bounded.
   explicit RTree(std::vector<Entry> entries, int max_fanout = 16);
 
   std::size_t size() const { return num_entries_; }
@@ -31,16 +35,40 @@ class RTree {
   geo::BBox bounds() const;
 
   // Invokes `fn(id)` for every entry whose box intersects `query`.
-  void query(const geo::BBox& query,
-             const std::function<void(std::uint32_t)>& fn) const;
+  template <class Fn>
+  void query(const geo::BBox& query, Fn&& fn) const {
+    if (nodes_.empty() || !query.valid()) return;
+    // Explicit stack: depth is bounded by the tree height (fanout >= 2),
+    // and kMaxDepth leaves generous slack above log2(2^32) levels.
+    std::uint32_t stack[kMaxDepth];
+    int top = 0;
+    stack[top++] = root_;
+    while (top > 0) {
+      const Node& node = nodes_[stack[--top]];
+      if (!node.box.intersects(query)) continue;
+      if (node.leaf) {
+        for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+          if (entries_[i].box.intersects(query)) fn(entries_[i].id);
+        }
+        continue;
+      }
+      for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+        stack[top++] = i;
+      }
+    }
+  }
   // Convenience: collect intersecting ids (unordered).
   std::vector<std::uint32_t> query(const geo::BBox& query) const;
   // Invokes `fn(id)` for every entry whose box contains the point.
-  void query_point(geo::Vec2 p,
-                   const std::function<void(std::uint32_t)>& fn) const;
+  template <class Fn>
+  void query_point(geo::Vec2 p, Fn&& fn) const {
+    query(geo::BBox::of_point(p), std::forward<Fn>(fn));
+  }
 
   // Number of tree levels (1 = leaves only); exposed for tests/benchmarks.
   int height() const { return height_; }
+
+  static constexpr int kMaxFanout = 64;
 
  private:
   struct Node {
@@ -52,8 +80,9 @@ class RTree {
     bool leaf = true;
   };
 
-  void query_impl(std::uint32_t node_idx, const geo::BBox& query,
-                  const std::function<void(std::uint32_t)>& fn) const;
+  // 40 levels of fanout >= 2 cover any 32-bit entry count; the stack
+  // holds at most (fanout-1) * height + 1 pending nodes.
+  static constexpr int kMaxDepth = 40 * (kMaxFanout - 1) + 1;
 
   std::vector<Entry> entries_;
   std::vector<Node> nodes_;  // nodes_[root_] is the root when non-empty

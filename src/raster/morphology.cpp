@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "exec/exec.hpp"
+
 namespace fa::raster {
 
 FloatRaster distance_transform(const MaskRaster& mask) {
@@ -14,11 +16,14 @@ FloatRaster distance_transform(const MaskRaster& mask) {
   const float straight = static_cast<float>(std::min(g.cell_w, g.cell_h));
   const float diagonal = straight * 4.0f / 3.0f;
 
-  for (int r = 0; r < g.rows; ++r) {
-    for (int c = 0; c < g.cols; ++c) {
-      if (mask.at(c, r) != 0) dist.at(c, r) = 0.0f;
-    }
-  }
+  // Seeding is elementwise; the two chamfer relaxation passes below carry
+  // a row-to-row dependency and stay serial.
+  exec::parallel_for(
+      mask.data().size(),
+      [&mask, &dist](std::size_t i) {
+        if (mask.data()[i] != 0) dist.data()[i] = 0.0f;
+      },
+      {.grain = 1 << 16});
 
   const auto relax = [&dist, &g](int c, int r, int dc, int dr, float w) {
     const int cc = c + dc;
@@ -53,17 +58,23 @@ MaskRaster dilate_mask(const MaskRaster& mask, double radius) {
   const FloatRaster dist = distance_transform(mask);
   MaskRaster out(mask.geom(), 0);
   const float rad = static_cast<float>(radius);
-  for (std::size_t i = 0; i < dist.data().size(); ++i) {
-    out.data()[i] = dist.data()[i] <= rad ? 1 : 0;
-  }
+  exec::parallel_for(
+      dist.data().size(),
+      [&dist, &out, rad](std::size_t i) {
+        out.data()[i] = dist.data()[i] <= rad ? 1 : 0;
+      },
+      {.grain = 1 << 16});
   return out;
 }
 
 MaskRaster class_mask(const ClassRaster& classes, std::uint8_t cls) {
   MaskRaster out(classes.geom(), 0);
-  for (std::size_t i = 0; i < classes.data().size(); ++i) {
-    out.data()[i] = classes.data()[i] == cls ? 1 : 0;
-  }
+  exec::parallel_for(
+      classes.data().size(),
+      [&classes, &out, cls](std::size_t i) {
+        out.data()[i] = classes.data()[i] == cls ? 1 : 0;
+      },
+      {.grain = 1 << 16});
   return out;
 }
 

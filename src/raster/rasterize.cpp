@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/exec.hpp"
+
 namespace fa::raster {
 
 namespace {
@@ -21,43 +23,70 @@ void ring_crossings(const geo::Ring& ring, double y, std::vector<double>& xs) {
   }
 }
 
-}  // namespace
-
-void scan_polygon(const GridGeometry& geom, const geo::Polygon& poly,
-                  const std::function<void(int, int)>& fn) {
-  if (poly.empty() || geom.cell_count() == 0) return;
-  const geo::BBox box = poly.bbox().intersection(geom.extent());
-  if (!box.valid()) return;
-
-  const int r0 = std::max(0, geom.row_of(box.min_y));
-  const int r1 = std::min(geom.rows - 1, geom.row_of(box.max_y));
-  std::vector<double> xs;
-  for (int r = r0; r <= r1; ++r) {
-    const double y = geom.origin_y + (r + 0.5) * geom.cell_h;
-    xs.clear();
-    ring_crossings(poly.outer(), y, xs);
-    for (const geo::Ring& h : poly.holes()) ring_crossings(h, y, xs);
-    std::sort(xs.begin(), xs.end());
-    // Crossings pair up into inside spans (even-odd rule; holes simply add
-    // crossings, which carves them out).
-    for (std::size_t k = 0; k + 1 < xs.size(); k += 2) {
-      const int c0 = std::max(0, geom.col_of(xs[k] + geom.cell_w * 0.5));
-      const int c1 =
-          std::min(geom.cols - 1,
-                   geom.col_of(xs[k + 1] - geom.cell_w * 0.5));
-      for (int c = c0; c <= c1; ++c) {
-        // Cell-center test, consistent with Raster::sample semantics.
-        const double cx = geom.origin_x + (c + 0.5) * geom.cell_w;
-        if (cx >= xs[k] && cx <= xs[k + 1]) fn(c, r);
-      }
+// One scanline of the polygon fill: invokes fn(c, r) for row r's inside
+// cells, left to right. `xs` is caller-provided scratch.
+template <class Fn>
+void scan_row(const GridGeometry& geom, const geo::Polygon& poly, int r,
+              std::vector<double>& xs, Fn&& fn) {
+  const double y = geom.origin_y + (r + 0.5) * geom.cell_h;
+  xs.clear();
+  ring_crossings(poly.outer(), y, xs);
+  for (const geo::Ring& h : poly.holes()) ring_crossings(h, y, xs);
+  std::sort(xs.begin(), xs.end());
+  // Crossings pair up into inside spans (even-odd rule; holes simply add
+  // crossings, which carves them out).
+  for (std::size_t k = 0; k + 1 < xs.size(); k += 2) {
+    const int c0 = std::max(0, geom.col_of(xs[k] + geom.cell_w * 0.5));
+    const int c1 =
+        std::min(geom.cols - 1, geom.col_of(xs[k + 1] - geom.cell_w * 0.5));
+    for (int c = c0; c <= c1; ++c) {
+      // Cell-center test, consistent with Raster::sample semantics.
+      const double cx = geom.origin_x + (c + 0.5) * geom.cell_w;
+      if (cx >= xs[k] && cx <= xs[k + 1]) fn(c, r);
     }
   }
 }
 
+// Row range of the polygon's bbox clipped to the raster; {1, 0} when empty.
+std::pair<int, int> row_span(const GridGeometry& geom,
+                             const geo::Polygon& poly) {
+  if (poly.empty() || geom.cell_count() == 0) return {1, 0};
+  const geo::BBox box = poly.bbox().intersection(geom.extent());
+  if (!box.valid()) return {1, 0};
+  return {std::max(0, geom.row_of(box.min_y)),
+          std::min(geom.rows - 1, geom.row_of(box.max_y))};
+}
+
+}  // namespace
+
+void scan_polygon(const GridGeometry& geom, const geo::Polygon& poly,
+                  const std::function<void(int, int)>& fn) {
+  // Serial by contract: callers rely on row-major visit order.
+  const auto [r0, r1] = row_span(geom, poly);
+  std::vector<double> xs;
+  for (int r = r0; r <= r1; ++r) scan_row(geom, poly, r, xs, fn);
+}
+
 void rasterize_polygon(MaskRaster& target, const geo::Polygon& poly,
                        std::uint8_t value) {
-  scan_polygon(target.geom(), poly,
-               [&](int c, int r) { target.at(c, r) = value; });
+  // Row-parallel: each scanline writes only its own raster row, and the
+  // stamp is a fixed value, so the result is order-independent.
+  const auto [r0, r1] = row_span(target.geom(), poly);
+  if (r0 > r1) return;
+  const GridGeometry& geom = target.geom();
+  exec::parallel_for_chunks(
+      static_cast<std::size_t>(r1 - r0 + 1),
+      [&](std::size_t begin, std::size_t end, exec::ChunkContext) {
+        std::vector<double> xs;
+        for (std::size_t i = begin; i < end; ++i) {
+          const int r = r0 + static_cast<int>(i);
+          scan_row(geom, poly, r, xs,
+                   [&target, value](int c, int row) {
+                     target.at(c, row) = value;
+                   });
+        }
+      },
+      {.grain = 64});
 }
 
 void rasterize_multipolygon(MaskRaster& target, const geo::MultiPolygon& mp,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "geo/geodesy.hpp"
 #include "raster/morphology.hpp"
 #include "raster/rasterize.hpp"
@@ -79,7 +80,11 @@ WhpModel generate_whp(const UsAtlas& atlas, const ScenarioConfig& config) {
   const double wavelength_m = 42000.0;  // hazard blob scale
   const raster::FloatRaster urban_dist = raster::distance_transform(model.urban_);
 
-  for (int r = 0; r < geom.rows; ++r) {
+  // Row-parallel: every cell's score is a pure function of its own
+  // coordinates (value noise, not sequential RNG), so rows classify
+  // independently and the surface is identical at any thread count.
+  exec::parallel_for(static_cast<std::size_t>(geom.rows), [&](std::size_t row) {
+    const int r = static_cast<int>(row);
     for (int c = 0; c < geom.cols; ++c) {
       const geo::Vec2 center = geom.cell_center(c, r);
       const geo::LonLat ll = model.proj_.inverse(center);
@@ -118,7 +123,7 @@ WhpModel generate_whp(const UsAtlas& atlas, const ScenarioConfig& config) {
       }
       model.grid_.at(c, r) = static_cast<std::uint8_t>(cls);
     }
-  }
+  }, {.grain = 4});
   return model;
 }
 

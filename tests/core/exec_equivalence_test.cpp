@@ -1,0 +1,124 @@
+// Parallel/serial equivalence on the seed scenario: the fa::exec-backed
+// overlay paths must produce byte-identical output at every thread count
+// (exec::ConcurrencyLimit(1) forces the serial inline path), and the
+// attributed overlay must agree with a brute-force reference join.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/overlay.hpp"
+#include "core/whp_overlay.hpp"
+#include "exec/exec.hpp"
+#include "firesim/fire.hpp"
+#include "test_world.hpp"
+
+namespace fa::core {
+namespace {
+
+const std::vector<firesim::FirePerimeter>& test_season_fires() {
+  static const std::vector<firesim::FirePerimeter> fires = [] {
+    const World& world = testing::test_world();
+    firesim::FireSimulator sim(world.whp(), world.atlas(),
+                               world.config().seed);
+    return sim.simulate_year(synth::historical_fire_years().back(), {}).fires;
+  }();
+  return fires;
+}
+
+TEST(ExecEquivalenceTest, AttributedOverlayIsIdenticalAcrossThreadCounts) {
+  const World& world = testing::test_world();
+  const auto& fires = test_season_fires();
+  ASSERT_FALSE(fires.empty());
+
+  PerimeterHits serial;
+  {
+    exec::ConcurrencyLimit limit(1);
+    serial = transceivers_in_perimeters_attributed(world, fires);
+  }
+  for (const int threads : {2, 8}) {
+    exec::ConcurrencyLimit limit(threads);
+    const PerimeterHits parallel =
+        transceivers_in_perimeters_attributed(world, fires);
+    EXPECT_EQ(serial.txr_ids, parallel.txr_ids) << threads << " threads";
+    EXPECT_EQ(serial.fire_idx, parallel.fire_idx) << threads << " threads";
+  }
+}
+
+TEST(ExecEquivalenceTest, AttributedOverlayMatchesBruteForceJoin) {
+  const World& world = testing::test_world();
+  const auto& fires = test_season_fires();
+  const PerimeterHits hits = transceivers_in_perimeters_attributed(world, fires);
+
+  // Reference: each transceiver is attributed to the first fire (in fire
+  // order) whose perimeter contains it. Order within a fire is index-
+  // traversal-dependent, so compare the id -> fire mapping, not the
+  // sequence.
+  std::map<std::uint32_t, std::uint32_t> expected;
+  for (std::uint32_t f = 0; f < fires.size(); ++f) {
+    const auto& perimeter = fires[f].perimeter;
+    if (perimeter.empty()) continue;
+    for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+      if (!expected.contains(t.id) && perimeter.contains(t.position.as_vec())) {
+        expected[t.id] = f;
+      }
+    }
+  }
+
+  ASSERT_EQ(hits.txr_ids.size(), expected.size());
+  for (std::size_t i = 0; i < hits.txr_ids.size(); ++i) {
+    const auto it = expected.find(hits.txr_ids[i]);
+    ASSERT_NE(it, expected.end()) << "unexpected hit id " << hits.txr_ids[i];
+    EXPECT_EQ(it->second, hits.fire_idx[i])
+        << "wrong fire for id " << hits.txr_ids[i];
+  }
+}
+
+TEST(ExecEquivalenceTest, WhpOverlayIsIdenticalAcrossThreadCounts) {
+  const World& world = testing::test_world();
+  WhpOverlayResult serial;
+  {
+    exec::ConcurrencyLimit limit(1);
+    serial = run_whp_overlay(world);
+  }
+  for (const int threads : {2, 8}) {
+    exec::ConcurrencyLimit limit(threads);
+    const WhpOverlayResult parallel = run_whp_overlay(world);
+    EXPECT_EQ(serial.txr_by_class, parallel.txr_by_class);
+    ASSERT_EQ(serial.states.size(), parallel.states.size());
+    for (std::size_t s = 0; s < serial.states.size(); ++s) {
+      EXPECT_EQ(serial.states[s].state, parallel.states[s].state);
+      EXPECT_EQ(serial.states[s].moderate, parallel.states[s].moderate);
+      EXPECT_EQ(serial.states[s].high, parallel.states[s].high);
+      EXPECT_EQ(serial.states[s].very_high, parallel.states[s].very_high);
+      // Bitwise: the per-capita rates derive from the same integers.
+      EXPECT_EQ(serial.states[s].per_thousand_m, parallel.states[s].per_thousand_m);
+      EXPECT_EQ(serial.states[s].per_thousand_h, parallel.states[s].per_thousand_h);
+      EXPECT_EQ(serial.states[s].per_thousand_vh,
+                parallel.states[s].per_thousand_vh);
+    }
+  }
+}
+
+TEST(ExecEquivalenceTest, WorldBuildIsIdenticalAcrossThreadCounts) {
+  // World::build classifies transceivers in parallel; rebuilding the seed
+  // scenario under different caps must give the same classification.
+  synth::ScenarioConfig cfg = testing::test_context().config();
+  std::vector<synth::WhpClass> serial_classes;
+  {
+    exec::ConcurrencyLimit limit(1);
+    const World world = World::build(cfg);
+    for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+      serial_classes.push_back(world.txr_class(t.id));
+    }
+  }
+  exec::ConcurrencyLimit limit(8);
+  const World world = World::build(cfg);
+  std::vector<synth::WhpClass> parallel_classes;
+  for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
+    parallel_classes.push_back(world.txr_class(t.id));
+  }
+  EXPECT_EQ(serial_classes, parallel_classes);
+}
+
+}  // namespace
+}  // namespace fa::core

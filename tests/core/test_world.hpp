@@ -1,21 +1,25 @@
 // Shared test fixture: one coarse, small world reused by every core test
-// (world generation dominates runtime).
+// (world generation dominates runtime). Held by an AnalysisContext so the
+// tests exercise the same entry point the benches and examples use.
 #pragma once
 
+#include "core/analysis_context.hpp"
 #include "core/world.hpp"
 
 namespace fa::core::testing {
 
-inline const World& test_world() {
-  static const World world = [] {
+inline AnalysisContext& test_context() {
+  static AnalysisContext ctx = [] {
     synth::ScenarioConfig cfg;
     cfg.seed = 20191022;
     cfg.whp_cell_m = 9000.0;
     cfg.corpus_scale = 100.0;
     cfg.counties_per_state = 16;
-    return World::build(cfg);
+    return AnalysisContext(cfg);
   }();
-  return world;
+  return ctx;
 }
+
+inline const World& test_world() { return test_context().world(); }
 
 }  // namespace fa::core::testing
