@@ -34,10 +34,26 @@ core::AnalysisContext& bench_context(const std::string& bench_name) {
       static_cast<unsigned long long>(cfg.seed), cfg.whp_cell_m,
       cfg.corpus_scale, cfg.corpus_size());
   core::AnalysisContext& ctx = core::AnalysisContext::shared(cfg);
+  if (const char* policy = std::getenv("FA_POLICY");
+      policy != nullptr && *policy != '\0') {
+    if (const auto parsed = fault::recovery_policy_from_name(policy)) {
+      ctx.recovery_policy = *parsed;
+    } else {
+      std::fprintf(stderr, "FA_POLICY: unknown policy '%s' (ignored)\n",
+                   policy);
+    }
+  }
   if (!ctx.built()) {
     Stopwatch timer;
     ctx.world();
-    std::printf("world build: %.2fs\n\n", timer.seconds());
+    std::printf("world build: %.2fs  policy=%s\n",
+                timer.seconds(),
+                std::string(fault::recovery_policy_name(ctx.recovery_policy))
+                    .c_str());
+    std::printf("%s\n\n",
+                core::coverage_line(ctx.world().corpus().size(),
+                                    ctx.diagnostics())
+                    .c_str());
   } else {
     std::printf("world: cached scenario reused\n\n");
   }

@@ -6,6 +6,10 @@
 //   FA_CELL_M  - WHP cell size in metres   (default 1350)
 //   FA_SCALE   - corpus scale denominator  (default 8)
 //   FA_SEED    - master seed               (default 20191022)
+//   FA_POLICY  - ingestion RecoveryPolicy: strict|quarantine|best_effort
+//                (default quarantine)
+//   FA_FAULTS  - deterministic fault-injection spec, e.g.
+//                "seed=42,ingest.txr=0.01" (see fault/injector.hpp)
 #pragma once
 
 #include <chrono>

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 
 #include "geo/geodesy.hpp"
 #include "io/csv.hpp"
@@ -129,7 +132,12 @@ void write_opencellid_csv(std::ostream& out, const CellCorpus& corpus) {
   }
 }
 
-CellCorpus read_opencellid_csv(std::istream& in, CsvLoadStats* stats) {
+fault::Result<CellCorpus> load_opencellid_csv(std::istream& in,
+                                              const CorpusLoadOptions& opts) {
+  using fault::ErrCode;
+  using fault::RecoveryPolicy;
+  using fault::Status;
+
   io::CsvReader reader(in);
   const int c_radio = reader.column("radio");
   const int c_mcc = reader.column("mcc");
@@ -137,36 +145,97 @@ CellCorpus read_opencellid_csv(std::istream& in, CsvLoadStats* stats) {
   const int c_cell = reader.column("cell");
   const int c_lon = reader.column("lon");
   const int c_lat = reader.column("lat");
+  if (c_radio < 0 || c_mcc < 0 || c_net < 0 || c_cell < 0 || c_lon < 0 ||
+      c_lat < 0) {
+    // A broken header poisons every record; no policy can degrade past it.
+    return Status::error(ErrCode::kSchema, 0, opts.source,
+                         "header lacks a required column "
+                         "(radio/mcc/net/cell/lon/lat)");
+  }
+
   std::vector<Transceiver> txr;
-  CsvLoadStats local;
-  while (auto row = reader.next()) {
-    const auto& r = *row;
-    const auto field = [&r](int idx) -> const std::string& {
-      static const std::string empty;
-      return idx >= 0 && static_cast<std::size_t>(idx) < r.size()
-                 ? r[static_cast<std::size_t>(idx)]
-                 : empty;
-    };
-    Transceiver t;
-    double lon = 0.0, lat = 0.0;
-    const bool ok = parse_radio_type(field(c_radio), t.radio) &&
-                    parse_u16(field(c_mcc), t.mcc) &&
-                    parse_u16(field(c_net), t.mnc) &&
-                    parse_u32(field(c_cell), t.cell_id) &&
-                    parse_double(field(c_lon), lon) &&
-                    parse_double(field(c_lat), lat) &&
-                    geo::is_valid({lon, lat});
-    if (!ok) {
-      ++local.skipped;
+  // Called once per malformed record; returns an error Status when the
+  // policy says the whole load must stop (Strict), nullopt otherwise.
+  const auto reject = [&opts](Status status) -> std::optional<Status> {
+    if (opts.policy == RecoveryPolicy::kStrict) return status;
+    if (opts.diagnostics != nullptr) opts.diagnostics->dropped(status);
+    return std::nullopt;
+  };
+
+  while (auto next = reader.try_next()) {
+    const std::uint64_t record = reader.records_read();  // 1-based index
+    if (!next->ok()) {
+      Status s = next->status();
+      s.source = opts.source;  // reader tags "csv"; re-tag with our source
+      if (auto fatal = reject(std::move(s))) return *fatal;
       continue;
     }
+    const std::vector<std::string>& r = next->value();
+    const auto field = [&r](int idx) -> const std::string& {
+      return r[static_cast<std::size_t>(idx)];
+    };
+
+    Transceiver t;
+    double lon = 0.0, lat = 0.0;
+    std::string_view bad_field;
+    if (!parse_radio_type(field(c_radio), t.radio)) bad_field = "radio";
+    else if (!parse_u16(field(c_mcc), t.mcc)) bad_field = "mcc";
+    else if (!parse_u16(field(c_net), t.mnc)) bad_field = "net";
+    else if (!parse_u32(field(c_cell), t.cell_id)) bad_field = "cell";
+    else if (!parse_double(field(c_lon), lon)) bad_field = "lon";
+    else if (!parse_double(field(c_lat), lat)) bad_field = "lat";
+    if (!bad_field.empty()) {
+      if (auto fatal = reject(Status::error(
+              ErrCode::kParse, record, opts.source,
+              "unparseable field '" + std::string(bad_field) + "'"))) {
+        return *fatal;
+      }
+      continue;
+    }
+
+    if (!geo::is_valid({lon, lat})) {
+      const bool finite = std::isfinite(lon) && std::isfinite(lat);
+      if (opts.policy == RecoveryPolicy::kBestEffort && finite) {
+        lon = std::clamp(lon, -180.0, 180.0);
+        lat = std::clamp(lat, -90.0, 90.0);
+        if (opts.diagnostics != nullptr) {
+          opts.diagnostics->repaired(Status::error(
+              ErrCode::kOutOfRange, record, opts.source,
+              "clamped out-of-range position"));
+        }
+      } else {
+        if (auto fatal = reject(Status::error(
+                ErrCode::kOutOfRange, record, opts.source,
+                finite ? "position outside lon/lat domain"
+                       : "non-finite position"))) {
+          return *fatal;
+        }
+        continue;
+      }
+    }
+
     t.position = {lon, lat};
     t.id = static_cast<std::uint32_t>(txr.size());
     txr.push_back(t);
-    ++local.parsed;
   }
-  if (stats != nullptr) *stats = local;
   return CellCorpus{std::move(txr)};
+}
+
+CellCorpus read_opencellid_csv(std::istream& in, CsvLoadStats* stats) {
+  // Legacy skip-and-count behaviour == Quarantine with a local sink. A
+  // header-level failure (which no policy can degrade past) reads as an
+  // empty corpus here; this entry point never throws.
+  fault::Diagnostics diags;
+  CorpusLoadOptions opts;
+  opts.policy = fault::RecoveryPolicy::kQuarantine;
+  opts.diagnostics = &diags;
+  fault::Result<CellCorpus> result = load_opencellid_csv(in, opts);
+  CellCorpus corpus = result.ok() ? std::move(result).take() : CellCorpus{};
+  if (stats != nullptr) {
+    stats->parsed = corpus.size();
+    stats->skipped = diags.total_dropped();
+  }
+  return corpus;
 }
 
 }  // namespace fa::cellnet

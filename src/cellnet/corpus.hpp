@@ -5,10 +5,12 @@
 #include <array>
 #include <istream>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "cellnet/providers.hpp"
 #include "cellnet/types.hpp"
+#include "fault/diagnostics.hpp"
 
 namespace fa::cellnet {
 
@@ -33,6 +35,10 @@ class CellCorpus {
   // approximation). `merge_dist_m` controls the rounding granularity.
   std::vector<CellSite> infer_sites(double merge_dist_m = 50.0) const;
 
+  // Moves the transceivers out (degraded-mode ingestion validates and
+  // re-densifies records without copying).
+  std::vector<Transceiver> take_transceivers() && { return std::move(txr_); }
+
  private:
   std::vector<Transceiver> txr_;
 };
@@ -51,5 +57,21 @@ struct CsvLoadStats {
 
 void write_opencellid_csv(std::ostream& out, const CellCorpus& corpus);
 CellCorpus read_opencellid_csv(std::istream& in, CsvLoadStats* stats = nullptr);
+
+// Degraded-mode loader. Per-record failures carry a Status whose offset
+// is the 1-based data-record index and whose code distinguishes short
+// rows (kSchema), unparseable fields (kParse), and out-of-domain
+// positions (kOutOfRange).
+//   Strict      first malformed record is the load's error
+//   Quarantine  malformed records are dropped and counted in diagnostics
+//   BestEffort  finite out-of-range coordinates are clamped into
+//               [-180,180]x[-90,90] (counted as repaired); the rest drop
+struct CorpusLoadOptions {
+  fault::RecoveryPolicy policy = fault::RecoveryPolicy::kQuarantine;
+  fault::Diagnostics* diagnostics = nullptr;  // optional sink
+  std::string source = "opencellid";          // tag used in every Status
+};
+fault::Result<CellCorpus> load_opencellid_csv(
+    std::istream& in, const CorpusLoadOptions& options = {});
 
 }  // namespace fa::cellnet

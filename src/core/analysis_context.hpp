@@ -21,16 +21,29 @@ class AnalysisContext {
   const synth::ScenarioConfig& config() const { return config_; }
 
   // The world for this scenario, built on first use and cached for the
-  // lifetime of the context.
+  // lifetime of the context. Ingestion runs under `recovery_policy` with
+  // `diagnostics()` as the sink; an unbuildable scenario (Strict-mode
+  // rejection, injected synth failure) raises fault::IoError.
   const World& world() const {
-    if (!world_) world_.emplace(World::build(config_));
+    if (!world_) {
+      World::BuildOptions options;
+      options.policy = recovery_policy;
+      options.diagnostics = &diagnostics_;
+      world_.emplace(World::build(config_, options).take());
+    }
     return *world_;
   }
   bool built() const { return world_.has_value(); }
 
+  // Ingestion diagnostics accumulated by the world build (empty until
+  // built; reset if the world is rebuilt).
+  const fault::Diagnostics& diagnostics() const { return diagnostics_; }
+
   // Options shared across analyses. Mutate before the relevant run_*
-  // call; the world itself depends only on `config()`.
+  // call; the world itself depends only on `config()` and, for degraded
+  // ingestion, on `recovery_policy`.
   firesim::FireSimConfig fire_config;
+  fault::RecoveryPolicy recovery_policy = fault::RecoveryPolicy::kQuarantine;
 
   // The paper's Table-1 fire seasons (2000-2018).
   std::span<const synth::FireYearStats> historical_years() const {
@@ -46,6 +59,7 @@ class AnalysisContext {
  private:
   synth::ScenarioConfig config_;
   mutable std::optional<World> world_;
+  mutable fault::Diagnostics diagnostics_;
 };
 
 }  // namespace fa::core

@@ -80,4 +80,14 @@ std::string fmt_pct(double fraction, int precision) {
   return fmt_double(fraction * 100.0, precision) + "%";
 }
 
+std::string coverage_line(std::size_t kept,
+                          const fault::Diagnostics& diags) {
+  if (diags.empty()) {
+    return "coverage: " + fmt_count(kept) + " records (complete)";
+  }
+  const std::size_t seen = kept + diags.total_dropped();
+  return "coverage: " + fmt_count(kept) + " of " + fmt_count(seen) +
+         " records (" + diags.summary() + ")";
+}
+
 }  // namespace fa::core

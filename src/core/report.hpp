@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/diagnostics.hpp"
+
 namespace fa::core {
 
 class TextTable {
@@ -26,5 +28,12 @@ class TextTable {
 std::string fmt_count(std::size_t n);            // 12,345
 std::string fmt_double(double v, int precision); // fixed precision
 std::string fmt_pct(double fraction, int precision = 1);  // 12.3%
+
+// The coverage footer every bench prints under its tables: how many
+// records the analysis actually saw, and what degraded-mode ingestion
+// did to the rest. "coverage: 12,345 records (complete)" on a clean run;
+// "coverage: 12,332 of 12,345 records (13 dropped (ingest.txr: 13
+// dropped))" otherwise.
+std::string coverage_line(std::size_t kept, const fault::Diagnostics& diags);
 
 }  // namespace fa::core

@@ -1,40 +1,178 @@
 #include "core/world.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string_view>
+#include <utility>
+
 #include "exec/exec.hpp"
+#include "fault/injector.hpp"
+#include "geo/lonlat.hpp"
 
 namespace fa::core {
 
-World World::build(const synth::ScenarioConfig& config) {
-  World w;
-  w.config_ = config;
-  w.atlas_ = &synth::UsAtlas::get();
-  w.whp_ = synth::generate_whp(*w.atlas_, config);
-  w.corpus_ = synth::generate_corpus(*w.atlas_, config);
-  w.counties_ = synth::CountyMap::build(*w.atlas_, config);
+namespace {
 
+constexpr std::string_view kIngestSite = "ingest.txr";
+
+// The ingest corruption stage: when the process-wide injector arms the
+// ingest.txr seam, every selected record's position is overwritten with
+// a value validation is guaranteed to reject, so under Quarantine the
+// dropped count equals the fired count exactly (the property the
+// equivalence tests pin down).
+void corrupt_stage(std::vector<cellnet::Transceiver>& txr) {
+  const fault::Injector& inj = fault::Injector::global();
+  if (!inj.armed()) return;
+  for (cellnet::Transceiver& t : txr) {
+    if (!inj.fires(kIngestSite, t.id)) continue;
+    switch (inj.draw(kIngestSite, t.id) & 3u) {
+      case 0:
+        t.position.lon = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 1:
+        t.position.lat = std::numeric_limits<double>::infinity();
+        break;
+      case 2:
+        t.position.lon = -999.0;
+        break;
+      default:
+        t.position.lat = 999.0;
+        break;
+    }
+  }
+}
+
+struct ValidateOutcome {
+  std::vector<cellnet::Transceiver> kept;
+  std::size_t dropped = 0;
+  std::size_t repaired = 0;
+};
+
+// Validation/quarantine: rejects records with out-of-domain positions
+// per the policy and re-densifies ids so every downstream cache indexed
+// by transceiver id stays dense. Status offsets carry the *pre*-
+// densification id — the record the input actually lost.
+fault::Result<ValidateOutcome> validate_stage(
+    std::vector<cellnet::Transceiver> txr, const World::BuildOptions& opts) {
+  using fault::ErrCode;
+  using fault::RecoveryPolicy;
+  using fault::Status;
+  ValidateOutcome out;
+  out.kept.reserve(txr.size());
+  for (cellnet::Transceiver& t : txr) {
+    if (!geo::is_valid(t.position)) {
+      const bool finite =
+          std::isfinite(t.position.lon) && std::isfinite(t.position.lat);
+      if (opts.policy == RecoveryPolicy::kBestEffort && finite) {
+        t.position.lon = std::clamp(t.position.lon, -180.0, 180.0);
+        t.position.lat = std::clamp(t.position.lat, -90.0, 90.0);
+        ++out.repaired;
+        if (opts.diagnostics != nullptr) {
+          opts.diagnostics->repaired(
+              Status::error(ErrCode::kOutOfRange, t.id,
+                            std::string(kIngestSite),
+                            "clamped out-of-range position"));
+        }
+      } else {
+        Status s = Status::error(ErrCode::kOutOfRange, t.id,
+                                 std::string(kIngestSite),
+                                 finite ? "position outside lon/lat domain"
+                                        : "non-finite position");
+        if (opts.policy == RecoveryPolicy::kStrict) return s;
+        ++out.dropped;
+        if (opts.diagnostics != nullptr) {
+          opts.diagnostics->dropped(std::move(s));
+        }
+        continue;
+      }
+    }
+    t.id = static_cast<std::uint32_t>(out.kept.size());
+    out.kept.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+void World::finalize() {
   // Per-transceiver classification and county resolution: every write is
   // indexed by transceiver id, so chunks touch disjoint slots and the
   // result is identical at any thread count.
   const std::vector<cellnet::Transceiver>& transceivers =
-      w.corpus_.transceivers();
-  const std::size_t n = w.corpus_.size();
-  w.txr_class_.resize(n);
-  w.txr_county_.resize(n);
+      corpus_.transceivers();
+  const std::size_t n = corpus_.size();
+  txr_class_.resize(n);
+  txr_county_.resize(n);
   std::vector<geo::Vec2> positions(n);
   exec::parallel_for(
       n,
-      [&w, &transceivers, &positions](std::size_t i) {
+      [this, &transceivers, &positions](std::size_t i) {
         const cellnet::Transceiver& t = transceivers[i];
-        w.txr_class_[t.id] =
-            static_cast<std::uint8_t>(w.whp_.class_at(t.position));
-        w.txr_county_[t.id] = w.counties_.county_of(t.position);
+        txr_class_[t.id] = static_cast<std::uint8_t>(whp_.class_at(t.position));
+        txr_county_[t.id] = counties_.county_of(t.position);
         positions[t.id] = t.position.as_vec();
       },
       {.grain = 256});
-  w.txr_index_ = index::GridIndex(std::move(positions),
-                                  w.atlas_->conus_bbox().inflated(0.5),
-                                  512, 256);
+  txr_index_ = index::GridIndex(std::move(positions),
+                                atlas_->conus_bbox().inflated(0.5), 512, 256);
+}
+
+fault::Result<World> World::build(const synth::ScenarioConfig& config,
+                                  const BuildOptions& options) {
+  World w;
+  w.config_ = config;
+  w.atlas_ = &synth::UsAtlas::get();
+  try {
+    w.whp_ = synth::generate_whp(*w.atlas_, config);
+    std::vector<cellnet::Transceiver> txr =
+        std::move(synth::generate_corpus(*w.atlas_, config))
+            .take_transceivers();
+    w.counties_ = synth::CountyMap::build(*w.atlas_, config);
+
+    corrupt_stage(txr);
+    fault::Result<ValidateOutcome> validated =
+        validate_stage(std::move(txr), options);
+    if (!validated.ok()) return validated.status();
+    w.ingest_dropped_ = validated.value().dropped;
+    w.ingest_repaired_ = validated.value().repaired;
+    w.corpus_ = cellnet::CellCorpus{std::move(validated.value().kept)};
+
+    w.finalize();
+  } catch (const fault::IoError& e) {
+    // A synth-layer or exec-seam fault is a whole-layer loss no policy
+    // can degrade past; surface it as this build's status.
+    return e.status();
+  }
   return w;
+}
+
+fault::Result<World> World::from_corpus(cellnet::CellCorpus corpus,
+                                        const synth::ScenarioConfig& config,
+                                        const BuildOptions& options) {
+  World w;
+  w.config_ = config;
+  w.atlas_ = &synth::UsAtlas::get();
+  try {
+    w.whp_ = synth::generate_whp(*w.atlas_, config);
+    w.counties_ = synth::CountyMap::build(*w.atlas_, config);
+
+    fault::Result<ValidateOutcome> validated =
+        validate_stage(std::move(corpus).take_transceivers(), options);
+    if (!validated.ok()) return validated.status();
+    w.ingest_dropped_ = validated.value().dropped;
+    w.ingest_repaired_ = validated.value().repaired;
+    w.corpus_ = cellnet::CellCorpus{std::move(validated.value().kept)};
+
+    w.finalize();
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
+  return w;
+}
+
+World World::build(const synth::ScenarioConfig& config) {
+  return build(config, BuildOptions{}).take();
 }
 
 }  // namespace fa::core

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "cellnet/corpus.hpp"
+#include "fault/diagnostics.hpp"
 #include "index/grid_index.hpp"
 #include "synth/cells.hpp"
 #include "synth/counties.hpp"
@@ -18,14 +19,47 @@ namespace fa::core {
 
 class World {
  public:
-  // Generates every layer from `config` (deterministic).
+  // Degraded-mode build controls. Ingestion validates every transceiver
+  // record (after the "ingest.txr" fault-injection seam has had its
+  // chance to corrupt them); the policy decides what a malformed record
+  // does to the build:
+  //   Strict      first malformed record fails the build (Status code
+  //               kOutOfRange, offset = record id, source "ingest.txr")
+  //   Quarantine  malformed records are dropped and counted; ids are
+  //               re-densified so downstream caches stay dense
+  //   BestEffort  finite out-of-range positions are clamped into the
+  //               lon/lat domain (counted as repaired); the rest drop
+  struct BuildOptions {
+    fault::RecoveryPolicy policy = fault::RecoveryPolicy::kQuarantine;
+    fault::Diagnostics* diagnostics = nullptr;  // optional sink
+  };
+
+  // Generates every layer from `config` (deterministic). The throwing
+  // form is the legacy entry point: Quarantine semantics, raises
+  // fault::IoError on an unbuildable scenario (e.g. an injected synth
+  // layer failure).
   static World build(const synth::ScenarioConfig& config);
+  static fault::Result<World> build(const synth::ScenarioConfig& config,
+                                    const BuildOptions& options);
+
+  // Builds the derived layers around an externally supplied corpus (same
+  // validation/quarantine pipeline, no generation and no ingest
+  // corruption stage). This is how a pre-filtered corpus is replayed to
+  // prove Quarantine equivalence.
+  static fault::Result<World> from_corpus(cellnet::CellCorpus corpus,
+                                          const synth::ScenarioConfig& config,
+                                          const BuildOptions& options);
 
   const synth::ScenarioConfig& config() const { return config_; }
   const synth::UsAtlas& atlas() const { return *atlas_; }
   const synth::WhpModel& whp() const { return whp_; }
   const cellnet::CellCorpus& corpus() const { return corpus_; }
   const synth::CountyMap& counties() const { return counties_; }
+
+  // Records dropped (Strict/Quarantine) or repaired (BestEffort) by
+  // ingestion validation for this build.
+  std::size_t ingest_dropped() const { return ingest_dropped_; }
+  std::size_t ingest_repaired() const { return ingest_repaired_; }
 
   // Cached WHP class of each transceiver (index = transceiver id).
   synth::WhpClass txr_class(std::uint32_t id) const {
@@ -38,11 +72,16 @@ class World {
   const index::GridIndex& txr_index() const { return txr_index_; }
 
  private:
+  // Shared tail of every build path: classification + spatial index.
+  void finalize();
+
   synth::ScenarioConfig config_;
   const synth::UsAtlas* atlas_ = nullptr;
   synth::WhpModel whp_;
   cellnet::CellCorpus corpus_;
   synth::CountyMap counties_;
+  std::size_t ingest_dropped_ = 0;
+  std::size_t ingest_repaired_ = 0;
   std::vector<std::uint8_t> txr_class_;
   std::vector<std::int32_t> txr_county_;
   index::GridIndex txr_index_;

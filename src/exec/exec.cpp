@@ -8,6 +8,8 @@
 #include <optional>
 #include <string>
 
+#include "fault/injector.hpp"
+
 namespace fa::exec {
 
 namespace {
@@ -159,12 +161,14 @@ bool ThreadPool::on_worker_thread() { return t_on_worker; }
 void ThreadPool::work(Job& job, int worker_id) {
   const bool was_on_worker = t_on_worker;
   t_on_worker = true;
+  const fault::Injector& inj = fault::Injector::global();
   while (true) {
     std::optional<std::size_t> chunk = job.take_front(worker_id);
     if (!chunk) chunk = job.steal(worker_id);
     if (!chunk) break;
     if (!job.cancelled.load(std::memory_order_acquire)) {
       try {
+        if (inj.armed()) inj.fail_point("exec.chunk", *chunk);
         job.fn(*chunk, worker_id);
       } catch (...) {
         job.record_error(std::current_exception());
@@ -213,8 +217,10 @@ void ThreadPool::run(std::size_t num_chunks, ChunkFnRef fn, int max_threads) {
   if (t_on_worker || workers <= 1) {
     const bool was_on_worker = t_on_worker;
     t_on_worker = true;
+    const fault::Injector& inj = fault::Injector::global();
     try {
       for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+        if (inj.armed()) inj.fail_point("exec.chunk", chunk);
         fn(chunk, 0);
       }
     } catch (...) {

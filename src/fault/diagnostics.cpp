@@ -1,0 +1,96 @@
+#include "fault/diagnostics.hpp"
+
+namespace fa::fault {
+
+std::string_view recovery_policy_name(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kStrict: return "strict";
+    case RecoveryPolicy::kQuarantine: return "quarantine";
+    case RecoveryPolicy::kBestEffort: return "best_effort";
+  }
+  return "unknown";
+}
+
+std::optional<RecoveryPolicy> recovery_policy_from_name(
+    std::string_view name) {
+  if (name == "strict") return RecoveryPolicy::kStrict;
+  if (name == "quarantine") return RecoveryPolicy::kQuarantine;
+  if (name == "best_effort" || name == "besteffort") {
+    return RecoveryPolicy::kBestEffort;
+  }
+  return std::nullopt;
+}
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+void Diagnostics::report(Severity severity, Status status) {
+  ++sources_[status.source].reported;
+  ++severity_counts_[static_cast<std::size_t>(severity)];
+  ++total_reported_;
+  if (records_.size() < kMaxStoredRecords) {
+    records_.push_back({severity, std::move(status)});
+  }
+}
+
+void Diagnostics::dropped(Status why) {
+  ++sources_[why.source].dropped;
+  ++total_dropped_;
+  report(Severity::kWarning, std::move(why));
+}
+
+void Diagnostics::repaired(Status what) {
+  ++sources_[what.source].repaired;
+  ++total_repaired_;
+  report(Severity::kInfo, std::move(what));
+}
+
+std::size_t Diagnostics::dropped_in(std::string_view source) const {
+  const auto it = sources_.find(source);
+  return it == sources_.end() ? 0 : it->second.dropped;
+}
+
+std::size_t Diagnostics::repaired_in(std::string_view source) const {
+  const auto it = sources_.find(source);
+  return it == sources_.end() ? 0 : it->second.repaired;
+}
+
+void Diagnostics::clear() {
+  sources_.clear();
+  records_.clear();
+  for (std::size_t& c : severity_counts_) c = 0;
+  total_reported_ = 0;
+  total_dropped_ = 0;
+  total_repaired_ = 0;
+}
+
+std::string Diagnostics::summary() const {
+  if (empty()) return "clean";
+  std::string out = std::to_string(total_dropped_) + " dropped, " +
+                    std::to_string(total_repaired_) + " repaired (";
+  bool first = true;
+  for (const auto& [source, counts] : sources_) {
+    if (counts.dropped == 0 && counts.repaired == 0) continue;
+    if (!first) out += "; ";
+    first = false;
+    out += source + ": ";
+    if (counts.dropped > 0) {
+      out += std::to_string(counts.dropped) + " dropped";
+      if (counts.repaired > 0) out += ", ";
+    }
+    if (counts.repaired > 0) {
+      out += std::to_string(counts.repaired) + " repaired";
+    }
+  }
+  if (first) out += std::to_string(total_reported_) + " notes";
+  out += ')';
+  return out;
+}
+
+}  // namespace fa::fault

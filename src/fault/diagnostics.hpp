@@ -1,0 +1,91 @@
+// Degraded-mode ingestion: a RecoveryPolicy selects how loaders react to
+// malformed records, and a Diagnostics sink keeps exact per-source counts
+// of everything that was dropped or repaired — so every downstream table
+// or figure can report coverage ("N of M records") next to its results.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/status.hpp"
+
+namespace fa::fault {
+
+enum class RecoveryPolicy : std::uint8_t {
+  kStrict,      // first malformed record is the load's error
+  kQuarantine,  // skip malformed records, count them in Diagnostics
+  kBestEffort,  // like Quarantine, but repair what is repairable first
+};
+
+std::string_view recovery_policy_name(RecoveryPolicy policy);
+// Accepts "strict" / "quarantine" / "best_effort" (also "besteffort");
+// nullopt on anything else. Used for the FA_POLICY env toggle.
+std::optional<RecoveryPolicy> recovery_policy_from_name(std::string_view name);
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+std::string_view severity_name(Severity severity);
+
+struct DiagnosticRecord {
+  Severity severity = Severity::kWarning;
+  Status status;
+};
+
+// Collects ingestion warnings with severity and per-source counts. Counts
+// are exact for every event; full records are retained only up to
+// kMaxStoredRecords so a pathological input cannot balloon memory.
+// Not thread-safe: feed it from the (serial) validation stages, never
+// from inside a parallel region.
+class Diagnostics {
+ public:
+  static constexpr std::size_t kMaxStoredRecords = 256;
+
+  struct SourceCounts {
+    std::size_t reported = 0;  // every report()/dropped()/repaired() event
+    std::size_t dropped = 0;   // records quarantined
+    std::size_t repaired = 0;  // records fixed by BestEffort
+  };
+
+  // General event sink; counts per status.source and severity.
+  void report(Severity severity, Status status);
+  // A malformed record skipped by Quarantine/BestEffort ingestion.
+  void dropped(Status why);
+  // A record BestEffort mutated into validity (clamped coordinate, ...).
+  void repaired(Status what);
+
+  std::size_t total_reported() const { return total_reported_; }
+  std::size_t total_dropped() const { return total_dropped_; }
+  std::size_t total_repaired() const { return total_repaired_; }
+  std::size_t count(Severity severity) const {
+    return severity_counts_[static_cast<std::size_t>(severity)];
+  }
+  std::size_t dropped_in(std::string_view source) const;
+  std::size_t repaired_in(std::string_view source) const;
+
+  const std::map<std::string, SourceCounts, std::less<>>& sources() const {
+    return sources_;
+  }
+  // First kMaxStoredRecords events, in arrival order.
+  const std::vector<DiagnosticRecord>& records() const { return records_; }
+
+  bool empty() const { return total_reported_ == 0; }
+  void clear();
+
+  // One line, e.g. "13 dropped, 2 repaired (ingest.txr: 13 dropped;
+  // opencellid: 2 repaired)"; "clean" when nothing was reported.
+  std::string summary() const;
+
+ private:
+  std::map<std::string, SourceCounts, std::less<>> sources_;
+  std::vector<DiagnosticRecord> records_;
+  std::size_t severity_counts_[3] = {};
+  std::size_t total_reported_ = 0;
+  std::size_t total_dropped_ = 0;
+  std::size_t total_repaired_ = 0;
+};
+
+}  // namespace fa::fault

@@ -1,0 +1,225 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fa::fault {
+
+namespace {
+
+// Local splitmix64 (fa::fault is dependency-free by design; this is the
+// same mixer the synth layer uses).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char ch : text) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Tiny deterministic generator for multi-draw mutations.
+class MutRng {
+ public:
+  explicit MutRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return splitmix64(state_); }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+bool matches(std::string_view rule_site, std::string_view site) {
+  if (!rule_site.empty() && rule_site.back() == '*') {
+    return site.substr(0, rule_site.size() - 1) ==
+           rule_site.substr(0, rule_site.size() - 1);
+  }
+  return rule_site == site;
+}
+
+// Out-of-range / garbage replacements for CSV field flips. All of them
+// either fail to parse or fail domain validation downstream.
+constexpr std::string_view kFieldPoison[] = {
+    "nan", "inf", "-inf", "999", "-999", "", "bogus",
+    "99999999999999999999", "1e400"};
+
+Injector* g_injector = nullptr;
+
+Injector& mutable_global() {
+  if (g_injector == nullptr) {
+    static Injector from_env = [] {
+      const char* spec = std::getenv("FA_FAULTS");
+      if (spec == nullptr || *spec == '\0') return Injector{};
+      Result<Injector> parsed = Injector::parse(spec);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "FA_FAULTS ignored: %s\n",
+                     parsed.status().to_string().c_str());
+        return Injector{};
+      }
+      return std::move(parsed).take();
+    }();
+    g_injector = &from_env;
+  }
+  return *g_injector;
+}
+
+}  // namespace
+
+Result<Injector> Injector::parse(std::string_view spec) {
+  Injector out;
+  std::uint64_t token_index = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    ++token_index;
+    // Trim surrounding whitespace.
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token.empty()) {
+      if (pos > spec.size()) break;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::error(ErrCode::kParse, token_index, "fa_faults",
+                           "expected site=value in '" + std::string(token) +
+                               "'");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "seed") {
+      std::uint64_t seed = 0;
+      const auto res =
+          std::from_chars(value.data(), value.data() + value.size(), seed);
+      if (res.ec != std::errc{} || res.ptr != value.data() + value.size()) {
+        return Status::error(ErrCode::kParse, token_index, "fa_faults",
+                             "bad seed '" + std::string(value) + "'");
+      }
+      out.seed_ = seed;
+      continue;
+    }
+    double prob = 0.0;
+    const auto res =
+        std::from_chars(value.data(), value.data() + value.size(), prob);
+    if (res.ec != std::errc{} || res.ptr != value.data() + value.size() ||
+        !(prob >= 0.0 && prob <= 1.0)) {
+      return Status::error(ErrCode::kOutOfRange, token_index, "fa_faults",
+                           "probability for '" + std::string(key) +
+                               "' must be in [0,1], got '" +
+                               std::string(value) + "'");
+    }
+    out.rules_.push_back({std::string(key), prob});
+  }
+  return out;
+}
+
+const Injector& Injector::global() { return mutable_global(); }
+
+double Injector::probability(std::string_view site) const {
+  // Exact match beats prefix; among prefixes, the longest wins.
+  const FaultRule* best = nullptr;
+  for (const FaultRule& rule : rules_) {
+    if (!matches(rule.site, site)) continue;
+    if (rule.site.back() != '*') return rule.probability;
+    if (best == nullptr || rule.site.size() > best->site.size()) best = &rule;
+  }
+  return best != nullptr ? best->probability : 0.0;
+}
+
+std::uint64_t Injector::mix(std::string_view site, std::uint64_t key) const {
+  std::uint64_t state = seed_ ^ (fnv1a(site) * 0xD1B54A32D192ED03ULL) ^
+                        (key * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(state);
+}
+
+bool Injector::fires(std::string_view site, std::uint64_t key) const {
+  if (!armed()) return false;
+  const double p = probability(site);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const double u =
+      static_cast<double>(mix(site, key) >> 11) * 0x1.0p-53;  // [0, 1)
+  return u < p;
+}
+
+void Injector::fail_point(std::string_view site, std::uint64_t key) const {
+  if (fires(site, key)) {
+    throw InjectedFault(Status::error(ErrCode::kInjected, key,
+                                      std::string(site), "injected fault"));
+  }
+}
+
+std::uint64_t Injector::draw(std::string_view site, std::uint64_t key) const {
+  std::uint64_t state = mix(site, key);
+  return splitmix64(state);
+}
+
+std::string Injector::corrupt_bytes(std::string bytes, std::string_view site,
+                                    std::uint64_t key) const {
+  const double p = probability(site);
+  if (p <= 0.0 || bytes.empty()) return bytes;
+  MutRng rng(mix(site, key));
+  const auto target =
+      static_cast<std::size_t>(p * static_cast<double>(bytes.size()));
+  const std::size_t mutations = std::clamp<std::size_t>(target, 1, 64);
+  for (std::size_t i = 0; i < mutations && !bytes.empty(); ++i) {
+    const std::size_t at = rng.below(bytes.size());
+    switch (rng.below(3)) {
+      case 0:  // overwrite with an arbitrary byte
+        bytes[at] = static_cast<char>(rng.below(256));
+        break;
+      case 1:  // delete
+        bytes.erase(at, 1);
+        break;
+      default:  // duplicate
+        bytes.insert(at, 1, bytes[at]);
+        break;
+    }
+  }
+  return bytes;
+}
+
+std::string Injector::truncate(std::string bytes, std::string_view site,
+                               std::uint64_t key) const {
+  if (probability(site) <= 0.0 || bytes.empty()) return bytes;
+  MutRng rng(mix(site, key) ^ 0xA5A5A5A5A5A5A5A5ULL);
+  bytes.resize(rng.below(bytes.size()));  // keep a strict prefix
+  return bytes;
+}
+
+void Injector::corrupt_fields(std::vector<std::string>& fields,
+                              std::string_view site,
+                              std::uint64_t key) const {
+  if (probability(site) <= 0.0 || fields.empty()) return;
+  MutRng rng(mix(site, key) ^ 0x5BD1E995ULL);
+  const std::size_t at = rng.below(fields.size());
+  const std::size_t pick =
+      rng.below(sizeof(kFieldPoison) / sizeof(kFieldPoison[0]));
+  fields[at] = std::string(kFieldPoison[pick]);
+}
+
+ScopedInjector::ScopedInjector(Injector injector)
+    : previous_(std::move(mutable_global())) {
+  mutable_global() = std::move(injector);
+}
+
+ScopedInjector::~ScopedInjector() {
+  mutable_global() = std::move(previous_);
+}
+
+}  // namespace fa::fault

@@ -1,0 +1,95 @@
+// Deterministic fault injection. An Injector is a set of
+// site=probability rules plus a seed; every decision is a pure function
+// of (seed, site, key), so a failing run replays exactly and a test can
+// predict which records a given spec will corrupt.
+//
+// The process-wide injector is configured from the FA_FAULTS environment
+// variable and consulted at named seams:
+//   exec.chunk      every fa::exec chunk body (forces task failures)
+//   synth.whp / synth.corpus / synth.counties   the synth loaders
+//   ingest.txr      per-transceiver record corruption in World::build
+// plus whatever additional sites tests install via ScopedInjector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/status.hpp"
+
+namespace fa::fault {
+
+// One rule; `site` may end in '*' to prefix-match (e.g. "exec.*").
+struct FaultRule {
+  std::string site;
+  double probability = 0.0;
+};
+
+class Injector {
+ public:
+  Injector() = default;  // disarmed: every query is a cheap no-op
+
+  // Spec grammar (the FA_FAULTS format): comma-separated tokens, each
+  //   seed=<u64>       decision-stream seed (default 1)
+  //   <site>=<prob>    arm `site` with fault probability in [0, 1]
+  // e.g. "seed=42,ingest.txr=0.01,exec.*=0.001".
+  static Result<Injector> parse(std::string_view spec);
+
+  // Process-wide injector, parsed from FA_FAULTS once on first use. A
+  // malformed spec warns on stderr and stays disarmed — a bad FA_FAULTS
+  // value must never take the process down.
+  static const Injector& global();
+
+  bool armed() const { return !rules_.empty(); }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+  // Probability of the best-matching rule (exact beats prefix, longer
+  // prefix beats shorter); 0 when no rule matches.
+  double probability(std::string_view site) const;
+
+  // Deterministic decision: fires iff hash(seed, site, key) < p(site).
+  bool fires(std::string_view site, std::uint64_t key = 0) const;
+
+  // Throws InjectedFault (code kInjected, source=site, offset=key) when
+  // fires(site, key). The cheap call to sprinkle at seams.
+  void fail_point(std::string_view site, std::uint64_t key = 0) const;
+
+  // Deterministic u64 for callers keying their own mutation choices.
+  std::uint64_t draw(std::string_view site, std::uint64_t key = 0) const;
+
+  // Byte-level mutations, deterministic in (seed, site, key). The
+  // mutation count scales with probability(site) (at least 1 when the
+  // site is armed); an unarmed site returns the input unchanged.
+  std::string corrupt_bytes(std::string bytes, std::string_view site,
+                            std::uint64_t key = 0) const;
+  // Drops a deterministic suffix (possibly all) of `bytes`.
+  std::string truncate(std::string bytes, std::string_view site,
+                       std::uint64_t key = 0) const;
+  // Flips one CSV field to an out-of-range/garbage value in place.
+  void corrupt_fields(std::vector<std::string>& fields, std::string_view site,
+                      std::uint64_t key = 0) const;
+
+ private:
+  std::uint64_t mix(std::string_view site, std::uint64_t key) const;
+
+  std::vector<FaultRule> rules_;
+  std::uint64_t seed_ = 1;
+};
+
+// Swaps the process-wide injector for a scope (tests). The swap is not
+// synchronized with running parallel regions — install/restore only
+// between them, from the main thread.
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(Injector injector);
+  ~ScopedInjector();
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+
+ private:
+  Injector previous_;
+};
+
+}  // namespace fa::fault

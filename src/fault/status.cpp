@@ -1,0 +1,49 @@
+#include "fault/status.hpp"
+
+#include <array>
+
+namespace fa::fault {
+
+namespace {
+
+constexpr std::array<std::string_view, 9> kCodeNames = {
+    "ok",           "parse",  "truncated", "bad_magic", "schema",
+    "out_of_range", "limit",  "io_failure", "injected"};
+
+}  // namespace
+
+std::string_view err_code_name(ErrCode code) {
+  const auto i = static_cast<std::size_t>(code);
+  return i < kCodeNames.size() ? kCodeNames[i] : "unknown";
+}
+
+std::optional<ErrCode> err_code_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kCodeNames.size(); ++i) {
+    if (kCodeNames[i] == name) return static_cast<ErrCode>(i);
+  }
+  return std::nullopt;
+}
+
+std::string Status::to_string() const {
+  std::string out;
+  out.reserve(source.size() + message.size() + 32);
+  out += source.empty() ? std::string{"<unknown>"} : source;
+  out += ": ";
+  out += message;
+  out += " [";
+  out += err_code_name(code);
+  out += " @";
+  out += std::to_string(offset);
+  out += ']';
+  return out;
+}
+
+IoError::IoError(Status status)
+    : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+IoError::IoError(ErrCode code, std::string source, std::string message,
+                 std::uint64_t offset)
+    : IoError(Status::error(code, offset, std::move(source),
+                            std::move(message))) {}
+
+}  // namespace fa::fault

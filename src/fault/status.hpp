@@ -1,0 +1,126 @@
+// fa::fault — the structured error model for the ingest/IO layer.
+//
+// The pipeline runs on inherently dirty inputs (crowd-sourced OpenCelliD
+// records, hand-digitized perimeters, incomplete DIRS filings), so parse
+// failures are data, not exceptions: every failure is a `Status` carrying
+// a machine-readable code, the byte/record offset where the input went
+// wrong, and a source tag (format name or file path). Parsers expose a
+// non-throwing `try_*` API returning `Result<T>`; thin throwing wrappers
+// convert the same `Status` into one exception type, `IoError`, so
+// callers never have to catch a grab-bag of std exceptions.
+//
+// Dependency-free: this header pulls in nothing from the rest of the
+// library so every layer (exec included) can use it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace fa::fault {
+
+enum class ErrCode : std::uint8_t {
+  kOk = 0,
+  kParse,       // syntax error in a text format
+  kTruncated,   // input ended in the middle of a token/record
+  kBadMagic,    // binary container signature mismatch
+  kSchema,      // well-formed but the wrong shape (missing key, arity)
+  kOutOfRange,  // parsed but outside the value's domain (lon=999, NaN)
+  kLimit,       // resource guard tripped (nesting depth, allocation cap)
+  kIoFailure,   // the underlying stream/file failed
+  kInjected,    // deterministic fault injection fired at a seam
+};
+
+std::string_view err_code_name(ErrCode code);
+// Inverse of err_code_name (fixture manifests); nullopt on unknown names.
+std::optional<ErrCode> err_code_from_name(std::string_view name);
+
+struct Status {
+  ErrCode code = ErrCode::kOk;
+  // Byte offset for byte-oriented sources (wkt/json/fagrid), 1-based
+  // record index for record-oriented ones (CSV rows, corpus records).
+  std::uint64_t offset = 0;
+  std::string source;   // producer tag: "wkt", "json", a file path, a seam
+  std::string message;  // human-readable detail
+
+  bool ok() const { return code == ErrCode::kOk; }
+  // "source: message [code @offset]" — offset and source always present
+  // so an exception message alone pinpoints the failing byte/record.
+  std::string to_string() const;
+
+  static Status error(ErrCode code, std::uint64_t offset, std::string source,
+                      std::string message) {
+    Status s;
+    s.code = code;
+    s.offset = offset;
+    s.source = std::move(source);
+    s.message = std::move(message);
+    return s;
+  }
+};
+
+// The one exception type of the IO layer. Derives from std::runtime_error
+// so legacy catch sites keep working; what() is status().to_string().
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(Status status);
+  IoError(ErrCode code, std::string source, std::string message,
+          std::uint64_t offset = 0);
+  const Status& status() const { return status_; }
+  ErrCode code() const { return status_.code; }
+
+ private:
+  Status status_;
+};
+
+// Thrown by Injector::fail_point at an armed seam. A distinct type so
+// tests can tell an injected failure from an organic one.
+class InjectedFault : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+// Value-or-Status. Accessing the value of an error Result throws the
+// corresponding IoError, which is exactly what the thin throwing parser
+// wrappers do: `return try_parse_x(text).take();`.
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  // Ok status when ok(); the failure otherwise.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    require();
+    return *value_;
+  }
+  T& value() & {
+    require();
+    return *value_;
+  }
+  T&& take() && {
+    require();
+    return std::move(*value_);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  void require() const {
+    if (!ok()) throw IoError(status_);
+  }
+
+  std::optional<T> value_;
+  Status status_;  // kOk when value_ holds
+};
+
+}  // namespace fa::fault

@@ -58,7 +58,10 @@ CsvReader::CsvReader(std::istream& in, bool has_header, char sep)
     : in_(in), sep_(sep) {
   if (has_header) {
     std::string line;
-    if (std::getline(in_, line)) header_ = parse_csv_line(line, sep_);
+    if (std::getline(in_, line)) {
+      header_ = parse_csv_line(line, sep_);
+      ++line_;
+    }
   }
 }
 
@@ -72,11 +75,25 @@ int CsvReader::column(std::string_view name) const {
 std::optional<std::vector<std::string>> CsvReader::next() {
   std::string line;
   while (std::getline(in_, line)) {
+    ++line_;
     if (line.empty() || line == "\r") continue;
     ++records_;
+    line_of_record_ = line_;
     return parse_csv_line(line, sep_);
   }
   return std::nullopt;
+}
+
+std::optional<fault::Result<std::vector<std::string>>> CsvReader::try_next() {
+  std::optional<std::vector<std::string>> row = next();
+  if (!row) return std::nullopt;
+  if (!header_.empty() && row->size() != header_.size()) {
+    return fault::Result<std::vector<std::string>>(fault::Status::error(
+        fault::ErrCode::kSchema, records_, "csv",
+        "record has " + std::to_string(row->size()) + " fields, header has " +
+            std::to_string(header_.size())));
+  }
+  return fault::Result<std::vector<std::string>>(std::move(*row));
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {

@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/status.hpp"
+
 namespace fa::io {
 
 // Splits one CSV record honouring double-quote escaping ("" -> ").
@@ -30,16 +32,27 @@ class CsvReader {
   // Column index by header name, or -1.
   int column(std::string_view name) const;
 
-  // Next record, or nullopt at EOF. Blank lines are skipped.
+  // Next record, or nullopt at EOF. Blank lines are skipped. Lenient:
+  // field-count mismatches are the caller's problem (legacy behavior).
   std::optional<std::vector<std::string>> next();
 
+  // Structured variant: nullopt at EOF; an error Result (code kSchema,
+  // offset = 1-based record index, source "csv") when the reader has a
+  // header and the record's field count does not match it.
+  std::optional<fault::Result<std::vector<std::string>>> try_next();
+
   std::size_t records_read() const { return records_; }
+  // Physical line number of the last record returned (1-based; a header,
+  // when present, is line 1). 0 before the first record.
+  std::size_t line() const { return line_of_record_; }
 
  private:
   std::istream& in_;
   std::vector<std::string> header_;
   char sep_;
   std::size_t records_ = 0;
+  std::size_t line_ = 0;            // physical lines consumed so far
+  std::size_t line_of_record_ = 0;  // line of the last record returned
 };
 
 class CsvWriter {

@@ -4,7 +4,7 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <new>
 
 namespace fa::io {
 
@@ -20,12 +20,83 @@ void write_pod(std::ostream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
+// Reads one POD field, tracking the running byte offset so a short read
+// reports exactly where the input ended.
 template <typename T>
-T read_pod(std::istream& in) {
+T read_pod(std::istream& in, std::uint64_t& offset, std::string_view source,
+           std::string_view field) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("fagrid: truncated input");
+  if (!in) {
+    throw fault::IoError(fault::Status::error(
+        fault::ErrCode::kTruncated,
+        offset + static_cast<std::uint64_t>(in.gcount()), std::string(source),
+        "truncated input in header field '" + std::string(field) + "'"));
+  }
+  offset += sizeof(T);
   return value;
+}
+
+raster::ClassRaster read_impl(std::istream& in, std::string_view source) {
+  std::uint64_t offset = 0;
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in) {
+    throw fault::IoError(fault::Status::error(
+        fault::ErrCode::kTruncated,
+        static_cast<std::uint64_t>(in.gcount()), std::string(source),
+        "truncated input before end of magic"));
+  }
+  if (magic != kMagic) {
+    throw fault::IoError(fault::Status::error(
+        fault::ErrCode::kBadMagic, 0, std::string(source), "bad magic"));
+  }
+  offset += magic.size();
+
+  raster::GridGeometry g;
+  g.origin_x = read_pod<double>(in, offset, source, "origin_x");
+  g.origin_y = read_pod<double>(in, offset, source, "origin_y");
+  g.cell_w = read_pod<double>(in, offset, source, "cell_w");
+  g.cell_h = read_pod<double>(in, offset, source, "cell_h");
+  const std::uint64_t dims_offset = offset;
+  g.cols = read_pod<std::int32_t>(in, offset, source, "cols");
+  g.rows = read_pod<std::int32_t>(in, offset, source, "rows");
+  if (g.cols <= 0 || g.rows <= 0 || g.cell_w <= 0.0 || g.cell_h <= 0.0 ||
+      !(g.cell_w < 1e12) || !(g.cell_h < 1e12)) {
+    throw fault::IoError(fault::Status::error(
+        fault::ErrCode::kOutOfRange, dims_offset, std::string(source),
+        "invalid geometry (cols=" + std::to_string(g.cols) +
+            " rows=" + std::to_string(g.rows) + ")"));
+  }
+  // Dimension sanity cap: the CONUS at 270 m is ~180M cells; anything an
+  // order of magnitude beyond that is a corrupt header, not data.
+  if (g.cell_count() > 2'000'000'000ULL) {
+    throw fault::IoError(fault::Status::error(
+        fault::ErrCode::kLimit, dims_offset, std::string(source),
+        "implausible dimensions (" + std::to_string(g.cols) + "x" +
+            std::to_string(g.rows) + ")"));
+  }
+  try {
+    raster::ClassRaster grid(g, 0);
+    in.read(reinterpret_cast<char*>(grid.data().data()),
+            static_cast<std::streamsize>(grid.data().size()));
+    if (!in) {
+      throw fault::IoError(fault::Status::error(
+          fault::ErrCode::kTruncated,
+          offset + static_cast<std::uint64_t>(in.gcount()),
+          std::string(source),
+          "truncated data (" + std::to_string(in.gcount()) + " of " +
+              std::to_string(grid.data().size()) + " bytes)"));
+    }
+    return grid;
+  } catch (const std::bad_alloc&) {
+    // A within-cap but huge header can still exceed available memory;
+    // that is a malformed-input condition, not a crash.
+    throw fault::IoError(fault::Status::error(
+        fault::ErrCode::kLimit, dims_offset, std::string(source),
+        "allocation failed for " + std::to_string(g.cell_count()) +
+            " cells"));
+  }
 }
 
 }  // namespace
@@ -43,42 +114,38 @@ void write_fagrid(std::ostream& out, const raster::ClassRaster& grid) {
             static_cast<std::streamsize>(grid.data().size()));
 }
 
+fault::Result<raster::ClassRaster> try_read_fagrid(std::istream& in,
+                                                   std::string_view source) {
+  try {
+    return read_impl(in, source);
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
+}
+
+fault::Result<raster::ClassRaster> try_load_fagrid(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return fault::Status::error(fault::ErrCode::kIoFailure, 0, path,
+                                "cannot open");
+  }
+  return try_read_fagrid(in, path);
+}
+
 raster::ClassRaster read_fagrid(std::istream& in) {
-  std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) throw std::runtime_error("fagrid: bad magic");
-  raster::GridGeometry g;
-  g.origin_x = read_pod<double>(in);
-  g.origin_y = read_pod<double>(in);
-  g.cell_w = read_pod<double>(in);
-  g.cell_h = read_pod<double>(in);
-  g.cols = read_pod<std::int32_t>(in);
-  g.rows = read_pod<std::int32_t>(in);
-  if (g.cols <= 0 || g.rows <= 0 || g.cell_w <= 0.0 || g.cell_h <= 0.0) {
-    throw std::runtime_error("fagrid: invalid geometry");
-  }
-  // Dimension sanity cap: the CONUS at 270 m is ~180M cells; anything an
-  // order of magnitude beyond that is a corrupt header, not data.
-  if (g.cell_count() > 2'000'000'000ULL) {
-    throw std::runtime_error("fagrid: implausible dimensions");
-  }
-  raster::ClassRaster grid(g, 0);
-  in.read(reinterpret_cast<char*>(grid.data().data()),
-          static_cast<std::streamsize>(grid.data().size()));
-  if (!in) throw std::runtime_error("fagrid: truncated data");
-  return grid;
+  return read_impl(in, "fagrid");
 }
 
 void save_fagrid(const std::string& path, const raster::ClassRaster& grid) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("fagrid: cannot open " + path);
+  if (!out) {
+    throw fault::IoError(fault::ErrCode::kIoFailure, path, "cannot open");
+  }
   write_fagrid(out, grid);
 }
 
 raster::ClassRaster load_fagrid(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("fagrid: cannot open " + path);
-  return read_fagrid(in);
+  return try_load_fagrid(path).take();
 }
 
 }  // namespace fa::io

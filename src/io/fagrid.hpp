@@ -6,7 +6,9 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 
+#include "fault/status.hpp"
 #include "raster/raster.hpp"
 
 namespace fa::io {
@@ -17,7 +19,17 @@ namespace fa::io {
 //   cols, rows as int32 LE            (8 bytes)
 //   data: cols*rows uint8, row 0 first (south-up, matching GridGeometry)
 void write_fagrid(std::ostream& out, const raster::ClassRaster& grid);
-raster::ClassRaster read_fagrid(std::istream& in);  // throws std::runtime_error
+
+// Non-throwing reader. Error Status carries the exact byte offset where
+// the input went wrong and `source` (format tag or, via try_load_fagrid,
+// the file path) so the message alone pinpoints the failure.
+fault::Result<raster::ClassRaster> try_read_fagrid(
+    std::istream& in, std::string_view source = "fagrid");
+fault::Result<raster::ClassRaster> try_load_fagrid(const std::string& path);
+
+// Thin throwing wrappers; fault::IoError on malformed input, with the
+// byte offset and source/path in both Status and exception message.
+raster::ClassRaster read_fagrid(std::istream& in);
 
 // File helpers.
 void save_fagrid(const std::string& path, const raster::ClassRaster& grid);

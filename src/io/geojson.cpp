@@ -23,12 +23,22 @@ JsonArray polygon_coords(const geo::Polygon& poly) {
   return rings;
 }
 
+[[noreturn]] void schema_fail(std::string why) {
+  throw JsonError(fault::ErrCode::kSchema, "geojson", std::move(why));
+}
+
 geo::Vec2 parse_coord(const JsonValue& v) {
-  if (!v.is_array() || v.size() < 2) throw JsonError("bad coordinate");
-  return {v.at(std::size_t{0}).as_number(), v.at(std::size_t{1}).as_number()};
+  if (!v.is_array() || v.size() < 2) schema_fail("bad coordinate");
+  const JsonValue& x = v.at(std::size_t{0});
+  const JsonValue& y = v.at(std::size_t{1});
+  if (!x.is_number() || !y.is_number()) {
+    schema_fail("coordinate component is not a number");
+  }
+  return {x.as_number(), y.as_number()};
 }
 
 geo::Ring parse_ring(const JsonValue& v) {
+  if (!v.is_array()) schema_fail("ring is not an array");
   std::vector<geo::Vec2> pts;
   pts.reserve(v.size());
   for (const JsonValue& c : v.as_array()) pts.push_back(parse_coord(c));
@@ -36,7 +46,7 @@ geo::Ring parse_ring(const JsonValue& v) {
 }
 
 geo::Polygon parse_polygon_coords(const JsonValue& rings) {
-  if (!rings.is_array() || rings.size() == 0) throw JsonError("bad polygon");
+  if (!rings.is_array() || rings.size() == 0) schema_fail("bad polygon");
   geo::Ring outer = parse_ring(rings.at(std::size_t{0}));
   std::vector<geo::Ring> holes;
   for (std::size_t i = 1; i < rings.size(); ++i) {
@@ -47,8 +57,9 @@ geo::Polygon parse_polygon_coords(const JsonValue& rings) {
 
 void check_type(const JsonValue& geometry, std::string_view want) {
   if (!geometry.is_object() || !geometry.has("type") ||
+      !geometry.at("type").is_string() ||
       geometry.at("type").as_string() != want) {
-    throw JsonError("expected geometry type " + std::string(want));
+    schema_fail("expected geometry type " + std::string(want));
   }
 }
 
@@ -91,11 +102,39 @@ geo::Polygon parse_polygon_geometry(const JsonValue& geometry) {
 
 geo::MultiPolygon parse_multipolygon_geometry(const JsonValue& geometry) {
   check_type(geometry, "MultiPolygon");
+  const JsonValue& coords = geometry.at("coordinates");
+  if (!coords.is_array()) schema_fail("multipolygon coordinates not an array");
   std::vector<geo::Polygon> parts;
-  for (const JsonValue& p : geometry.at("coordinates").as_array()) {
+  for (const JsonValue& p : coords.as_array()) {
     parts.push_back(parse_polygon_coords(p));
   }
   return geo::MultiPolygon{std::move(parts)};
+}
+
+fault::Result<geo::Vec2> try_parse_point_geometry(const JsonValue& geometry) {
+  try {
+    return parse_point_geometry(geometry);
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
+}
+
+fault::Result<geo::Polygon> try_parse_polygon_geometry(
+    const JsonValue& geometry) {
+  try {
+    return parse_polygon_geometry(geometry);
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
+}
+
+fault::Result<geo::MultiPolygon> try_parse_multipolygon_geometry(
+    const JsonValue& geometry) {
+  try {
+    return parse_multipolygon_geometry(geometry);
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
 }
 
 }  // namespace fa::io

@@ -19,7 +19,16 @@ JsonValue multipolygon_geometry(const geo::MultiPolygon& mp);
 JsonValue feature(JsonValue geometry, JsonObject properties);
 JsonValue feature_collection(JsonArray features);
 
-// Inverse mappings; throw JsonError on schema violations.
+// Non-throwing inverse mappings; schema violations surface as Status
+// (code kSchema, source "geojson").
+fault::Result<geo::Vec2> try_parse_point_geometry(const JsonValue& geometry);
+fault::Result<geo::Polygon> try_parse_polygon_geometry(
+    const JsonValue& geometry);
+fault::Result<geo::MultiPolygon> try_parse_multipolygon_geometry(
+    const JsonValue& geometry);
+
+// Thin throwing wrappers; fault::IoError (alias JsonError) on schema
+// violations.
 geo::Vec2 parse_point_geometry(const JsonValue& geometry);
 geo::Polygon parse_polygon_geometry(const JsonValue& geometry);
 geo::MultiPolygon parse_multipolygon_geometry(const JsonValue& geometry);

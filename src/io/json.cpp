@@ -8,10 +8,19 @@
 
 namespace fa::io {
 
+namespace {
+
+[[noreturn]] void schema_fail(const std::string& why) {
+  throw JsonError(fault::ErrCode::kSchema, "json", why);
+}
+
+}  // namespace
+
 const JsonValue& JsonValue::at(const std::string& key) const {
+  if (!is_object()) schema_fail("member access on non-object");
   const JsonObject& obj = as_object();
   const auto it = obj.find(key);
-  if (it == obj.end()) throw JsonError("missing key: " + key);
+  if (it == obj.end()) schema_fail("missing key: " + key);
   return it->second;
 }
 
@@ -20,15 +29,16 @@ bool JsonValue::has(const std::string& key) const {
 }
 
 const JsonValue& JsonValue::at(std::size_t i) const {
+  if (!is_array()) schema_fail("element access on non-array");
   const JsonArray& arr = as_array();
-  if (i >= arr.size()) throw JsonError("index out of range");
+  if (i >= arr.size()) schema_fail("index out of range");
   return arr[i];
 }
 
 std::size_t JsonValue::size() const {
   if (is_array()) return as_array().size();
   if (is_object()) return as_object().size();
-  throw JsonError("size() on non-container");
+  schema_fail("size() on non-container");
 }
 
 namespace {
@@ -45,9 +55,14 @@ class Parser {
   }
 
  private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw JsonError("JSON error at offset " + std::to_string(pos_) + ": " +
-                    why);
+  [[noreturn]] void fail(const std::string& why,
+                         fault::ErrCode code = fault::ErrCode::kParse) const {
+    // Exhausted input reads as truncation regardless of the caller's
+    // wording — recovery differs from a syntax error mid-stream.
+    if (pos_ >= text_.size() && code == fault::ErrCode::kParse) {
+      code = fault::ErrCode::kTruncated;
+    }
+    throw JsonError(fault::Status::error(code, pos_, "json", why));
   }
 
   void skip_ws() {
@@ -98,12 +113,21 @@ class Parser {
     }
   }
 
+  void enter_container() {
+    if (++depth_ > kMaxJsonDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxJsonDepth),
+           fault::ErrCode::kLimit);
+    }
+  }
+
   JsonValue parse_object() {
+    enter_container();
     expect('{');
     JsonObject obj;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return JsonValue{std::move(obj)};
     }
     while (true) {
@@ -120,6 +144,7 @@ class Parser {
       }
       if (ch == '}') {
         ++pos_;
+        --depth_;
         return JsonValue{std::move(obj)};
       }
       fail("expected ',' or '}'");
@@ -127,11 +152,13 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    enter_container();
     expect('[');
     JsonArray arr;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return JsonValue{std::move(arr)};
     }
     while (true) {
@@ -144,6 +171,7 @@ class Parser {
       }
       if (ch == ']') {
         ++pos_;
+        --depth_;
         return JsonValue{std::move(arr)};
       }
       fail("expected ',' or ']'");
@@ -224,6 +252,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void escape_into(const std::string& s, std::string& out) {
@@ -305,6 +334,14 @@ void serialize(const JsonValue& v, std::string& out, int indent, int depth) {
 }
 
 }  // namespace
+
+fault::Result<JsonValue> try_parse_json(std::string_view text) {
+  try {
+    return Parser{text}.parse_document();
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
+}
 
 JsonValue parse_json(std::string_view text) {
   return Parser{text}.parse_document();

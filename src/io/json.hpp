@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <variant>
 #include <vector>
+
+#include "fault/status.hpp"
 
 namespace fa::io {
 
@@ -20,10 +21,13 @@ using JsonArray = std::vector<JsonValue>;
 // byte-stable across runs — important for golden-file tests.
 using JsonObject = std::map<std::string, JsonValue>;
 
-class JsonError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+// Legacy alias: JSON failures are fault::IoError with source "json" and
+// the byte offset of the malformed token in Status::offset.
+using JsonError = fault::IoError;
+
+// Containers nested beyond this depth are rejected (kLimit) instead of
+// recursing toward a stack overflow on adversarial input.
+inline constexpr int kMaxJsonDepth = 128;
 
 class JsonValue {
  public:
@@ -67,8 +71,11 @@ class JsonValue {
       v_;
 };
 
-// Parses a complete JSON document; throws JsonError with a byte offset on
-// malformed input or trailing garbage.
+// Non-throwing parse of a complete JSON document; the error Status
+// carries the byte offset of the malformed token / trailing garbage.
+fault::Result<JsonValue> try_parse_json(std::string_view text);
+
+// Throwing wrapper; fault::IoError (alias JsonError) on malformed input.
 JsonValue parse_json(std::string_view text);
 
 // Compact serialization (no whitespace). `indent` > 0 pretty-prints.

@@ -4,7 +4,6 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
-#include <stdexcept>
 
 namespace fa::io {
 
@@ -81,8 +80,12 @@ class WktParser {
 
  private:
   [[noreturn]] void fail(const std::string& why) const {
-    throw std::invalid_argument("WKT error at offset " +
-                                std::to_string(pos_) + ": " + why);
+    // Exhausted input is a truncation, not a syntax error — the caller's
+    // recovery differs (retry with more bytes vs quarantine the record).
+    const fault::ErrCode code = pos_ >= text_.size()
+                                    ? fault::ErrCode::kTruncated
+                                    : fault::ErrCode::kParse;
+    throw fault::IoError(fault::Status::error(code, pos_, "wkt", why));
   }
 
   void skip_ws() {
@@ -141,6 +144,11 @@ class WktParser {
       break;
     }
     expect(')');
+    if (pts.size() < 3) {
+      throw fault::IoError(fault::Status::error(
+          fault::ErrCode::kSchema, pos_, "wkt",
+          "ring needs at least 3 points, got " + std::to_string(pts.size())));
+    }
     return geo::Ring{std::move(pts)};  // Ring strips the closing duplicate
   }
 
@@ -188,6 +196,31 @@ std::string to_wkt(const geo::MultiPolygon& mp) {
   }
   out.push_back(')');
   return out;
+}
+
+fault::Result<geo::Vec2> try_parse_wkt_point(std::string_view wkt) {
+  try {
+    return WktParser{wkt}.point();
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
+}
+
+fault::Result<geo::Polygon> try_parse_wkt_polygon(std::string_view wkt) {
+  try {
+    return WktParser{wkt}.polygon();
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
+}
+
+fault::Result<geo::MultiPolygon> try_parse_wkt_multipolygon(
+    std::string_view wkt) {
+  try {
+    return WktParser{wkt}.multipolygon();
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
 }
 
 geo::Vec2 parse_wkt_point(std::string_view wkt) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "fault/status.hpp"
 #include "geo/polygon.hpp"
 
 namespace fa::io {
@@ -14,7 +15,15 @@ std::string to_wkt(geo::Vec2 point);
 std::string to_wkt(const geo::Polygon& poly);
 std::string to_wkt(const geo::MultiPolygon& mp);
 
-// Parsers throw std::invalid_argument on malformed input.
+// Non-throwing parsers: the Status carries the byte offset of the first
+// malformed token (code kTruncated when the input simply ran out).
+fault::Result<geo::Vec2> try_parse_wkt_point(std::string_view wkt);
+fault::Result<geo::Polygon> try_parse_wkt_polygon(std::string_view wkt);
+fault::Result<geo::MultiPolygon> try_parse_wkt_multipolygon(
+    std::string_view wkt);
+
+// Thin throwing wrappers: fault::IoError (source "wkt") on malformed
+// input, same Status the try_* forms return.
 geo::Vec2 parse_wkt_point(std::string_view wkt);
 geo::Polygon parse_wkt_polygon(std::string_view wkt);
 geo::MultiPolygon parse_wkt_multipolygon(std::string_view wkt);

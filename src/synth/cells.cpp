@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "geo/geodesy.hpp"
 #include "synth/rng.hpp"
 #include "synth/roads.hpp"
@@ -59,6 +60,7 @@ double source_multiplier(Provider p, Source s) {
 cellnet::CellCorpus generate_corpus(const UsAtlas& atlas,
                                     const ScenarioConfig& config,
                                     const CorpusMixture& mix) {
+  fault::Injector::global().fail_point("synth.corpus", config.seed);
   Rng rng(config.seed ^ 0xCE11C0DEULL);
   Rng radio_rng = rng.split();
   Rng provider_rng = rng.split();

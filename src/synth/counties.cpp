@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/injector.hpp"
 #include "synth/rng.hpp"
 
 namespace fa::synth {
@@ -26,6 +27,7 @@ std::string_view pop_category_name(PopCategory c) {
 
 CountyMap CountyMap::build(const UsAtlas& atlas,
                            const ScenarioConfig& config) {
+  fault::Injector::global().fail_point("synth.counties", config.seed);
   CountyMap map;
   map.atlas_ = &atlas;
   map.by_state_.resize(static_cast<std::size_t>(atlas.num_states()));

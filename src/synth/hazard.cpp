@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "exec/exec.hpp"
+#include "fault/injector.hpp"
 #include "geo/geodesy.hpp"
 #include "raster/morphology.hpp"
 #include "raster/rasterize.hpp"
@@ -36,6 +37,7 @@ double urban_radius_m(double pop) {
 }  // namespace
 
 WhpModel generate_whp(const UsAtlas& atlas, const ScenarioConfig& config) {
+  fault::Injector::global().fail_point("synth.whp", config.seed);
   WhpModel model;
 
   // Albers-space bounds of the CONUS from the state outlines.

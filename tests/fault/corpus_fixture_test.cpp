@@ -1,0 +1,106 @@
+// The corrupt-fixture corpus: every file under tests/fault/corpus is a
+// deliberately malformed input with a manifest entry naming the exact
+// Status code the matching parser must produce. Catches error-model
+// regressions (wrong code, wrong exception, crash) format by format.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cellnet/corpus.hpp"
+#include "fault/status.hpp"
+#include "io/csv.hpp"
+#include "io/fagrid.hpp"
+#include "io/geojson.hpp"
+#include "io/json.hpp"
+#include "io/wkt.hpp"
+
+namespace fa {
+namespace {
+
+std::string corpus_path(const std::string& file) {
+  return std::string(FA_FAULT_CORPUS_DIR) + "/" + file;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Runs the parser named by `format` over the fixture, reducing every
+// outcome to a Status. GeoJSON fixtures must be valid JSON — the schema
+// failure has to come from the geometry layer, not the JSON one.
+fault::Status parse_fixture(const std::string& format,
+                            const std::string& file) {
+  const std::string path = corpus_path(file);
+  if (format == "fagrid") {
+    return io::try_load_fagrid(path).status();
+  }
+  if (format == "opencellid") {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    cellnet::CorpusLoadOptions opts;
+    opts.policy = fault::RecoveryPolicy::kStrict;
+    return cellnet::load_opencellid_csv(in, opts).status();
+  }
+  const std::string text = slurp(path);
+  if (format == "wkt_point") return io::try_parse_wkt_point(text).status();
+  if (format == "wkt_poly") return io::try_parse_wkt_polygon(text).status();
+  if (format == "wkt_mp") {
+    return io::try_parse_wkt_multipolygon(text).status();
+  }
+  if (format == "json") return io::try_parse_json(text).status();
+  if (format.rfind("geojson_", 0) == 0) {
+    fault::Result<io::JsonValue> doc = io::try_parse_json(text);
+    EXPECT_TRUE(doc.ok()) << file << ": geojson fixtures must be valid JSON";
+    if (!doc.ok()) return doc.status();
+    if (format == "geojson_point") {
+      return io::try_parse_point_geometry(doc.value()).status();
+    }
+    if (format == "geojson_poly") {
+      return io::try_parse_polygon_geometry(doc.value()).status();
+    }
+    return io::try_parse_multipolygon_geometry(doc.value()).status();
+  }
+  ADD_FAILURE() << "unknown fixture format: " << format;
+  return {};
+}
+
+TEST(FaultCorpus, EveryFixtureFailsWithItsManifestCode) {
+  std::ifstream manifest(corpus_path("manifest.csv"));
+  ASSERT_TRUE(manifest.is_open()) << "missing manifest.csv";
+  io::CsvReader reader(manifest);
+  const int c_file = reader.column("file");
+  const int c_format = reader.column("format");
+  const int c_code = reader.column("expected_code");
+  ASSERT_GE(c_file, 0);
+  ASSERT_GE(c_format, 0);
+  ASSERT_GE(c_code, 0);
+
+  std::size_t fixtures = 0;
+  while (auto row = reader.next()) {
+    const std::string& file = (*row)[static_cast<std::size_t>(c_file)];
+    const std::string& format = (*row)[static_cast<std::size_t>(c_format)];
+    const std::string& code = (*row)[static_cast<std::size_t>(c_code)];
+    SCOPED_TRACE(file);
+    ++fixtures;
+
+    const auto expected = fault::err_code_from_name(code);
+    ASSERT_TRUE(expected.has_value()) << "manifest names unknown code " << code;
+
+    const fault::Status status = parse_fixture(format, file);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code, *expected)
+        << "got " << fault::err_code_name(status.code) << " ("
+        << status.to_string() << ")";
+    EXPECT_FALSE(status.source.empty());
+  }
+  EXPECT_GE(fixtures, 30u) << "fixture corpus shrank";
+}
+
+}  // namespace
+}  // namespace fa

@@ -1,0 +1,148 @@
+// Deterministic mini-fuzzer driven by the fault injector's own byte
+// mutators: N=1000 mutated documents per format, every one of which must
+// produce either a value or an error Status — never a crash, hang, or
+// foreign exception. (Run the fault suite under FA_SANITIZE=address for
+// full value; see .claude/skills/verify/SKILL.md.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "cellnet/corpus.hpp"
+#include "fault/injector.hpp"
+#include "io/fagrid.hpp"
+#include "io/json.hpp"
+#include "io/wkt.hpp"
+#include "raster/raster.hpp"
+
+namespace fa {
+namespace {
+
+constexpr int kIterations = 1000;
+
+// One injector per format so mutation streams are independent; the
+// higher-probability truncation pass exercises the kTruncated paths.
+fault::Injector fuzzer(std::uint64_t seed) {
+  return fault::Injector::parse("seed=" + std::to_string(seed) +
+                                ",fuzz.bytes=0.03,fuzz.cut=1")
+      .take();
+}
+
+// Mutates `doc` for trial `i`: always a byte-level pass, and every 4th
+// trial a truncation on top.
+std::string mutate(const fault::Injector& inj, const std::string& doc,
+                   int i) {
+  std::string out =
+      inj.corrupt_bytes(doc, "fuzz.bytes", static_cast<std::uint64_t>(i));
+  if (i % 4 == 0) {
+    out = inj.truncate(std::move(out), "fuzz.cut",
+                       static_cast<std::uint64_t>(i));
+  }
+  return out;
+}
+
+TEST(FuzzCorpusWkt, ErrorOrValueNeverCrash) {
+  const fault::Injector inj = fuzzer(101);
+  const std::string seed_doc =
+      "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1)),"
+      " ((10 10, 12 10, 12 12, 10 12, 10 10)))";
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    const auto result = io::try_parse_wkt_multipolygon(mutate(inj, seed_doc, i));
+    if (result.ok()) {
+      EXPECT_GE(result.value().area(), 0.0);
+      ++ok;
+    } else {
+      EXPECT_FALSE(result.status().ok());
+      EXPECT_EQ(result.status().source, "wkt");
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kIterations);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzCorpusJson, ErrorOrValueNeverCrash) {
+  const fault::Injector inj = fuzzer(202);
+  const std::string seed_doc =
+      R"({"fires":[{"name":"Kincade","acres":77000,"days":[1,2,3]},null,true],)"
+      R"("year":2019,"note":"escaped \"quotes\" and é"})";
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    const auto result = io::try_parse_json(mutate(inj, seed_doc, i));
+    if (result.ok()) {
+      // Whatever parsed must re-serialize and re-parse stably.
+      EXPECT_TRUE(io::try_parse_json(io::to_json(result.value())).ok());
+      ++ok;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kIterations);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzCorpusFagrid, ErrorOrValueNeverCrash) {
+  const fault::Injector inj = fuzzer(303);
+  std::string seed_doc;
+  {
+    raster::GridGeometry g;
+    g.cell_w = g.cell_h = 270.0;
+    g.cols = 6;
+    g.rows = 5;
+    std::ostringstream out;
+    io::write_fagrid(out, raster::ClassRaster(g, 3));
+    seed_doc = out.str();
+  }
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    std::istringstream in(mutate(inj, seed_doc, i));
+    const auto result = io::try_read_fagrid(in);
+    if (result.ok()) {
+      EXPECT_GT(result.value().size(), 0u);
+      ++ok;
+    } else {
+      EXPECT_NE(result.status().code, fault::ErrCode::kOk);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, kIterations);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(FuzzCorpusOpenCellId, EveryPolicyIsTotal) {
+  const fault::Injector inj = fuzzer(404);
+  std::string seed_doc;
+  {
+    cellnet::Transceiver t;
+    t.position = {-118.0, 34.0};
+    t.mcc = 310;
+    t.mnc = 410;
+    std::ostringstream out;
+    write_opencellid_csv(out, cellnet::CellCorpus{{t, t, t, t}});
+    seed_doc = out.str();
+  }
+  const fault::RecoveryPolicy policies[] = {
+      fault::RecoveryPolicy::kStrict, fault::RecoveryPolicy::kQuarantine,
+      fault::RecoveryPolicy::kBestEffort};
+  for (int i = 0; i < kIterations; ++i) {
+    const std::string doc = mutate(inj, seed_doc, i);
+    for (const fault::RecoveryPolicy policy : policies) {
+      std::istringstream in(doc);
+      fault::Diagnostics diags;
+      cellnet::CorpusLoadOptions opts;
+      opts.policy = policy;
+      opts.diagnostics = &diags;
+      const auto result = cellnet::load_opencellid_csv(in, opts);
+      if (result.ok()) {
+        EXPECT_LE(result.value().size(), 6u);
+      } else {
+        EXPECT_NE(result.status().code, fault::ErrCode::kOk);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fa

@@ -1,0 +1,149 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace fa::fault {
+namespace {
+
+Injector make(const std::string& spec) {
+  return Injector::parse(spec).take();
+}
+
+TEST(InjectorParse, AcceptsSeedAndRules) {
+  const Injector inj = make("seed=42,ingest.txr=0.01, exec.*=0.5 ");
+  EXPECT_TRUE(inj.armed());
+  EXPECT_EQ(inj.seed(), 42u);
+  ASSERT_EQ(inj.rules().size(), 2u);
+  EXPECT_EQ(inj.rules()[0].site, "ingest.txr");
+  EXPECT_DOUBLE_EQ(inj.rules()[0].probability, 0.01);
+  EXPECT_EQ(inj.rules()[1].site, "exec.*");
+}
+
+TEST(InjectorParse, EmptySpecIsDisarmed) {
+  EXPECT_FALSE(make("").armed());
+  EXPECT_FALSE(make("seed=9").armed());  // a seed alone arms nothing
+}
+
+TEST(InjectorParse, RejectsMalformedTokens) {
+  const auto no_eq = Injector::parse("seed=1,bogus");
+  ASSERT_FALSE(no_eq.ok());
+  EXPECT_EQ(no_eq.status().code, ErrCode::kParse);
+  EXPECT_EQ(no_eq.status().offset, 2u);  // 1-based token index
+  EXPECT_EQ(no_eq.status().source, "fa_faults");
+
+  const auto bad_seed = Injector::parse("seed=banana");
+  ASSERT_FALSE(bad_seed.ok());
+  EXPECT_EQ(bad_seed.status().code, ErrCode::kParse);
+
+  const auto bad_prob = Injector::parse("ingest.txr=1.5");
+  ASSERT_FALSE(bad_prob.ok());
+  EXPECT_EQ(bad_prob.status().code, ErrCode::kOutOfRange);
+
+  const auto neg_prob = Injector::parse("ingest.txr=-0.1");
+  ASSERT_FALSE(neg_prob.ok());
+  EXPECT_EQ(neg_prob.status().code, ErrCode::kOutOfRange);
+}
+
+TEST(InjectorMatch, ExactBeatsPrefixAndLongestPrefixWins) {
+  const Injector inj =
+      make("seed=1,exec.*=0.5,exec.chunk=1,synth.*=0.25,synth.c*=0.75");
+  EXPECT_DOUBLE_EQ(inj.probability("exec.chunk"), 1.0);
+  EXPECT_DOUBLE_EQ(inj.probability("exec.other"), 0.5);
+  EXPECT_DOUBLE_EQ(inj.probability("synth.whp"), 0.25);
+  EXPECT_DOUBLE_EQ(inj.probability("synth.corpus"), 0.75);
+  EXPECT_DOUBLE_EQ(inj.probability("ingest.txr"), 0.0);
+}
+
+TEST(InjectorFires, DeterministicAndSeedSensitive) {
+  const Injector a = make("seed=7,site=0.25");
+  const Injector b = make("seed=7,site=0.25");
+  const Injector c = make("seed=8,site=0.25");
+  std::size_t fires_a = 0, agree_ab = 0, agree_ac = 0;
+  const std::size_t n = 10000;
+  for (std::size_t k = 0; k < n; ++k) {
+    const bool fa_ = a.fires("site", k);
+    fires_a += fa_ ? 1u : 0u;
+    agree_ab += (fa_ == b.fires("site", k)) ? 1u : 0u;
+    agree_ac += (fa_ == c.fires("site", k)) ? 1u : 0u;
+  }
+  EXPECT_EQ(agree_ab, n);  // identical specs decide identically
+  EXPECT_LT(agree_ac, n);  // a different seed decides differently somewhere
+  // The empirical rate tracks the configured probability.
+  EXPECT_NEAR(static_cast<double>(fires_a) / static_cast<double>(n), 0.25,
+              0.03);
+}
+
+TEST(InjectorFires, ProbabilityEndpoints) {
+  const Injector always = make("seed=3,site=1");
+  const Injector never = make("seed=3,site=0");
+  for (std::size_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(always.fires("site", k));
+    EXPECT_FALSE(never.fires("site", k));
+  }
+  EXPECT_FALSE(Injector{}.fires("site", 0));  // disarmed
+}
+
+TEST(InjectorFailPoint, ThrowsInjectedFaultWithSiteAndKey) {
+  const Injector inj = make("seed=1,seam=1");
+  try {
+    inj.fail_point("seam", 17);
+    FAIL() << "armed fail_point must throw";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.code(), ErrCode::kInjected);
+    EXPECT_EQ(e.status().source, "seam");
+    EXPECT_EQ(e.status().offset, 17u);
+  }
+  EXPECT_NO_THROW(inj.fail_point("other.site", 17));
+}
+
+TEST(InjectorCorruptBytes, DeterministicAndActuallyCorrupts) {
+  const Injector inj = make("seed=11,doc=0.02");
+  const std::string doc(500, 'a');
+  const std::string once = inj.corrupt_bytes(doc, "doc", 1);
+  const std::string again = inj.corrupt_bytes(doc, "doc", 1);
+  const std::string other_key = inj.corrupt_bytes(doc, "doc", 2);
+  EXPECT_EQ(once, again);
+  EXPECT_NE(once, doc);
+  EXPECT_NE(once, other_key);
+  // Unarmed site: untouched.
+  EXPECT_EQ(inj.corrupt_bytes(doc, "elsewhere", 1), doc);
+}
+
+TEST(InjectorTruncate, KeepsAStrictPrefix) {
+  const Injector inj = make("seed=11,doc=1");
+  const std::string doc = "0123456789";
+  const std::string cut = inj.truncate(doc, "doc", 3);
+  EXPECT_LT(cut.size(), doc.size());
+  EXPECT_EQ(doc.substr(0, cut.size()), cut);
+  EXPECT_EQ(inj.truncate(doc, "doc", 3), cut);  // deterministic
+}
+
+TEST(InjectorCorruptFields, ReplacesExactlyOneField) {
+  const Injector inj = make("seed=2,row=1");
+  const std::vector<std::string> row = {"LTE", "310", "410", "-118.0", "34.0"};
+  std::vector<std::string> mutated = row;
+  inj.corrupt_fields(mutated, "row", 5);
+  ASSERT_EQ(mutated.size(), row.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (mutated[i] != row[i]) ++changed;
+  }
+  EXPECT_EQ(changed, 1u);
+}
+
+TEST(ScopedInjector, InstallsAndRestoresTheGlobal) {
+  const double before = Injector::global().probability("scoped.site");
+  {
+    const ScopedInjector scope(make("seed=5,scoped.site=1"));
+    EXPECT_DOUBLE_EQ(Injector::global().probability("scoped.site"), 1.0);
+    EXPECT_TRUE(Injector::global().fires("scoped.site", 0));
+  }
+  EXPECT_DOUBLE_EQ(Injector::global().probability("scoped.site"), before);
+}
+
+}  // namespace
+}  // namespace fa::fault

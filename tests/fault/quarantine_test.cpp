@@ -1,0 +1,217 @@
+// Degraded-mode ingestion end to end: Strict fails cleanly with the
+// right code and offset, Quarantine converges to the pre-filtered clean
+// run byte for byte with exact drop counts, BestEffort repairs the
+// repairable subset, and no fault spec can take a build down.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cellnet/corpus.hpp"
+#include "core/analysis_context.hpp"
+#include "core/provider_risk.hpp"
+#include "core/report.hpp"
+#include "core/world.hpp"
+#include "fault/injector.hpp"
+#include "synth/cells.hpp"
+
+namespace fa::core {
+namespace {
+
+using fault::Diagnostics;
+using fault::ErrCode;
+using fault::Injector;
+using fault::RecoveryPolicy;
+using fault::ScopedInjector;
+
+constexpr char kSpec[] = "seed=5,ingest.txr=0.01";
+
+synth::ScenarioConfig small_config() {
+  synth::ScenarioConfig cfg;
+  cfg.seed = 20191022;
+  cfg.whp_cell_m = 18000.0;
+  cfg.corpus_scale = 400.0;
+  cfg.counties_per_state = 8;
+  return cfg;
+}
+
+// The record ids the spec's injector corrupts, predicted from the pure
+// (seed, site, key) decision function over the clean corpus.
+std::vector<std::uint32_t> predicted_fired(std::size_t corpus_size) {
+  const Injector inj = Injector::parse(kSpec).take();
+  std::vector<std::uint32_t> fired;
+  for (std::uint32_t id = 0; id < corpus_size; ++id) {
+    if (inj.fires("ingest.txr", id)) fired.push_back(id);
+  }
+  return fired;
+}
+
+TEST(QuarantineIngest, StrictFailsWithCodeAndOffsetOfFirstFiredRecord) {
+  const synth::ScenarioConfig cfg = small_config();
+  const std::size_t n =
+      synth::generate_corpus(synth::UsAtlas::get(), cfg).size();
+  const std::vector<std::uint32_t> fired = predicted_fired(n);
+  ASSERT_FALSE(fired.empty()) << "spec must corrupt at least one record";
+
+  const ScopedInjector scope(Injector::parse(kSpec).take());
+  Diagnostics diags;
+  World::BuildOptions options;
+  options.policy = RecoveryPolicy::kStrict;
+  options.diagnostics = &diags;
+  const fault::Result<World> world = World::build(cfg, options);
+  ASSERT_FALSE(world.ok());
+  EXPECT_EQ(world.status().code, ErrCode::kOutOfRange);
+  EXPECT_EQ(world.status().source, "ingest.txr");
+  EXPECT_EQ(world.status().offset, fired.front());
+}
+
+TEST(QuarantineIngest, ConvergesToPreFilteredCleanRunByteForByte) {
+  const synth::ScenarioConfig cfg = small_config();
+
+  // Clean corpus, generated with no injection armed.
+  cellnet::CellCorpus clean =
+      synth::generate_corpus(synth::UsAtlas::get(), cfg);
+  const std::size_t n = clean.size();
+  const std::vector<std::uint32_t> fired = predicted_fired(n);
+  ASSERT_FALSE(fired.empty());
+  ASSERT_LT(fired.size(), n / 10);  // faults are sparse, not the norm
+
+  // World A: fault-injected build under Quarantine.
+  Diagnostics diags;
+  fault::Result<World> world_a{fault::Status{}};
+  {
+    const ScopedInjector scope(Injector::parse(kSpec).take());
+    World::BuildOptions options;
+    options.policy = RecoveryPolicy::kQuarantine;
+    options.diagnostics = &diags;
+    world_a = World::build(cfg, options);
+  }
+  ASSERT_TRUE(world_a.ok()) << world_a.status().to_string();
+
+  // Exact accounting: dropped == fired, in count and in diagnostics.
+  EXPECT_EQ(world_a.value().ingest_dropped(), fired.size());
+  EXPECT_EQ(diags.dropped_in("ingest.txr"), fired.size());
+  EXPECT_EQ(diags.total_dropped(), fired.size());
+  EXPECT_EQ(world_a.value().corpus().size(), n - fired.size());
+
+  // World B: the same records removed up front, built Strict and clean.
+  std::vector<cellnet::Transceiver> filtered;
+  filtered.reserve(n - fired.size());
+  std::size_t next_fired = 0;
+  for (const cellnet::Transceiver& t : clean.transceivers()) {
+    if (next_fired < fired.size() && t.id == fired[next_fired]) {
+      ++next_fired;
+      continue;
+    }
+    filtered.push_back(t);
+  }
+  World::BuildOptions strict;
+  strict.policy = RecoveryPolicy::kStrict;
+  fault::Result<World> world_b = World::from_corpus(
+      cellnet::CellCorpus{std::move(filtered)}, cfg, strict);
+  ASSERT_TRUE(world_b.ok()) << world_b.status().to_string();
+
+  // Identical corpora, byte for byte, through the CSV serializer.
+  std::ostringstream csv_a, csv_b;
+  write_opencellid_csv(csv_a, world_a.value().corpus());
+  write_opencellid_csv(csv_b, world_b.value().corpus());
+  ASSERT_EQ(csv_a.str(), csv_b.str());
+
+  // Identical derived caches for every surviving transceiver.
+  const std::size_t kept = world_a.value().corpus().size();
+  for (std::uint32_t id = 0; id < kept; ++id) {
+    ASSERT_EQ(world_a.value().txr_class(id), world_b.value().txr_class(id));
+    ASSERT_EQ(world_a.value().txr_county(id), world_b.value().txr_county(id));
+  }
+
+  // Identical analysis output, byte for byte, through a real table.
+  const auto render = [](const World& world) {
+    const RadioRiskResult r = run_radio_risk(world);
+    TextTable table({"Type", "VH", "H", "M"});
+    for (const RadioRiskRow& row : r.rows) {
+      table.add_row({std::string{cellnet::radio_type_name(row.radio)},
+                     fmt_count(row.very_high), fmt_count(row.high),
+                     fmt_count(row.moderate)});
+    }
+    return table.str();
+  };
+  EXPECT_EQ(render(world_a.value()), render(world_b.value()));
+}
+
+TEST(QuarantineIngest, BestEffortRepairsTheFiniteSubset) {
+  const synth::ScenarioConfig cfg = small_config();
+  const std::size_t n =
+      synth::generate_corpus(synth::UsAtlas::get(), cfg).size();
+
+  // Corruption kinds 2 and 3 (finite out-of-range) are repairable by
+  // clamping; kinds 0 and 1 (NaN/inf) are not. Predict both counts.
+  const Injector inj = Injector::parse(kSpec).take();
+  std::size_t repairable = 0, fatal = 0;
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (!inj.fires("ingest.txr", id)) continue;
+    ((inj.draw("ingest.txr", id) & 3u) >= 2 ? repairable : fatal) += 1;
+  }
+  ASSERT_GT(repairable + fatal, 0u);
+
+  const ScopedInjector scope(Injector::parse(kSpec).take());
+  Diagnostics diags;
+  World::BuildOptions options;
+  options.policy = RecoveryPolicy::kBestEffort;
+  options.diagnostics = &diags;
+  const fault::Result<World> world = World::build(cfg, options);
+  ASSERT_TRUE(world.ok()) << world.status().to_string();
+  EXPECT_EQ(world.value().ingest_repaired(), repairable);
+  EXPECT_EQ(world.value().ingest_dropped(), fatal);
+  EXPECT_EQ(diags.repaired_in("ingest.txr"), repairable);
+  EXPECT_EQ(diags.dropped_in("ingest.txr"), fatal);
+  EXPECT_EQ(world.value().corpus().size(), n - fatal);
+}
+
+TEST(QuarantineIngest, AnalysisContextThreadsPolicyAndDiagnostics) {
+  const ScopedInjector scope(Injector::parse(kSpec).take());
+  AnalysisContext ctx(small_config());
+  ctx.recovery_policy = RecoveryPolicy::kQuarantine;
+  const World& world = ctx.world();
+  EXPECT_GT(world.corpus().size(), 0u);
+  EXPECT_GT(world.ingest_dropped(), 0u);
+  EXPECT_EQ(ctx.diagnostics().dropped_in("ingest.txr"),
+            world.ingest_dropped());
+  const std::string line =
+      coverage_line(world.corpus().size(), ctx.diagnostics());
+  EXPECT_NE(line.find("dropped"), std::string::npos);
+  EXPECT_NE(line.find("ingest.txr"), std::string::npos);
+}
+
+TEST(QuarantineIngest, NoFaultSpecTakesABuildDown) {
+  // Whole-layer and scheduler faults surface as error Statuses (never a
+  // crash, hang, or foreign exception); record faults degrade.
+  const synth::ScenarioConfig cfg = small_config();
+  const char* specs[] = {
+      "seed=1,ingest.txr=1",   // every record corrupted
+      "seed=2,synth.whp=1",    // WHP layer lost
+      "seed=3,synth.corpus=1", // corpus generator lost
+      "seed=4,synth.counties=1",
+      "seed=5,exec.chunk=0.2", // scheduler failures mid-classification
+      "seed=6,exec.*=1",
+  };
+  for (const char* spec : specs) {
+    SCOPED_TRACE(spec);
+    const ScopedInjector scope(Injector::parse(spec).take());
+    World::BuildOptions options;
+    options.policy = RecoveryPolicy::kQuarantine;
+    const fault::Result<World> world = World::build(cfg, options);
+    if (world.ok()) {
+      // ingest.txr=1 drops everything yet the build still stands.
+      EXPECT_EQ(world.value().corpus().size() + world.value().ingest_dropped(),
+                cfg.corpus_size() + world.value().ingest_repaired());
+    } else {
+      EXPECT_EQ(world.status().code, ErrCode::kInjected);
+      EXPECT_FALSE(world.status().source.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fa::core

@@ -1,0 +1,132 @@
+#include "fault/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/diagnostics.hpp"
+
+namespace fa::fault {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code, ErrCode::kOk);
+}
+
+TEST(Status, ToStringPinpointsTheFailure) {
+  const Status s =
+      Status::error(ErrCode::kParse, 42, "wkt", "bad number");
+  EXPECT_FALSE(s.ok());
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("wkt"), std::string::npos);
+  EXPECT_NE(text.find("bad number"), std::string::npos);
+  EXPECT_NE(text.find("parse"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(Status, CodeNamesRoundTrip) {
+  const ErrCode codes[] = {ErrCode::kOk,        ErrCode::kParse,
+                           ErrCode::kTruncated, ErrCode::kBadMagic,
+                           ErrCode::kSchema,    ErrCode::kOutOfRange,
+                           ErrCode::kLimit,     ErrCode::kIoFailure,
+                           ErrCode::kInjected};
+  for (const ErrCode code : codes) {
+    const auto back = err_code_from_name(err_code_name(code));
+    ASSERT_TRUE(back.has_value()) << err_code_name(code);
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_FALSE(err_code_from_name("definitely_not_a_code").has_value());
+}
+
+TEST(Result, ValueAccessAndTake) {
+  Result<int> r{7};
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(std::move(r).take(), 7);
+}
+
+TEST(Result, ErrorAccessThrowsIoErrorWithStatus) {
+  Result<int> r{Status::error(ErrCode::kSchema, 3, "csv", "short row")};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code, ErrCode::kSchema);
+  EXPECT_EQ(r.status().offset, 3u);
+  try {
+    (void)r.value();
+    FAIL() << "value() on an error Result must throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.code(), ErrCode::kSchema);
+    EXPECT_EQ(e.status().source, "csv");
+    EXPECT_NE(std::string(e.what()).find("short row"), std::string::npos);
+  }
+}
+
+TEST(Result, ValueOrFallsBack) {
+  EXPECT_EQ((Result<int>{Status::error(ErrCode::kParse, 0, "x", "y")})
+                .value_or(-1),
+            -1);
+  EXPECT_EQ((Result<int>{5}).value_or(-1), 5);
+}
+
+TEST(IoError, IsARuntimeErrorAndInjectedFaultIsAnIoError) {
+  const IoError e(ErrCode::kBadMagic, "fagrid", "bad magic");
+  EXPECT_NE(dynamic_cast<const std::runtime_error*>(&e), nullptr);
+  const InjectedFault f(ErrCode::kInjected, "exec.chunk", "injected");
+  EXPECT_NE(dynamic_cast<const IoError*>(&f), nullptr);
+}
+
+TEST(RecoveryPolicy, NamesRoundTrip) {
+  const RecoveryPolicy policies[] = {RecoveryPolicy::kStrict,
+                                     RecoveryPolicy::kQuarantine,
+                                     RecoveryPolicy::kBestEffort};
+  for (const RecoveryPolicy p : policies) {
+    const auto back = recovery_policy_from_name(recovery_policy_name(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_EQ(recovery_policy_from_name("besteffort"),
+            RecoveryPolicy::kBestEffort);
+  EXPECT_FALSE(recovery_policy_from_name("lenient").has_value());
+}
+
+TEST(Diagnostics, CountsPerSourceExactly) {
+  Diagnostics d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.summary(), "clean");
+  d.dropped(Status::error(ErrCode::kOutOfRange, 1, "ingest.txr", "bad"));
+  d.dropped(Status::error(ErrCode::kOutOfRange, 2, "ingest.txr", "bad"));
+  d.dropped(Status::error(ErrCode::kSchema, 5, "opencellid", "short"));
+  d.repaired(Status::error(ErrCode::kOutOfRange, 9, "opencellid", "clamp"));
+  EXPECT_EQ(d.total_dropped(), 3u);
+  EXPECT_EQ(d.total_repaired(), 1u);
+  EXPECT_EQ(d.dropped_in("ingest.txr"), 2u);
+  EXPECT_EQ(d.dropped_in("opencellid"), 1u);
+  EXPECT_EQ(d.repaired_in("opencellid"), 1u);
+  EXPECT_EQ(d.dropped_in("nowhere"), 0u);
+  EXPECT_EQ(d.count(Severity::kWarning), 3u);
+  EXPECT_EQ(d.count(Severity::kInfo), 1u);
+  const std::string sum = d.summary();
+  EXPECT_NE(sum.find("3 dropped"), std::string::npos);
+  EXPECT_NE(sum.find("1 repaired"), std::string::npos);
+  EXPECT_NE(sum.find("ingest.txr"), std::string::npos);
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.total_dropped(), 0u);
+}
+
+TEST(Diagnostics, RecordStorageIsCappedButCountsAreNot) {
+  Diagnostics d;
+  const std::size_t n = Diagnostics::kMaxStoredRecords + 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    d.dropped(Status::error(ErrCode::kParse, i, "csv", "bad"));
+  }
+  EXPECT_EQ(d.total_dropped(), n);
+  EXPECT_EQ(d.records().size(), Diagnostics::kMaxStoredRecords);
+  EXPECT_EQ(d.records().front().status.offset, 0u);
+}
+
+}  // namespace
+}  // namespace fa::fault

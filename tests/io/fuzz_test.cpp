@@ -68,7 +68,7 @@ TEST(FuzzWkt, MutatedGeometryNeverCrashes) {
       const geo::MultiPolygon mp = parse_wkt_multipolygon(wkt);
       EXPECT_GE(mp.area(), 0.0);
       ++ok;
-    } catch (const std::invalid_argument&) {
+    } catch (const fault::IoError&) {
       ++rejected;
     }
   }

@@ -59,15 +59,27 @@ TEST(Wkt, NegativeAndScientificCoordinates) {
 }
 
 TEST(Wkt, MalformedInputsThrow) {
-  EXPECT_THROW(parse_wkt_point("POINT 1 2"), std::invalid_argument);
-  EXPECT_THROW(parse_wkt_point("LINESTRING (0 0, 1 1)"),
-               std::invalid_argument);
-  EXPECT_THROW(parse_wkt_polygon("POLYGON (0 0, 1 1)"),
-               std::invalid_argument);
-  EXPECT_THROW(parse_wkt_polygon("POLYGON ((0 0, 1 x))"),
-               std::invalid_argument);
-  EXPECT_THROW(parse_wkt_multipolygon("MULTIPOLYGON ()"),
-               std::invalid_argument);
+  EXPECT_THROW(parse_wkt_point("POINT 1 2"), fault::IoError);
+  EXPECT_THROW(parse_wkt_point("LINESTRING (0 0, 1 1)"), fault::IoError);
+  EXPECT_THROW(parse_wkt_polygon("POLYGON (0 0, 1 1)"), fault::IoError);
+  EXPECT_THROW(parse_wkt_polygon("POLYGON ((0 0, 1 x))"), fault::IoError);
+  EXPECT_THROW(parse_wkt_multipolygon("MULTIPOLYGON ()"), fault::IoError);
+}
+
+TEST(Wkt, TryParseReportsOffsetAndSource) {
+  const auto bad = try_parse_wkt_polygon("POLYGON ((0 0, 1 x))");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code, fault::ErrCode::kParse);
+  EXPECT_EQ(bad.status().source, "wkt");
+  EXPECT_EQ(bad.status().offset, 17u);  // the 'x'
+
+  const auto cut = try_parse_wkt_polygon("POLYGON ((0 0, 1");
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code, fault::ErrCode::kTruncated);
+
+  const auto ok = try_parse_wkt_point("POINT (1 2)");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), (Vec2{1, 2}));
 }
 
 }  // namespace
