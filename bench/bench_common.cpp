@@ -1,7 +1,11 @@
 #include "bench_common.hpp"
 
+#include <ctime>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+
+#include "obs/obs.hpp"
 
 namespace fa::bench {
 
@@ -33,6 +37,7 @@ core::AnalysisContext& bench_context(const std::string& bench_name) {
       "(%zu transceivers)\n",
       static_cast<unsigned long long>(cfg.seed), cfg.whp_cell_m,
       cfg.corpus_scale, cfg.corpus_size());
+  std::printf("observability: %s (FA_OBS)\n", obs::enabled() ? "on" : "off");
   core::AnalysisContext& ctx = core::AnalysisContext::shared(cfg);
   if (const char* policy = std::getenv("FA_POLICY");
       policy != nullptr && *policy != '\0') {
@@ -60,12 +65,42 @@ core::AnalysisContext& bench_context(const std::string& bench_name) {
   return ctx;
 }
 
+double Stopwatch::process_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
 void print_json_trailer(const std::string& bench_name,
-                        const io::JsonValue& payload) {
+                        const io::JsonValue& payload,
+                        const Stopwatch* timer) {
   io::JsonObject doc;
   doc["bench"] = bench_name;
   doc["result"] = payload;
+  if (timer != nullptr) {
+    io::JsonObject timing;
+    timing["wall_s"] = timer->seconds();
+    timing["cpu_s"] = timer->cpu_seconds();
+    doc["timing"] = io::JsonValue{std::move(timing)};
+  }
   std::printf("\nJSON %s\n", io::to_json(io::JsonValue{std::move(doc)}).c_str());
+  if (!obs::enabled()) return;
+  // Stage-by-stage profile: one greppable line plus a chrome-trace file.
+  std::printf("OBS %s\n", obs::to_json().c_str());
+  std::string path;
+  if (const char* dir = std::getenv("FA_TRACE_DIR");
+      dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/";
+  }
+  path += "trace_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (out) {
+    out << obs::to_chrome_trace();
+    std::printf("trace: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+  }
 }
 
 double to_paper_scale(const core::World& world, std::size_t measured) {

@@ -30,25 +30,40 @@ synth::ScenarioConfig bench_scenario();
 // (first bench in the process; reruns reuse the cached scenario).
 core::AnalysisContext& bench_context(const std::string& bench_name);
 
-// Prints the machine-readable trailer (single line, greppable).
-void print_json_trailer(const std::string& bench_name,
-                        const io::JsonValue& payload);
-
-// Paper-normalized count: measured * corpus_scale, for comparing scaled
-// runs against the paper's full-corpus numbers.
-double to_paper_scale(const core::World& world, std::size_t measured);
-
 class Stopwatch {
  public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  Stopwatch()
+      : start_(std::chrono::steady_clock::now()),
+        cpu_start_s_(process_cpu_seconds()) {}
+  // Elapsed wall-clock time.
   double seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_)
         .count();
   }
+  // Per-process CPU time consumed since construction (sums across
+  // threads, so > seconds() whenever the exec pool is busy).
+  double cpu_seconds() const { return process_cpu_seconds() - cpu_start_s_; }
 
  private:
+  static double process_cpu_seconds();
+
   std::chrono::steady_clock::time_point start_;
+  double cpu_start_s_;
 };
+
+// Prints the machine-readable trailer (single line, greppable). When
+// `timer` is given the trailer gains a "timing" object with "wall_s"
+// and "cpu_s". With observability on (FA_OBS, the default) also prints
+// a one-line OBS profile and writes a chrome-trace file
+// trace_<bench_name>.json (to FA_TRACE_DIR when set, else the working
+// directory) — open it at chrome://tracing or https://ui.perfetto.dev.
+void print_json_trailer(const std::string& bench_name,
+                        const io::JsonValue& payload,
+                        const Stopwatch* timer = nullptr);
+
+// Paper-normalized count: measured * corpus_scale, for comparing scaled
+// runs against the paper's full-corpus numbers.
+double to_paper_scale(const core::World& world, std::size_t measured);
 
 }  // namespace fa::bench

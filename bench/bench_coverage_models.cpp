@@ -64,6 +64,6 @@ int main() {
           {"population_served_headline", impact.population_served},
           {"county_users_affected", county.total_users_affected},
           {"spatial_users_affected", spatial.uncovered_by_fires},
-          {"spatial_population_analyzed", spatial.population_analyzed}});
+          {"spatial_population_analyzed", spatial.population_analyzed}}, &timer);
   return 0;
 }

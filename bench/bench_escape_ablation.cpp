@@ -64,6 +64,6 @@ int main() {
                      {"top_state_whp",
                       std::string{states[static_cast<std::size_t>(whp_rank[0])].abbr}},
                      {"top_state_escape",
-                      std::string{states[static_cast<std::size_t>(esc_rank[0])].abbr}}});
+                      std::string{states[static_cast<std::size_t>(esc_rank[0])].abbr}}}, &timer);
   return 0;
 }

@@ -63,6 +63,6 @@ int main() {
                      {"at_risk_after", e.at_risk_after},
                      {"accuracy_before", e.accuracy_before()},
                      {"accuracy_after", e.accuracy_after()},
-                     {"sweep", std::move(sweep_rows)}});
+                     {"sweep", std::move(sweep_rows)}}, &timer);
   return 0;
 }

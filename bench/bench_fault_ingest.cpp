@@ -12,6 +12,7 @@
 
 int main() {
   using namespace fa;
+  bench::Stopwatch run_timer;
   const synth::ScenarioConfig cfg = bench::bench_scenario();
   std::printf("== Fault ingest: degraded-mode world builds ==\n");
   std::printf(
@@ -87,6 +88,6 @@ int main() {
       "and BestEffort keep the same clean majority, BestEffort repairs the\n"
       "finite out-of-range subset instead of dropping it.\n");
 
-  bench::print_json_trailer("fault_ingest", io::JsonValue{std::move(rows)});
+  bench::print_json_trailer("fault_ingest", io::JsonValue{std::move(rows)}, &run_timer);
   return 0;
 }

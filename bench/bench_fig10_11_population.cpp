@@ -74,6 +74,6 @@ int main() {
       io::JsonObject{{"at_risk_pop_vh", r.at_risk_pop_vh()},
                      {"very_high_pop_vh", r.very_high_pop_vh()},
                      {"population_served", r.population_served},
-                     {"by_county", std::move(rows)}});
+                     {"by_county", std::move(rows)}}, &timer);
   return 0;
 }

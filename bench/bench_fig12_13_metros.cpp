@@ -49,6 +49,6 @@ int main() {
   std::printf("elapsed: %.2fs\n", timer.seconds());
 
   bench::print_json_trailer("fig12_13_metros",
-                            io::JsonValue{std::move(json_rows)});
+                            io::JsonValue{std::move(json_rows)}, &timer);
   return 0;
 }

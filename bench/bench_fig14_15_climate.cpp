@@ -54,6 +54,6 @@ int main() {
       "future exposure multiplies fastest (the paper's key concern).\n");
   std::printf("elapsed: %.2fs\n", timer.seconds());
 
-  bench::print_json_trailer("fig14_15_climate", io::JsonValue{std::move(rows)});
+  bench::print_json_trailer("fig14_15_climate", io::JsonValue{std::move(rows)}, &timer);
   return 0;
 }

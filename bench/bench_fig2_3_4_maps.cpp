@@ -12,6 +12,7 @@
 
 int main() {
   using namespace fa;
+  bench::Stopwatch run_timer;
   core::AnalysisContext& ctx = bench::bench_context("Figures 2-4: corpus, perimeters and overlap maps");
   const core::World& world = ctx.world();
   const geo::BBox conus = world.atlas().conus_bbox();
@@ -66,6 +67,6 @@ int main() {
       "fig2_3_4_maps",
       io::JsonObject{{"transceivers", all_points.size()},
                      {"large_fires", all_fires.size()},
-                     {"txr_in_perimeters", hits.size()}});
+                     {"txr_in_perimeters", hits.size()}}, &run_timer);
   return 0;
 }

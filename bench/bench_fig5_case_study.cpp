@@ -48,6 +48,6 @@ int main() {
       "fig5_case_study",
       io::JsonObject{{"days", std::move(days)},
                      {"sites_monitored", report.sites_monitored},
-                     {"peak_day", report.peak_day()}});
+                     {"peak_day", report.peak_day()}}, &timer);
   return 0;
 }

@@ -67,6 +67,6 @@ int main() {
       io::JsonObject{{"moderate", overlay.txr_by_class[3]},
                      {"high", overlay.txr_by_class[4]},
                      {"very_high", overlay.txr_by_class[5]},
-                     {"total_at_risk", overlay.total_at_risk()}});
+                     {"total_at_risk", overlay.total_at_risk()}}, &timer);
   return 0;
 }

@@ -57,6 +57,6 @@ int main() {
   std::printf("elapsed: %.2fs\n", timer.seconds());
 
   bench::print_json_trailer("fig8_9_states",
-                            io::JsonValue{std::move(by_state)});
+                            io::JsonValue{std::move(by_state)}, &timer);
   return 0;
 }

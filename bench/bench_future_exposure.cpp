@@ -55,6 +55,6 @@ int main() {
       "future_exposure",
       io::JsonObject{{"at_risk_now", r.at_risk_now},
                      {"index_2040", r.at_risk_2040},
-                     {"by_state", std::move(rows)}});
+                     {"by_state", std::move(rows)}}, &timer);
   return 0;
 }

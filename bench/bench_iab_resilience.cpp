@@ -50,6 +50,6 @@ int main() {
       "(backup power first, backhaul diversity second).\n");
   std::printf("elapsed: %.2fs\n", timer.seconds());
 
-  bench::print_json_trailer("iab_resilience", io::JsonValue{std::move(rows)});
+  bench::print_json_trailer("iab_resilience", io::JsonValue{std::move(rows)}, &timer);
   return 0;
 }

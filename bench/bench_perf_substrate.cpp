@@ -38,6 +38,7 @@ using namespace fa;
 // ---------------------------------------------------------------- part 1
 
 void run_overlay_scaling_report() {
+  bench::Stopwatch run_timer;
   core::AnalysisContext& ctx =
       bench::bench_context("Perf substrate: fa::exec overlay scaling");
   const core::World& world = ctx.world();
@@ -103,7 +104,7 @@ void run_overlay_scaling_report() {
   payload["identical_across_threads"] = all_identical;
   payload["scaling"] = io::JsonValue{std::move(rows)};
   bench::print_json_trailer("perf_substrate_scaling",
-                            io::JsonValue{std::move(payload)});
+                            io::JsonValue{std::move(payload)}, &run_timer);
   std::printf("\n");
 }
 

@@ -82,6 +82,6 @@ int main() {
           {"sites_on_exposed_feeders", stats.sites_on_exposed_feeders},
           {"clean_sites_dirty_feeders", stats.clean_sites_dirty_feeders},
           {"power_site_days", power_total},
-          {"power_outside_fire_site_days", outside_total}});
+          {"power_outside_fire_site_days", outside_total}}, &timer);
   return 0;
 }

@@ -63,6 +63,6 @@ int main() {
                      {"interior_flag_rate", r.interior_flag_rate()},
                      {"shadow_share", r.shadow_share()},
                      {"dirs_filings", activation.filings.size()},
-                     {"dirs_counties", activation.counties_covered}});
+                     {"dirs_counties", activation.counties_covered}}, &timer);
   return 0;
 }

@@ -10,6 +10,7 @@
 
 int main() {
   using namespace fa;
+  bench::Stopwatch run_timer;
   std::printf("== Ablation: scale invariance of the overlay metrics ==\n\n");
 
   struct Cell {
@@ -59,6 +60,6 @@ int main() {
       "with resolution (finer grids resolve more very-high pockets), which\n"
       "is why EXPERIMENTS.md pins one scenario for its comparisons.\n");
 
-  bench::print_json_trailer("scale_invariance", io::JsonValue{std::move(rows)});
+  bench::print_json_trailer("scale_invariance", io::JsonValue{std::move(rows)}, &run_timer);
   return 0;
 }

@@ -70,6 +70,6 @@ int main() {
                      {"transceivers", r.transceivers},
                      {"txr_at_risk", r.txr_at_risk()},
                      {"sites_at_risk", r.sites_at_risk()},
-                     {"sweep", std::move(rows)}});
+                     {"sweep", std::move(rows)}}, &timer);
   return 0;
 }

@@ -65,6 +65,6 @@ int main() {
 
   std::printf("elapsed: %.2fs\n", timer.seconds());
   bench::print_json_trailer("table1_historical",
-                            io::JsonValue{std::move(rows)});
+                            io::JsonValue{std::move(rows)}, &timer);
   return 0;
 }

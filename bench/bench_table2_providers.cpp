@@ -55,6 +55,6 @@ int main() {
       "%%M > %%H > %%VH; Sprint is the least-exposed national carrier.\n");
   std::printf("elapsed: %.2fs\n", timer.seconds());
 
-  bench::print_json_trailer("table2_providers", io::JsonValue{std::move(rows)});
+  bench::print_json_trailer("table2_providers", io::JsonValue{std::move(rows)}, &timer);
   return 0;
 }

@@ -55,6 +55,6 @@ int main() {
   std::printf("elapsed: %.2fs\n", timer.seconds());
 
   bench::print_json_trailer("table3_radio_types",
-                            io::JsonValue{std::move(rows)});
+                            io::JsonValue{std::move(rows)}, &timer);
   return 0;
 }

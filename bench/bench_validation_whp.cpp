@@ -44,6 +44,6 @@ int main() {
                      {"predicted", v.predicted},
                      {"accuracy", v.accuracy()},
                      {"misses_in_top2", v.misses_in_top2},
-                     {"accuracy_excluding_top2", v.accuracy_excluding_top2()}});
+                     {"accuracy_excluding_top2", v.accuracy_excluding_top2()}}, &timer);
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "geo/geodesy.hpp"
 #include "io/csv.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::cellnet {
 
@@ -138,6 +139,7 @@ fault::Result<CellCorpus> load_opencellid_csv(std::istream& in,
   using fault::RecoveryPolicy;
   using fault::Status;
 
+  const obs::Span span("cellnet.load_csv");
   io::CsvReader reader(in);
   const int c_radio = reader.column("radio");
   const int c_mcc = reader.column("mcc");
@@ -218,6 +220,7 @@ fault::Result<CellCorpus> load_opencellid_csv(std::istream& in,
     t.id = static_cast<std::uint32_t>(txr.size());
     txr.push_back(t);
   }
+  obs::count("cellnet.load_csv.kept", txr.size());
   return CellCorpus{std::move(txr)};
 }
 

@@ -9,6 +9,7 @@
 
 #include "core/world.hpp"
 #include "firesim/fire.hpp"
+#include "obs/obs.hpp"
 #include "synth/firecalib.hpp"
 
 namespace fa::core {
@@ -38,6 +39,12 @@ class AnalysisContext {
   // Ingestion diagnostics accumulated by the world build (empty until
   // built; reset if the world is rebuilt).
   const fault::Diagnostics& diagnostics() const { return diagnostics_; }
+
+  // The observability registry every pipeline stage records into (the
+  // process-wide one — world build, overlays, io, and exec all share
+  // it). Exposed so tests and embedders can assert on instrumentation
+  // or export a profile; see obs::to_json / obs::to_chrome_trace.
+  obs::Registry& observability() const { return obs::Registry::global(); }
 
   // Options shared across analyses. Mutate before the relevant run_*
   // call; the world itself depends only on `config()` and, for degraded

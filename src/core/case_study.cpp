@@ -1,9 +1,12 @@
 #include "core/case_study.hpp"
 
+#include "obs/obs.hpp"
+
 namespace fa::core {
 
 firesim::DirsReport run_california_case_study(
     const World& world, const firesim::OutageSimConfig& config) {
+  const obs::Span span("core.case_study");
   return firesim::simulate_california_2019(world.corpus(), world.whp(),
                                            world.atlas(),
                                            world.config().seed, config);

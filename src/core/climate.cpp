@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "exec/exec.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
 ClimateResult run_climate_projection(const World& world) {
+  const obs::Span span("core.climate_projection");
   ClimateResult result;
   const auto ecoregions = world.atlas().ecoregions();
   result.rows.reserve(ecoregions.size());
@@ -39,6 +41,8 @@ std::vector<int> FutureExposureResult::rank() const {
 }
 
 FutureExposureResult run_future_exposure(const World& world) {
+  const obs::Span span("core.future_exposure");
+  obs::count("core.future_exposure.records", world.corpus().size());
   FutureExposureResult result;
   result.states.resize(static_cast<std::size_t>(world.atlas().num_states()));
   for (std::size_t s = 0; s < result.states.size(); ++s) {

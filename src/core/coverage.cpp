@@ -7,6 +7,7 @@
 #include "core/overlay.hpp"
 #include "geo/geodesy.hpp"
 #include "index/grid_index.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
@@ -22,6 +23,7 @@ double coverage_loss_share(double lost_txr_share,
 CoverageResult run_coverage_loss(
     const World& world, const std::vector<firesim::FirePerimeter>& fires,
     const CoverageConfig& config) {
+  const obs::Span span("core.coverage_loss");
   CoverageResult result;
 
   // County totals (denominator) and losses (numerator).
@@ -65,6 +67,7 @@ SpatialCoverageResult run_spatial_coverage_loss(
     const World& world, const std::vector<firesim::FirePerimeter>& fires,
     const synth::PopulationSurface& population,
     const SpatialCoverageConfig& config) {
+  const obs::Span span("core.spatial_coverage");
   SpatialCoverageResult result;
 
   // Sites and their status after the fires.

@@ -6,6 +6,7 @@
 
 #include "core/whp_overlay.hpp"
 #include "geo/geodesy.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
@@ -59,6 +60,7 @@ double escape_risk_score(const World& world, geo::LonLat p,
 
 EscapeResult run_escape_risk(const World& world, std::size_t stride,
                              const EscapeConfig& config) {
+  const obs::Span span("core.escape_risk");
   EscapeResult result;
   result.stride = std::max<std::size_t>(1, stride);
   result.states.resize(static_cast<std::size_t>(world.atlas().num_states()));

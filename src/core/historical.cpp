@@ -4,12 +4,15 @@
 #include <map>
 
 #include "core/overlay.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
 HistoricalResult run_historical_overlay(
     const World& world, std::span<const synth::FireYearStats> years,
     const firesim::FireSimConfig& fire_config) {
+  const obs::Span span("core.historical");
+  obs::count("core.historical.years", years.size());
   HistoricalResult result;
   result.corpus_scale = world.config().corpus_scale;
   firesim::FireSimulator sim(world.whp(), world.atlas(),
@@ -31,12 +34,14 @@ HistoricalResult run_historical_overlay(
     result.total_txr += hits.size();
     result.rows.push_back(row);
   }
+  obs::count("core.historical.hits", result.total_txr);
   return result;
 }
 
 BurnedByStateResult burned_by_state(
     const World& world, std::span<const synth::FireYearStats> years,
     const firesim::FireSimConfig& config) {
+  const obs::Span span("core.burned_by_state");
   BurnedByStateResult result;
   std::map<int, BurnedByStateRow> by_state;
   double west_acres = 0.0;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace fa::core {
 
 namespace {
@@ -30,6 +32,7 @@ std::vector<std::uint32_t> bin_points(std::span<const geo::Vec2> points,
 
 std::string render_ascii_density(std::span<const geo::Vec2> points,
                                  const geo::BBox& box, int cols, int rows) {
+  const obs::Span span("core.render_density");
   const auto bins = bin_points(points, box, cols, rows);
   const std::uint32_t peak =
       *std::max_element(bins.begin(), bins.end());
@@ -59,6 +62,7 @@ std::string render_ascii_density(std::span<const geo::Vec2> points,
 std::string render_ascii_classes(const raster::ClassRaster& grid,
                                  std::string_view glyphs, int cols,
                                  int rows) {
+  const obs::Span span("core.render_classes");
   std::string out;
   out.reserve(static_cast<std::size_t>((cols + 1) * rows));
   const auto& g = grid.geom();

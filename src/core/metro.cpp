@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "geo/geodesy.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
 std::vector<MetroRiskRow> run_metro_risk(const World& world,
                                          const MetroConfig& config) {
+  const obs::Span span("core.metro_risk");
   std::vector<MetroRiskRow> rows;
   for (const synth::CityInfo& city : world.atlas().cities()) {
     if (city.metro_population < config.min_metro_population) continue;

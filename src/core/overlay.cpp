@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "exec/exec.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
 PerimeterHits transceivers_in_perimeters_attributed(
     const World& world, const std::vector<firesim::FirePerimeter>& fires) {
+  const obs::Span span("core.overlay.perimeters");
+  obs::count("core.overlay.fires", fires.size());
   PerimeterHits hits;
   // Query the transceiver grid index by fire bbox, then run the exact
   // polygon test — fires are few and small relative to the corpus, so
@@ -38,6 +41,7 @@ PerimeterHits transceivers_in_perimeters_attributed(
       hits.fire_idx.push_back(f);
     }
   }
+  obs::count("core.overlay.hits", hits.txr_ids.size());
   return hits;
 }
 

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/obs.hpp"
+
 namespace fa::core {
 
 namespace {
@@ -41,6 +43,8 @@ std::size_t PopulationImpactResult::at_risk_pop_vh() const {
 }
 
 PopulationImpactResult run_population_impact(const World& world) {
+  const obs::Span span("core.population_impact");
+  obs::count("core.population_impact.records", world.corpus().size());
   PopulationImpactResult result;
   std::set<int> counties_at_risk;
   for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
@@ -61,6 +65,7 @@ PopulationImpactResult run_population_impact(const World& world) {
 }
 
 std::vector<CityVhRow> very_high_by_major_county(const World& world) {
+  const obs::Span span("core.vh_by_major_county");
   std::map<int, std::size_t> counts;
   for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
     if (world.txr_class(t.id) != synth::WhpClass::kVeryHigh) continue;

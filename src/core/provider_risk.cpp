@@ -3,9 +3,13 @@
 #include <set>
 #include <string_view>
 
+#include "obs/obs.hpp"
+
 namespace fa::core {
 
 ProviderRiskResult run_provider_risk(const World& world) {
+  const obs::Span span("core.provider_risk");
+  obs::count("core.provider_risk.records", world.corpus().size());
   ProviderRiskResult result;
   const cellnet::ProviderRegistry registry;
   for (int p = 0; p < cellnet::kNumProviders; ++p) {
@@ -39,6 +43,8 @@ ProviderRiskResult run_provider_risk(const World& world) {
 }
 
 RadioRiskResult run_radio_risk(const World& world) {
+  const obs::Span span("core.radio_risk");
+  obs::count("core.radio_risk.records", world.corpus().size());
   RadioRiskResult result;
   for (int r = 0; r < cellnet::kNumRadioTypes; ++r) {
     result.rows[static_cast<std::size_t>(r)].radio =

@@ -1,12 +1,14 @@
 #include "core/roadside.hpp"
 
 #include "geo/geodesy.hpp"
+#include "obs/obs.hpp"
 #include "synth/roads.hpp"
 
 namespace fa::core {
 
 RoadsideResult run_roadside_shadow(const World& world, std::size_t stride,
                                    const RoadsideConfig& config) {
+  const obs::Span span("core.roadside_shadow");
   RoadsideResult result;
   const synth::RoadNetwork& roads = synth::RoadNetwork::get();
   stride = std::max<std::size_t>(1, stride);

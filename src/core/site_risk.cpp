@@ -3,10 +3,13 @@
 #include <array>
 
 #include "exec/exec.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
 SiteRiskResult run_site_risk(const World& world, double merge_dist_m) {
+  const obs::Span span("core.site_risk");
+  obs::count("core.site_risk.records", world.corpus().size());
   SiteRiskResult result;
   result.transceivers = world.corpus().size();
   const std::vector<cellnet::CellSite> sites =

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/overlay.hpp"
+#include "obs/obs.hpp"
 #include "raster/morphology.hpp"
 #include "synth/firecalib.hpp"
 
@@ -19,6 +20,7 @@ double ValidationResult::accuracy_excluding_top2() const {
 }
 
 ValidationResult run_whp_validation(const World& world, int replicas) {
+  const obs::Span span("core.whp_validation");
   ValidationResult result;
   std::map<std::string, std::size_t> misses_by_fire;
   for (int rep = 0; rep < std::max(1, replicas); ++rep) {
@@ -72,6 +74,7 @@ ValidationResult run_whp_validation(const World& world, int replicas) {
 ExtensionResult run_perimeter_extension(const World& world,
                                         const ValidationResult& validation,
                                         double radius_m) {
+  const obs::Span span("core.perimeter_extension");
   ExtensionResult result;
   result.radius_m = radius_m;
 

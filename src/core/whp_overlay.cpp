@@ -4,10 +4,13 @@
 #include <numeric>
 
 #include "exec/exec.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
 WhpOverlayResult run_whp_overlay(const World& world) {
+  const obs::Span span("core.whp_overlay");
+  obs::count("core.whp_overlay.records", world.corpus().size());
   WhpOverlayResult result;
   result.states.resize(static_cast<std::size_t>(world.atlas().num_states()));
   for (std::size_t s = 0; s < result.states.size(); ++s) {

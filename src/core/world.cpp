@@ -9,6 +9,7 @@
 #include "exec/exec.hpp"
 #include "fault/injector.hpp"
 #include "geo/lonlat.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::core {
 
@@ -58,6 +59,7 @@ fault::Result<ValidateOutcome> validate_stage(
   using fault::ErrCode;
   using fault::RecoveryPolicy;
   using fault::Status;
+  const obs::Span span("world.validate");
   ValidateOutcome out;
   out.kept.reserve(txr.size());
   for (cellnet::Transceiver& t : txr) {
@@ -90,6 +92,9 @@ fault::Result<ValidateOutcome> validate_stage(
     t.id = static_cast<std::uint32_t>(out.kept.size());
     out.kept.push_back(t);
   }
+  obs::count("world.ingest.kept", out.kept.size());
+  obs::count("world.ingest.dropped", out.dropped);
+  obs::count("world.ingest.repaired", out.repaired);
   return out;
 }
 
@@ -99,6 +104,7 @@ void World::finalize() {
   // Per-transceiver classification and county resolution: every write is
   // indexed by transceiver id, so chunks touch disjoint slots and the
   // result is identical at any thread count.
+  const obs::Span span("world.finalize");
   const std::vector<cellnet::Transceiver>& transceivers =
       corpus_.transceivers();
   const std::size_t n = corpus_.size();
@@ -120,6 +126,8 @@ void World::finalize() {
 
 fault::Result<World> World::build(const synth::ScenarioConfig& config,
                                   const BuildOptions& options) {
+  const obs::Span span("world.build");
+  obs::count("world.builds");
   World w;
   w.config_ = config;
   w.atlas_ = &synth::UsAtlas::get();
@@ -150,6 +158,8 @@ fault::Result<World> World::build(const synth::ScenarioConfig& config,
 fault::Result<World> World::from_corpus(cellnet::CellCorpus corpus,
                                         const synth::ScenarioConfig& config,
                                         const BuildOptions& options) {
+  const obs::Span span("world.build");
+  obs::count("world.builds");
   World w;
   w.config_ = config;
   w.atlas_ = &synth::UsAtlas::get();

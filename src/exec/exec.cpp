@@ -9,6 +9,7 @@
 #include <string>
 
 #include "fault/injector.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::exec {
 
@@ -30,6 +31,32 @@ int default_worker_count() {
   return std::clamp(std::max(hw, ThreadPool::kMinDefaultWorkers), 1,
                     ThreadPool::kMaxWorkers);
 }
+
+// Per-region instrumentation handles, resolved once per work()/run()
+// call so the per-chunk path never takes the registry lock. The chunk
+// count is part of the deterministic chunk plan, so "exec.chunks" is
+// identical at any thread count; "exec.steals" and the queue-depth
+// histogram are scheduling-dependent by nature and excluded from the
+// additivity contract (see obs.hpp).
+struct ExecObs {
+  obs::Counter* chunks = nullptr;
+  obs::Counter* steals = nullptr;
+  obs::Histogram* chunk_ns = nullptr;
+  obs::Histogram* queue_depth = nullptr;
+  obs::Registry* registry = nullptr;
+
+  static ExecObs resolve() {
+    ExecObs handles;
+    if (!obs::enabled()) return handles;
+    obs::Registry& reg = obs::Registry::global();
+    handles.registry = &reg;
+    handles.chunks = &reg.counter("exec.chunks");
+    handles.steals = &reg.counter("exec.steals");
+    handles.chunk_ns = &reg.histogram("exec.chunk_ns");
+    handles.queue_depth = &reg.histogram("exec.queue_depth");
+    return handles;
+  }
+};
 
 // Packs a [lo, hi) chunk span into one atomic word for CAS claiming.
 std::uint64_t pack_span(std::uint32_t lo, std::uint32_t hi) {
@@ -162,14 +189,27 @@ void ThreadPool::work(Job& job, int worker_id) {
   const bool was_on_worker = t_on_worker;
   t_on_worker = true;
   const fault::Injector& inj = fault::Injector::global();
+  const ExecObs ob = ExecObs::resolve();
   while (true) {
     std::optional<std::size_t> chunk = job.take_front(worker_id);
-    if (!chunk) chunk = job.steal(worker_id);
+    if (!chunk) {
+      chunk = job.steal(worker_id);
+      if (chunk && ob.steals != nullptr) ob.steals->add();
+    }
     if (!chunk) break;
     if (!job.cancelled.load(std::memory_order_acquire)) {
       try {
         if (inj.armed()) inj.fail_point("exec.chunk", *chunk);
-        job.fn(*chunk, worker_id);
+        if (ob.registry != nullptr) {
+          ob.queue_depth->record(
+              job.num_chunks - job.done.load(std::memory_order_relaxed));
+          const std::uint64_t t0 = ob.registry->now_ns();
+          job.fn(*chunk, worker_id);
+          ob.chunk_ns->record(ob.registry->now_ns() - t0);
+          ob.chunks->add();
+        } else {
+          job.fn(*chunk, worker_id);
+        }
       } catch (...) {
         job.record_error(std::current_exception());
       }
@@ -214,14 +254,29 @@ void ThreadPool::run(std::size_t num_chunks, ChunkFnRef fn, int max_threads) {
 
   // Serial inline path: nested region, single worker, or a single chunk.
   // Same chunk decomposition, executed in chunk order on this thread.
+  // Chunk accounting matches the pooled path exactly, so "exec.chunks"
+  // and "exec.regions" are invariant across thread counts.
   if (t_on_worker || workers <= 1) {
     const bool was_on_worker = t_on_worker;
     t_on_worker = true;
     const fault::Injector& inj = fault::Injector::global();
+    const ExecObs ob = ExecObs::resolve();
+    if (ob.registry != nullptr) {
+      ob.registry->counter("exec.regions").add();
+      ob.registry->counter("exec.inline_regions").add();
+    }
     try {
       for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
         if (inj.armed()) inj.fail_point("exec.chunk", chunk);
-        fn(chunk, 0);
+        if (ob.registry != nullptr) {
+          ob.queue_depth->record(num_chunks - chunk);
+          const std::uint64_t t0 = ob.registry->now_ns();
+          fn(chunk, 0);
+          ob.chunk_ns->record(ob.registry->now_ns() - t0);
+          ob.chunks->add();
+        } else {
+          fn(chunk, 0);
+        }
       }
     } catch (...) {
       t_on_worker = was_on_worker;
@@ -231,6 +286,8 @@ void ThreadPool::run(std::size_t num_chunks, ChunkFnRef fn, int max_threads) {
     return;
   }
 
+  obs::Span region_span("exec.region");
+  obs::count("exec.regions");
   const std::lock_guard<std::mutex> region(impl_->run_mu);
   Job job(num_chunks, fn, workers);
   {

@@ -1,5 +1,7 @@
 #include "fault/diagnostics.hpp"
 
+#include "obs/obs.hpp"
+
 namespace fa::fault {
 
 std::string_view recovery_policy_name(RecoveryPolicy policy) {
@@ -31,6 +33,7 @@ std::string_view severity_name(Severity severity) {
 }
 
 void Diagnostics::report(Severity severity, Status status) {
+  obs::count("fault.reported");
   ++sources_[status.source].reported;
   ++severity_counts_[static_cast<std::size_t>(severity)];
   ++total_reported_;
@@ -40,12 +43,14 @@ void Diagnostics::report(Severity severity, Status status) {
 }
 
 void Diagnostics::dropped(Status why) {
+  obs::count("fault.dropped");
   ++sources_[why.source].dropped;
   ++total_dropped_;
   report(Severity::kWarning, std::move(why));
 }
 
 void Diagnostics::repaired(Status what) {
+  obs::count("fault.repaired");
   ++sources_[what.source].repaired;
   ++total_repaired_;
   report(Severity::kInfo, std::move(what));

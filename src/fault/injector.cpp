@@ -56,24 +56,22 @@ constexpr std::string_view kFieldPoison[] = {
     "nan", "inf", "-inf", "999", "-999", "", "bogus",
     "99999999999999999999", "1e400"};
 
-Injector* g_injector = nullptr;
-
+// Magic-static only: a plain pointer cache around it would be written by
+// whichever thread first calls global() and read unsynchronized by every
+// other worker — a data race TSan flags under fa::exec.
 Injector& mutable_global() {
-  if (g_injector == nullptr) {
-    static Injector from_env = [] {
-      const char* spec = std::getenv("FA_FAULTS");
-      if (spec == nullptr || *spec == '\0') return Injector{};
-      Result<Injector> parsed = Injector::parse(spec);
-      if (!parsed.ok()) {
-        std::fprintf(stderr, "FA_FAULTS ignored: %s\n",
-                     parsed.status().to_string().c_str());
-        return Injector{};
-      }
-      return std::move(parsed).take();
-    }();
-    g_injector = &from_env;
-  }
-  return *g_injector;
+  static Injector from_env = [] {
+    const char* spec = std::getenv("FA_FAULTS");
+    if (spec == nullptr || *spec == '\0') return Injector{};
+    Result<Injector> parsed = Injector::parse(spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "FA_FAULTS ignored: %s\n",
+                   parsed.status().to_string().c_str());
+      return Injector{};
+    }
+    return std::move(parsed).take();
+  }();
+  return from_env;
 }
 
 }  // namespace

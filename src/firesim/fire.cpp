@@ -6,6 +6,7 @@
 
 #include "geo/algorithms.hpp"
 #include "geo/geodesy.hpp"
+#include "obs/obs.hpp"
 #include "raster/raster.hpp"
 #include "raster/morphology.hpp"
 #include "raster/regions.hpp"
@@ -372,6 +373,7 @@ FireSimulator::FireProgression FireSimulator::spread_fire_staged(
 
 FireSeason FireSimulator::simulate_year(const synth::FireYearStats& target,
                                         const FireSimConfig& config) {
+  const obs::Span span("firesim.season");
   FireSeason season;
   season.year = target.year;
   season.total_ignitions = target.fires;
@@ -394,6 +396,8 @@ FireSeason FireSimulator::simulate_year(const synth::FireYearStats& target,
     season.simulated_acres += fire.acres;
     season.fires.push_back(std::move(fire));
   }
+  obs::count("firesim.ignitions", id);
+  obs::count("firesim.fires", season.fires.size());
   return season;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace fa::io {
 
 std::vector<std::string> parse_csv_line(std::string_view line, char sep) {
@@ -61,8 +63,17 @@ CsvReader::CsvReader(std::istream& in, bool has_header, char sep)
     if (std::getline(in_, line)) {
       header_ = parse_csv_line(line, sep_);
       ++line_;
+      bytes_ += line.size() + 1;
     }
   }
+}
+
+CsvReader::~CsvReader() {
+  // One counter update per reader, not per record: keeps the hot loop
+  // free of registry traffic while still reporting parse volume.
+  obs::count("io.csv.bytes", bytes_);
+  obs::count("io.csv.records", records_);
+  if (schema_errors_ != 0) obs::count("io.csv.schema_errors", schema_errors_);
 }
 
 int CsvReader::column(std::string_view name) const {
@@ -76,6 +87,7 @@ std::optional<std::vector<std::string>> CsvReader::next() {
   std::string line;
   while (std::getline(in_, line)) {
     ++line_;
+    bytes_ += line.size() + 1;
     if (line.empty() || line == "\r") continue;
     ++records_;
     line_of_record_ = line_;
@@ -88,6 +100,7 @@ std::optional<fault::Result<std::vector<std::string>>> CsvReader::try_next() {
   std::optional<std::vector<std::string>> row = next();
   if (!row) return std::nullopt;
   if (!header_.empty() && row->size() != header_.size()) {
+    ++schema_errors_;
     return fault::Result<std::vector<std::string>>(fault::Status::error(
         fault::ErrCode::kSchema, records_, "csv",
         "record has " + std::to_string(row->size()) + " fields, header has " +

@@ -27,6 +27,9 @@ class CsvReader {
   // Does not own the stream. If `has_header` the first row is consumed
   // and exposed via header().
   explicit CsvReader(std::istream& in, bool has_header = true, char sep = ',');
+  // Flushes io.csv.* observability counters (bytes, records, schema
+  // errors) accumulated over the reader's lifetime.
+  ~CsvReader();
 
   const std::vector<std::string>& header() const { return header_; }
   // Column index by header name, or -1.
@@ -53,6 +56,8 @@ class CsvReader {
   std::size_t records_ = 0;
   std::size_t line_ = 0;            // physical lines consumed so far
   std::size_t line_of_record_ = 0;  // line of the last record returned
+  std::size_t bytes_ = 0;           // bytes consumed (incl. newlines)
+  std::size_t schema_errors_ = 0;   // try_next field-count mismatches
 };
 
 class CsvWriter {

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <new>
 
+#include "obs/obs.hpp"
+
 namespace fa::io {
 
 namespace {
@@ -117,8 +119,12 @@ void write_fagrid(std::ostream& out, const raster::ClassRaster& grid) {
 fault::Result<raster::ClassRaster> try_read_fagrid(std::istream& in,
                                                    std::string_view source) {
   try {
-    return read_impl(in, source);
+    fault::Result<raster::ClassRaster> result = read_impl(in, source);
+    obs::count("io.fagrid.reads");
+    obs::count("io.fagrid.cells", result.value().data().size());
+    return result;
   } catch (const fault::IoError& e) {
+    obs::count("io.fagrid.errors");
     return e.status();
   }
 }

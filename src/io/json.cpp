@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/obs.hpp"
+
 namespace fa::io {
 
 namespace {
@@ -336,14 +338,19 @@ void serialize(const JsonValue& v, std::string& out, int indent, int depth) {
 }  // namespace
 
 fault::Result<JsonValue> try_parse_json(std::string_view text) {
+  obs::count("io.json.parses");
+  obs::count("io.json.bytes", text.size());
   try {
     return Parser{text}.parse_document();
   } catch (const fault::IoError& e) {
+    obs::count("io.json.errors");
     return e.status();
   }
 }
 
 JsonValue parse_json(std::string_view text) {
+  obs::count("io.json.parses");
+  obs::count("io.json.bytes", text.size());
   return Parser{text}.parse_document();
 }
 

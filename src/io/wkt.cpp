@@ -5,6 +5,8 @@
 #include <charconv>
 #include <cstdio>
 
+#include "obs/obs.hpp"
+
 namespace fa::io {
 
 namespace {
@@ -199,26 +201,35 @@ std::string to_wkt(const geo::MultiPolygon& mp) {
 }
 
 fault::Result<geo::Vec2> try_parse_wkt_point(std::string_view wkt) {
+  obs::count("io.wkt.parses");
+  obs::count("io.wkt.bytes", wkt.size());
   try {
     return WktParser{wkt}.point();
   } catch (const fault::IoError& e) {
+    obs::count("io.wkt.errors");
     return e.status();
   }
 }
 
 fault::Result<geo::Polygon> try_parse_wkt_polygon(std::string_view wkt) {
+  obs::count("io.wkt.parses");
+  obs::count("io.wkt.bytes", wkt.size());
   try {
     return WktParser{wkt}.polygon();
   } catch (const fault::IoError& e) {
+    obs::count("io.wkt.errors");
     return e.status();
   }
 }
 
 fault::Result<geo::MultiPolygon> try_parse_wkt_multipolygon(
     std::string_view wkt) {
+  obs::count("io.wkt.parses");
+  obs::count("io.wkt.bytes", wkt.size());
   try {
     return WktParser{wkt}.multipolygon();
   } catch (const fault::IoError& e) {
+    obs::count("io.wkt.errors");
     return e.status();
   }
 }

@@ -1,0 +1,310 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fa::obs {
+
+namespace detail {
+
+namespace {
+
+bool enabled_from_env() {
+  const char* env = std::getenv("FA_OBS");
+  if (env == nullptr || *env == '\0') return true;
+  return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+           std::strcmp(env, "false") == 0 || std::strcmp(env, "OFF") == 0);
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{enabled_from_env()};
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::uint64_t next_registry_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Minimal RFC 8259 string escaping for instrument names.
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+// Fixed-point microseconds with nanosecond precision; %g would lose
+// sub-microsecond resolution once a trace runs for more than a second.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::EventBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+Registry::Registry()
+    : epoch_(std::chrono::steady_clock::now()), id_(next_registry_id()) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry reg;
+  return reg;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+Registry::EventBuffer& Registry::local_buffer() {
+  // Cache is keyed by (registry address, registry id): the id rules out
+  // a stale match when a registry is destroyed and another is allocated
+  // at the same address on this thread.
+  thread_local Registry* t_owner = nullptr;
+  thread_local std::uint64_t t_owner_id = 0;
+  thread_local EventBuffer* t_buf = nullptr;
+  if (t_owner != this || t_owner_id != id_) {
+    auto buf = std::make_unique<EventBuffer>();
+    EventBuffer* raw = buf.get();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      buffers_.push_back(std::move(buf));
+    }
+    t_owner = this;
+    t_owner_id = id_;
+    t_buf = raw;
+  }
+  return *t_buf;
+}
+
+void Registry::record_span(std::string_view name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  histogram(name).record(dur_ns);
+  EventBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(TraceEvent{std::string(name), current_tid(), start_ns,
+                                  dur_ns});
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+  std::map<std::string, std::uint64_t> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::vector<HistogramSnapshot> Registry::histograms() const {
+  std::vector<HistogramSnapshot> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.count = h->count();
+    snap.sum = h->sum();
+    snap.max = h->max();
+    snap.buckets.resize(Histogram::kBuckets);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      snap.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Registry::events() const {
+  std::vector<TraceEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      const std::lock_guard<std::mutex> buf_lock(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::uint64_t Registry::events_dropped() const {
+  std::uint64_t dropped = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    dropped += buf->dropped;
+  }
+  return dropped;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+  for (const auto& buf : buffers_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+}
+
+std::string to_json(const Registry& registry) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"enabled\":";
+  out += enabled() ? "true" : "false";
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counters()) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    append_u64(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSnapshot& h : registry.histograms()) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, h.name);
+    out += ":{\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum_ns\":";
+    append_u64(out, h.sum);
+    out += ",\"max_ns\":";
+    append_u64(out, h.max);
+    out += ",\"mean_ns\":";
+    append_double(out, h.count ? static_cast<double>(h.sum) /
+                                     static_cast<double>(h.count)
+                               : 0.0);
+    // Sparse bucket list: [floor_ns, count] pairs for non-empty buckets.
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      if (!first_bucket) out.push_back(',');
+      first_bucket = false;
+      out.push_back('[');
+      append_u64(out, Histogram::bucket_floor(i));
+      out.push_back(',');
+      append_u64(out, n);
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  const std::vector<TraceEvent> events = registry.events();
+  out += "},\"events\":{\"recorded\":";
+  append_u64(out, events.size());
+  out += ",\"dropped\":";
+  append_u64(out, registry.events_dropped());
+  out += "}}";
+  return out;
+}
+
+std::string to_chrome_trace(const Registry& registry) {
+  const std::vector<TraceEvent> events = registry.events();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, e.name);
+    out += ",\"cat\":\"fa\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_u64(out, e.tid);
+    out += ",\"ts\":";
+    append_us(out, e.start_ns);
+    out += ",\"dur\":";
+    append_us(out, e.dur_ns);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace fa::obs

@@ -1,0 +1,225 @@
+// fa::obs — the observability substrate: monotonic counters, fixed-
+// bucket latency histograms, and nestable Span scopes collected in a
+// thread-safe Registry, with JSON and chrome-trace exporters.
+//
+// Zero dependencies (standard library only) so every other module can
+// link it. Instrumentation is a runtime no-op when disabled: the FA_OBS
+// environment variable ("off"/"0"/"false" disables, anything else or
+// unset enables) is read once into an atomic flag, and every record
+// path bails on a single relaxed load before touching a clock or a
+// lock. Counter values are exact (relaxed atomic adds); what must stay
+// deterministic across thread counts is the *count*, never the timing:
+// counters incremented from exec chunk bodies with per-chunk totals are
+// additive, so a pipeline stage reports identical record/drop counters
+// at 1 and 8 threads (tests/obs/additivity_test.cpp pins this).
+// Scheduling-dependent counters ("exec.steals", "exec.inline_regions")
+// are the documented exceptions, excluded from that contract.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fa::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+// Process-wide toggle, initialized from FA_OBS at static-init time.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+// Test/embedder override of the FA_OBS default.
+void set_enabled(bool on);
+
+// Monotonic event counter. add() is a relaxed fetch_add when obs is
+// enabled and a no-op otherwise; value() is exact once the threads that
+// incremented it have joined (end of a parallel region).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Fixed power-of-two bucket histogram for nanosecond durations (or any
+// u64 magnitude): bucket 0 holds zeros, bucket i holds values in
+// [2^(i-1), 2^i). 40 buckets span 1 ns .. ~9 minutes; larger values
+// clamp into the last bucket. Lock-free, exact count/sum/max.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void record(std::uint64_t value) {
+    if (!enabled()) return;
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+  std::uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Smallest value landing in bucket i.
+  static std::uint64_t bucket_floor(int i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static int bucket_index(std::uint64_t value) {
+    const int w = std::bit_width(value);
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// One completed Span, for the chrome-trace exporter. Timestamps are
+// nanoseconds on the owning Registry's monotonic clock; tid is a small
+// sequential id assigned per OS thread at first use.
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  // kBuckets entries
+};
+
+// Thread-safe name → instrument registry. Lookup takes a mutex and
+// returns a reference that stays valid for the registry's lifetime
+// (reset() zeroes values but never removes entries), so hot paths can
+// cache the reference outside their loops. Trace events append to
+// per-thread buffers (capped at kMaxEventsPerThread each; overflow is
+// counted, not resized) and merge at export time.
+class Registry {
+ public:
+  static constexpr std::size_t kMaxEventsPerThread = 16384;
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Nanoseconds on the monotonic clock since this registry was created.
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // Records a completed scope: duration lands in histogram(name) and a
+  // TraceEvent is appended to the calling thread's buffer.
+  void record_span(std::string_view name, std::uint64_t start_ns,
+                   std::uint64_t dur_ns);
+
+  // Snapshots (each takes the registry lock; values are relaxed reads).
+  std::map<std::string, std::uint64_t> counters() const;
+  std::vector<HistogramSnapshot> histograms() const;
+  // Merged across threads, ordered by (start, tid, name).
+  std::vector<TraceEvent> events() const;
+  std::uint64_t events_dropped() const;
+
+  // Zeroes every counter/histogram and clears trace buffers; references
+  // handed out earlier remain valid.
+  void reset();
+
+  // The process-wide registry all library instrumentation records into.
+  static Registry& global();
+
+ private:
+  struct EventBuffer;
+  EventBuffer& local_buffer();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<std::unique_ptr<EventBuffer>> buffers_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t id_;  // process-unique, guards thread-local buffer reuse
+};
+
+// RAII timing scope. Construction reads the clock only when obs is
+// enabled; destruction (or stop()) records into histogram(name) and the
+// trace buffer. Nesting works naturally — the chrome-trace view stacks
+// events by time containment per thread.
+class Span {
+ public:
+  explicit Span(std::string_view name) : Span(name, Registry::global()) {}
+  Span(std::string_view name, Registry& registry) {
+    if (!enabled()) return;
+    registry_ = &registry;
+    name_ = name;
+    start_ = registry.now_ns();
+  }
+  ~Span() { stop(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void stop() {
+    if (registry_ == nullptr) return;
+    registry_->record_span(name_, start_, registry_->now_ns() - start_);
+    registry_ = nullptr;
+  }
+
+ private:
+  Registry* registry_ = nullptr;
+  std::string name_;
+  std::uint64_t start_ = 0;
+};
+
+// Convenience: bump a named counter in the global registry. Callers on
+// hot loops should cache `Registry::global().counter(name)` instead —
+// this does a locked map lookup per call.
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if (enabled()) Registry::global().counter(name).add(n);
+}
+
+// {"counters":{...},"histograms":{...},"events":{...}} — self-contained
+// serializer (obs depends on nothing, including fa_io); the output is
+// strict RFC 8259 and round-trips through io::parse_json.
+std::string to_json(const Registry& registry = Registry::global());
+
+// Chrome trace-event JSON ({"traceEvents":[...]}) loadable in
+// chrome://tracing or https://ui.perfetto.dev. Timestamps microseconds.
+std::string to_chrome_trace(const Registry& registry = Registry::global());
+
+}  // namespace fa::obs

@@ -6,6 +6,7 @@
 
 #include "fault/injector.hpp"
 #include "geo/geodesy.hpp"
+#include "obs/obs.hpp"
 #include "synth/rng.hpp"
 #include "synth/roads.hpp"
 
@@ -61,6 +62,7 @@ cellnet::CellCorpus generate_corpus(const UsAtlas& atlas,
                                     const ScenarioConfig& config,
                                     const CorpusMixture& mix) {
   fault::Injector::global().fail_point("synth.corpus", config.seed);
+  const obs::Span span("synth.corpus");
   Rng rng(config.seed ^ 0xCE11C0DEULL);
   Rng radio_rng = rng.split();
   Rng provider_rng = rng.split();
@@ -188,6 +190,7 @@ cellnet::CellCorpus generate_corpus(const UsAtlas& atlas,
       out.push_back(t);
     }
   }
+  obs::count("synth.corpus.transceivers", out.size());
   return cellnet::CellCorpus{std::move(out)};
 }
 

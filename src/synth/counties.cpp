@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fault/injector.hpp"
+#include "obs/obs.hpp"
 #include "synth/rng.hpp"
 
 namespace fa::synth {
@@ -28,6 +29,7 @@ std::string_view pop_category_name(PopCategory c) {
 CountyMap CountyMap::build(const UsAtlas& atlas,
                            const ScenarioConfig& config) {
   fault::Injector::global().fail_point("synth.counties", config.seed);
+  const obs::Span span("synth.counties");
   CountyMap map;
   map.atlas_ = &atlas;
   map.by_state_.resize(static_cast<std::size_t>(atlas.num_states()));

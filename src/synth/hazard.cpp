@@ -6,6 +6,7 @@
 
 #include "exec/exec.hpp"
 #include "fault/injector.hpp"
+#include "obs/obs.hpp"
 #include "geo/geodesy.hpp"
 #include "raster/morphology.hpp"
 #include "raster/rasterize.hpp"
@@ -38,6 +39,7 @@ double urban_radius_m(double pop) {
 
 WhpModel generate_whp(const UsAtlas& atlas, const ScenarioConfig& config) {
   fault::Injector::global().fail_point("synth.whp", config.seed);
+  const obs::Span span("synth.whp");
   WhpModel model;
 
   // Albers-space bounds of the CONUS from the state outlines.

@@ -3,11 +3,14 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace fa::synth {
 
 PopulationSurface PopulationSurface::build(const UsAtlas& atlas,
                                            const ScenarioConfig& config,
                                            double cell_m) {
+  const obs::Span span("synth.population");
   PopulationSurface surface;
   if (cell_m <= 0.0) cell_m = config.whp_cell_m * 4.0;
 

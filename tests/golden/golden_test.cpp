@@ -1,0 +1,147 @@
+// Golden-value regression suite: the paper's headline aggregates,
+// computed on the fixed-seed synthetic world (the shared test scenario),
+// pinned to exact constants in tests/golden/expected/*.json. Any change
+// to synthesis, ingestion, overlay, or simulation arithmetic — even a
+// single record — shows up as a diff against these files.
+//
+//   ctest -L golden                      # verify against the pinned files
+//   ./test_golden --update-golden        # regenerate after intended drift
+//
+// Regeneration rewrites the expected files in the source tree; review
+// the diff like any other code change.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "core/historical.hpp"
+#include "core/provider_risk.hpp"
+#include "core/whp_overlay.hpp"
+#include "io/json.hpp"
+#include "test_world.hpp"
+
+namespace fa::core::testing {
+namespace {
+
+bool g_update_golden = false;
+
+std::string golden_path(const std::string& name) {
+  return std::string(FA_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+// Serialized form is the contract: pretty-printed via io::to_json with
+// %.17g doubles, so equal strings mean bit-identical aggregates.
+void check_golden(const std::string& name, const io::JsonValue& actual) {
+  const std::string serialized = io::to_json(actual, 2) + "\n";
+  const std::string path = golden_path(name);
+  if (g_update_golden) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << serialized;
+    std::printf("[golden] updated %s\n", path.c_str());
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << "; regenerate with: test_golden --update-golden";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), serialized)
+      << "golden drift in '" << name << "' — if the change is intended, "
+      << "regenerate with: test_golden --update-golden";
+}
+
+TEST(Golden, Table1Historical) {
+  const World& world = test_world();
+  const HistoricalResult result = run_historical_overlay(
+      world, test_context().historical_years(), test_context().fire_config);
+  io::JsonArray rows;
+  for (const HistoricalYearRow& row : result.rows) {
+    rows.push_back(io::JsonObject{{"year", row.year},
+                                  {"fires", row.fires},
+                                  {"acres_millions", row.acres_millions},
+                                  {"txr_in_perimeters", row.txr_in_perimeters},
+                                  {"txr_per_macre", row.txr_per_macre}});
+  }
+  io::JsonObject doc;
+  doc["rows"] = io::JsonValue{std::move(rows)};
+  doc["total_txr"] = result.total_txr;
+  doc["corpus_scale"] = result.corpus_scale;
+  check_golden("table1_historical", io::JsonValue{std::move(doc)});
+}
+
+TEST(Golden, Table2Providers) {
+  const ProviderRiskResult result = run_provider_risk(test_world());
+  io::JsonArray rows;
+  for (const ProviderRiskRow& row : result.rows) {
+    rows.push_back(
+        io::JsonObject{{"provider", std::string{cellnet::provider_name(row.provider)}},
+                       {"fleet", row.fleet},
+                       {"moderate", row.moderate},
+                       {"high", row.high},
+                       {"very_high", row.very_high}});
+  }
+  io::JsonObject doc;
+  doc["rows"] = io::JsonValue{std::move(rows)};
+  doc["regional_brands_at_risk"] = result.regional_brands_at_risk;
+  check_golden("table2_providers", io::JsonValue{std::move(doc)});
+}
+
+TEST(Golden, Table3RadioTypes) {
+  const RadioRiskResult result = run_radio_risk(test_world());
+  io::JsonArray rows;
+  for (const RadioRiskRow& row : result.rows) {
+    rows.push_back(
+        io::JsonObject{{"radio", std::string{cellnet::radio_type_name(row.radio)}},
+                       {"moderate", row.moderate},
+                       {"high", row.high},
+                       {"very_high", row.very_high}});
+  }
+  check_golden("table3_radio_types", io::JsonValue{std::move(rows)});
+}
+
+TEST(Golden, Fig6Fig7WhpOverlay) {
+  const World& world = test_world();
+  const WhpOverlayResult result = run_whp_overlay(world);
+  io::JsonObject doc;
+  io::JsonArray by_class;
+  for (const std::size_t n : result.txr_by_class) by_class.push_back(n);
+  doc["txr_by_class"] = io::JsonValue{std::move(by_class)};
+  doc["total_at_risk"] = result.total_at_risk();
+  io::JsonArray states;
+  for (const StateWhpRow& row : result.states) {
+    if (row.at_risk() == 0) continue;  // keep the file to states that matter
+    states.push_back(io::JsonObject{
+        {"state", std::string{world.atlas()
+                                  .states()[static_cast<std::size_t>(row.state)]
+                                  .abbr}},
+        {"moderate", row.moderate},
+        {"high", row.high},
+        {"very_high", row.very_high},
+        {"per_thousand_vh", row.per_thousand_vh}});
+  }
+  doc["states"] = io::JsonValue{std::move(states)};
+  io::JsonArray rank;
+  for (const int s : result.rank_by_at_risk()) {
+    rank.push_back(std::string{
+        world.atlas().states()[static_cast<std::size_t>(s)].abbr});
+  }
+  doc["rank_by_at_risk"] = io::JsonValue{std::move(rank)};
+  check_golden("fig6_7_whp_overlay", io::JsonValue{std::move(doc)});
+}
+
+}  // namespace
+}  // namespace fa::core::testing
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--update-golden") {
+      fa::core::testing::g_update_golden = true;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

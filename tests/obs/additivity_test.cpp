@@ -1,0 +1,84 @@
+// Property test for the obs additivity contract: deterministic record/
+// drop/coverage counters are *identical* at any thread count, because
+// the exec chunk plan depends only on (n, grain) and per-chunk counter
+// deltas are additive. Only timings (histograms, spans) may differ.
+// Scheduling-dependent counters are the documented exceptions:
+// "exec.steals" and "exec.inline_regions" (see obs/obs.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/analysis_context.hpp"
+#include "core/historical.hpp"
+#include "core/overlay.hpp"
+#include "core/climate.hpp"
+#include "core/whp_overlay.hpp"
+#include "exec/exec.hpp"
+#include "firesim/fire.hpp"
+#include "obs/obs.hpp"
+
+namespace fa::core::testing {
+namespace {
+
+using CounterMap = std::map<std::string, std::uint64_t>;
+
+// The full deterministic pipeline: world build (synth + ingest), the
+// Fig 6/7 overlay, the exec-parallel future-exposure reduction, and a
+// simulated season overlaid on the corpus (the pooled exec path).
+CounterMap run_pipeline_counters(int threads) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.reset();
+  const exec::ConcurrencyLimit limit(threads);
+
+  synth::ScenarioConfig cfg;
+  cfg.seed = 20191022;
+  cfg.whp_cell_m = 9000.0;
+  cfg.corpus_scale = 200.0;
+  cfg.counties_per_state = 8;
+  AnalysisContext ctx(cfg);
+  const World& world = ctx.world();
+
+  run_whp_overlay(world);
+  run_future_exposure(world);
+  firesim::FireSimulator sim(world.whp(), world.atlas(), world.config().seed);
+  const firesim::FireSeason season =
+      sim.simulate_year(ctx.historical_years().back(), ctx.fire_config);
+  transceivers_in_perimeters(world, season.fires);
+
+  CounterMap counters = reg.counters();
+  counters.erase("exec.steals");
+  counters.erase("exec.inline_regions");
+  return counters;
+}
+
+TEST(ObsAdditivity, CountersIdenticalAcrossThreadCounts) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+
+  const CounterMap serial = run_pipeline_counters(1);
+  const CounterMap parallel = run_pipeline_counters(8);
+
+  obs::Registry::global().reset();
+  obs::set_enabled(was_enabled);
+
+  // The pipeline actually recorded something at every layer.
+  ASSERT_GT(serial.at("world.ingest.kept"), 0u);
+  ASSERT_GT(serial.at("synth.corpus.transceivers"), 0u);
+  ASSERT_GT(serial.at("exec.chunks"), 0u);
+  ASSERT_GT(serial.at("firesim.fires"), 0u);
+
+  // Same counter set, same values — byte-for-byte. A failure names the
+  // first divergent counter.
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [name, value] : serial) {
+    const auto it = parallel.find(name);
+    ASSERT_NE(it, parallel.end()) << "counter missing at 8 threads: " << name;
+    EXPECT_EQ(value, it->second) << "counter diverged across thread counts: "
+                                 << name;
+  }
+}
+
+}  // namespace
+}  // namespace fa::core::testing

@@ -1,0 +1,230 @@
+// Unit tests for the fa::obs substrate: counters, histograms, spans,
+// registry snapshots, the FA_OBS kill switch, and both exporters
+// (validated by round-tripping through io::parse_json).
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace fa::obs {
+namespace {
+
+// Every test runs with obs forced on and restores the prior state, so
+// the suite passes under any FA_OBS setting.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterIsNoOpWhenDisabled) {
+  Counter c;
+  set_enabled(false);
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+  set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(ObsTest, HistogramBucketIndexing) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  // Values beyond the range clamp into the last bucket.
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), Histogram::kBuckets - 1);
+  // Floors invert the mapping: bucket i holds [floor(i), 2*floor(i)).
+  EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(Histogram::bucket_floor(10), 512u);
+  for (std::uint64_t v : {std::uint64_t{1}, std::uint64_t{100},
+                          std::uint64_t{65536}, std::uint64_t{1} << 39}) {
+    const int i = Histogram::bucket_index(v);
+    EXPECT_GE(v, Histogram::bucket_floor(i)) << v;
+    if (i + 1 < Histogram::kBuckets) {
+      EXPECT_LT(v, Histogram::bucket_floor(i + 1)) << v;
+    }
+  }
+}
+
+TEST_F(ObsTest, HistogramAggregates) {
+  Histogram h;
+  h.record(0);
+  h.record(10);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1010u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1010.0 / 3.0);
+  EXPECT_EQ(h.bucket(0), 1u);  // the zero
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("a");
+  Counter& again = reg.counter("a");
+  EXPECT_EQ(&a, &again);
+  a.add(7);
+  reg.reset();  // zeroes, never removes
+  EXPECT_EQ(&reg.counter("a"), &a);
+  EXPECT_EQ(a.value(), 0u);
+}
+
+TEST_F(ObsTest, SpanRecordsHistogramAndEvent) {
+  Registry reg;
+  {
+    Span outer("outer", reg);
+    Span inner("inner", reg);
+  }
+  const auto hists = reg.histograms();
+  ASSERT_EQ(hists.size(), 2u);
+  for (const HistogramSnapshot& h : hists) EXPECT_EQ(h.count, 1u);
+  const auto events = reg.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Outer starts first and contains inner.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST_F(ObsTest, SpanStopIsIdempotent) {
+  Registry reg;
+  Span s("once", reg);
+  s.stop();
+  s.stop();
+  EXPECT_EQ(reg.events().size(), 1u);
+}
+
+TEST_F(ObsTest, DisabledSpanRecordsNothing) {
+  Registry reg;
+  set_enabled(false);
+  { Span s("ghost", reg); }
+  set_enabled(true);
+  EXPECT_TRUE(reg.events().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+}
+
+TEST_F(ObsTest, EventBufferOverflowCountsDrops) {
+  Registry reg;
+  for (std::size_t i = 0; i < Registry::kMaxEventsPerThread + 25; ++i) {
+    reg.record_span("e", 0, 1);
+  }
+  EXPECT_EQ(reg.events().size(), Registry::kMaxEventsPerThread);
+  EXPECT_EQ(reg.events_dropped(), 25u);
+  reg.reset();
+  EXPECT_EQ(reg.events_dropped(), 0u);
+  EXPECT_TRUE(reg.events().empty());
+}
+
+TEST_F(ObsTest, ConcurrentCountersAreExact) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      Counter& c = reg.counter("shared");
+      for (int i = 0; i < kIters; ++i) {
+        c.add();
+        reg.histogram("h").record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  const auto hists = reg.histograms();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].count, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(ObsTest, EventsMergeAcrossThreads) {
+  Registry reg;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&reg] { Span s("worker", reg); });
+  }
+  for (std::thread& w : workers) w.join();
+  const auto events = reg.events();
+  EXPECT_EQ(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
+  }
+}
+
+TEST_F(ObsTest, JsonExportRoundTrips) {
+  Registry reg;
+  reg.counter("records \"kept\"\n").add(3);  // name needing escapes
+  reg.counter("plain").add(1);
+  reg.record_span("stage", 100, 2500);
+  const std::string json = to_json(reg);
+  const io::JsonValue doc = io::parse_json(json);
+  EXPECT_TRUE(doc.at("enabled").as_bool());
+  EXPECT_EQ(doc.at("counters").at("plain").as_number(), 1.0);
+  EXPECT_EQ(doc.at("counters").at("records \"kept\"\n").as_number(), 3.0);
+  const io::JsonValue& stage = doc.at("histograms").at("stage");
+  EXPECT_EQ(stage.at("count").as_number(), 1.0);
+  EXPECT_EQ(stage.at("sum_ns").as_number(), 2500.0);
+  EXPECT_EQ(stage.at("max_ns").as_number(), 2500.0);
+  ASSERT_GE(stage.at("buckets").size(), 1u);
+  EXPECT_EQ(doc.at("events").at("recorded").as_number(), 1.0);
+  EXPECT_EQ(doc.at("events").at("dropped").as_number(), 0.0);
+}
+
+TEST_F(ObsTest, ChromeTraceRoundTrips) {
+  Registry reg;
+  reg.record_span("build", 1500, 1'234'567);  // 1.5 us start, ~1.23 ms
+  reg.record_span("query", 2'000'000, 999);   // sub-microsecond duration
+  const std::string trace = to_chrome_trace(reg);
+  const io::JsonValue doc = io::parse_json(trace);
+  const io::JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  const io::JsonValue& build = events.at(std::size_t{0});
+  EXPECT_EQ(build.at("name").as_string(), "build");
+  EXPECT_EQ(build.at("ph").as_string(), "X");
+  EXPECT_EQ(build.at("cat").as_string(), "fa");
+  // Timestamps are microseconds with nanosecond precision preserved.
+  EXPECT_DOUBLE_EQ(build.at("ts").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(build.at("dur").as_number(), 1234.567);
+  EXPECT_DOUBLE_EQ(events.at(std::size_t{1}).at("dur").as_number(), 0.999);
+}
+
+TEST_F(ObsTest, GlobalCountHelper) {
+  Registry::global().reset();
+  count("helper.test", 5);
+  count("helper.test");
+  EXPECT_EQ(Registry::global().counter("helper.test").value(), 6u);
+  Registry::global().reset();
+}
+
+}  // namespace
+}  // namespace fa::obs
