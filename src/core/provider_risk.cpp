@@ -11,14 +11,14 @@ ProviderRiskResult run_provider_risk(const World& world) {
   const obs::Span span("core.provider_risk");
   obs::count("core.provider_risk.records", world.corpus().size());
   ProviderRiskResult result;
-  const cellnet::ProviderRegistry registry;
+  const cellnet::ProviderRegistry& registry = world.provider_registry();
   for (int p = 0; p < cellnet::kNumProviders; ++p) {
     result.rows[static_cast<std::size_t>(p)].provider =
         static_cast<cellnet::Provider>(p);
   }
   std::set<std::string_view> regional_brands;
   for (const cellnet::Transceiver& t : world.corpus().transceivers()) {
-    const cellnet::Provider p = registry.resolve(t.mcc, t.mnc);
+    const cellnet::Provider p = world.txr_provider(t.id);
     ProviderRiskRow& row = result.rows[static_cast<std::size_t>(p)];
     ++row.fleet;
     switch (world.txr_class(t.id)) {

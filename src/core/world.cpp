@@ -110,6 +110,7 @@ void World::finalize() {
   const std::size_t n = corpus_.size();
   txr_class_.resize(n);
   txr_county_.resize(n);
+  txr_provider_.resize(n);
   std::vector<geo::Vec2> positions(n);
   exec::parallel_for(
       n,
@@ -117,6 +118,8 @@ void World::finalize() {
         const cellnet::Transceiver& t = transceivers[i];
         txr_class_[t.id] = static_cast<std::uint8_t>(whp_.class_at(t.position));
         txr_county_[t.id] = counties_.county_of(t.position);
+        txr_provider_[t.id] =
+            static_cast<std::uint8_t>(providers_.resolve(t.mcc, t.mnc));
         positions[t.id] = t.position.as_vec();
       },
       {.grain = 256});

@@ -67,6 +67,15 @@ class World {
   }
   // Cached county of each transceiver (-1 if unresolved).
   int txr_county(std::uint32_t id) const { return txr_county_[id]; }
+  // Cached service provider of each transceiver, resolved once at build
+  // through provider_registry() (MCC/MNC lookups off the query path —
+  // the serve layer answers provider queries against this cache).
+  cellnet::Provider txr_provider(std::uint32_t id) const {
+    return static_cast<cellnet::Provider>(txr_provider_[id]);
+  }
+  const cellnet::ProviderRegistry& provider_registry() const {
+    return providers_;
+  }
 
   // Lon/lat grid index over all transceiver positions.
   const index::GridIndex& txr_index() const { return txr_index_; }
@@ -82,8 +91,10 @@ class World {
   synth::CountyMap counties_;
   std::size_t ingest_dropped_ = 0;
   std::size_t ingest_repaired_ = 0;
+  cellnet::ProviderRegistry providers_;
   std::vector<std::uint8_t> txr_class_;
   std::vector<std::int32_t> txr_county_;
+  std::vector<std::uint8_t> txr_provider_;
   index::GridIndex txr_index_;
 };
 

@@ -46,7 +46,22 @@ struct ExecOptions {
   // Cap on worker threads for this region (0 = no cap). Results are
   // identical regardless; this is a throughput knob.
   int max_threads = 0;
+  // Inline threshold for latency-sensitive callers (the serve batcher):
+  // when 0 < n < min_parallel the region runs on the calling thread via
+  // the pool's serial inline path instead of waking workers, skipping
+  // the dispatch/park round-trip that dominates tiny batches. The chunk
+  // plan is unchanged, so results stay bit-identical either way.
+  std::size_t min_parallel = 0;
 };
+
+namespace detail {
+// Resolves the ExecOptions thread cap: the min_parallel hook forces the
+// serial inline path for small regions by capping workers at one.
+inline int region_thread_cap(std::size_t n, const ExecOptions& opt) {
+  if (opt.min_parallel != 0 && n < opt.min_parallel) return 1;
+  return opt.max_threads;
+}
+}  // namespace detail
 
 // The deterministic chunk decomposition of [0, n).
 struct ChunkPlan {
@@ -164,7 +179,7 @@ void parallel_for_chunks(std::size_t n, Body&& body, ExecOptions opt = {}) {
     body(begin, end, ChunkContext{chunk, worker});
   };
   ThreadPool::global().run(plan.chunks, ChunkFnRef(chunk_fn),
-                           opt.max_threads);
+                           detail::region_thread_cap(n, opt));
 }
 
 // body(i) for every i in [0, n), grouped into chunks.
@@ -194,7 +209,7 @@ T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine,
     map(begin, end, parts[chunk]);
   };
   ThreadPool::global().run(plan.chunks, ChunkFnRef(chunk_fn),
-                           opt.max_threads);
+                           detail::region_thread_cap(n, opt));
   for (T& part : parts) combine(total, std::move(part));
   return total;
 }

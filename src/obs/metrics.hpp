@@ -1,0 +1,59 @@
+// Canonical metric names for the serving layer (`fa::serve`). The names
+// live here rather than in serve itself so the observability namespace
+// has one owner: dashboards, tests, and exporters reference these
+// constants instead of re-typing strings, and a rename shows up as a
+// compile error instead of a silently empty time series.
+//
+// Conventions (matching the organically grown exec.* / world.* names):
+// dot-separated lowercase, counter names are plural events or nouns,
+// histogram names end in the unit they record (.ns for nanosecond
+// durations, bare nouns for magnitudes such as batch size).
+#pragma once
+
+#include <string_view>
+
+namespace fa::obs::metrics {
+
+// -- query front door -------------------------------------------------
+// One per request admitted through Server, regardless of path.
+inline constexpr std::string_view kServeQueries = "serve.queries";
+// End-to-end request latency (cache lookup + evaluation), nanoseconds.
+inline constexpr std::string_view kServeQueryNs = "serve.query_ns";
+
+// -- sharded result cache ---------------------------------------------
+inline constexpr std::string_view kServeCacheHits = "serve.cache.hits";
+inline constexpr std::string_view kServeCacheMisses = "serve.cache.misses";
+inline constexpr std::string_view kServeCacheEvictions =
+    "serve.cache.evictions";
+// Entries discarded by the injected-corruption seam ("serve.cache"):
+// a fired entry is treated as failing its integrity check and dropped,
+// so the request falls through to recomputation.
+inline constexpr std::string_view kServeCacheCorruptDropped =
+    "serve.cache.corrupt_dropped";
+// Wholesale invalidations (one per snapshot publish).
+inline constexpr std::string_view kServeCacheInvalidations =
+    "serve.cache.invalidations";
+
+// -- request batching -------------------------------------------------
+// Vectorized flushes executed by a batch leader.
+inline constexpr std::string_view kServeBatchFlushes = "serve.batch.flushes";
+// Requests per flush (histogram; >1 means coalescing happened).
+inline constexpr std::string_view kServeBatchSize = "serve.batch.size";
+// Admission-queue depth observed at enqueue time (histogram).
+inline constexpr std::string_view kServeQueueDepth = "serve.queue.depth";
+
+// -- snapshot hot-swap ------------------------------------------------
+// Successful epoch publishes.
+inline constexpr std::string_view kServeSwapsPublished =
+    "serve.swaps.published";
+// Rebuilds that failed before publish (old epoch kept serving).
+inline constexpr std::string_view kServeSwapsFailed = "serve.swaps.failed";
+// Snapshots displaced by a publish and no longer reachable by new
+// queries; they stay alive until their last in-flight reader releases.
+inline constexpr std::string_view kServeSnapshotsRetired =
+    "serve.snapshots.retired";
+// Retired snapshots whose storage has actually been reclaimed.
+inline constexpr std::string_view kServeSnapshotsReclaimed =
+    "serve.snapshots.reclaimed";
+
+}  // namespace fa::obs::metrics

@@ -108,9 +108,26 @@ Registry::Registry()
 
 Registry::~Registry() = default;
 
+namespace {
+
+// Override installed by ScopedRegistry; null means the default instance.
+std::atomic<Registry*> g_global_override{nullptr};
+
+}  // namespace
+
 Registry& Registry::global() {
   static Registry reg;
-  return reg;
+  Registry* override = g_global_override.load(std::memory_order_acquire);
+  return override != nullptr ? *override : reg;
+}
+
+ScopedRegistry::ScopedRegistry()
+    : previous_(g_global_override.load(std::memory_order_acquire)) {
+  g_global_override.store(&registry_, std::memory_order_release);
+}
+
+ScopedRegistry::~ScopedRegistry() {
+  g_global_override.store(previous_, std::memory_order_release);
 }
 
 Counter& Registry::counter(std::string_view name) {

@@ -162,7 +162,8 @@ class Registry {
   // handed out earlier remain valid.
   void reset();
 
-  // The process-wide registry all library instrumentation records into.
+  // The process-wide registry all library instrumentation records into
+  // (the default instance, unless a ScopedRegistry is active).
   static Registry& global();
 
  private:
@@ -175,6 +176,30 @@ class Registry {
   std::vector<std::unique_ptr<EventBuffer>> buffers_;
   std::chrono::steady_clock::time_point epoch_;
   std::uint64_t id_;  // process-unique, guards thread-local buffer reuse
+};
+
+// Swaps Registry::global() for a fresh registry for a scope, so a test
+// can assert on exact counter values without bleed from instrumentation
+// recorded earlier in the same binary (the process-wide registry's
+// reset() zeroes history but not concurrently-running recorders). Like
+// fault::ScopedInjector, the swap is not synchronized with running
+// parallel regions — install/restore only between them, from one
+// thread. Code that cached instrument references out of the previous
+// registry keeps recording there; per-call paths (obs::count, Span,
+// per-region handle resolution in fa::exec) pick up the scoped registry
+// immediately.
+class ScopedRegistry {
+ public:
+  ScopedRegistry();
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+  Registry& registry() { return registry_; }
+
+ private:
+  Registry registry_;
+  Registry* previous_;
 };
 
 // RAII timing scope. Construction reads the clock only when obs is

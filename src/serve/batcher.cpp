@@ -1,0 +1,89 @@
+#include "serve/batcher.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace fa::serve {
+
+PointBatcher::PointBatcher(std::size_t max_batch, BatchFn evaluate,
+                           obs::Registry& registry)
+    : max_batch_(max_batch == 0 ? 1 : max_batch),
+      evaluate_(std::move(evaluate)),
+      flushes_(registry.counter(obs::metrics::kServeBatchFlushes)),
+      coalesced_(registry.counter("serve.batch.coalesced")),
+      batch_size_(registry.histogram(obs::metrics::kServeBatchSize)),
+      queue_depth_(registry.histogram(obs::metrics::kServeQueueDepth)) {}
+
+PointRiskResponse PointBatcher::submit(const PointRiskQuery& query) {
+  std::shared_ptr<Round> round;
+  std::size_t index = 0;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (rounds_.empty() || rounds_.back()->queries.size() >= max_batch_) {
+      rounds_.push_back(std::make_shared<Round>());
+    }
+    round = rounds_.back();
+    index = round->queries.size();
+    round->queries.push_back(query);
+    std::size_t depth = 0;
+    for (const std::shared_ptr<Round>& r : rounds_) {
+      depth += r->queries.size();
+    }
+    queue_depth_.record(depth);
+    if (!leader_active_) {
+      leader_active_ = true;
+      leader = true;
+    }
+  }
+  if (leader) {
+    // Drain every queued round (including this thread's own) before
+    // handing leadership back; followers that queued behind us are
+    // served by this drain, and arrivals during it open new rounds that
+    // we also pick up — so no round is ever left without an executor.
+    while (true) {
+      std::shared_ptr<Round> work;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (rounds_.empty()) {
+          leader_active_ = false;
+          break;
+        }
+        work = rounds_.front();
+        rounds_.pop_front();
+      }
+      run_round(*work);
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    round->cv.wait(lock, [&] { return round->done; });
+  }
+  if (round->error != nullptr) std::rethrow_exception(round->error);
+  return round->responses[index];
+}
+
+void PointBatcher::run_round(Round& round) {
+  // The round left the deque before this call, so `queries` is frozen;
+  // only this thread touches `responses` until `done` flips.
+  round.responses.resize(round.queries.size());
+  std::exception_ptr error;
+  try {
+    evaluate_(std::span<const PointRiskQuery>(round.queries),
+              std::span<PointRiskResponse>(round.responses));
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const std::size_t batch = round.queries.size();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    round.error = error;
+    round.done = true;
+  }
+  round.cv.notify_all();
+  flushes_.add();
+  batch_size_.record(batch);
+  if (batch > 1) coalesced_.add(batch - 1);
+}
+
+}  // namespace fa::serve

@@ -1,0 +1,85 @@
+// Point-query admission queue with flat-combining batch execution.
+//
+// Interactive point queries are individually tiny (a few raster samples
+// and an index probe) but arrive from many client threads at once.
+// Running each one independently pays per-request synchronization and
+// leaves the exec substrate idle; the batcher instead coalesces
+// concurrent arrivals into rounds and evaluates each round as one
+// vectorized region:
+//
+//   * submit() appends the query to the open round. The first thread to
+//     arrive while no leader is active becomes the leader; everyone else
+//     parks on the round's condvar.
+//   * The leader closes its round (a fresh round opens for subsequent
+//     arrivals), evaluates all queries in one shot — the BatchFn runs
+//     them under exec::parallel_for against a single acquired snapshot,
+//     so a whole round shares one epoch by construction — then wakes
+//     its followers and drains any round that filled up while it ran.
+//   * Rounds are bounded at max_batch queries (backpressure: an arrival
+//     that would overflow the open round starts the next one; rounds
+//     queue and the leader drains them in order).
+//
+// Shapes to keep: this is the admission/coalescing pattern an
+// inference-serving stack uses for GPU batching; here the "device" is
+// the exec thread pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "serve/types.hpp"
+
+namespace fa::serve {
+
+class PointBatcher {
+ public:
+  // Evaluates one closed round: fills responses[i] for queries[i].
+  // Invoked on a leader (client) thread, never concurrently with itself.
+  using BatchFn = std::function<void(std::span<const PointRiskQuery>,
+                                     std::span<PointRiskResponse>)>;
+
+  PointBatcher(std::size_t max_batch, BatchFn evaluate,
+               obs::Registry& registry);
+
+  // Blocks until the query's round has been evaluated; returns its
+  // response. Safe from any number of threads.
+  PointRiskResponse submit(const PointRiskQuery& query);
+
+ private:
+  struct Round {
+    std::vector<PointRiskQuery> queries;
+    std::vector<PointRiskResponse> responses;
+    // First exception thrown by the round's evaluation; rethrown to
+    // every waiter in the round (leader included).
+    std::exception_ptr error;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  void run_round(Round& round);
+
+  const std::size_t max_batch_;
+  BatchFn evaluate_;
+
+  std::mutex mu_;
+  // Rounds accepting or awaiting evaluation, in arrival order; the
+  // front round is the next one a leader executes. shared_ptr because
+  // followers keep their round alive after the leader pops it.
+  std::deque<std::shared_ptr<Round>> rounds_;
+  bool leader_active_ = false;
+
+  obs::Counter& flushes_;
+  obs::Counter& coalesced_;
+  obs::Histogram& batch_size_;
+  obs::Histogram& queue_depth_;
+};
+
+}  // namespace fa::serve

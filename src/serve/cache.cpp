@@ -1,0 +1,88 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+
+namespace fa::serve {
+
+ShardedCache::ShardedCache(const CacheConfig& config, obs::Registry& registry)
+    : hits_(registry.counter(obs::metrics::kServeCacheHits)),
+      misses_(registry.counter(obs::metrics::kServeCacheMisses)),
+      evictions_(registry.counter(obs::metrics::kServeCacheEvictions)),
+      corrupt_dropped_(
+          registry.counter(obs::metrics::kServeCacheCorruptDropped)),
+      invalidations_(
+          registry.counter(obs::metrics::kServeCacheInvalidations)) {
+  const int shards = std::max(1, config.shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_capacity_ = std::max<std::size_t>(
+      1, config.capacity / static_cast<std::size_t>(shards));
+}
+
+std::optional<CachedResponse> ShardedCache::get(Epoch epoch,
+                                                std::uint64_t fingerprint) {
+  Shard& shard = shard_of(fingerprint);
+  const Key key{epoch, fingerprint};
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.add();
+    return std::nullopt;
+  }
+  const fault::Injector& inj = fault::Injector::global();
+  if (inj.armed() && inj.fires(kCacheCorruptSite, fingerprint)) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    corrupt_dropped_.add();
+    misses_.add();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.add();
+  return it->second->response;
+}
+
+void ShardedCache::put(Epoch epoch, std::uint64_t fingerprint,
+                       CachedResponse response) {
+  Shard& shard = shard_of(fingerprint);
+  const Key key{epoch, fingerprint};
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->response = std::move(response);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(response)});
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.add();
+  }
+}
+
+void ShardedCache::invalidate_all() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  invalidations_.add();
+}
+
+std::size_t ShardedCache::size() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace fa::serve

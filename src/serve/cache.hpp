@@ -1,0 +1,100 @@
+// Sharded LRU result cache for the serving layer.
+//
+// Keyed by (snapshot epoch, query fingerprint): the epoch in the key
+// makes a stale hit structurally impossible — a request that acquired
+// epoch N can only ever read an answer computed against epoch N — and
+// the wholesale invalidation on snapshot publish is then purely a
+// memory-reclamation optimization, not a correctness mechanism.
+//
+// Shards are independent (key → shard by fingerprint bits), each with
+// its own mutex, hash map, and intrusive LRU list, so concurrent client
+// threads rarely contend on the same lock. Capacity is enforced per
+// shard; eviction is strict LRU within the shard.
+//
+// Fault seam "serve.cache": when armed, a hit whose fingerprint fires
+// is treated as failing its integrity check — the entry is dropped and
+// counted (serve.cache.corrupt_dropped), and the request recomputes.
+// Responses therefore stay byte-identical under injected corruption;
+// only the hit rate degrades.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "serve/types.hpp"
+
+namespace fa::serve {
+
+inline constexpr std::string_view kCacheCorruptSite = "serve.cache";
+
+struct CacheConfig {
+  std::size_t capacity = 4096;  // total entries across shards
+  int shards = 8;               // clamped to >= 1
+};
+
+class ShardedCache {
+ public:
+  // Counters land in `registry` under the obs::metrics::kServeCache*
+  // names, resolved once here so the hot path never takes the registry
+  // lock.
+  ShardedCache(const CacheConfig& config, obs::Registry& registry);
+
+  // The cached response for (epoch, fingerprint), refreshing its LRU
+  // position; nullopt on miss (counted) or injected corruption.
+  std::optional<CachedResponse> get(Epoch epoch, std::uint64_t fingerprint);
+
+  // Inserts or refreshes (epoch, fingerprint) → response, evicting the
+  // shard's LRU tail when over budget.
+  void put(Epoch epoch, std::uint64_t fingerprint, CachedResponse response);
+
+  // Drops every entry (snapshot publish). Entries for retired epochs
+  // could never be served again anyway — the epoch is in the key — so
+  // this only releases their memory promptly.
+  void invalidate_all();
+
+  std::size_t size() const;
+
+ private:
+  struct Key {
+    Epoch epoch;
+    std::uint64_t fingerprint;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // fingerprint is already FNV-mixed; fold the epoch in.
+      return static_cast<std::size_t>(k.fingerprint ^
+                                      (k.epoch * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Entry {
+    Key key;
+    CachedResponse response;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  Shard& shard_of(std::uint64_t fingerprint) {
+    // High bits select the shard; low bits feed the in-shard hash.
+    return *shards_[(fingerprint >> 48) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Counter& corrupt_dropped_;
+  obs::Counter& invalidations_;
+};
+
+}  // namespace fa::serve

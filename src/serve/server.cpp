@@ -1,0 +1,157 @@
+#include "serve/server.hpp"
+
+#include <numeric>
+#include <utility>
+#include <variant>
+
+#include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+
+namespace fa::serve {
+
+Server::Server(const synth::ScenarioConfig& config,
+               const ServerOptions& options)
+    : registry_(options.registry != nullptr ? *options.registry
+                                            : obs::Registry::global()),
+      options_(options),
+      cache_(options.cache, registry_),
+      batcher_(
+          options.max_batch,
+          [this](std::span<const PointRiskQuery> queries,
+                 std::span<PointRiskResponse> responses) {
+            evaluate_batch(queries, responses);
+          },
+          registry_),
+      queries_(registry_.counter(obs::metrics::kServeQueries)),
+      swaps_published_(registry_.counter(obs::metrics::kServeSwapsPublished)),
+      swaps_failed_(registry_.counter(obs::metrics::kServeSwapsFailed)),
+      snapshots_retired_(
+          registry_.counter(obs::metrics::kServeSnapshotsRetired)),
+      snapshots_reclaimed_(
+          registry_.counter(obs::metrics::kServeSnapshotsReclaimed)),
+      query_ns_(registry_.histogram(obs::metrics::kServeQueryNs)) {
+  // take() throws fault::IoError when the initial scenario is
+  // unbuildable — nothing would be serving, so surface it.
+  store_.publish(Snapshot::build(config, 1, options_.policy).take());
+}
+
+synth::ScenarioConfig Server::config() const {
+  return store_.acquire()->world().config();
+}
+
+template <class Query, class Response>
+Response Server::handle(const Query& q) {
+  queries_.add();
+  const bool timed = obs::enabled();
+  const std::uint64_t t0 = timed ? registry_.now_ns() : 0;
+  // One snapshot acquisition per request: the epoch this pins is the
+  // epoch of every byte in the answer, hot-swap or not.
+  const std::shared_ptr<const Snapshot> snap = store_.acquire();
+  const Epoch epoch = snap->epoch();
+  Response r;
+  if (options_.cache_enabled) {
+    const std::uint64_t fp = fingerprint(q);
+    std::optional<CachedResponse> hit = cache_.get(epoch, fp);
+    if (const Response* cached =
+            hit ? std::get_if<Response>(&*hit) : nullptr) {
+      r = *cached;
+    } else {
+      r = evaluate(*snap, q);
+      cache_.put(epoch, fp, r);
+    }
+  } else {
+    r = evaluate(*snap, q);
+  }
+  if (timed) query_ns_.record(registry_.now_ns() - t0);
+  return r;
+}
+
+PointRiskResponse Server::point_risk(const PointRiskQuery& q) {
+  return handle<PointRiskQuery, PointRiskResponse>(q);
+}
+
+BBoxAggregateResponse Server::bbox_aggregate(const BBoxAggregateQuery& q) {
+  return handle<BBoxAggregateQuery, BBoxAggregateResponse>(q);
+}
+
+ProviderExposureResponse Server::provider_exposure(
+    const ProviderExposureQuery& q) {
+  return handle<ProviderExposureQuery, ProviderExposureResponse>(q);
+}
+
+TopKSitesResponse Server::top_k_sites(const TopKSitesQuery& q) {
+  return handle<TopKSitesQuery, TopKSitesResponse>(q);
+}
+
+PointRiskResponse Server::point_risk_batched(const PointRiskQuery& q) {
+  queries_.add();
+  const bool timed = obs::enabled();
+  const std::uint64_t t0 = timed ? registry_.now_ns() : 0;
+  PointRiskResponse r = batcher_.submit(q);
+  if (timed) query_ns_.record(registry_.now_ns() - t0);
+  return r;
+}
+
+void Server::evaluate_batch(std::span<const PointRiskQuery> queries,
+                            std::span<PointRiskResponse> responses) {
+  // One snapshot for the whole round: a batch answers from one epoch.
+  const std::shared_ptr<const Snapshot> snap = store_.acquire();
+  const Epoch epoch = snap->epoch();
+  std::vector<std::uint32_t> miss;
+  miss.reserve(queries.size());
+  if (options_.cache_enabled) {
+    for (std::uint32_t i = 0; i < queries.size(); ++i) {
+      std::optional<CachedResponse> hit = cache_.get(epoch,
+                                                     fingerprint(queries[i]));
+      if (const PointRiskResponse* cached =
+              hit ? std::get_if<PointRiskResponse>(&*hit) : nullptr) {
+        responses[i] = *cached;
+      } else {
+        miss.push_back(i);
+      }
+    }
+  } else {
+    miss.resize(queries.size());
+    std::iota(miss.begin(), miss.end(), 0u);
+  }
+  // Vectorized evaluation of the misses — the whole point of batching:
+  // one exec region amortizes pool dispatch across the round, and
+  // min_parallel keeps micro-rounds on the calling thread.
+  exec::parallel_for(
+      miss.size(),
+      [&](std::size_t j) {
+        const std::uint32_t i = miss[j];
+        responses[i] = evaluate(*snap, queries[i]);
+      },
+      {.grain = 8, .min_parallel = 16});
+  if (options_.cache_enabled) {
+    for (const std::uint32_t i : miss) {
+      cache_.put(epoch, fingerprint(queries[i]), responses[i]);
+    }
+  }
+}
+
+fault::Status Server::rebuild(const synth::ScenarioConfig& config) {
+  const std::lock_guard<std::mutex> lock(rebuild_mu_);
+  const Epoch epoch = store_.current_epoch() + 1;
+  fault::Result<std::shared_ptr<const Snapshot>> built =
+      Snapshot::build(config, epoch, options_.policy);
+  if (!built.ok()) {
+    // Failed swap: nothing published, nothing invalidated — the
+    // current epoch keeps serving and the epoch number is not burned.
+    swaps_failed_.add();
+    return built.status();
+  }
+  store_.publish(std::move(built).take());
+  snapshots_retired_.add();
+  // Entries for the displaced epoch can never be served again (the
+  // epoch is in the cache key); dropping them now just frees memory.
+  cache_.invalidate_all();
+  swaps_published_.add();
+  const std::uint64_t reclaimed = store_.reclaimed();
+  snapshots_reclaimed_.add(reclaimed - reclaimed_reported_);
+  reclaimed_reported_ = reclaimed;
+  return {};
+}
+
+}  // namespace fa::serve

@@ -1,0 +1,104 @@
+// fa::serve — the concurrent risk-query serving layer.
+//
+// One Server owns a SnapshotStore (versioned immutable worlds with
+// RCU-style hot-swap), a ShardedCache (results keyed by epoch +
+// query fingerprint), and a PointBatcher (admission queue coalescing
+// concurrent point queries into vectorized exec regions). Any number of
+// client threads may query concurrently; rebuild() may run concurrently
+// with queries and publishes a new epoch atomically — in-flight
+// requests finish against the epoch they acquired, and a failed rebuild
+// leaves the old epoch serving.
+//
+// Determinism contract: for a fixed snapshot content, every query path
+// (direct, batched, cached, cache-disabled) returns byte-identical
+// responses. The cache can change *when* an answer is computed, never
+// what it contains; tests/serve/equivalence_test.cpp pins this.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "obs/obs.hpp"
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/types.hpp"
+
+namespace fa::serve {
+
+struct ServerOptions {
+  // Result cache; disabling makes every request recompute (the
+  // cache-off baseline in bench_serve_qps).
+  bool cache_enabled = true;
+  CacheConfig cache;
+  // Max point queries coalesced into one batched evaluation round.
+  std::size_t max_batch = 64;
+  // Ingestion policy for snapshot builds (initial and rebuilds).
+  fault::RecoveryPolicy policy = fault::RecoveryPolicy::kQuarantine;
+  // Registry for the serve.* instruments; null = obs::Registry::global()
+  // at construction time (so an active obs::ScopedRegistry is honored).
+  obs::Registry* registry = nullptr;
+};
+
+class Server {
+ public:
+  // Builds the initial snapshot (epoch 1) synchronously; throws
+  // fault::IoError when that scenario cannot be built at all — a server
+  // with nothing to serve should fail loudly, unlike a failed *rebuild*
+  // (see below), which is survivable.
+  explicit Server(const synth::ScenarioConfig& config,
+                  const ServerOptions& options = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // -- queries (safe from any thread) ----------------------------------
+  PointRiskResponse point_risk(const PointRiskQuery& q);
+  BBoxAggregateResponse bbox_aggregate(const BBoxAggregateQuery& q);
+  ProviderExposureResponse provider_exposure(const ProviderExposureQuery& q);
+  TopKSitesResponse top_k_sites(const TopKSitesQuery& q);
+
+  // Point query through the admission queue: concurrent submitters are
+  // coalesced into one vectorized evaluation per round, every round
+  // answering from a single snapshot. Identical responses to
+  // point_risk(); different scheduling.
+  PointRiskResponse point_risk_batched(const PointRiskQuery& q);
+
+  // -- snapshot lifecycle ----------------------------------------------
+  // Builds a snapshot for `config` and, on success, publishes it as the
+  // next epoch and invalidates the cache. On failure (unbuildable
+  // scenario, injected serve.snapshot.build fault) returns the error
+  // Status and changes nothing: the current epoch keeps serving.
+  // Callable from a background thread while queries run.
+  fault::Status rebuild(const synth::ScenarioConfig& config);
+
+  Epoch epoch() const { return store_.current_epoch(); }
+  const SnapshotStore& snapshots() const { return store_; }
+  // Scenario of the currently serving snapshot.
+  synth::ScenarioConfig config() const;
+  obs::Registry& registry() { return registry_; }
+
+ private:
+  template <class Query, class Response>
+  Response handle(const Query& q);
+  void evaluate_batch(std::span<const PointRiskQuery> queries,
+                      std::span<PointRiskResponse> responses);
+
+  obs::Registry& registry_;
+  ServerOptions options_;
+  std::mutex rebuild_mu_;  // serializes rebuild(); queries never take it
+  SnapshotStore store_;
+  ShardedCache cache_;
+  PointBatcher batcher_;
+  // Reclamation already reported to the serve.snapshots.reclaimed
+  // counter (guarded by rebuild_mu_; counters are add-only).
+  std::uint64_t reclaimed_reported_ = 0;
+  obs::Counter& queries_;
+  obs::Counter& swaps_published_;
+  obs::Counter& swaps_failed_;
+  obs::Counter& snapshots_retired_;
+  obs::Counter& snapshots_reclaimed_;
+  obs::Histogram& query_ns_;
+};
+
+}  // namespace fa::serve

@@ -1,0 +1,181 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/injector.hpp"
+#include "geo/geodesy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace fa::serve {
+
+namespace {
+
+// Lon/lat box enclosing the great-circle disc (center, radius_m); the
+// exact haversine test runs on the candidates it yields. cos(lat)
+// shrinks toward the poles, so widen longitude by the worst latitude in
+// the box.
+geo::BBox disc_bbox(geo::LonLat center, double radius_m) {
+  const double dlat = radius_m / geo::meters_per_deg_lat();
+  const double worst_lat =
+      std::min(89.0, std::max(std::abs(center.lat - dlat),
+                              std::abs(center.lat + dlat)));
+  const double dlon = radius_m / geo::meters_per_deg_lon(worst_lat);
+  return {center.lon - dlon, center.lat - dlat, center.lon + dlon,
+          center.lat + dlat};
+}
+
+}  // namespace
+
+Snapshot::Snapshot(core::World world, Epoch epoch)
+    : world_(std::move(world)),
+      epoch_(epoch),
+      provider_risk_(core::run_provider_risk(world_)) {}
+
+fault::Result<std::shared_ptr<const Snapshot>> Snapshot::build(
+    const synth::ScenarioConfig& config, Epoch epoch,
+    fault::RecoveryPolicy policy) {
+  const obs::Span span("serve.snapshot.build");
+  const fault::Injector& inj = fault::Injector::global();
+  if (inj.armed() && inj.fires(kSnapshotBuildSite, epoch)) {
+    return fault::Status::error(fault::ErrCode::kInjected, epoch,
+                                std::string(kSnapshotBuildSite),
+                                "injected snapshot build failure");
+  }
+  fault::Diagnostics diagnostics;
+  core::World::BuildOptions options;
+  options.policy = policy;
+  options.diagnostics = &diagnostics;
+  fault::Result<core::World> world = core::World::build(config, options);
+  if (!world.ok()) return world.status();
+  std::shared_ptr<Snapshot> snap(new Snapshot(std::move(world).take(), epoch));
+  snap->diagnostics_ = std::move(diagnostics);
+  return std::shared_ptr<const Snapshot>(std::move(snap));
+}
+
+PointRiskResponse evaluate(const Snapshot& snap, const PointRiskQuery& q) {
+  const core::World& world = snap.world();
+  const synth::WhpModel& whp = world.whp();
+  PointRiskResponse r;
+  r.epoch = snap.epoch();
+  r.whp = whp.class_at(q.point);
+  r.at_risk = synth::whp_at_risk(r.whp);
+  r.urban = whp.is_urban(q.point);
+  r.roadside = whp.is_road(q.point);
+  r.state = whp.state_at(q.point);
+  r.county = world.counties().county_of(q.point);
+  if (q.neighborhood_m > 0.0) {
+    world.txr_index().query(
+        disc_bbox(q.point, q.neighborhood_m),
+        [&](std::uint32_t id, geo::Vec2 p) {
+          if (geo::haversine_m(q.point, geo::LonLat::from_vec(p)) >
+              q.neighborhood_m) {
+            return;
+          }
+          ++r.nearby_txr;
+          if (synth::whp_at_risk(world.txr_class(id))) ++r.nearby_at_risk;
+        });
+  }
+  return r;
+}
+
+BBoxAggregateResponse evaluate(const Snapshot& snap,
+                               const BBoxAggregateQuery& q) {
+  const core::World& world = snap.world();
+  BBoxAggregateResponse r;
+  r.epoch = snap.epoch();
+  world.txr_index().query(q.bbox, [&](std::uint32_t id, geo::Vec2) {
+    const synth::WhpClass c = world.txr_class(id);
+    ++r.transceivers;
+    ++r.by_class[static_cast<std::size_t>(c)];
+    if (synth::whp_at_risk(c)) ++r.at_risk;
+    ++r.by_provider[static_cast<std::size_t>(world.txr_provider(id))];
+  });
+  return r;
+}
+
+ProviderExposureResponse evaluate(const Snapshot& snap,
+                                  const ProviderExposureQuery& q) {
+  const core::ProviderRiskRow& row =
+      snap.provider_risk().rows[static_cast<std::size_t>(q.provider)];
+  ProviderExposureResponse r;
+  r.epoch = snap.epoch();
+  r.provider = q.provider;
+  r.fleet = row.fleet;
+  r.moderate = row.moderate;
+  r.high = row.high;
+  r.very_high = row.very_high;
+  return r;
+}
+
+TopKSitesResponse evaluate(const Snapshot& snap, const TopKSitesQuery& q) {
+  const core::World& world = snap.world();
+  TopKSitesResponse r;
+  r.epoch = snap.epoch();
+  std::vector<RankedSite> candidates;
+  world.txr_index().query(
+      disc_bbox(q.center, q.radius_m), [&](std::uint32_t id, geo::Vec2 p) {
+        const geo::LonLat pos = geo::LonLat::from_vec(p);
+        const double d = geo::haversine_m(q.center, pos);
+        if (d > q.radius_m) return;
+        candidates.push_back({id, pos, world.txr_class(id), d});
+      });
+  r.candidates = static_cast<std::uint32_t>(candidates.size());
+  const auto riskier = [](const RankedSite& a, const RankedSite& b) {
+    if (a.whp != b.whp) return a.whp > b.whp;
+    if (a.distance_m != b.distance_m) return a.distance_m < b.distance_m;
+    return a.txr_id < b.txr_id;
+  };
+  const std::size_t k = std::min<std::size_t>(q.k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + k,
+                    candidates.end(), riskier);
+  candidates.resize(k);
+  r.sites = std::move(candidates);
+  return r;
+}
+
+std::shared_ptr<const Snapshot> SnapshotStore::acquire() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Epoch SnapshotStore::publish(std::shared_ptr<const Snapshot> next) {
+  std::shared_ptr<const Snapshot> displaced;
+  Epoch displaced_epoch = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    displaced = std::move(current_);
+    current_ = std::move(next);
+    if (displaced) {
+      displaced_epoch = displaced->epoch();
+      retired_.push_back(displaced);
+      ++retired_total_;
+    }
+  }
+  // `displaced` drops outside the lock: if this publish held the last
+  // reference, the old world's destructor must not run inside it.
+  return displaced_epoch;
+}
+
+Epoch SnapshotStore::current_epoch() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_ ? current_->epoch() : 0;
+}
+
+std::uint64_t SnapshotStore::retired() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return retired_total_;
+}
+
+std::uint64_t SnapshotStore::reclaimed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(retired_, [this](const std::weak_ptr<const Snapshot>& w) {
+    if (!w.expired()) return false;
+    ++reclaimed_total_;
+    return true;
+  });
+  return reclaimed_total_;
+}
+
+}  // namespace fa::serve

@@ -1,0 +1,103 @@
+// Immutable world snapshots and the RCU-style store that hot-swaps them.
+//
+// A Snapshot is everything one query epoch reads: the built World (WHP
+// surface, corpus, spatial index, per-transceiver caches) plus the
+// aggregates that make O(1) answers possible (per-provider exposure).
+// After build() returns, a Snapshot is never mutated — queries touch it
+// through const references only, so any number of reader threads share
+// one snapshot without synchronization.
+//
+// The SnapshotStore publishes new epochs atomically: readers acquire()
+// a shared_ptr to the current snapshot (one small critical section),
+// while publish() swaps the pointer and retires the old epoch. A
+// retired snapshot stays alive exactly until its last in-flight reader
+// drops the reference — the shared_ptr control block is the epoch
+// reclamation mechanism — and the store's retired-list accounting makes
+// that reclamation observable (the swap-race test asserts retired
+// snapshots actually die once readers drain).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/provider_risk.hpp"
+#include "core/world.hpp"
+#include "fault/diagnostics.hpp"
+#include "serve/types.hpp"
+
+namespace fa::serve {
+
+// Fault-injection seam: armed as "serve.snapshot.build" (keyed by the
+// epoch under construction), a fired build returns its Status instead
+// of a snapshot, and the store keeps serving the previous epoch.
+inline constexpr std::string_view kSnapshotBuildSite = "serve.snapshot.build";
+
+class Snapshot {
+ public:
+  // Builds the world for `config` and precomputes the query-side
+  // aggregates. Any ingest failure (per `policy`) or injected
+  // serve.snapshot.build fault surfaces as the error Status.
+  static fault::Result<std::shared_ptr<const Snapshot>> build(
+      const synth::ScenarioConfig& config, Epoch epoch,
+      fault::RecoveryPolicy policy = fault::RecoveryPolicy::kQuarantine);
+
+  Epoch epoch() const { return epoch_; }
+  const core::World& world() const { return world_; }
+  const core::ProviderRiskResult& provider_risk() const {
+    return provider_risk_;
+  }
+  const fault::Diagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  Snapshot(core::World world, Epoch epoch);
+
+  core::World world_;
+  Epoch epoch_;
+  core::ProviderRiskResult provider_risk_;
+  fault::Diagnostics diagnostics_;
+};
+
+// -- query evaluation --------------------------------------------------
+// Pure functions of (snapshot, query); the Server adds caching and
+// batching on top. Responses are deterministic: same snapshot content,
+// same query, same bytes — the property the cache equivalence tests pin.
+PointRiskResponse evaluate(const Snapshot& snap, const PointRiskQuery& q);
+BBoxAggregateResponse evaluate(const Snapshot& snap,
+                               const BBoxAggregateQuery& q);
+ProviderExposureResponse evaluate(const Snapshot& snap,
+                                  const ProviderExposureQuery& q);
+TopKSitesResponse evaluate(const Snapshot& snap, const TopKSitesQuery& q);
+
+// RCU-style current-snapshot holder. acquire() and publish() are safe
+// from any thread; the critical sections are pointer-sized.
+class SnapshotStore {
+ public:
+  // Current snapshot, pinned for as long as the caller holds the
+  // returned pointer. Null only before the first publish.
+  std::shared_ptr<const Snapshot> acquire() const;
+
+  // Atomically makes `next` the current snapshot. The displaced epoch
+  // moves to the retired list; in-flight readers keep it alive until
+  // they release. Returns the displaced snapshot's epoch (0 if none).
+  Epoch publish(std::shared_ptr<const Snapshot> next);
+
+  Epoch current_epoch() const;
+
+  // Retired-epoch accounting (monotonic): how many snapshots have been
+  // displaced, and how many of those have since been reclaimed (their
+  // last reference dropped). reclaimed() sweeps expired entries.
+  std::uint64_t retired() const;
+  std::uint64_t reclaimed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> current_;
+  // Displaced epochs, held weakly: an expired entry is a reclaimed one.
+  mutable std::vector<std::weak_ptr<const Snapshot>> retired_;
+  mutable std::uint64_t retired_total_ = 0;
+  mutable std::uint64_t reclaimed_total_ = 0;
+};
+
+}  // namespace fa::serve

@@ -1,0 +1,182 @@
+// fa::serve request/response model: the four interactive query shapes
+// the risk surface answers (per-point hazard, bbox aggregates, provider
+// exposure, ranked nearby sites), each a small value type so requests
+// fingerprint deterministically and responses compare field-for-field.
+//
+// Every response carries the epoch of the snapshot that answered it.
+// A response is computed against exactly one snapshot — the serving
+// layer acquires the snapshot once per request (or once per batch), so
+// a concurrent hot-swap can never mix epochs within one answer.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "cellnet/providers.hpp"
+#include "geo/bbox.hpp"
+#include "geo/lonlat.hpp"
+#include "synth/hazard.hpp"
+
+namespace fa::serve {
+
+// Snapshot version number: 1 for a server's initial world, bumped by
+// every successful hot-swap. 0 marks "no snapshot" and never appears in
+// a served response.
+using Epoch = std::uint64_t;
+
+// "What is the wildfire risk right here?" — the paper's per-site hazard
+// lookup (Section 3.3) as an interactive query.
+struct PointRiskQuery {
+  geo::LonLat point;
+  // When > 0, also count corpus transceivers within this great-circle
+  // radius of the point (the "infrastructure near me" half of the answer).
+  double neighborhood_m = 0.0;
+
+  bool operator==(const PointRiskQuery&) const = default;
+};
+
+struct PointRiskResponse {
+  Epoch epoch = 0;
+  synth::WhpClass whp = synth::WhpClass::kNonBurnable;
+  bool at_risk = false;    // whp_at_risk(whp)
+  bool urban = false;      // urban-core mask (non-burnable by fiat)
+  bool roadside = false;   // road-corridor mask (the Section 3.4 artifact)
+  int state = -1;          // atlas state index, -1 offshore
+  int county = -1;         // county index, -1 unresolved
+  std::uint32_t nearby_txr = 0;      // within neighborhood_m (0 if unset)
+  std::uint32_t nearby_at_risk = 0;  // of those, in WHP moderate+
+
+  bool operator==(const PointRiskResponse&) const = default;
+};
+
+// "How much infrastructure, at what risk, in this viewport?" — the
+// Fig 6-9 aggregation restricted to a lon/lat rectangle.
+struct BBoxAggregateQuery {
+  geo::BBox bbox;  // lon/lat degrees, inclusive
+
+  bool operator==(const BBoxAggregateQuery&) const = default;
+};
+
+struct BBoxAggregateResponse {
+  Epoch epoch = 0;
+  std::uint64_t transceivers = 0;
+  std::array<std::uint64_t, synth::kNumWhpClasses> by_class{};
+  std::uint64_t at_risk = 0;  // moderate + high + very high
+  std::array<std::uint64_t, cellnet::kNumProviders> by_provider{};
+
+  bool operator==(const BBoxAggregateResponse&) const = default;
+};
+
+// "How exposed is this carrier's fleet?" — one Table 2 row, O(1) off
+// the snapshot's precomputed aggregates.
+struct ProviderExposureQuery {
+  cellnet::Provider provider = cellnet::Provider::kAtt;
+
+  bool operator==(const ProviderExposureQuery&) const = default;
+};
+
+struct ProviderExposureResponse {
+  Epoch epoch = 0;
+  cellnet::Provider provider = cellnet::Provider::kAtt;
+  std::uint64_t fleet = 0;
+  std::uint64_t moderate = 0;
+  std::uint64_t high = 0;
+  std::uint64_t very_high = 0;
+  std::uint64_t at_risk() const { return moderate + high + very_high; }
+
+  bool operator==(const ProviderExposureResponse&) const = default;
+};
+
+// "The K riskiest transceivers near this point" — ordered by WHP class
+// descending, then distance ascending, then id (total order, so the
+// ranking is deterministic and cacheable).
+struct TopKSitesQuery {
+  geo::LonLat center;
+  double radius_m = 50e3;
+  std::uint32_t k = 10;
+
+  bool operator==(const TopKSitesQuery&) const = default;
+};
+
+struct RankedSite {
+  std::uint32_t txr_id = 0;
+  geo::LonLat position;
+  synth::WhpClass whp = synth::WhpClass::kNonBurnable;
+  double distance_m = 0.0;
+
+  bool operator==(const RankedSite&) const = default;
+};
+
+struct TopKSitesResponse {
+  Epoch epoch = 0;
+  std::uint32_t candidates = 0;  // transceivers inside the radius
+  std::vector<RankedSite> sites;  // best-first, size <= k
+
+  bool operator==(const TopKSitesResponse&) const = default;
+};
+
+// What the result cache stores: one slot type for all four responses,
+// so a fingerprint collision across query *types* (already prevented by
+// the type tag below) can also never be misread as the wrong shape.
+using CachedResponse =
+    std::variant<PointRiskResponse, BBoxAggregateResponse,
+                 ProviderExposureResponse, TopKSitesResponse>;
+
+// -- query fingerprints ------------------------------------------------
+// FNV-1a over the query's canonical bytes, seeded with a per-type tag.
+// Doubles hash via their bit pattern, so two queries fingerprint equal
+// iff they compare equal (-0.0 vs 0.0 differ; callers normalize if they
+// care). The cache key is (epoch, fingerprint), epoch added by the
+// cache itself.
+
+namespace detail {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv_f64(std::uint64_t h, double v) {
+  return fnv_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace detail
+
+inline std::uint64_t fingerprint(const PointRiskQuery& q) {
+  std::uint64_t h = detail::fnv_u64(detail::kFnvOffset, 1);
+  h = detail::fnv_f64(h, q.point.lon);
+  h = detail::fnv_f64(h, q.point.lat);
+  return detail::fnv_f64(h, q.neighborhood_m);
+}
+
+inline std::uint64_t fingerprint(const BBoxAggregateQuery& q) {
+  std::uint64_t h = detail::fnv_u64(detail::kFnvOffset, 2);
+  h = detail::fnv_f64(h, q.bbox.min_x);
+  h = detail::fnv_f64(h, q.bbox.min_y);
+  h = detail::fnv_f64(h, q.bbox.max_x);
+  return detail::fnv_f64(h, q.bbox.max_y);
+}
+
+inline std::uint64_t fingerprint(const ProviderExposureQuery& q) {
+  return detail::fnv_u64(detail::kFnvOffset,
+                         0x300 + static_cast<std::uint64_t>(q.provider));
+}
+
+inline std::uint64_t fingerprint(const TopKSitesQuery& q) {
+  std::uint64_t h = detail::fnv_u64(detail::kFnvOffset, 4);
+  h = detail::fnv_f64(h, q.center.lon);
+  h = detail::fnv_f64(h, q.center.lat);
+  h = detail::fnv_f64(h, q.radius_m);
+  return detail::fnv_u64(h, q.k);
+}
+
+}  // namespace fa::serve

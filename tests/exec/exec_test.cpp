@@ -9,6 +9,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace fa::exec {
@@ -236,6 +237,28 @@ TEST(ThreadPoolTest, DefaultPoolHasSweepHeadroom) {
   // The default pool keeps >= kMinDefaultWorkers workers so thread-count
   // sweeps exercise real multi-worker scheduling even on 1-CPU hosts.
   EXPECT_GE(ThreadPool::global().max_workers(), ThreadPool::kMinDefaultWorkers);
+}
+
+TEST(ParallelForTest, MinParallelKeepsTinyRegionsOnCallingThread) {
+  // The serve batcher's latency hook: below the threshold the region
+  // runs serially on the caller (no worker wakeup), above it the pool
+  // dispatches as usual. Results are identical either way.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  parallel_for(
+      ids.size(),
+      [&ids](std::size_t i) { ids[i] = std::this_thread::get_id(); },
+      {.grain = 1, .min_parallel = 16});
+  for (const std::thread::id& id : ids) EXPECT_EQ(id, caller);
+
+  std::vector<int> with(1000);
+  std::vector<int> without(1000);
+  const auto fill = [](std::vector<int>& out) {
+    return [&out](std::size_t i) { out[i] = static_cast<int>(i * 7 % 13); };
+  };
+  parallel_for(with.size(), fill(with), {.grain = 16, .min_parallel = 64});
+  parallel_for(without.size(), fill(without), {.grain = 16});
+  EXPECT_EQ(with, without);
 }
 
 TEST(ThreadPoolTest, OffWorkerThreadByDefault) {

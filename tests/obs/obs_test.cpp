@@ -218,6 +218,29 @@ TEST_F(ObsTest, ChromeTraceRoundTrips) {
   EXPECT_DOUBLE_EQ(events.at(std::size_t{1}).at("dur").as_number(), 0.999);
 }
 
+TEST_F(ObsTest, ScopedRegistrySwapsGlobalForItsScope) {
+  Registry& default_reg = Registry::global();
+  default_reg.counter("bleed").add(5);
+  {
+    ScopedRegistry scoped;
+    EXPECT_EQ(&Registry::global(), &scoped.registry());
+    count("bleed");  // records into the scoped registry only
+    EXPECT_EQ(scoped.registry().counter("bleed").value(), 1u);
+    {
+      ScopedRegistry nested;  // scopes stack
+      EXPECT_EQ(&Registry::global(), &nested.registry());
+      count("bleed", 3);
+      EXPECT_EQ(nested.registry().counter("bleed").value(), 3u);
+    }
+    EXPECT_EQ(&Registry::global(), &scoped.registry());
+    EXPECT_EQ(scoped.registry().counter("bleed").value(), 1u);
+  }
+  EXPECT_EQ(&Registry::global(), &default_reg);
+  EXPECT_EQ(default_reg.counter("bleed").value(), 5u)
+      << "scoped recording must not leak into the default registry";
+  default_reg.reset();
+}
+
 TEST_F(ObsTest, GlobalCountHelper) {
   Registry::global().reset();
   count("helper.test", 5);

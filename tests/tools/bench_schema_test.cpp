@@ -79,6 +79,9 @@ const std::vector<BenchSchema>& schemas() {
       {"bench_perf_substrate", "perf_substrate_scaling",
        {"pool_workers", "identical_across_threads", "scaling"},
        "--benchmark_filter=__none__"},
+      {"bench_serve_qps", "serve_qps",
+       {"pool_workers", "distinct_queries", "queries_per_thread",
+        "cache_on_beats_off", "rows"}},
   };
   return table;
 }
