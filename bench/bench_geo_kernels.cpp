@@ -1,0 +1,220 @@
+// Measures the prepared-geometry kernel layer against the scalar
+// baseline on a synthetic conterminous-US corpus: the same fire-vs-point
+// join the Fig 6/7 overlay runs, isolated from world build so the three
+// code paths — scalar Polygon::contains via callback, prepared slab
+// probes, and the span/contains_batch kernel — are directly comparable
+// at one thread. All three must produce identical hit sets (checked),
+// and the batch path is the ≥3x acceptance gate for the kernel layer.
+//
+// Env knobs (defaults in parentheses):
+//   FA_GEO_POINTS (400000)  synthetic transceiver count
+//   FA_GEO_FIRES  (32)      synthetic fire perimeters
+//   FA_GEO_VERTS  (512)     vertices per perimeter
+//   FA_GEO_REPS   (3)       repetitions; best wall time is reported
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "geo/polygon.hpp"
+#include "geo/prepared.hpp"
+#include "index/grid_index.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+// Star polygon around `center`: sorted angles with jittered radii give a
+// simple, irregular ring like a spread-model perimeter.
+fa::geo::Ring star_ring(std::mt19937_64& rng, fa::geo::Vec2 center,
+                        double base_radius, std::size_t verts) {
+  std::uniform_real_distribution<double> angle(0.0, 2.0 * 3.14159265358979);
+  std::uniform_real_distribution<double> wobble(0.35, 1.0);
+  std::vector<double> angles(verts);
+  for (double& a : angles) a = angle(rng);
+  std::sort(angles.begin(), angles.end());
+  std::vector<fa::geo::Vec2> pts;
+  pts.reserve(verts);
+  for (const double a : angles) {
+    const double r = base_radius * wobble(rng);
+    pts.push_back({center.x + r * std::cos(a), center.y + r * std::sin(a)});
+  }
+  return fa::geo::Ring(std::move(pts));
+}
+
+}  // namespace
+
+int main() {
+  using namespace fa;
+  const std::size_t num_points = env_size("FA_GEO_POINTS", 400000);
+  const std::size_t num_fires = env_size("FA_GEO_FIRES", 32);
+  const std::size_t num_verts = env_size("FA_GEO_VERTS", 512);
+  const std::size_t reps = env_size("FA_GEO_REPS", 3);
+  const std::uint64_t seed = env_size("FA_SEED", 20191022);
+
+  std::printf(
+      "geo kernel bench: %zu points, %zu fires x %zu verts, %zu reps, "
+      "seed %llu (single thread)\n",
+      num_points, num_fires, num_verts, reps,
+      static_cast<unsigned long long>(seed));
+
+  // Synthetic CONUS: uniform points over the lon/lat box, star-polygon
+  // perimeters inside a margin so their bboxes stay on the corpus.
+  const geo::BBox conus{-124.0, 25.0, -67.0, 49.0};
+  std::mt19937_64 rng(seed ^ 0x6E05BA7CULL);
+  std::uniform_real_distribution<double> ux(conus.min_x, conus.max_x);
+  std::uniform_real_distribution<double> uy(conus.min_y, conus.max_y);
+  std::vector<geo::Vec2> points(num_points);
+  for (geo::Vec2& p : points) p = {ux(rng), uy(rng)};
+  const index::GridIndex idx(points, conus, 512, 256);
+
+  std::uniform_real_distribution<double> cx(conus.min_x + 2.5,
+                                            conus.max_x - 2.5);
+  std::uniform_real_distribution<double> cy(conus.min_y + 2.5,
+                                            conus.max_y - 2.5);
+  std::uniform_real_distribution<double> radius(0.8, 2.0);
+  std::vector<geo::MultiPolygon> fires;
+  fires.reserve(num_fires);
+  for (std::size_t f = 0; f < num_fires; ++f) {
+    std::vector<geo::Polygon> parts;
+    parts.emplace_back(star_ring(rng, {cx(rng), cy(rng)}, radius(rng),
+                                 num_verts));
+    fires.emplace_back(std::move(parts));
+  }
+
+  const std::span<const std::uint32_t> ids = idx.binned_ids();
+  const std::span<const double> xs = idx.binned_xs();
+  const std::span<const double> ys = idx.binned_ys();
+
+  // Hit accounting shared by all kernels: count + order-independent id
+  // hash, so "identical" means identical hit sets per fire.
+  struct KernelResult {
+    std::size_t hits = 0;
+    std::uint64_t id_hash = 0;
+    double best_s = 1e300;
+  };
+  const auto note_hit = [](KernelResult& r, std::uint32_t id) {
+    ++r.hits;
+    r.id_hash ^= (id + 0x9E3779B97F4A7C15ULL) * 0xBF58476D1CE4E5B9ULL;
+  };
+
+  bench::Stopwatch total;
+  KernelResult scalar, prepared, batch;
+  std::size_t candidates = 0;
+  for (const geo::MultiPolygon& fire : fires) {
+    idx.query_candidates(fire.bbox(),
+                         [&](std::uint32_t, geo::Vec2) { ++candidates; });
+  }
+
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    // --- scalar baseline: Exact callback + Polygon::contains ---------
+    {
+      const obs::Span span("geo.kernel.scalar");
+      KernelResult r;
+      bench::Stopwatch timer;
+      for (const geo::MultiPolygon& fire : fires) {
+        idx.query(fire.bbox(), [&](std::uint32_t id, geo::Vec2 p) {
+          if (fire.contains(p)) note_hit(r, id);
+        });
+      }
+      r.best_s = std::min(scalar.best_s, timer.seconds());
+      if (rep > 0 && (r.hits != scalar.hits || r.id_hash != scalar.id_hash)) {
+        std::fprintf(stderr, "scalar kernel drifted between reps\n");
+        return 1;
+      }
+      scalar = r;
+    }
+    // --- prepared: slab-indexed point-at-a-time probes ---------------
+    {
+      const obs::Span span("geo.kernel.prepared");
+      KernelResult r;
+      bench::Stopwatch timer;
+      for (const geo::MultiPolygon& fire : fires) {
+        const geo::PreparedMultiPolygon prep(fire);  // build is timed
+        idx.query(fire.bbox(), [&](std::uint32_t id, geo::Vec2 p) {
+          if (prep.contains(p)) note_hit(r, id);
+        });
+      }
+      r.best_s = std::min(prepared.best_s, timer.seconds());
+      prepared = r;
+    }
+    // --- batch: query_spans + contains_batch over SoA ----------------
+    {
+      const obs::Span span("geo.kernel.batch");
+      KernelResult r;
+      bench::Stopwatch timer;
+      std::vector<std::uint8_t> mask;
+      for (const geo::MultiPolygon& fire : fires) {
+        const geo::PreparedMultiPolygon prep(fire);  // build is timed
+        idx.query_spans(fire.bbox(), [&](std::uint32_t b, std::uint32_t e) {
+          const std::size_t n = e - b;
+          if (mask.size() < n) mask.resize(n);
+          prep.contains_batch(xs.subspan(b, n), ys.subspan(b, n),
+                              std::span(mask).first(n));
+          for (std::size_t i = 0; i < n; ++i) {
+            if (mask[i] != 0) note_hit(r, ids[b + i]);
+          }
+        });
+      }
+      r.best_s = std::min(batch.best_s, timer.seconds());
+      batch = r;
+    }
+  }
+
+  const bool identical = scalar.hits == prepared.hits &&
+                         scalar.hits == batch.hits &&
+                         scalar.id_hash == prepared.id_hash &&
+                         scalar.id_hash == batch.id_hash;
+  const double prepared_speedup = prepared.best_s > 0.0
+                                      ? scalar.best_s / prepared.best_s
+                                      : 0.0;
+  const double batch_speedup =
+      batch.best_s > 0.0 ? scalar.best_s / batch.best_s : 0.0;
+
+  core::TextTable table({"kernel", "best ms", "Mprobe/s", "speedup"});
+  const auto add_row = [&](const char* name, const KernelResult& r,
+                           double speedup) {
+    char ms[32], rate[32], sx[32];
+    std::snprintf(ms, sizeof ms, "%.2f", r.best_s * 1e3);
+    std::snprintf(rate, sizeof rate, "%.1f",
+                  candidates / std::max(r.best_s, 1e-12) / 1e6);
+    std::snprintf(sx, sizeof sx, "%.2fx", speedup);
+    table.add_row({name, ms, rate, sx});
+  };
+  add_row("scalar", scalar, 1.0);
+  add_row("prepared", prepared, prepared_speedup);
+  add_row("batch", batch, batch_speedup);
+  std::printf("%s\n", table.str().c_str());
+  std::printf("candidates: %zu  hits: %zu  identical: %s\n", candidates,
+              scalar.hits, identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr, "kernel outputs diverged from scalar baseline\n");
+    return 1;
+  }
+
+  bench::print_json_trailer(
+      "geo_kernels",
+      io::JsonObject{{"points", num_points},
+                     {"fires", num_fires},
+                     {"verts", num_verts},
+                     {"candidates", candidates},
+                     {"hits", scalar.hits},
+                     {"identical", identical},
+                     {"scalar_ms", scalar.best_s * 1e3},
+                     {"prepared_ms", prepared.best_s * 1e3},
+                     {"batch_ms", batch.best_s * 1e3},
+                     {"prepared_speedup", prepared_speedup},
+                     {"batch_speedup", batch_speedup}},
+      &total);
+  return 0;
+}

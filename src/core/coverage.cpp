@@ -6,6 +6,7 @@
 
 #include "core/overlay.hpp"
 #include "geo/geodesy.hpp"
+#include "geo/prepared.hpp"
 #include "index/grid_index.hpp"
 #include "obs/obs.hpp"
 
@@ -70,18 +71,28 @@ SpatialCoverageResult run_spatial_coverage_loss(
   const obs::Span span("core.spatial_coverage");
   SpatialCoverageResult result;
 
-  // Sites and their status after the fires.
+  // Sites and their status after the fires: one batch containment pass
+  // per fire over the site SoA arrays, OR-ed into the lost mask — the
+  // same bit the scalar first-containing-fire loop would set.
   const std::vector<cellnet::CellSite> sites =
       world.corpus().infer_sites(120.0);
-  std::vector<std::uint8_t> site_lost(sites.size(), 0);
+  std::vector<double> site_x(sites.size());
+  std::vector<double> site_y(sites.size());
   for (std::size_t i = 0; i < sites.size(); ++i) {
-    for (const firesim::FirePerimeter& fire : fires) {
-      if (fire.perimeter.contains(sites[i].position.as_vec())) {
-        site_lost[i] = 1;
-        ++result.sites_lost;
-        break;
-      }
-    }
+    const geo::Vec2 p = sites[i].position.as_vec();
+    site_x[i] = p.x;
+    site_y[i] = p.y;
+  }
+  std::vector<std::uint8_t> site_lost(sites.size(), 0);
+  std::vector<std::uint8_t> in_fire(sites.size());
+  for (const firesim::FirePerimeter& fire : fires) {
+    if (fire.perimeter.empty()) continue;
+    const geo::PreparedMultiPolygon prepared(fire.perimeter);
+    prepared.contains_batch(site_x, site_y, in_fire);
+    for (std::size_t i = 0; i < sites.size(); ++i) site_lost[i] |= in_fire[i];
+  }
+  for (const std::uint8_t lost : site_lost) {
+    result.sites_lost += lost;
   }
 
   // Spatial index over site positions (lon/lat plane) for disc queries.

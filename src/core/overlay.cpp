@@ -1,8 +1,10 @@
 #include "core/overlay.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "exec/exec.hpp"
+#include "geo/prepared.hpp"
 #include "obs/obs.hpp"
 
 namespace fa::core {
@@ -16,19 +18,54 @@ PerimeterHits transceivers_in_perimeters_attributed(
   // polygon test — fires are few and small relative to the corpus, so
   // this direction of the join is the cheap one.
   //
-  // Parallel shape: each fire collects its own candidate list (reads
-  // only), then a serial merge in fire order applies the first-
-  // containing-fire dedup — byte-identical to the serial sweep.
+  // Parallel shape: each fire prepares its perimeter once, pulls whole
+  // candidate spans out of the grid's SoA storage, and runs the batch
+  // containment kernel over them (reads only); then a serial merge in
+  // fire order applies the first-containing-fire dedup — byte-identical
+  // to the scalar per-point sweep (the kernel evaluates the same
+  // predicate, and span order equals candidate visit order).
+  const index::GridIndex& idx = world.txr_index();
+  const std::span<const std::uint32_t> ids = idx.binned_ids();
+  const std::span<const double> xs = idx.binned_xs();
+  const std::span<const double> ys = idx.binned_ys();
   std::vector<std::vector<std::uint32_t>> per_fire(fires.size());
   exec::parallel_for(
       fires.size(),
-      [&world, &fires, &per_fire](std::size_t f) {
+      [&fires, &per_fire, &idx, ids, xs, ys](std::size_t f) {
         const auto& perimeter = fires[f].perimeter;
         if (perimeter.empty()) return;
-        world.txr_index().query(
-            perimeter.bbox(), [&](std::uint32_t id, geo::Vec2 p) {
-              if (perimeter.contains(p)) per_fire[f].push_back(id);
-            });
+        const geo::PreparedMultiPolygon prepared(perimeter);
+        // Worker-local scratch: candidate ranges and their containment
+        // mask survive across fires, so the hot loop never reallocates.
+        thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>>
+            spans;
+        thread_local std::vector<std::uint8_t> mask;
+        spans.clear();
+        std::size_t candidates = 0;
+        idx.query_spans(perimeter.bbox(),
+                        [&](std::uint32_t b, std::uint32_t e) {
+                          spans.emplace_back(b, e);
+                          candidates += e - b;
+                        });
+        if (candidates == 0) return;
+        mask.resize(candidates);
+        std::size_t off = 0;
+        for (const auto& [b, e] : spans) {
+          const std::size_t n = e - b;
+          prepared.contains_batch(xs.subspan(b, n), ys.subspan(b, n),
+                                  std::span(mask).subspan(off, n));
+          off += n;
+        }
+        std::size_t in_fire = 0;
+        for (std::size_t i = 0; i < candidates; ++i) in_fire += mask[i];
+        auto& out = per_fire[f];
+        out.reserve(in_fire);
+        off = 0;
+        for (const auto& [b, e] : spans) {
+          for (std::uint32_t k = b; k < e; ++k) {
+            if (mask[off++] != 0) out.push_back(ids[k]);
+          }
+        }
       },
       {.grain = 4});
 

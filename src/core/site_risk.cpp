@@ -1,6 +1,8 @@
 #include "core/site_risk.hpp"
 
 #include <array>
+#include <span>
+#include <vector>
 
 #include "exec/exec.hpp"
 #include "obs/obs.hpp"
@@ -20,7 +22,13 @@ SiteRiskResult run_site_risk(const World& world, double merge_dist_m) {
                    : 0.0;
 
   // Per-site WHP sampling: integer tallies, so the chunked reduction is
-  // exactly the serial sweep.
+  // exactly the serial sweep. Positions are hoisted into a contiguous
+  // array and each chunk samples its classes through the batch API
+  // (same projection + sample per element, in element order).
+  std::vector<geo::LonLat> site_pos(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    site_pos[i] = sites[i].position;
+  }
   struct SitePartial {
     std::array<std::size_t, synth::kNumWhpClasses> by_class{};
     std::size_t at_risk_radios = 0;
@@ -30,10 +38,15 @@ SiteRiskResult run_site_risk(const World& world, double merge_dist_m) {
   };
   const SitePartial tally = exec::parallel_reduce(
       sites.size(), SitePartial{},
-      [&world, &sites](std::size_t begin, std::size_t end, SitePartial& acc) {
+      [&world, &sites, &site_pos](std::size_t begin, std::size_t end,
+                                  SitePartial& acc) {
+        thread_local std::vector<synth::WhpClass> classes;
+        classes.resize(end - begin);
+        world.whp().class_at_batch(
+            std::span(site_pos).subspan(begin, end - begin), classes);
         for (std::size_t i = begin; i < end; ++i) {
           const cellnet::CellSite& site = sites[i];
-          const synth::WhpClass cls = world.whp().class_at(site.position);
+          const synth::WhpClass cls = classes[i - begin];
           ++acc.by_class[static_cast<std::size_t>(cls)];
           if (synth::whp_at_risk(cls)) {
             ++acc.at_risk_sites;

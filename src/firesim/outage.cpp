@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "geo/geodesy.hpp"
+#include "geo/prepared.hpp"
 
 namespace fa::firesim {
 
@@ -100,6 +101,24 @@ DirsReport OutageSimulator::simulate(
     has_iab[i] = rng_.chance(config.iab_fraction) ? 1 : 0;
   }
 
+  // Fire perimeters are static across the window, so site containment is
+  // resolved once per fire with the batch kernel; the day loop keeps only
+  // the active-window test. Same per-site bit as the scalar probe, and no
+  // rng_ draw happens here, so the draw sequence below is unchanged.
+  std::vector<double> site_x(sites.size());
+  std::vector<double> site_y(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const geo::Vec2 p = sites[i].position.as_vec();
+    site_x[i] = p.x;
+    site_y[i] = p.y;
+  }
+  std::vector<std::vector<std::uint8_t>> fire_contains(fires.size());
+  for (std::size_t f = 0; f < fires.size(); ++f) {
+    fire_contains[f].resize(sites.size());
+    const geo::PreparedMultiPolygon prepared(fires[f].perimeter);
+    prepared.contains_batch(site_x, site_y, fire_contains[f]);
+  }
+
   std::vector<std::uint8_t> feeder_off(feeders, 0);
   if (per_site != nullptr) {
     per_site->assign(static_cast<std::size_t>(num_days),
@@ -143,9 +162,9 @@ DirsReport OutageSimulator::simulate(
       }
       // New damage: site inside an active fire perimeter today.
       bool in_fire = false;
-      for (const FirePerimeter& fire : fires) {
-        if (day >= fire.start_day && day <= fire.end_day &&
-            fire.perimeter.contains(sites[i].position.as_vec())) {
+      for (std::size_t f = 0; f < fires.size(); ++f) {
+        if (day >= fires[f].start_day && day <= fires[f].end_day &&
+            fire_contains[f][i] != 0) {
           in_fire = true;
           break;
         }

@@ -1,0 +1,335 @@
+#include "geo/prepared.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace fa::geo {
+
+namespace {
+
+// Instrument references cached per thread and refreshed when a
+// ScopedRegistry swaps the global registry, so the kernels pay two
+// compares per call instead of a locked map lookup. Keyed on
+// (address, id): an address alone suffers ABA when successive scoped
+// registries land on the same stack slot.
+struct KernelCounters {
+  obs::Registry* owner = nullptr;
+  std::uint64_t owner_id = 0;
+  obs::Counter* builds = nullptr;
+  obs::Counter* slabs = nullptr;
+  obs::Counter* batch_probes = nullptr;
+  obs::Counter* fastpath_hits = nullptr;
+};
+
+KernelCounters& kernel_counters() {
+  thread_local KernelCounters c;
+  obs::Registry& g = obs::Registry::global();
+  if (c.owner != &g || c.owner_id != g.id()) {
+    c.owner = &g;
+    c.owner_id = g.id();
+    c.builds = &g.counter(obs::metrics::kGeoPreparedBuilds);
+    c.slabs = &g.counter(obs::metrics::kGeoPreparedSlabs);
+    c.batch_probes = &g.counter(obs::metrics::kGeoPreparedBatchProbes);
+    c.fastpath_hits = &g.counter(obs::metrics::kGeoPreparedFastPathHits);
+  }
+  return c;
+}
+
+}  // namespace
+
+PreparedRing::PreparedRing(const Ring& ring)
+    : bbox_(ring.bbox()), empty_(ring.empty()) {
+  if (empty_) return;
+  const std::span<const Vec2> pts = ring.points();
+  const std::size_t n = pts.size();
+  // Slab count ~ edge count: a perimeter-like ring's total y-variation is
+  // ~2x its height, so the expected bucket holds n/slabs + 2 edges — O(1)
+  // once slabs reaches n. Duplication stays ~3x the edge count.
+  slabs_ = static_cast<int>(std::clamp<std::size_t>(n, 4, 2048));
+  y0_ = bbox_.min_y;
+  const double height = bbox_.height();
+  inv_slab_h_ = height > 0.0 ? static_cast<double>(slabs_) / height : 0.0;
+
+  // Counting sort of edges into every slab their y-extent overlaps.
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(slabs_), 0);
+  const auto slab_range = [this](Vec2 a, Vec2 b) {
+    return std::pair{slab_of(std::min(a.y, b.y)), slab_of(std::max(a.y, b.y))};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [lo, hi] = slab_range(pts[i], pts[(i + 1) % n]);
+    for (int s = lo; s <= hi; ++s) ++counts[static_cast<std::size_t>(s)];
+  }
+  slab_start_.assign(static_cast<std::size_t>(slabs_) + 1, 0);
+  for (int s = 0; s < slabs_; ++s) {
+    slab_start_[static_cast<std::size_t>(s) + 1] =
+        slab_start_[static_cast<std::size_t>(s)] +
+        counts[static_cast<std::size_t>(s)];
+  }
+  const std::size_t refs = slab_start_.back();
+  ax_.resize(refs);
+  ay_.resize(refs);
+  bx_.resize(refs);
+  by_.resize(refs);
+  std::vector<std::uint32_t> cursor(slab_start_.begin(),
+                                    slab_start_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = pts[i];
+    const Vec2 b = pts[(i + 1) % n];
+    const auto [lo, hi] = slab_range(a, b);
+    for (int s = lo; s <= hi; ++s) {
+      const std::uint32_t k = cursor[static_cast<std::size_t>(s)]++;
+      ax_[k] = a.x;
+      ay_[k] = a.y;
+      bx_[k] = b.x;
+      by_[k] = b.y;
+    }
+  }
+  if (obs::enabled()) {
+    KernelCounters& kc = kernel_counters();
+    kc.builds->add();
+    kc.slabs->add(static_cast<std::uint64_t>(slabs_));
+  }
+}
+
+int PreparedRing::slab_of(double y) const {
+  const int s = static_cast<int>((y - y0_) * inv_slab_h_);
+  return std::clamp(s, 0, slabs_ - 1);
+}
+
+bool PreparedRing::probe(double px, double py) const {
+  const std::size_t s = static_cast<std::size_t>(slab_of(py));
+  const std::uint32_t k1 = slab_start_[s + 1];
+  unsigned inside = 0;
+  unsigned on_edge = 0;
+  // Branch-light sweep: every term is arithmetic or bitwise, so the loop
+  // autovectorizes. The expressions mirror Ring::contains operand for
+  // operand; edges outside this slab cannot contribute (their y-extent
+  // excludes py, failing both the on-segment bbox test and the half-open
+  // crossing rule), so the restriction is exact, not approximate.
+  for (std::uint32_t k = slab_start_[s]; k < k1; ++k) {
+    const double eax = ax_[k];
+    const double eay = ay_[k];
+    const double ebx = bx_[k];
+    const double eby = by_[k];
+    // orient2d(a, b, p), identical expression to the scalar path.
+    const double cr = (ebx - eax) * (py - eay) - (eby - eay) * (px - eax);
+    on_edge |= static_cast<unsigned>(cr == 0.0) &
+               static_cast<unsigned>(px >= std::min(eax, ebx)) &
+               static_cast<unsigned>(px <= std::max(eax, ebx)) &
+               static_cast<unsigned>(py >= std::min(eay, eby)) &
+               static_cast<unsigned>(py <= std::max(eay, eby));
+    const unsigned straddle =
+        static_cast<unsigned>((eay > py) != (eby > py));
+    // IEEE division: horizontal edges yield inf/NaN here, but straddle
+    // masks them out of the parity exactly as the scalar branch does.
+    const double x_int = eax + (py - eay) * (ebx - eax) / (eby - eay);
+    inside ^= straddle & static_cast<unsigned>(x_int > px);
+  }
+  return (on_edge | inside) != 0;
+}
+
+bool PreparedRing::contains(Vec2 p) const {
+  if (empty_ || !bbox_.contains(p)) return false;
+  return probe(p.x, p.y);
+}
+
+void PreparedRing::contains_batch(std::span<const double> xs,
+                                  std::span<const double> ys,
+                                  std::span<std::uint8_t> out) const {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double px = xs[i];
+    const double py = ys[i];
+    const bool in_box = !empty_ && bbox_.contains({px, py});
+    out[i] = in_box ? static_cast<std::uint8_t>(probe(px, py)) : 0;
+  }
+}
+
+void PreparedRing::collect_crossings(double y, std::vector<double>& xs) const {
+  if (empty_ || y < bbox_.min_y || y > bbox_.max_y) return;
+  const std::size_t s = static_cast<std::size_t>(slab_of(y));
+  const std::uint32_t k1 = slab_start_[s + 1];
+  for (std::uint32_t k = slab_start_[s]; k < k1; ++k) {
+    const double eay = ay_[k];
+    const double eby = by_[k];
+    // Same half-open rule and expression as the scanline rasterizer; each
+    // edge appears once per slab, so no crossing is duplicated.
+    if ((eay > y) != (eby > y)) {
+      xs.push_back(ax_[k] + (y - eay) * (bx_[k] - ax_[k]) / (eby - eay));
+    }
+  }
+}
+
+bool PreparedRing::any_edge_bbox_intersects(const BBox& box) const {
+  if (empty_ || !bbox_.intersects(box)) return false;
+  // Every edge whose y-extent overlaps box's y-range is bucketed into at
+  // least one slab in [slab_of(box.min_y), slab_of(box.max_y)], so the
+  // sweep below misses no candidate (duplicates are merely re-tested).
+  const int s_lo = slab_of(box.min_y);
+  const int s_hi = slab_of(box.max_y);
+  for (int s = s_lo; s <= s_hi; ++s) {
+    const std::uint32_t k1 = slab_start_[static_cast<std::size_t>(s) + 1];
+    for (std::uint32_t k = slab_start_[static_cast<std::size_t>(s)]; k < k1;
+         ++k) {
+      const BBox eb{std::min(ax_[k], bx_[k]), std::min(ay_[k], by_[k]),
+                    std::max(ax_[k], bx_[k]), std::max(ay_[k], by_[k])};
+      if (eb.intersects(box)) return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Candidate interior boxes are sought on a few horizontal lines: the
+// widest even-odd inside interval seeds a box that shrinks vertically
+// until the boundary provably avoids it.
+BBox find_interior_box(const PreparedRing& outer,
+                       std::span<const PreparedRing> holes) {
+  if (outer.empty()) return {};
+  const BBox& bb = outer.bbox();
+  if (!(bb.width() > 0.0) || !(bb.height() > 0.0)) return {};
+  std::vector<double> xs;
+  for (const double fy : {0.5, 0.35, 0.65}) {
+    const double y = bb.min_y + bb.height() * fy;
+    xs.clear();
+    outer.collect_crossings(y, xs);
+    for (const PreparedRing& h : holes) h.collect_crossings(y, xs);
+    std::sort(xs.begin(), xs.end());
+    double best_w = 0.0;
+    double x0 = 0.0;
+    double x1 = 0.0;
+    for (std::size_t k = 0; k + 1 < xs.size(); k += 2) {
+      if (xs[k + 1] - xs[k] > best_w) {
+        best_w = xs[k + 1] - xs[k];
+        x0 = xs[k];
+        x1 = xs[k + 1];
+      }
+    }
+    if (!(best_w > 0.0)) continue;
+    const double cx = (x0 + x1) * 0.5;
+    const double half_w = best_w * 0.4;  // 80% of the interval
+    double half_h = bb.height() * 0.25;
+    for (int it = 0; it < 12; ++it, half_h *= 0.5) {
+      const BBox cand{cx - half_w, y - half_h, cx + half_w, y + half_h};
+      if (outer.any_edge_bbox_intersects(cand)) continue;
+      bool clear = true;
+      for (const PreparedRing& h : holes) {
+        if (h.bbox().intersects(cand)) {
+          clear = false;
+          break;
+        }
+      }
+      if (!clear) continue;
+      // The boundary avoids the box, so one interior corner proves the
+      // whole (connected) box interior; all four keep it belt-and-braces
+      // against crossing-pairing artifacts at the seed line.
+      const Vec2 corners[] = {{cand.min_x, cand.min_y},
+                              {cand.min_x, cand.max_y},
+                              {cand.max_x, cand.min_y},
+                              {cand.max_x, cand.max_y}};
+      bool inside = true;
+      for (const Vec2 c : corners) {
+        if (!outer.contains(c)) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) return cand;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+PreparedPolygon::PreparedPolygon(const Polygon& poly)
+    : outer_(poly.outer()) {
+  holes_.reserve(poly.holes().size());
+  for (const Ring& h : poly.holes()) holes_.emplace_back(h);
+  interior_ = find_interior_box(outer_, holes_);
+}
+
+bool PreparedPolygon::contains(Vec2 p) const {
+  if (!outer_.contains(p)) return false;
+  for (const PreparedRing& h : holes_) {
+    if (h.contains(p)) return false;
+  }
+  return true;
+}
+
+void PreparedPolygon::contains_batch(std::span<const double> xs,
+                                     std::span<const double> ys,
+                                     std::span<std::uint8_t> out) const {
+  const std::size_t n = xs.size();
+  std::uint64_t fastpath = 0;
+  const bool has_interior = interior_.valid();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double px = xs[i];
+    const double py = ys[i];
+    const Vec2 p{px, py};
+    if (outer_.empty() || !outer_.bbox().contains(p)) {
+      out[i] = 0;
+      ++fastpath;
+      continue;
+    }
+    if (has_interior && interior_.contains(p)) {
+      out[i] = 1;  // proven interior of outer, outside every hole bbox
+      ++fastpath;
+      continue;
+    }
+    bool in = outer_.probe(px, py);
+    for (std::size_t h = 0; in && h < holes_.size(); ++h) {
+      in = !holes_[h].contains(p);
+    }
+    out[i] = static_cast<std::uint8_t>(in);
+  }
+  if (obs::enabled()) {
+    KernelCounters& kc = kernel_counters();
+    kc.batch_probes->add(n);
+    kc.fastpath_hits->add(fastpath);
+  }
+}
+
+PreparedMultiPolygon::PreparedMultiPolygon(const MultiPolygon& mp)
+    : bbox_(mp.bbox()) {
+  parts_.reserve(mp.size());
+  for (const Polygon& p : mp.parts()) parts_.emplace_back(p);
+}
+
+bool PreparedMultiPolygon::contains(Vec2 p) const {
+  if (parts_.empty() || !bbox_.contains(p)) return false;
+  for (const PreparedPolygon& part : parts_) {
+    if (part.contains(p)) return true;
+  }
+  return false;
+}
+
+void PreparedMultiPolygon::contains_batch(std::span<const double> xs,
+                                          std::span<const double> ys,
+                                          std::span<std::uint8_t> out) const {
+  const std::size_t n = xs.size();
+  if (parts_.empty()) {
+    std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(n), 0);
+    return;
+  }
+  if (parts_.size() == 1) {
+    // MultiPolygon::contains' own bbox check adds nothing: a point
+    // outside it is outside the sole part's bbox too.
+    parts_[0].contains_batch(xs, ys, out);
+    return;
+  }
+  parts_[0].contains_batch(xs, ys, out);
+  // Worker-local scratch so later parts run through the same batch
+  // kernel; OR-ing part masks equals the scalar any-part-contains.
+  thread_local std::vector<std::uint8_t> scratch;
+  scratch.resize(n);
+  for (std::size_t part = 1; part < parts_.size(); ++part) {
+    parts_[part].contains_batch(xs, ys, scratch);
+    for (std::size_t i = 0; i < n; ++i) out[i] |= scratch[i];
+  }
+}
+
+}  // namespace fa::geo

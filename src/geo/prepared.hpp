@@ -1,0 +1,129 @@
+// Prepared geometry: bulk-built, immutable acceleration structures for
+// repeated point-in-polygon probes (the overlay join that dominates every
+// table and figure).
+//
+// A PreparedRing buckets the ring's edges into horizontal y-slabs (as in
+// GEOS prepared geometry) and stores them as structure-of-arrays, so one
+// probe touches only the O(V/slabs) edges whose y-extent overlaps its
+// slab, in a branch-light loop over contiguous arrays that the compiler
+// can autovectorize. PreparedPolygon adds the interior-box fast path (a
+// rectangle proven fully inside, answering probes without touching an
+// edge) on top of the bbox exterior fast path.
+//
+// Equivalence guarantee: contains() and contains_batch() evaluate the
+// EXACT floating-point predicate of Ring/Polygon/MultiPolygon::contains —
+// same expressions, same operand order — restricted to the edges that can
+// contribute (an edge whose y-extent excludes p.y neither crosses the
+// probe ray nor passes the on-segment bbox test, so dropping it cannot
+// change the answer). Every consumer that moved to this layer is pinned
+// byte-identical to the scalar path by tests/geo/prepared_test.cpp and
+// the overlay equivalence suite.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/bbox.hpp"
+#include "geo/polygon.hpp"
+
+namespace fa::geo {
+
+class PreparedRing {
+ public:
+  PreparedRing() = default;
+  // Bulk build: buckets every edge of `ring` into each slab its y-extent
+  // overlaps. O(V + total bucket entries); slab count scales with V so a
+  // probe's edge loop is expected O(1) for perimeter-like rings.
+  explicit PreparedRing(const Ring& ring);
+
+  bool empty() const { return empty_; }
+  const BBox& bbox() const { return bbox_; }
+  int slabs() const { return slabs_; }
+  std::size_t edge_refs() const { return ax_.size(); }
+
+  // Identical predicate to Ring::contains (boundary counts as inside).
+  bool contains(Vec2 p) const;
+
+  // out[i] = contains({xs[i], ys[i]}) ? 1 : 0 for every i. Spans must
+  // have equal length; out may be pre-filled with anything.
+  void contains_batch(std::span<const double> xs, std::span<const double> ys,
+                      std::span<std::uint8_t> out) const;
+
+  // Appends the x-coordinates where the horizontal line `y` crosses ring
+  // edges (same half-open rule and expression as the scanline
+  // rasterizer), consulting only the slab containing `y`.
+  void collect_crossings(double y, std::vector<double>& xs) const;
+
+  // Slab of a y inside bbox (clamped); exposed for tests.
+  int slab_of(double y) const;
+
+  // True when some edge's bounding box intersects `box` — a conservative
+  // "the boundary might enter box" test used to certify interior boxes.
+  // Consults only the slabs overlapping box's y-range.
+  bool any_edge_bbox_intersects(const BBox& box) const;
+
+ private:
+  friend class PreparedPolygon;  // skips re-running the bbox test
+
+  // Parity + on-edge sweep over the slab edges of (px, py). Returns the
+  // Ring::contains answer given the bbox test already passed.
+  bool probe(double px, double py) const;
+
+  // Edge k of slab s lives at index slab_start_[s] + k in the SoA
+  // arrays; edges overlapping several slabs are duplicated per slab.
+  std::vector<std::uint32_t> slab_start_;  // size slabs_ + 1
+  std::vector<double> ax_, ay_, bx_, by_;  // SoA edge endpoints
+  BBox bbox_;
+  double y0_ = 0.0;
+  double inv_slab_h_ = 0.0;
+  int slabs_ = 0;
+  bool empty_ = true;
+};
+
+class PreparedPolygon {
+ public:
+  PreparedPolygon() = default;
+  explicit PreparedPolygon(const Polygon& poly);
+
+  bool empty() const { return outer_.empty(); }
+  const BBox& bbox() const { return outer_.bbox(); }
+  // Rectangle proven fully inside (outside every hole); invalid when the
+  // build found none. Probes inside it short-circuit to true.
+  const BBox& interior_box() const { return interior_; }
+
+  // Identical predicate to Polygon::contains.
+  bool contains(Vec2 p) const;
+  void contains_batch(std::span<const double> xs, std::span<const double> ys,
+                      std::span<std::uint8_t> out) const;
+
+  const PreparedRing& outer() const { return outer_; }
+  std::span<const PreparedRing> holes() const { return holes_; }
+
+ private:
+  PreparedRing outer_;
+  std::vector<PreparedRing> holes_;
+  BBox interior_;  // default-constructed BBox is !valid(): no fast path
+};
+
+class PreparedMultiPolygon {
+ public:
+  PreparedMultiPolygon() = default;
+  explicit PreparedMultiPolygon(const MultiPolygon& mp);
+
+  bool empty() const { return parts_.empty(); }
+  const BBox& bbox() const { return bbox_; }
+  std::span<const PreparedPolygon> parts() const { return parts_; }
+
+  // Identical predicate to MultiPolygon::contains.
+  bool contains(Vec2 p) const;
+  // Batch form: out[i] = 1 iff any part contains point i.
+  void contains_batch(std::span<const double> xs, std::span<const double> ys,
+                      std::span<std::uint8_t> out) const;
+
+ private:
+  std::vector<PreparedPolygon> parts_;
+  BBox bbox_;
+};
+
+}  // namespace fa::geo

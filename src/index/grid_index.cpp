@@ -37,6 +37,13 @@ GridIndex::GridIndex(std::vector<geo::Vec2> points, geo::BBox bounds,
   for (std::uint32_t id = 0; id < points_.size(); ++id) {
     binned_[cursor[bin_of(points_[id])]++] = id;
   }
+  binned_x_.resize(points_.size());
+  binned_y_.resize(points_.size());
+  for (std::size_t k = 0; k < binned_.size(); ++k) {
+    const geo::Vec2 p = points_[binned_[k]];
+    binned_x_[k] = p.x;
+    binned_y_[k] = p.y;
+  }
 }
 
 int GridIndex::col_of(double x) const {
@@ -50,7 +57,12 @@ int GridIndex::row_of(double y) const {
 }
 
 std::vector<std::uint32_t> GridIndex::query_ids(const geo::BBox& q) const {
+  std::size_t candidates = 0;
+  query_spans(q, [&candidates](std::uint32_t b, std::uint32_t e) {
+    candidates += e - b;
+  });
   std::vector<std::uint32_t> out;
+  out.reserve(candidates);
   query(q, [&out](std::uint32_t id, geo::Vec2) { out.push_back(id); });
   return out;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "geo/bbox.hpp"
@@ -42,6 +43,39 @@ class GridIndex {
   void query_candidates(const geo::BBox& query, Fn&& fn) const {
     visit<false>(query, std::forward<Fn>(fn));
   }
+
+  // Invokes fn(begin, end) for each contiguous range [begin, end) of the
+  // binned arrays covering one grid row's intersected cells (candidates:
+  // no per-point containment test — cells in a row are adjacent in the
+  // counting-sorted storage, so a row collapses to a single range).
+  // Together with binned_ids()/binned_xs()/binned_ys() this hands whole
+  // candidate spans to batch kernels such as
+  // geo::PreparedMultiPolygon::contains_batch instead of point-at-a-time
+  // callbacks. Entry order is identical to query_candidates.
+  template <class Fn>
+  void query_spans(const geo::BBox& query, Fn&& fn) const {
+    if (points_.empty() || !query.valid() || !query.intersects(bounds_)) {
+      return;
+    }
+    const int c0 = col_of(query.min_x);
+    const int c1 = col_of(query.max_x);
+    const int r0 = row_of(query.min_y);
+    const int r1 = row_of(query.max_y);
+    for (int r = r0; r <= r1; ++r) {
+      const std::size_t row = static_cast<std::size_t>(r) * cols_;
+      const std::uint32_t begin =
+          cell_start_[row + static_cast<std::size_t>(c0)];
+      const std::uint32_t end =
+          cell_start_[row + static_cast<std::size_t>(c1) + 1];
+      if (begin < end) fn(begin, end);
+    }
+  }
+
+  // Structure-of-arrays views backing query_spans: binned entry k is
+  // point id binned_ids()[k] at (binned_xs()[k], binned_ys()[k]).
+  std::span<const std::uint32_t> binned_ids() const { return binned_; }
+  std::span<const double> binned_xs() const { return binned_x_; }
+  std::span<const double> binned_ys() const { return binned_y_; }
 
   // Count of points within `query` (exact).
   std::size_t count(const geo::BBox& query) const;
@@ -84,6 +118,8 @@ class GridIndex {
 
   std::vector<geo::Vec2> points_;       // original order; id == index
   std::vector<std::uint32_t> binned_;   // point ids sorted by bin
+  std::vector<double> binned_x_;        // coordinates in binned order,
+  std::vector<double> binned_y_;        //   SoA for the batch kernels
   std::vector<std::uint32_t> cell_start_;  // size cols*rows+1, into binned_
   geo::BBox bounds_;
   int cols_ = 0;

@@ -74,7 +74,12 @@ geo::BBox RTree::bounds() const {
 }
 
 std::vector<std::uint32_t> RTree::query(const geo::BBox& query) const {
+  // Count first so the collection pass allocates exactly once; the
+  // second traversal is far cheaper than the realloc churn it replaces.
+  std::size_t n = 0;
+  this->query(query, [&n](std::uint32_t) { ++n; });
   std::vector<std::uint32_t> out;
+  out.reserve(n);
   this->query(query, [&out](std::uint32_t id) { out.push_back(id); });
   return out;
 }

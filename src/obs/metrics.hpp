@@ -56,4 +56,17 @@ inline constexpr std::string_view kServeSnapshotsRetired =
 inline constexpr std::string_view kServeSnapshotsReclaimed =
     "serve.snapshots.reclaimed";
 
+// -- prepared-geometry kernels ----------------------------------------
+// PreparedRing builds (one per ring: outer, hole, or multipolygon part).
+inline constexpr std::string_view kGeoPreparedBuilds = "geo.prepared.builds";
+// Total y-slabs allocated across builds.
+inline constexpr std::string_view kGeoPreparedSlabs = "geo.prepared.slabs";
+// Points pushed through a polygon-level contains_batch kernel.
+inline constexpr std::string_view kGeoPreparedBatchProbes =
+    "geo.prepared.batch_probes";
+// Batch probes answered by the bbox-exterior or interior-box fast path
+// without touching a single edge.
+inline constexpr std::string_view kGeoPreparedFastPathHits =
+    "geo.prepared.fastpath_hits";
+
 }  // namespace fa::obs::metrics

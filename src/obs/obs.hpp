@@ -166,6 +166,12 @@ class Registry {
   // (the default instance, unless a ScopedRegistry is active).
   static Registry& global();
 
+  // Process-unique instance id. Code that caches instrument references
+  // across calls must key the cache on (address, id): successive
+  // ScopedRegistry instances can reuse an address, so the pointer alone
+  // cannot detect the swap.
+  std::uint64_t id() const { return id_; }
+
  private:
   struct EventBuffer;
   EventBuffer& local_buffer();

@@ -5,33 +5,36 @@
 #include <vector>
 
 #include "exec/exec.hpp"
+#include "geo/prepared.hpp"
 
 namespace fa::raster {
 
 namespace {
 
-// Collects the x-coordinates where the scanline y crosses ring edges.
-void ring_crossings(const geo::Ring& ring, double y, std::vector<double>& xs) {
-  const auto pts = ring.points();
-  for (std::size_t i = 0, n = pts.size(); i < n; ++i) {
-    const geo::Vec2 a = pts[i];
-    const geo::Vec2 b = pts[(i + 1) % n];
-    // Half-open rule: count edges whose span covers y in [min, max).
-    if ((a.y > y) != (b.y > y)) {
-      xs.push_back(a.x + (y - a.y) * (b.x - a.x) / (b.y - a.y));
-    }
+// Per-polygon scanline acceleration: rings prepared once, so each row
+// consults only the y-slab its scanline falls in instead of every edge.
+// PreparedRing::collect_crossings applies the identical half-open rule
+// and intercept expression the per-edge sweep used, and each edge shows
+// up once per slab — after the sort the crossing list is byte-identical.
+struct PreparedScan {
+  geo::PreparedRing outer;
+  std::vector<geo::PreparedRing> holes;
+
+  explicit PreparedScan(const geo::Polygon& poly) : outer(poly.outer()) {
+    holes.reserve(poly.holes().size());
+    for (const geo::Ring& h : poly.holes()) holes.emplace_back(h);
   }
-}
+};
 
 // One scanline of the polygon fill: invokes fn(c, r) for row r's inside
 // cells, left to right. `xs` is caller-provided scratch.
 template <class Fn>
-void scan_row(const GridGeometry& geom, const geo::Polygon& poly, int r,
+void scan_row(const GridGeometry& geom, const PreparedScan& poly, int r,
               std::vector<double>& xs, Fn&& fn) {
   const double y = geom.origin_y + (r + 0.5) * geom.cell_h;
   xs.clear();
-  ring_crossings(poly.outer(), y, xs);
-  for (const geo::Ring& h : poly.holes()) ring_crossings(h, y, xs);
+  poly.outer.collect_crossings(y, xs);
+  for (const geo::PreparedRing& h : poly.holes) h.collect_crossings(y, xs);
   std::sort(xs.begin(), xs.end());
   // Crossings pair up into inside spans (even-odd rule; holes simply add
   // crossings, which carves them out).
@@ -63,8 +66,10 @@ void scan_polygon(const GridGeometry& geom, const geo::Polygon& poly,
                   const std::function<void(int, int)>& fn) {
   // Serial by contract: callers rely on row-major visit order.
   const auto [r0, r1] = row_span(geom, poly);
+  if (r0 > r1) return;
+  const PreparedScan prepared(poly);
   std::vector<double> xs;
-  for (int r = r0; r <= r1; ++r) scan_row(geom, poly, r, xs, fn);
+  for (int r = r0; r <= r1; ++r) scan_row(geom, prepared, r, xs, fn);
 }
 
 void rasterize_polygon(MaskRaster& target, const geo::Polygon& poly,
@@ -74,13 +79,14 @@ void rasterize_polygon(MaskRaster& target, const geo::Polygon& poly,
   const auto [r0, r1] = row_span(target.geom(), poly);
   if (r0 > r1) return;
   const GridGeometry& geom = target.geom();
+  const PreparedScan prepared(poly);  // shared read-only across workers
   exec::parallel_for_chunks(
       static_cast<std::size_t>(r1 - r0 + 1),
       [&](std::size_t begin, std::size_t end, exec::ChunkContext) {
         std::vector<double> xs;
         for (std::size_t i = begin; i < end; ++i) {
           const int r = r0 + static_cast<int>(i);
-          scan_row(geom, poly, r, xs,
+          scan_row(geom, prepared, r, xs,
                    [&target, value](int c, int row) {
                      target.at(c, row) = value;
                    });

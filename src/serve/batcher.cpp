@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace fa::serve {
 
@@ -64,6 +65,9 @@ PointRiskResponse PointBatcher::submit(const PointRiskQuery& query) {
 }
 
 void PointBatcher::run_round(Round& round) {
+  // Kernel span: one per vectorized flush, so the bench OBS profile
+  // shows how round execution time relates to the geo batch kernels.
+  const obs::Span span("serve.batch.run_round");
   // The round left the deque before this call, so `queries` is frozen;
   // only this thread touches `responses` until `done` flips.
   round.responses.resize(round.queries.size());

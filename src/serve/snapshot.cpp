@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "fault/injector.hpp"
 #include "geo/geodesy.hpp"
+#include "index/grid_index.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 
@@ -66,16 +68,27 @@ PointRiskResponse evaluate(const Snapshot& snap, const PointRiskQuery& q) {
   r.state = whp.state_at(q.point);
   r.county = world.counties().county_of(q.point);
   if (q.neighborhood_m > 0.0) {
-    world.txr_index().query(
-        disc_bbox(q.point, q.neighborhood_m),
-        [&](std::uint32_t id, geo::Vec2 p) {
-          if (geo::haversine_m(q.point, geo::LonLat::from_vec(p)) >
-              q.neighborhood_m) {
-            return;
-          }
-          ++r.nearby_txr;
-          if (synth::whp_at_risk(world.txr_class(id))) ++r.nearby_at_risk;
-        });
+    // Span sweep over the grid's SoA storage. The disc bbox only
+    // encloses the great-circle disc, so the explicit contains() filter
+    // (what the Exact query callback applied per point) must stay ahead
+    // of the haversine test; the tallies are order-independent sums.
+    const geo::BBox box = disc_bbox(q.point, q.neighborhood_m);
+    const index::GridIndex& idx = world.txr_index();
+    const std::span<const std::uint32_t> ids = idx.binned_ids();
+    const std::span<const double> xs = idx.binned_xs();
+    const std::span<const double> ys = idx.binned_ys();
+    idx.query_spans(box, [&](std::uint32_t b, std::uint32_t e) {
+      for (std::uint32_t k = b; k < e; ++k) {
+        const geo::Vec2 p{xs[k], ys[k]};
+        if (!box.contains(p)) continue;
+        if (geo::haversine_m(q.point, geo::LonLat::from_vec(p)) >
+            q.neighborhood_m) {
+          continue;
+        }
+        ++r.nearby_txr;
+        if (synth::whp_at_risk(world.txr_class(ids[k]))) ++r.nearby_at_risk;
+      }
+    });
   }
   return r;
 }
@@ -85,12 +98,19 @@ BBoxAggregateResponse evaluate(const Snapshot& snap,
   const core::World& world = snap.world();
   BBoxAggregateResponse r;
   r.epoch = snap.epoch();
-  world.txr_index().query(q.bbox, [&](std::uint32_t id, geo::Vec2) {
-    const synth::WhpClass c = world.txr_class(id);
-    ++r.transceivers;
-    ++r.by_class[static_cast<std::size_t>(c)];
-    if (synth::whp_at_risk(c)) ++r.at_risk;
-    ++r.by_provider[static_cast<std::size_t>(world.txr_provider(id))];
+  const index::GridIndex& idx = world.txr_index();
+  const std::span<const std::uint32_t> ids = idx.binned_ids();
+  const std::span<const double> xs = idx.binned_xs();
+  const std::span<const double> ys = idx.binned_ys();
+  idx.query_spans(q.bbox, [&](std::uint32_t b, std::uint32_t e) {
+    for (std::uint32_t k = b; k < e; ++k) {
+      if (!q.bbox.contains({xs[k], ys[k]})) continue;
+      const synth::WhpClass c = world.txr_class(ids[k]);
+      ++r.transceivers;
+      ++r.by_class[static_cast<std::size_t>(c)];
+      if (synth::whp_at_risk(c)) ++r.at_risk;
+      ++r.by_provider[static_cast<std::size_t>(world.txr_provider(ids[k]))];
+    }
   });
   return r;
 }
@@ -114,13 +134,26 @@ TopKSitesResponse evaluate(const Snapshot& snap, const TopKSitesQuery& q) {
   TopKSitesResponse r;
   r.epoch = snap.epoch();
   std::vector<RankedSite> candidates;
-  world.txr_index().query(
-      disc_bbox(q.center, q.radius_m), [&](std::uint32_t id, geo::Vec2 p) {
-        const geo::LonLat pos = geo::LonLat::from_vec(p);
-        const double d = geo::haversine_m(q.center, pos);
-        if (d > q.radius_m) return;
-        candidates.push_back({id, pos, world.txr_class(id), d});
-      });
+  const geo::BBox box = disc_bbox(q.center, q.radius_m);
+  const index::GridIndex& idx = world.txr_index();
+  const std::span<const std::uint32_t> ids = idx.binned_ids();
+  const std::span<const double> xs = idx.binned_xs();
+  const std::span<const double> ys = idx.binned_ys();
+  std::size_t in_box = 0;
+  idx.query_spans(box, [&in_box](std::uint32_t b, std::uint32_t e) {
+    in_box += e - b;
+  });
+  candidates.reserve(in_box);
+  idx.query_spans(box, [&](std::uint32_t b, std::uint32_t e) {
+    for (std::uint32_t k = b; k < e; ++k) {
+      const geo::Vec2 p{xs[k], ys[k]};
+      if (!box.contains(p)) continue;
+      const geo::LonLat pos = geo::LonLat::from_vec(p);
+      const double d = geo::haversine_m(q.center, pos);
+      if (d > q.radius_m) continue;
+      candidates.push_back({ids[k], pos, world.txr_class(ids[k]), d});
+    }
+  });
   r.candidates = static_cast<std::uint32_t>(candidates.size());
   const auto riskier = [](const RankedSite& a, const RankedSite& b) {
     if (a.whp != b.whp) return a.whp > b.whp;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "geo/projection.hpp"
 #include "raster/raster.hpp"
@@ -48,6 +49,13 @@ class WhpModel {
 
   WhpClass class_at(geo::LonLat p) const {
     return static_cast<WhpClass>(grid_.sample(proj_.forward(p), 0));
+  }
+  // Batch form: out[i] = class_at(pts[i]) — the same projection and
+  // sample per element, hoisted out of per-point callbacks so consumers
+  // can hand whole spans to the site-risk tally.
+  void class_at_batch(std::span<const geo::LonLat> pts,
+                      std::span<WhpClass> out) const {
+    for (std::size_t i = 0; i < pts.size(); ++i) out[i] = class_at(pts[i]);
   }
   bool is_urban(geo::LonLat p) const {
     return urban_.sample(proj_.forward(p), 0) != 0;

@@ -1,0 +1,270 @@
+// Property suite pinning the prepared-geometry kernels to the scalar
+// predicates: PreparedRing/PreparedPolygon/PreparedMultiPolygon must
+// agree with Ring/Polygon/MultiPolygon::contains bit for bit on every
+// probe — including boundary, collinear, and zero-area degeneracies —
+// because the overlay pipeline's golden values ride on that equality.
+#include "geo/prepared.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "geo/polygon.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace fa::geo {
+namespace {
+
+// Deterministic star-shaped ring: vertices at sorted angles with random
+// radii are always a simple polygon, and snapping coordinates to a
+// lattice manufactures the collinear runs and probe-on-vertex collisions
+// the crossing-number rule has to survive.
+Ring random_ring(std::mt19937_64& rng, int min_v = 3, int max_v = 40,
+                 bool snap = false) {
+  std::uniform_int_distribution<int> nv(min_v, max_v);
+  std::uniform_real_distribution<double> angle(0.0, 2.0 * 3.14159265358979);
+  std::uniform_real_distribution<double> radius(0.2, 1.0);
+  std::uniform_real_distribution<double> center(-5.0, 5.0);
+  const double cx = center(rng);
+  const double cy = center(rng);
+  const int n = nv(rng);
+  std::vector<double> angles(static_cast<std::size_t>(n));
+  for (double& a : angles) a = angle(rng);
+  std::sort(angles.begin(), angles.end());
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (const double a : angles) {
+    double x = cx + radius(rng) * std::cos(a);
+    double y = cy + radius(rng) * std::sin(a);
+    if (snap) {
+      x = std::round(x * 4.0) / 4.0;
+      y = std::round(y * 4.0) / 4.0;
+    }
+    pts.push_back({x, y});
+  }
+  return Ring(std::move(pts));
+}
+
+// Probe set biased toward the hard cases: vertices, edge midpoints,
+// horizontal lines through vertices (slab boundaries), plus uniform
+// scatter over the inflated bbox.
+std::vector<Vec2> probe_points(std::mt19937_64& rng, const Ring& ring) {
+  std::vector<Vec2> probes;
+  const auto pts = ring.points();
+  const std::size_t n = pts.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = pts[i];
+    const Vec2 b = pts[(i + 1) % n];
+    probes.push_back(a);                                  // on vertex
+    probes.push_back({(a.x + b.x) / 2, (a.y + b.y) / 2});  // on edge
+    probes.push_back({a.x + 0.1, a.y});  // same y as a vertex
+  }
+  const BBox box = ring.bbox().inflated(0.3);
+  std::uniform_real_distribution<double> ux(box.min_x, box.max_x);
+  std::uniform_real_distribution<double> uy(box.min_y, box.max_y);
+  for (int i = 0; i < 16; ++i) probes.push_back({ux(rng), uy(rng)});
+  return probes;
+}
+
+void expect_ring_agreement(const Ring& ring, const std::vector<Vec2>& probes) {
+  const PreparedRing prepared(ring);
+  std::vector<double> xs(probes.size());
+  std::vector<double> ys(probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    xs[i] = probes[i].x;
+    ys[i] = probes[i].y;
+  }
+  std::vector<std::uint8_t> mask(probes.size(), 0xCC);  // junk pre-fill
+  prepared.contains_batch(xs, ys, mask);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const bool expected = ring.contains(probes[i]);
+    EXPECT_EQ(prepared.contains(probes[i]), expected)
+        << "scalar probe (" << probes[i].x << ", " << probes[i].y << ")";
+    EXPECT_EQ(mask[i] != 0, expected)
+        << "batch probe (" << probes[i].x << ", " << probes[i].y << ")";
+    EXPECT_LE(mask[i], 1);  // outputs are exactly 0 or 1
+  }
+}
+
+TEST(PreparedRingProperty, AgreesWithNaiveOnRandomPolygons) {
+  std::mt19937_64 rng(0xF1A5A123ULL);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const Ring ring = random_ring(rng, 3, 40, /*snap=*/(iter % 3 == 0));
+    expect_ring_agreement(ring, probe_points(rng, ring));
+  }
+}
+
+TEST(PreparedRingProperty, DegenerateRings) {
+  std::mt19937_64 rng(0xDE9E2EULL);
+  // Zero-area: every vertex collinear. Collinear runs: repeated and
+  // midpoint vertices on a rectangle. Tiny: the minimum 3-vertex ring.
+  const std::vector<Ring> rings = {
+      Ring({{0, 0}, {1, 0}, {2, 0}}),                      // zero area
+      Ring({{0, 0}, {1, 1}, {2, 2}, {1, 1}}),              // spike, zero area
+      Ring({{0, 0}, {1, 0}, {2, 0}, {2, 1}, {0, 1}}),      // collinear run
+      Ring({{0, 0}, {1, 0}, {1, 0}, {1, 1}}),              // duplicate vertex
+      Ring({{0, 0}, {1, 0}, {0, 1}}),                      // minimal
+      Ring({{0, 0}, {4, 0}, {4, 4}, {0, 4}}),              // axis-aligned box
+      Ring({{0, 0}, {1, 0}}),                              // not a ring
+      Ring(),                                              // empty
+  };
+  for (const Ring& ring : rings) {
+    std::vector<Vec2> probes = {{0, 0},     {1, 0},   {0.5, 0}, {1, 1},
+                                {0.5, 0.5}, {2, 2},   {-1, -1}, {2, 0},
+                                {3, 0},     {2, 0.5}, {0.5, 1}, {4, 4}};
+    const BBox box = ring.bbox();
+    if (box.valid()) {
+      std::uniform_real_distribution<double> ux(box.min_x - 0.5,
+                                                box.max_x + 0.5);
+      std::uniform_real_distribution<double> uy(box.min_y - 0.5,
+                                                box.max_y + 0.5);
+      for (int i = 0; i < 32; ++i) probes.push_back({ux(rng), uy(rng)});
+    }
+    expect_ring_agreement(ring, probes);
+  }
+}
+
+TEST(PreparedPolygonProperty, AgreesWithNaiveIncludingHoles) {
+  std::mt19937_64 rng(0x90198123ULL);
+  for (int iter = 0; iter < 300; ++iter) {
+    Ring outer = random_ring(rng, 8, 48);
+    // Carve a hole around the centroid, well inside a star polygon.
+    const Vec2 c = outer.centroid();
+    std::vector<Ring> holes;
+    if (iter % 2 == 0) {
+      holes.push_back(make_circle(c, 0.08, 12));
+    }
+    const Polygon poly(std::move(outer), std::move(holes));
+    const PreparedPolygon prepared(poly);
+    std::vector<Vec2> probes = probe_points(rng, poly.outer());
+    probes.push_back(c);  // inside the hole when there is one
+    std::vector<double> xs(probes.size());
+    std::vector<double> ys(probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      xs[i] = probes[i].x;
+      ys[i] = probes[i].y;
+    }
+    std::vector<std::uint8_t> mask(probes.size(), 0xCC);
+    prepared.contains_batch(xs, ys, mask);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const bool expected = poly.contains(probes[i]);
+      ASSERT_EQ(prepared.contains(probes[i]), expected)
+          << "iter " << iter << " probe (" << probes[i].x << ", "
+          << probes[i].y << ")";
+      ASSERT_EQ(mask[i] != 0, expected) << "iter " << iter << " batch";
+    }
+    // The interior-box fast path must never overrule the predicate.
+    const BBox ib = prepared.interior_box();
+    if (ib.valid()) {
+      const std::vector<Vec2> corners = {{ib.min_x, ib.min_y},
+                                         {ib.max_x, ib.max_y},
+                                         ib.center()};
+      for (const Vec2 p : corners) ASSERT_TRUE(poly.contains(p));
+    }
+  }
+}
+
+TEST(PreparedMultiPolygonProperty, BatchMatchesScalarAcrossParts) {
+  std::mt19937_64 rng(0x3117A0ULL);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Polygon> parts;
+    const int num_parts = 1 + iter % 3;
+    for (int p = 0; p < num_parts; ++p) {
+      parts.emplace_back(random_ring(rng, 5, 24));
+    }
+    const MultiPolygon mp(std::move(parts));
+    const PreparedMultiPolygon prepared(mp);
+    std::vector<double> xs;
+    std::vector<double> ys;
+    const BBox box = mp.bbox().inflated(0.4);
+    std::uniform_real_distribution<double> ux(box.min_x, box.max_x);
+    std::uniform_real_distribution<double> uy(box.min_y, box.max_y);
+    for (int i = 0; i < 64; ++i) {
+      xs.push_back(ux(rng));
+      ys.push_back(uy(rng));
+    }
+    std::vector<std::uint8_t> mask(xs.size(), 0xCC);
+    prepared.contains_batch(xs, ys, mask);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const Vec2 p{xs[i], ys[i]};
+      ASSERT_EQ(prepared.contains(p), mp.contains(p));
+      ASSERT_EQ(mask[i] != 0, mp.contains(p));
+    }
+  }
+}
+
+TEST(PreparedRing, CollectCrossingsMatchesEdgeSweep) {
+  std::mt19937_64 rng(0xC2055ULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Ring ring = random_ring(rng, 3, 32, /*snap=*/(iter % 2 == 0));
+    const PreparedRing prepared(ring);
+    const BBox box = ring.bbox();
+    std::uniform_real_distribution<double> uy(box.min_y - 0.1,
+                                              box.max_y + 0.1);
+    for (int s = 0; s < 8; ++s) {
+      const double y = s == 0 ? box.min_y : (s == 1 ? box.max_y : uy(rng));
+      std::vector<double> naive;
+      const auto pts = ring.points();
+      for (std::size_t i = 0, n = pts.size(); i < n; ++i) {
+        const Vec2 a = pts[i];
+        const Vec2 b = pts[(i + 1) % n];
+        if ((a.y > y) != (b.y > y)) {
+          naive.push_back(a.x + (y - a.y) * (b.x - a.x) / (b.y - a.y));
+        }
+      }
+      std::vector<double> slab;
+      prepared.collect_crossings(y, slab);
+      std::sort(naive.begin(), naive.end());
+      std::sort(slab.begin(), slab.end());
+      ASSERT_EQ(slab, naive) << "scanline y=" << y;
+    }
+  }
+}
+
+TEST(PreparedRing, SlabIndexShape) {
+  const Ring ring = make_circle({0, 0}, 1.0, 64);
+  const PreparedRing prepared(ring);
+  EXPECT_FALSE(prepared.empty());
+  EXPECT_EQ(prepared.slabs(), 64);
+  // Every edge lands in at least one slab; duplication is bounded.
+  EXPECT_GE(prepared.edge_refs(), ring.size());
+  EXPECT_LE(prepared.edge_refs(), 4 * ring.size());
+  // slab_of is monotone and clamped to [0, slabs).
+  EXPECT_EQ(prepared.slab_of(-2.0), 0);
+  EXPECT_EQ(prepared.slab_of(2.0), prepared.slabs() - 1);
+  int last = 0;
+  for (double y = -1.0; y <= 1.0; y += 0.01) {
+    const int s = prepared.slab_of(y);
+    EXPECT_GE(s, last);
+    last = s;
+  }
+}
+
+TEST(PreparedObs, CountersFollowScopedRegistrySwaps) {
+  // Regression: the per-thread kernel counter cache used to key on the
+  // registry address alone, so two consecutive ScopedRegistry instances
+  // at the same stack address kept the stale Counter* — batch probes
+  // from the second scope landed in the first (destroyed) registry's
+  // reused heap nodes. Each scope must observe exactly its own probes.
+  const Polygon poly(make_circle({0, 0}, 1.0, 16));
+  const std::vector<double> xs{0.0, 0.5, 2.0, -0.3};
+  const std::vector<double> ys{0.0, -0.2, 2.0, 0.4};
+  const auto probes_seen_in_fresh_scope = [&] {
+    obs::ScopedRegistry scoped;
+    const PreparedPolygon prep(poly);
+    std::vector<std::uint8_t> mask(xs.size());
+    prep.contains_batch(xs, ys, mask);
+    return scoped.registry()
+        .counter(obs::metrics::kGeoPreparedBatchProbes)
+        .value();
+  };
+  EXPECT_EQ(probes_seen_in_fresh_scope(), xs.size());
+  EXPECT_EQ(probes_seen_in_fresh_scope(), xs.size());
+}
+
+}  // namespace
+}  // namespace fa::geo

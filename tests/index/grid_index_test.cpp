@@ -67,6 +67,51 @@ TEST(GridIndex, CandidatesAreSuperset) {
                             exact.end()));
 }
 
+TEST(GridIndex, QuerySpansMatchCandidateVisitOrder) {
+  // The span API must yield exactly the candidate sequence the callback
+  // visitor produces — same ids, same order — and the SoA views must
+  // carry the matching coordinates, since batch kernels consume both.
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> pos(0.0, 50.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 1500; ++i) pts.push_back({pos(rng), pos(rng)});
+  const GridIndex idx(pts, BBox{0, 0, 50, 50}, 16, 16);
+  const auto ids = idx.binned_ids();
+  const auto xs = idx.binned_xs();
+  const auto ys = idx.binned_ys();
+  ASSERT_EQ(ids.size(), pts.size());
+  for (int q = 0; q < 25; ++q) {
+    const double x = pos(rng), y = pos(rng);
+    const BBox query{x, y, x + 9.0, y + 6.0};
+    std::vector<std::uint32_t> callback_order;
+    idx.query_candidates(
+        query, [&](std::uint32_t id, Vec2) { callback_order.push_back(id); });
+    std::vector<std::uint32_t> span_order;
+    idx.query_spans(query, [&](std::uint32_t b, std::uint32_t e) {
+      ASSERT_LT(b, e);  // empty ranges are suppressed
+      for (std::uint32_t k = b; k < e; ++k) {
+        span_order.push_back(ids[k]);
+        EXPECT_EQ(Vec2(xs[k], ys[k]), pts[ids[k]]);
+      }
+    });
+    EXPECT_EQ(span_order, callback_order);
+  }
+}
+
+TEST(GridIndex, QueryIdsReservesExactCandidateCapacity) {
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> pos(0.0, 50.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 800; ++i) pts.push_back({pos(rng), pos(rng)});
+  const GridIndex idx(pts, BBox{0, 0, 50, 50}, 8, 8);
+  const BBox query{5.5, 7.5, 30.0, 22.0};
+  std::size_t candidates = 0;
+  idx.query_candidates(query, [&](std::uint32_t, Vec2) { ++candidates; });
+  const std::vector<std::uint32_t> got = idx.query_ids(query);
+  EXPECT_LE(got.size(), candidates);
+  EXPECT_GE(got.capacity(), candidates);  // single up-front reserve
+}
+
 TEST(GridIndex, IdsMapToOriginalOrder) {
   const std::vector<Vec2> pts{{1, 1}, {9, 9}, {5, 5}};
   const GridIndex idx(pts, BBox{0, 0, 10, 10}, 2, 2);

@@ -27,6 +27,9 @@ struct BenchSchema {
   std::vector<std::string_view> keys;
   // Extra argv appended to the command line.
   std::string_view extra_args = "";
+  // Extra environment assignments prepended to the command (for benches
+  // sized by env knobs rather than FA_SCALE).
+  std::string_view extra_env = "";
 };
 
 const std::vector<BenchSchema>& schemas() {
@@ -76,6 +79,11 @@ const std::vector<BenchSchema>& schemas() {
       {"bench_site_vs_transceiver", "site_vs_transceiver",
        {"sites", "transceivers", "sites_at_risk", "txr_at_risk", "sweep"}},
       {"bench_fault_ingest", "fault_ingest", {"", "policy"}},
+      {"bench_geo_kernels", "geo_kernels",
+       {"points", "fires", "verts", "candidates", "hits", "identical",
+        "scalar_ms", "prepared_ms", "batch_ms", "prepared_speedup",
+        "batch_speedup"},
+       "", "FA_GEO_POINTS=60000 FA_GEO_FIRES=8 FA_GEO_VERTS=128 FA_GEO_REPS=1"},
       {"bench_perf_substrate", "perf_substrate_scaling",
        {"pool_workers", "identical_across_threads", "scaling"},
        "--benchmark_filter=__none__"},
@@ -89,8 +97,11 @@ const std::vector<BenchSchema>& schemas() {
 // Runs one bench on the tiny scenario, returning its full stdout.
 std::string run_bench(const BenchSchema& schema) {
   const std::string tmp = ::testing::TempDir();
-  std::string cmd = "cd '" + tmp + "' && FA_SCALE=64 FA_CELL_M=5400 '" +
-                    FA_BENCH_DIR "/" + std::string{schema.binary} + "'";
+  std::string cmd = "cd '" + tmp + "' && FA_SCALE=64 FA_CELL_M=5400 ";
+  if (!schema.extra_env.empty()) {
+    cmd += std::string{schema.extra_env} + " ";
+  }
+  cmd += "'" FA_BENCH_DIR "/" + std::string{schema.binary} + "'";
   if (!schema.extra_args.empty()) {
     cmd += " " + std::string{schema.extra_args};
   }
