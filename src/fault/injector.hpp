@@ -8,6 +8,12 @@
 //   exec.chunk      every fa::exec chunk body (forces task failures)
 //   synth.whp / synth.corpus / synth.counties   the synth loaders
 //   ingest.txr      per-transceiver record corruption in World::build
+//   net.frame.decode  inbound wire frames at the serving front door
+//                     (payload corrupted before decode, keyed by the
+//                     connection's request sequence)
+//   net.conn.slow   the front door's per-connection flush (one round
+//                     skipped, keyed by flush sequence — a client that
+//                     stops draining its socket)
 // plus whatever additional sites tests install via ScopedInjector.
 #pragma once
 

@@ -1,0 +1,150 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace fa::net {
+
+namespace {
+
+constexpr std::string_view kClientSource = "net.client";
+
+fault::Status errno_status(const char* what) {
+  return fault::Status::error(fault::ErrCode::kIoFailure, 0,
+                              std::string(kClientSource),
+                              std::string(what) + ": " + std::strerror(errno));
+}
+
+std::uint32_t read_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+fault::Result<Client> Client::connect(const std::string& host,
+                                      std::uint16_t port, int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return fault::Status::error(fault::ErrCode::kParse, 0,
+                                std::string(kClientSource),
+                                "not a numeric IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_status("socket");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const fault::Status s = errno_status("connect");
+    ::close(fd);
+    return s;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), rx_(std::move(other.rx_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    rx_ = std::move(other.rx_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+fault::Result<Client::Reply> Client::call(const serve::Request& request) {
+  if (fd_ < 0) {
+    return fault::Status::error(fault::ErrCode::kIoFailure, 0,
+                                std::string(kClientSource), "not connected");
+  }
+  const std::string out = frame(serve::wire::encode(request));
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  fault::Result<std::string> payload = read_frame();
+  if (!payload.ok()) return payload.status();
+  const std::uint8_t tag = serve::wire::peek_tag(payload.value());
+  Reply reply;
+  if (tag == static_cast<std::uint8_t>(serve::wire::Tag::kError)) {
+    fault::Result<WireError> err = decode_error(payload.value());
+    if (!err.ok()) return err.status();
+    reply.error = std::move(err).take();
+    return reply;
+  }
+  fault::Result<serve::Response> resp =
+      serve::wire::decode_response(payload.value());
+  if (!resp.ok()) return resp.status();
+  reply.response = std::move(resp).take();
+  return reply;
+}
+
+fault::Result<std::string> Client::read_frame() {
+  char buf[16 * 1024];
+  for (;;) {
+    if (rx_.size() >= 4) {
+      const std::uint32_t n = read_u32le(rx_.data());
+      if (n == 0 || n > kMaxFramePayload) {
+        return fault::Status::error(fault::ErrCode::kLimit, 0,
+                                    std::string(kClientSource),
+                                    "reply frame length out of range: " +
+                                        std::to_string(n));
+      }
+      if (rx_.size() >= 4u + n) {
+        std::string payload = rx_.substr(4, n);
+        rx_.erase(0, 4u + n);
+        return payload;
+      }
+    }
+    const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+    if (r > 0) {
+      rx_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      return fault::Status::error(fault::ErrCode::kTruncated, rx_.size(),
+                                  std::string(kClientSource),
+                                  "connection closed mid-reply");
+    }
+    if (errno == EINTR) continue;
+    return errno_status("recv");
+  }
+}
+
+}  // namespace fa::net

@@ -1,0 +1,63 @@
+// Blocking client for the fa::net binary protocol.
+//
+// One Client is one TCP connection issuing framed requests in lockstep:
+// call() encodes the typed request through the same canonical
+// serializer the server (and the cache fingerprints) use, writes one
+// frame, and blocks for exactly one reply frame. The reply is either
+// the matching typed response or a wire error — BUSY and RATE_LIMITED
+// are *answers*, not transport failures, so they surface in Reply
+// rather than as an error Status; the bench harness counts them as
+// sheds while a broken socket aborts the measurement.
+//
+// Not thread-safe: one Client per thread (the closed-loop bench model).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fault/status.hpp"
+#include "net/protocol.hpp"
+#include "serve/types.hpp"
+
+namespace fa::net {
+
+class Client {
+ public:
+  struct Reply {
+    std::optional<serve::Response> response;
+    std::optional<WireError> error;  // server said no (BUSY, ...)
+
+    bool ok() const { return response.has_value(); }
+  };
+
+  // Connects to a numeric IPv4 address ("127.0.0.1"). timeout_ms bounds
+  // connect, each send, and each receive.
+  static fault::Result<Client> connect(const std::string& host,
+                                       std::uint16_t port,
+                                       int timeout_ms = 5000);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // One framed round trip. An error Status means the conversation is
+  // broken (socket failure, malformed reply, oversized frame) and the
+  // Client should be discarded.
+  fault::Result<Reply> call(const serve::Request& request);
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  fault::Result<std::string> read_frame();
+
+  int fd_ = -1;
+  std::string rx_;  // bytes read past the current frame
+};
+
+}  // namespace fa::net

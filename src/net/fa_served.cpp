@@ -1,0 +1,117 @@
+// fa_served — the networked serving front door as a process.
+//
+//   fa_served [--port N] [--workers N] [--scale S] [--cell-m M]
+//             [--seed S] [--quota-qps Q] [--queue N] [--public]
+//
+// Builds the synthetic scenario, starts a serve::Server behind a
+// net::NetServer, and runs until SIGINT/SIGTERM. SIGTERM and SIGINT
+// trigger a graceful drain: the listener closes, admitted requests
+// finish and flush, then the process exits. SIGHUP rebuilds the
+// snapshot from the same scenario config (a stand-in for "new WHP
+// raster landed") while queries keep being served — the hot-swap path
+// exercised from the command line.
+//
+// Quick start (see README.md for the curl session):
+//   ./build/src/net/fa_served --port 8080 --scale 64 --cell-m 5400 &
+//   curl -s 'http://127.0.0.1:8080/health'
+//   curl -s -X POST 'http://127.0.0.1:8080/risk' -d '{"lon":-121.437,"lat":39.810}'
+//   curl -s 'http://127.0.0.1:8080/scenario/camp-fire-2018'
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "net/server.hpp"
+#include "serve/server.hpp"
+#include "synth/scenario.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_terminate = 0;
+volatile std::sig_atomic_t g_rebuild = 0;
+
+void on_terminate(int) { g_terminate = 1; }
+void on_rebuild(int) { g_rebuild = 1; }
+
+double arg_double(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fa;
+
+  if (arg_flag(argc, argv, "--help")) {
+    std::fprintf(
+        stderr,
+        "usage: fa_served [--port N] [--workers N] [--scale S] [--cell-m M]\n"
+        "                 [--seed S] [--quota-qps Q] [--queue N] [--public]\n");
+    return 2;
+  }
+
+  synth::ScenarioConfig scenario;
+  scenario.corpus_scale = arg_double(argc, argv, "--scale", 16.0);
+  scenario.whp_cell_m = arg_double(argc, argv, "--cell-m", 2700.0);
+  scenario.seed = static_cast<std::uint64_t>(
+      arg_double(argc, argv, "--seed", 20191022.0));
+
+  net::NetServerOptions options;
+  options.port =
+      static_cast<std::uint16_t>(arg_double(argc, argv, "--port", 8080.0));
+  options.workers = static_cast<int>(arg_double(argc, argv, "--workers", 4.0));
+  options.queue_capacity = static_cast<std::size_t>(
+      arg_double(argc, argv, "--queue", 256.0));
+  options.quota_qps = arg_double(argc, argv, "--quota-qps", 0.0);
+  options.loopback_only = !arg_flag(argc, argv, "--public");
+
+  std::fprintf(stderr, "fa_served: building scenario (scale=%.0f cell=%.0fm)\n",
+               scenario.corpus_scale, scenario.whp_cell_m);
+  try {
+    serve::Server server(scenario);
+    net::NetServer net(server, options);
+    std::fprintf(stderr, "fa_served: serving epoch %llu on port %u\n",
+                 static_cast<unsigned long long>(server.epoch()),
+                 static_cast<unsigned>(net.port()));
+
+    std::signal(SIGTERM, on_terminate);
+    std::signal(SIGINT, on_terminate);
+    std::signal(SIGHUP, on_rebuild);
+
+    while (!g_terminate) {
+      if (g_rebuild) {
+        g_rebuild = 0;
+        std::fprintf(stderr, "fa_served: rebuilding snapshot\n");
+        const fault::Status s = server.rebuild(scenario);
+        if (s.ok()) {
+          std::fprintf(stderr, "fa_served: now serving epoch %llu\n",
+                       static_cast<unsigned long long>(server.epoch()));
+        } else {
+          std::fprintf(stderr, "fa_served: rebuild failed: %s\n",
+                       s.to_string().c_str());
+        }
+      }
+      ::usleep(50 * 1000);
+    }
+    std::fprintf(stderr, "fa_served: draining\n");
+    net.shutdown(/*drain=*/true);
+  } catch (const fault::IoError& e) {
+    std::fprintf(stderr, "fa_served: fatal: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "fa_served: bye\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "net/protocol.hpp"
+
+namespace fa::net {
+
+namespace {
+
+constexpr std::string_view kFrameSource = "net.frame";
+
+std::uint32_t read_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kTooLarge:
+      return "too_large";
+    case ErrorCode::kRateLimited:
+      return "rate_limited";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+std::string frame(std::string_view payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((n >> (8 * i)) & 0xFF));
+  }
+  out.append(payload);
+  return out;
+}
+
+std::string error_payload(ErrorCode code, std::string_view message) {
+  // Messages are diagnostics, not data; keep the cheap-reject frames
+  // small and the u16 length honest.
+  if (message.size() > 512) message = message.substr(0, 512);
+  std::string payload;
+  payload.reserve(6 + message.size());
+  serve::wire::detail::put_header(payload, serve::wire::Tag::kError);
+  serve::wire::detail::put_u16(payload,
+                               static_cast<std::uint16_t>(code));
+  serve::wire::detail::put_u16(payload,
+                               static_cast<std::uint16_t>(message.size()));
+  payload.append(message);
+  return payload;
+}
+
+std::string error_frame(ErrorCode code, std::string_view message) {
+  return frame(error_payload(code, message));
+}
+
+fault::Result<WireError> decode_error(std::string_view payload) {
+  const auto fail = [&](fault::ErrCode code, std::size_t offset,
+                        std::string message) {
+    return fault::Status::error(code, offset, std::string(kFrameSource),
+                                std::move(message));
+  };
+  if (payload.size() < 6) {
+    return fail(fault::ErrCode::kTruncated, payload.size(),
+                "error payload shorter than its fixed header");
+  }
+  if (static_cast<std::uint8_t>(payload[0]) != serve::wire::kWireVersion) {
+    return fail(fault::ErrCode::kParse, 0, "unsupported wire version");
+  }
+  if (static_cast<std::uint8_t>(payload[1]) !=
+      static_cast<std::uint8_t>(serve::wire::Tag::kError)) {
+    return fail(fault::ErrCode::kParse, 1, "not an error payload");
+  }
+  const std::uint16_t code =
+      static_cast<std::uint16_t>(static_cast<unsigned char>(payload[2])) |
+      static_cast<std::uint16_t>(static_cast<unsigned char>(payload[3])) << 8;
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(static_cast<unsigned char>(payload[4])) |
+      static_cast<std::uint16_t>(static_cast<unsigned char>(payload[5])) << 8;
+  if (payload.size() != 6u + len) {
+    return fail(fault::ErrCode::kSchema, 6,
+                "error message length does not match payload");
+  }
+  if (code < 1 ||
+      code > static_cast<std::uint16_t>(ErrorCode::kShuttingDown)) {
+    return fail(fault::ErrCode::kOutOfRange, 2,
+                "unknown error code " + std::to_string(code));
+  }
+  WireError e;
+  e.code = static_cast<ErrorCode>(code);
+  e.message = std::string(payload.substr(6));
+  return e;
+}
+
+void FrameAssembler::feed(std::string_view bytes) {
+  if (!status_.ok()) return;
+  buf_.append(bytes);
+}
+
+fault::Result<std::optional<std::string>> FrameAssembler::next() {
+  if (!status_.ok()) return status_;
+  if (buf_.size() < 4) return std::optional<std::string>{};
+  const std::uint32_t n = read_u32le(buf_.data());
+  if (n == 0) {
+    status_ = fault::Status::error(fault::ErrCode::kParse, 0,
+                                   std::string(kFrameSource),
+                                   "zero-length frame");
+    return status_;
+  }
+  if (n > max_payload_) {
+    status_ = fault::Status::error(
+        fault::ErrCode::kLimit, 0, std::string(kFrameSource),
+        "frame length " + std::to_string(n) + " exceeds cap " +
+            std::to_string(max_payload_));
+    return status_;
+  }
+  if (buf_.size() < 4u + n) return std::optional<std::string>{};
+  std::string payload = buf_.substr(4, n);
+  buf_.erase(0, 4u + n);
+  return std::optional<std::string>{std::move(payload)};
+}
+
+}  // namespace fa::net

@@ -1,0 +1,113 @@
+// fa::net wire framing over the serve canonical payloads.
+//
+// The binary protocol is length-prefixed frames on a plain TCP stream:
+//
+//   frame := u32 LE payload length N (1 <= N <= kMaxFramePayload)
+//            N payload bytes
+//
+// where the payload is exactly one serve::wire canonical payload
+// (version byte, type tag, body — see serve/wire.hpp). A client writes
+// request frames and reads, per request in order, either the matching
+// response frame or an error frame:
+//
+//   error payload := u8 version, u8 tag 0xEE,
+//                    u16 LE code (ErrorCode), u16 LE message length,
+//                    message bytes
+//
+// Error frames are the cheap-reject path: a BUSY or RATE_LIMITED answer
+// is encoded without touching the serving stack, which is what keeps
+// overload from ever stalling the snapshot hot-swap path.
+//
+// FrameAssembler is the receive-side state machine: feed() raw bytes,
+// next() complete payloads. It is deliberately merciless about framing
+// lies — a length prefix beyond the cap poisons the stream (the only
+// safe response is to drop the connection, since the byte stream can
+// never resynchronize).
+//
+// Fault seams (deterministic, via fa::fault::Injector::global()):
+//   net.frame.decode   armed: an inbound frame's payload is treated as
+//                      corrupt at the server (keyed by per-connection
+//                      frame sequence), exercising the BAD_REQUEST path
+//   net.conn.slow      armed: the server skips one flush round for the
+//                      connection (keyed by flush sequence), simulating
+//                      a client that stops draining its socket
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fault/status.hpp"
+#include "serve/wire.hpp"
+
+namespace fa::net {
+
+inline constexpr std::size_t kMaxFramePayload = 64 * 1024;
+
+inline constexpr std::string_view kFrameDecodeSite = "net.frame.decode";
+inline constexpr std::string_view kSlowClientSite = "net.conn.slow";
+
+// Wire error codes carried by 0xEE frames (and mapped onto HTTP status
+// codes by the shim).
+enum class ErrorCode : std::uint16_t {
+  kBadRequest = 1,    // malformed payload or unroutable HTTP target
+  kTooLarge = 2,      // framing/header/body size cap exceeded
+  kRateLimited = 3,   // per-client token bucket empty
+  kBusy = 4,          // admission queue full — load shed
+  kShuttingDown = 5,  // server draining; no new work admitted
+};
+
+std::string_view error_code_name(ErrorCode code);
+
+// One decoded error payload.
+struct WireError {
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+// -- frame encode ------------------------------------------------------
+
+// Wraps one payload in a length prefix.
+std::string frame(std::string_view payload);
+
+// Complete error frame (length prefix included), ready to write.
+std::string error_frame(ErrorCode code, std::string_view message);
+
+// Error payload only (no length prefix); serve::wire::peek_tag on it
+// yields Tag::kError.
+std::string error_payload(ErrorCode code, std::string_view message);
+
+fault::Result<WireError> decode_error(std::string_view payload);
+
+// -- receive-side framing ----------------------------------------------
+
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  // Appends raw socket bytes. No-op once poisoned.
+  void feed(std::string_view bytes);
+
+  // Extracts the next complete payload. nullopt = need more bytes; an
+  // error Status (source "net.frame") = the stream is poisoned: the
+  // length prefix exceeded the cap (kLimit) or declared an empty
+  // payload (kParse). After an error every subsequent call returns the
+  // same error.
+  fault::Result<std::optional<std::string>> next();
+
+  // A partial frame is pending (length prefix seen or partially seen,
+  // payload incomplete) — the read-timeout trigger: a peer that opens a
+  // frame must finish it.
+  bool mid_frame() const { return !buf_.empty(); }
+  std::size_t buffered() const { return buf_.size(); }
+  bool poisoned() const { return !status_.ok(); }
+
+ private:
+  std::size_t max_payload_;
+  std::string buf_;
+  fault::Status status_;
+};
+
+}  // namespace fa::net

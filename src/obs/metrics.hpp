@@ -56,6 +56,51 @@ inline constexpr std::string_view kServeSnapshotsRetired =
 inline constexpr std::string_view kServeSnapshotsReclaimed =
     "serve.snapshots.reclaimed";
 
+// -- network front door (`fa::net`) -----------------------------------
+// Connection lifecycle.
+inline constexpr std::string_view kNetConnectionsAccepted =
+    "net.connections.accepted";
+inline constexpr std::string_view kNetConnectionsClosed =
+    "net.connections.closed";
+// Connections dropped because their outbox exceeded the slow-client
+// cap (the reader stopped draining while responses kept landing).
+inline constexpr std::string_view kNetConnectionsDroppedSlow =
+    "net.connections.dropped_slow";
+// Connections closed by the idle sweep (no traffic) or the read-timeout
+// sweep (stalled mid-frame).
+inline constexpr std::string_view kNetTimeouts = "net.timeouts";
+
+// Traffic volume.
+inline constexpr std::string_view kNetBytesIn = "net.bytes.in";
+inline constexpr std::string_view kNetBytesOut = "net.bytes.out";
+// Complete binary frames parsed off / written to sockets.
+inline constexpr std::string_view kNetFramesIn = "net.frames.in";
+inline constexpr std::string_view kNetFramesOut = "net.frames.out";
+// Complete HTTP requests parsed (the shim shares all other counters).
+inline constexpr std::string_view kNetHttpRequests = "net.http.requests";
+
+// Admission control. Every parsed request lands in exactly one of:
+// ok (queued and answered), bad (malformed), shed (queue full -> BUSY),
+// rate_limited (token bucket empty), or shutdown_reject (draining).
+inline constexpr std::string_view kNetRequestsOk = "net.requests.ok";
+inline constexpr std::string_view kNetRequestsBad = "net.requests.bad";
+inline constexpr std::string_view kNetSheds = "net.sheds";
+inline constexpr std::string_view kNetRateLimited = "net.rate_limited";
+inline constexpr std::string_view kNetShutdownRejects =
+    "net.shutdown_rejects";
+// Admission-queue depth observed at enqueue time (histogram).
+inline constexpr std::string_view kNetQueueDepth = "net.queue.depth";
+
+// Per-endpoint latency, enqueue to response-encoded (histograms, ns).
+inline constexpr std::string_view kNetLatencyPointRiskNs =
+    "net.latency.point_risk_ns";
+inline constexpr std::string_view kNetLatencyBBoxNs = "net.latency.bbox_ns";
+inline constexpr std::string_view kNetLatencyProviderNs =
+    "net.latency.provider_ns";
+inline constexpr std::string_view kNetLatencyTopKNs = "net.latency.top_k_ns";
+inline constexpr std::string_view kNetLatencyScenarioNs =
+    "net.latency.scenario_ns";
+
 // -- prepared-geometry kernels ----------------------------------------
 // PreparedRing builds (one per ring: outer, hole, or multipolygon part).
 inline constexpr std::string_view kGeoPreparedBuilds = "geo.prepared.builds";

@@ -39,21 +39,17 @@ synth::ScenarioConfig Server::config() const {
   return store_.acquire()->world().config();
 }
 
-template <class Query, class Response>
-Response Server::handle(const Query& q) {
-  queries_.add();
-  const bool timed = obs::enabled();
-  const std::uint64_t t0 = timed ? registry_.now_ns() : 0;
+template <class Query, class Resp>
+Resp Server::answer(const Query& q) {
   // One snapshot acquisition per request: the epoch this pins is the
   // epoch of every byte in the answer, hot-swap or not.
   const std::shared_ptr<const Snapshot> snap = store_.acquire();
   const Epoch epoch = snap->epoch();
-  Response r;
+  Resp r;
   if (options_.cache_enabled) {
     const std::uint64_t fp = fingerprint(q);
     std::optional<CachedResponse> hit = cache_.get(epoch, fp);
-    if (const Response* cached =
-            hit ? std::get_if<Response>(&*hit) : nullptr) {
+    if (const Resp* cached = hit ? std::get_if<Resp>(&*hit) : nullptr) {
       r = *cached;
     } else {
       r = evaluate(*snap, q);
@@ -62,34 +58,52 @@ Response Server::handle(const Query& q) {
   } else {
     r = evaluate(*snap, q);
   }
+  return r;
+}
+
+Response Server::handle(const Request& request, Dispatch dispatch) {
+  queries_.add();
+  const bool timed = obs::enabled();
+  const std::uint64_t t0 = timed ? registry_.now_ns() : 0;
+  Response r = std::visit(
+      [&](const auto& q) -> Response {
+        using Q = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<Q, PointRiskQuery>) {
+          if (dispatch == Dispatch::kBatched) return batcher_.submit(q);
+          return answer<Q, PointRiskResponse>(q);
+        } else if constexpr (std::is_same_v<Q, BBoxAggregateQuery>) {
+          return answer<Q, BBoxAggregateResponse>(q);
+        } else if constexpr (std::is_same_v<Q, ProviderExposureQuery>) {
+          return answer<Q, ProviderExposureResponse>(q);
+        } else {
+          static_assert(std::is_same_v<Q, TopKSitesQuery>);
+          return answer<Q, TopKSitesResponse>(q);
+        }
+      },
+      request);
   if (timed) query_ns_.record(registry_.now_ns() - t0);
   return r;
 }
 
 PointRiskResponse Server::point_risk(const PointRiskQuery& q) {
-  return handle<PointRiskQuery, PointRiskResponse>(q);
+  return std::get<PointRiskResponse>(handle(Request{q}));
 }
 
 BBoxAggregateResponse Server::bbox_aggregate(const BBoxAggregateQuery& q) {
-  return handle<BBoxAggregateQuery, BBoxAggregateResponse>(q);
+  return std::get<BBoxAggregateResponse>(handle(Request{q}));
 }
 
 ProviderExposureResponse Server::provider_exposure(
     const ProviderExposureQuery& q) {
-  return handle<ProviderExposureQuery, ProviderExposureResponse>(q);
+  return std::get<ProviderExposureResponse>(handle(Request{q}));
 }
 
 TopKSitesResponse Server::top_k_sites(const TopKSitesQuery& q) {
-  return handle<TopKSitesQuery, TopKSitesResponse>(q);
+  return std::get<TopKSitesResponse>(handle(Request{q}, Dispatch::kDirect));
 }
 
 PointRiskResponse Server::point_risk_batched(const PointRiskQuery& q) {
-  queries_.add();
-  const bool timed = obs::enabled();
-  const std::uint64_t t0 = timed ? registry_.now_ns() : 0;
-  PointRiskResponse r = batcher_.submit(q);
-  if (timed) query_ns_.record(registry_.now_ns() - t0);
-  return r;
+  return std::get<PointRiskResponse>(handle(Request{q}, Dispatch::kBatched));
 }
 
 void Server::evaluate_batch(std::span<const PointRiskQuery> queries,

@@ -23,8 +23,15 @@
 #include "serve/cache.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/types.hpp"
+#include "serve/wire.hpp"
 
 namespace fa::serve {
+
+// How handle() routes a request: kDirect evaluates on the calling
+// thread; kBatched routes point queries through the flat-combining
+// admission queue (other shapes, which never batch, fall back to the
+// direct path — same bytes either way).
+enum class Dispatch : std::uint8_t { kDirect, kBatched };
 
 struct ServerOptions {
   // Result cache; disabling makes every request recompute (the
@@ -53,6 +60,15 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   // -- queries (safe from any thread) ----------------------------------
+  // THE entry point: every query shape, one uniform surface. The wire
+  // decoder, the batcher admission path, and the cache all dispatch
+  // through here; the response alternative always matches the request
+  // alternative (PointRiskQuery -> PointRiskResponse, etc.), and the
+  // bytes are identical to the legacy typed methods below
+  // (tests/serve/unified_api_test.cpp pins both).
+  Response handle(const Request& request, Dispatch dispatch = Dispatch::kDirect);
+
+  // Typed convenience wrappers over handle().
   PointRiskResponse point_risk(const PointRiskQuery& q);
   BBoxAggregateResponse bbox_aggregate(const BBoxAggregateQuery& q);
   ProviderExposureResponse provider_exposure(const ProviderExposureQuery& q);
@@ -79,8 +95,9 @@ class Server {
   obs::Registry& registry() { return registry_; }
 
  private:
-  template <class Query, class Response>
-  Response handle(const Query& q);
+  // Cache-then-evaluate for one typed query; the body behind handle().
+  template <class Query, class Resp>
+  Resp answer(const Query& q);
   void evaluate_batch(std::span<const PointRiskQuery> queries,
                       std::span<PointRiskResponse> responses);
 

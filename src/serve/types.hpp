@@ -10,7 +10,6 @@
 #pragma once
 
 #include <array>
-#include <bit>
 #include <cstdint>
 #include <variant>
 #include <vector>
@@ -118,65 +117,24 @@ struct TopKSitesResponse {
   bool operator==(const TopKSitesResponse&) const = default;
 };
 
-// What the result cache stores: one slot type for all four responses,
-// so a fingerprint collision across query *types* (already prevented by
-// the type tag below) can also never be misread as the wrong shape.
-using CachedResponse =
-    std::variant<PointRiskResponse, BBoxAggregateResponse,
-                 ProviderExposureResponse, TopKSitesResponse>;
+// -- the unified request/response surface ------------------------------
+// One type-erased shape for every query the serving layer answers. The
+// wire decoder, the batcher admission path, and the result cache all
+// dispatch through these two variants (Server::handle is the single
+// entry point); the typed query structs above stay the ergonomic API
+// for in-process callers.
+using Request = std::variant<PointRiskQuery, BBoxAggregateQuery,
+                             ProviderExposureQuery, TopKSitesQuery>;
+using Response = std::variant<PointRiskResponse, BBoxAggregateResponse,
+                              ProviderExposureResponse, TopKSitesResponse>;
 
-// -- query fingerprints ------------------------------------------------
-// FNV-1a over the query's canonical bytes, seeded with a per-type tag.
-// Doubles hash via their bit pattern, so two queries fingerprint equal
-// iff they compare equal (-0.0 vs 0.0 differ; callers normalize if they
-// care). The cache key is (epoch, fingerprint), epoch added by the
-// cache itself.
+// What the result cache stores: the same one-slot-for-every-shape
+// variant, so a fingerprint collision across query *types* (already
+// prevented by the wire type tag) can also never be misread as the
+// wrong shape.
+using CachedResponse = Response;
 
-namespace detail {
-
-inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-inline std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (i * 8)) & 0xFF;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-inline std::uint64_t fnv_f64(std::uint64_t h, double v) {
-  return fnv_u64(h, std::bit_cast<std::uint64_t>(v));
-}
-
-}  // namespace detail
-
-inline std::uint64_t fingerprint(const PointRiskQuery& q) {
-  std::uint64_t h = detail::fnv_u64(detail::kFnvOffset, 1);
-  h = detail::fnv_f64(h, q.point.lon);
-  h = detail::fnv_f64(h, q.point.lat);
-  return detail::fnv_f64(h, q.neighborhood_m);
-}
-
-inline std::uint64_t fingerprint(const BBoxAggregateQuery& q) {
-  std::uint64_t h = detail::fnv_u64(detail::kFnvOffset, 2);
-  h = detail::fnv_f64(h, q.bbox.min_x);
-  h = detail::fnv_f64(h, q.bbox.min_y);
-  h = detail::fnv_f64(h, q.bbox.max_x);
-  return detail::fnv_f64(h, q.bbox.max_y);
-}
-
-inline std::uint64_t fingerprint(const ProviderExposureQuery& q) {
-  return detail::fnv_u64(detail::kFnvOffset,
-                         0x300 + static_cast<std::uint64_t>(q.provider));
-}
-
-inline std::uint64_t fingerprint(const TopKSitesQuery& q) {
-  std::uint64_t h = detail::fnv_u64(detail::kFnvOffset, 4);
-  h = detail::fnv_f64(h, q.center.lon);
-  h = detail::fnv_f64(h, q.center.lat);
-  h = detail::fnv_f64(h, q.radius_m);
-  return detail::fnv_u64(h, q.k);
-}
+// Query fingerprints are FNV-1a over the query's canonical wire payload
+// and live next to the codec they must never drift from: serve/wire.hpp.
 
 }  // namespace fa::serve

@@ -1,0 +1,307 @@
+#include "serve/wire.hpp"
+
+#include <utility>
+
+namespace fa::serve::wire {
+
+namespace {
+
+constexpr std::string_view kSource = "serve.wire";
+
+fault::Status err(fault::ErrCode code, std::size_t offset,
+                  std::string message) {
+  return fault::Status::error(code, offset, std::string(kSource),
+                              std::move(message));
+}
+
+// Cursor over a payload; every read is bounds-checked and records the
+// offset of the first missing byte for truncation diagnostics.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+  bool get_u8(std::uint8_t& out) {
+    if (remaining() < 1) return false;
+    out = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool get_u32(std::uint32_t& out) {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool get_u64(std::uint64_t& out) {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool get_i32(std::int32_t& out) {
+    std::uint32_t u = 0;
+    if (!get_u32(u)) return false;
+    out = static_cast<std::int32_t>(u);
+    return true;
+  }
+  bool get_f64(double& out) {
+    std::uint64_t u = 0;
+    if (!get_u64(u)) return false;
+    out = std::bit_cast<double>(u);
+    return true;
+  }
+  bool get_bool(bool& out) {
+    std::uint8_t u = 0;
+    if (!get_u8(u)) return false;
+    out = u != 0;
+    return true;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+fault::Status truncated(const Reader& r) {
+  return err(fault::ErrCode::kTruncated, r.offset(),
+             "payload ends mid-field");
+}
+
+// Version + tag, shared by both decoders.
+fault::Result<Tag> decode_header(Reader& r) {
+  std::uint8_t version = 0;
+  std::uint8_t tag = 0;
+  if (!r.get_u8(version) || !r.get_u8(tag)) return truncated(r);
+  if (version != kWireVersion) {
+    return err(fault::ErrCode::kParse, 0,
+               "unsupported wire version " + std::to_string(version));
+  }
+  return static_cast<Tag>(tag);
+}
+
+// A complete body must consume the payload exactly; trailing bytes mean
+// the frame length lied about the content.
+fault::Status check_drained(const Reader& r) {
+  if (r.done()) return {};
+  return err(fault::ErrCode::kSchema, r.offset(),
+             std::to_string(r.remaining()) + " trailing bytes after body");
+}
+
+template <class T>
+fault::Result<T> complete(Reader& r, T value) {
+  if (fault::Status s = check_drained(r); !s.ok()) return s;
+  return value;
+}
+
+}  // namespace
+
+std::string encode(const Request& request) {
+  std::string out;
+  out.reserve(40);
+  detail::put_payload(out, request);
+  return out;
+}
+
+std::string encode(const Response& response) {
+  std::string out;
+  std::visit(
+      [&out](const auto& r) {
+        using R = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<R, PointRiskResponse>) {
+          out.reserve(40);
+          detail::put_header(out, Tag::kPointRiskResponse);
+          detail::put_u64(out, r.epoch);
+          detail::put_u8(out, static_cast<std::uint8_t>(r.whp));
+          detail::put_u8(out, r.at_risk ? 1 : 0);
+          detail::put_u8(out, r.urban ? 1 : 0);
+          detail::put_u8(out, r.roadside ? 1 : 0);
+          detail::put_i32(out, r.state);
+          detail::put_i32(out, r.county);
+          detail::put_u32(out, r.nearby_txr);
+          detail::put_u32(out, r.nearby_at_risk);
+        } else if constexpr (std::is_same_v<R, BBoxAggregateResponse>) {
+          out.reserve(128);
+          detail::put_header(out, Tag::kBBoxAggregateResponse);
+          detail::put_u64(out, r.epoch);
+          detail::put_u64(out, r.transceivers);
+          for (const std::uint64_t c : r.by_class) detail::put_u64(out, c);
+          detail::put_u64(out, r.at_risk);
+          for (const std::uint64_t p : r.by_provider) detail::put_u64(out, p);
+        } else if constexpr (std::is_same_v<R, ProviderExposureResponse>) {
+          out.reserve(48);
+          detail::put_header(out, Tag::kProviderExposureResponse);
+          detail::put_u64(out, r.epoch);
+          detail::put_u8(out, static_cast<std::uint8_t>(r.provider));
+          detail::put_u64(out, r.fleet);
+          detail::put_u64(out, r.moderate);
+          detail::put_u64(out, r.high);
+          detail::put_u64(out, r.very_high);
+        } else {
+          static_assert(std::is_same_v<R, TopKSitesResponse>);
+          out.reserve(16 + r.sites.size() * 29);
+          detail::put_header(out, Tag::kTopKSitesResponse);
+          detail::put_u64(out, r.epoch);
+          detail::put_u32(out, r.candidates);
+          detail::put_u32(out, static_cast<std::uint32_t>(r.sites.size()));
+          for (const RankedSite& site : r.sites) {
+            detail::put_u32(out, site.txr_id);
+            detail::put_f64(out, site.position.lon);
+            detail::put_f64(out, site.position.lat);
+            detail::put_u8(out, static_cast<std::uint8_t>(site.whp));
+            detail::put_f64(out, site.distance_m);
+          }
+        }
+      },
+      response);
+  return out;
+}
+
+fault::Result<Request> decode_request(std::string_view payload) {
+  Reader r(payload);
+  fault::Result<Tag> header = decode_header(r);
+  if (!header.ok()) return header.status();
+  switch (header.value()) {
+    case Tag::kPointRiskQuery: {
+      PointRiskQuery q;
+      if (!r.get_f64(q.point.lon) || !r.get_f64(q.point.lat) ||
+          !r.get_f64(q.neighborhood_m)) {
+        return truncated(r);
+      }
+      return complete(r, Request{q});
+    }
+    case Tag::kBBoxAggregateQuery: {
+      BBoxAggregateQuery q;
+      if (!r.get_f64(q.bbox.min_x) || !r.get_f64(q.bbox.min_y) ||
+          !r.get_f64(q.bbox.max_x) || !r.get_f64(q.bbox.max_y)) {
+        return truncated(r);
+      }
+      return complete(r, Request{q});
+    }
+    case Tag::kProviderExposureQuery: {
+      std::uint8_t provider = 0;
+      if (!r.get_u8(provider)) return truncated(r);
+      if (provider >= cellnet::kNumProviders) {
+        return err(fault::ErrCode::kOutOfRange, r.offset() - 1,
+                   "provider " + std::to_string(provider) + " out of range");
+      }
+      ProviderExposureQuery q;
+      q.provider = static_cast<cellnet::Provider>(provider);
+      return complete(r, Request{q});
+    }
+    case Tag::kTopKSitesQuery: {
+      TopKSitesQuery q;
+      if (!r.get_f64(q.center.lon) || !r.get_f64(q.center.lat) ||
+          !r.get_f64(q.radius_m) || !r.get_u32(q.k)) {
+        return truncated(r);
+      }
+      if (q.k > wire::kMaxTopK) {
+        return err(fault::ErrCode::kOutOfRange, r.offset() - 4,
+                   "k " + std::to_string(q.k) + " exceeds limit " +
+                       std::to_string(kMaxTopK));
+      }
+      return complete(r, Request{q});
+    }
+    default:
+      return err(fault::ErrCode::kParse, 1,
+                 "unknown request tag " +
+                     std::to_string(static_cast<int>(header.value())));
+  }
+}
+
+fault::Result<Response> decode_response(std::string_view payload) {
+  Reader r(payload);
+  fault::Result<Tag> header = decode_header(r);
+  if (!header.ok()) return header.status();
+  switch (header.value()) {
+    case Tag::kPointRiskResponse: {
+      PointRiskResponse resp;
+      std::uint8_t whp = 0;
+      if (!r.get_u64(resp.epoch) || !r.get_u8(whp) ||
+          !r.get_bool(resp.at_risk) || !r.get_bool(resp.urban) ||
+          !r.get_bool(resp.roadside) || !r.get_i32(resp.state) ||
+          !r.get_i32(resp.county) || !r.get_u32(resp.nearby_txr) ||
+          !r.get_u32(resp.nearby_at_risk)) {
+        return truncated(r);
+      }
+      if (whp >= synth::kNumWhpClasses) {
+        return err(fault::ErrCode::kOutOfRange, 9,
+                   "whp class " + std::to_string(whp) + " out of range");
+      }
+      resp.whp = static_cast<synth::WhpClass>(whp);
+      return complete(r, Response{resp});
+    }
+    case Tag::kBBoxAggregateResponse: {
+      BBoxAggregateResponse resp;
+      bool ok = r.get_u64(resp.epoch) && r.get_u64(resp.transceivers);
+      for (std::uint64_t& c : resp.by_class) ok = ok && r.get_u64(c);
+      ok = ok && r.get_u64(resp.at_risk);
+      for (std::uint64_t& p : resp.by_provider) ok = ok && r.get_u64(p);
+      if (!ok) return truncated(r);
+      return complete(r, Response{resp});
+    }
+    case Tag::kProviderExposureResponse: {
+      ProviderExposureResponse resp;
+      std::uint8_t provider = 0;
+      if (!r.get_u64(resp.epoch) || !r.get_u8(provider) ||
+          !r.get_u64(resp.fleet) || !r.get_u64(resp.moderate) ||
+          !r.get_u64(resp.high) || !r.get_u64(resp.very_high)) {
+        return truncated(r);
+      }
+      if (provider >= cellnet::kNumProviders) {
+        return err(fault::ErrCode::kOutOfRange, 10,
+                   "provider " + std::to_string(provider) + " out of range");
+      }
+      resp.provider = static_cast<cellnet::Provider>(provider);
+      return complete(r, Response{resp});
+    }
+    case Tag::kTopKSitesResponse: {
+      TopKSitesResponse resp;
+      std::uint32_t n = 0;
+      if (!r.get_u64(resp.epoch) || !r.get_u32(resp.candidates) ||
+          !r.get_u32(n)) {
+        return truncated(r);
+      }
+      if (n > kMaxTopK) {
+        return err(fault::ErrCode::kOutOfRange, r.offset() - 4,
+                   "site count " + std::to_string(n) + " exceeds limit " +
+                       std::to_string(kMaxTopK));
+      }
+      resp.sites.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        RankedSite site;
+        std::uint8_t whp = 0;
+        if (!r.get_u32(site.txr_id) || !r.get_f64(site.position.lon) ||
+            !r.get_f64(site.position.lat) || !r.get_u8(whp) ||
+            !r.get_f64(site.distance_m)) {
+          return truncated(r);
+        }
+        if (whp >= synth::kNumWhpClasses) {
+          return err(fault::ErrCode::kOutOfRange, r.offset(),
+                     "whp class " + std::to_string(whp) + " out of range");
+        }
+        site.whp = static_cast<synth::WhpClass>(whp);
+        resp.sites.push_back(site);
+      }
+      return complete(r, Response{resp});
+    }
+    default:
+      return err(fault::ErrCode::kParse, 1,
+                 "unknown response tag " +
+                     std::to_string(static_cast<int>(header.value())));
+  }
+}
+
+}  // namespace fa::serve::wire

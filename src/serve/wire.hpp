@@ -1,0 +1,219 @@
+// Canonical byte layout for the serve request/response model — ONE
+// serializer shared by cache fingerprinting and the network codec, so
+// hashing and encoding can never drift.
+//
+// Every encodable value has exactly one canonical payload:
+//
+//   payload := u8 version (kWireVersion)
+//              u8 type tag (Tag)
+//              body (little-endian fixed-width fields; see wire.cpp)
+//
+// Doubles are canonicalized on write: -0.0 is normalized to +0.0 (the
+// two compare equal but differ in bit pattern, the old fingerprint
+// footgun), then serialized via their bit pattern. NaNs pass through
+// bit-exactly. A query's fingerprint is FNV-1a over its canonical
+// payload, so two queries fingerprint equal iff their canonical
+// encodings are byte-identical.
+//
+// The same payloads travel the wire: fa::net frames are a u32 length
+// prefix followed by one canonical payload (plus an error payload type
+// the serving model itself never produces — see net/protocol.hpp).
+// decode_request/decode_response are total functions returning
+// fault::Result — malformed bytes (truncated, trailing garbage, bad
+// tag, out-of-domain enum, absurd counts) come back as a Status, never
+// UB; tests/net/codec_test.cpp fuzzes them through fa::fault.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "fault/status.hpp"
+#include "serve/types.hpp"
+
+namespace fa::serve::wire {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+// Payload type tags. Requests are 0x01..; responses mirror them with
+// the high bit set; 0xEE is the net-layer error payload (encoded and
+// decoded in fa::net, reserved here so the tag space has one owner).
+enum class Tag : std::uint8_t {
+  kPointRiskQuery = 0x01,
+  kBBoxAggregateQuery = 0x02,
+  kProviderExposureQuery = 0x03,
+  kTopKSitesQuery = 0x04,
+  kPointRiskResponse = 0x81,
+  kBBoxAggregateResponse = 0x82,
+  kProviderExposureResponse = 0x83,
+  kTopKSitesResponse = 0x84,
+  kError = 0xEE,
+};
+
+// Largest TopKSitesQuery::k the decoder accepts; bounds the response
+// payload (~30 KiB) under the net layer's 64 KiB frame cap.
+inline constexpr std::uint32_t kMaxTopK = 1024;
+
+namespace detail {
+
+// Byte sinks the canonical writers are templated over: std::string for
+// wire encoding, FixedSink for zero-allocation fingerprinting (every
+// query payload is <= 64 bytes).
+struct FixedSink {
+  std::array<unsigned char, 64> buf;
+  std::size_t n = 0;
+  void append(const void* p, std::size_t len) {
+    std::memcpy(buf.data() + n, p, len);
+    n += len;
+  }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(buf.data()), n};
+  }
+};
+
+inline void sink_append(std::string& s, const void* p, std::size_t len) {
+  s.append(static_cast<const char*>(p), len);
+}
+inline void sink_append(FixedSink& s, const void* p, std::size_t len) {
+  s.append(p, len);
+}
+
+template <class Sink>
+void put_u8(Sink& s, std::uint8_t v) {
+  sink_append(s, &v, 1);
+}
+
+template <class Sink>
+void put_u16(Sink& s, std::uint16_t v) {
+  const unsigned char b[2] = {static_cast<unsigned char>(v),
+                              static_cast<unsigned char>(v >> 8)};
+  sink_append(s, b, 2);
+}
+
+template <class Sink>
+void put_u32(Sink& s, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  sink_append(s, b, 4);
+}
+
+template <class Sink>
+void put_u64(Sink& s, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  sink_append(s, b, 8);
+}
+
+template <class Sink>
+void put_i32(Sink& s, std::int32_t v) {
+  put_u32(s, static_cast<std::uint32_t>(v));
+}
+
+// The one canonicalization point: -0.0 normalizes to +0.0 before the
+// bit pattern is written.
+template <class Sink>
+void put_f64(Sink& s, double v) {
+  if (v == 0.0) v = 0.0;
+  put_u64(s, std::bit_cast<std::uint64_t>(v));
+}
+
+template <class Sink>
+void put_header(Sink& s, Tag tag) {
+  put_u8(s, kWireVersion);
+  put_u8(s, static_cast<std::uint8_t>(tag));
+}
+
+// -- canonical payloads, one writer per type ---------------------------
+
+template <class Sink>
+void put_payload(Sink& s, const PointRiskQuery& q) {
+  put_header(s, Tag::kPointRiskQuery);
+  put_f64(s, q.point.lon);
+  put_f64(s, q.point.lat);
+  put_f64(s, q.neighborhood_m);
+}
+
+template <class Sink>
+void put_payload(Sink& s, const BBoxAggregateQuery& q) {
+  put_header(s, Tag::kBBoxAggregateQuery);
+  put_f64(s, q.bbox.min_x);
+  put_f64(s, q.bbox.min_y);
+  put_f64(s, q.bbox.max_x);
+  put_f64(s, q.bbox.max_y);
+}
+
+template <class Sink>
+void put_payload(Sink& s, const ProviderExposureQuery& q) {
+  put_header(s, Tag::kProviderExposureQuery);
+  put_u8(s, static_cast<std::uint8_t>(q.provider));
+}
+
+template <class Sink>
+void put_payload(Sink& s, const TopKSitesQuery& q) {
+  put_header(s, Tag::kTopKSitesQuery);
+  put_f64(s, q.center.lon);
+  put_f64(s, q.center.lat);
+  put_f64(s, q.radius_m);
+  put_u32(s, q.k);
+}
+
+template <class Sink>
+void put_payload(Sink& s, const Request& q) {
+  std::visit([&s](const auto& query) { put_payload(s, query); }, q);
+}
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace detail
+
+// -- wire codec (implemented in wire.cpp) ------------------------------
+
+// Canonical payload bytes (version + tag + body) for one value.
+std::string encode(const Request& request);
+std::string encode(const Response& response);
+
+// Inverse of encode. Errors (source "serve.wire"): kTruncated when the
+// payload ends mid-field, kParse on an unknown/mismatched tag or
+// version, kOutOfRange on out-of-domain enums or counts, kSchema on
+// trailing bytes after a complete body.
+fault::Result<Request> decode_request(std::string_view payload);
+fault::Result<Response> decode_response(std::string_view payload);
+
+// Tag of a payload without decoding it (0 when empty).
+inline std::uint8_t peek_tag(std::string_view payload) {
+  return payload.size() >= 2 ? static_cast<std::uint8_t>(payload[1]) : 0;
+}
+
+}  // namespace fa::serve::wire
+
+namespace fa::serve {
+
+// FNV-1a over the query's canonical wire payload. One definition for
+// every query shape — the typed overloads the cache and server call are
+// this same template, so the fingerprint can never drift from the
+// encoding.
+template <class Q>
+  requires std::is_same_v<Q, PointRiskQuery> ||
+           std::is_same_v<Q, BBoxAggregateQuery> ||
+           std::is_same_v<Q, ProviderExposureQuery> ||
+           std::is_same_v<Q, TopKSitesQuery> || std::is_same_v<Q, Request>
+std::uint64_t fingerprint(const Q& q) {
+  wire::detail::FixedSink sink;
+  wire::detail::put_payload(sink, q);
+  return wire::detail::fnv1a(sink.view());
+}
+
+}  // namespace fa::serve

@@ -1,0 +1,404 @@
+// Round-trip property suite for the canonical wire codec plus
+// deterministic malformed-frame fuzzing through fa::fault. The codec is
+// the single serializer behind both cache fingerprints and the network
+// protocol, so these properties carry the serving determinism contract
+// onto the wire: encode∘decode = id, fingerprint = FNV-1a(canonical
+// bytes), and no byte string — however mangled — reaches UB.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "net/protocol.hpp"
+#include "serve/types.hpp"
+#include "serve/wire.hpp"
+
+namespace fa::serve {
+namespace {
+
+using wire::Tag;
+
+constexpr std::uint64_t kSeed = 0x5eedf00dULL;
+constexpr int kRounds = 1200;  // >= 1000 per the suite contract
+
+double random_coord(std::mt19937_64& rng) {
+  // Mix plain uniforms with the awkward cases: zeros of both signs,
+  // denormals, huge magnitudes, infinities. (NaNs are exercised
+  // separately — NaN != NaN breaks field-equality assertions.)
+  switch (rng() % 8) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -0.0;
+    case 2:
+      return std::numeric_limits<double>::denorm_min();
+    case 3:
+      return -1.7e308;
+    case 4:
+      return std::numeric_limits<double>::infinity();
+    default:
+      return std::uniform_real_distribution<double>(-180.0, 180.0)(rng);
+  }
+}
+
+Request random_request(std::mt19937_64& rng) {
+  switch (rng() % 4) {
+    case 0: {
+      PointRiskQuery q;
+      q.point = {random_coord(rng), random_coord(rng)};
+      q.neighborhood_m = std::uniform_real_distribution<double>(0, 1e6)(rng);
+      return Request{q};
+    }
+    case 1: {
+      BBoxAggregateQuery q;
+      q.bbox = {random_coord(rng), random_coord(rng), random_coord(rng),
+                random_coord(rng)};
+      return Request{q};
+    }
+    case 2: {
+      ProviderExposureQuery q;
+      q.provider =
+          static_cast<cellnet::Provider>(rng() % cellnet::kNumProviders);
+      return Request{q};
+    }
+    default: {
+      TopKSitesQuery q;
+      q.center = {random_coord(rng), random_coord(rng)};
+      q.radius_m = std::uniform_real_distribution<double>(0, 5e6)(rng);
+      q.k = static_cast<std::uint32_t>(rng() % (wire::kMaxTopK + 1));
+      return Request{q};
+    }
+  }
+}
+
+Response random_response(std::mt19937_64& rng) {
+  switch (rng() % 4) {
+    case 0: {
+      PointRiskResponse r;
+      r.epoch = rng();
+      r.whp = static_cast<synth::WhpClass>(rng() % synth::kNumWhpClasses);
+      r.at_risk = rng() % 2;
+      r.urban = rng() % 2;
+      r.roadside = rng() % 2;
+      r.state = static_cast<std::int32_t>(rng() % 60) - 1;
+      r.county = static_cast<std::int32_t>(rng() % 4000) - 1;
+      r.nearby_txr = static_cast<std::uint32_t>(rng());
+      r.nearby_at_risk = static_cast<std::uint32_t>(rng());
+      return Response{r};
+    }
+    case 1: {
+      BBoxAggregateResponse r;
+      r.epoch = rng();
+      r.transceivers = rng();
+      for (auto& v : r.by_class) v = rng() % 100000;
+      r.at_risk = rng();
+      for (auto& v : r.by_provider) v = rng() % 100000;
+      return Response{r};
+    }
+    case 2: {
+      ProviderExposureResponse r;
+      r.epoch = rng();
+      r.provider =
+          static_cast<cellnet::Provider>(rng() % cellnet::kNumProviders);
+      r.fleet = rng();
+      r.moderate = rng() % 1000000;
+      r.high = rng() % 1000000;
+      r.very_high = rng() % 1000000;
+      return Response{r};
+    }
+    default: {
+      TopKSitesResponse r;
+      r.epoch = rng();
+      r.candidates = static_cast<std::uint32_t>(rng());
+      const std::size_t n = rng() % 32;
+      for (std::size_t i = 0; i < n; ++i) {
+        RankedSite s;
+        s.txr_id = static_cast<std::uint32_t>(rng());
+        s.position = {random_coord(rng), random_coord(rng)};
+        s.whp = static_cast<synth::WhpClass>(rng() % synth::kNumWhpClasses);
+        s.distance_m = std::uniform_real_distribution<double>(0, 1e5)(rng);
+        r.sites.push_back(s);
+      }
+      return Response{r};
+    }
+  }
+}
+
+// -0.0 inputs canonicalize, so field equality must be "same value after
+// canonicalization": compare re-encodings, which this suite pins to be
+// injective per round anyway.
+TEST(WireCodec, RequestRoundTripProperty) {
+  std::mt19937_64 rng(kSeed);
+  for (int i = 0; i < kRounds; ++i) {
+    const Request q = random_request(rng);
+    const std::string bytes = wire::encode(q);
+    fault::Result<Request> back = wire::decode_request(bytes);
+    ASSERT_TRUE(back.ok()) << i << ": " << back.status().to_string();
+    EXPECT_EQ(back.value().index(), q.index()) << i;
+    // decode∘encode is the identity on canonical bytes.
+    EXPECT_EQ(wire::encode(back.value()), bytes) << i;
+    // And the fingerprint is FNV-1a over exactly those bytes.
+    EXPECT_EQ(fingerprint(q), wire::detail::fnv1a(bytes)) << i;
+    EXPECT_EQ(fingerprint(back.value()), fingerprint(q)) << i;
+  }
+}
+
+TEST(WireCodec, ResponseRoundTripProperty) {
+  std::mt19937_64 rng(kSeed ^ 0xabcdef);
+  for (int i = 0; i < kRounds; ++i) {
+    const Response r = random_response(rng);
+    const std::string bytes = wire::encode(r);
+    fault::Result<Response> back = wire::decode_response(bytes);
+    ASSERT_TRUE(back.ok()) << i << ": " << back.status().to_string();
+    EXPECT_EQ(back.value().index(), r.index()) << i;
+    EXPECT_EQ(wire::encode(back.value()), bytes) << i;
+  }
+}
+
+TEST(WireCodec, NegativeZeroNormalizes) {
+  PointRiskQuery pos;
+  pos.point = {0.0, 0.0};
+  pos.neighborhood_m = 0.0;
+  PointRiskQuery neg;
+  neg.point = {-0.0, -0.0};
+  neg.neighborhood_m = -0.0;
+  EXPECT_EQ(wire::encode(Request{pos}), wire::encode(Request{neg}));
+  EXPECT_EQ(fingerprint(pos), fingerprint(neg));
+
+  // The canonical bytes hold the +0.0 bit pattern (all-zero u64).
+  const std::string bytes = wire::encode(Request{neg});
+  for (std::size_t i = 2; i < bytes.size(); ++i) {
+    EXPECT_EQ(bytes[i], '\0') << "byte " << i;
+  }
+}
+
+TEST(WireCodec, NaNPassesThroughBitExactly) {
+  PointRiskQuery q;
+  q.point = {std::nan(""), 1.0};
+  q.neighborhood_m = 500.0;
+  const std::string bytes = wire::encode(Request{q});
+  fault::Result<Request> back = wire::decode_request(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(wire::encode(back.value()), bytes);
+  EXPECT_TRUE(
+      std::isnan(std::get<PointRiskQuery>(back.value()).point.lon));
+}
+
+TEST(WireCodec, FingerprintsDifferAcrossTypesSharingBodies) {
+  // A point query and a top-k query can share all coordinate bits; the
+  // type tag in the canonical payload keeps them apart.
+  PointRiskQuery p;
+  p.point = {-120.0, 40.0};
+  p.neighborhood_m = 1000.0;
+  TopKSitesQuery t;
+  t.center = {-120.0, 40.0};
+  t.radius_m = 1000.0;
+  t.k = 10;
+  EXPECT_NE(fingerprint(p), fingerprint(t));
+  EXPECT_NE(fingerprint(Request{p}), fingerprint(Request{t}));
+  EXPECT_EQ(fingerprint(Request{p}), fingerprint(p));
+}
+
+// -- malformed payloads ------------------------------------------------
+
+TEST(WireCodecFuzz, TruncatedPayloadsNeverCrash) {
+  std::mt19937_64 rng(kSeed ^ 0x7777);
+  const fault::Injector inj =
+      fault::Injector::parse("seed=99,net.frame.decode=1.0").value();
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string bytes = wire::encode(random_request(rng));
+    // Every strict prefix must decode to an error, not a crash.
+    const std::string cut =
+        inj.truncate(bytes, net::kFrameDecodeSite, static_cast<std::uint64_t>(i));
+    if (cut.size() == bytes.size()) continue;
+    fault::Result<Request> r = wire::decode_request(cut);
+    EXPECT_FALSE(r.ok()) << i;
+  }
+  // And exhaustively for one payload of each shape.
+  for (const Request& q :
+       {Request{PointRiskQuery{{-120, 40}, 1000.0}},
+        Request{BBoxAggregateQuery{{-121, 39, -120, 40}}},
+        Request{ProviderExposureQuery{cellnet::Provider::kVerizon}},
+        Request{TopKSitesQuery{{-120, 40}, 5e4, 10}}}) {
+    const std::string bytes = wire::encode(q);
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+      fault::Result<Request> r =
+          wire::decode_request(std::string_view(bytes).substr(0, n));
+      EXPECT_FALSE(r.ok()) << "prefix " << n;
+    }
+  }
+}
+
+TEST(WireCodecFuzz, CorruptedBytesDecodeOrRoundTrip) {
+  std::mt19937_64 rng(kSeed ^ 0x2222);
+  const fault::Injector inj =
+      fault::Injector::parse("seed=4242,net.frame.decode=0.5").value();
+  int rejected = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    const std::string bytes = wire::encode(random_request(rng));
+    const std::string bad = inj.corrupt_bytes(
+        bytes, net::kFrameDecodeSite, static_cast<std::uint64_t>(i));
+    fault::Result<Request> r = wire::decode_request(bad);
+    if (!r.ok()) {
+      rejected++;
+      continue;
+    }
+    // A corruption that stays in-domain must still decode canonically.
+    EXPECT_EQ(wire::encode(r.value()), bad) << i;
+  }
+  // Most corruptions land in the version/tag/enum guards.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(WireCodecFuzz, BadTagAndVersionRejected) {
+  const std::string good =
+      wire::encode(Request{PointRiskQuery{{-120, 40}, 1000.0}});
+  for (int tag = 0; tag < 256; ++tag) {
+    std::string bytes = good;
+    bytes[1] = static_cast<char>(tag);
+    fault::Result<Request> r = wire::decode_request(bytes);
+    if (tag == static_cast<int>(Tag::kPointRiskQuery)) {
+      EXPECT_TRUE(r.ok());
+    } else {
+      EXPECT_FALSE(r.ok()) << "tag " << tag;
+      // Response tags presented as requests are a parse error too.
+      if (r.status().code == fault::ErrCode::kOk) ADD_FAILURE();
+    }
+  }
+  std::string bytes = good;
+  bytes[0] = 2;  // unknown version
+  EXPECT_FALSE(wire::decode_request(bytes).ok());
+}
+
+TEST(WireCodecFuzz, TrailingGarbageRejected) {
+  std::string bytes = wire::encode(Request{ProviderExposureQuery{
+      cellnet::Provider::kAtt}});
+  bytes.push_back('\0');
+  fault::Result<Request> r = wire::decode_request(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code, fault::ErrCode::kSchema);
+}
+
+TEST(WireCodecFuzz, OutOfDomainValuesRejected) {
+  {
+    std::string bytes = wire::encode(Request{ProviderExposureQuery{
+        cellnet::Provider::kAtt}});
+    bytes[2] = static_cast<char>(cellnet::kNumProviders);
+    EXPECT_EQ(wire::decode_request(bytes).status().code,
+              fault::ErrCode::kOutOfRange);
+  }
+  {
+    TopKSitesQuery q;
+    q.center = {-120, 40};
+    q.k = wire::kMaxTopK + 1;
+    const std::string bytes = wire::encode(Request{q});
+    EXPECT_EQ(wire::decode_request(bytes).status().code,
+              fault::ErrCode::kOutOfRange);
+  }
+}
+
+// -- framing ----------------------------------------------------------
+
+TEST(FrameAssembler, ReassemblesByteAtATime) {
+  const std::string payload =
+      wire::encode(Request{PointRiskQuery{{-121.437, 39.81}, 3e4}});
+  const std::string framed = net::frame(payload);
+  net::FrameAssembler fa;
+  for (std::size_t i = 0; i + 1 < framed.size(); ++i) {
+    fa.feed(std::string_view(framed).substr(i, 1));
+    fault::Result<std::optional<std::string>> r = fa.next();
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().has_value()) << "byte " << i;
+    EXPECT_TRUE(fa.mid_frame());
+  }
+  fa.feed(std::string_view(framed).substr(framed.size() - 1));
+  fault::Result<std::optional<std::string>> r = fa.next();
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value().has_value());
+  EXPECT_EQ(*r.value(), payload);
+  EXPECT_FALSE(fa.mid_frame());
+}
+
+TEST(FrameAssembler, MidFrameCloseLeavesPartialVisible) {
+  // A peer that opens a frame and disappears: the assembler reports
+  // mid_frame() so the server's read-timeout sweep can reap it.
+  const std::string framed = net::frame(
+      wire::encode(Request{ProviderExposureQuery{cellnet::Provider::kAtt}}));
+  net::FrameAssembler fa;
+  fa.feed(std::string_view(framed).substr(0, framed.size() / 2));
+  fault::Result<std::optional<std::string>> r = fa.next();
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().has_value());
+  EXPECT_TRUE(fa.mid_frame());
+  EXPECT_FALSE(fa.poisoned());
+}
+
+TEST(FrameAssembler, OversizedFramePoisons) {
+  net::FrameAssembler fa;
+  std::string prefix;
+  wire::detail::put_u32(prefix,
+                        static_cast<std::uint32_t>(net::kMaxFramePayload + 1));
+  fa.feed(prefix);
+  fault::Result<std::optional<std::string>> r = fa.next();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code, fault::ErrCode::kLimit);
+  EXPECT_TRUE(fa.poisoned());
+  // Poisoned streams stay poisoned.
+  fa.feed("more");
+  EXPECT_FALSE(fa.next().ok());
+}
+
+TEST(FrameAssembler, ZeroLengthFramePoisons) {
+  net::FrameAssembler fa;
+  fa.feed(std::string(4, '\0'));
+  fault::Result<std::optional<std::string>> r = fa.next();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code, fault::ErrCode::kParse);
+}
+
+TEST(FrameAssembler, BackToBackFramesSplitArbitrarily) {
+  std::mt19937_64 rng(kSeed ^ 0x3333);
+  std::vector<std::string> payloads;
+  std::string stream;
+  for (int i = 0; i < 64; ++i) {
+    payloads.push_back(wire::encode(random_request(rng)));
+    stream += net::frame(payloads.back());
+  }
+  net::FrameAssembler fa;
+  std::size_t off = 0;
+  std::size_t got = 0;
+  while (off < stream.size()) {
+    const std::size_t n = 1 + rng() % 97;
+    fa.feed(std::string_view(stream).substr(off, n));
+    off += n;
+    for (;;) {
+      fault::Result<std::optional<std::string>> r = fa.next();
+      ASSERT_TRUE(r.ok());
+      if (!r.value().has_value()) break;
+      ASSERT_LT(got, payloads.size());
+      EXPECT_EQ(*r.value(), payloads[got]);
+      got++;
+    }
+  }
+  EXPECT_EQ(got, payloads.size());
+}
+
+TEST(WireError, RoundTrips) {
+  const std::string payload =
+      net::error_payload(net::ErrorCode::kBusy, "admission queue full");
+  EXPECT_EQ(wire::peek_tag(payload), static_cast<std::uint8_t>(Tag::kError));
+  fault::Result<net::WireError> e = net::decode_error(payload);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value().code, net::ErrorCode::kBusy);
+  EXPECT_EQ(e.value().message, "admission queue full");
+  // And the serve-layer decoder refuses it (not a response payload).
+  EXPECT_FALSE(wire::decode_response(payload).ok());
+}
+
+}  // namespace
+}  // namespace fa::serve

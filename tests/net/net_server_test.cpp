@@ -1,0 +1,466 @@
+// End-to-end suite for the networked front door: a real NetServer on an
+// ephemeral loopback port, driven by the binary Client and by raw
+// sockets speaking HTTP. Covers the admission-control contract (shed,
+// quota, drain), response/equivalence guarantees against the in-process
+// Server::handle, epoch purity across a concurrent rebuild, and the
+// malformed-input and slow-client fault seams.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/wire.hpp"
+#include "../serve/serve_test_util.hpp"
+
+namespace fa::net {
+namespace {
+
+using serve::Request;
+using serve::Response;
+using serve::testing::small_config;
+using serve::testing::tiny_config;
+
+constexpr const char* kLoop = "127.0.0.1";
+
+// Counter-asserting tests force instrumentation on (and restore, so the
+// suite passes under any FA_OBS setting).
+struct ObsOn {
+  bool was = obs::enabled();
+  ObsOn() { obs::set_enabled(true); }
+  ~ObsOn() { obs::set_enabled(was); }
+};
+
+Request to_request(const serve::testing::AnyQuery& q) {
+  return std::visit([](const auto& query) { return Request{query}; }, q);
+}
+
+// One shared backend per suite run; world builds dominate runtime.
+serve::Server& shared_server() {
+  static serve::Server* server = new serve::Server(small_config());
+  return *server;
+}
+
+// Raw blocking socket for driving the HTTP shim (and for byte-level
+// misbehavior the Client refuses to commit).
+class RawSock {
+ public:
+  explicit RawSock(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+    timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  ~RawSock() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+  void send_all(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  // Reads until the peer closes or `stop_at` is seen (empty = until
+  // close / timeout).
+  std::string read_response(std::string_view stop_at = "") {
+    std::string out;
+    char buf[8192];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+      if (!stop_at.empty() && out.find(stop_at) != std::string::npos) break;
+    }
+    return out;
+  }
+
+  // Reads exactly `n` framed payloads through an assembler.
+  std::vector<std::string> read_frames(std::size_t n) {
+    std::vector<std::string> payloads;
+    FrameAssembler fa;
+    char buf[8192];
+    while (payloads.size() < n) {
+      const ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+      if (r <= 0) break;
+      fa.feed(std::string_view(buf, static_cast<std::size_t>(r)));
+      for (;;) {
+        auto next = fa.next();
+        if (!next.ok() || !next.value().has_value()) break;
+        payloads.push_back(std::move(*next.value()));
+      }
+    }
+    return payloads;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  RawSock s(port);
+  EXPECT_TRUE(s.connected());
+  s.send_all("GET " + target + " HTTP/1.1\r\nConnection: close\r\n\r\n");
+  return s.read_response();
+}
+
+TEST(NetServer, BinaryProtocolMatchesInProcessHandle) {
+  serve::Server& backend = shared_server();
+  NetServerOptions opts;
+  opts.workers = 2;
+  NetServer net(backend, opts);
+  auto client = Client::connect(kLoop, net.port());
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  Client c = std::move(client).take();
+
+  for (const auto& any : serve::testing::make_stream(60, 3, 24)) {
+    const Request req = to_request(any);
+    auto reply = c.call(req);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    ASSERT_TRUE(reply.value().ok());
+    // Byte-identical to the in-process unified surface.
+    EXPECT_EQ(serve::wire::encode(*reply.value().response),
+              serve::wire::encode(backend.handle(req)));
+  }
+  net.shutdown();
+}
+
+TEST(NetServer, PipelinedRequestsAnswerInOrder) {
+  serve::Server& backend = shared_server();
+  NetServerOptions opts;
+  opts.workers = 4;  // several workers racing on one connection
+  NetServer net(backend, opts);
+
+  // Write a burst of frames before reading anything; replies must come
+  // back in request order (the protocol's only correlation).
+  const auto stream = serve::testing::make_stream(40, 9, 16);
+  std::string burst;
+  std::vector<Request> reqs;
+  for (const auto& any : stream) {
+    reqs.push_back(to_request(any));
+    burst += frame(serve::wire::encode(reqs.back()));
+  }
+  RawSock s(net.port());
+  ASSERT_TRUE(s.connected());
+  s.send_all(burst);
+
+  const std::vector<std::string> replies = s.read_frames(reqs.size());
+  ASSERT_EQ(replies.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    // Reply i is the answer to request i, byte for byte.
+    EXPECT_EQ(replies[i], serve::wire::encode(backend.handle(reqs[i])))
+        << "position " << i;
+  }
+  net.shutdown();
+}
+
+TEST(NetServer, ShedsUnderSaturationWithBusyFrames) {
+  serve::Server& backend = shared_server();
+  ObsOn obs_on;
+  obs::ScopedRegistry scoped;
+  NetServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;  // tiny queue: saturation is easy
+  opts.registry = &scoped.registry();
+  NetServer net(backend, opts);
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::connect(kLoop, net.port());
+      if (!client.ok()) return;
+      Client c = std::move(client).take();
+      const Request req{serve::TopKSitesQuery{{-120.0 - t * 0.1, 40.0}, 8e4,
+                                              32}};
+      for (int i = 0; i < 50; ++i) {
+        auto reply = c.call(req);
+        if (!reply.ok()) return;
+        if (reply.value().ok()) {
+          ok.fetch_add(1);
+        } else if (reply.value().error->code == ErrorCode::kBusy) {
+          busy.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Under 8 hammering clients vs 1 worker and a 2-deep queue, both
+  // outcomes must occur, and every reject was answered (cheaply), not
+  // dropped.
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_GT(busy.load(), 0u);
+  EXPECT_EQ(scoped.registry()
+                .counter(obs::metrics::kNetSheds)
+                .value(),
+            busy.load());
+  net.shutdown();
+}
+
+TEST(NetServer, PerConnectionQuotaRateLimits) {
+  serve::Server& backend = shared_server();
+  ObsOn obs_on;
+  obs::ScopedRegistry scoped;
+  NetServerOptions opts;
+  opts.quota_qps = 1.0;  // ~1 request/second after the burst
+  opts.quota_burst = 3.0;
+  opts.registry = &scoped.registry();
+  NetServer net(backend, opts);
+
+  auto client = Client::connect(kLoop, net.port());
+  ASSERT_TRUE(client.ok());
+  Client c = std::move(client).take();
+  const Request req{serve::ProviderExposureQuery{}};
+  int limited = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto reply = c.call(req);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    if (!reply.value().ok() &&
+        reply.value().error->code == ErrorCode::kRateLimited) {
+      limited++;
+    }
+  }
+  EXPECT_GT(limited, 0);
+  EXPECT_EQ(scoped.registry()
+                .counter(obs::metrics::kNetRateLimited)
+                .value(),
+            static_cast<std::uint64_t>(limited));
+  net.shutdown();
+}
+
+TEST(NetServer, MalformedFrameRejectedConnectionSurvives) {
+  serve::Server& backend = shared_server();
+  NetServer net(backend, {});
+  RawSock s(net.port());
+  ASSERT_TRUE(s.connected());
+
+  // A well-framed payload with a garbage tag: BAD_REQUEST, then the
+  // same connection keeps serving.
+  std::string bad_payload = serve::wire::encode(
+      Request{serve::ProviderExposureQuery{}});
+  bad_payload[1] = 0x5A;
+  const Request good{serve::ProviderExposureQuery{}};
+  s.send_all(frame(bad_payload) + frame(serve::wire::encode(good)));
+
+  const std::vector<std::string> replies = s.read_frames(2);
+  ASSERT_EQ(replies.size(), 2u);
+  fault::Result<WireError> err = decode_error(replies[0]);
+  ASSERT_TRUE(err.ok()) << err.status().to_string();
+  EXPECT_EQ(err.value().code, ErrorCode::kBadRequest);
+  EXPECT_EQ(replies[1], serve::wire::encode(backend.handle(good)));
+  net.shutdown();
+}
+
+TEST(NetServer, OversizedFrameClosesConnection) {
+  serve::Server& backend = shared_server();
+  NetServer net(backend, {});
+  RawSock s(net.port());
+  ASSERT_TRUE(s.connected());
+  std::string prefix;
+  serve::wire::detail::put_u32(
+      prefix, static_cast<std::uint32_t>(kMaxFramePayload + 1));
+  s.send_all(prefix);
+  const std::string reply = s.read_response();  // until server closes
+  // The last thing on the stream is a TOO_LARGE error frame.
+  ASSERT_GE(reply.size(), 4u);
+  fault::Result<WireError> err =
+      decode_error(std::string_view(reply).substr(4));
+  ASSERT_TRUE(err.ok()) << err.status().to_string();
+  EXPECT_EQ(err.value().code, ErrorCode::kTooLarge);
+  net.shutdown();
+}
+
+TEST(NetServer, HttpEndpointsAnswer) {
+  serve::Server& backend = shared_server();
+  NetServer net(backend, {});
+  const std::uint16_t port = net.port();
+
+  EXPECT_NE(http_get(port, "/health").find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(http_get(port, "/providers/verizon").find("\"provider\":\"verizon\""),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/fires?lon=-121.4&lat=39.8&k=5")
+                .find("\"sites\""),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/assets?bbox=-125,32,-114,42")
+                .find("\"transceivers\""),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/scenario/camp-fire-2018").find("Camp Fire"),
+            std::string::npos);
+  EXPECT_NE(http_get(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(http_get(port, "/fires?lon=bogus").find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // POST /risk equals the in-process point query.
+  RawSock s(port);
+  ASSERT_TRUE(s.connected());
+  const std::string body = "{\"lon\":-121.437,\"lat\":39.810}";
+  s.send_all("POST /risk HTTP/1.1\r\nContent-Length: " +
+             std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+             body);
+  const std::string reply = s.read_response();
+  EXPECT_NE(reply.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(reply.find("\"whp\""), std::string::npos);
+  net.shutdown();
+}
+
+TEST(NetServer, GracefulDrainRejectsNewFinishesAdmitted) {
+  serve::Server& backend = shared_server();
+  ObsOn obs_on;
+  obs::ScopedRegistry scoped;
+  NetServerOptions opts;
+  opts.workers = 2;
+  opts.registry = &scoped.registry();
+  NetServer net(backend, opts);
+
+  auto client = Client::connect(kLoop, net.port());
+  ASSERT_TRUE(client.ok());
+  Client c = std::move(client).take();
+  // Prove the connection works, then drain.
+  auto before = c.call(Request{serve::ProviderExposureQuery{}});
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before.value().ok());
+
+  std::thread drainer([&] { net.shutdown(/*drain=*/true); });
+  // Requests racing the drain get SHUTTING_DOWN (or a closed socket
+  // once teardown completes) — never a hang, never a wrong answer.
+  for (int i = 0; i < 20; ++i) {
+    auto reply = c.call(Request{serve::ProviderExposureQuery{}});
+    if (!reply.ok()) break;  // connection closed by teardown
+    if (!reply.value().ok()) {
+      EXPECT_EQ(reply.value().error->code, ErrorCode::kShuttingDown);
+    }
+  }
+  drainer.join();
+  EXPECT_TRUE(net.draining());
+  // New connections are refused or immediately closed after shutdown.
+  auto after = Client::connect(kLoop, net.port(), 500);
+  if (after.ok()) {
+    Client c2 = std::move(after).take();
+    auto r = c2.call(Request{serve::ProviderExposureQuery{}});
+    EXPECT_FALSE(r.ok() && r.value().ok());
+  }
+}
+
+TEST(NetServer, EpochPureAcrossConcurrentRebuild) {
+  // A dedicated backend: this test swaps snapshots underneath traffic.
+  serve::Server backend(tiny_config());
+  NetServerOptions opts;
+  opts.workers = 2;
+  NetServer net(backend, opts);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::vector<std::thread> clients;
+  std::atomic<bool> epoch_ok{true};
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = Client::connect(kLoop, net.port());
+      if (!client.ok()) return;
+      Client c = std::move(client).take();
+      const auto stream = serve::testing::make_stream(400, 100 + t, 20);
+      for (const auto& any : stream) {
+        if (done.load()) break;
+        auto reply = c.call(to_request(any));
+        if (!reply.ok() || !reply.value().ok()) continue;
+        const std::uint64_t epoch = std::visit(
+            [](const auto& r) { return r.epoch; }, *reply.value().response);
+        if (epoch < 1 || epoch > 3) epoch_ok.store(false);
+        answered.fetch_add(1);
+      }
+    });
+  }
+  // Two rebuilds while the clients hammer.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(backend.rebuild(tiny_config(500 + i)).ok());
+  }
+  done.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_TRUE(epoch_ok.load());
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_EQ(backend.epoch(), 3u);
+  net.shutdown();
+}
+
+TEST(NetServer, SlowClientFaultTripsOutboxCap) {
+  serve::Server& backend = shared_server();
+  ObsOn obs_on;
+  obs::ScopedRegistry scoped;
+  // Every flush round stalls; the outbox can only grow until the cap
+  // drops the connection.
+  fault::ScopedInjector inject(
+      fault::Injector::parse("seed=7,net.conn.slow=1.0")
+          .value());
+  NetServerOptions opts;
+  opts.max_outbox_bytes = 256;  // a single top-k response overflows
+  opts.registry = &scoped.registry();
+  NetServer net(backend, opts);
+
+  auto client = Client::connect(kLoop, net.port());
+  ASSERT_TRUE(client.ok());
+  Client c = std::move(client).take();
+  auto reply = c.call(Request{serve::TopKSitesQuery{{-120, 40}, 8e4, 64}});
+  // The reply never arrives: the server dropped us as a slow consumer.
+  EXPECT_FALSE(reply.ok() && reply.value().ok());
+  // Wait for the IO thread to record the drop.
+  for (int i = 0; i < 100; ++i) {
+    if (scoped.registry()
+            .counter(obs::metrics::kNetConnectionsDroppedSlow)
+            .value() > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(scoped.registry()
+                .counter(obs::metrics::kNetConnectionsDroppedSlow)
+                .value(),
+            0u);
+  net.shutdown();
+}
+
+TEST(NetServer, ReadTimeoutReapsMidFrameStall) {
+  serve::Server& backend = shared_server();
+  ObsOn obs_on;
+  obs::ScopedRegistry scoped;
+  NetServerOptions opts;
+  opts.read_timeout_ms = 150;
+  opts.registry = &scoped.registry();
+  NetServer net(backend, opts);
+
+  RawSock s(net.port());
+  ASSERT_TRUE(s.connected());
+  // Open a frame and stall: length prefix says 100 bytes, send 4.
+  std::string partial;
+  serve::wire::detail::put_u32(partial, 100);
+  partial += "abcd";
+  s.send_all(partial);
+  const std::string rest = s.read_response();  // until server closes us
+  EXPECT_TRUE(rest.empty());
+  EXPECT_GT(scoped.registry().counter(obs::metrics::kNetTimeouts).value(), 0u);
+  net.shutdown();
+}
+
+}  // namespace
+}  // namespace fa::net

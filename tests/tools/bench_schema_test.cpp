@@ -90,6 +90,11 @@ const std::vector<BenchSchema>& schemas() {
       {"bench_serve_qps", "serve_qps",
        {"pool_workers", "distinct_queries", "queries_per_thread",
         "cache_on_beats_off", "rows"}},
+      {"bench_serve_net", "serve_net",
+       {"workers", "per_thread", "distinct_queries", "shed_demonstrated",
+        "rows", "saturation"},
+       "",
+       "FA_NET_PER_THREAD=40 FA_NET_SAT_CLIENTS=8 FA_NET_SAT_PER_THREAD=60"},
   };
   return table;
 }
