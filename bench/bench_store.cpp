@@ -1,0 +1,112 @@
+// Persistence bench: what does the snapshot store buy at cold start?
+//
+// Measures, on the env-configured scenario (FA_SCALE/FA_CELL_M/FA_SEED):
+//   build_s             full world build from synthesis (the baseline a
+//                       store-less boot pays every time)
+//   save_s              encode + atomic commit of one generation
+//   load_s              mmap + checksum ladder + structural decode of
+//                       that generation (the stored cold-start path)
+//   recover_fallback_s  the ladder when the newest generation is
+//                       corrupt at rest and an older one must win
+//
+// The acceptance gate is the trailer's load_speedup (build_s / load_s):
+// the mmap cold start must be >= 10x faster than a full rebuild.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "core/provider_risk.hpp"
+#include "core/world.hpp"
+#include "store/codec.hpp"
+#include "store/recovery.hpp"
+#include "store/store.hpp"
+
+int main() {
+  using namespace fa;
+
+  bench::Stopwatch run_timer;
+  core::AnalysisContext& ctx = bench::bench_context(
+      "fa::store — snapshot persistence vs full rebuild");
+  const synth::ScenarioConfig cfg = ctx.world().config();
+
+  // Baseline: an honest, fresh build (the context's cached world was
+  // built before our stopwatch started).
+  bench::Stopwatch build_timer;
+  core::World rebuilt = core::World::build(cfg);
+  const double build_s = build_timer.seconds();
+  const core::ProviderRiskResult risk = core::run_provider_risk(rebuilt);
+  std::printf("full rebuild: %.3fs (%zu transceivers)\n", build_s,
+              rebuilt.corpus().size());
+
+  char tmpl[] = "/tmp/fastore-bench-XXXXXX";
+  const std::string dir_path = ::mkdtemp(tmpl);
+
+  // Save: encode + atomic commit.
+  bench::Stopwatch save_timer;
+  const std::string image = store::encode_world(rebuilt, risk);
+  store::StoreDir dir = store::StoreDir::open(dir_path).take();
+  fault::Result<store::Generation> committed = dir.commit(image);
+  const double save_s = save_timer.seconds();
+  if (!committed.ok()) {
+    std::fprintf(stderr, "commit failed: %s\n",
+                 committed.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("save: %.3fs (%zu bytes, generation %llu)\n", save_s,
+              image.size(),
+              static_cast<unsigned long long>(committed.value().number));
+
+  // Load: the stored cold-start path (manifest -> mmap -> ladder).
+  bench::Stopwatch load_timer;
+  fault::Result<store::RecoveredWorld> loaded =
+      store::recover_from(dir_path);
+  const double load_s = load_timer.seconds();
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 loaded.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("load: %.3fs (%zu transceivers restored)\n", load_s,
+              loaded.value().loaded.world.corpus().size());
+
+  // Degraded recovery: newest generation corrupt at rest, older wins.
+  std::string bad = image;
+  bad[bad.size() / 2] ^= 0x20;
+  (void)dir.commit(bad);
+  bench::Stopwatch fallback_timer;
+  fault::Result<store::RecoveredWorld> fallback = store::recover_from(dir_path);
+  const double fallback_s = fallback_timer.seconds();
+  const bool fallback_ok =
+      fallback.ok() && fallback.value().generation.number == 1;
+  std::printf("recover (newest corrupt): %.3fs, fell back to generation %llu\n",
+              fallback_s,
+              fallback.ok() ? static_cast<unsigned long long>(
+                                  fallback.value().generation.number)
+                            : 0ull);
+
+  const double speedup = load_s > 0.0 ? build_s / load_s : 0.0;
+  const bool load_faster = speedup >= 10.0;
+  std::printf("cold start speedup: %.1fx (%s the 10x gate)\n", speedup,
+              load_faster ? "clears" : "MISSES");
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir_path, ec);
+
+  io::JsonObject payload;
+  payload["transceivers"] = rebuilt.corpus().size();
+  payload["image_bytes"] = image.size();
+  payload["build_s"] = build_s;
+  payload["save_s"] = save_s;
+  payload["load_s"] = load_s;
+  payload["recover_fallback_s"] = fallback_s;
+  payload["fallback_to_older_generation"] = fallback_ok;
+  payload["load_speedup"] = speedup;
+  payload["load_faster"] = load_faster;
+  bench::print_json_trailer("store", io::JsonValue{std::move(payload)},
+                            &run_timer);
+  return 0;
+}

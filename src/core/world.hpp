@@ -15,6 +15,10 @@
 #include "synth/scenario.hpp"
 #include "synth/usatlas.hpp"
 
+namespace fa::store {
+struct Access;  // snapshot codec (store/codec.cpp)
+}
+
 namespace fa::core {
 
 class World {
@@ -81,6 +85,10 @@ class World {
   const index::GridIndex& txr_index() const { return txr_index_; }
 
  private:
+  // The snapshot codec restores the private caches verbatim from disk
+  // instead of re-deriving them (store/codec.cpp).
+  friend struct fa::store::Access;
+
   // Shared tail of every build path: classification + spatial index.
   void finalize();
 

@@ -14,6 +14,12 @@
 //   net.conn.slow   the front door's per-connection flush (one round
 //                     skipped, keyed by flush sequence — a client that
 //                     stops draining its socket)
+//   store.write.torn  snapshot commit persists only a seeded prefix of
+//                     the image (keyed by generation number) — a torn
+//                     write / mid-commit power cut
+//   store.read.corrupt  snapshot load flips seeded bytes of the mmap'd
+//                     image before validation (keyed by generation
+//                     number; MAP_PRIVATE, so the disk stays clean)
 // plus whatever additional sites tests install via ScopedInjector.
 #pragma once
 

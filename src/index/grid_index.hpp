@@ -14,6 +14,10 @@
 
 #include "geo/bbox.hpp"
 
+namespace fa::store {
+struct Access;  // snapshot codec (store/codec.cpp)
+}
+
 namespace fa::index {
 
 class GridIndex {
@@ -88,6 +92,8 @@ class GridIndex {
   geo::Vec2 point(std::uint32_t id) const { return points_[id]; }
 
  private:
+  friend struct fa::store::Access;  // serializes the binned SoA verbatim
+
   int col_of(double x) const;
   int row_of(double y) const;
 

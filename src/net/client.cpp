@@ -60,6 +60,49 @@ fault::Result<Client> Client::connect(const std::string& host,
   return Client(fd);
 }
 
+std::uint64_t Client::backoff_delay_ms(const BackoffPolicy& policy,
+                                       int attempt) {
+  // cap = min(max, base * 2^attempt), saturating; shift guarded so a
+  // large attempt index can't overflow into a tiny delay.
+  std::uint64_t cap = policy.max_delay_ms;
+  if (attempt < 63) {
+    const std::uint64_t grown = policy.base_delay_ms << attempt;
+    const bool overflowed =
+        policy.base_delay_ms != 0 && (grown >> attempt) != policy.base_delay_ms;
+    if (!overflowed && grown < cap) cap = grown;
+  }
+  // splitmix64 over (seed, attempt): deterministic, well-mixed jitter.
+  std::uint64_t z =
+      policy.seed + 0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(attempt) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const std::uint64_t half = cap / 2;
+  return half + (half ? z % (half + 1) : 0);
+}
+
+fault::Result<Client> Client::connect_retry(const std::string& host,
+                                            std::uint16_t port,
+                                            const BackoffPolicy& policy,
+                                            int timeout_ms) {
+  const int attempts = policy.attempts < 1 ? 1 : policy.attempts;
+  fault::Status last;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    fault::Result<Client> c = connect(host, port, timeout_ms);
+    if (c.ok()) return c;
+    last = c.status();
+    // kParse (bad address) can never succeed on retry; transport
+    // failures (refused, timeout, unreachable) are worth the wait.
+    if (last.code != fault::ErrCode::kIoFailure) return last;
+    if (attempt + 1 < attempts) {
+      const std::uint64_t delay = backoff_delay_ms(policy, attempt);
+      ::usleep(static_cast<useconds_t>(delay * 1000));
+    }
+  }
+  last.message += " (after " + std::to_string(attempts) + " attempts)";
+  return last;
+}
+
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)), rx_(std::move(other.rx_)) {}
 

@@ -37,6 +37,38 @@ class Client {
                                        std::uint16_t port,
                                        int timeout_ms = 5000);
 
+  // Capped exponential backoff for the reconnect path: a server
+  // mid-restart answers ECONNREFUSED for tens of milliseconds, which
+  // should read as "retry shortly", not as a hard failure. Jitter is
+  // deterministic in (seed, attempt) so a failing sequence replays
+  // exactly and fleets seeded differently don't reconnect in lockstep.
+  struct BackoffPolicy {
+    int attempts = 5;                  // total connect attempts (>= 1)
+    std::uint64_t base_delay_ms = 25;  // delay budget before attempt 1
+    std::uint64_t max_delay_ms = 1000;  // exponential growth cap
+    std::uint64_t seed = 1;            // jitter stream
+  };
+
+  // connect() with retries. Transport-level failures (kIoFailure:
+  // ECONNREFUSED, timeouts, unreachable) retry with backoff_delay_ms()
+  // sleeps between attempts; a malformed address (kParse) never
+  // retries. Returns the last attempt's Status when all attempts fail.
+  static fault::Result<Client> connect_retry(const std::string& host,
+                                             std::uint16_t port,
+                                             const BackoffPolicy& policy,
+                                             int timeout_ms = 5000);
+  static fault::Result<Client> connect_retry(const std::string& host,
+                                             std::uint16_t port) {
+    return connect_retry(host, port, BackoffPolicy{});
+  }
+
+  // The deterministic delay slept after failed attempt `attempt`
+  // (0-based): cap = min(max_delay_ms, base_delay_ms << attempt), delay
+  // uniform in [cap/2, cap] keyed by (seed, attempt). Exposed so tests
+  // can pin the exact schedule.
+  static std::uint64_t backoff_delay_ms(const BackoffPolicy& policy,
+                                        int attempt);
+
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
   Client(const Client&) = delete;

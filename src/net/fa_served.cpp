@@ -2,6 +2,7 @@
 //
 //   fa_served [--port N] [--workers N] [--scale S] [--cell-m M]
 //             [--seed S] [--quota-qps Q] [--queue N] [--public]
+//             [--store DIR]
 //
 // Builds the synthetic scenario, starts a serve::Server behind a
 // net::NetServer, and runs until SIGINT/SIGTERM. SIGTERM and SIGINT
@@ -10,6 +11,18 @@
 // snapshot from the same scenario config (a stand-in for "new WHP
 // raster landed") while queries keep being served — the hot-swap path
 // exercised from the command line.
+//
+// --store DIR enables crash-safe persistence: boot loads the newest
+// clean generation instead of rebuilding (near-instant cold start), the
+// freshly built or rebuilt world is committed back after boot and after
+// every SIGHUP, and a failed persist only logs — the in-memory epoch
+// keeps serving.
+//
+// --port 0 asks the kernel for an ephemeral port; the chosen port is
+// announced on stdout as a single machine-readable line
+// ("fa_served: port NNNN") so harnesses never race on fixed ports. An
+// already-bound fixed port fails fast with the Status explaining which
+// port lost and how to avoid the race.
 //
 // Quick start (see README.md for the curl session):
 //   ./build/src/net/fa_served --port 8080 --scale 64 --cell-m 5400 &
@@ -43,11 +56,31 @@ double arg_double(int argc, char** argv, const char* flag, double fallback) {
   return fallback;
 }
 
+const char* arg_string(int argc, char** argv, const char* flag,
+                       const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
 bool arg_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+void persist(fa::serve::Server& server, const char* when) {
+  const fa::fault::Status s = server.save_snapshot();
+  if (s.ok()) {
+    std::fprintf(stderr, "fa_served: snapshot persisted (%s)\n", when);
+  } else {
+    // Persistence is best-effort: the serving epoch is unaffected, so
+    // log loudly and keep serving from memory.
+    std::fprintf(stderr, "fa_served: persist failed (%s): %s\n", when,
+                 s.to_string().c_str());
+  }
 }
 
 }  // namespace
@@ -59,7 +92,8 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: fa_served [--port N] [--workers N] [--scale S] [--cell-m M]\n"
-        "                 [--seed S] [--quota-qps Q] [--queue N] [--public]\n");
+        "                 [--seed S] [--quota-qps Q] [--queue N] [--public]\n"
+        "                 [--store DIR]\n");
     return 2;
   }
 
@@ -78,14 +112,29 @@ int main(int argc, char** argv) {
   options.quota_qps = arg_double(argc, argv, "--quota-qps", 0.0);
   options.loopback_only = !arg_flag(argc, argv, "--public");
 
+  serve::ServerOptions serve_options;
+  serve_options.store_dir = arg_string(argc, argv, "--store", "");
+
   std::fprintf(stderr, "fa_served: building scenario (scale=%.0f cell=%.0fm)\n",
                scenario.corpus_scale, scenario.whp_cell_m);
   try {
-    serve::Server server(scenario);
+    serve::Server server(scenario, serve_options);
+    if (server.loaded_from_store()) {
+      std::fprintf(stderr, "fa_served: cold start from store '%s'\n",
+                   serve_options.store_dir.c_str());
+    }
     net::NetServer net(server, options);
+    // The chosen port on stdout, one parseable line, flushed before any
+    // client could try to connect — harnesses read this instead of
+    // guessing (essential with --port 0).
+    std::printf("fa_served: port %u\n", static_cast<unsigned>(net.port()));
+    std::fflush(stdout);
     std::fprintf(stderr, "fa_served: serving epoch %llu on port %u\n",
                  static_cast<unsigned long long>(server.epoch()),
                  static_cast<unsigned>(net.port()));
+    if (!serve_options.store_dir.empty() && !server.loaded_from_store()) {
+      persist(server, "boot build");
+    }
 
     std::signal(SIGTERM, on_terminate);
     std::signal(SIGINT, on_terminate);
@@ -99,6 +148,7 @@ int main(int argc, char** argv) {
         if (s.ok()) {
           std::fprintf(stderr, "fa_served: now serving epoch %llu\n",
                        static_cast<unsigned long long>(server.epoch()));
+          if (!serve_options.store_dir.empty()) persist(server, "rebuild");
         } else {
           std::fprintf(stderr, "fa_served: rebuild failed: %s\n",
                        s.to_string().c_str());

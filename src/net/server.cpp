@@ -252,6 +252,16 @@ struct NetServer::Impl {
         0) {
       const int saved = errno;
       ::close(listen_fd);
+      // An occupied port is an operator error worth a precise message
+      // (and the fix), not a bare strerror; the Status offset carries
+      // the losing port number.
+      if (saved == EADDRINUSE) {
+        throw fault::IoError(fault::Status::error(
+            fault::ErrCode::kIoFailure, opts.port, std::string(kServerSource),
+            "listen port " + std::to_string(opts.port) +
+                " is already in use; stop the other listener or pass "
+                "--port 0 for an ephemeral port"));
+      }
       errno = saved;
       throw_errno("bind");
     }

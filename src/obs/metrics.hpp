@@ -114,4 +114,36 @@ inline constexpr std::string_view kGeoPreparedBatchProbes =
 inline constexpr std::string_view kGeoPreparedFastPathHits =
     "geo.prepared.fastpath_hits";
 
+// -- snapshot persistence (`fa::store`) -------------------------------
+// Committed generations and bytes written through the atomic protocol.
+inline constexpr std::string_view kStoreSaves = "store.saves";
+inline constexpr std::string_view kStoreSaveBytes = "store.save.bytes";
+// Commits that failed (torn write seam, IO failure); no generation was
+// published and the manifest is untouched.
+inline constexpr std::string_view kStoreSaveFailures = "store.save.failures";
+// Old generations unlinked by the keep-window prune.
+inline constexpr std::string_view kStorePruned = "store.pruned";
+// Successful mmap loads and bytes validated+copied out of images.
+inline constexpr std::string_view kStoreLoads = "store.loads";
+inline constexpr std::string_view kStoreLoadBytes = "store.load.bytes";
+// Recovery ladder: generations attempted, rejected (corrupt/unreadable),
+// and successfully restored; manifest reads that had to fall back to a
+// directory scan.
+inline constexpr std::string_view kStoreRecoverAttempts =
+    "store.recover.attempts";
+inline constexpr std::string_view kStoreRecoverRejected =
+    "store.recover.rejected";
+inline constexpr std::string_view kStoreRecoverLoaded =
+    "store.recover.loaded";
+inline constexpr std::string_view kStoreManifestFallbacks =
+    "store.manifest.fallbacks";
+// Boots that exhausted every generation and fell back to a full
+// rebuild (counted by the serve layer).
+inline constexpr std::string_view kStoreRecoverRebuilds =
+    "store.recover.rebuilds";
+// Span/histogram names (nanoseconds).
+inline constexpr std::string_view kStoreSaveNs = "store.save_ns";
+inline constexpr std::string_view kStoreLoadNs = "store.load_ns";
+inline constexpr std::string_view kStoreRecoverNs = "store.recover_ns";
+
 }  // namespace fa::obs::metrics

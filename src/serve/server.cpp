@@ -6,6 +6,8 @@
 
 #include "exec/exec.hpp"
 #include "obs/metrics.hpp"
+#include "store/codec.hpp"
+#include "store/recovery.hpp"
 
 namespace fa::serve {
 
@@ -30,9 +32,31 @@ Server::Server(const synth::ScenarioConfig& config,
       snapshots_reclaimed_(
           registry_.counter(obs::metrics::kServeSnapshotsReclaimed)),
       query_ns_(registry_.histogram(obs::metrics::kServeQueryNs)) {
-  // take() throws fault::IoError when the initial scenario is
-  // unbuildable — nothing would be serving, so surface it.
-  store_.publish(Snapshot::build(config, 1, options_.policy).take());
+  // Cold-start ladder: a clean stored generation for this scenario is
+  // epoch 1 with no world build; anything short of that (no store, no
+  // usable generation, a generation for a different scenario) falls
+  // back to the fresh build below.
+  if (!options_.store_dir.empty()) {
+    if (auto dir = store::StoreDir::open(options_.store_dir); dir.ok()) {
+      store_dir_.emplace(std::move(dir).take());
+      store::RecoveryManager manager(*store_dir_);
+      if (auto recovered = manager.recover(); recovered.ok()) {
+        if (recovered.value().loaded.world.config() == config) {
+          store_.publish(Snapshot::adopt(
+              std::move(recovered).take().loaded.world, 1));
+          loaded_from_store_ = true;
+        }
+      }
+      if (!loaded_from_store_) {
+        registry_.counter(obs::metrics::kStoreRecoverRebuilds).add();
+      }
+    }
+  }
+  if (!loaded_from_store_) {
+    // take() throws fault::IoError when the initial scenario is
+    // unbuildable — nothing would be serving, so surface it.
+    store_.publish(Snapshot::build(config, 1, options_.policy).take());
+  }
 }
 
 synth::ScenarioConfig Server::config() const {
@@ -145,6 +169,18 @@ void Server::evaluate_batch(std::span<const PointRiskQuery> queries,
   }
 }
 
+void Server::publish_locked(std::shared_ptr<const Snapshot> next) {
+  store_.publish(std::move(next));
+  snapshots_retired_.add();
+  // Entries for the displaced epoch can never be served again (the
+  // epoch is in the cache key); dropping them now just frees memory.
+  cache_.invalidate_all();
+  swaps_published_.add();
+  const std::uint64_t reclaimed = store_.reclaimed();
+  snapshots_reclaimed_.add(reclaimed - reclaimed_reported_);
+  reclaimed_reported_ = reclaimed;
+}
+
 fault::Status Server::rebuild(const synth::ScenarioConfig& config) {
   const std::lock_guard<std::mutex> lock(rebuild_mu_);
   const Epoch epoch = store_.current_epoch() + 1;
@@ -156,15 +192,44 @@ fault::Status Server::rebuild(const synth::ScenarioConfig& config) {
     swaps_failed_.add();
     return built.status();
   }
-  store_.publish(std::move(built).take());
-  snapshots_retired_.add();
-  // Entries for the displaced epoch can never be served again (the
-  // epoch is in the cache key); dropping them now just frees memory.
-  cache_.invalidate_all();
-  swaps_published_.add();
-  const std::uint64_t reclaimed = store_.reclaimed();
-  snapshots_reclaimed_.add(reclaimed - reclaimed_reported_);
-  reclaimed_reported_ = reclaimed;
+  publish_locked(std::move(built).take());
+  return {};
+}
+
+fault::Status Server::save_snapshot() {
+  if (!store_dir_) {
+    return fault::Status::error(fault::ErrCode::kIoFailure, 0, "serve.store",
+                                "no store directory configured");
+  }
+  // Encode outside the lock (pure function of the pinned snapshot);
+  // serialize only the commit so concurrent savers can't interleave
+  // generation numbering.
+  const std::shared_ptr<const Snapshot> snap = store_.acquire();
+  const std::string image =
+      store::encode_world(snap->world(), snap->provider_risk());
+  const std::lock_guard<std::mutex> lock(save_mu_);
+  auto gen = store_dir_->commit(image);
+  if (!gen.ok()) return gen.status();
+  return {};
+}
+
+fault::Status Server::rebuild_from_store() {
+  if (!store_dir_) {
+    return fault::Status::error(fault::ErrCode::kIoFailure, 0, "serve.store",
+                                "no store directory configured");
+  }
+  const std::lock_guard<std::mutex> lock(rebuild_mu_);
+  store::RecoveryManager manager(*store_dir_);
+  auto recovered = manager.recover();
+  if (!recovered.ok()) {
+    // Same survivability contract as a failed rebuild(): nothing
+    // published, current epoch keeps serving.
+    swaps_failed_.add();
+    return recovered.status();
+  }
+  const Epoch epoch = store_.current_epoch() + 1;
+  publish_locked(
+      Snapshot::adopt(std::move(recovered).take().loaded.world, epoch));
   return {};
 }
 

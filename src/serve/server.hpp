@@ -17,6 +17,8 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 
 #include "obs/obs.hpp"
 #include "serve/batcher.hpp"
@@ -24,6 +26,7 @@
 #include "serve/snapshot.hpp"
 #include "serve/types.hpp"
 #include "serve/wire.hpp"
+#include "store/store.hpp"
 
 namespace fa::serve {
 
@@ -45,6 +48,13 @@ struct ServerOptions {
   // Registry for the serve.* instruments; null = obs::Registry::global()
   // at construction time (so an active obs::ScopedRegistry is honored).
   obs::Registry* registry = nullptr;
+  // Snapshot store directory (created if missing). When set, the
+  // constructor runs the recovery ladder: a clean stored generation
+  // whose scenario config matches `config` becomes epoch 1 with no
+  // world build at all; otherwise (empty store, corrupt generations,
+  // config mismatch) the server falls back to a fresh build and counts
+  // store.recover.rebuilds. Empty = no persistence.
+  std::string store_dir;
 };
 
 class Server {
@@ -88,6 +98,21 @@ class Server {
   // Callable from a background thread while queries run.
   fault::Status rebuild(const synth::ScenarioConfig& config);
 
+  // Encodes the currently serving snapshot and commits it to the store
+  // as the next generation (atomic: a crash mid-commit never damages
+  // existing generations). Error when no store is configured or the
+  // commit fails (torn-write seam included) — the serving epoch is
+  // unaffected either way.
+  fault::Status save_snapshot();
+
+  // Publishes a snapshot restored from the store as the next epoch —
+  // the disk-sourced sibling of rebuild(). On any recovery failure the
+  // current epoch keeps serving.
+  fault::Status rebuild_from_store();
+
+  // True when epoch 1 came from the store instead of a fresh build.
+  bool loaded_from_store() const { return loaded_from_store_; }
+
   Epoch epoch() const { return store_.current_epoch(); }
   const SnapshotStore& snapshots() const { return store_; }
   // Scenario of the currently serving snapshot.
@@ -100,10 +125,15 @@ class Server {
   Resp answer(const Query& q);
   void evaluate_batch(std::span<const PointRiskQuery> queries,
                       std::span<PointRiskResponse> responses);
+  // Publish + retire/cache/counter bookkeeping (rebuild_mu_ held).
+  void publish_locked(std::shared_ptr<const Snapshot> next);
 
   obs::Registry& registry_;
   ServerOptions options_;
+  std::optional<store::StoreDir> store_dir_;
+  bool loaded_from_store_ = false;
   std::mutex rebuild_mu_;  // serializes rebuild(); queries never take it
+  std::mutex save_mu_;     // serializes save_snapshot() commits
   SnapshotStore store_;
   ShardedCache cache_;
   PointBatcher batcher_;

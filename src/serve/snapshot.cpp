@@ -56,6 +56,12 @@ fault::Result<std::shared_ptr<const Snapshot>> Snapshot::build(
   return std::shared_ptr<const Snapshot>(std::move(snap));
 }
 
+std::shared_ptr<const Snapshot> Snapshot::adopt(core::World world,
+                                                Epoch epoch) {
+  return std::shared_ptr<const Snapshot>(
+      new Snapshot(std::move(world), epoch));
+}
+
 PointRiskResponse evaluate(const Snapshot& snap, const PointRiskQuery& q) {
   const core::World& world = snap.world();
   const synth::WhpModel& whp = world.whp();

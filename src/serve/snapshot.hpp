@@ -43,6 +43,12 @@ class Snapshot {
       const synth::ScenarioConfig& config, Epoch epoch,
       fault::RecoveryPolicy policy = fault::RecoveryPolicy::kQuarantine);
 
+  // Wraps an already-built world (restored from the snapshot store) as
+  // an epoch. The provider-risk aggregate is recomputed from the world,
+  // exactly like build() — so a loaded epoch is indistinguishable from
+  // a built one, which is what the byte-identity tests pin.
+  static std::shared_ptr<const Snapshot> adopt(core::World world, Epoch epoch);
+
   Epoch epoch() const { return epoch_; }
   const core::World& world() const { return world_; }
   const core::ProviderRiskResult& provider_risk() const {

@@ -1,0 +1,95 @@
+#include "store/format.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace fa::store {
+
+namespace {
+
+// Slice-by-8 CRC-32 tables (8 KiB, generated once at static init).
+// Table 0 is the classic byte-at-a-time table; table s advances a byte
+// that is s positions deeper in the 8-byte block. The checksum ladder
+// runs over every byte of every image twice (per-section + whole-body),
+// so CRC throughput bounds mmap cold-start time — slicing moves it from
+// ~350 MB/s to well over 1 GB/s without changing a single output bit.
+struct CrcTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  CrcTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (std::size_t s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const CrcTables& crc_tables() {
+  static const CrcTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto& t = crc_tables().t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (size >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+      p += 8;
+      size -= 8;
+    }
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string_view section_kind_name(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kMeta: return "meta";
+    case SectionKind::kTxrLon: return "txr.lon";
+    case SectionKind::kTxrLat: return "txr.lat";
+    case SectionKind::kTxrRadio: return "txr.radio";
+    case SectionKind::kTxrMcc: return "txr.mcc";
+    case SectionKind::kTxrMnc: return "txr.mnc";
+    case SectionKind::kTxrCellId: return "txr.cell_id";
+    case SectionKind::kTxrState: return "txr.state";
+    case SectionKind::kTxrClass: return "txr.class";
+    case SectionKind::kTxrCounty: return "txr.county";
+    case SectionKind::kTxrProvider: return "txr.provider";
+    case SectionKind::kWhpGrid: return "whp.grid";
+    case SectionKind::kWhpStates: return "whp.states";
+    case SectionKind::kWhpUrban: return "whp.urban";
+    case SectionKind::kWhpRoads: return "whp.roads";
+    case SectionKind::kCountyTable: return "county.table";
+    case SectionKind::kCountyNames: return "county.names";
+    case SectionKind::kIndexMeta: return "index.meta";
+    case SectionKind::kIndexBinnedIds: return "index.binned_ids";
+    case SectionKind::kIndexBinnedX: return "index.binned_x";
+    case SectionKind::kIndexBinnedY: return "index.binned_y";
+    case SectionKind::kIndexCellStart: return "index.cell_start";
+    case SectionKind::kProviderRisk: return "provider.risk";
+  }
+  return "unknown";
+}
+
+}  // namespace fa::store

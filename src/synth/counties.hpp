@@ -14,6 +14,10 @@
 #include "synth/scenario.hpp"
 #include "synth/usatlas.hpp"
 
+namespace fa::store {
+struct Access;  // snapshot codec (store/codec.cpp)
+}
+
 namespace fa::synth {
 
 struct County {
@@ -56,6 +60,8 @@ class CountyMap {
   }
 
  private:
+  friend struct fa::store::Access;  // snapshot restore rebuilds by_state_
+
   const UsAtlas* atlas_ = nullptr;
   std::vector<County> counties_;
   std::vector<std::vector<int>> by_state_;

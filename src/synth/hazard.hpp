@@ -18,6 +18,10 @@
 #include "synth/scenario.hpp"
 #include "synth/usatlas.hpp"
 
+namespace fa::store {
+struct Access;  // snapshot codec (store/codec.cpp)
+}
+
 namespace fa::synth {
 
 enum class WhpClass : std::uint8_t {
@@ -70,6 +74,7 @@ class WhpModel {
 
  private:
   friend WhpModel generate_whp(const UsAtlas&, const ScenarioConfig&);
+  friend struct fa::store::Access;  // snapshot restore sets the rasters
   raster::ClassRaster grid_;
   raster::Raster<std::int16_t> states_;
   raster::MaskRaster urban_;

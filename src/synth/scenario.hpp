@@ -24,6 +24,10 @@ struct ScenarioConfig {
   // >1.5M-person counties.
   int counties_per_state = 24;
 
+  // Snapshot recovery compares the config baked into a stored
+  // generation against the one requested at boot.
+  bool operator==(const ScenarioConfig&) const = default;
+
   // Number of transceivers in the full (unscaled) corpus.
   static constexpr std::size_t kFullCorpusSize = 5364949;
 

@@ -1,0 +1,155 @@
+// Client reconnect backoff: the deterministic jitter schedule, the
+// capped exponential envelope, retry-until-the-listener-shows-up
+// against a real ephemeral port, and the fail-fast paths (bad address,
+// exhausted attempts, a fixed port that is already taken).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "../serve/serve_test_util.hpp"
+
+namespace fa::net {
+namespace {
+
+using serve::testing::tiny_config;
+
+// A socket bound to an ephemeral port but NOT listening: connects are
+// refused (ECONNREFUSED) until listen() is called on it — the exact
+// shape of "server mid-restart" the backoff exists for.
+class BoundPort {
+ public:
+  BoundPort() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    socklen_t len = sizeof addr;
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~BoundPort() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  std::uint16_t port() const { return port_; }
+  void start_listening() { ::listen(fd_, 16); }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+TEST(Backoff, ScheduleIsDeterministicAndBounded) {
+  Client::BackoffPolicy policy;  // base 25ms, cap 1000ms
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    const std::uint64_t cap =
+        std::min<std::uint64_t>(policy.max_delay_ms,
+                                attempt < 63 ? policy.base_delay_ms << attempt
+                                             : policy.max_delay_ms);
+    const std::uint64_t d = Client::backoff_delay_ms(policy, attempt);
+    EXPECT_GE(d, cap / 2) << "attempt " << attempt;
+    EXPECT_LE(d, cap) << "attempt " << attempt;
+    EXPECT_EQ(d, Client::backoff_delay_ms(policy, attempt))
+        << "same (seed, attempt) must give the same delay";
+  }
+}
+
+TEST(Backoff, SeedsDecorrelateFleets) {
+  Client::BackoffPolicy a;
+  Client::BackoffPolicy b;
+  b.seed = 2;
+  bool differed = false;
+  for (int attempt = 2; attempt < 8; ++attempt) {
+    differed |= Client::backoff_delay_ms(a, attempt) !=
+                Client::backoff_delay_ms(b, attempt);
+  }
+  EXPECT_TRUE(differed) << "different seeds never diverged";
+}
+
+TEST(Backoff, CapSaturatesAndShiftCannotOverflow) {
+  Client::BackoffPolicy policy;
+  policy.base_delay_ms = 1ull << 40;
+  policy.max_delay_ms = 800;
+  for (int attempt : {0, 1, 24, 40, 62, 63, 200}) {
+    const std::uint64_t d = Client::backoff_delay_ms(policy, attempt);
+    EXPECT_GE(d, 400u) << "attempt " << attempt;
+    EXPECT_LE(d, 800u) << "attempt " << attempt;
+  }
+}
+
+TEST(ConnectRetry, BadAddressNeverRetries) {
+  Client::BackoffPolicy policy;
+  policy.attempts = 5;
+  fault::Result<Client> c =
+      Client::connect_retry("not-an-address", 1, policy, 200);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code, fault::ErrCode::kParse);
+  EXPECT_EQ(c.status().message.find("attempts"), std::string::npos)
+      << "kParse must fail fast, not burn the retry budget";
+}
+
+TEST(ConnectRetry, ExhaustedAttemptsReportTheCount) {
+  BoundPort refused;  // bound, never listening
+  Client::BackoffPolicy policy;
+  policy.attempts = 3;
+  policy.base_delay_ms = 1;
+  policy.max_delay_ms = 2;
+  fault::Result<Client> c =
+      Client::connect_retry("127.0.0.1", refused.port(), policy, 200);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code, fault::ErrCode::kIoFailure);
+  EXPECT_NE(c.status().message.find("(after 3 attempts)"), std::string::npos)
+      << c.status().message;
+}
+
+TEST(ConnectRetry, SucceedsOnceTheListenerAppears) {
+  BoundPort srv;
+  std::thread later([&srv] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    srv.start_listening();
+  });
+  Client::BackoffPolicy policy;
+  policy.attempts = 10;
+  policy.base_delay_ms = 15;
+  policy.max_delay_ms = 120;
+  fault::Result<Client> c =
+      Client::connect_retry("127.0.0.1", srv.port(), policy, 500);
+  later.join();
+  ASSERT_TRUE(c.ok()) << c.status().to_string();
+  EXPECT_TRUE(c.value().connected());
+}
+
+// The fa_served fail-fast satellite at the library layer: binding a
+// fixed port that is already taken throws an IoError whose message
+// names the port and the --port 0 escape hatch.
+TEST(ConnectRetry, FixedPortAlreadyBoundFailsFastWithGuidance) {
+  static serve::Server backend(tiny_config());
+  NetServer first(backend);  // grabs an ephemeral port
+  NetServerOptions clashing;
+  clashing.port = first.port();
+  try {
+    NetServer second(backend, clashing);
+    FAIL() << "second listener bound a taken port";
+  } catch (const fault::IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("already in use"), std::string::npos) << what;
+    EXPECT_NE(what.find("--port 0"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(first.port())), std::string::npos)
+        << what;
+  }
+  first.shutdown(/*drain=*/false);
+}
+
+}  // namespace
+}  // namespace fa::net

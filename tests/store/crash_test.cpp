@@ -1,0 +1,156 @@
+// Crash-injection harness for the commit protocol. A forked child runs
+// StoreDir::commit() with a CommitHooks crash step armed — _exit(2) at
+// a deterministic instruction boundary, exactly like kill -9 at that
+// point — and the parent then runs the recovery ladder and asserts the
+// invariant the store exists to provide: recovery NEVER surfaces a
+// half-written world. Every recovered image must re-encode to the
+// canonical bytes; when nothing was ever durable, recovery must say so
+// with an error, not garbage.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "store/codec.hpp"
+#include "store/recovery.hpp"
+#include "store/store.hpp"
+#include "store_test_util.hpp"
+
+namespace fa::store {
+namespace {
+
+using CrashStep = CommitHooks::CrashStep;
+using testing::TempDir;
+using testing::tiny_image;
+
+// Forks, commits `image` with `hooks` in the child, and reaps it.
+// Returns the child's exit code (2 = the armed crash fired).
+int crash_commit(const std::string& dir_path, const std::string& image,
+                 const CommitHooks& hooks) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: no gtest machinery, no stdio cleanup — commit and fall
+    // through to _exit(0) only if the armed crash step never fired.
+    fault::Result<StoreDir> dir = StoreDir::open(dir_path);
+    if (!dir.ok()) ::_exit(3);
+    (void)dir.value().commit(image, hooks);
+    ::_exit(0);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+struct CrashCase {
+  const char* name;
+  CommitHooks hooks;
+};
+
+std::vector<CrashCase> crash_matrix(std::size_t image_size) {
+  return {
+      {"partial_write_0_bytes", {CrashStep::kAfterPartialWrite, 0}},
+      {"partial_write_1_byte", {CrashStep::kAfterPartialWrite, 1}},
+      {"partial_write_half", {CrashStep::kAfterPartialWrite, image_size / 2}},
+      {"partial_write_all_but_one",
+       {CrashStep::kAfterPartialWrite, image_size - 1}},
+      {"after_tmp_write", {CrashStep::kAfterTmpWrite}},
+      {"after_rename", {CrashStep::kAfterRename}},
+      {"mid_manifest", {CrashStep::kMidManifest}},
+  };
+}
+
+// The core matrix: one good generation exists, then a second commit
+// crashes at every interesting point. Recovery must always produce a
+// world whose re-encoding is byte-identical to the canonical image —
+// whichever generation it came from.
+TEST(CrashMatrix, RecoveryNeverServesAHalfWrittenWorld) {
+  const std::string& image = tiny_image();
+  for (const CrashCase& c : crash_matrix(image.size())) {
+    SCOPED_TRACE(c.name);
+    TempDir tmp;
+    {
+      StoreDir dir = StoreDir::open(tmp.path).take();
+      ASSERT_TRUE(dir.commit(image).ok());
+    }
+    ASSERT_EQ(crash_commit(tmp.path, image, c.hooks), 2)
+        << "armed crash step did not fire";
+
+    RecoveryReport report;
+    fault::Result<RecoveredWorld> rec = recover_from(tmp.path, &report);
+    ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+    // Crashes before the rename leave only gen 1; after it, either
+    // generation is a legitimate (identical-content) winner.
+    if (c.hooks.crash_at == CrashStep::kAfterPartialWrite ||
+        c.hooks.crash_at == CrashStep::kAfterTmpWrite) {
+      EXPECT_EQ(rec.value().generation.number, 1u);
+    } else {
+      EXPECT_GE(rec.value().generation.number, 1u);
+      EXPECT_LE(rec.value().generation.number, 2u);
+    }
+    const std::string reencoded = encode_world(
+        rec.value().loaded.world, rec.value().loaded.provider_risk);
+    EXPECT_EQ(reencoded, image) << "recovered world diverged from canonical";
+  }
+}
+
+// First-ever commit crashing: there is nothing durable to fall back to,
+// so recovery must degrade to an explicit error (the caller's cue to do
+// a full rebuild) — except after the rename, where the orphaned but
+// complete generation is recoverable via the scan fallback.
+TEST(CrashMatrix, CrashOnEmptyStoreDegradesCleanly) {
+  const std::string& image = tiny_image();
+  for (const CrashCase& c : crash_matrix(image.size())) {
+    SCOPED_TRACE(c.name);
+    TempDir tmp;
+    ASSERT_TRUE(StoreDir::open(tmp.path).ok());  // create the directory
+    ASSERT_EQ(crash_commit(tmp.path, image, c.hooks), 2);
+
+    RecoveryReport report;
+    fault::Result<RecoveredWorld> rec = recover_from(tmp.path, &report);
+    const bool generation_durable =
+        c.hooks.crash_at == CrashStep::kAfterRename ||
+        c.hooks.crash_at == CrashStep::kMidManifest;
+    if (generation_durable) {
+      ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+      EXPECT_EQ(rec.value().generation.number, 1u);
+      const std::string reencoded = encode_world(
+          rec.value().loaded.world, rec.value().loaded.provider_risk);
+      EXPECT_EQ(reencoded, image);
+    } else {
+      ASSERT_FALSE(rec.ok()) << "recovered a world that was never durable";
+      EXPECT_EQ(rec.status().code, fault::ErrCode::kIoFailure);
+    }
+  }
+}
+
+// After a crash the store must stay writable: the next commit picks a
+// fresh number (orphans are never overwritten) and recovery then
+// prefers it.
+TEST(CrashMatrix, StoreStaysWritableAfterEveryCrash) {
+  const std::string& image = tiny_image();
+  for (const CrashCase& c : crash_matrix(image.size())) {
+    SCOPED_TRACE(c.name);
+    TempDir tmp;
+    {
+      StoreDir dir = StoreDir::open(tmp.path).take();
+      ASSERT_TRUE(dir.commit(image).ok());
+    }
+    ASSERT_EQ(crash_commit(tmp.path, image, c.hooks), 2);
+
+    StoreDir dir = StoreDir::open(tmp.path).take();
+    const std::uint64_t next = dir.next_generation();
+    fault::Result<Generation> g = dir.commit(image);
+    ASSERT_TRUE(g.ok()) << g.status().to_string();
+    EXPECT_EQ(g.value().number, next);
+
+    fault::Result<RecoveredWorld> rec = recover_from(tmp.path);
+    ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+    EXPECT_EQ(rec.value().generation.number, g.value().number);
+  }
+}
+
+}  // namespace
+}  // namespace fa::store

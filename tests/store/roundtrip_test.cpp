@@ -1,0 +1,110 @@
+// Codec round-trip properties: deterministic encode, re-encode byte
+// identity, clean inspection, and — the contract that matters to the
+// serving layer — a snapshot adopted from a decoded world answers every
+// query byte-identically to one built in memory.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/snapshot.hpp"
+#include "serve/wire.hpp"
+#include "store/codec.hpp"
+#include "store/format.hpp"
+#include "store_test_util.hpp"
+
+namespace fa::store {
+namespace {
+
+using serve::testing::ask_snapshot;
+using serve::testing::make_stream;
+using serve::testing::tiny_config;
+using testing::tiny_image;
+using testing::tiny_risk;
+using testing::tiny_world;
+
+serve::Response to_response(const serve::testing::AnyResponse& r) {
+  return std::visit([](const auto& resp) { return serve::Response{resp}; }, r);
+}
+
+TEST(Roundtrip, EncodeIsDeterministic) {
+  const std::string again = encode_world(tiny_world(), tiny_risk());
+  ASSERT_EQ(tiny_image().size(), again.size());
+  EXPECT_EQ(tiny_image(), again);
+}
+
+TEST(Roundtrip, ImageIsAlignedAndInspectsClean) {
+  const std::string& image = tiny_image();
+  fault::Result<FileReport> report =
+      inspect_image(image.data(), image.size());
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().ok());
+  EXPECT_TRUE(report.value().header_ok);
+  EXPECT_TRUE(report.value().footer_ok);
+  EXPECT_TRUE(report.value().body_crc_ok);
+  EXPECT_EQ(report.value().version, kFormatVersion);
+  EXPECT_EQ(report.value().file_size, image.size());
+  EXPECT_EQ(report.value().sections.size(), kSectionCount);
+  for (const SectionReport& s : report.value().sections) {
+    EXPECT_TRUE(s.crc_ok) << section_kind_name(s.info.kind);
+    EXPECT_EQ(s.info.offset % kSectionAlign, 0u)
+        << section_kind_name(s.info.kind) << " payload is misaligned";
+  }
+}
+
+TEST(Roundtrip, DecodeThenReencodeIsByteIdentical) {
+  const std::string& image = tiny_image();
+  fault::Result<LoadedWorld> loaded = decode_world(image.data(), image.size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  const std::string again =
+      encode_world(loaded.value().world, loaded.value().provider_risk);
+  EXPECT_EQ(image, again) << "decode -> encode must be the identity";
+}
+
+TEST(Roundtrip, DecodedConfigAndCountsMatch) {
+  const std::string& image = tiny_image();
+  fault::Result<LoadedWorld> loaded = decode_world(image.data(), image.size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_TRUE(loaded.value().world.config() == tiny_config());
+  EXPECT_EQ(loaded.value().world.corpus().size(), tiny_world().corpus().size());
+  EXPECT_EQ(loaded.value().provider_risk.regional_brands_at_risk,
+            tiny_risk().regional_brands_at_risk);
+}
+
+// The tentpole's golden byte-identity: a loaded snapshot's wire bytes
+// equal a freshly built snapshot's wire bytes for every query shape.
+TEST(Roundtrip, LoadedSnapshotAnswersByteIdentically) {
+  const std::string& image = tiny_image();
+  fault::Result<LoadedWorld> loaded = decode_world(image.data(), image.size());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+
+  constexpr serve::Epoch kEpoch = 7;
+  auto built = serve::Snapshot::adopt(
+      core::World::build(tiny_config()), kEpoch);
+  auto restored =
+      serve::Snapshot::adopt(std::move(loaded.value().world), kEpoch);
+
+  for (const auto& q : make_stream(200, /*seed=*/97)) {
+    const std::string want =
+        serve::wire::encode(to_response(ask_snapshot(*built, q)));
+    const std::string got =
+        serve::wire::encode(to_response(ask_snapshot(*restored, q)));
+    ASSERT_EQ(want, got) << "loaded snapshot diverged from built snapshot";
+  }
+}
+
+TEST(Roundtrip, TruncationsNeverDecode) {
+  const std::string& image = tiny_image();
+  // Sweep short prefixes plus every boundary the format cares about.
+  for (std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+        std::size_t{95}, std::size_t{96}, image.size() / 2,
+        image.size() - 33, image.size() - 32, image.size() - 1}) {
+    fault::Result<LoadedWorld> r = decode_world(image.data(), len);
+    EXPECT_FALSE(r.ok()) << "truncated to " << len << " bytes decoded";
+  }
+  fault::Result<LoadedWorld> full = decode_world(image.data(), image.size());
+  EXPECT_TRUE(full.ok());
+}
+
+}  // namespace
+}  // namespace fa::store

@@ -1,0 +1,317 @@
+// StoreDir unit suite: manifest syntax/checksum/hash-chain, the commit
+// + prune protocol, scan fallback, both fault seams, and the recovery
+// ladder's degrade order (newest good generation wins, older ones are
+// the fallback, a full rebuild is the floor).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "store/codec.hpp"
+#include "store/format.hpp"
+#include "store/recovery.hpp"
+#include "store/store.hpp"
+#include "store_test_util.hpp"
+
+namespace fa::store {
+namespace {
+
+using testing::TempDir;
+using testing::tiny_image;
+
+struct ObsOn {
+  bool was = obs::enabled();
+  ObsOn() { obs::set_enabled(true); }
+  ~ObsOn() { obs::set_enabled(was); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+Manifest sample_manifest() {
+  Manifest m;
+  m.generations.push_back({1, generation_filename(1), 123, 0xDEADBEEFu});
+  m.generations.push_back({2, generation_filename(2), 456, 0x01020304u});
+  m.generations.push_back({7, generation_filename(7), 789, 0xCAFEF00Du});
+  return m;
+}
+
+TEST(Manifest, FilenameFormat) {
+  EXPECT_EQ(generation_filename(1), "gen-000001.fa");
+  EXPECT_EQ(generation_filename(123456), "gen-123456.fa");
+}
+
+TEST(Manifest, RoundTrip) {
+  const Manifest m = sample_manifest();
+  fault::Result<Manifest> parsed = parse_manifest(encode_manifest(m), "test");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().generations.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.value().generations[i].number, m.generations[i].number);
+    EXPECT_EQ(parsed.value().generations[i].filename,
+              m.generations[i].filename);
+    EXPECT_EQ(parsed.value().generations[i].size, m.generations[i].size);
+    EXPECT_EQ(parsed.value().generations[i].crc, m.generations[i].crc);
+  }
+}
+
+TEST(Manifest, EveryByteFlipIsDetected) {
+  const std::string text = encode_manifest(sample_manifest());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string bad = text;
+    bad[i] ^= 0x01;
+    fault::Result<Manifest> parsed = parse_manifest(bad, "test");
+    EXPECT_FALSE(parsed.ok()) << "flip at byte " << i << " parsed clean";
+  }
+}
+
+TEST(Manifest, MissingChecksumLineIsTorn) {
+  std::string text = encode_manifest(sample_manifest());
+  // Drop the final "crc <hex>" line (a torn manifest write).
+  const std::size_t cut = text.rfind("crc ");
+  ASSERT_NE(cut, std::string::npos);
+  fault::Result<Manifest> parsed = parse_manifest(text.substr(0, cut), "test");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code, fault::ErrCode::kTruncated);
+}
+
+// A forged manifest whose overall checksum is valid but whose entries
+// skip a link must still fail: the per-entry hash chain seeds each link
+// with the previous one, so deleting the middle line breaks gen 7.
+TEST(Manifest, HashChainCatchesDroppedEntry) {
+  const std::string text = encode_manifest(sample_manifest());
+  std::string forged;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    const std::string line = text.substr(start, end - start);
+    if (line.find(generation_filename(2)) == std::string::npos &&
+        line.rfind("crc ", 0) != 0) {
+      forged += line + "\n";
+    }
+    start = end + 1;
+  }
+  char hex[16];
+  std::snprintf(hex, sizeof hex, "%08x",
+                crc32(forged.data(), forged.size()));
+  forged += std::string("crc ") + hex + "\n";
+  fault::Result<Manifest> parsed = parse_manifest(forged, "test");
+  ASSERT_FALSE(parsed.ok()) << "chain-skipping manifest parsed clean";
+}
+
+TEST(Manifest, RejectsNonAscendingNumbers) {
+  Manifest m;
+  m.generations.push_back({5, generation_filename(5), 10, 1});
+  m.generations.push_back({5, generation_filename(5), 10, 1});
+  fault::Result<Manifest> parsed = parse_manifest(encode_manifest(m), "test");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(StoreDir, CommitReadBackAndNextGeneration) {
+  TempDir tmp;
+  fault::Result<StoreDir> dir = StoreDir::open(tmp.path);
+  ASSERT_TRUE(dir.ok()) << dir.status().to_string();
+  EXPECT_EQ(dir.value().next_generation(), 1u);
+
+  fault::Result<Generation> g1 = dir.value().commit("first image");
+  ASSERT_TRUE(g1.ok()) << g1.status().to_string();
+  EXPECT_EQ(g1.value().number, 1u);
+  EXPECT_EQ(g1.value().size, std::string("first image").size());
+
+  fault::Result<Generation> g2 = dir.value().commit("second image");
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2.value().number, 2u);
+  EXPECT_EQ(dir.value().next_generation(), 3u);
+
+  fault::Result<Manifest> m = dir.value().read_manifest();
+  ASSERT_TRUE(m.ok()) << m.status().to_string();
+  ASSERT_EQ(m.value().generations.size(), 2u);
+  EXPECT_EQ(m.value().generations[1].crc,
+            crc32("second image", std::string("second image").size()));
+  EXPECT_EQ(slurp(dir.value().file_path(g2.value().filename)), "second image");
+}
+
+TEST(StoreDir, PrunesBeyondKeepWindow) {
+  ObsOn obs_on;
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(dir.commit("image " + std::to_string(i)).ok());
+  }
+  fault::Result<Manifest> m = dir.read_manifest();
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m.value().generations.size(), StoreDir::kKeepGenerations);
+  EXPECT_EQ(m.value().generations.front().number, 3u);
+  EXPECT_EQ(m.value().generations.back().number, 6u);
+  EXPECT_FALSE(file_exists(dir.file_path(generation_filename(1))));
+  EXPECT_FALSE(file_exists(dir.file_path(generation_filename(2))));
+  EXPECT_TRUE(file_exists(dir.file_path(generation_filename(3))));
+}
+
+TEST(StoreDir, ScanIgnoresTmpDebrisAndStrangers) {
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  ASSERT_TRUE(dir.commit("image").ok());
+  spit(dir.file_path("gen-000099.fa.tmp"), "torn debris");
+  spit(dir.file_path("notes.txt"), "not a generation");
+  const Manifest scanned = dir.scan();
+  ASSERT_EQ(scanned.generations.size(), 1u);
+  EXPECT_EQ(scanned.generations[0].number, 1u);
+  // Orphan tmp debris must not advance the generation counter either.
+  EXPECT_EQ(dir.next_generation(), 2u);
+}
+
+TEST(StoreDir, TornWriteSeamFailsCommitAndKeepsManifest) {
+  ObsOn obs_on;
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  ASSERT_TRUE(dir.commit(tiny_image()).ok());
+
+  {
+    fault::ScopedInjector torn(
+        fault::Injector::parse("seed=11,store.write.torn=1").take());
+    fault::Result<Generation> g = dir.commit(tiny_image());
+    ASSERT_FALSE(g.ok());
+    EXPECT_EQ(g.status().code, fault::ErrCode::kInjected);
+  }
+
+  // The manifest still lists exactly the one good generation, and the
+  // ladder still recovers it despite the torn .tmp debris.
+  fault::Result<Manifest> m = dir.read_manifest();
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m.value().generations.size(), 1u);
+  fault::Result<RecoveredWorld> rec = RecoveryManager(std::move(dir)).recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+  EXPECT_EQ(rec.value().generation.number, 1u);
+}
+
+TEST(Recovery, ReadCorruptSeamRejectsButNeverDamagesDisk) {
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  ASSERT_TRUE(dir.commit(tiny_image()).ok());
+  RecoveryManager mgr(std::move(dir));
+  const Generation gen = mgr.dir().read_manifest().take().generations[0];
+
+  {
+    fault::ScopedInjector corrupt(
+        fault::Injector::parse("seed=3,store.read.corrupt=1").take());
+    fault::Result<LoadedWorld> r = mgr.load_generation(gen);
+    EXPECT_FALSE(r.ok()) << "seeded bit flips must not decode";
+  }
+  // MAP_PRIVATE: the flips never reached the file.
+  fault::Result<LoadedWorld> clean = mgr.load_generation(gen);
+  EXPECT_TRUE(clean.ok()) << clean.status().to_string();
+}
+
+TEST(Recovery, LadderFallsBackToOlderGeneration) {
+  ObsOn obs_on;
+  obs::ScopedRegistry scope;
+  obs::Registry& reg = scope.registry();
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  ASSERT_TRUE(dir.commit(tiny_image()).ok());
+  // Generation 2 is corrupt-at-rest: its manifest CRC matches the bytes
+  // we committed, but the image's own checksum ladder rejects it.
+  std::string bad = tiny_image();
+  bad[bad.size() / 2] ^= 0x40;
+  ASSERT_TRUE(dir.commit(bad).ok());
+
+  RecoveryReport report;
+  fault::Result<RecoveredWorld> rec =
+      RecoveryManager(std::move(dir)).recover(&report);
+  ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+  EXPECT_EQ(rec.value().generation.number, 1u);
+  ASSERT_EQ(report.steps.size(), 2u);
+  EXPECT_FALSE(report.steps[0].ok());
+  EXPECT_TRUE(report.steps[1].ok());
+  EXPECT_FALSE(report.manifest_fallback);
+  EXPECT_EQ(reg.counter(obs::metrics::kStoreRecoverAttempts).value(), 2u);
+  EXPECT_EQ(reg.counter(obs::metrics::kStoreRecoverRejected).value(), 1u);
+  EXPECT_EQ(reg.counter(obs::metrics::kStoreRecoverLoaded).value(), 1u);
+}
+
+TEST(Recovery, ManifestCrcCatchesAtRestTamper) {
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  ASSERT_TRUE(dir.commit(tiny_image()).ok());
+  // Flip one bit of the committed file behind the manifest's back.
+  const std::string path = dir.file_path(generation_filename(1));
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 3] ^= 0x10;
+  spit(path, bytes);
+
+  fault::Result<RecoveredWorld> rec = RecoveryManager(std::move(dir)).recover();
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code, fault::ErrCode::kParse);
+}
+
+TEST(Recovery, CorruptManifestFallsBackToScan) {
+  ObsOn obs_on;
+  obs::ScopedRegistry scope;
+  obs::Registry& reg = scope.registry();
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  ASSERT_TRUE(dir.commit("not a decodable image").ok());
+  ASSERT_TRUE(dir.commit(tiny_image()).ok());
+  spit(dir.file_path("MANIFEST"), "fastore-manifest 1\ngarbage\n");
+
+  RecoveryReport report;
+  fault::Result<RecoveredWorld> rec =
+      RecoveryManager(std::move(dir)).recover(&report);
+  ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+  EXPECT_EQ(rec.value().generation.number, 2u);
+  EXPECT_TRUE(report.manifest_fallback);
+  EXPECT_GE(report.steps.size(), 2u);  // fallback note + load step(s)
+  EXPECT_EQ(reg.counter(obs::metrics::kStoreManifestFallbacks).value(), 1u);
+}
+
+TEST(Recovery, EmptyStoreIsAnErrorNotACrash) {
+  TempDir tmp;
+  RecoveryReport report;
+  fault::Result<RecoveredWorld> rec = recover_from(tmp.path, &report);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code, fault::ErrCode::kIoFailure);
+}
+
+TEST(Recovery, EveryGenerationRejectedSummarizesNewestFailure) {
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  ASSERT_TRUE(dir.commit("junk one").ok());
+  ASSERT_TRUE(dir.commit("junk two").ok());
+  RecoveryReport report;
+  fault::Result<RecoveredWorld> rec =
+      RecoveryManager(std::move(dir)).recover(&report);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(report.steps.size(), 2u);
+  EXPECT_NE(rec.status().message.find("every generation rejected"),
+            std::string::npos)
+      << rec.status().message;
+}
+
+TEST(MappedFileTest, MissingAndEmptyFiles) {
+  TempDir tmp;
+  EXPECT_FALSE(MappedFile::open(tmp.path + "/absent").ok());
+  spit(tmp.path + "/empty", "");
+  fault::Result<MappedFile> empty = MappedFile::open(tmp.path + "/empty");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code, fault::ErrCode::kTruncated);
+}
+
+}  // namespace
+}  // namespace fa::store

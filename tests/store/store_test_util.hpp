@@ -1,0 +1,54 @@
+// Shared scaffolding for the store suite: a throwaway store directory
+// and one lazily built tiny world whose encoded image every test
+// reuses (world builds dominate runtime; the image is immutable).
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/provider_risk.hpp"
+#include "core/world.hpp"
+#include "store/codec.hpp"
+#include "../serve/serve_test_util.hpp"
+
+namespace fa::store::testing {
+
+// mkdtemp-backed directory, recursively removed on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/fastore-test-XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
+
+// One world per test binary; every caller shares the same build.
+inline const core::World& tiny_world() {
+  static const core::World* world = new core::World(
+      core::World::build(serve::testing::tiny_config()));
+  return *world;
+}
+
+inline const core::ProviderRiskResult& tiny_risk() {
+  static const core::ProviderRiskResult* risk =
+      new core::ProviderRiskResult(core::run_provider_risk(tiny_world()));
+  return *risk;
+}
+
+// The canonical encoded image of tiny_world().
+inline const std::string& tiny_image() {
+  static const std::string* image =
+      new std::string(encode_world(tiny_world(), tiny_risk()));
+  return *image;
+}
+
+}  // namespace fa::store::testing

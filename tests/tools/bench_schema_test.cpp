@@ -90,6 +90,10 @@ const std::vector<BenchSchema>& schemas() {
       {"bench_serve_qps", "serve_qps",
        {"pool_workers", "distinct_queries", "queries_per_thread",
         "cache_on_beats_off", "rows"}},
+      {"bench_store", "store",
+       {"transceivers", "image_bytes", "build_s", "save_s", "load_s",
+        "recover_fallback_s", "fallback_to_older_generation",
+        "load_speedup", "load_faster"}},
       {"bench_serve_net", "serve_net",
        {"workers", "per_thread", "distinct_queries", "shed_demonstrated",
         "rows", "saturation"},
