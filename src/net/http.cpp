@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 #include <utility>
 #include <vector>
@@ -75,13 +76,17 @@ std::optional<double> parse_double(std::string_view token) {
   return v;
 }
 
+// Digits only: strtoul would accept leading whitespace and '+'/'-'
+// signs, so Content-Length values like "+5" or " 5" (or negatives that
+// wrap) would slip through as valid.
 std::optional<std::uint32_t> parse_u32(std::string_view token) {
-  if (token.empty()) return std::nullopt;
-  const std::string s(token);
-  char* end = nullptr;
-  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
-  if (end != s.c_str() + s.size()) return std::nullopt;
-  if (v > 0xFFFFFFFFul) return std::nullopt;
+  if (token.empty() || token.size() > 10) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v > 0xFFFFFFFFull) return std::nullopt;
   return static_cast<std::uint32_t>(v);
 }
 
@@ -94,6 +99,7 @@ std::string_view reason_phrase(int status) {
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Error";
   }

@@ -29,6 +29,8 @@ std::string_view error_code_name(ErrorCode code) {
       return "busy";
     case ErrorCode::kShuttingDown:
       return "shutting_down";
+    case ErrorCode::kInternal:
+      return "internal";
   }
   return "unknown";
 }
@@ -91,7 +93,7 @@ fault::Result<WireError> decode_error(std::string_view payload) {
                 "error message length does not match payload");
   }
   if (code < 1 ||
-      code > static_cast<std::uint16_t>(ErrorCode::kShuttingDown)) {
+      code > static_cast<std::uint16_t>(ErrorCode::kInternal)) {
     return fail(fault::ErrCode::kOutOfRange, 2,
                 "unknown error code " + std::to_string(code));
   }

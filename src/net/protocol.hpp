@@ -56,6 +56,7 @@ enum class ErrorCode : std::uint16_t {
   kRateLimited = 3,   // per-client token bucket empty
   kBusy = 4,          // admission queue full — load shed
   kShuttingDown = 5,  // server draining; no new work admitted
+  kInternal = 6,      // unexpected server-side failure handling a request
 };
 
 std::string_view error_code_name(ErrorCode code);

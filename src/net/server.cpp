@@ -118,6 +118,10 @@ struct Conn {
   // -- shared with workers (under mu) ----------------------------------
   std::mutex mu;
   std::string outbox;
+  // Last forward progress on the outbox: stamped when bytes land in an
+  // empty outbox and whenever send() moves bytes. The sweep expires
+  // connections whose outbox sat non-empty past write_timeout_ms.
+  std::uint64_t outbox_progress_ns = 0;
   std::vector<Work> pending;   // out-of-order completions parked here
   std::uint64_t next_seq = 1;  // next response the peer expects
   bool busy = false;           // a worker is executing for this conn
@@ -727,6 +731,7 @@ struct NetServer::Impl {
           if (n > 0) {
             c_bytes_out.add(static_cast<std::uint64_t>(n));
             conn.outbox.erase(0, static_cast<std::size_t>(n));
+            conn.outbox_progress_ns = reg.now_ns();
             continue;
           }
           if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -773,10 +778,21 @@ struct NetServer::Impl {
         expired.push_back(conn);
         continue;
       }
+      std::lock_guard<std::mutex> lk(conn->mu);
+      if (!conn->outbox.empty()) {
+        // Write stall: a peer that stopped reading (or vanished without
+        // a FIN) below max_outbox_bytes never triggers EPOLLOUT or the
+        // overflow drop, so without this check the connection would pin
+        // its slot forever.
+        if (now_ns - conn->outbox_progress_ns >
+            opts.write_timeout_ms * 1'000'000ull) {
+          expired.push_back(conn);
+        }
+        continue;
+      }
       if (!mid && idle_ns > opts.idle_timeout_ms * 1'000'000ull &&
           conn->in_flight.load(std::memory_order_relaxed) == 0) {
-        std::lock_guard<std::mutex> lk(conn->mu);
-        if (conn->outbox.empty()) expired.push_back(conn);
+        expired.push_back(conn);
       }
     }
     for (const auto& conn : expired) {
@@ -847,6 +863,7 @@ struct NetServer::Impl {
         conn->busy = false;
         conn->next_seq++;
         if (!conn->closed) {
+          if (conn->outbox.empty()) conn->outbox_progress_ns = reg.now_ns();
           conn->outbox.append(out);
           if (job.close_after || (job.http && !job.keep_alive)) {
             conn->close_after_flush = true;
@@ -902,6 +919,24 @@ struct NetServer::Impl {
                                                    e.what()),
                                    w.keep_alive)
                    : error_frame(ErrorCode::kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      // Anything else escaping a worker thread would std::terminate the
+      // whole server on one bad request; answer 500 and keep serving.
+      c_bad.add();
+      out = w.http
+                ? http_response(500,
+                                http_error_body(ErrorCode::kInternal,
+                                                e.what()),
+                                w.keep_alive)
+                : error_frame(ErrorCode::kInternal, e.what());
+    } catch (...) {
+      c_bad.add();
+      out = w.http
+                ? http_response(500,
+                                http_error_body(ErrorCode::kInternal,
+                                                "unexpected error"),
+                                w.keep_alive)
+                : error_frame(ErrorCode::kInternal, "unexpected error");
     }
     return out;
   }

@@ -20,8 +20,10 @@
 //     flushed by the IO thread; an outbox past max_outbox_bytes means
 //     the peer stopped reading, and the connection is dropped
 //     (net.connections.dropped_slow) instead of buffering forever.
-//   * Timeouts. A connection idle past idle_timeout_ms, or stalled
-//     mid-frame past read_timeout_ms, is closed (net.timeouts).
+//   * Timeouts. A connection idle past idle_timeout_ms, stalled
+//     mid-frame past read_timeout_ms, or making no send progress on a
+//     non-empty outbox past write_timeout_ms (a peer that vanished
+//     without a FIN never triggers EPOLLOUT), is closed (net.timeouts).
 //   * Graceful drain. shutdown(drain=true) stops accepting, answers
 //     new requests with SHUTTING_DOWN, lets admitted work finish and
 //     flush (bounded by drain_timeout_ms), then joins. Safe while a
@@ -56,6 +58,7 @@ struct NetServerOptions {
   double quota_burst = 32.0;
   std::uint64_t idle_timeout_ms = 30'000;
   std::uint64_t read_timeout_ms = 10'000;
+  std::uint64_t write_timeout_ms = 10'000;
   std::uint64_t drain_timeout_ms = 5'000;
   std::size_t max_outbox_bytes = 1 << 20;
   // Route point queries through the flat-combining batcher so

@@ -725,13 +725,21 @@ fault::Result<LoadedWorld> decode_world(const void* data, std::size_t size,
       return fail(ErrCode::kSchema, cnames->offset, source,
                   "county name blob size disagrees with offsets");
     }
-    const char* blob = reinterpret_cast<const char*>(nc.p + nc.off);
-    Cursor tc{img.base + ctab->offset, static_cast<std::size_t>(ctab->length)};
+    // Validate the whole offset array before touching the blob: a
+    // CRC-consistent but hostile image could pass the checks for early
+    // indices while a later one is wild, and copying as we validate
+    // would read past the section (and potentially the mmap) before the
+    // bad index is reached. Monotone non-decreasing plus the pinned
+    // offs.back() == blob_bytes bounds every slice inside the blob.
     for (std::uint64_t i = 0; i < county_count; ++i) {
       if (offs[i] > offs[i + 1]) {
         return fail(ErrCode::kOutOfRange, cnames->offset, source,
                     "county name offsets not monotonic");
       }
+    }
+    const char* blob = reinterpret_cast<const char*>(nc.p + nc.off);
+    Cursor tc{img.base + ctab->offset, static_cast<std::size_t>(ctab->length)};
+    for (std::uint64_t i = 0; i < county_count; ++i) {
       auto& c = counties[i];
       c.state = tc.get<std::int32_t>();
       c.is_major = tc.get<std::uint32_t>() != 0;

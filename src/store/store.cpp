@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -70,7 +71,13 @@ bool parse_u64(std::string_view token, std::uint64_t& out) {
   std::uint64_t v = 0;
   for (const char c : token) {
     if (c < '0' || c > '9') return false;
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+    // Reject rather than wrap: a 20+-digit token in a corrupt manifest
+    // or filename must not alias to a small generation number.
+    if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+      return false;
+    }
+    v = v * 10 + d;
   }
   out = v;
   return true;

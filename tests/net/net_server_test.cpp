@@ -462,5 +462,49 @@ TEST(NetServer, ReadTimeoutReapsMidFrameStall) {
   net.shutdown();
 }
 
+TEST(NetServer, WriteStallTimeoutReapsStalledOutbox) {
+  serve::Server& backend = shared_server();
+  ObsOn obs_on;
+  obs::ScopedRegistry scoped;
+  // Every flush round stalls but the outbox stays far below the cap, so
+  // the overflow guard never fires and EPOLLOUT never trips: only the
+  // write-stall timeout can reap the connection.
+  fault::ScopedInjector inject(
+      fault::Injector::parse("seed=7,net.conn.slow=1.0").value());
+  NetServerOptions opts;
+  opts.write_timeout_ms = 150;
+  opts.registry = &scoped.registry();
+  NetServer net(backend, opts);
+
+  auto client = Client::connect(kLoop, net.port());
+  ASSERT_TRUE(client.ok());
+  Client c = std::move(client).take();
+  auto reply = c.call(Request{serve::TopKSitesQuery{{-120, 40}, 8e4, 4}});
+  // The reply never arrives: the sweep closed the stalled connection.
+  EXPECT_FALSE(reply.ok() && reply.value().ok());
+  for (int i = 0; i < 100; ++i) {
+    if (scoped.registry().counter(obs::metrics::kNetTimeouts).value() > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(scoped.registry().counter(obs::metrics::kNetTimeouts).value(), 0u);
+  net.shutdown();
+}
+
+TEST(NetServer, RejectsSignedOrPaddedContentLength) {
+  serve::Server& backend = shared_server();
+  NetServer net(backend, {});
+  for (const char* bad : {"+5", "-5", "5x", "99999999999999999999"}) {
+    RawSock s(net.port());
+    ASSERT_TRUE(s.connected());
+    s.send_all(std::string("POST /risk HTTP/1.1\r\nContent-Length: ") + bad +
+               "\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(s.read_response().find("HTTP/1.1 400"), std::string::npos)
+        << "Content-Length '" << bad << "' was not rejected";
+  }
+  net.shutdown();
+}
+
 }  // namespace
 }  // namespace fa::net

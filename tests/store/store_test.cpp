@@ -281,6 +281,27 @@ TEST(Recovery, CorruptManifestFallsBackToScan) {
   EXPECT_EQ(reg.counter(obs::metrics::kStoreManifestFallbacks).value(), 1u);
 }
 
+TEST(Recovery, OverflowingGenerationFilenameIsIgnoredNotWrapped) {
+  TempDir tmp;
+  StoreDir dir = StoreDir::open(tmp.path).take();
+  ASSERT_TRUE(dir.commit(tiny_image()).ok());
+  // 2*2^64 + 3 wraps to 3 modulo 2^64: without an overflow guard the
+  // scan would alias this junk file to "generation 3" and try it before
+  // the real newest generation.
+  spit(dir.file_path("gen-36893488147419103235.fa"), "junk");
+  spit(dir.file_path("MANIFEST"), "fastore-manifest 1\ngarbage\n");
+
+  RecoveryReport report;
+  fault::Result<RecoveredWorld> rec =
+      RecoveryManager(std::move(dir)).recover(&report);
+  ASSERT_TRUE(rec.ok()) << rec.status().to_string();
+  EXPECT_EQ(rec.value().generation.number, 1u);
+  for (const fault::Status& step : report.steps) {
+    EXPECT_EQ(step.message.find("36893488147419103235"), std::string::npos)
+        << step.to_string();
+  }
+}
+
 TEST(Recovery, EmptyStoreIsAnErrorNotACrash) {
   TempDir tmp;
   RecoveryReport report;
