@@ -1,0 +1,144 @@
+// Incremental-update bench: what does fa::delta buy over rebuilding?
+//
+// Measures, on the env-configured scenario (FA_SCALE/FA_CELL_M/FA_SEED):
+//   rebuild_s        full from-scratch world build + provider-risk
+//                    re-tally — the update-to-serving latency a
+//                    rebuild-per-change deployment pays
+//   apply_mean_s     mean feed-batch apply (ingest + copy-on-write
+//                    apply + incremental index/risk maintenance) —
+//                    the latency the delta path pays, measured over
+//                    FA_DELTA_TICKS batches of a live synthetic feed
+//   apply_p99_s      worst batch observed (fires dirty whole regions)
+//
+// The acceptance gate is the trailer's delta_speedup
+// (rebuild_s / apply_mean_s): publishing a delta-built epoch must be
+// >= 10x faster than the full rebuild it replaces. The final epoch is
+// checked byte-identical to a from-scratch rebuild of the same state
+// before the trailer prints — a fast wrong answer fails the run.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/provider_risk.hpp"
+#include "core/world.hpp"
+#include "delta/apply.hpp"
+#include "delta/feed.hpp"
+#include "store/codec.hpp"
+
+int main() {
+  using namespace fa;
+
+  bench::Stopwatch run_timer;
+  core::AnalysisContext& ctx = bench::bench_context(
+      "fa::delta — incremental epoch updates vs full rebuild");
+  const synth::ScenarioConfig cfg = ctx.world().config();
+
+  const char* ticks_env = std::getenv("FA_DELTA_TICKS");
+  const std::size_t ticks =
+      ticks_env ? static_cast<std::size_t>(std::atol(ticks_env)) : 16;
+
+  // Baseline: the rebuild-per-change path (fresh build, fresh tally).
+  bench::Stopwatch rebuild_timer;
+  core::World rebuilt = core::World::build(cfg);
+  core::ProviderRiskResult rebuilt_risk = core::run_provider_risk(rebuilt);
+  const double rebuild_s = rebuild_timer.seconds();
+  std::printf("full rebuild: %.3fs (%zu transceivers)\n", rebuild_s,
+              rebuilt.corpus().size());
+
+  // Delta path: a live feed over the same world, one epoch per batch.
+  core::World world = std::move(rebuilt);
+  core::ProviderRiskResult risk = std::move(rebuilt_risk);
+  delta::FeedOptions feed_options;
+  feed_options.seed = cfg.seed + 1;
+  delta::FeedGenerator gen(world, feed_options);
+  delta::FeedIngestor ingestor;
+  std::vector<double> apply_s;
+  apply_s.reserve(ticks);
+  std::size_t events_applied = 0;
+  std::size_t dirty_total = 0;
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    std::vector<delta::FeedEvent> raw = gen.tick();
+    bench::Stopwatch apply_timer;
+    auto cleaned = ingestor.ingest(std::move(raw));
+    if (!cleaned.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   cleaned.status().to_string().c_str());
+      return 1;
+    }
+    auto applied = delta::Applier::apply(world, risk, cleaned.value(), {});
+    if (!applied.ok()) {
+      std::fprintf(stderr, "apply failed: %s\n",
+                   applied.status().to_string().c_str());
+      return 1;
+    }
+    delta::ApplyResult result = std::move(applied).take();
+    apply_s.push_back(apply_timer.seconds());
+    events_applied += result.stats.events - result.stats.quarantined;
+    dirty_total += result.stats.dirty_transceivers;
+    world = std::move(result.world);
+    risk = std::move(result.provider_risk);
+  }
+  double apply_sum = 0.0;
+  double apply_max = 0.0;
+  for (const double s : apply_s) {
+    apply_sum += s;
+    apply_max = std::max(apply_max, s);
+  }
+  std::vector<double> sorted = apply_s;
+  std::sort(sorted.begin(), sorted.end());
+  const double apply_mean_s = apply_sum / static_cast<double>(ticks);
+  const double apply_p99_s =
+      sorted[std::min(sorted.size() - 1,
+                      static_cast<std::size_t>(
+                          static_cast<double>(sorted.size()) * 0.99))];
+  std::printf(
+      "delta apply: %zu batches, %zu events, mean %.4fs, max %.4fs "
+      "(%zu cache entries dirtied)\n",
+      ticks, events_applied, apply_mean_s, apply_max, dirty_total);
+
+  // Correctness gate: the final delta-built epoch must be
+  // byte-identical to a from-scratch rebuild of the same state.
+  core::World::BuildOptions opts;
+  auto reference = core::World::from_parts(
+      cellnet::CellCorpus(
+          std::vector<cellnet::Transceiver>(world.corpus().transceivers())),
+      world.whp_ptr(), world.counties_ptr(), world.config(), opts);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "reference rebuild failed: %s\n",
+                 reference.status().to_string().c_str());
+    return 1;
+  }
+  core::World ref_world = std::move(reference).take();
+  const core::ProviderRiskResult ref_risk =
+      core::run_provider_risk(ref_world);
+  const bool byte_identical = store::encode_world(world, risk) ==
+                              store::encode_world(ref_world, ref_risk);
+  if (!byte_identical) {
+    std::fprintf(stderr,
+                 "FAIL: delta-built epoch diverges from rebuild\n");
+  }
+
+  const double speedup = apply_mean_s > 0.0 ? rebuild_s / apply_mean_s : 0.0;
+  const bool delta_faster = speedup >= 10.0;
+  std::printf("update-to-serving speedup: %.1fx (%s the 10x gate)\n",
+              speedup, delta_faster ? "clears" : "MISSES");
+
+  io::JsonObject payload;
+  payload["transceivers"] = world.corpus().size();
+  payload["ticks"] = ticks;
+  payload["events_applied"] = events_applied;
+  payload["dirty_transceivers"] = dirty_total;
+  payload["rebuild_s"] = rebuild_s;
+  payload["apply_mean_s"] = apply_mean_s;
+  payload["apply_p99_s"] = apply_p99_s;
+  payload["apply_max_s"] = apply_max;
+  payload["byte_identical"] = byte_identical;
+  payload["delta_speedup"] = speedup;
+  payload["delta_faster"] = delta_faster;
+  bench::print_json_trailer("delta_ingest", io::JsonValue{std::move(payload)},
+                            &run_timer);
+  return byte_identical ? 0 : 1;
+}

@@ -116,8 +116,9 @@ void World::finalize() {
       n,
       [this, &transceivers, &positions](std::size_t i) {
         const cellnet::Transceiver& t = transceivers[i];
-        txr_class_[t.id] = static_cast<std::uint8_t>(whp_.class_at(t.position));
-        txr_county_[t.id] = counties_.county_of(t.position);
+        txr_class_[t.id] =
+            static_cast<std::uint8_t>(whp_->class_at(t.position));
+        txr_county_[t.id] = counties_->county_of(t.position);
         txr_provider_[t.id] =
             static_cast<std::uint8_t>(providers_.resolve(t.mcc, t.mnc));
         positions[t.id] = t.position.as_vec();
@@ -135,11 +136,13 @@ fault::Result<World> World::build(const synth::ScenarioConfig& config,
   w.config_ = config;
   w.atlas_ = &synth::UsAtlas::get();
   try {
-    w.whp_ = synth::generate_whp(*w.atlas_, config);
+    w.whp_ = std::make_shared<const synth::WhpModel>(
+        synth::generate_whp(*w.atlas_, config));
     std::vector<cellnet::Transceiver> txr =
         std::move(synth::generate_corpus(*w.atlas_, config))
             .take_transceivers();
-    w.counties_ = synth::CountyMap::build(*w.atlas_, config);
+    w.counties_ = std::make_shared<const synth::CountyMap>(
+        synth::CountyMap::build(*w.atlas_, config));
 
     corrupt_stage(txr);
     fault::Result<ValidateOutcome> validated =
@@ -167,8 +170,10 @@ fault::Result<World> World::from_corpus(cellnet::CellCorpus corpus,
   w.config_ = config;
   w.atlas_ = &synth::UsAtlas::get();
   try {
-    w.whp_ = synth::generate_whp(*w.atlas_, config);
-    w.counties_ = synth::CountyMap::build(*w.atlas_, config);
+    w.whp_ = std::make_shared<const synth::WhpModel>(
+        synth::generate_whp(*w.atlas_, config));
+    w.counties_ = std::make_shared<const synth::CountyMap>(
+        synth::CountyMap::build(*w.atlas_, config));
 
     fault::Result<ValidateOutcome> validated =
         validate_stage(std::move(corpus).take_transceivers(), options);
@@ -177,6 +182,40 @@ fault::Result<World> World::from_corpus(cellnet::CellCorpus corpus,
     w.ingest_repaired_ = validated.value().repaired;
     w.corpus_ = cellnet::CellCorpus{std::move(validated.value().kept)};
 
+    w.finalize();
+  } catch (const fault::IoError& e) {
+    return e.status();
+  }
+  return w;
+}
+
+fault::Result<World> World::from_parts(
+    cellnet::CellCorpus corpus, std::shared_ptr<const synth::WhpModel> whp,
+    std::shared_ptr<const synth::CountyMap> counties,
+    const synth::ScenarioConfig& config, const BuildOptions& options) {
+  const obs::Span span("world.build");
+  obs::count("world.builds");
+  World w;
+  w.config_ = config;
+  w.atlas_ = &synth::UsAtlas::get();
+  w.whp_ = std::move(whp);
+  w.counties_ = std::move(counties);
+  try {
+    // The parts ARE the final state: validation is a pure sanity pass
+    // (any drop/repair here means the caller handed over records that a
+    // fresh build would never have kept) and the counters stay 0 so a
+    // from_parts world of state S encodes byte-identically however S
+    // was reached.
+    fault::Result<ValidateOutcome> validated =
+        validate_stage(std::move(corpus).take_transceivers(), options);
+    if (!validated.ok()) return validated.status();
+    if (validated.value().dropped != 0 || validated.value().repaired != 0) {
+      return fault::Status::error(fault::ErrCode::kOutOfRange,
+                                  validated.value().dropped, "world.parts",
+                                  "final-state corpus contains records a "
+                                  "fresh build would reject");
+    }
+    w.corpus_ = cellnet::CellCorpus{std::move(validated.value().kept)};
     w.finalize();
   } catch (const fault::IoError& e) {
     return e.status();

@@ -18,6 +18,9 @@
 namespace fa::store {
 struct Access;  // snapshot codec (store/codec.cpp)
 }
+namespace fa::delta {
+struct Applier;  // incremental epoch builder (delta/apply.cpp)
+}
 
 namespace fa::core {
 
@@ -54,11 +57,35 @@ class World {
                                           const synth::ScenarioConfig& config,
                                           const BuildOptions& options);
 
+  // Builds the derived layers around explicitly supplied *final state*
+  // (corpus + WHP surface + county layer), skipping synthesis entirely.
+  // This is the from-scratch reference derivation the delta-epoch
+  // equivalence harness compares against: every cache, the spatial
+  // index and the aggregates are recomputed in full from the parts.
+  // Ingest counters are 0 by definition (the parts are the final,
+  // already-filtered state).
+  static fault::Result<World> from_parts(
+      cellnet::CellCorpus corpus,
+      std::shared_ptr<const synth::WhpModel> whp,
+      std::shared_ptr<const synth::CountyMap> counties,
+      const synth::ScenarioConfig& config, const BuildOptions& options);
+
   const synth::ScenarioConfig& config() const { return config_; }
   const synth::UsAtlas& atlas() const { return *atlas_; }
-  const synth::WhpModel& whp() const { return whp_; }
+  const synth::WhpModel& whp() const { return *whp_; }
   const cellnet::CellCorpus& corpus() const { return corpus_; }
-  const synth::CountyMap& counties() const { return counties_; }
+  const synth::CountyMap& counties() const { return *counties_; }
+
+  // Shared immutable layers. A delta-built successor epoch shares the
+  // pointers for every layer the event batch left untouched (the
+  // structure-sharing contract bench_delta_ingest relies on); tests
+  // assert pointer equality to pin that sharing.
+  const std::shared_ptr<const synth::WhpModel>& whp_ptr() const {
+    return whp_;
+  }
+  const std::shared_ptr<const synth::CountyMap>& counties_ptr() const {
+    return counties_;
+  }
 
   // Records dropped (Strict/Quarantine) or repaired (BestEffort) by
   // ingestion validation for this build.
@@ -86,17 +113,19 @@ class World {
 
  private:
   // The snapshot codec restores the private caches verbatim from disk
-  // instead of re-deriving them (store/codec.cpp).
+  // instead of re-deriving them (store/codec.cpp); the delta applier
+  // writes incrementally maintained caches directly (delta/apply.cpp).
   friend struct fa::store::Access;
+  friend struct fa::delta::Applier;
 
   // Shared tail of every build path: classification + spatial index.
   void finalize();
 
   synth::ScenarioConfig config_;
   const synth::UsAtlas* atlas_ = nullptr;
-  synth::WhpModel whp_;
+  std::shared_ptr<const synth::WhpModel> whp_;
   cellnet::CellCorpus corpus_;
-  synth::CountyMap counties_;
+  std::shared_ptr<const synth::CountyMap> counties_;
   std::size_t ingest_dropped_ = 0;
   std::size_t ingest_repaired_ = 0;
   cellnet::ProviderRegistry providers_;

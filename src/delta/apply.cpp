@@ -1,0 +1,386 @@
+#include "delta/apply.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "geo/projection.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "raster/raster.hpp"
+
+namespace fa::delta {
+
+namespace {
+
+constexpr std::string_view kApplySite = "delta.apply";
+
+fault::Status invalid(const FeedEvent& e, std::string message) {
+  return fault::Status::error(fault::ErrCode::kOutOfRange, e.seq,
+                              std::string(kApplySite), std::move(message));
+}
+
+// One staged hazard-surface edit (fire perimeter or box patch), kept in
+// event order so overlapping edits resolve exactly as a replay would.
+struct WhpEdit {
+  const FeedEvent* event = nullptr;
+};
+
+// The lon/lat image of an Albers box. The inverse projection's
+// coordinate extremes over a rectangle are attained on its boundary
+// (the map is smooth and its gradient only vanishes at the cone apex,
+// far outside CONUS), so sampling the edges bounds the image; the
+// caller adds a margin to cover the gaps between samples.
+geo::BBox lonlat_image(const geo::AlbersConus& proj, const geo::BBox& albers) {
+  constexpr int kSamplesPerEdge = 48;
+  geo::BBox out;
+  for (int i = 0; i <= kSamplesPerEdge; ++i) {
+    const double fx = static_cast<double>(i) / kSamplesPerEdge;
+    const double x = albers.min_x + fx * (albers.max_x - albers.min_x);
+    const double y = albers.min_y + fx * (albers.max_y - albers.min_y);
+    out.expand(proj.inverse({x, albers.min_y}).as_vec());
+    out.expand(proj.inverse({x, albers.max_y}).as_vec());
+    out.expand(proj.inverse({albers.min_x, y}).as_vec());
+    out.expand(proj.inverse({albers.max_x, y}).as_vec());
+  }
+  return out;
+}
+
+}  // namespace
+
+fault::Result<ApplyResult> Applier::apply(
+    const core::World& base, const core::ProviderRiskResult& base_risk,
+    std::span<const FeedEvent> events, const ApplyOptions& options) {
+  using fault::ErrCode;
+  using fault::RecoveryPolicy;
+  using fault::Status;
+  const obs::Span span(obs::metrics::kDeltaApplyNs);
+  obs::count(obs::metrics::kDeltaApplies);
+  obs::count(obs::metrics::kDeltaApplyEvents, events.size());
+
+  try {
+    fault::Injector::global().fail_point(kApplySite,
+                                         events.empty() ? 0 : events[0].seq);
+  } catch (const fault::IoError& e) {
+    obs::count(obs::metrics::kDeltaApplyFailures);
+    return e.status();
+  }
+
+  const std::vector<cellnet::Transceiver>& base_txr =
+      base.corpus().transceivers();
+  const std::size_t n = base_txr.size();
+
+  ApplyResult out;
+  ApplyStats& stats = out.stats;
+  stats.events = events.size();
+
+  // ---- stage 1: validate and stage the batch (seq order) -------------
+  std::vector<bool> alive(n, true);
+  std::vector<bool> has_move(n, false);
+  std::vector<geo::LonLat> move_to(n);
+  std::vector<const FeedEvent*> adds;
+  std::vector<WhpEdit> whp_edits;
+
+  const auto reject = [&](Status status) -> std::optional<Status> {
+    if (options.policy == RecoveryPolicy::kStrict) return status;
+    ++stats.quarantined;
+    if (options.diagnostics != nullptr) {
+      options.diagnostics->dropped(std::move(status));
+    }
+    return std::nullopt;
+  };
+
+  for (const FeedEvent& e : events) {
+    if (Status shape = validate_shape(e); !shape.ok()) {
+      if (auto fail = reject(std::move(shape))) return *fail;
+      continue;
+    }
+    switch (e.kind) {
+      case EventKind::kRetireTransceiver:
+        if (e.target >= n || !alive[e.target]) {
+          if (auto fail = reject(invalid(e, "retire of dead target"))) {
+            return *fail;
+          }
+          continue;
+        }
+        alive[e.target] = false;
+        ++stats.retires;
+        break;
+      case EventKind::kMoveTransceiver:
+        if (e.target >= n || !alive[e.target]) {
+          if (auto fail = reject(invalid(e, "move of dead target"))) {
+            return *fail;
+          }
+          continue;
+        }
+        has_move[e.target] = true;  // last move in seq order wins
+        move_to[e.target] = e.txr.position;
+        ++stats.moves;
+        break;
+      case EventKind::kAddTransceiver:
+        adds.push_back(&e);
+        ++stats.adds;
+        break;
+      case EventKind::kFirePerimeter:
+        whp_edits.push_back({&e});
+        ++stats.fires;
+        break;
+      case EventKind::kWhpPatch:
+        whp_edits.push_back({&e});
+        ++stats.patches;
+        break;
+    }
+  }
+
+  // ---- stage 2: hazard-surface patches (copy-on-write) ---------------
+  // Edits land on a private copy only if at least one cell actually
+  // changes value; an all-no-op batch keeps sharing the base surface.
+  const synth::WhpModel& base_whp = base.whp();
+  const geo::AlbersConus& proj = base_whp.projection();
+  const raster::GridGeometry& geom = base_whp.grid().geom();
+
+  std::shared_ptr<const synth::WhpModel> new_whp = base.whp_ptr();
+  synth::WhpModel* mutable_whp = nullptr;
+  // One box of changed cells PER EDIT, not a batch-wide union: a batch
+  // whose fires land on opposite coasts would otherwise dirty a
+  // CONUS-spanning bbox and re-evaluate most of the corpus for nothing.
+  std::vector<geo::BBox> changed_boxes;
+  geo::BBox* edit_box = nullptr;
+
+  const auto cell_write = [&](int c, int r, std::uint8_t value) {
+    if (!geom.in_bounds(c, r)) return;
+    const raster::ClassRaster& current =
+        mutable_whp != nullptr ? mutable_whp->grid_ : base_whp.grid();
+    if (current.at(c, r) == value) return;
+    if (mutable_whp == nullptr) {
+      auto copy = std::make_shared<synth::WhpModel>(base_whp);
+      mutable_whp = copy.get();
+      new_whp = std::shared_ptr<const synth::WhpModel>(std::move(copy));
+    }
+    mutable_whp->grid_.at(c, r) = value;
+    edit_box->expand(geom.cell_box(c, r));
+    ++stats.whp_cells_changed;
+  };
+
+  for (const WhpEdit& edit : whp_edits) {
+    const FeedEvent& e = *edit.event;
+    geo::BBox this_edit;
+    edit_box = &this_edit;
+    if (e.kind == EventKind::kFirePerimeter) {
+      // Project the lon/lat perimeter into Albers once, then raise every
+      // cell whose center falls inside (burned ground stays hazardous:
+      // max, never lower — re-served grown perimeters are idempotent).
+      std::vector<geo::Vec2> albers_pts;
+      albers_pts.reserve(e.perimeter.size());
+      for (const geo::Vec2& p : e.perimeter.points()) {
+        albers_pts.push_back(proj.forward(geo::LonLat::from_vec(p)));
+      }
+      const geo::Ring ring(std::move(albers_pts));
+      const geo::BBox rb = ring.bbox();
+      const int c0 = std::max(0, geom.col_of(rb.min_x));
+      const int c1 = std::min(geom.cols - 1, geom.col_of(rb.max_x));
+      const int r0 = std::max(0, geom.row_of(rb.min_y));
+      const int r1 = std::min(geom.rows - 1, geom.row_of(rb.max_y));
+      const auto floor_value = static_cast<std::uint8_t>(e.severity);
+      for (int r = r0; r <= r1; ++r) {
+        for (int c = c0; c <= c1; ++c) {
+          if (!ring.contains(geom.cell_center(c, r))) continue;
+          const raster::ClassRaster& current =
+              mutable_whp != nullptr ? mutable_whp->grid_ : base_whp.grid();
+          cell_write(c, r, std::max(current.at(c, r), floor_value));
+        }
+      }
+    } else {
+      // Box patch in lon/lat: candidate cells from the projected box's
+      // Albers bounds, exact membership by inverse-projected center.
+      geo::BBox albers_box;
+      constexpr int kEdge = 16;
+      for (int i = 0; i <= kEdge; ++i) {
+        const double fx = static_cast<double>(i) / kEdge;
+        const double lon =
+            e.patch_box.min_x + fx * (e.patch_box.max_x - e.patch_box.min_x);
+        const double lat =
+            e.patch_box.min_y + fx * (e.patch_box.max_y - e.patch_box.min_y);
+        albers_box.expand(proj.forward({lon, e.patch_box.min_y}));
+        albers_box.expand(proj.forward({lon, e.patch_box.max_y}));
+        albers_box.expand(proj.forward({e.patch_box.min_x, lat}));
+        albers_box.expand(proj.forward({e.patch_box.max_x, lat}));
+      }
+      albers_box = albers_box.inflated(std::max(geom.cell_w, geom.cell_h));
+      const int c0 = std::max(0, geom.col_of(albers_box.min_x));
+      const int c1 = std::min(geom.cols - 1, geom.col_of(albers_box.max_x));
+      const int r0 = std::max(0, geom.row_of(albers_box.min_y));
+      const int r1 = std::min(geom.rows - 1, geom.row_of(albers_box.max_y));
+      for (int r = r0; r <= r1; ++r) {
+        for (int c = c0; c <= c1; ++c) {
+          const geo::LonLat center = proj.inverse(geom.cell_center(c, r));
+          if (!e.patch_box.contains(center.as_vec())) continue;
+          cell_write(c, r, static_cast<std::uint8_t>(e.severity));
+        }
+      }
+    }
+    if (this_edit.valid()) changed_boxes.push_back(this_edit);
+  }
+  edit_box = nullptr;
+  out.whp_shared = mutable_whp == nullptr;
+  obs::count(obs::metrics::kDeltaApplyWhpCells, stats.whp_cells_changed);
+
+  // ---- stage 3: dirty transceivers ------------------------------------
+  // A surviving transceiver needs its hazard class recomputed iff its
+  // projected position lands in a changed cell. Candidates come from
+  // the spatial index over the lon/lat image of the changed region; the
+  // recompute is a no-op for candidates whose cell didn't change, so a
+  // generous margin costs time, never correctness.
+  std::vector<bool> dirty(n, false);
+  if (mutable_whp != nullptr) {
+    const double margin_deg =
+        std::max(geom.cell_w, geom.cell_h) / 70'000.0 + 0.05;
+    for (const geo::BBox& box : changed_boxes) {
+      const geo::BBox region =
+          lonlat_image(proj, box.inflated(geom.cell_w)).inflated(margin_deg);
+      base.txr_index().query_candidates(
+          region, [&](std::uint32_t id, geo::Vec2) { dirty[id] = true; });
+    }
+  }
+
+  // ---- stage 4: successor corpus + caches -----------------------------
+  // Survivors in base order keep (or recompute) their caches; adds take
+  // the tail ids — exactly the order validate_stage would re-densify.
+  index::PointDelta delta;
+  delta.new_id_of.resize(n);
+  std::size_t n_kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    delta.new_id_of[i] = alive[i] ? static_cast<std::uint32_t>(n_kept++)
+                                  : index::PointDelta::kDropped;
+  }
+
+  core::ProviderRiskResult risk = base_risk;
+  bool regional_at_risk_changed = false;
+  const auto risk_tally = [&](cellnet::Provider p, synth::WhpClass c,
+                              std::ptrdiff_t sign) {
+    core::ProviderRiskRow& row = risk.rows[static_cast<std::size_t>(p)];
+    row.fleet = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(row.fleet) + sign);
+    switch (c) {
+      case synth::WhpClass::kModerate:
+        row.moderate = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(row.moderate) + sign);
+        break;
+      case synth::WhpClass::kHigh:
+        row.high = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(row.high) + sign);
+        break;
+      case synth::WhpClass::kVeryHigh:
+        row.very_high = static_cast<std::size_t>(
+            static_cast<std::ptrdiff_t>(row.very_high) + sign);
+        break;
+      default:
+        return;  // fleet adjusted above; no at-risk bucket involved
+    }
+    if (p == cellnet::Provider::kRegional) regional_at_risk_changed = true;
+  };
+
+  core::World w;
+  w.config_ = base.config_;
+  w.atlas_ = base.atlas_;
+  w.whp_ = new_whp;
+  w.counties_ = base.counties_;
+  // From-parts contract: a world of final state S carries zero ingest
+  // counters however S was reached; feed quarantine counts live in
+  // ApplyStats and the delta.* OBS counters instead.
+  w.ingest_dropped_ = 0;
+  w.ingest_repaired_ = 0;
+
+  const synth::WhpModel& whp = *new_whp;
+  std::vector<cellnet::Transceiver> txr;
+  txr.reserve(n_kept + adds.size());
+  w.txr_class_.resize(n_kept + adds.size());
+  w.txr_county_.resize(n_kept + adds.size());
+  w.txr_provider_.resize(n_kept + adds.size());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) {
+      risk_tally(base.txr_provider(static_cast<std::uint32_t>(i)),
+                 base.txr_class(static_cast<std::uint32_t>(i)), -1);
+      continue;
+    }
+    const auto old_id = static_cast<std::uint32_t>(i);
+    const std::uint32_t new_id = delta.new_id_of[i];
+    cellnet::Transceiver t = base_txr[i];
+    t.id = new_id;
+    std::uint8_t cls = base.txr_class_[i];
+    std::int32_t county = base.txr_county_[i];
+    if (has_move[i]) {
+      t.position = move_to[i];
+      cls = static_cast<std::uint8_t>(whp.class_at(t.position));
+      county = base.counties().county_of(t.position);
+      delta.moved.push_back({old_id, t.position.as_vec()});
+      ++stats.dirty_transceivers;
+    } else if (dirty[i]) {
+      cls = static_cast<std::uint8_t>(whp.class_at(t.position));
+      ++stats.dirty_transceivers;
+    }
+    if (cls != base.txr_class_[i]) {
+      risk_tally(base.txr_provider(old_id), base.txr_class(old_id), -1);
+      risk_tally(base.txr_provider(old_id), static_cast<synth::WhpClass>(cls),
+                 +1);
+      // risk_tally adjusts fleet on both legs; membership is unchanged.
+    }
+    w.txr_class_[new_id] = cls;
+    w.txr_county_[new_id] = county;
+    w.txr_provider_[new_id] = base.txr_provider_[i];
+    txr.push_back(t);
+  }
+
+  for (const FeedEvent* e : adds) {
+    const auto new_id = static_cast<std::uint32_t>(txr.size());
+    cellnet::Transceiver t = e->txr;
+    t.id = new_id;
+    const auto cls = whp.class_at(t.position);
+    w.txr_class_[new_id] = static_cast<std::uint8_t>(cls);
+    w.txr_county_[new_id] = base.counties().county_of(t.position);
+    const cellnet::Provider p = w.providers_.resolve(t.mcc, t.mnc);
+    w.txr_provider_[new_id] = static_cast<std::uint8_t>(p);
+    risk_tally(p, cls, +1);
+    delta.added.push_back(t.position.as_vec());
+    txr.push_back(t);
+    ++stats.dirty_transceivers;
+  }
+  obs::count(obs::metrics::kDeltaApplyDirtyTxr, stats.dirty_transceivers);
+
+  w.corpus_ = cellnet::CellCorpus{std::move(txr)};
+  w.txr_index_ = base.txr_index().applied(delta);
+
+  // The regional-brand count is a distinct-set cardinality, so it is not
+  // incrementable from row deltas alone: when anything touched regional
+  // at-risk membership, re-scan — one pass of two array reads per
+  // record, no projection or geometry, still far from rebuild cost.
+  if (regional_at_risk_changed) {
+    std::set<std::string_view> brands;
+    const std::vector<cellnet::Transceiver>& all =
+        w.corpus_.transceivers();
+    for (const cellnet::Transceiver& t : all) {
+      if (static_cast<cellnet::Provider>(w.txr_provider_[t.id]) !=
+          cellnet::Provider::kRegional) {
+        continue;
+      }
+      if (!synth::whp_at_risk(static_cast<synth::WhpClass>(
+              w.txr_class_[t.id]))) {
+        continue;
+      }
+      brands.insert(w.providers_.brand(t.mcc, t.mnc));
+    }
+    risk.regional_brands_at_risk = brands.size();
+  }
+
+  out.world = std::move(w);
+  out.provider_risk = risk;
+  return out;
+}
+
+}  // namespace fa::delta

@@ -1,0 +1,67 @@
+// Batched delta application: base epoch + accepted events -> successor
+// epoch, without a from-scratch rebuild.
+//
+// The correctness contract (pinned by tests/delta/equivalence_test and
+// the delta-epoch goldens): the produced world must be byte-identical —
+// store::encode_world bytes and every query answer — to
+// core::World::from_parts over the same final state. Incremental work
+// is therefore only allowed where it provably reproduces what a fresh
+// derivation would compute: clean survivors keep their cached class /
+// county / provider, transceivers whose WHP cell changed are
+// recomputed, and the spatial index is maintained through
+// GridIndex::applied (itself byte-identical to a fresh build).
+#pragma once
+
+#include <span>
+
+#include "core/provider_risk.hpp"
+#include "core/world.hpp"
+#include "delta/event.hpp"
+#include "fault/diagnostics.hpp"
+
+namespace fa::delta {
+
+struct ApplyOptions {
+  // Semantic validation policy. Strict: the first invalid event (dead /
+  // out-of-range target, malformed shape) fails the batch; Quarantine /
+  // BestEffort: invalid events drop and count.
+  fault::RecoveryPolicy policy = fault::RecoveryPolicy::kQuarantine;
+  fault::Diagnostics* diagnostics = nullptr;
+};
+
+struct ApplyStats {
+  std::size_t events = 0;       // consumed from the batch
+  std::size_t quarantined = 0;  // dropped by validation
+  std::size_t adds = 0;
+  std::size_t retires = 0;
+  std::size_t moves = 0;
+  std::size_t fires = 0;
+  std::size_t patches = 0;
+  std::size_t whp_cells_changed = 0;
+  // Cache entries recomputed (movers, adds, hazard-region survivors) —
+  // the measure of how much of the world the batch actually dirtied.
+  std::size_t dirty_transceivers = 0;
+};
+
+struct ApplyResult {
+  core::World world;
+  core::ProviderRiskResult provider_risk;
+  ApplyStats stats;
+  // True when the batch left the WHP surface untouched and the new
+  // world shares the base's WhpModel allocation (structure sharing).
+  bool whp_shared = false;
+};
+
+// Stateless; a struct (not free functions) so core::World and
+// synth::WhpModel can grant friendship to exactly one name.
+struct Applier {
+  // `events` must be in increasing seq order (FeedIngestor output).
+  // `base_risk` is the base epoch's provider-risk aggregate, adjusted
+  // incrementally rather than re-tallied. The base world is not
+  // modified; unchanged layers are shared by pointer.
+  static fault::Result<ApplyResult> apply(
+      const core::World& base, const core::ProviderRiskResult& base_risk,
+      std::span<const FeedEvent> events, const ApplyOptions& options = {});
+};
+
+}  // namespace fa::delta

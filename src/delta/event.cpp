@@ -1,0 +1,299 @@
+#include "delta/event.hpp"
+
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "geo/lonlat.hpp"
+
+namespace fa::delta {
+
+namespace {
+
+void put_u8(std::string& s, std::uint8_t v) {
+  s.push_back(static_cast<char>(v));
+}
+void put_u16(std::string& s, std::uint16_t v) {
+  const char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  s.append(b, 2);
+}
+void put_u32(std::string& s, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  s.append(b, 4);
+}
+void put_u64(std::string& s, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  s.append(b, 8);
+}
+// Same canonicalization as serve/wire.hpp: -0.0 writes as +0.0 so equal
+// values encode bit-identically.
+void put_f64(std::string& s, double v) {
+  if (v == 0.0) v = 0.0;
+  put_u64(s, std::bit_cast<std::uint64_t>(v));
+}
+
+// Bounds-checked little-endian cursor (the wire.cpp Reader, minus the
+// frame header logic — the log stores bare batches).
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+  bool get_u8(std::uint8_t& out) {
+    if (remaining() < 1) return false;
+    out = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool get_u16(std::uint16_t& out) {
+    if (remaining() < 2) return false;
+    out = 0;
+    for (int i = 0; i < 2; ++i) {
+      out = static_cast<std::uint16_t>(
+          out | static_cast<std::uint16_t>(
+                    static_cast<unsigned char>(bytes_[pos_ + i]))
+                    << (8 * i));
+    }
+    pos_ += 2;
+    return true;
+  }
+  bool get_u32(std::uint32_t& out) {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool get_u64(std::uint64_t& out) {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool get_f64(double& out) {
+    std::uint64_t u = 0;
+    if (!get_u64(u)) return false;
+    out = std::bit_cast<double>(u);
+    return true;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kAddTransceiver:
+      return "add_transceiver";
+    case EventKind::kRetireTransceiver:
+      return "retire_transceiver";
+    case EventKind::kMoveTransceiver:
+      return "move_transceiver";
+    case EventKind::kFirePerimeter:
+      return "fire_perimeter";
+    case EventKind::kWhpPatch:
+      return "whp_patch";
+  }
+  return "unknown";
+}
+
+bool FeedEvent::operator==(const FeedEvent& o) const {
+  if (seq != o.seq || t_ms != o.t_ms || kind != o.kind) return false;
+  if (txr.id != o.txr.id || txr.position != o.txr.position ||
+      txr.radio != o.txr.radio || txr.mcc != o.txr.mcc ||
+      txr.mnc != o.txr.mnc || txr.cell_id != o.txr.cell_id ||
+      txr.state != o.txr.state) {
+    return false;
+  }
+  if (target != o.target || severity != o.severity ||
+      patch_box != o.patch_box) {
+    return false;
+  }
+  if (perimeter.size() != o.perimeter.size()) return false;
+  for (std::size_t i = 0; i < perimeter.size(); ++i) {
+    if (perimeter[i] != o.perimeter[i]) return false;
+  }
+  return true;
+}
+
+fault::Status validate_shape(const FeedEvent& event) {
+  using fault::ErrCode;
+  using fault::Status;
+  const auto bad = [&](ErrCode code, std::string message) {
+    return Status::error(code, event.seq, "delta.feed", std::move(message));
+  };
+  if (static_cast<std::uint8_t>(event.kind) >= kNumEventKinds) {
+    return bad(ErrCode::kSchema, "unknown event kind");
+  }
+  switch (event.kind) {
+    case EventKind::kAddTransceiver:
+    case EventKind::kMoveTransceiver:
+      if (!geo::is_valid(event.txr.position)) {
+        return bad(ErrCode::kOutOfRange,
+                   "position outside lon/lat domain");
+      }
+      break;
+    case EventKind::kRetireTransceiver:
+      break;
+    case EventKind::kFirePerimeter: {
+      if (event.perimeter.size() < 3) {
+        return bad(ErrCode::kSchema, "perimeter has fewer than 3 vertices");
+      }
+      for (const geo::Vec2& p : event.perimeter.points()) {
+        if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+          return bad(ErrCode::kOutOfRange, "non-finite perimeter vertex");
+        }
+      }
+      if (static_cast<std::uint8_t>(event.severity) >=
+          synth::kNumWhpClasses) {
+        return bad(ErrCode::kOutOfRange, "severity outside class domain");
+      }
+      break;
+    }
+    case EventKind::kWhpPatch:
+      if (!event.patch_box.valid() || !std::isfinite(event.patch_box.min_x) ||
+          !std::isfinite(event.patch_box.min_y) ||
+          !std::isfinite(event.patch_box.max_x) ||
+          !std::isfinite(event.patch_box.max_y)) {
+        return bad(ErrCode::kOutOfRange, "invalid patch box");
+      }
+      if (static_cast<std::uint8_t>(event.severity) >=
+          synth::kNumWhpClasses) {
+        return bad(ErrCode::kOutOfRange, "severity outside class domain");
+      }
+      break;
+  }
+  return {};
+}
+
+std::string encode_events(std::span<const FeedEvent> events) {
+  std::string out;
+  out.reserve(16 + events.size() * 64);
+  put_u32(out, static_cast<std::uint32_t>(events.size()));
+  for (const FeedEvent& e : events) {
+    put_u64(out, e.seq);
+    put_u64(out, e.t_ms);
+    put_u8(out, static_cast<std::uint8_t>(e.kind));
+    put_u32(out, e.txr.id);
+    put_f64(out, e.txr.position.lon);
+    put_f64(out, e.txr.position.lat);
+    put_u8(out, static_cast<std::uint8_t>(e.txr.radio));
+    put_u16(out, e.txr.mcc);
+    put_u16(out, e.txr.mnc);
+    put_u32(out, e.txr.cell_id);
+    put_u16(out, static_cast<std::uint16_t>(e.txr.state));
+    put_u32(out, e.target);
+    put_u32(out, static_cast<std::uint32_t>(e.perimeter.size()));
+    for (const geo::Vec2& p : e.perimeter.points()) {
+      put_f64(out, p.x);
+      put_f64(out, p.y);
+    }
+    put_u8(out, static_cast<std::uint8_t>(e.severity));
+    put_f64(out, e.patch_box.min_x);
+    put_f64(out, e.patch_box.min_y);
+    put_f64(out, e.patch_box.max_x);
+    put_f64(out, e.patch_box.max_y);
+  }
+  return out;
+}
+
+fault::Result<std::vector<FeedEvent>> decode_events(
+    std::string_view bytes, const std::string& source) {
+  using fault::ErrCode;
+  using fault::Status;
+  Reader r(bytes);
+  const auto truncated = [&] {
+    return Status::error(ErrCode::kTruncated, r.offset(), source,
+                         "batch ends mid-field");
+  };
+  std::uint32_t count = 0;
+  if (!r.get_u32(count)) return truncated();
+  if (count > kMaxEventsPerBatch) {
+    return Status::error(ErrCode::kLimit, r.offset(), source,
+                         "event count " + std::to_string(count) +
+                             " exceeds batch cap");
+  }
+  // Each event is at least 82 fixed bytes; reject counts the remaining
+  // payload cannot possibly hold before reserving.
+  if (static_cast<std::uint64_t>(count) * 82 > r.remaining()) {
+    return truncated();
+  }
+  std::vector<FeedEvent> events;
+  events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FeedEvent e;
+    std::uint8_t kind = 0;
+    std::uint8_t radio = 0;
+    std::uint8_t severity = 0;
+    std::uint16_t state = 0;
+    std::uint32_t n_vertices = 0;
+    if (!r.get_u64(e.seq) || !r.get_u64(e.t_ms) || !r.get_u8(kind) ||
+        !r.get_u32(e.txr.id) || !r.get_f64(e.txr.position.lon) ||
+        !r.get_f64(e.txr.position.lat) || !r.get_u8(radio) ||
+        !r.get_u16(e.txr.mcc) || !r.get_u16(e.txr.mnc) ||
+        !r.get_u32(e.txr.cell_id) || !r.get_u16(state) ||
+        !r.get_u32(e.target) || !r.get_u32(n_vertices)) {
+      return truncated();
+    }
+    if (kind >= kNumEventKinds) {
+      return Status::error(ErrCode::kSchema, r.offset(), source,
+                           "unknown event kind " + std::to_string(kind));
+    }
+    if (radio >= cellnet::kNumRadioTypes) {
+      return Status::error(ErrCode::kSchema, r.offset(), source,
+                           "unknown radio type " + std::to_string(radio));
+    }
+    if (n_vertices > kMaxPerimeterVertices) {
+      return Status::error(ErrCode::kLimit, r.offset(), source,
+                           "perimeter vertex count " +
+                               std::to_string(n_vertices) +
+                               " exceeds ring cap");
+    }
+    if (static_cast<std::uint64_t>(n_vertices) * 16 > r.remaining()) {
+      return truncated();
+    }
+    e.kind = static_cast<EventKind>(kind);
+    e.txr.radio = static_cast<cellnet::RadioType>(radio);
+    e.txr.state = static_cast<std::int16_t>(state);
+    std::vector<geo::Vec2> pts(n_vertices);
+    for (geo::Vec2& p : pts) {
+      if (!r.get_f64(p.x) || !r.get_f64(p.y)) return truncated();
+    }
+    e.perimeter = geo::Ring(std::move(pts));
+    if (!r.get_u8(severity) || !r.get_f64(e.patch_box.min_x) ||
+        !r.get_f64(e.patch_box.min_y) || !r.get_f64(e.patch_box.max_x) ||
+        !r.get_f64(e.patch_box.max_y)) {
+      return truncated();
+    }
+    if (severity >= synth::kNumWhpClasses) {
+      return Status::error(ErrCode::kSchema, r.offset(), source,
+                           "severity outside class domain");
+    }
+    e.severity = static_cast<synth::WhpClass>(severity);
+    events.push_back(std::move(e));
+  }
+  if (!r.done()) {
+    return Status::error(ErrCode::kSchema, r.offset(), source,
+                         std::to_string(r.remaining()) +
+                             " trailing bytes after batch");
+  }
+  return events;
+}
+
+}  // namespace fa::delta

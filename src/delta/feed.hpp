@@ -1,0 +1,134 @@
+// Synthetic live feed: a deterministic event stream over a world, plus
+// the ingestion stage that normalizes the raw stream (FIRMS-style feeds
+// re-serve a lookback window, arrive out of order, and carry malformed
+// records) into a clean batch the Applier can consume.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "core/world.hpp"
+#include "delta/event.hpp"
+#include "fault/diagnostics.hpp"
+#include "index/dynamic_rtree.hpp"
+#include "synth/rng.hpp"
+
+namespace fa::delta {
+
+struct FeedOptions {
+  std::uint64_t seed = 1;
+  // Fresh events per tick (Poisson mean).
+  double events_per_tick_mean = 32.0;
+  // Relative kind weights for fresh events.
+  double w_add = 4.0;
+  double w_retire = 2.0;
+  double w_move = 2.0;
+  double w_fire = 1.5;
+  double w_patch = 0.5;
+  // Re-served lookback copies per tick, as a fraction of fresh events
+  // (FIRMS serves the trailing window on every poll).
+  double duplicate_fraction = 0.25;
+  // How many past ticks stay re-servable.
+  std::uint64_t lookback_ticks = 4;
+  std::uint64_t tick_ms = 60'000;
+};
+
+// Deterministic event source. Mirrors the Applier's id assignment so
+// every retire/move target it emits is a valid dense id of the epoch
+// the next batch applies to: call tick() to get a raw batch, apply it
+// (all of it — the generator assumes its own output is accepted), and
+// tick() again for the successor epoch's batch.
+class FeedGenerator {
+ public:
+  FeedGenerator(const core::World& world, const FeedOptions& options);
+
+  // One feed poll: fresh events plus re-served duplicates from the
+  // lookback window, deterministically shuffled (arrival order is not
+  // seq order). Seqs are globally unique and monotone over fresh events.
+  std::vector<FeedEvent> tick();
+
+  std::uint64_t ticks() const { return ticks_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+  // Transceivers alive in the generator's mirror of the current epoch.
+  std::size_t alive() const { return positions_.size(); }
+
+ private:
+  struct Fire {
+    geo::Vec2 center;  // lon/lat
+    double radius = 0.0;
+    int segments = 0;
+  };
+
+  FeedEvent fresh_event(std::uint64_t t_ms);
+  FeedEvent fire_event(std::uint64_t t_ms);
+  geo::LonLat random_onshore_position();
+
+  FeedOptions options_;
+  const core::World* world_;
+  synth::Rng rng_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t ticks_ = 0;
+  // Mirror of the live epoch's corpus: positions_[dense id]. Rebuilt
+  // per tick exactly the way the Applier re-densifies.
+  std::vector<geo::LonLat> positions_;
+  // This tick's pending mutations (applied to the mirror at tick end).
+  std::vector<std::uint32_t> retired_;
+  std::vector<std::pair<std::uint32_t, geo::LonLat>> moved_;
+  std::vector<geo::LonLat> added_;
+  std::unordered_set<std::uint32_t> touched_;  // targets used this tick
+  // Active fires, indexed by bbox so a new ignition that lands on an
+  // existing fire grows it instead (the "grown perimeter" events).
+  index::DynamicRTree fires_;
+  std::vector<Fire> fire_state_;
+  std::uint32_t next_fire_id_ = 0;
+  // Lookback window: (expiry tick, event) for duplicate re-serving.
+  std::deque<std::pair<std::uint64_t, FeedEvent>> window_;
+};
+
+struct IngestStats {
+  std::size_t accepted = 0;
+  std::size_t duplicates = 0;
+  std::size_t stale = 0;
+  std::size_t malformed = 0;
+};
+
+struct IngestOptions {
+  fault::RecoveryPolicy policy = fault::RecoveryPolicy::kQuarantine;
+  fault::Diagnostics* diagnostics = nullptr;
+  // Dedup window in seq units: seqs older than watermark - span are
+  // stale (droppable without dedup guarantees — outside the lookback).
+  std::uint64_t lookback_span = 65'536;
+};
+
+// Normalizes raw feed batches: runs the "delta.feed" injection seam
+// over the stream, sorts by seq, drops duplicates within the lookback
+// window, drops stale records behind it, and validates shapes per the
+// policy (Strict: first malformed record fails the batch; Quarantine /
+// BestEffort: malformed records drop and count). Accepted events come
+// back in strictly increasing seq order, ready for Applier::apply.
+class FeedIngestor {
+ public:
+  explicit FeedIngestor(const IngestOptions& options = {});
+
+  fault::Result<std::vector<FeedEvent>> ingest(std::vector<FeedEvent> raw);
+
+  const IngestStats& stats() const { return stats_; }
+  std::uint64_t watermark() const { return watermark_; }
+
+ private:
+  IngestOptions options_;
+  IngestStats stats_;
+  std::uint64_t watermark_ = 0;  // highest accepted seq + 1
+  std::unordered_set<std::uint64_t> seen_;  // seqs within the window
+};
+
+// The "delta.feed" corruption stage (exposed so the quarantine-
+// equivalence tests can predict exactly which records mutate): when the
+// process-wide injector arms the seam, each selected event (keyed by
+// seq) is duplicated, swapped with its successor (out-of-order
+// arrival), or mangled into a shape validation rejects.
+void corrupt_feed_stage(std::vector<FeedEvent>& raw);
+
+}  // namespace fa::delta

@@ -1,0 +1,100 @@
+#include "index/dynamic_rtree.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fa::index {
+
+DynamicRTree::DynamicRTree(std::vector<Entry> entries,
+                           double compact_fraction, int max_fanout)
+    : compact_fraction_(std::clamp(compact_fraction, 1e-3, 1.0)),
+      max_fanout_(max_fanout) {
+  live_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    live_[e.id] = LiveRef{e.box, false, 0};
+  }
+  base_ = RTree(std::move(entries), max_fanout_);
+}
+
+void DynamicRTree::insert(const Entry& entry) {
+  const auto it = live_.find(entry.id);
+  if (it != live_.end()) {
+    if (it->second.in_overlay) {
+      // Replace in place; the base copy (if any) stays shadowed.
+      overlay_[it->second.overlay_slot].box = entry.box;
+      it->second.box = entry.box;
+      return;
+    }
+    // The id's current box is in base_; the overlay copy supersedes it.
+    ++shadowed_;
+    it->second.box = entry.box;
+    it->second.in_overlay = true;
+    it->second.overlay_slot = static_cast<std::uint32_t>(overlay_.size());
+    overlay_.push_back(entry);
+    maybe_compact();
+    return;
+  }
+  live_[entry.id] =
+      LiveRef{entry.box, true, static_cast<std::uint32_t>(overlay_.size())};
+  overlay_.push_back(entry);
+  maybe_compact();
+}
+
+bool DynamicRTree::remove(std::uint32_t id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  if (it->second.in_overlay) {
+    // Swap-remove from the overlay; patch the moved entry's slot.
+    const std::uint32_t slot = it->second.overlay_slot;
+    overlay_[slot] = overlay_.back();
+    overlay_.pop_back();
+    if (slot < overlay_.size()) {
+      live_[overlay_[slot].id].overlay_slot = slot;
+    }
+  } else {
+    ++shadowed_;  // tombstone: the base copy is now masked
+  }
+  live_.erase(it);
+  maybe_compact();
+  return true;
+}
+
+bool DynamicRTree::find(std::uint32_t id, geo::BBox& out) const {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  out = it->second.box;
+  return true;
+}
+
+std::vector<std::uint32_t> DynamicRTree::query(const geo::BBox& q) const {
+  std::vector<std::uint32_t> out;
+  query(q, [&](std::uint32_t id) { out.push_back(id); });
+  return out;
+}
+
+void DynamicRTree::compact() {
+  std::vector<Entry> entries;
+  entries.reserve(live_.size());
+  for (auto& [id, ref] : live_) {
+    entries.push_back(Entry{ref.box, id});
+    ref.in_overlay = false;
+  }
+  // Deterministic packing: the map's iteration order must not leak into
+  // the tree layout.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  base_ = RTree(std::move(entries), max_fanout_);
+  overlay_.clear();
+  shadowed_ = 0;
+}
+
+void DynamicRTree::maybe_compact() {
+  const std::size_t pending = overlay_.size() + shadowed_;
+  if (pending < 8) return;  // linear scan is free at this size
+  if (static_cast<double>(pending) >
+      compact_fraction_ * static_cast<double>(live_.size())) {
+    compact();
+  }
+}
+
+}  // namespace fa::index

@@ -1,0 +1,98 @@
+// Incremental R-tree: a static STR-packed base plus a small overlay of
+// inserts and a tombstone set, merged at query time and compacted back
+// into one bulk-loaded base once the overlay grows past a threshold.
+//
+// The static RTree's packing is what makes its probes fast, and
+// re-packing is cheap relative to how rarely the indexed sets change
+// (live-feed fire perimeters arrive a handful per tick against thousands
+// of active fires). So instead of R*-style node splitting, mutations go
+// to a side vector — a linear scan while small — and compact() re-packs
+// when the overlay would start to dominate probe cost. Queries see
+// exactly the set of live entries regardless of which side they sit on;
+// the randomized property suite pins query equivalence with a freshly
+// bulk-loaded tree after every operation.
+//
+// Thread model: mutation is single-writer, externally synchronized;
+// concurrent const queries are safe between mutations (the serve layer
+// only ever queries immutable snapshots, but the feed generator shares
+// one instance across its own phases).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/rtree.hpp"
+
+namespace fa::index {
+
+class DynamicRTree {
+ public:
+  using Entry = RTree::Entry;
+
+  DynamicRTree() = default;
+  // Bulk-loads the initial set. `compact_fraction` is the overlay size
+  // (inserts + tombstones) relative to the live entry count that
+  // triggers re-packing, clamped to (0, 1].
+  explicit DynamicRTree(std::vector<Entry> entries,
+                        double compact_fraction = 0.25, int max_fanout = 16);
+
+  // Number of live entries.
+  std::size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+  // Inserts an entry. Ids are caller-assigned and must be unique among
+  // live entries; re-inserting a live id replaces its box.
+  void insert(const Entry& entry);
+  // Removes the live entry with `id`; returns false when absent.
+  bool remove(std::uint32_t id);
+  // Live box lookup; returns false when `id` is not live.
+  bool find(std::uint32_t id, geo::BBox& out) const;
+
+  // Invokes fn(id) for every live entry whose box intersects `query`.
+  // Order is unspecified (base-tree hits, then overlay hits).
+  template <class Fn>
+  void query(const geo::BBox& query, Fn&& fn) const {
+    base_.query(query, [&](std::uint32_t id) {
+      if (!is_shadowed(id)) fn(id);
+    });
+    if (!query.valid()) return;
+    for (const Entry& e : overlay_) {
+      if (e.box.intersects(query)) fn(e.id);
+    }
+  }
+  std::vector<std::uint32_t> query(const geo::BBox& query) const;
+
+  // Re-packs base + overlay into one fresh STR tree. Called
+  // automatically past the threshold; exposed so callers can pay the
+  // cost at a quiet moment instead.
+  void compact();
+
+  // Introspection for tests/benchmarks.
+  std::size_t overlay_size() const { return overlay_.size(); }
+  std::size_t tombstone_count() const { return shadowed_; }
+
+ private:
+  bool is_shadowed(std::uint32_t id) const {
+    const auto it = live_.find(id);
+    // A base id is shadowed when it is no longer live or its current
+    // box lives in the overlay (replacement after re-insert).
+    return it == live_.end() || it->second.in_overlay;
+  }
+  void maybe_compact();
+
+  struct LiveRef {
+    geo::BBox box;
+    bool in_overlay = false;
+    std::uint32_t overlay_slot = 0;  // into overlay_ when in_overlay
+  };
+
+  RTree base_;
+  std::vector<Entry> overlay_;  // live entries not (or no longer) in base_
+  std::unordered_map<std::uint32_t, LiveRef> live_;
+  std::size_t shadowed_ = 0;  // base entries masked by retire/replace
+  double compact_fraction_ = 0.25;
+  int max_fanout_ = 16;
+};
+
+}  // namespace fa::index

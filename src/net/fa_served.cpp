@@ -2,7 +2,7 @@
 //
 //   fa_served [--port N] [--workers N] [--scale S] [--cell-m M]
 //             [--seed S] [--quota-qps Q] [--queue N] [--public]
-//             [--store DIR]
+//             [--store DIR] [--feed] [--feed-interval-ms N] [--feed-seed S]
 //
 // Builds the synthetic scenario, starts a serve::Server behind a
 // net::NetServer, and runs until SIGINT/SIGTERM. SIGTERM and SIGINT
@@ -17,6 +17,14 @@
 // freshly built or rebuilt world is committed back after boot and after
 // every SIGHUP, and a failed persist only logs — the in-memory epoch
 // keeps serving.
+//
+// --feed starts the synthetic live feed: every --feed-interval-ms
+// (default 1000) a tick of events (site adds/retires/moves, growing
+// fire perimeters, WHP patches) is generated, deduplicated through the
+// ingestion lookback window, and applied incrementally — each batch
+// publishes a new serving epoch without a rebuild, and with --store the
+// batch is also appended to the hash-chained delta log so a cold start
+// replays it on top of the last full snapshot.
 //
 // --port 0 asks the kernel for an ephemeral port; the chosen port is
 // announced on stdout as a single machine-readable line
@@ -37,6 +45,10 @@
 
 #include <unistd.h>
 
+#include <memory>
+#include <optional>
+
+#include "delta/feed.hpp"
 #include "net/server.hpp"
 #include "serve/server.hpp"
 #include "synth/scenario.hpp"
@@ -93,7 +105,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: fa_served [--port N] [--workers N] [--scale S] [--cell-m M]\n"
         "                 [--seed S] [--quota-qps Q] [--queue N] [--public]\n"
-        "                 [--store DIR]\n");
+        "                 [--store DIR] [--feed] [--feed-interval-ms N]\n"
+        "                 [--feed-seed S]\n");
     return 2;
   }
 
@@ -140,6 +153,31 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_terminate);
     std::signal(SIGHUP, on_rebuild);
 
+    // Live feed: generator + ingestor are built lazily against the
+    // serving world so a store-loaded epoch feeds from its actual
+    // corpus, not a rebuilt one.
+    // feed_root pins the snapshot the generator mirrors — FeedGenerator
+    // holds a raw pointer to that world, which must outlive it even
+    // after later epochs retire the snapshot.
+    std::shared_ptr<const serve::Snapshot> feed_root;
+    std::unique_ptr<delta::FeedGenerator> feed;
+    std::optional<delta::FeedIngestor> ingestor;
+    const bool feed_enabled = arg_flag(argc, argv, "--feed");
+    const long feed_interval_ms = static_cast<long>(
+        arg_double(argc, argv, "--feed-interval-ms", 1000.0));
+    if (feed_enabled) {
+      delta::FeedOptions feed_options;
+      feed_options.seed = static_cast<std::uint64_t>(
+          arg_double(argc, argv, "--feed-seed", 1.0));
+      feed_root = server.snapshots().acquire();
+      feed = std::make_unique<delta::FeedGenerator>(feed_root->world(),
+                                                    feed_options);
+      ingestor.emplace(delta::IngestOptions{});
+      std::fprintf(stderr, "fa_served: live feed on (interval %ldms)\n",
+                   feed_interval_ms);
+    }
+    long since_feed_ms = 0;
+
     while (!g_terminate) {
       if (g_rebuild) {
         g_rebuild = 0;
@@ -149,9 +187,45 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "fa_served: now serving epoch %llu\n",
                        static_cast<unsigned long long>(server.epoch()));
           if (!serve_options.store_dir.empty()) persist(server, "rebuild");
+          if (feed) {
+            // The rebuilt world's dense ids restart from the scenario
+            // corpus; re-root the generator's mirror there so its
+            // retire/move targets stay valid.
+            delta::FeedOptions feed_options;
+            feed_options.seed = feed->next_seq() + 1;
+            feed_root = server.snapshots().acquire();
+            feed = std::make_unique<delta::FeedGenerator>(
+                feed_root->world(), feed_options);
+            // Fresh generator restarts seqs at 0; a kept watermark
+            // would drop everything as stale.
+            ingestor.emplace(delta::IngestOptions{});
+          }
         } else {
           std::fprintf(stderr, "fa_served: rebuild failed: %s\n",
                        s.to_string().c_str());
+        }
+      }
+      if (feed_enabled) {
+        since_feed_ms += 50;
+        if (since_feed_ms >= feed_interval_ms) {
+          since_feed_ms = 0;
+          auto cleaned = ingestor->ingest(feed->tick());
+          if (cleaned.ok() && !cleaned.value().empty()) {
+            delta::ApplyStats stats;
+            const fault::Status s =
+                server.apply_delta(cleaned.value(), &stats);
+            if (s.ok()) {
+              std::fprintf(
+                  stderr,
+                  "fa_served: epoch %llu (+%llu events, %llu dirty)\n",
+                  static_cast<unsigned long long>(server.epoch()),
+                  static_cast<unsigned long long>(stats.events),
+                  static_cast<unsigned long long>(stats.dirty_transceivers));
+            } else {
+              std::fprintf(stderr, "fa_served: delta apply failed: %s\n",
+                           s.to_string().c_str());
+            }
+          }
         }
       }
       ::usleep(50 * 1000);

@@ -146,4 +146,39 @@ inline constexpr std::string_view kStoreSaveNs = "store.save_ns";
 inline constexpr std::string_view kStoreLoadNs = "store.load_ns";
 inline constexpr std::string_view kStoreRecoverNs = "store.recover_ns";
 
+// -- live-feed incremental updates (`fa::delta`) ----------------------
+// Events emitted by the synthetic feed / seen by the ingestor.
+inline constexpr std::string_view kDeltaFeedEvents = "delta.feed.events";
+// Ingestor dispositions: each raw event lands in exactly one.
+inline constexpr std::string_view kDeltaFeedAccepted = "delta.feed.accepted";
+inline constexpr std::string_view kDeltaFeedDuplicates =
+    "delta.feed.duplicates";
+inline constexpr std::string_view kDeltaFeedStale = "delta.feed.stale";
+inline constexpr std::string_view kDeltaFeedMalformed =
+    "delta.feed.malformed";
+// Batches applied to produce a new epoch, and their event volume.
+inline constexpr std::string_view kDeltaApplies = "delta.applies";
+inline constexpr std::string_view kDeltaApplyEvents = "delta.apply.events";
+// Applies that failed before producing a world (injected delta.apply
+// fault, strict-policy validation error).
+inline constexpr std::string_view kDeltaApplyFailures =
+    "delta.apply.failures";
+// WHP raster cells rewritten and transceivers re-evaluated per apply.
+inline constexpr std::string_view kDeltaApplyWhpCells =
+    "delta.apply.whp_cells";
+inline constexpr std::string_view kDeltaApplyDirtyTxr =
+    "delta.apply.dirty_txr";
+// Hash-chained increment log: durable appends, append failures
+// (durability degraded, serving unaffected), batches replayed on cold
+// start, and chains truncated at a broken link.
+inline constexpr std::string_view kDeltaLogAppends = "delta.log.appends";
+inline constexpr std::string_view kDeltaLogAppendFailures =
+    "delta.log.append_failures";
+inline constexpr std::string_view kDeltaLogReplayed = "delta.log.replayed";
+inline constexpr std::string_view kDeltaLogTruncated = "delta.log.truncated";
+// Span names (nanoseconds).
+inline constexpr std::string_view kDeltaFeedTickNs = "delta.feed.tick_ns";
+inline constexpr std::string_view kDeltaApplyNs = "delta.apply_ns";
+inline constexpr std::string_view kDeltaLogReplayNs = "delta.log.replay_ns";
+
 }  // namespace fa::obs::metrics

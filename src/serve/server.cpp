@@ -42,8 +42,40 @@ Server::Server(const synth::ScenarioConfig& config,
       store::RecoveryManager manager(*store_dir_);
       if (auto recovered = manager.recover(); recovered.ok()) {
         if (recovered.value().loaded.world.config() == config) {
-          store_.publish(Snapshot::adopt(
-              std::move(recovered).take().loaded.world, 1));
+          store::RecoveredWorld rec = std::move(recovered).take();
+          core::World world = std::move(rec.loaded.world);
+          core::ProviderRiskResult risk = rec.loaded.provider_risk;
+          // Replay the generation's delta-log chain so epoch 1 resumes
+          // at the last durably applied batch, not the last full
+          // snapshot. A batch that no longer applies ends the replay
+          // (serve the last provably consistent state) and disengages
+          // the log — appending past a divergence would corrupt the
+          // chain's meaning.
+          if (auto log = delta::DeltaLog::open(*store_dir_,
+                                               rec.generation.number,
+                                               rec.generation.crc);
+              log.ok()) {
+            delta_log_.emplace(std::move(log).take());
+            delta::DeltaLog::Replay replayed = delta_log_->replay();
+            bool diverged = false;
+            for (const std::vector<delta::FeedEvent>& batch :
+                 replayed.batches) {
+              delta::ApplyOptions apply_options;
+              apply_options.policy = options_.policy;
+              auto applied = delta::Applier::apply(world, risk, batch,
+                                                   apply_options);
+              if (!applied.ok()) {
+                diverged = true;
+                break;
+              }
+              delta::ApplyResult result = std::move(applied).take();
+              world = std::move(result.world);
+              risk = std::move(result.provider_risk);
+            }
+            if (diverged) delta_log_.reset();
+          }
+          store_.publish(Snapshot::adopt(std::move(world), 1,
+                                         std::move(risk)));
           loaded_from_store_ = true;
         }
       }
@@ -193,6 +225,40 @@ fault::Status Server::rebuild(const synth::ScenarioConfig& config) {
     return built.status();
   }
   publish_locked(std::move(built).take());
+  // The serving state no longer derives from the logged generation;
+  // appending to the old chain would record history the serving path
+  // never took. save_snapshot() re-roots.
+  delta_log_.reset();
+  return {};
+}
+
+fault::Status Server::apply_delta(std::span<const delta::FeedEvent> events,
+                                  delta::ApplyStats* stats) {
+  const std::lock_guard<std::mutex> lock(rebuild_mu_);
+  const std::shared_ptr<const Snapshot> snap = store_.acquire();
+  delta::ApplyOptions apply_options;
+  apply_options.policy = options_.policy;
+  auto applied = delta::Applier::apply(snap->world(), snap->provider_risk(),
+                                       events, apply_options);
+  if (!applied.ok()) {
+    // Same survivability contract as a failed rebuild(): nothing
+    // published, the current epoch keeps serving.
+    swaps_failed_.add();
+    return applied.status();
+  }
+  delta::ApplyResult result = std::move(applied).take();
+  if (stats != nullptr) *stats = result.stats;
+  publish_locked(Snapshot::adopt(std::move(result.world), snap->epoch() + 1,
+                                 std::move(result.provider_risk)));
+  if (delta_log_) {
+    if (!delta_log_->append(events).ok()) {
+      // The serving state now leads the durable chain by this batch; a
+      // later append would produce a chain whose replay is not a prefix
+      // of serving history. Disengage until the next save_snapshot()
+      // re-roots — durability degrades, serving never does.
+      delta_log_.reset();
+    }
+  }
   return {};
 }
 
@@ -201,15 +267,29 @@ fault::Status Server::save_snapshot() {
     return fault::Status::error(fault::ErrCode::kIoFailure, 0, "serve.store",
                                 "no store directory configured");
   }
-  // Encode outside the lock (pure function of the pinned snapshot);
-  // serialize only the commit so concurrent savers can't interleave
-  // generation numbering.
+  // Hold rebuild_mu_ across encode AND commit: a delta applied between
+  // them would re-root the log at an image that predates the serving
+  // state, so replay would diverge from serving history. Queries never
+  // take this lock; only swaps wait. Lock order rebuild_mu_ -> save_mu_
+  // matches every other path.
+  const std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
   const std::shared_ptr<const Snapshot> snap = store_.acquire();
   const std::string image =
       store::encode_world(snap->world(), snap->provider_risk());
   const std::lock_guard<std::mutex> lock(save_mu_);
   auto gen = store_dir_->commit(image);
   if (!gen.ok()) return gen.status();
+  // The new generation supersedes every older increment chain, and the
+  // serving state is now exactly this image — re-root the delta log so
+  // subsequent apply_delta() batches chain off it.
+  delta::DeltaLog::prune_stale(*store_dir_, gen.value().number);
+  auto log = delta::DeltaLog::open(*store_dir_, gen.value().number,
+                                   gen.value().crc);
+  if (log.ok()) {
+    delta_log_.emplace(std::move(log).take());
+  } else {
+    delta_log_.reset();
+  }
   return {};
 }
 
@@ -230,6 +310,10 @@ fault::Status Server::rebuild_from_store() {
   const Epoch epoch = store_.current_epoch() + 1;
   publish_locked(
       Snapshot::adopt(std::move(recovered).take().loaded.world, epoch));
+  // The published state is the bare generation image — any increments
+  // already chained past it are ahead of serving, so appending would
+  // diverge. save_snapshot() re-roots.
+  delta_log_.reset();
   return {};
 }
 

@@ -20,6 +20,8 @@
 #include <optional>
 #include <string>
 
+#include "delta/apply.hpp"
+#include "delta/log.hpp"
 #include "obs/obs.hpp"
 #include "serve/batcher.hpp"
 #include "serve/cache.hpp"
@@ -110,6 +112,20 @@ class Server {
   // current epoch keeps serving.
   fault::Status rebuild_from_store();
 
+  // Applies a batch of live-feed events (FeedIngestor output: seq
+  // order, deduplicated) to the serving epoch and publishes the result
+  // as the next epoch — the incremental sibling of rebuild(), with the
+  // same survivability contract: on failure (injected delta.apply
+  // fault, strict-policy validation error) nothing publishes and the
+  // current epoch keeps serving. When a store directory is configured
+  // and the serving state is rooted in a committed generation, the
+  // batch is also appended to the hash-chained delta log so a cold
+  // start replays it; an append failure degrades durability, never
+  // serving (counted, not fatal). Callable from a background thread
+  // while queries run.
+  fault::Status apply_delta(std::span<const delta::FeedEvent> events,
+                            delta::ApplyStats* stats = nullptr);
+
   // True when epoch 1 came from the store instead of a fresh build.
   bool loaded_from_store() const { return loaded_from_store_; }
 
@@ -131,6 +147,10 @@ class Server {
   obs::Registry& registry_;
   ServerOptions options_;
   std::optional<store::StoreDir> store_dir_;
+  // Increment chain rooted at the generation the serving state derives
+  // from (guarded by rebuild_mu_). Engaged only while that rooting is
+  // provable: after store recovery, or after save_snapshot() commits.
+  std::optional<delta::DeltaLog> delta_log_;
   bool loaded_from_store_ = false;
   std::mutex rebuild_mu_;  // serializes rebuild(); queries never take it
   std::mutex save_mu_;     // serializes save_snapshot() commits

@@ -62,6 +62,18 @@ std::shared_ptr<const Snapshot> Snapshot::adopt(core::World world,
       new Snapshot(std::move(world), epoch));
 }
 
+Snapshot::Snapshot(core::World world, Epoch epoch,
+                   core::ProviderRiskResult provider_risk)
+    : world_(std::move(world)),
+      epoch_(epoch),
+      provider_risk_(std::move(provider_risk)) {}
+
+std::shared_ptr<const Snapshot> Snapshot::adopt(
+    core::World world, Epoch epoch, core::ProviderRiskResult provider_risk) {
+  return std::shared_ptr<const Snapshot>(
+      new Snapshot(std::move(world), epoch, std::move(provider_risk)));
+}
+
 PointRiskResponse evaluate(const Snapshot& snap, const PointRiskQuery& q) {
   const core::World& world = snap.world();
   const synth::WhpModel& whp = world.whp();

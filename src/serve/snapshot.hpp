@@ -49,6 +49,14 @@ class Snapshot {
   // a built one, which is what the byte-identity tests pin.
   static std::shared_ptr<const Snapshot> adopt(core::World world, Epoch epoch);
 
+  // Wraps a world whose provider-risk aggregate is already known — the
+  // delta path, where the aggregate was maintained incrementally
+  // alongside the world and a recompute would throw away exactly the
+  // work the incremental path saved. The aggregate must equal
+  // run_provider_risk(world); the delta equivalence tests pin that.
+  static std::shared_ptr<const Snapshot> adopt(
+      core::World world, Epoch epoch, core::ProviderRiskResult provider_risk);
+
   Epoch epoch() const { return epoch_; }
   const core::World& world() const { return world_; }
   const core::ProviderRiskResult& provider_risk() const {
@@ -58,6 +66,8 @@ class Snapshot {
 
  private:
   Snapshot(core::World world, Epoch epoch);
+  Snapshot(core::World world, Epoch epoch,
+           core::ProviderRiskResult provider_risk);
 
   core::World world_;
   Epoch epoch_;

@@ -106,9 +106,10 @@ struct Access {
     core::World w;
     w.config_ = config;
     w.atlas_ = &synth::UsAtlas::get();
-    w.whp_ = std::move(whp);
+    w.whp_ = std::make_shared<const synth::WhpModel>(std::move(whp));
     w.corpus_ = std::move(corpus);
-    w.counties_ = std::move(counties);
+    w.counties_ =
+        std::make_shared<const synth::CountyMap>(std::move(counties));
     w.ingest_dropped_ = ingest_dropped;
     w.ingest_repaired_ = ingest_repaired;
     // providers_ is the built-in deterministic registry, already

@@ -21,6 +21,9 @@
 namespace fa::store {
 struct Access;  // snapshot codec (store/codec.cpp)
 }
+namespace fa::delta {
+struct Applier;  // patches hazard cells in a copied surface (delta/apply.cpp)
+}
 
 namespace fa::synth {
 
@@ -75,6 +78,7 @@ class WhpModel {
  private:
   friend WhpModel generate_whp(const UsAtlas&, const ScenarioConfig&);
   friend struct fa::store::Access;  // snapshot restore sets the rasters
+  friend struct fa::delta::Applier;  // cell patches on a private copy
   raster::ClassRaster grid_;
   raster::Raster<std::int16_t> states_;
   raster::MaskRaster urban_;

@@ -1,0 +1,90 @@
+// Shared scaffolding for the delta suite: small worlds (reusing the
+// serve suite's scenario shapes), a feed -> ingest -> apply chain
+// helper, and the from-scratch reference derivation the equivalence
+// harness compares against.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/provider_risk.hpp"
+#include "core/world.hpp"
+#include "delta/apply.hpp"
+#include "delta/feed.hpp"
+#include "store/codec.hpp"
+#include "../serve/serve_test_util.hpp"
+
+namespace fa::delta::testing {
+
+// One world per test binary; every caller shares the same build (world
+// generation dominates test runtime).
+inline const core::World& small_world() {
+  static const core::World* world = new core::World(
+      core::World::build(serve::testing::small_config()));
+  return *world;
+}
+
+inline const core::ProviderRiskResult& small_risk() {
+  static const core::ProviderRiskResult* risk =
+      new core::ProviderRiskResult(core::run_provider_risk(small_world()));
+  return *risk;
+}
+
+// The from-scratch rebuild of a delta-built world's final state: every
+// cache, index and aggregate recomputed in full from the parts. The
+// byte-identity contract says encode_world of the two must match.
+struct Reference {
+  core::World world;
+  core::ProviderRiskResult risk;
+};
+
+inline Reference rebuild_reference(const core::World& built) {
+  core::World::BuildOptions opts;
+  auto ref = core::World::from_parts(
+      cellnet::CellCorpus(
+          std::vector<cellnet::Transceiver>(built.corpus().transceivers())),
+      built.whp_ptr(), built.counties_ptr(), built.config(), opts);
+  Reference out{std::move(ref).take(), {}};
+  out.risk = core::run_provider_risk(out.world);
+  return out;
+}
+
+// Drives `ticks` rounds of feed -> ingest -> apply starting from
+// (world, risk); returns the final state. Asserts nothing itself — the
+// caller checks quarantine counts / equivalence as the test demands.
+struct ChainResult {
+  core::World world;
+  core::ProviderRiskResult risk;
+  std::size_t quarantined = 0;
+  std::size_t batches_applied = 0;
+};
+
+inline ChainResult run_chain(const core::World& base,
+                             const core::ProviderRiskResult& base_risk,
+                             const FeedOptions& feed_options,
+                             std::size_t ticks) {
+  ChainResult out{base, base_risk};
+  FeedGenerator gen(base, feed_options);
+  FeedIngestor ingestor;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    auto cleaned = ingestor.ingest(gen.tick());
+    if (!cleaned.ok()) continue;
+    auto applied =
+        Applier::apply(out.world, out.risk, cleaned.value(), {});
+    if (!applied.ok()) continue;
+    ApplyResult result = std::move(applied).take();
+    out.quarantined += result.stats.quarantined;
+    out.world = std::move(result.world);
+    out.risk = std::move(result.provider_risk);
+    ++out.batches_applied;
+  }
+  return out;
+}
+
+inline std::string encode(const core::World& world,
+                          const core::ProviderRiskResult& risk) {
+  return store::encode_world(world, risk);
+}
+
+}  // namespace fa::delta::testing

@@ -1,0 +1,202 @@
+// FeedEvent wire codec: deterministic round trip, totality on hostile
+// bytes (every truncation/corruption is a Status, never a crash), and
+// the structural validator's per-kind rules.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "delta/event.hpp"
+#include "synth/rng.hpp"
+
+namespace fa::delta {
+namespace {
+
+FeedEvent add_event(std::uint64_t seq, double lon = -105.0,
+                    double lat = 40.0) {
+  FeedEvent e;
+  e.seq = seq;
+  e.t_ms = seq * 1000;
+  e.kind = EventKind::kAddTransceiver;
+  e.txr.position = {lon, lat};
+  e.txr.radio = cellnet::RadioType::kLte;
+  e.txr.mcc = 310;
+  e.txr.mnc = 410;
+  e.txr.cell_id = static_cast<std::uint32_t>(seq * 7 + 1);
+  e.txr.state = 5;
+  return e;
+}
+
+FeedEvent fire_event(std::uint64_t seq) {
+  FeedEvent e;
+  e.seq = seq;
+  e.t_ms = seq * 1000;
+  e.kind = EventKind::kFirePerimeter;
+  e.perimeter = geo::make_circle({-120.5, 39.5}, 0.1, 12);
+  e.severity = synth::WhpClass::kVeryHigh;
+  return e;
+}
+
+std::vector<FeedEvent> mixed_batch(std::uint64_t seed, std::size_t n) {
+  synth::Rng rng(seed);
+  std::vector<FeedEvent> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FeedEvent e;
+    e.seq = i;
+    e.t_ms = rng.next_u64() >> 40;
+    switch (rng.below(5)) {
+      case 0:
+        e = add_event(i, rng.uniform(-124.0, -67.0), rng.uniform(25.0, 49.0));
+        break;
+      case 1:
+        e.kind = EventKind::kRetireTransceiver;
+        e.target = static_cast<std::uint32_t>(rng.below(1000));
+        break;
+      case 2:
+        e.kind = EventKind::kMoveTransceiver;
+        e.target = static_cast<std::uint32_t>(rng.below(1000));
+        e.txr.position = {rng.uniform(-124.0, -67.0), rng.uniform(25.0, 49.0)};
+        break;
+      case 3:
+        e = fire_event(i);
+        e.perimeter = geo::make_circle(
+            {rng.uniform(-120.0, -80.0), rng.uniform(30.0, 45.0)},
+            rng.uniform(0.02, 0.3), 3 + static_cast<int>(rng.below(30)));
+        e.severity = static_cast<synth::WhpClass>(rng.below(6));
+        break;
+      default: {
+        e.kind = EventKind::kWhpPatch;
+        const double x = rng.uniform(-120.0, -80.0);
+        const double y = rng.uniform(30.0, 45.0);
+        e.patch_box = {x, y, x + 0.5, y + 0.4};
+        e.severity = static_cast<synth::WhpClass>(rng.below(6));
+        break;
+      }
+    }
+    e.seq = i;
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(EventCodec, RoundTripMixedBatch) {
+  const std::vector<FeedEvent> events = mixed_batch(7, 64);
+  const std::string bytes = encode_events(events);
+  auto decoded = decode_events(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  ASSERT_EQ(decoded.value().size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i], events[i]) << "event " << i;
+  }
+}
+
+TEST(EventCodec, EncodeIsDeterministic) {
+  const std::vector<FeedEvent> events = mixed_batch(11, 32);
+  EXPECT_EQ(encode_events(events), encode_events(events));
+}
+
+TEST(EventCodec, NegativeZeroCanonicalizes) {
+  FeedEvent a = add_event(1, 0.0, 40.0);
+  FeedEvent b = add_event(1, -0.0, 40.0);
+  const std::vector<FeedEvent> va{a};
+  const std::vector<FeedEvent> vb{b};
+  EXPECT_EQ(encode_events(va), encode_events(vb));
+}
+
+TEST(EventCodec, EmptyBatchRoundTrips) {
+  const std::string bytes = encode_events({});
+  auto decoded = decode_events(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(EventCodec, EveryPrefixIsAStatusNeverACrash) {
+  const std::vector<FeedEvent> events = mixed_batch(3, 8);
+  const std::string bytes = encode_events(events);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto decoded = decode_events(std::string_view(bytes.data(), cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(EventCodec, TrailingBytesRejected) {
+  std::string bytes = encode_events(mixed_batch(5, 4));
+  bytes += '\0';
+  auto decoded = decode_events(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code, fault::ErrCode::kSchema);
+}
+
+TEST(EventCodec, RandomCorruptionIsTotal) {
+  const std::string bytes = encode_events(mixed_batch(13, 16));
+  synth::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mangled = bytes;
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.below(mangled.size());
+      mangled[at] = static_cast<char>(rng.next_u64());
+    }
+    // Must return (ok or error), never crash; decoded events that do
+    // come back must at least satisfy the enum-domain invariants the
+    // decoder promises.
+    auto decoded = decode_events(mangled);
+    if (!decoded.ok()) continue;
+    for (const FeedEvent& e : decoded.value()) {
+      EXPECT_LT(static_cast<unsigned>(e.kind), kNumEventKinds);
+      EXPECT_LT(static_cast<unsigned>(e.txr.radio), cellnet::kNumRadioTypes);
+      EXPECT_LT(static_cast<unsigned>(e.severity), synth::kNumWhpClasses);
+    }
+  }
+}
+
+TEST(EventCodec, OversizedCountRejectedBeforeAllocation) {
+  std::string bytes(4, '\xff');  // count = 0xffffffff
+  auto decoded = decode_events(bytes);
+  ASSERT_FALSE(decoded.ok());
+}
+
+TEST(ValidateShape, AddRequiresValidPosition) {
+  FeedEvent e = add_event(42);
+  EXPECT_TRUE(validate_shape(e).ok());
+  e.txr.position.lat = 95.0;
+  const fault::Status s = validate_shape(e);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.offset, 42u);
+  EXPECT_EQ(s.source, "delta.feed");
+}
+
+TEST(ValidateShape, FireRequiresRealRing) {
+  FeedEvent e = fire_event(7);
+  EXPECT_TRUE(validate_shape(e).ok());
+  e.perimeter = geo::Ring(std::vector<geo::Vec2>{{0, 0}, {1, 1}});
+  EXPECT_FALSE(validate_shape(e).ok());
+  e = fire_event(7);
+  std::vector<geo::Vec2> pts(e.perimeter.points().begin(),
+                             e.perimeter.points().end());
+  pts[1].x = std::numeric_limits<double>::quiet_NaN();
+  e.perimeter = geo::Ring(std::move(pts));
+  EXPECT_FALSE(validate_shape(e).ok());
+}
+
+TEST(ValidateShape, PatchRequiresValidBox) {
+  FeedEvent e;
+  e.seq = 3;
+  e.kind = EventKind::kWhpPatch;
+  e.patch_box = {-100.0, 35.0, -99.0, 36.0};
+  e.severity = synth::WhpClass::kHigh;
+  EXPECT_TRUE(validate_shape(e).ok());
+  e.patch_box = {-99.0, 35.0, -100.0, 36.0};  // inverted
+  EXPECT_FALSE(validate_shape(e).ok());
+}
+
+TEST(ValidateShape, UnknownKindRejected) {
+  FeedEvent e;
+  e.kind = static_cast<EventKind>(0xff);
+  EXPECT_FALSE(validate_shape(e).ok());
+}
+
+}  // namespace
+}  // namespace fa::delta

@@ -1,0 +1,211 @@
+// Fault-injection seams in the delta path. The "delta.feed" stage
+// corrupts the raw stream (duplicates, out-of-order arrivals, mangled
+// records) deterministically, so tests can predict the damage and prove
+// quarantine equivalence: a pipeline fed hostile input converges to the
+// same world as one fed the manually pre-filtered stream. "delta.apply"
+// proves the apply stage fails closed, leaving the base epoch intact.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "delta/apply.hpp"
+#include "delta/feed.hpp"
+#include "delta_test_util.hpp"
+#include "fault/injector.hpp"
+
+namespace fa::delta {
+namespace {
+
+using testing::encode;
+using testing::small_risk;
+using testing::small_world;
+
+fault::Injector make_injector(const std::string& spec) {
+  auto injector = fault::Injector::parse(spec);
+  EXPECT_TRUE(injector.ok()) << injector.status().to_string();
+  return std::move(injector).take();
+}
+
+TEST(FeedFault, CorruptionStageIsPredictable) {
+  // Run the exposed stage on our own copy: ingest() under the same
+  // armed injector must make the exact same per-seq decisions.
+  FeedOptions options;
+  options.seed = 5;
+  FeedGenerator gen(small_world(), options);
+  const std::vector<FeedEvent> raw = gen.tick();
+  ASSERT_FALSE(raw.empty());
+
+  fault::ScopedInjector arm(make_injector("seed=42,delta.feed=0.5"));
+  std::vector<FeedEvent> predicted = raw;
+  corrupt_feed_stage(predicted);
+  std::vector<FeedEvent> again = raw;
+  corrupt_feed_stage(again);
+  ASSERT_EQ(predicted.size(), again.size());
+  // Canonical-encoding comparison: mangled records carry NaN payloads,
+  // which operator== (IEEE semantics) reports unequal even when
+  // bit-identical.
+  EXPECT_EQ(encode_events(predicted), encode_events(again));
+  // At 50% the stage must actually do something to a real batch.
+  EXPECT_NE(encode_events(predicted), encode_events(raw));
+}
+
+TEST(FeedFault, QuarantineEquivalence) {
+  // World built from the corrupted stream == world built from the
+  // clean stream with the would-be-rejected records filtered by hand.
+  // Duplicates and reorderings are absorbed by dedup/sort; mangled
+  // records quarantine; so the accepted set is identical.
+  FeedOptions options;
+  options.seed = 12;
+  const std::string spec = "seed=7,delta.feed=0.35";
+
+  core::World hostile_world = small_world();
+  core::ProviderRiskResult hostile_risk = small_risk();
+  core::World clean_world = small_world();
+  core::ProviderRiskResult clean_risk = small_risk();
+
+  FeedGenerator gen(small_world(), options);
+  FeedIngestor hostile_ingestor;  // runs the armed stage inside ingest()
+  FeedIngestor clean_ingestor;
+  for (int tick = 0; tick < 3; ++tick) {
+    const std::vector<FeedEvent> raw = gen.tick();
+
+    std::vector<FeedEvent> cleaned_by_hand;
+    {
+      // Predict the corruption, then pre-filter: drop every record the
+      // validator would reject; keep order/dups for the ingestor.
+      fault::ScopedInjector arm(make_injector(spec));
+      std::vector<FeedEvent> predicted = raw;
+      corrupt_feed_stage(predicted);
+      for (const FeedEvent& e : predicted) {
+        if (validate_shape(e).ok()) cleaned_by_hand.push_back(e);
+      }
+    }
+
+    fault::Result<std::vector<FeedEvent>> hostile_batch = [&] {
+      fault::ScopedInjector arm(make_injector(spec));
+      return hostile_ingestor.ingest(raw);
+    }();
+    ASSERT_TRUE(hostile_batch.ok());
+    auto clean_batch = clean_ingestor.ingest(std::move(cleaned_by_hand));
+    ASSERT_TRUE(clean_batch.ok());
+
+    ASSERT_EQ(hostile_batch.value().size(), clean_batch.value().size())
+        << "tick " << tick;
+    // Encoding comparison: NaN-mangled fire/patch records can survive
+    // shape validation (only their irrelevant txr field is mangled),
+    // and operator== reports NaN payloads unequal even when identical.
+    ASSERT_EQ(encode_events(hostile_batch.value()),
+              encode_events(clean_batch.value()))
+        << "tick " << tick;
+
+    auto ha = Applier::apply(hostile_world, hostile_risk,
+                             hostile_batch.value(), {});
+    auto ca =
+        Applier::apply(clean_world, clean_risk, clean_batch.value(), {});
+    ASSERT_TRUE(ha.ok());
+    ASSERT_TRUE(ca.ok());
+    ApplyResult hr = std::move(ha).take();
+    ApplyResult cr = std::move(ca).take();
+    hostile_world = std::move(hr.world);
+    hostile_risk = std::move(hr.provider_risk);
+    clean_world = std::move(cr.world);
+    clean_risk = std::move(cr.provider_risk);
+  }
+  EXPECT_EQ(encode(hostile_world, hostile_risk),
+            encode(clean_world, clean_risk));
+  EXPECT_GT(hostile_ingestor.stats().malformed +
+                hostile_ingestor.stats().duplicates,
+            0u);
+}
+
+TEST(FeedFault, StrictPolicySurfacesCorruption) {
+  FeedOptions options;
+  options.seed = 20;
+  FeedGenerator gen(small_world(), options);
+  IngestOptions strict;
+  strict.policy = fault::RecoveryPolicy::kStrict;
+  FeedIngestor ingestor(strict);
+  fault::ScopedInjector arm(make_injector("seed=3,delta.feed=1"));
+  bool failed = false;
+  for (int tick = 0; tick < 4 && !failed; ++tick) {
+    auto cleaned = ingestor.ingest(gen.tick());
+    if (!cleaned.ok()) {
+      failed = true;
+      EXPECT_EQ(cleaned.status().source, "delta.feed");
+    }
+  }
+  EXPECT_TRUE(failed) << "full-rate corruption never produced a "
+                         "malformed record under strict policy";
+}
+
+TEST(ApplyFault, InjectedApplyFailureLeavesBaseUntouched) {
+  FeedOptions options;
+  options.seed = 4;
+  FeedGenerator gen(small_world(), options);
+  FeedIngestor ingestor;
+  auto cleaned = ingestor.ingest(gen.tick());
+  ASSERT_TRUE(cleaned.ok());
+  ASSERT_FALSE(cleaned.value().empty());
+
+  const std::string before = encode(small_world(), small_risk());
+  fault::ScopedInjector arm(make_injector("seed=1,delta.apply=1"));
+  auto applied =
+      Applier::apply(small_world(), small_risk(), cleaned.value(), {});
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code, fault::ErrCode::kInjected);
+  EXPECT_EQ(applied.status().source, "delta.apply");
+  // apply() is non-destructive on failure: base still encodes the same.
+  EXPECT_EQ(encode(small_world(), small_risk()), before);
+}
+
+TEST(ApplyFault, InvalidTargetStrictFailsQuarantineDrops) {
+  FeedEvent bogus;
+  bogus.seq = 0;
+  bogus.kind = EventKind::kRetireTransceiver;
+  bogus.target = 0xfffffff0u;  // far out of range
+  FeedEvent fine;
+  fine.seq = 1;
+  fine.kind = EventKind::kRetireTransceiver;
+  fine.target = 2;
+  const std::vector<FeedEvent> batch{bogus, fine};
+
+  ApplyOptions strict;
+  strict.policy = fault::RecoveryPolicy::kStrict;
+  auto failed = Applier::apply(small_world(), small_risk(), batch, strict);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().offset, 0u);
+
+  auto quarantined =
+      Applier::apply(small_world(), small_risk(), batch, {});
+  ASSERT_TRUE(quarantined.ok());
+  ApplyResult result = std::move(quarantined).take();
+  EXPECT_EQ(result.stats.quarantined, 1u);
+  EXPECT_EQ(result.stats.retires, 1u);
+  EXPECT_EQ(result.world.corpus().size(), small_world().corpus().size() - 1);
+}
+
+TEST(ApplyFault, QuarantineEqualsApplyingOnlyValidSubset) {
+  FeedEvent bogus;
+  bogus.seq = 5;
+  bogus.kind = EventKind::kMoveTransceiver;
+  bogus.target = 0xfffffff0u;
+  FeedEvent fine;
+  fine.seq = 6;
+  fine.kind = EventKind::kRetireTransceiver;
+  fine.target = 7;
+  const std::vector<FeedEvent> full{bogus, fine};
+  const std::vector<FeedEvent> valid_only{fine};
+
+  auto a = Applier::apply(small_world(), small_risk(), full, {});
+  auto b = Applier::apply(small_world(), small_risk(), valid_only, {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ApplyResult ra = std::move(a).take();
+  ApplyResult rb = std::move(b).take();
+  EXPECT_EQ(encode(ra.world, ra.provider_risk),
+            encode(rb.world, rb.provider_risk));
+}
+
+}  // namespace
+}  // namespace fa::delta

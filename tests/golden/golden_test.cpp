@@ -20,7 +20,11 @@
 #include "core/historical.hpp"
 #include "core/provider_risk.hpp"
 #include "core/whp_overlay.hpp"
+#include "delta/apply.hpp"
+#include "delta/feed.hpp"
 #include "io/json.hpp"
+#include "store/codec.hpp"
+#include "store/format.hpp"
 #include "test_world.hpp"
 
 namespace fa::core::testing {
@@ -131,6 +135,61 @@ TEST(Golden, Fig6Fig7WhpOverlay) {
   }
   doc["rank_by_at_risk"] = io::JsonValue{std::move(rank)};
   check_golden("fig6_7_whp_overlay", io::JsonValue{std::move(doc)});
+}
+
+TEST(Golden, DeltaEpochBytes) {
+  // Pins the whole incremental-update pipeline: a fixed-seed feed chain
+  // over the shared test world, the snapshot bytes of the delta-built
+  // epoch, and — the tentpole contract — the identical bytes of a
+  // from-scratch rebuild of the same final state. A drift in either CRC
+  // means the feed, applier, codec, or world synthesis changed; the two
+  // CRCs diverging means incremental maintenance broke equivalence.
+  const World& base = test_world();
+  const ProviderRiskResult base_risk = run_provider_risk(base);
+  fa::delta::FeedOptions feed_options;
+  feed_options.seed = 909;
+  fa::delta::FeedGenerator gen(base, feed_options);
+  fa::delta::FeedIngestor ingestor;
+  World world = base;
+  ProviderRiskResult risk = base_risk;
+  std::size_t events_applied = 0;
+  for (int tick = 0; tick < 3; ++tick) {
+    auto cleaned = ingestor.ingest(gen.tick());
+    ASSERT_TRUE(cleaned.ok());
+    auto applied =
+        fa::delta::Applier::apply(world, risk, cleaned.value(), {});
+    ASSERT_TRUE(applied.ok()) << applied.status().to_string();
+    fa::delta::ApplyResult result = std::move(applied).take();
+    events_applied += result.stats.events - result.stats.quarantined;
+    world = std::move(result.world);
+    risk = std::move(result.provider_risk);
+  }
+  const std::string delta_bytes = store::encode_world(world, risk);
+
+  World::BuildOptions opts;
+  auto rebuilt = World::from_parts(
+      cellnet::CellCorpus(
+          std::vector<cellnet::Transceiver>(world.corpus().transceivers())),
+      world.whp_ptr(), world.counties_ptr(), world.config(), opts);
+  ASSERT_TRUE(rebuilt.ok());
+  const World reference = std::move(rebuilt).take();
+  const ProviderRiskResult reference_risk = run_provider_risk(reference);
+  const std::string rebuilt_bytes =
+      store::encode_world(reference, reference_risk);
+  ASSERT_EQ(delta_bytes, rebuilt_bytes)
+      << "delta-built epoch no longer byte-identical to rebuild";
+
+  io::JsonObject doc;
+  doc["feed_seed"] = static_cast<std::size_t>(feed_options.seed);
+  doc["ticks"] = 3;
+  doc["events_applied"] = events_applied;
+  doc["corpus_size"] = world.corpus().size();
+  doc["snapshot_bytes"] = delta_bytes.size();
+  doc["delta_crc"] = static_cast<std::size_t>(
+      store::crc32(delta_bytes.data(), delta_bytes.size()));
+  doc["rebuild_crc"] = static_cast<std::size_t>(
+      store::crc32(rebuilt_bytes.data(), rebuilt_bytes.size()));
+  check_golden("delta_epoch", io::JsonValue{std::move(doc)});
 }
 
 }  // namespace

@@ -99,6 +99,11 @@ const std::vector<BenchSchema>& schemas() {
         "rows", "saturation"},
        "",
        "FA_NET_PER_THREAD=40 FA_NET_SAT_CLIENTS=8 FA_NET_SAT_PER_THREAD=60"},
+      {"bench_delta_ingest", "delta_ingest",
+       {"transceivers", "ticks", "events_applied", "dirty_transceivers",
+        "rebuild_s", "apply_mean_s", "apply_p99_s", "byte_identical",
+        "delta_speedup", "delta_faster"},
+       "", "FA_DELTA_TICKS=4"},
   };
   return table;
 }
