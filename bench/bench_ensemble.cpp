@@ -1,0 +1,176 @@
+// Ensemble engine throughput + hardening-optimizer gate.
+//
+// Phase 1 runs the same seeded fire-season ensemble at 1/2/4/8 exec
+// threads and reports members/sec. The correctness gate is the
+// ensemble's determinism contract: every thread count must produce a
+// bit-identical report (aggregates, per-site expectations, exceedance
+// curve, fragility ordering) — the scaling rows are only meaningful if
+// the work being scaled is invariant.
+//
+// Phase 2 is the optimizer gate: the greedy/lazy (CELF) hardening plan
+// must beat both the unhardened baseline and a random plan of the same
+// budget when all three are re-simulated against the ensemble — the
+// submodular surrogate has to survive contact with the simulator it
+// approximates.
+//
+//   FA_ENS_MEMBERS   ensemble members per run (default 256)
+//   FA_ENS_SEED      ensemble seed            (default 7)
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ensemble/ensemble.hpp"
+#include "ensemble/harden.hpp"
+#include "exec/exec.hpp"
+
+namespace {
+
+using namespace fa;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0'
+             ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+             : fallback;
+}
+
+// Bit-exact fingerprint of everything a report derives from the
+// ensemble: if any double in any aggregate differs by one ulp between
+// thread counts, the fingerprints diverge.
+std::uint64_t fingerprint(const ensemble::EnsembleReport& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const auto mix_f = [&mix](double v) { mix(std::bit_cast<std::uint64_t>(v)); };
+  mix(r.members);
+  mix(r.quarantined);
+  mix(r.sites);
+  mix(r.fires);
+  mix(r.outage_site_days);
+  mix_f(r.expected_user_hours);
+  mix_f(r.expected_power_user_hours);
+  mix_f(r.expected_pop_exposure);
+  mix_f(r.expected_overlap_user_hours);
+  for (const ensemble::MemberStats& m : r.member_stats) {
+    mix_f(m.user_hours);
+    mix_f(m.power_user_hours);
+    mix_f(m.pop_exposure);
+    mix_f(m.overlap_user_hours);
+    mix(m.fires);
+    mix(m.outage_site_days);
+    mix(m.quarantined);
+  }
+  for (const double v : r.site_expected_user_hours) mix_f(v);
+  for (const double v : r.site_expected_power_user_hours) mix_f(v);
+  for (const double v : r.site_outage_probability) mix_f(v);
+  for (const ensemble::ExceedancePoint& p : r.exceedance) {
+    mix_f(p.user_hours);
+    mix_f(p.probability);
+  }
+  for (const std::uint32_t s : r.fragile_order) mix(s);
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  core::AnalysisContext& ctx = bench::bench_context("ensemble");
+  const bench::Stopwatch run_timer;
+
+  ensemble::EnsembleConfig config;
+  config.members =
+      static_cast<std::uint32_t>(env_size("FA_ENS_MEMBERS", 256));
+  config.seed = static_cast<std::uint64_t>(env_size("FA_ENS_SEED", 7));
+
+  const bench::Stopwatch inputs_timer;
+  const ensemble::SharedInputs inputs =
+      ensemble::SharedInputs::build(ctx.world(), config);
+  std::printf("shared inputs: %zu CA sites, %zu ignition cells (%.2fs)\n",
+              inputs.sites.size(), inputs.ignition_cells.size(),
+              inputs_timer.seconds());
+
+  // -- phase 1: members/sec at 1/2/4/8 threads, bit-identical gate ------
+  struct Row {
+    int threads;
+    double seconds;
+    double members_per_s;
+  };
+  std::vector<Row> rows;
+  std::uint64_t reference_fp = 0;
+  bool identical = true;
+  double baseline_user_hours = 0.0;
+  ensemble::EnsembleReport baseline;
+  for (const int threads : {1, 2, 4, 8}) {
+    const exec::ConcurrencyLimit limit(threads);
+    const bench::Stopwatch timer;
+    ensemble::EnsembleReport report = ensemble::run_ensemble(inputs, config);
+    const double s = timer.seconds();
+    const std::uint64_t fp = fingerprint(report);
+    if (threads == 1) {
+      reference_fp = fp;
+      baseline_user_hours = report.expected_user_hours;
+      baseline = std::move(report);
+    } else if (fp != reference_fp) {
+      identical = false;
+    }
+    const double rate = s > 0.0 ? static_cast<double>(config.members) / s : 0.0;
+    rows.push_back({threads, s, rate});
+    std::printf("  %d thread%s  %7.3fs  %8.1f members/s%s\n", threads,
+                threads == 1 ? " " : "s", s, rate,
+                fp == reference_fp ? "" : "  FP MISMATCH");
+  }
+  std::printf("thread-count invariance: %s\n",
+              identical ? "bit-identical" : "DIVERGED");
+
+  // -- phase 2: greedy hardening vs random vs unhardened ----------------
+  const ensemble::HardenConfig harden;
+  const ensemble::HardeningPlan greedy =
+      ensemble::optimize_hardening(inputs, baseline, harden);
+  const ensemble::HardeningPlan random =
+      ensemble::random_hardening(inputs, harden, config.seed);
+  const double greedy_user_hours =
+      ensemble::run_ensemble(inputs, config, &greedy).expected_user_hours;
+  const double random_user_hours =
+      ensemble::run_ensemble(inputs, config, &random).expected_user_hours;
+  const bool beats_random = greedy_user_hours < random_user_hours;
+  const bool beats_baseline = greedy_user_hours < baseline_user_hours;
+  std::printf(
+      "hardening (budget %u): baseline %.3e uh, greedy %.3e uh "
+      "(predicted -%.3e), random %.3e uh\n",
+      harden.budget, baseline_user_hours, greedy_user_hours,
+      greedy.predicted_savings, random_user_hours);
+  std::printf("optimizer gate: greedy %s random, %s baseline\n",
+              beats_random ? "beats" : "LOSES TO",
+              beats_baseline ? "beats" : "LOSES TO");
+
+  io::JsonObject payload;
+  payload["members"] = static_cast<std::size_t>(config.members);
+  payload["sites"] = inputs.sites.size();
+  payload["identical"] = identical;
+  payload["baseline_user_hours"] = baseline_user_hours;
+  payload["greedy_user_hours"] = greedy_user_hours;
+  payload["random_user_hours"] = random_user_hours;
+  payload["predicted_savings"] = greedy.predicted_savings;
+  payload["optimizer_beats_random"] = beats_random;
+  payload["optimizer_beats_baseline"] = beats_baseline;
+  io::JsonArray threads;
+  for (const Row& row : rows) {
+    io::JsonObject r;
+    r["threads"] = row.threads;
+    r["seconds"] = row.seconds;
+    r["members_per_s"] = row.members_per_s;
+    threads.push_back(io::JsonValue{std::move(r)});
+  }
+  payload["threads"] = io::JsonValue{std::move(threads)};
+  bench::print_json_trailer("ensemble", io::JsonValue{std::move(payload)},
+                            &run_timer);
+  return identical && beats_random && beats_baseline ? 0 : 1;
+}

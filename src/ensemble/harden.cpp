@@ -1,0 +1,165 @@
+#include "ensemble/harden.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace fa::ensemble {
+
+namespace {
+
+// Candidate actions: site battery upgrades [0, n_sites), feeder rebuilds
+// [n_sites, n_sites + n_feeders).
+struct Candidate {
+  std::uint32_t id = 0;
+  double gain = 0.0;   // cached marginal gain (may be stale)
+  int round = -1;      // selection round the gain was computed in
+};
+
+struct ByRatio {
+  const std::vector<std::uint32_t>* cost;
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    const double ra = a.gain / (*cost)[a.id];
+    const double rb = b.gain / (*cost)[b.id];
+    // Max-heap on gain/cost; ties broken by id so the selection order
+    // (and therefore the plan) is a pure function of the inputs.
+    return ra != rb ? ra < rb : a.id > b.id;
+  }
+};
+
+}  // namespace
+
+HardeningPlan optimize_hardening(const SharedInputs& inputs,
+                                 const EnsembleReport& baseline,
+                                 const HardenConfig& config) {
+  const obs::Span span(obs::metrics::kEnsembleOptimizeNs);
+  obs::count(obs::metrics::kEnsembleOptimizerRuns);
+
+  const std::size_t n_sites = inputs.sites.size();
+  const std::size_t n_feeders = inputs.grid.feeders().size();
+  const std::vector<double>& w = baseline.site_expected_power_user_hours;
+
+  // Coverage state: how much of site i's power loss is already removed.
+  std::vector<double> covered(n_sites, 0.0);
+  std::vector<std::uint8_t> site_upgraded(n_sites, 0);
+  std::vector<std::uint8_t> feeder_done(n_feeders, 0);
+
+  const auto marginal = [&](std::uint32_t id) {
+    if (id < n_sites) {
+      return site_upgraded[id] != 0 ? 0.0 : w[id] * (1.0 - covered[id]);
+    }
+    const std::uint32_t f = id - static_cast<std::uint32_t>(n_sites);
+    if (feeder_done[f] != 0) return 0.0;
+    double gain = 0.0;
+    for (const std::uint32_t i : inputs.grid.feeders()[f].sites) {
+      if (site_upgraded[i] == 0) {
+        // Hardening lifts coverage from covered[i] to at least rho.
+        gain += w[i] * std::max(0.0, config.feeder_rho - covered[i]);
+      }
+    }
+    return gain;
+  };
+
+  std::vector<std::uint32_t> cost(n_sites + n_feeders, config.site_cost);
+  for (std::size_t f = 0; f < n_feeders; ++f) {
+    cost[n_sites + f] = config.feeder_cost;
+  }
+
+  std::priority_queue<Candidate, std::vector<Candidate>, ByRatio> heap{
+      ByRatio{&cost}};
+  std::uint64_t evals = 0;
+  for (std::uint32_t id = 0; id < n_sites + n_feeders; ++id) {
+    const double g = marginal(id);
+    ++evals;
+    if (g > 0.0) heap.push(Candidate{id, g, 0});
+  }
+
+  HardeningPlan plan;
+  std::uint32_t remaining = config.budget;
+  const std::uint32_t min_cost = std::min(config.site_cost, config.feeder_cost);
+  int round = 0;
+  while (remaining >= min_cost && !heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    if (cost[top.id] > remaining) continue;  // can't afford; drop
+    if (top.round != round) {
+      // Stale gain (something was selected since it was computed):
+      // re-evaluate lazily and push back — submodularity guarantees the
+      // refreshed gain can only shrink, so the heap order stays valid.
+      top.gain = marginal(top.id);
+      ++evals;
+      top.round = round;
+      if (top.gain > 0.0) heap.push(top);
+      continue;
+    }
+    if (top.gain <= 0.0) break;
+    // Buy it.
+    if (top.id < n_sites) {
+      site_upgraded[top.id] = 1;
+      covered[top.id] = 1.0;
+      if (plan.site_battery_hours.empty()) {
+        plan.site_battery_hours.assign(n_sites, 0.0);
+      }
+      plan.site_battery_hours[top.id] = config.upgraded_battery_hours;
+    } else {
+      const std::uint32_t f = top.id - static_cast<std::uint32_t>(n_sites);
+      feeder_done[f] = 1;
+      if (plan.feeder_hardened.empty()) {
+        plan.feeder_hardened.assign(n_feeders, 0);
+      }
+      plan.feeder_hardened[f] = 1;
+      for (const std::uint32_t i : inputs.grid.feeders()[f].sites) {
+        covered[i] = std::max(covered[i], config.feeder_rho);
+      }
+    }
+    plan.predicted_savings += top.gain;
+    plan.budget_spent += cost[top.id];
+    remaining -= cost[top.id];
+    ++round;
+  }
+  obs::count(obs::metrics::kEnsembleOptimizerEvals, evals);
+  return plan;
+}
+
+HardeningPlan random_hardening(const SharedInputs& inputs,
+                               const HardenConfig& config,
+                               std::uint64_t seed) {
+  const std::size_t n_sites = inputs.sites.size();
+  const std::size_t n_feeders = inputs.grid.feeders().size();
+  synth::Rng rng(seed ^ 0xBA5E11AEULL);
+
+  // Seeded Fisher-Yates over the full candidate pool, bought in order
+  // until the budget runs out — what an uninformed allocation buys.
+  std::vector<std::uint32_t> order(n_sites + n_feeders);
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  HardeningPlan plan;
+  std::uint32_t remaining = config.budget;
+  for (const std::uint32_t id : order) {
+    const std::uint32_t c =
+        id < n_sites ? config.site_cost : config.feeder_cost;
+    if (c > remaining) continue;
+    if (id < n_sites) {
+      if (plan.site_battery_hours.empty()) {
+        plan.site_battery_hours.assign(n_sites, 0.0);
+      }
+      plan.site_battery_hours[id] = config.upgraded_battery_hours;
+    } else {
+      if (plan.feeder_hardened.empty()) {
+        plan.feeder_hardened.assign(n_feeders, 0);
+      }
+      plan.feeder_hardened[id - n_sites] = 1;
+    }
+    plan.budget_spent += c;
+    remaining -= c;
+    if (remaining == 0) break;
+  }
+  return plan;
+}
+
+}  // namespace fa::ensemble

@@ -55,8 +55,9 @@ FireSimulator::FireSimulator(const synth::WhpModel& whp,
   const auto& grid = whp_.grid();
   const raster::FloatRaster urban_dist =
       raster::distance_transform(whp_.urban_mask());
-  ignition_cdf_.reserve(grid.size() / 4);
-  ignition_cells_.reserve(grid.size() / 4);
+  auto tables = std::make_shared<IgnitionTables>();
+  tables->cdf.reserve(grid.size() / 4);
+  tables->cells.reserve(grid.size() / 4);
   double acc = 0.0;
   for (std::uint32_t i = 0; i < grid.data().size(); ++i) {
     double w = ignition_weight(static_cast<synth::WhpClass>(grid.data()[i]));
@@ -66,9 +67,20 @@ FireSimulator::FireSimulator(const synth::WhpModel& whp,
                    0.03, 1.0);
     w *= remoteness;
     acc += w;
-    ignition_cdf_.push_back(acc);
-    ignition_cells_.push_back(i);
+    tables->cdf.push_back(acc);
+    tables->cells.push_back(i);
   }
+  tables_ = std::move(tables);
+}
+
+FireSimulator::FireSimulator(const synth::WhpModel& whp,
+                             const synth::UsAtlas& atlas, std::uint64_t seed,
+                             std::shared_ptr<const IgnitionTables> tables)
+    : whp_(whp), atlas_(atlas), rng_(seed ^ 0xF14E5EEDULL),
+      tables_(std::move(tables)) {}
+
+FireSimulator FireSimulator::fork(std::uint64_t seed) const {
+  return FireSimulator(whp_, atlas_, seed, tables_);
 }
 
 geo::LonLat FireSimulator::sample_ignition(const FireSimConfig& config) {
@@ -93,12 +105,12 @@ geo::LonLat FireSimulator::sample_ignition(const FireSimConfig& config) {
     }
   }
   // Hazard-weighted draw over burnable cells.
-  const double target = rng_.uniform() * ignition_cdf_.back();
-  const auto it =
-      std::lower_bound(ignition_cdf_.begin(), ignition_cdf_.end(), target);
+  const std::vector<double>& cdf = tables_->cdf;
+  const double target = rng_.uniform() * cdf.back();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), target);
   const std::size_t k =
-      static_cast<std::size_t>(std::distance(ignition_cdf_.begin(), it));
-  const std::uint32_t cell = ignition_cells_[k];
+      static_cast<std::size_t>(std::distance(cdf.begin(), it));
+  const std::uint32_t cell = tables_->cells[k];
   const auto& geom = whp_.grid().geom();
   const int c = static_cast<int>(cell % static_cast<std::uint32_t>(geom.cols));
   const int r = static_cast<int>(cell / static_cast<std::uint32_t>(geom.cols));

@@ -9,6 +9,7 @@
 // are never fed in — they must emerge.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,12 @@ class FireSimulator {
   FireSimulator(const synth::WhpModel& whp, const synth::UsAtlas& atlas,
                 std::uint64_t seed);
 
+  // Cheap seeded sibling sharing this simulator's prepared ignition
+  // tables (the constructor's full-grid distance transform + CDF scan is
+  // done once and reused). Each fork owns an independent RNG stream, so
+  // ensemble members can run concurrently without sharing mutable state.
+  FireSimulator fork(std::uint64_t seed) const;
+
   // One season calibrated to `target` (fires + acreage).
   FireSeason simulate_year(const synth::FireYearStats& target,
                            const FireSimConfig& config = {});
@@ -96,12 +103,21 @@ class FireSimulator {
                                      const FireSimConfig& config = {});
 
  private:
+  // Cumulative hazard weights over WHP cells for ignition sampling.
+  // Immutable after construction and shared across forks.
+  struct IgnitionTables {
+    std::vector<double> cdf;
+    std::vector<std::uint32_t> cells;
+  };
+
+  FireSimulator(const synth::WhpModel& whp, const synth::UsAtlas& atlas,
+                std::uint64_t seed,
+                std::shared_ptr<const IgnitionTables> tables);
+
   const synth::WhpModel& whp_;
   const synth::UsAtlas& atlas_;
   synth::Rng rng_;
-  // Cumulative hazard weights over WHP cells for ignition sampling.
-  std::vector<double> ignition_cdf_;
-  std::vector<std::uint32_t> ignition_cells_;
+  std::shared_ptr<const IgnitionTables> tables_;
 };
 
 // Per-WHP-class relative fuel availability used by the spread model.

@@ -177,10 +177,16 @@ DirsReport OutageSimulator::simulate(
         continue;
       }
 
-      // Power: feeder off and battery cannot bridge a full day.
+      // Power: feeder off and battery cannot bridge a full day. A
+      // per-site battery overlay only swaps the multiplier, never the
+      // draw itself, so the RNG sequence of unrelated sites is unchanged.
       if (feeder_off[feeder_of[i]] != 0) {
-        const double battery =
-            config.battery_hours * rng_.uniform(0.5, 1.5);
+        const double hours =
+            (config.site_battery_hours != nullptr &&
+             i < config.site_battery_hours->size())
+                ? (*config.site_battery_hours)[i]
+                : config.battery_hours;
+        const double battery = hours * rng_.uniform(0.5, 1.5);
         if (battery < 24.0) {
           ++out.power;
           if (!in_fire) ++out.power_outside_fire;

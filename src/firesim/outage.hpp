@@ -67,6 +67,11 @@ struct OutageSimConfig {
   // fall back to wireless backhaul when its fiber is cut, avoiding a
   // transport outage.
   double iab_fraction = 0.0;
+  // Optional per-site backup-battery overlay (indexed like `sites`); a
+  // site beyond the vector's length falls back to `battery_hours`. Lets
+  // hardening scenarios upgrade individual sites (e.g. 48 h generators)
+  // without copying the whole config per member. Must outlive simulate().
+  const std::vector<double>* site_battery_hours = nullptr;
 };
 
 // Precomputed feeder topology (e.g. from powergrid::GridModel). When

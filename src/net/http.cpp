@@ -90,6 +90,19 @@ std::optional<std::uint32_t> parse_u32(std::string_view token) {
   return static_cast<std::uint32_t>(v);
 }
 
+// Same digits-only discipline as parse_u32, for 64-bit ensemble seeds.
+std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  if (token.empty() || token.size() > 20) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t next = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (next / 10 != v) return std::nullopt;  // overflow
+    v = next;
+  }
+  return v;
+}
+
 std::string_view reason_phrase(int status) {
   switch (status) {
     case 200: return "OK";
@@ -305,6 +318,42 @@ HttpRoute route_http(const HttpRequest& req) {
       route.request = q;
       return route;
     }
+    if (req.path == "/ensemble/summary" || req.path == "/ensemble/fragile") {
+      std::uint32_t members = 64;
+      std::uint64_t seed = 7;
+      if (req.params.count("members")) {
+        const auto m = parse_u32(req.params.at("members"));
+        if (!m || *m == 0 || *m > serve::wire::kMaxEnsembleMembers) {
+          return bad_request(
+              "members must be an integer in [1, " +
+              std::to_string(serve::wire::kMaxEnsembleMembers) + "]");
+        }
+        members = *m;
+      }
+      if (req.params.count("seed")) {
+        const auto s = parse_u64(req.params.at("seed"));
+        if (!s) return bad_request("seed must be a non-negative integer");
+        seed = *s;
+      }
+      route.kind = HttpRoute::Kind::kQuery;
+      if (req.path == "/ensemble/summary") {
+        route.request = serve::EnsembleSummaryQuery{members, seed};
+        return route;
+      }
+      serve::TopKFragileSitesQuery q;
+      q.members = members;
+      q.seed = seed;
+      if (req.params.count("k")) {
+        const auto k = parse_u32(req.params.at("k"));
+        if (!k || *k > serve::wire::kMaxTopK) {
+          return bad_request("k must be an integer <= " +
+                             std::to_string(serve::wire::kMaxTopK));
+        }
+        q.k = *k;
+      }
+      route.request = q;
+      return route;
+    }
     if (req.path.starts_with("/providers/")) {
       const std::optional<cellnet::Provider> p =
           provider_from_token(to_lower(req.path.substr(11)));
@@ -387,8 +436,7 @@ io::JsonValue response_json(const serve::Response& response) {
           o["high"] = static_cast<std::size_t>(r.high);
           o["very_high"] = static_cast<std::size_t>(r.very_high);
           o["at_risk"] = static_cast<std::size_t>(r.at_risk());
-        } else {
-          static_assert(std::is_same_v<R, serve::TopKSitesResponse>);
+        } else if constexpr (std::is_same_v<R, serve::TopKSitesResponse>) {
           o["candidates"] = static_cast<std::size_t>(r.candidates);
           io::JsonArray sites;
           for (const serve::RankedSite& site : r.sites) {
@@ -401,6 +449,42 @@ io::JsonValue response_json(const serve::Response& response) {
             sites.push_back(io::JsonValue{std::move(s)});
           }
           o["sites"] = io::JsonValue{std::move(sites)};
+        } else if constexpr (std::is_same_v<R,
+                                            serve::EnsembleSummaryResponse>) {
+          o["members"] = static_cast<std::size_t>(r.members);
+          o["quarantined"] = static_cast<std::size_t>(r.quarantined);
+          o["sites"] = static_cast<std::size_t>(r.sites);
+          o["fires"] = static_cast<std::size_t>(r.fires);
+          o["expected_user_hours"] = r.expected_user_hours;
+          o["expected_power_user_hours"] = r.expected_power_user_hours;
+          o["expected_pop_exposure"] = r.expected_pop_exposure;
+          o["expected_overlap_user_hours"] = r.expected_overlap_user_hours;
+          io::JsonArray curve;
+          for (const serve::ExceedanceRow& row : r.exceedance) {
+            io::JsonObject p;
+            p["user_hours"] = row.user_hours;
+            p["probability"] = row.probability;
+            curve.push_back(io::JsonValue{std::move(p)});
+          }
+          o["exceedance"] = io::JsonValue{std::move(curve)};
+        } else {
+          static_assert(
+              std::is_same_v<R, serve::TopKFragileSitesResponse>);
+          o["members"] = static_cast<std::size_t>(r.members);
+          o["sites"] = static_cast<std::size_t>(r.sites);
+          io::JsonArray ranked;
+          for (const serve::FragileSiteRow& row : r.sites_ranked) {
+            io::JsonObject s;
+            s["site"] = static_cast<std::size_t>(row.site);
+            s["lon"] = row.position.lon;
+            s["lat"] = row.position.lat;
+            s["users"] = row.users;
+            s["expected_user_hours"] = row.expected_user_hours;
+            s["power_share"] = row.power_share;
+            s["outage_probability"] = row.outage_probability;
+            ranked.push_back(io::JsonValue{std::move(s)});
+          }
+          o["sites_ranked"] = io::JsonValue{std::move(ranked)};
         }
         return io::JsonValue{std::move(o)};
       },

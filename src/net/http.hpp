@@ -16,6 +16,14 @@
 //   GET  /providers/{att|tmobile|sprint|verizon|regional}
 //                                       one Table 2 row
 //                                       (ProviderExposureQuery)
+//   GET  /ensemble/summary[?members=&seed=]
+//                                       fire-season ensemble aggregates +
+//                                       exceedance curve
+//                                       (EnsembleSummaryQuery)
+//   GET  /ensemble/fragile[?members=&seed=&k=]
+//                                       top-K fragile sites by expected
+//                                       user-hours lost
+//                                       (TopKFragileSitesQuery)
 //   GET  /scenario/camp-fire-2018       prebuilt composite payload for
 //                                       the 2018 Camp Fire ignition
 //

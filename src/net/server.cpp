@@ -206,6 +206,7 @@ struct NetServer::Impl {
   obs::Histogram& h_bbox_ns;
   obs::Histogram& h_provider_ns;
   obs::Histogram& h_topk_ns;
+  obs::Histogram& h_ensemble_ns;
   obs::Histogram& h_scenario_ns;
 
   Impl(serve::Server& srv, const NetServerOptions& options)
@@ -231,6 +232,7 @@ struct NetServer::Impl {
         h_bbox_ns(reg.histogram(obs::metrics::kNetLatencyBBoxNs)),
         h_provider_ns(reg.histogram(obs::metrics::kNetLatencyProviderNs)),
         h_topk_ns(reg.histogram(obs::metrics::kNetLatencyTopKNs)),
+        h_ensemble_ns(reg.histogram(obs::metrics::kNetLatencyEnsembleNs)),
         h_scenario_ns(reg.histogram(obs::metrics::kNetLatencyScenarioNs)) {
     opts.workers = std::max(1, opts.workers);
     opts.queue_capacity = std::max<std::size_t>(1, opts.queue_capacity);
@@ -949,8 +951,12 @@ struct NetServer::Impl {
         return h_bbox_ns;
       case 2:
         return h_provider_ns;
-      default:
+      case 3:
         return h_topk_ns;
+      default:
+        // Both ensemble shapes (summary + fragility ranking) share one
+        // latency surface; they run the same ensemble underneath.
+        return h_ensemble_ns;
     }
   }
 };

@@ -100,6 +100,37 @@ inline constexpr std::string_view kNetLatencyProviderNs =
 inline constexpr std::string_view kNetLatencyTopKNs = "net.latency.top_k_ns";
 inline constexpr std::string_view kNetLatencyScenarioNs =
     "net.latency.scenario_ns";
+// Both ensemble-backed endpoints (summary + fragile-sites) share one
+// histogram: they run the same driver and differ only in projection.
+inline constexpr std::string_view kNetLatencyEnsembleNs =
+    "net.latency.ensemble_ns";
+
+// -- cascading-scenario ensembles (`fa::ensemble`) --------------------
+// Ensemble runs started (one per run_ensemble call).
+inline constexpr std::string_view kEnsembleRuns = "ensemble.runs";
+// Members simulated to completion and members quarantined by the
+// "ensemble.member" fault seam (every scheduled member lands in exactly
+// one of the two).
+inline constexpr std::string_view kEnsembleMembers = "ensemble.members";
+inline constexpr std::string_view kEnsembleQuarantined =
+    "ensemble.members.quarantined";
+// Fires ignited and site-days of outage accumulated across all members.
+inline constexpr std::string_view kEnsembleFires = "ensemble.fires";
+inline constexpr std::string_view kEnsembleOutageSiteDays =
+    "ensemble.outage_site_days";
+// Hardening-optimizer invocations and marginal-gain evaluations (the
+// lazy-greedy heap makes evaluations << candidates x budget).
+inline constexpr std::string_view kEnsembleOptimizerRuns =
+    "ensemble.optimizer.runs";
+inline constexpr std::string_view kEnsembleOptimizerEvals =
+    "ensemble.optimizer.evals";
+// Span/histogram names (nanoseconds). inputs = shared-state preparation,
+// run = whole ensemble, member_ns = one member end to end.
+inline constexpr std::string_view kEnsembleInputsNs = "ensemble.inputs_ns";
+inline constexpr std::string_view kEnsembleRunNs = "ensemble.run_ns";
+inline constexpr std::string_view kEnsembleMemberNs = "ensemble.member_ns";
+inline constexpr std::string_view kEnsembleOptimizeNs =
+    "ensemble.optimize_ns";
 
 // -- prepared-geometry kernels ----------------------------------------
 // PreparedRing builds (one per ring: outer, hole, or multipolygon part).

@@ -1,0 +1,78 @@
+// Served ensemble queries: map (snapshot, members, seed) onto a
+// fa::ensemble run and project the report into the wire response
+// shapes. Both evaluates are pure functions of the snapshot content and
+// the query — the ensemble's own determinism contract (byte-identical
+// at any thread count) is what makes these cacheable like the O(1)
+// queries despite running thousands of seeded season simulations.
+//
+// SharedInputs are rebuilt per evaluate call. That is deliberate: the
+// result cache already absorbs repeats of the same (epoch, query), and
+// the wire decoder caps `members`, so the worst case one request can
+// demand is bounded. Caching inputs across epochs would couple this
+// file to snapshot lifetime for a path the cache already covers.
+#include <algorithm>
+
+#include "ensemble/ensemble.hpp"
+#include "serve/snapshot.hpp"
+
+namespace fa::serve {
+
+namespace {
+
+ensemble::EnsembleConfig config_for(std::uint32_t members,
+                                    std::uint64_t seed) {
+  ensemble::EnsembleConfig config;
+  config.members = std::max<std::uint32_t>(1, members);
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+EnsembleSummaryResponse evaluate(const Snapshot& snap,
+                                 const EnsembleSummaryQuery& q) {
+  const ensemble::EnsembleConfig config = config_for(q.members, q.seed);
+  const ensemble::SharedInputs inputs =
+      ensemble::SharedInputs::build(snap.world(), config);
+  const ensemble::EnsembleReport report =
+      ensemble::run_ensemble(inputs, config);
+  EnsembleSummaryResponse r;
+  r.epoch = snap.epoch();
+  r.members = report.members;
+  r.quarantined = report.quarantined;
+  r.sites = report.sites;
+  r.fires = report.fires;
+  r.expected_user_hours = report.expected_user_hours;
+  r.expected_power_user_hours = report.expected_power_user_hours;
+  r.expected_pop_exposure = report.expected_pop_exposure;
+  r.expected_overlap_user_hours = report.expected_overlap_user_hours;
+  r.exceedance.reserve(report.exceedance.size());
+  for (const ensemble::ExceedancePoint& p : report.exceedance) {
+    r.exceedance.push_back({p.user_hours, p.probability});
+  }
+  return r;
+}
+
+TopKFragileSitesResponse evaluate(const Snapshot& snap,
+                                  const TopKFragileSitesQuery& q) {
+  const ensemble::EnsembleConfig config = config_for(q.members, q.seed);
+  const ensemble::SharedInputs inputs =
+      ensemble::SharedInputs::build(snap.world(), config);
+  const ensemble::EnsembleReport report =
+      ensemble::run_ensemble(inputs, config);
+  const std::vector<ensemble::FragileSite> top =
+      ensemble::top_k_fragile(inputs, report, q.k);
+  TopKFragileSitesResponse r;
+  r.epoch = snap.epoch();
+  r.members = report.members;
+  r.sites = report.sites;
+  r.sites_ranked.reserve(top.size());
+  for (const ensemble::FragileSite& s : top) {
+    r.sites_ranked.push_back({s.site, s.position, s.users,
+                              s.expected_user_hours, s.power_share,
+                              s.outage_probability});
+  }
+  return r;
+}
+
+}  // namespace fa::serve

@@ -131,9 +131,13 @@ Response Server::handle(const Request& request, Dispatch dispatch) {
           return answer<Q, BBoxAggregateResponse>(q);
         } else if constexpr (std::is_same_v<Q, ProviderExposureQuery>) {
           return answer<Q, ProviderExposureResponse>(q);
-        } else {
-          static_assert(std::is_same_v<Q, TopKSitesQuery>);
+        } else if constexpr (std::is_same_v<Q, TopKSitesQuery>) {
           return answer<Q, TopKSitesResponse>(q);
+        } else if constexpr (std::is_same_v<Q, EnsembleSummaryQuery>) {
+          return answer<Q, EnsembleSummaryResponse>(q);
+        } else {
+          static_assert(std::is_same_v<Q, TopKFragileSitesQuery>);
+          return answer<Q, TopKFragileSitesResponse>(q);
         }
       },
       request);
@@ -156,6 +160,16 @@ ProviderExposureResponse Server::provider_exposure(
 
 TopKSitesResponse Server::top_k_sites(const TopKSitesQuery& q) {
   return std::get<TopKSitesResponse>(handle(Request{q}, Dispatch::kDirect));
+}
+
+EnsembleSummaryResponse Server::ensemble_summary(
+    const EnsembleSummaryQuery& q) {
+  return std::get<EnsembleSummaryResponse>(handle(Request{q}));
+}
+
+TopKFragileSitesResponse Server::top_k_fragile_sites(
+    const TopKFragileSitesQuery& q) {
+  return std::get<TopKFragileSitesResponse>(handle(Request{q}));
 }
 
 PointRiskResponse Server::point_risk_batched(const PointRiskQuery& q) {

@@ -85,6 +85,8 @@ class Server {
   BBoxAggregateResponse bbox_aggregate(const BBoxAggregateQuery& q);
   ProviderExposureResponse provider_exposure(const ProviderExposureQuery& q);
   TopKSitesResponse top_k_sites(const TopKSitesQuery& q);
+  EnsembleSummaryResponse ensemble_summary(const EnsembleSummaryQuery& q);
+  TopKFragileSitesResponse top_k_fragile_sites(const TopKFragileSitesQuery& q);
 
   // Point query through the admission queue: concurrent submitters are
   // coalesced into one vectorized evaluation per round, every round

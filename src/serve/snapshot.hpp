@@ -85,6 +85,15 @@ BBoxAggregateResponse evaluate(const Snapshot& snap,
 ProviderExposureResponse evaluate(const Snapshot& snap,
                                   const ProviderExposureQuery& q);
 TopKSitesResponse evaluate(const Snapshot& snap, const TopKSitesQuery& q);
+// The ensemble pair runs a whole seeded scenario ensemble against the
+// snapshot's world (fa::ensemble) — expensive on a cache miss, but a
+// pure function of (snapshot content, members, seed) like every other
+// evaluate, so the cache and the equivalence tests treat it identically.
+// Implemented in ensemble_eval.cpp.
+EnsembleSummaryResponse evaluate(const Snapshot& snap,
+                                 const EnsembleSummaryQuery& q);
+TopKFragileSitesResponse evaluate(const Snapshot& snap,
+                                  const TopKFragileSitesQuery& q);
 
 // RCU-style current-snapshot holder. acquire() and publish() are safe
 // from any thread; the critical sections are pointer-sized.

@@ -117,16 +117,84 @@ struct TopKSitesResponse {
   bool operator==(const TopKSitesResponse&) const = default;
 };
 
+// "How bad can a fire season get here?" — the cascading-scenario
+// ensemble's headline aggregates: expected user-hours lost, population
+// exposure, and the season exceedance curve. Deterministic in
+// (snapshot, members, seed), so it fingerprints and caches like any
+// other query despite running a whole simulation ensemble.
+struct EnsembleSummaryQuery {
+  std::uint32_t members = 64;
+  std::uint64_t seed = 7;
+
+  bool operator==(const EnsembleSummaryQuery&) const = default;
+};
+
+struct ExceedanceRow {
+  double user_hours = 0.0;   // threshold
+  double probability = 0.0;  // P(member season total >= threshold)
+
+  bool operator==(const ExceedanceRow&) const = default;
+};
+
+struct EnsembleSummaryResponse {
+  Epoch epoch = 0;
+  std::uint32_t members = 0;      // scheduled
+  std::uint32_t quarantined = 0;  // excluded by the ensemble.member seam
+  std::uint32_t sites = 0;        // region sites simulated
+  std::uint64_t fires = 0;
+  double expected_user_hours = 0.0;
+  double expected_power_user_hours = 0.0;
+  double expected_pop_exposure = 0.0;     // person-days inside perimeters
+  double expected_overlap_user_hours = 0.0;
+  std::vector<ExceedanceRow> exceedance;
+
+  bool operator==(const EnsembleSummaryResponse&) const = default;
+};
+
+// "Which K sites fail users the most?" — the ensemble's fragility
+// ranking (expected user-hours lost descending, site id ascending; a
+// total order, so the report is deterministic and cacheable).
+struct TopKFragileSitesQuery {
+  std::uint32_t members = 64;
+  std::uint64_t seed = 7;
+  std::uint32_t k = 10;
+
+  bool operator==(const TopKFragileSitesQuery&) const = default;
+};
+
+struct FragileSiteRow {
+  std::uint32_t site = 0;  // region site index
+  geo::LonLat position;
+  double users = 0.0;
+  double expected_user_hours = 0.0;
+  double power_share = 0.0;
+  double outage_probability = 0.0;
+
+  bool operator==(const FragileSiteRow&) const = default;
+};
+
+struct TopKFragileSitesResponse {
+  Epoch epoch = 0;
+  std::uint32_t members = 0;
+  std::uint32_t sites = 0;  // region sites considered
+  std::vector<FragileSiteRow> sites_ranked;  // best-first, size <= k
+
+  bool operator==(const TopKFragileSitesResponse&) const = default;
+};
+
 // -- the unified request/response surface ------------------------------
 // One type-erased shape for every query the serving layer answers. The
 // wire decoder, the batcher admission path, and the result cache all
 // dispatch through these two variants (Server::handle is the single
 // entry point); the typed query structs above stay the ergonomic API
 // for in-process callers.
-using Request = std::variant<PointRiskQuery, BBoxAggregateQuery,
-                             ProviderExposureQuery, TopKSitesQuery>;
+using Request =
+    std::variant<PointRiskQuery, BBoxAggregateQuery, ProviderExposureQuery,
+                 TopKSitesQuery, EnsembleSummaryQuery, TopKFragileSitesQuery>;
 using Response = std::variant<PointRiskResponse, BBoxAggregateResponse,
-                              ProviderExposureResponse, TopKSitesResponse>;
+                              ProviderExposureResponse, TopKSitesResponse,
+                              EnsembleSummaryResponse,
+                              TopKFragileSitesResponse>;
 
 // What the result cache stores: the same one-slot-for-every-shape
 // variant, so a fingerprint collision across query *types* (already

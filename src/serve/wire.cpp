@@ -149,8 +149,7 @@ std::string encode(const Response& response) {
           detail::put_u64(out, r.moderate);
           detail::put_u64(out, r.high);
           detail::put_u64(out, r.very_high);
-        } else {
-          static_assert(std::is_same_v<R, TopKSitesResponse>);
+        } else if constexpr (std::is_same_v<R, TopKSitesResponse>) {
           out.reserve(16 + r.sites.size() * 29);
           detail::put_header(out, Tag::kTopKSitesResponse);
           detail::put_u64(out, r.epoch);
@@ -162,6 +161,42 @@ std::string encode(const Response& response) {
             detail::put_f64(out, site.position.lat);
             detail::put_u8(out, static_cast<std::uint8_t>(site.whp));
             detail::put_f64(out, site.distance_m);
+          }
+        } else if constexpr (std::is_same_v<R, EnsembleSummaryResponse>) {
+          out.reserve(64 + r.exceedance.size() * 16);
+          detail::put_header(out, Tag::kEnsembleSummaryResponse);
+          detail::put_u64(out, r.epoch);
+          detail::put_u32(out, r.members);
+          detail::put_u32(out, r.quarantined);
+          detail::put_u32(out, r.sites);
+          detail::put_u64(out, r.fires);
+          detail::put_f64(out, r.expected_user_hours);
+          detail::put_f64(out, r.expected_power_user_hours);
+          detail::put_f64(out, r.expected_pop_exposure);
+          detail::put_f64(out, r.expected_overlap_user_hours);
+          detail::put_u32(out,
+                          static_cast<std::uint32_t>(r.exceedance.size()));
+          for (const ExceedanceRow& row : r.exceedance) {
+            detail::put_f64(out, row.user_hours);
+            detail::put_f64(out, row.probability);
+          }
+        } else {
+          static_assert(std::is_same_v<R, TopKFragileSitesResponse>);
+          out.reserve(24 + r.sites_ranked.size() * 52);
+          detail::put_header(out, Tag::kTopKFragileSitesResponse);
+          detail::put_u64(out, r.epoch);
+          detail::put_u32(out, r.members);
+          detail::put_u32(out, r.sites);
+          detail::put_u32(
+              out, static_cast<std::uint32_t>(r.sites_ranked.size()));
+          for (const FragileSiteRow& row : r.sites_ranked) {
+            detail::put_u32(out, row.site);
+            detail::put_f64(out, row.position.lon);
+            detail::put_f64(out, row.position.lat);
+            detail::put_f64(out, row.users);
+            detail::put_f64(out, row.expected_user_hours);
+            detail::put_f64(out, row.power_share);
+            detail::put_f64(out, row.outage_probability);
           }
         }
       },
@@ -208,6 +243,35 @@ fault::Result<Request> decode_request(std::string_view payload) {
         return truncated(r);
       }
       if (q.k > wire::kMaxTopK) {
+        return err(fault::ErrCode::kOutOfRange, r.offset() - 4,
+                   "k " + std::to_string(q.k) + " exceeds limit " +
+                       std::to_string(kMaxTopK));
+      }
+      return complete(r, Request{q});
+    }
+    case Tag::kEnsembleSummaryQuery: {
+      EnsembleSummaryQuery q;
+      if (!r.get_u32(q.members) || !r.get_u64(q.seed)) return truncated(r);
+      if (q.members == 0 || q.members > kMaxEnsembleMembers) {
+        return err(fault::ErrCode::kOutOfRange, 2,
+                   "members " + std::to_string(q.members) +
+                       " outside [1, " + std::to_string(kMaxEnsembleMembers) +
+                       "]");
+      }
+      return complete(r, Request{q});
+    }
+    case Tag::kTopKFragileSitesQuery: {
+      TopKFragileSitesQuery q;
+      if (!r.get_u32(q.members) || !r.get_u64(q.seed) || !r.get_u32(q.k)) {
+        return truncated(r);
+      }
+      if (q.members == 0 || q.members > kMaxEnsembleMembers) {
+        return err(fault::ErrCode::kOutOfRange, 2,
+                   "members " + std::to_string(q.members) +
+                       " outside [1, " + std::to_string(kMaxEnsembleMembers) +
+                       "]");
+      }
+      if (q.k > kMaxTopK) {
         return err(fault::ErrCode::kOutOfRange, r.offset() - 4,
                    "k " + std::to_string(q.k) + " exceeds limit " +
                        std::to_string(kMaxTopK));
@@ -294,6 +358,58 @@ fault::Result<Response> decode_response(std::string_view payload) {
         }
         site.whp = static_cast<synth::WhpClass>(whp);
         resp.sites.push_back(site);
+      }
+      return complete(r, Response{resp});
+    }
+    case Tag::kEnsembleSummaryResponse: {
+      EnsembleSummaryResponse resp;
+      std::uint32_t n = 0;
+      if (!r.get_u64(resp.epoch) || !r.get_u32(resp.members) ||
+          !r.get_u32(resp.quarantined) || !r.get_u32(resp.sites) ||
+          !r.get_u64(resp.fires) || !r.get_f64(resp.expected_user_hours) ||
+          !r.get_f64(resp.expected_power_user_hours) ||
+          !r.get_f64(resp.expected_pop_exposure) ||
+          !r.get_f64(resp.expected_overlap_user_hours) || !r.get_u32(n)) {
+        return truncated(r);
+      }
+      if (n > kMaxExceedanceRows) {
+        return err(fault::ErrCode::kOutOfRange, r.offset() - 4,
+                   "exceedance rows " + std::to_string(n) +
+                       " exceeds limit " + std::to_string(kMaxExceedanceRows));
+      }
+      resp.exceedance.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ExceedanceRow row;
+        if (!r.get_f64(row.user_hours) || !r.get_f64(row.probability)) {
+          return truncated(r);
+        }
+        resp.exceedance.push_back(row);
+      }
+      return complete(r, Response{resp});
+    }
+    case Tag::kTopKFragileSitesResponse: {
+      TopKFragileSitesResponse resp;
+      std::uint32_t n = 0;
+      if (!r.get_u64(resp.epoch) || !r.get_u32(resp.members) ||
+          !r.get_u32(resp.sites) || !r.get_u32(n)) {
+        return truncated(r);
+      }
+      if (n > kMaxTopK) {
+        return err(fault::ErrCode::kOutOfRange, r.offset() - 4,
+                   "site count " + std::to_string(n) + " exceeds limit " +
+                       std::to_string(kMaxTopK));
+      }
+      resp.sites_ranked.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        FragileSiteRow row;
+        if (!r.get_u32(row.site) || !r.get_f64(row.position.lon) ||
+            !r.get_f64(row.position.lat) || !r.get_f64(row.users) ||
+            !r.get_f64(row.expected_user_hours) ||
+            !r.get_f64(row.power_share) ||
+            !r.get_f64(row.outage_probability)) {
+          return truncated(r);
+        }
+        resp.sites_ranked.push_back(row);
       }
       return complete(r, Response{resp});
     }

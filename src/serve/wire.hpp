@@ -46,16 +46,27 @@ enum class Tag : std::uint8_t {
   kBBoxAggregateQuery = 0x02,
   kProviderExposureQuery = 0x03,
   kTopKSitesQuery = 0x04,
+  kEnsembleSummaryQuery = 0x05,
+  kTopKFragileSitesQuery = 0x06,
   kPointRiskResponse = 0x81,
   kBBoxAggregateResponse = 0x82,
   kProviderExposureResponse = 0x83,
   kTopKSitesResponse = 0x84,
+  kEnsembleSummaryResponse = 0x85,
+  kTopKFragileSitesResponse = 0x86,
   kError = 0xEE,
 };
 
 // Largest TopKSitesQuery::k the decoder accepts; bounds the response
 // payload (~30 KiB) under the net layer's 64 KiB frame cap.
 inline constexpr std::uint32_t kMaxTopK = 1024;
+
+// Largest ensemble the decoder admits: each member is a full cascading
+// season simulation, so this caps the compute one request can demand
+// (the cache makes repeats cheap; the first run still has to happen).
+inline constexpr std::uint32_t kMaxEnsembleMembers = 4096;
+// Exceedance rows a summary response may carry.
+inline constexpr std::uint32_t kMaxExceedanceRows = 256;
 
 namespace detail {
 
@@ -161,6 +172,21 @@ void put_payload(Sink& s, const TopKSitesQuery& q) {
 }
 
 template <class Sink>
+void put_payload(Sink& s, const EnsembleSummaryQuery& q) {
+  put_header(s, Tag::kEnsembleSummaryQuery);
+  put_u32(s, q.members);
+  put_u64(s, q.seed);
+}
+
+template <class Sink>
+void put_payload(Sink& s, const TopKFragileSitesQuery& q) {
+  put_header(s, Tag::kTopKFragileSitesQuery);
+  put_u32(s, q.members);
+  put_u64(s, q.seed);
+  put_u32(s, q.k);
+}
+
+template <class Sink>
 void put_payload(Sink& s, const Request& q) {
   std::visit([&s](const auto& query) { put_payload(s, query); }, q);
 }
@@ -209,7 +235,10 @@ template <class Q>
   requires std::is_same_v<Q, PointRiskQuery> ||
            std::is_same_v<Q, BBoxAggregateQuery> ||
            std::is_same_v<Q, ProviderExposureQuery> ||
-           std::is_same_v<Q, TopKSitesQuery> || std::is_same_v<Q, Request>
+           std::is_same_v<Q, TopKSitesQuery> ||
+           std::is_same_v<Q, EnsembleSummaryQuery> ||
+           std::is_same_v<Q, TopKFragileSitesQuery> ||
+           std::is_same_v<Q, Request>
 std::uint64_t fingerprint(const Q& q) {
   wire::detail::FixedSink sink;
   wire::detail::put_payload(sink, q);

@@ -1,0 +1,247 @@
+// fa::ensemble determinism, quarantine, and optimizer properties.
+//
+// The load-bearing contracts: (a) the same config produces bit-identical
+// reports at any thread count and on repeat runs; (b) the
+// ensemble.member fault seam quarantines members deterministically and
+// the aggregates provably exclude them; (c) the CELF hardening plan
+// beats both random spend and the unhardened baseline when re-simulated.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/world.hpp"
+#include "ensemble/ensemble.hpp"
+#include "ensemble/harden.hpp"
+#include "exec/exec.hpp"
+#include "fault/injector.hpp"
+
+namespace fa::ensemble {
+namespace {
+
+synth::ScenarioConfig world_config() {
+  synth::ScenarioConfig cfg;
+  cfg.seed = 20191022;
+  cfg.whp_cell_m = 9000.0;
+  cfg.corpus_scale = 100.0;
+  cfg.counties_per_state = 16;
+  return cfg;
+}
+
+// One world for the whole suite: builds dominate runtime, and every
+// test reads it immutably (the ensemble's own contract).
+const core::World& world() {
+  static const core::World w =
+      core::World::build(world_config(), {}).take();
+  return w;
+}
+
+EnsembleConfig ens_config(std::uint32_t members = 24,
+                          std::uint64_t seed = 7) {
+  EnsembleConfig cfg;
+  cfg.members = members;
+  cfg.seed = seed;
+  return cfg;
+}
+
+const SharedInputs& inputs() {
+  static const SharedInputs in = SharedInputs::build(world(), ens_config());
+  return in;
+}
+
+// Field-by-field equality over everything the report aggregates —
+// doubles compared exactly, because the contract is bit-identity.
+void expect_identical(const EnsembleReport& a, const EnsembleReport& b) {
+  EXPECT_EQ(a.members, b.members);
+  EXPECT_EQ(a.quarantined, b.quarantined);
+  EXPECT_EQ(a.sites, b.sites);
+  EXPECT_EQ(a.fires, b.fires);
+  EXPECT_EQ(a.outage_site_days, b.outage_site_days);
+  EXPECT_EQ(a.expected_user_hours, b.expected_user_hours);
+  EXPECT_EQ(a.expected_power_user_hours, b.expected_power_user_hours);
+  EXPECT_EQ(a.expected_pop_exposure, b.expected_pop_exposure);
+  EXPECT_EQ(a.expected_overlap_user_hours, b.expected_overlap_user_hours);
+  EXPECT_EQ(a.site_expected_user_hours, b.site_expected_user_hours);
+  EXPECT_EQ(a.site_expected_power_user_hours,
+            b.site_expected_power_user_hours);
+  EXPECT_EQ(a.site_outage_probability, b.site_outage_probability);
+  EXPECT_EQ(a.fragile_order, b.fragile_order);
+  ASSERT_EQ(a.member_stats.size(), b.member_stats.size());
+  for (std::size_t i = 0; i < a.member_stats.size(); ++i) {
+    EXPECT_EQ(a.member_stats[i].user_hours, b.member_stats[i].user_hours);
+    EXPECT_EQ(a.member_stats[i].power_user_hours,
+              b.member_stats[i].power_user_hours);
+    EXPECT_EQ(a.member_stats[i].pop_exposure, b.member_stats[i].pop_exposure);
+    EXPECT_EQ(a.member_stats[i].quarantined, b.member_stats[i].quarantined);
+  }
+  ASSERT_EQ(a.exceedance.size(), b.exceedance.size());
+  for (std::size_t i = 0; i < a.exceedance.size(); ++i) {
+    EXPECT_EQ(a.exceedance[i].user_hours, b.exceedance[i].user_hours);
+    EXPECT_EQ(a.exceedance[i].probability, b.exceedance[i].probability);
+  }
+}
+
+TEST(Ensemble, SameSeedTwiceIsByteIdentical) {
+  const EnsembleConfig cfg = ens_config();
+  const EnsembleReport a = run_ensemble(inputs(), cfg);
+  const EnsembleReport b = run_ensemble(inputs(), cfg);
+  expect_identical(a, b);
+  EXPECT_GT(a.expected_user_hours, 0.0);
+  EXPECT_GT(a.fires, 0u);
+}
+
+TEST(Ensemble, ThreadCountDoesNotChangeTheReport) {
+  const EnsembleConfig cfg = ens_config();
+  EnsembleReport one;
+  EnsembleReport eight;
+  {
+    const exec::ConcurrencyLimit limit(1);
+    one = run_ensemble(inputs(), cfg);
+  }
+  {
+    const exec::ConcurrencyLimit limit(8);
+    eight = run_ensemble(inputs(), cfg);
+  }
+  expect_identical(one, eight);
+}
+
+TEST(Ensemble, SeedChangesTheSeason) {
+  const EnsembleReport a = run_ensemble(inputs(), ens_config(24, 7));
+  const EnsembleReport b = run_ensemble(inputs(), ens_config(24, 8));
+  EXPECT_NE(a.expected_user_hours, b.expected_user_hours);
+}
+
+TEST(Ensemble, GrainIsAThroughputKnobOnly) {
+  EnsembleConfig coarse = ens_config();
+  coarse.exec_grain = 16;
+  EnsembleConfig fine = ens_config();
+  fine.exec_grain = 1;
+  expect_identical(run_ensemble(inputs(), coarse),
+                   run_ensemble(inputs(), fine));
+}
+
+TEST(Ensemble, AggregateInvariants) {
+  const EnsembleReport r = run_ensemble(inputs(), ens_config());
+  ASSERT_EQ(r.sites, inputs().sites.size());
+  ASSERT_EQ(r.site_expected_user_hours.size(), r.sites);
+  ASSERT_EQ(r.fragile_order.size(), r.sites);
+  // Power losses are a component of the total, per site and overall.
+  EXPECT_LE(r.expected_power_user_hours, r.expected_user_hours);
+  for (std::uint32_t s = 0; s < r.sites; ++s) {
+    EXPECT_LE(r.site_expected_power_user_hours[s],
+              r.site_expected_user_hours[s] + 1e-9);
+    EXPECT_GE(r.site_outage_probability[s], 0.0);
+    EXPECT_LE(r.site_outage_probability[s], 1.0);
+  }
+  // fragile_order is the permutation sorted by expected loss descending.
+  for (std::size_t i = 1; i < r.fragile_order.size(); ++i) {
+    EXPECT_GE(r.site_expected_user_hours[r.fragile_order[i - 1]],
+              r.site_expected_user_hours[r.fragile_order[i]]);
+  }
+  // The exceedance curve is monotone non-increasing in the threshold.
+  for (std::size_t i = 1; i < r.exceedance.size(); ++i) {
+    EXPECT_GE(r.exceedance[i].user_hours, r.exceedance[i - 1].user_hours);
+    EXPECT_LE(r.exceedance[i].probability, r.exceedance[i - 1].probability);
+  }
+  // Expected total equals the mean of the member totals.
+  double sum = 0.0;
+  for (const MemberStats& m : r.member_stats) sum += m.user_hours;
+  EXPECT_NEAR(r.expected_user_hours,
+              sum / static_cast<double>(r.effective_members()),
+              1e-6 * std::max(1.0, r.expected_user_hours));
+}
+
+TEST(Ensemble, TopKFragileProjectsTheRanking) {
+  const EnsembleReport r = run_ensemble(inputs(), ens_config());
+  const std::vector<FragileSite> top = top_k_fragile(inputs(), r, 10);
+  ASSERT_EQ(top.size(), std::min<std::size_t>(10, r.sites));
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].site, r.fragile_order[i]);
+    EXPECT_EQ(top[i].expected_user_hours,
+              r.site_expected_user_hours[top[i].site]);
+    EXPECT_GE(top[i].power_share, 0.0);
+    EXPECT_LE(top[i].power_share, 1.0 + 1e-9);
+    EXPECT_EQ(top[i].users, inputs().site_users[top[i].site]);
+  }
+  // Oversized k clamps to the site count.
+  EXPECT_EQ(top_k_fragile(inputs(), r, 1u << 20).size(), r.sites);
+}
+
+TEST(Ensemble, QuarantineSeamExcludesMembersDeterministically) {
+  const EnsembleConfig cfg = ens_config(32, 7);
+  EnsembleReport one;
+  EnsembleReport eight;
+  {
+    const fault::ScopedInjector scope(
+        fault::Injector::parse("seed=11,ensemble.member=0.25").take());
+    {
+      const exec::ConcurrencyLimit limit(1);
+      one = run_ensemble(inputs(), cfg);
+    }
+    {
+      const exec::ConcurrencyLimit limit(8);
+      eight = run_ensemble(inputs(), cfg);
+    }
+  }
+  expect_identical(one, eight);
+  ASSERT_GT(one.quarantined, 0u);
+  ASSERT_LT(one.quarantined, one.members);
+  // A quarantined member contributes nothing; the means are recomputable
+  // from the surviving members alone.
+  double sum = 0.0;
+  std::uint32_t survivors = 0;
+  for (const MemberStats& m : one.member_stats) {
+    if (m.quarantined != 0) {
+      EXPECT_EQ(m.user_hours, 0.0);
+      EXPECT_EQ(m.fires, 0u);
+      continue;
+    }
+    sum += m.user_hours;
+    ++survivors;
+  }
+  EXPECT_EQ(survivors, one.effective_members());
+  EXPECT_NEAR(one.expected_user_hours, sum / survivors,
+              1e-6 * std::max(1.0, one.expected_user_hours));
+  // Same config without the seam: every member simulates.
+  const EnsembleReport clean = run_ensemble(inputs(), cfg);
+  EXPECT_EQ(clean.quarantined, 0u);
+  EXPECT_GT(clean.fires, one.fires);
+}
+
+TEST(Ensemble, HardeningOptimizerBeatsRandomAndBaseline) {
+  const EnsembleConfig cfg = ens_config(32, 7);
+  const EnsembleReport baseline = run_ensemble(inputs(), cfg);
+  const HardenConfig harden;
+  const HardeningPlan greedy = optimize_hardening(inputs(), baseline, harden);
+  const HardeningPlan random = random_hardening(inputs(), harden, 7);
+  EXPECT_LE(greedy.budget_spent, harden.budget);
+  EXPECT_GT(greedy.budget_spent, 0u);
+  EXPECT_GT(greedy.predicted_savings, 0.0);
+  const double greedy_uh =
+      run_ensemble(inputs(), cfg, &greedy).expected_user_hours;
+  const double random_uh =
+      run_ensemble(inputs(), cfg, &random).expected_user_hours;
+  EXPECT_LT(greedy_uh, baseline.expected_user_hours);
+  EXPECT_LT(greedy_uh, random_uh);
+}
+
+TEST(Ensemble, UnlimitedBatteriesEliminatePowerLoss) {
+  const EnsembleConfig cfg = ens_config();
+  HardeningPlan plan;
+  plan.site_battery_hours.assign(inputs().sites.size(), 1e6);
+  const EnsembleReport r = run_ensemble(inputs(), cfg, &plan);
+  EXPECT_EQ(r.expected_power_user_hours, 0.0);
+  // Fire damage and transport cuts are untouched by batteries.
+  const EnsembleReport baseline = run_ensemble(inputs(), cfg);
+  EXPECT_LT(r.expected_user_hours, baseline.expected_user_hours);
+}
+
+TEST(Ensemble, UnknownRegionThrows) {
+  EnsembleConfig cfg = ens_config();
+  cfg.region = "not-a-state";
+  EXPECT_THROW(SharedInputs::build(world(), cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fa::ensemble

@@ -39,8 +39,12 @@ TEST(UnifiedApi, HandleMatchesTypedMethodsByteForByte) {
             return Response{server.bbox_aggregate(q)};
           } else if constexpr (std::is_same_v<Q, ProviderExposureQuery>) {
             return Response{server.provider_exposure(q)};
-          } else {
+          } else if constexpr (std::is_same_v<Q, TopKSitesQuery>) {
             return Response{server.top_k_sites(q)};
+          } else if constexpr (std::is_same_v<Q, EnsembleSummaryQuery>) {
+            return Response{server.ensemble_summary(q)};
+          } else {
+            return Response{server.top_k_fragile_sites(q)};
           }
         },
         req);

@@ -104,6 +104,11 @@ const std::vector<BenchSchema>& schemas() {
         "rebuild_s", "apply_mean_s", "apply_p99_s", "byte_identical",
         "delta_speedup", "delta_faster"},
        "", "FA_DELTA_TICKS=4"},
+      {"bench_ensemble", "ensemble",
+       {"members", "sites", "identical", "baseline_user_hours",
+        "greedy_user_hours", "random_user_hours", "optimizer_beats_random",
+        "optimizer_beats_baseline", "threads"},
+       "", "FA_ENS_MEMBERS=24"},
   };
   return table;
 }
