@@ -245,6 +245,7 @@ fault::Result<ApplyResult> Applier::apply(
           lonlat_image(proj, box.inflated(geom.cell_w)).inflated(margin_deg);
       base.txr_index().query_candidates(
           region, [&](std::uint32_t id, geo::Vec2) { dirty[id] = true; });
+      out.dirty_boxes.push_back(region);
     }
   }
 

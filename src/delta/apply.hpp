@@ -50,6 +50,12 @@ struct ApplyResult {
   // True when the batch left the WHP surface untouched and the new
   // world shares the base's WhpModel allocation (structure sharing).
   bool whp_shared = false;
+  // Lon/lat regions whose hazard surface changed (one per WHP edit,
+  // inflated by the same margin the dirty-transceiver scan used). Every
+  // transceiver whose cached class this batch could have changed lies
+  // inside one of these boxes — what lets a sharded view rebuild only
+  // the shards the batch touched.
+  std::vector<geo::BBox> dirty_boxes;
 };
 
 // Stateless; a struct (not free functions) so core::World and

@@ -3,6 +3,7 @@
 //   fa_served [--port N] [--workers N] [--scale S] [--cell-m M]
 //             [--seed S] [--quota-qps Q] [--queue N] [--public]
 //             [--store DIR] [--feed] [--feed-interval-ms N] [--feed-seed S]
+//             [--sharded]
 //
 // Builds the synthetic scenario, starts a serve::Server behind a
 // net::NetServer, and runs until SIGINT/SIGTERM. SIGTERM and SIGINT
@@ -17,6 +18,13 @@
 // freshly built or rebuilt world is committed back after boot and after
 // every SIGHUP, and a failed persist only logs — the in-memory epoch
 // keeps serving.
+//
+// --sharded serves from the geo-sharded view: the world is partitioned
+// into balanced geographic shards, queries scatter/gather across them,
+// and with --store the snapshot persists as a FASHRD01 container whose
+// cold start mmaps shard columns zero-copy — the continental
+// (--scale 1) path. Responses are byte-identical to the monolithic
+// server either way.
 //
 // --feed starts the synthetic live feed: every --feed-interval-ms
 // (default 1000) a tick of events (site adds/retires/moves, growing
@@ -106,7 +114,7 @@ int main(int argc, char** argv) {
         "usage: fa_served [--port N] [--workers N] [--scale S] [--cell-m M]\n"
         "                 [--seed S] [--quota-qps Q] [--queue N] [--public]\n"
         "                 [--store DIR] [--feed] [--feed-interval-ms N]\n"
-        "                 [--feed-seed S]\n");
+        "                 [--feed-seed S] [--sharded]\n");
     return 2;
   }
 
@@ -127,9 +135,12 @@ int main(int argc, char** argv) {
 
   serve::ServerOptions serve_options;
   serve_options.store_dir = arg_string(argc, argv, "--store", "");
+  serve_options.sharded = arg_flag(argc, argv, "--sharded");
 
-  std::fprintf(stderr, "fa_served: building scenario (scale=%.0f cell=%.0fm)\n",
-               scenario.corpus_scale, scenario.whp_cell_m);
+  std::fprintf(stderr,
+               "fa_served: building scenario (scale=%.0f cell=%.0fm%s)\n",
+               scenario.corpus_scale, scenario.whp_cell_m,
+               serve_options.sharded ? ", sharded" : "");
   try {
     serve::Server server(scenario, serve_options);
     if (server.loaded_from_store()) {

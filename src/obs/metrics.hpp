@@ -177,6 +177,39 @@ inline constexpr std::string_view kStoreSaveNs = "store.save_ns";
 inline constexpr std::string_view kStoreLoadNs = "store.load_ns";
 inline constexpr std::string_view kStoreRecoverNs = "store.recover_ns";
 
+// -- geo-sharded world (`fa::shard`) -----------------------------------
+// Sharded views built from in-memory worlds (from_world) and opened
+// from mmap'd FASHRD01 containers.
+inline constexpr std::string_view kShardBuilds = "shard.builds";
+inline constexpr std::string_view kShardOpens = "shard.opens";
+// Shards quarantined at open / deep-verify (structural or CRC damage);
+// the rest of the container keeps serving degraded.
+inline constexpr std::string_view kShardQuarantined = "shard.quarantined";
+// Point queries routed (counter += shards touched; one in the common
+// case, more when a neighborhood disc straddles a shard boundary).
+inline constexpr std::string_view kShardPointRoutes = "shard.point_routes";
+// Scatter/gather fan-outs (one per bbox/top-K query) and the shards
+// each touched.
+inline constexpr std::string_view kShardFanouts = "shard.fanouts";
+inline constexpr std::string_view kShardFanoutShards = "shard.fanout_shards";
+// Queries that touched a quarantined shard and answered degraded.
+inline constexpr std::string_view kShardDegradedServes =
+    "shard.degraded_serves";
+// Lazy monolithic-world materializations off a sharded view.
+inline constexpr std::string_view kShardMaterializes = "shard.materializes";
+// Delta applies routed through the sharded view: shards rebuilt vs
+// payload-shared untouched.
+inline constexpr std::string_view kShardDeltaRebuilt = "shard.delta.rebuilt";
+inline constexpr std::string_view kShardDeltaShared = "shard.delta.shared";
+// Monolithic FASNAP01 generations migrated to a sharded view by the
+// recovery ladder.
+inline constexpr std::string_view kShardMigrations = "shard.migrations";
+// Span/histogram names (nanoseconds).
+inline constexpr std::string_view kShardOpenNs = "shard.open_ns";
+inline constexpr std::string_view kShardBuildNs = "shard.build_ns";
+inline constexpr std::string_view kShardMaterializeNs =
+    "shard.materialize_ns";
+
 // -- live-feed incremental updates (`fa::delta`) ----------------------
 // Events emitted by the synthetic feed / seen by the ingestor.
 inline constexpr std::string_view kDeltaFeedEvents = "delta.feed.events";

@@ -6,6 +6,9 @@
 
 #include "exec/exec.hpp"
 #include "obs/metrics.hpp"
+#include "shard/apply.hpp"
+#include "shard/codec.hpp"
+#include "shard/recovery.hpp"
 #include "store/codec.hpp"
 #include "store/recovery.hpp"
 
@@ -39,45 +42,10 @@ Server::Server(const synth::ScenarioConfig& config,
   if (!options_.store_dir.empty()) {
     if (auto dir = store::StoreDir::open(options_.store_dir); dir.ok()) {
       store_dir_.emplace(std::move(dir).take());
-      store::RecoveryManager manager(*store_dir_);
-      if (auto recovered = manager.recover(); recovered.ok()) {
-        if (recovered.value().loaded.world.config() == config) {
-          store::RecoveredWorld rec = std::move(recovered).take();
-          core::World world = std::move(rec.loaded.world);
-          core::ProviderRiskResult risk = rec.loaded.provider_risk;
-          // Replay the generation's delta-log chain so epoch 1 resumes
-          // at the last durably applied batch, not the last full
-          // snapshot. A batch that no longer applies ends the replay
-          // (serve the last provably consistent state) and disengages
-          // the log — appending past a divergence would corrupt the
-          // chain's meaning.
-          if (auto log = delta::DeltaLog::open(*store_dir_,
-                                               rec.generation.number,
-                                               rec.generation.crc);
-              log.ok()) {
-            delta_log_.emplace(std::move(log).take());
-            delta::DeltaLog::Replay replayed = delta_log_->replay();
-            bool diverged = false;
-            for (const std::vector<delta::FeedEvent>& batch :
-                 replayed.batches) {
-              delta::ApplyOptions apply_options;
-              apply_options.policy = options_.policy;
-              auto applied = delta::Applier::apply(world, risk, batch,
-                                                   apply_options);
-              if (!applied.ok()) {
-                diverged = true;
-                break;
-              }
-              delta::ApplyResult result = std::move(applied).take();
-              world = std::move(result.world);
-              risk = std::move(result.provider_risk);
-            }
-            if (diverged) delta_log_.reset();
-          }
-          store_.publish(Snapshot::adopt(std::move(world), 1,
-                                         std::move(risk)));
-          loaded_from_store_ = true;
-        }
+      if (options_.sharded) {
+        cold_start_sharded(config);
+      } else {
+        cold_start_monolithic(config);
       }
       if (!loaded_from_store_) {
         registry_.counter(obs::metrics::kStoreRecoverRebuilds).add();
@@ -87,12 +55,106 @@ Server::Server(const synth::ScenarioConfig& config,
   if (!loaded_from_store_) {
     // take() throws fault::IoError when the initial scenario is
     // unbuildable — nothing would be serving, so surface it.
-    store_.publish(Snapshot::build(config, 1, options_.policy).take());
+    store_.publish(options_.sharded
+                       ? Snapshot::build_sharded(config, 1, options_.policy,
+                                                 options_.shard_layout)
+                             .take()
+                       : Snapshot::build(config, 1, options_.policy).take());
   }
 }
 
+void Server::cold_start_monolithic(const synth::ScenarioConfig& config) {
+  store::RecoveryManager manager(*store_dir_);
+  auto recovered = manager.recover();
+  if (!recovered.ok()) return;
+  if (!(recovered.value().loaded.world.config() == config)) return;
+  store::RecoveredWorld rec = std::move(recovered).take();
+  core::World world = std::move(rec.loaded.world);
+  core::ProviderRiskResult risk = rec.loaded.provider_risk;
+  // Replay the generation's delta-log chain so epoch 1 resumes at the
+  // last durably applied batch, not the last full snapshot. A batch
+  // that no longer applies ends the replay (serve the last provably
+  // consistent state) and disengages the log — appending past a
+  // divergence would corrupt the chain's meaning.
+  if (auto log = delta::DeltaLog::open(*store_dir_, rec.generation.number,
+                                       rec.generation.crc);
+      log.ok()) {
+    delta_log_.emplace(std::move(log).take());
+    delta::DeltaLog::Replay replayed = delta_log_->replay();
+    bool diverged = false;
+    for (const std::vector<delta::FeedEvent>& batch : replayed.batches) {
+      delta::ApplyOptions apply_options;
+      apply_options.policy = options_.policy;
+      auto applied = delta::Applier::apply(world, risk, batch, apply_options);
+      if (!applied.ok()) {
+        diverged = true;
+        break;
+      }
+      delta::ApplyResult result = std::move(applied).take();
+      world = std::move(result.world);
+      risk = std::move(result.provider_risk);
+    }
+    if (diverged) delta_log_.reset();
+  }
+  store_.publish(Snapshot::adopt(std::move(world), 1, std::move(risk)));
+  loaded_from_store_ = true;
+}
+
+void Server::cold_start_sharded(const synth::ScenarioConfig& config) {
+  shard::ShardRecoveryManager manager(*store_dir_, options_.shard_layout);
+  auto recovered = manager.recover();
+  if (!recovered.ok()) return;
+  shard::RecoveredShardedWorld rec = std::move(recovered).take();
+  if (!(rec.world.config() == config)) return;
+  shard::ShardedWorld view = std::move(rec.world);
+  // Replay the generation's delta-log chain, exactly like the
+  // monolithic ladder — but replaying needs the monolithic world, so
+  // the view only materializes when the chain is non-empty: the common
+  // no-log cold start stays zero-copy. A degraded view (quarantined
+  // shards) cannot materialize; it serves the bare generation image and
+  // the log disengages, same contract as a diverged batch.
+  std::optional<core::World> world;
+  core::ProviderRiskResult risk = view.provider_risk();
+  if (auto log = delta::DeltaLog::open(*store_dir_, rec.generation.number,
+                                       rec.generation.crc);
+      log.ok()) {
+    delta_log_.emplace(std::move(log).take());
+    delta::DeltaLog::Replay replayed = delta_log_->replay();
+    bool diverged = false;
+    if (!replayed.batches.empty()) {
+      if (auto materialized = view.materialize(); materialized.ok()) {
+        world.emplace(std::move(materialized).take());
+      } else {
+        diverged = true;
+      }
+    }
+    if (world.has_value()) {
+      for (const std::vector<delta::FeedEvent>& batch : replayed.batches) {
+        delta::ApplyOptions apply_options;
+        apply_options.policy = options_.policy;
+        auto applied = delta::Applier::apply(*world, risk, batch,
+                                             apply_options);
+        if (!applied.ok()) {
+          diverged = true;
+          break;
+        }
+        delta::ApplyResult result = std::move(applied).take();
+        view = shard::apply_update(view, result);
+        world.emplace(std::move(result.world));
+        risk = std::move(result.provider_risk);
+      }
+    }
+    if (diverged) delta_log_.reset();
+  }
+  store_.publish(world.has_value()
+                     ? Snapshot::adopt_sharded(std::move(view), 1,
+                                               std::move(*world))
+                     : Snapshot::adopt_sharded(std::move(view), 1));
+  loaded_from_store_ = true;
+}
+
 synth::ScenarioConfig Server::config() const {
-  return store_.acquire()->world().config();
+  return store_.acquire()->config();
 }
 
 template <class Query, class Resp>
@@ -231,7 +293,10 @@ fault::Status Server::rebuild(const synth::ScenarioConfig& config) {
   const std::lock_guard<std::mutex> lock(rebuild_mu_);
   const Epoch epoch = store_.current_epoch() + 1;
   fault::Result<std::shared_ptr<const Snapshot>> built =
-      Snapshot::build(config, epoch, options_.policy);
+      options_.sharded ? Snapshot::build_sharded(config, epoch,
+                                                 options_.policy,
+                                                 options_.shard_layout)
+                       : Snapshot::build(config, epoch, options_.policy);
   if (!built.ok()) {
     // Failed swap: nothing published, nothing invalidated — the
     // current epoch keeps serving and the epoch number is not burned.
@@ -250,9 +315,21 @@ fault::Status Server::apply_delta(std::span<const delta::FeedEvent> events,
                                   delta::ApplyStats* stats) {
   const std::lock_guard<std::mutex> lock(rebuild_mu_);
   const std::shared_ptr<const Snapshot> snap = store_.acquire();
+  const shard::ShardedWorld* base = snap->sharded();
+  // A sharded epoch applies deltas against its materialized world; the
+  // materialization can fail (a degraded cold-start view has shards
+  // with no data to scatter back), and that failure gets the same
+  // survivability contract as any other failed swap.
+  const core::World* base_world = nullptr;
+  try {
+    base_world = &snap->world();
+  } catch (const fault::IoError& e) {
+    swaps_failed_.add();
+    return e.status();
+  }
   delta::ApplyOptions apply_options;
   apply_options.policy = options_.policy;
-  auto applied = delta::Applier::apply(snap->world(), snap->provider_risk(),
+  auto applied = delta::Applier::apply(*base_world, snap->provider_risk(),
                                        events, apply_options);
   if (!applied.ok()) {
     // Same survivability contract as a failed rebuild(): nothing
@@ -262,8 +339,17 @@ fault::Status Server::apply_delta(std::span<const delta::FeedEvent> events,
   }
   delta::ApplyResult result = std::move(applied).take();
   if (stats != nullptr) *stats = result.stats;
-  publish_locked(Snapshot::adopt(std::move(result.world), snap->epoch() + 1,
-                                 std::move(result.provider_risk)));
+  if (base != nullptr) {
+    // Route the batch's dirty boxes to the touched shards only; every
+    // untouched shard's columns are shared with the serving view by
+    // refcount (shard.delta.{rebuilt,shared} count the split).
+    shard::ShardedWorld next = shard::apply_update(*base, result);
+    publish_locked(Snapshot::adopt_sharded(std::move(next), snap->epoch() + 1,
+                                           std::move(result.world)));
+  } else {
+    publish_locked(Snapshot::adopt(std::move(result.world), snap->epoch() + 1,
+                                   std::move(result.provider_risk)));
+  }
   if (delta_log_) {
     if (!delta_log_->append(events).ok()) {
       // The serving state now leads the durable chain by this batch; a
@@ -288,8 +374,18 @@ fault::Status Server::save_snapshot() {
   // matches every other path.
   const std::lock_guard<std::mutex> rebuild_lock(rebuild_mu_);
   const std::shared_ptr<const Snapshot> snap = store_.acquire();
+  if (snap->sharded() != nullptr &&
+      snap->sharded()->quarantined_count() > 0) {
+    // Persisting a degraded view would commit the data loss as the
+    // newest generation — the one recovery prefers.
+    return fault::Status::error(
+        fault::ErrCode::kIoFailure, snap->epoch(), "serve.store",
+        "refusing to persist a degraded sharded view");
+  }
   const std::string image =
-      store::encode_world(snap->world(), snap->provider_risk());
+      snap->sharded() != nullptr
+          ? shard::encode_sharded(*snap->sharded())
+          : store::encode_world(snap->world(), snap->provider_risk());
   const std::lock_guard<std::mutex> lock(save_mu_);
   auto gen = store_dir_->commit(image);
   if (!gen.ok()) return gen.status();
@@ -313,6 +409,19 @@ fault::Status Server::rebuild_from_store() {
                                 "no store directory configured");
   }
   const std::lock_guard<std::mutex> lock(rebuild_mu_);
+  const Epoch epoch = store_.current_epoch() + 1;
+  if (options_.sharded) {
+    shard::ShardRecoveryManager manager(*store_dir_, options_.shard_layout);
+    auto recovered = manager.recover();
+    if (!recovered.ok()) {
+      swaps_failed_.add();
+      return recovered.status();
+    }
+    publish_locked(
+        Snapshot::adopt_sharded(std::move(recovered).take().world, epoch));
+    delta_log_.reset();
+    return {};
+  }
   store::RecoveryManager manager(*store_dir_);
   auto recovered = manager.recover();
   if (!recovered.ok()) {
@@ -321,7 +430,6 @@ fault::Status Server::rebuild_from_store() {
     swaps_failed_.add();
     return recovered.status();
   }
-  const Epoch epoch = store_.current_epoch() + 1;
   publish_locked(
       Snapshot::adopt(std::move(recovered).take().loaded.world, epoch));
   // The published state is the bare generation image — any increments

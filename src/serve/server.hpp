@@ -28,6 +28,7 @@
 #include "serve/snapshot.hpp"
 #include "serve/types.hpp"
 #include "serve/wire.hpp"
+#include "shard/layout.hpp"
 #include "store/store.hpp"
 
 namespace fa::serve {
@@ -57,6 +58,14 @@ struct ServerOptions {
   // config mismatch) the server falls back to a fresh build and counts
   // store.recover.rebuilds. Empty = no persistence.
   std::string store_dir;
+  // Serve from a geo-sharded view (fa::shard). Builds partition the
+  // world by `shard_layout`; cold starts go through the shard recovery
+  // ladder (FASHRD01 opens zero-copy shard-by-shard, FASNAP01
+  // generations migrate in memory); queries route through the
+  // scatter/gather planner. Responses stay byte-identical to the
+  // monolithic server over the same world.
+  bool sharded = false;
+  shard::LayoutOptions shard_layout;
 };
 
 class Server {
@@ -138,6 +147,12 @@ class Server {
   obs::Registry& registry() { return registry_; }
 
  private:
+  // Constructor cold-start ladders (store_dir_ engaged): publish epoch 1
+  // from the newest servable generation, replaying its delta-log chain;
+  // set loaded_from_store_ on success, leave the fresh-build fallback to
+  // the constructor otherwise.
+  void cold_start_monolithic(const synth::ScenarioConfig& config);
+  void cold_start_sharded(const synth::ScenarioConfig& config);
   // Cache-then-evaluate for one typed query; the body behind handle().
   template <class Query, class Resp>
   Resp answer(const Query& q);

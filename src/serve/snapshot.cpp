@@ -9,31 +9,15 @@
 #include "index/grid_index.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "serve/planner.hpp"
+#include "shard/world.hpp"
 
 namespace fa::serve {
-
-namespace {
-
-// Lon/lat box enclosing the great-circle disc (center, radius_m); the
-// exact haversine test runs on the candidates it yields. cos(lat)
-// shrinks toward the poles, so widen longitude by the worst latitude in
-// the box.
-geo::BBox disc_bbox(geo::LonLat center, double radius_m) {
-  const double dlat = radius_m / geo::meters_per_deg_lat();
-  const double worst_lat =
-      std::min(89.0, std::max(std::abs(center.lat - dlat),
-                              std::abs(center.lat + dlat)));
-  const double dlon = radius_m / geo::meters_per_deg_lon(worst_lat);
-  return {center.lon - dlon, center.lat - dlat, center.lon + dlon,
-          center.lat + dlat};
-}
-
-}  // namespace
 
 Snapshot::Snapshot(core::World world, Epoch epoch)
     : world_(std::move(world)),
       epoch_(epoch),
-      provider_risk_(core::run_provider_risk(world_)) {}
+      provider_risk_(core::run_provider_risk(*world_)) {}
 
 fault::Result<std::shared_ptr<const Snapshot>> Snapshot::build(
     const synth::ScenarioConfig& config, Epoch epoch,
@@ -74,7 +58,78 @@ std::shared_ptr<const Snapshot> Snapshot::adopt(
       new Snapshot(std::move(world), epoch, std::move(provider_risk)));
 }
 
+Snapshot::Snapshot(std::shared_ptr<const shard::ShardedWorld> sharded,
+                   Epoch epoch, std::optional<core::World> world)
+    : world_(std::move(world)),
+      sharded_(std::move(sharded)),
+      epoch_(epoch),
+      provider_risk_(sharded_->provider_risk()) {}
+
+std::shared_ptr<const Snapshot> Snapshot::adopt_sharded(
+    shard::ShardedWorld sharded, Epoch epoch) {
+  return std::shared_ptr<const Snapshot>(new Snapshot(
+      std::make_shared<const shard::ShardedWorld>(std::move(sharded)), epoch,
+      std::nullopt));
+}
+
+std::shared_ptr<const Snapshot> Snapshot::adopt_sharded(
+    shard::ShardedWorld sharded, Epoch epoch, core::World world) {
+  return std::shared_ptr<const Snapshot>(new Snapshot(
+      std::make_shared<const shard::ShardedWorld>(std::move(sharded)), epoch,
+      std::move(world)));
+}
+
+fault::Result<std::shared_ptr<const Snapshot>> Snapshot::build_sharded(
+    const synth::ScenarioConfig& config, Epoch epoch,
+    fault::RecoveryPolicy policy, const shard::LayoutOptions& layout) {
+  const obs::Span span("serve.snapshot.build");
+  const fault::Injector& inj = fault::Injector::global();
+  if (inj.armed() && inj.fires(kSnapshotBuildSite, epoch)) {
+    return fault::Status::error(fault::ErrCode::kInjected, epoch,
+                                std::string(kSnapshotBuildSite),
+                                "injected snapshot build failure");
+  }
+  fault::Diagnostics diagnostics;
+  core::World::BuildOptions options;
+  options.policy = policy;
+  options.diagnostics = &diagnostics;
+  fault::Result<core::World> world = core::World::build(config, options);
+  if (!world.ok()) return world.status();
+  core::World built = std::move(world).take();
+  core::ProviderRiskResult risk = core::run_provider_risk(built);
+  shard::ShardedWorld sharded =
+      shard::ShardedWorld::from_world(built, risk, layout);
+  std::shared_ptr<Snapshot> snap(new Snapshot(
+      std::make_shared<const shard::ShardedWorld>(std::move(sharded)), epoch,
+      std::move(built)));
+  snap->diagnostics_ = std::move(diagnostics);
+  return std::shared_ptr<const Snapshot>(std::move(snap));
+}
+
+const core::World& Snapshot::world() const {
+  // Fast path: monolithic snapshots (and sharded ones constructed with
+  // the world in hand) engage world_ before publication; the call_once
+  // only ever fires for a zero-copy sharded view whose monolithic form
+  // is needed after the fact. call_once leaves the flag unset when the
+  // callable throws, so a transiently failing materialization (it is
+  // deterministic, but symmetry costs nothing) would retry.
+  std::call_once(materialize_once_, [this] {
+    if (world_.has_value()) return;
+    fault::Result<core::World> materialized = sharded_->materialize();
+    if (!materialized.ok()) throw fault::IoError(materialized.status());
+    world_.emplace(std::move(materialized).take());
+  });
+  return *world_;
+}
+
+const synth::ScenarioConfig& Snapshot::config() const {
+  return sharded_ ? sharded_->config() : world_->config();
+}
+
 PointRiskResponse evaluate(const Snapshot& snap, const PointRiskQuery& q) {
+  if (snap.sharded()) {
+    return evaluate_sharded(*snap.sharded(), snap.epoch(), q);
+  }
   const core::World& world = snap.world();
   const synth::WhpModel& whp = world.whp();
   PointRiskResponse r;
@@ -90,7 +145,7 @@ PointRiskResponse evaluate(const Snapshot& snap, const PointRiskQuery& q) {
     // encloses the great-circle disc, so the explicit contains() filter
     // (what the Exact query callback applied per point) must stay ahead
     // of the haversine test; the tallies are order-independent sums.
-    const geo::BBox box = disc_bbox(q.point, q.neighborhood_m);
+    const geo::BBox box = detail::disc_bbox(q.point, q.neighborhood_m);
     const index::GridIndex& idx = world.txr_index();
     const std::span<const std::uint32_t> ids = idx.binned_ids();
     const std::span<const double> xs = idx.binned_xs();
@@ -113,6 +168,9 @@ PointRiskResponse evaluate(const Snapshot& snap, const PointRiskQuery& q) {
 
 BBoxAggregateResponse evaluate(const Snapshot& snap,
                                const BBoxAggregateQuery& q) {
+  if (snap.sharded()) {
+    return evaluate_sharded(*snap.sharded(), snap.epoch(), q);
+  }
   const core::World& world = snap.world();
   BBoxAggregateResponse r;
   r.epoch = snap.epoch();
@@ -135,6 +193,9 @@ BBoxAggregateResponse evaluate(const Snapshot& snap,
 
 ProviderExposureResponse evaluate(const Snapshot& snap,
                                   const ProviderExposureQuery& q) {
+  if (snap.sharded()) {
+    return evaluate_sharded(*snap.sharded(), snap.epoch(), q);
+  }
   const core::ProviderRiskRow& row =
       snap.provider_risk().rows[static_cast<std::size_t>(q.provider)];
   ProviderExposureResponse r;
@@ -148,11 +209,14 @@ ProviderExposureResponse evaluate(const Snapshot& snap,
 }
 
 TopKSitesResponse evaluate(const Snapshot& snap, const TopKSitesQuery& q) {
+  if (snap.sharded()) {
+    return evaluate_sharded(*snap.sharded(), snap.epoch(), q);
+  }
   const core::World& world = snap.world();
   TopKSitesResponse r;
   r.epoch = snap.epoch();
   std::vector<RankedSite> candidates;
-  const geo::BBox box = disc_bbox(q.center, q.radius_m);
+  const geo::BBox box = detail::disc_bbox(q.center, q.radius_m);
   const index::GridIndex& idx = world.txr_index();
   const std::span<const std::uint32_t> ids = idx.binned_ids();
   const std::span<const double> xs = idx.binned_xs();

@@ -20,12 +20,18 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/provider_risk.hpp"
 #include "core/world.hpp"
 #include "fault/diagnostics.hpp"
 #include "serve/types.hpp"
+#include "shard/layout.hpp"
+
+namespace fa::shard {
+class ShardedWorld;
+}  // namespace fa::shard
 
 namespace fa::serve {
 
@@ -57,19 +63,58 @@ class Snapshot {
   static std::shared_ptr<const Snapshot> adopt(
       core::World world, Epoch epoch, core::ProviderRiskResult provider_risk);
 
+  // Wraps a geo-sharded view (fa::shard) as an epoch. Interactive
+  // queries route through the scatter/gather planner (planner.cpp) and
+  // never touch a monolithic World; world() materializes one lazily for
+  // the paths that need id-ordered arrays (ensemble queries, delta
+  // applies). The second overload is for callers that already hold the
+  // monolithic world the view was sharded from (rebuilds, delta
+  // applies) — passing it skips the materialization entirely.
+  static std::shared_ptr<const Snapshot> adopt_sharded(
+      shard::ShardedWorld sharded, Epoch epoch);
+  static std::shared_ptr<const Snapshot> adopt_sharded(
+      shard::ShardedWorld sharded, Epoch epoch, core::World world);
+
+  // build()'s sharded twin: same injection seam, same diagnostics
+  // plumbing, but the built world is partitioned by `layout` and the
+  // snapshot serves through the planner. The monolithic world is
+  // retained (it was just built — re-materializing it later would be
+  // pure waste), so ensemble queries and delta applies stay cheap.
+  static fault::Result<std::shared_ptr<const Snapshot>> build_sharded(
+      const synth::ScenarioConfig& config, Epoch epoch,
+      fault::RecoveryPolicy policy = fault::RecoveryPolicy::kQuarantine,
+      const shard::LayoutOptions& layout = {});
+
   Epoch epoch() const { return epoch_; }
-  const core::World& world() const { return world_; }
+  // Monolithic world backing this epoch. For a sharded snapshot opened
+  // zero-copy this *materializes* on first use (validated scatter back
+  // to id order, counted as shard.materializes) and caches the result
+  // for the snapshot's lifetime; a view too damaged to materialize
+  // (quarantined shards) throws fault::IoError. Sharded callers on the
+  // interactive query path never get here — the planner answers off
+  // the shard columns directly.
+  const core::World& world() const;
+  // Null for monolithic snapshots.
+  const shard::ShardedWorld* sharded() const { return sharded_.get(); }
   const core::ProviderRiskResult& provider_risk() const {
     return provider_risk_;
   }
+  // Scenario config without forcing a sharded snapshot to materialize.
+  const synth::ScenarioConfig& config() const;
   const fault::Diagnostics& diagnostics() const { return diagnostics_; }
 
  private:
   Snapshot(core::World world, Epoch epoch);
   Snapshot(core::World world, Epoch epoch,
            core::ProviderRiskResult provider_risk);
+  Snapshot(std::shared_ptr<const shard::ShardedWorld> sharded, Epoch epoch,
+           std::optional<core::World> world);
 
-  core::World world_;
+  // Engaged at construction for monolithic snapshots; lazily engaged
+  // (once_flag-guarded) for sharded ones.
+  mutable std::once_flag materialize_once_;
+  mutable std::optional<core::World> world_;
+  std::shared_ptr<const shard::ShardedWorld> sharded_;
   Epoch epoch_;
   core::ProviderRiskResult provider_risk_;
   fault::Diagnostics diagnostics_;

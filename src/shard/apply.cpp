@@ -1,0 +1,134 @@
+#include "shard/apply.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "store/access.hpp"
+
+namespace fa::shard {
+
+namespace {
+
+// Bit-exact double comparison: the shared-shard decision must match the
+// encoder, which writes raw bytes (operator== would call -0.0 == 0.0
+// "unmoved" and then encode different bits).
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+// Friend of ShardedWorld: stitches a successor view out of rebuilt and
+// shared shards.
+struct Applier {
+  static ShardedWorld advance(const ShardedWorld& base,
+                              const core::World& next,
+                              const core::ProviderRiskResult& risk,
+                              std::vector<Shard> shards) {
+    ShardedWorld sw;
+    sw.meta_ = store::MetaFields{next.config(), next.ingest_dropped(),
+                                 next.ingest_repaired(),
+                                 next.corpus().size()};
+    sw.whp_ = next.whp_ptr();
+    sw.counties_ = next.counties_ptr();
+    sw.risk_ = risk;
+    sw.layout_ = base.layout_;
+    sw.gcols_ = base.gcols_;
+    sw.grows_ = base.grows_;
+    sw.shards_ = std::move(shards);
+    sw.quarantined_ = 0;
+    return sw;
+  }
+};
+
+ShardedWorld apply_update(const ShardedWorld& base,
+                          const delta::ApplyResult& update,
+                          ShardApplyStats* stats) {
+  const core::World& next = update.world;
+  const ShardLayout& layout = base.layout();
+  const std::size_t shard_count = layout.shard_count();
+
+  // Retires re-densify every surviving id; a degraded base has shards
+  // whose columns cannot be diffed. Both collapse to the reference
+  // derivation over the fixed layout.
+  if (update.stats.retires > 0 || base.quarantined_count() > 0) {
+    if (stats) {
+      stats->rebuilt = shard_count;
+      stats->shared = 0;
+      stats->full_reshard = true;
+    }
+    obs::count(obs::metrics::kShardDeltaRebuilt, shard_count);
+    return ShardedWorld::from_world(next, update.provider_risk,
+                                    base.layout());
+  }
+
+  // Mark dirty shards: destinations of adds, both endpoints of moves,
+  // and every shard overlapping a hazard-dirty region (cached classes
+  // inside may have changed without anything moving).
+  std::vector<std::uint8_t> dirty(shard_count, 0);
+  const index::GridIndex& idx = next.txr_index();
+  const std::size_t next_n = idx.size();
+  const std::size_t base_n = static_cast<std::size_t>(base.total_points());
+  for (std::size_t i = base_n; i < next_n; ++i) {
+    dirty[layout.shard_of(idx.point(static_cast<std::uint32_t>(i)))] = 1;
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const Shard& sh = base.shard(s);
+    for (std::size_t k = 0; k < sh.n(); ++k) {
+      const geo::Vec2 np = idx.point(sh.ids[k]);
+      if (!same_bits(np.x, sh.xs[k]) || !same_bits(np.y, sh.ys[k])) {
+        dirty[s] = 1;
+        dirty[layout.shard_of(np)] = 1;
+      }
+    }
+  }
+  for (const geo::BBox& box : update.dirty_boxes) {
+    for (const std::uint32_t s : layout.shards_overlapping(box)) {
+      dirty[s] = 1;
+    }
+  }
+
+  // Membership for dirty shards only, one routing pass in id order.
+  std::vector<std::vector<std::uint32_t>> members(shard_count);
+  for (std::size_t i = 0; i < next_n; ++i) {
+    const std::uint32_t id = static_cast<std::uint32_t>(i);
+    const std::uint32_t s = layout.shard_of(idx.point(id));
+    if (dirty[s]) members[s].push_back(id);
+  }
+
+  std::vector<Shard> shards(shard_count);
+  std::size_t rebuilt = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (dirty[s]) {
+      ++rebuilt;
+    } else {
+      // Shared: the copied Shard holds the base payload's refcount, so
+      // the columns outlive the base view.
+      shards[s] = base.shard(s);
+    }
+  }
+  exec::parallel_for(
+      shard_count,
+      [&](std::size_t s) {
+        if (!dirty[s]) return;
+        shards[s] = build_shard(next, members[s], layout.extent(s).bounds);
+      },
+      exec::ExecOptions{.grain = 1});
+
+  obs::count(obs::metrics::kShardDeltaRebuilt, rebuilt);
+  obs::count(obs::metrics::kShardDeltaShared, shard_count - rebuilt);
+  if (stats) {
+    stats->rebuilt = rebuilt;
+    stats->shared = shard_count - rebuilt;
+    stats->full_reshard = false;
+  }
+  return Applier::advance(base, next, update.provider_risk,
+                          std::move(shards));
+}
+
+}  // namespace fa::shard

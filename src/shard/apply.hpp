@@ -1,0 +1,40 @@
+// Selective re-shard after a delta batch.
+//
+// apply_update() advances a sharded view to the successor epoch a
+// delta::Applier produced, rebuilding only the shards the batch
+// touched and sharing every other shard's columns with the base view
+// by refcount (the sharded analogue of the delta layer's
+// structure-sharing contract).
+//
+// Equivalence contract (pinned by tests/shard/apply_test.cpp): the
+// result is indistinguishable — encode_sharded bytes included — from
+// ShardedWorld::from_world(update.world, update.provider_risk,
+// base.layout()). The layout itself is never re-balanced: a lineage's
+// tile->shard table is fixed at birth, only membership flows between
+// shards, which is what makes "rebuild touched shards" and "re-shard
+// from scratch over the same layout" the same function.
+#pragma once
+
+#include <cstddef>
+
+#include "delta/apply.hpp"
+#include "shard/world.hpp"
+
+namespace fa::shard {
+
+struct ShardApplyStats {
+  std::size_t rebuilt = 0;  // shards rebuilt this apply
+  std::size_t shared = 0;   // shards shared with the base by refcount
+  // The batch retired transceivers: ids re-densify globally, every
+  // shard's id column changes, so the whole view rebuilds.
+  bool full_reshard = false;
+};
+
+// `base` must be the view the delta was applied over (update.world is
+// its successor). A degraded base (quarantined shards) falls back to a
+// full re-shard — the base columns cannot be trusted for diffing.
+ShardedWorld apply_update(const ShardedWorld& base,
+                          const delta::ApplyResult& update,
+                          ShardApplyStats* stats = nullptr);
+
+}  // namespace fa::shard

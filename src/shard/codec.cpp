@@ -1,0 +1,521 @@
+#include "shard/codec.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "store/access.hpp"
+#include "store/codec.hpp"
+#include "store/image.hpp"
+
+namespace fa::shard {
+
+namespace {
+
+using fault::ErrCode;
+using fault::Status;
+using store::SectionInfo;
+using store::SectionKind;
+using store::SectionLookup;
+
+// kShardLayout payload: one 64-byte header, the row-major tile->shard
+// table, then one 64-byte record per shard.
+constexpr std::size_t kLayoutHeaderBytes = 64;
+constexpr std::size_t kShardRecordBytes = 64;
+
+// Grid-dimension ceilings the writers respect (local_grid_dims clamps
+// to 4096; the global index is 512x256). Open rejects anything larger
+// before sizing an allocation off it.
+constexpr int kMaxLocalGridDim = 4096;
+constexpr int kMaxGlobalGridDim = 65536;
+constexpr std::uint64_t kMaxGlobalCells = 1ull << 26;
+constexpr int kMaxTilesPerAxis = 4096;
+constexpr std::uint64_t kMaxTiles = 1ull << 22;
+
+// The twelve per-shard section kinds in encode order.
+constexpr SectionKind kShardKinds[store::kShardSectionsPerShard] = {
+    SectionKind::kShardIds,      SectionKind::kShardX,
+    SectionKind::kShardY,        SectionKind::kShardCellStart,
+    SectionKind::kShardClass,    SectionKind::kShardProvider,
+    SectionKind::kShardRadio,    SectionKind::kShardMcc,
+    SectionKind::kShardMnc,      SectionKind::kShardCellId,
+    SectionKind::kShardState,    SectionKind::kShardCounty,
+};
+
+bool finite_box(const geo::BBox& b) {
+  return std::isfinite(b.min_x) && std::isfinite(b.min_y) &&
+         std::isfinite(b.max_x) && std::isfinite(b.max_y);
+}
+
+// One shard's layout record as stored.
+struct ShardRecord {
+  geo::BBox bounds;
+  std::int32_t cols = 0;
+  std::int32_t rows = 0;
+  std::uint64_t n_points = 0;
+  std::uint64_t first_tile = 0;
+  std::uint64_t tile_count = 0;
+};
+
+struct LayoutParts {
+  ShardLayout layout;
+  std::vector<ShardRecord> records;
+  std::uint64_t total_points = 0;
+  int gcols = 0;
+  int grows = 0;
+};
+
+Status crc_check(const SectionLookup& img, const SectionInfo& s) {
+  if (store::crc32(img.base + s.offset, s.length) != s.crc) {
+    return store::fail(ErrCode::kTruncated, s.offset, img.source,
+                       std::string("section ") +
+                           std::string(section_kind_name(s.kind)) +
+                           " payload checksum mismatch");
+  }
+  return Status{};
+}
+
+Status parse_layout(const SectionLookup& img, LayoutParts& out) {
+  Status status;
+  const SectionInfo* s = store::need(img, SectionKind::kShardLayout, status);
+  if (!s) return status;
+  if (Status c = crc_check(img, *s); !c.ok()) return c;
+  if (s->length < kLayoutHeaderBytes) {
+    return store::fail(ErrCode::kTruncated, s->offset, img.source,
+                       "shard layout section too short");
+  }
+  store::Cursor c{img.base + s->offset, static_cast<std::size_t>(s->length)};
+  const std::uint64_t shard_count = c.get<std::uint64_t>();
+  out.total_points = c.get<std::uint64_t>();
+  const std::int32_t tiles_x = c.get<std::int32_t>();
+  const std::int32_t tiles_y = c.get<std::int32_t>();
+  geo::BBox domain;
+  domain.min_x = c.get<double>();
+  domain.min_y = c.get<double>();
+  domain.max_x = c.get<double>();
+  domain.max_y = c.get<double>();
+  out.gcols = c.get<std::int32_t>();
+  out.grows = c.get<std::int32_t>();
+
+  if (tiles_x < 1 || tiles_x > kMaxTilesPerAxis || tiles_y < 1 ||
+      tiles_y > kMaxTilesPerAxis) {
+    return store::fail(ErrCode::kOutOfRange, s->offset, img.source,
+                       "shard layout tile grid dimensions out of range");
+  }
+  const std::uint64_t tiles = static_cast<std::uint64_t>(tiles_x) *
+                              static_cast<std::uint64_t>(tiles_y);
+  if (tiles > kMaxTiles || shard_count < 1 || shard_count > tiles) {
+    return store::fail(ErrCode::kOutOfRange, s->offset, img.source,
+                       "shard layout shard count out of range");
+  }
+  if (!finite_box(domain) || !domain.valid()) {
+    return store::fail(ErrCode::kOutOfRange, s->offset, img.source,
+                       "shard layout domain is not a valid bbox");
+  }
+  if (out.gcols < 1 || out.gcols > kMaxGlobalGridDim || out.grows < 1 ||
+      out.grows > kMaxGlobalGridDim ||
+      static_cast<std::uint64_t>(out.gcols) *
+              static_cast<std::uint64_t>(out.grows) >
+          kMaxGlobalCells) {
+    return store::fail(ErrCode::kOutOfRange, s->offset, img.source,
+                       "global index grid dimensions out of range");
+  }
+  const std::uint64_t want = kLayoutHeaderBytes + tiles * 4 +
+                             shard_count * kShardRecordBytes;
+  if (s->length != want) {
+    return store::fail(ErrCode::kSchema, s->offset, img.source,
+                       "shard layout payload disagrees with its counts");
+  }
+
+  std::vector<std::uint32_t> tile_shard =
+      store::copy_vec<std::uint32_t>(c.p + kLayoutHeaderBytes, tiles * 4);
+  c.off = kLayoutHeaderBytes + tiles * 4;
+
+  out.records.resize(shard_count);
+  std::vector<ShardExtent> extents(shard_count);
+  std::uint64_t held = 0;
+  for (std::uint64_t i = 0; i < shard_count; ++i) {
+    ShardRecord& r = out.records[i];
+    r.bounds.min_x = c.get<double>();
+    r.bounds.min_y = c.get<double>();
+    r.bounds.max_x = c.get<double>();
+    r.bounds.max_y = c.get<double>();
+    r.cols = c.get<std::int32_t>();
+    r.rows = c.get<std::int32_t>();
+    r.n_points = c.get<std::uint64_t>();
+    r.first_tile = c.get<std::uint64_t>();
+    r.tile_count = c.get<std::uint64_t>();
+    if (!finite_box(r.bounds)) {
+      return store::fail(ErrCode::kOutOfRange, s->offset, img.source,
+                         "shard bounds are not finite");
+    }
+    extents[i] = ShardExtent{r.bounds, r.first_tile, r.tile_count,
+                             r.n_points};
+    held += r.n_points;
+  }
+  if (held != out.total_points) {
+    return store::fail(ErrCode::kSchema, s->offset, img.source,
+                       "per-shard point counts disagree with the total");
+  }
+  if (!ShardLayout::assemble(domain, tiles_x, tiles_y, std::move(tile_shard),
+                             std::move(extents), out.layout)) {
+    return store::fail(ErrCode::kSchema, s->offset, img.source,
+                       "shard layout tile partition is inconsistent");
+  }
+  return Status{};
+}
+
+template <class T>
+std::span<const T> section_span(const SectionLookup& img,
+                                const SectionInfo& s) {
+  return {reinterpret_cast<const T*>(img.base + s.offset),
+          static_cast<std::size_t>(s.length) / sizeof(T)};
+}
+
+// Locates one shard's twelve sections and verifies the structural floor
+// for span queries: every column length agrees with the layout record,
+// the local grid dims are sane, and cell_start is a monotone prefix sum
+// over exactly cols*rows cells ending at n_s. Returns false (shard
+// quarantined) instead of failing the open. `deep` additionally CRCs
+// every payload.
+bool check_shard(const SectionLookup& img, std::uint32_t owner,
+                 const ShardRecord& r, bool deep,
+                 const SectionInfo* (&secs)[store::kShardSectionsPerShard]) {
+  if (r.cols < 1 || r.cols > kMaxLocalGridDim || r.rows < 1 ||
+      r.rows > kMaxLocalGridDim || !r.bounds.valid()) {
+    return false;
+  }
+  const std::uint64_t n = r.n_points;
+  const std::uint64_t cells = static_cast<std::uint64_t>(r.cols) *
+                              static_cast<std::uint64_t>(r.rows);
+  const std::uint64_t want_len[store::kShardSectionsPerShard] = {
+      n * 4, n * 8, n * 8, (cells + 1) * 4, n, n, n, n * 2, n * 2, n * 4,
+      n * 2, n * 4,
+  };
+  for (std::size_t k = 0; k < store::kShardSectionsPerShard; ++k) {
+    const SectionInfo* s = img.find(kShardKinds[k], owner);
+    if (!s || s->length != want_len[k] ||
+        s->offset % store::kSectionAlign != 0) {
+      return false;
+    }
+    if (deep && store::crc32(img.base + s->offset, s->length) != s->crc) {
+      return false;
+    }
+    secs[k] = s;
+  }
+  const auto cell_start = section_span<std::uint32_t>(img, *secs[3]);
+  if (cell_start.front() != 0 || cell_start.back() != n) return false;
+  for (std::size_t i = 1; i < cell_start.size(); ++i) {
+    if (cell_start[i] < cell_start[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// Friend of ShardedWorld: assembles a view from decoded parts.
+struct Codec {
+  static ShardedWorld assemble(store::MetaFields meta,
+                               std::shared_ptr<const synth::WhpModel> whp,
+                               std::shared_ptr<const synth::CountyMap> cty,
+                               core::ProviderRiskResult risk,
+                               ShardLayout layout, int gcols, int grows,
+                               std::vector<Shard> shards,
+                               std::size_t quarantined) {
+    ShardedWorld sw;
+    sw.meta_ = std::move(meta);
+    sw.whp_ = std::move(whp);
+    sw.counties_ = std::move(cty);
+    sw.risk_ = std::move(risk);
+    sw.layout_ = std::move(layout);
+    sw.gcols_ = gcols;
+    sw.grows_ = grows;
+    sw.shards_ = std::move(shards);
+    sw.quarantined_ = quarantined;
+    return sw;
+  }
+};
+
+std::string encode_sharded(const ShardedWorld& sw) {
+  const std::size_t shard_count = sw.shard_count();
+  store::ImageBuilder b(9 + store::kShardSectionsPerShard * shard_count,
+                        store::kShardMagic, store::kGlobalOwner);
+
+  store::encode_meta_section(b, sw.meta());
+
+  b.section_raster_u8(SectionKind::kWhpGrid, sw.whp().grid());
+  {
+    b.begin(SectionKind::kWhpStates);
+    b.geometry(sw.whp().state_grid().geom());
+    b.vec(sw.whp().state_grid().data());
+    b.end();
+  }
+  b.section_raster_u8(SectionKind::kWhpUrban, sw.whp().urban_mask());
+  b.section_raster_u8(SectionKind::kWhpRoads, sw.whp().road_mask());
+
+  store::encode_county_sections(b, sw.counties());
+  store::encode_provider_risk_section(b, sw.provider_risk());
+
+  {
+    const ShardLayout& l = sw.layout();
+    b.begin(SectionKind::kShardLayout);
+    b.put<std::uint64_t>(shard_count);
+    b.put<std::uint64_t>(sw.total_points());
+    b.put<std::int32_t>(l.tiles_x());
+    b.put<std::int32_t>(l.tiles_y());
+    b.put<double>(l.domain().min_x);
+    b.put<double>(l.domain().min_y);
+    b.put<double>(l.domain().max_x);
+    b.put<double>(l.domain().max_y);
+    b.put<std::int32_t>(sw.global_cols());
+    b.put<std::int32_t>(sw.global_rows());
+    b.vec(l.tile_table());
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const Shard& sh = sw.shard(s);
+      const ShardExtent& e = l.extent(s);
+      b.put<double>(sh.bounds.min_x);
+      b.put<double>(sh.bounds.min_y);
+      b.put<double>(sh.bounds.max_x);
+      b.put<double>(sh.bounds.max_y);
+      b.put<std::int32_t>(sh.cols);
+      b.put<std::int32_t>(sh.rows);
+      // The record's count is the shard's *current* membership, not the
+      // extent's build-time tally (delta applies shift points between
+      // shards without re-balancing the layout).
+      b.put<std::uint64_t>(sh.n());
+      b.put<std::uint64_t>(e.first_tile);
+      b.put<std::uint64_t>(e.tile_count);
+    }
+    b.end();
+  }
+
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const Shard& sh = sw.shard(s);
+    const std::uint32_t owner = static_cast<std::uint32_t>(s);
+    b.section_span(SectionKind::kShardIds, owner, sh.ids.data(), sh.n());
+    b.section_span(SectionKind::kShardX, owner, sh.xs.data(), sh.n());
+    b.section_span(SectionKind::kShardY, owner, sh.ys.data(), sh.n());
+    b.section_span(SectionKind::kShardCellStart, owner, sh.cell_start.data(),
+                   sh.cell_start.size());
+    b.section_span(SectionKind::kShardClass, owner, sh.cls.data(), sh.n());
+    b.section_span(SectionKind::kShardProvider, owner, sh.provider.data(),
+                   sh.n());
+    b.section_span(SectionKind::kShardRadio, owner, sh.radio.data(), sh.n());
+    b.section_span(SectionKind::kShardMcc, owner, sh.mcc.data(), sh.n());
+    b.section_span(SectionKind::kShardMnc, owner, sh.mnc.data(), sh.n());
+    b.section_span(SectionKind::kShardCellId, owner, sh.cell_id.data(),
+                   sh.n());
+    b.section_span(SectionKind::kShardState, owner, sh.state.data(), sh.n());
+    b.section_span(SectionKind::kShardCounty, owner, sh.county.data(),
+                   sh.n());
+  }
+  return b.finish();
+}
+
+fault::Result<ShardedWorld> open_sharded(const void* data, std::size_t size,
+                                         std::shared_ptr<const void> payload,
+                                         std::string source,
+                                         const OpenOptions& options) {
+  obs::Span span(obs::metrics::kShardOpenNs);
+  obs::count(obs::metrics::kShardOpens);
+
+  SectionLookup img;
+  if (Status s = store::validate_container(data, size, source, img); !s.ok()) {
+    return s;
+  }
+
+  // Global sections: small, always CRC'd, decoded through the codecs
+  // shared with the monolithic format.
+  Status status;
+  for (const SectionKind kind :
+       {SectionKind::kMeta, SectionKind::kWhpGrid, SectionKind::kWhpStates,
+        SectionKind::kWhpUrban, SectionKind::kWhpRoads,
+        SectionKind::kCountyTable, SectionKind::kCountyNames,
+        SectionKind::kProviderRisk}) {
+    const SectionInfo* s = store::need(img, kind, status);
+    if (!s) return status;
+    if (Status c = crc_check(img, *s); !c.ok()) return c;
+  }
+
+  store::MetaFields meta;
+  if (Status s = store::decode_meta(img, meta); !s.ok()) return s;
+
+  raster::ClassRaster whp_grid;
+  raster::Raster<std::int16_t> whp_states;
+  raster::MaskRaster whp_urban, whp_roads;
+  if (Status s = decode_raster(img, SectionKind::kWhpGrid, whp_grid); !s.ok())
+    return s;
+  if (Status s = decode_raster(img, SectionKind::kWhpStates, whp_states);
+      !s.ok())
+    return s;
+  if (Status s = decode_raster(img, SectionKind::kWhpUrban, whp_urban);
+      !s.ok())
+    return s;
+  if (Status s = decode_raster(img, SectionKind::kWhpRoads, whp_roads);
+      !s.ok())
+    return s;
+
+  std::vector<synth::County> counties;
+  if (Status s = store::decode_counties(img, counties); !s.ok()) return s;
+
+  core::ProviderRiskResult risk;
+  if (Status s = store::decode_provider_risk(img, risk); !s.ok()) return s;
+
+  LayoutParts parts;
+  if (Status s = parse_layout(img, parts); !s.ok()) return s;
+  if (parts.total_points != meta.transceivers) {
+    return store::fail(ErrCode::kSchema, 0, source,
+                       "shard layout total disagrees with scenario meta");
+  }
+
+  // Shards: structural floor only (plus payload CRCs under deep_verify);
+  // a bad shard is quarantined, not fatal. The shards are independent,
+  // so the walk fans out on fa::exec — under deep_verify that turns the
+  // dominant cost of a cold start (CRCing the transceiver columns) into
+  // a parallel sweep, which is what keeps the sharded cold start an
+  // order of magnitude under the monolithic decode.
+  const std::size_t shard_count = parts.records.size();
+  std::vector<Shard> shards(shard_count);
+  std::vector<std::uint8_t> bad(shard_count, 0);
+  exec::parallel_for(
+      shard_count,
+      [&](std::size_t s) {
+        const ShardRecord& r = parts.records[s];
+        Shard& sh = shards[s];
+        sh.bounds = r.bounds;
+        sh.cols = std::max(1, static_cast<int>(r.cols));
+        sh.rows = std::max(1, static_cast<int>(r.rows));
+        // Same expressions the GridIndex constructor uses, so a reopened
+        // shard bins queries exactly like the one that was encoded.
+        sh.inv_cw = static_cast<double>(sh.cols) /
+                    std::max(sh.bounds.width(), 1e-12);
+        sh.inv_ch = static_cast<double>(sh.rows) /
+                    std::max(sh.bounds.height(), 1e-12);
+        sh.payload = payload;
+
+        const SectionInfo* secs[store::kShardSectionsPerShard] = {};
+        if (!check_shard(img, static_cast<std::uint32_t>(s), r,
+                         options.deep_verify, secs)) {
+          sh.quarantined = true;
+          bad[s] = 1;
+          return;
+        }
+        sh.ids = section_span<std::uint32_t>(img, *secs[0]);
+        sh.xs = section_span<double>(img, *secs[1]);
+        sh.ys = section_span<double>(img, *secs[2]);
+        sh.cell_start = section_span<std::uint32_t>(img, *secs[3]);
+        sh.cls = section_span<std::uint8_t>(img, *secs[4]);
+        sh.provider = section_span<std::uint8_t>(img, *secs[5]);
+        sh.radio = section_span<std::uint8_t>(img, *secs[6]);
+        sh.mcc = section_span<std::uint16_t>(img, *secs[7]);
+        sh.mnc = section_span<std::uint16_t>(img, *secs[8]);
+        sh.cell_id = section_span<std::uint32_t>(img, *secs[9]);
+        sh.state = section_span<std::int16_t>(img, *secs[10]);
+        sh.county = section_span<std::int32_t>(img, *secs[11]);
+      },
+      exec::ExecOptions{.grain = 1});
+  std::size_t quarantined = 0;
+  for (const std::uint8_t b : bad) quarantined += b;
+  if (quarantined) {
+    obs::count(obs::metrics::kShardQuarantined, quarantined);
+  }
+
+  auto whp = std::make_shared<const synth::WhpModel>(store::Access::make_whp(
+      std::move(whp_grid), std::move(whp_states), std::move(whp_urban),
+      std::move(whp_roads)));
+  auto cty = std::make_shared<const synth::CountyMap>(
+      store::Access::make_counties(std::move(counties)));
+  return Codec::assemble(std::move(meta), std::move(whp), std::move(cty),
+                         std::move(risk), std::move(parts.layout),
+                         parts.gcols, parts.grows, std::move(shards),
+                         quarantined);
+}
+
+fault::Result<ShardedWorld> open_sharded(
+    std::shared_ptr<const store::MappedFile> file, std::string source,
+    const OpenOptions& options) {
+  if (!file || !file->mapped()) {
+    return store::fail(ErrCode::kIoFailure, 0, source,
+                       "sharded open requires a mapped file");
+  }
+  const void* data = file->data();
+  const std::size_t size = file->size();
+  return open_sharded(data, size, std::move(file), std::move(source),
+                      options);
+}
+
+fault::Result<ShardedWorld> open_sharded_file(const std::string& path,
+                                              const OpenOptions& options) {
+  auto mapped = store::MappedFile::open(path);
+  if (!mapped.ok()) return mapped.status();
+  return open_sharded(
+      std::make_shared<const store::MappedFile>(std::move(mapped).take()),
+      path, options);
+}
+
+bool ContainerReport::ok() const {
+  if (!globals_ok) return false;
+  for (const ShardReport& s : shards) {
+    if (!s.structural_ok || !s.crc_ok) return false;
+  }
+  return true;
+}
+
+fault::Result<ContainerReport> inspect_sharded(const void* data,
+                                               std::size_t size,
+                                               std::string source) {
+  SectionLookup img;
+  if (Status s = store::validate_container(data, size, source, img); !s.ok()) {
+    return s;
+  }
+  ContainerReport report;
+  report.file_size = size;
+
+  report.globals_ok = true;
+  for (const SectionKind kind :
+       {SectionKind::kMeta, SectionKind::kWhpGrid, SectionKind::kWhpStates,
+        SectionKind::kWhpUrban, SectionKind::kWhpRoads,
+        SectionKind::kCountyTable, SectionKind::kCountyNames,
+        SectionKind::kProviderRisk}) {
+    const SectionInfo* s = img.find(kind);
+    if (!s || !crc_check(img, *s).ok()) report.globals_ok = false;
+  }
+
+  // Shard enumeration needs a sane layout; a mangled one is the one
+  // per-shard failure that blocks the whole report.
+  LayoutParts parts;
+  if (Status s = parse_layout(img, parts); !s.ok()) return s;
+  report.total_points = parts.total_points;
+  report.tiles_x = static_cast<std::uint64_t>(parts.layout.tiles_x());
+  report.tiles_y = static_cast<std::uint64_t>(parts.layout.tiles_y());
+
+  report.shards.resize(parts.records.size());
+  for (std::size_t s = 0; s < parts.records.size(); ++s) {
+    const ShardRecord& r = parts.records[s];
+    ShardReport& sr = report.shards[s];
+    sr.shard = static_cast<std::uint32_t>(s);
+    sr.bounds = r.bounds;
+    sr.n_points = r.n_points;
+    const SectionInfo* secs[store::kShardSectionsPerShard] = {};
+    sr.structural_ok = check_shard(img, sr.shard, r, /*deep=*/false, secs);
+    sr.crc_ok = sr.structural_ok;
+    for (std::size_t k = 0; k < store::kShardSectionsPerShard; ++k) {
+      const SectionInfo* sec =
+          secs[k] ? secs[k] : img.find(kShardKinds[k], sr.shard);
+      if (!sec) {
+        sr.crc_ok = false;
+        continue;
+      }
+      sr.bytes += sec->length;
+      if (store::crc32(img.base + sec->offset, sec->length) != sec->crc) {
+        sr.crc_ok = false;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace fa::shard

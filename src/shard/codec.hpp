@@ -1,0 +1,91 @@
+// ShardedWorld <-> FASHRD01 container codec.
+//
+// encode_sharded() lays a ShardedWorld into one relocatable byte image:
+// the global sections (scenario meta, WHP rasters, county layer,
+// provider-risk aggregate, shard layout) followed by twelve 64-byte-
+// aligned SoA sections per shard, every payload individually CRC'd in
+// the section table. Deterministic: same view, same bytes.
+//
+// open_sharded() is NOT decode_world's mirror — that is the point. It
+// validates the container frame (header/table/footer CRCs, in-bounds
+// non-overlapping sections), CRC-checks and decodes only the small
+// global sections, structurally checks each shard (column lengths agree
+// with the layout record, cell_start is a monotone prefix-sum ending at
+// n_s — the memory-safety floor for span queries), and then points the
+// shard column spans straight into the caller's mapping. No per-record
+// decode, no copy of the dominant payload: open cost is O(sections +
+// cells), independent of the transceiver count.
+//
+// A shard that fails its structural checks (or, under deep_verify, its
+// payload CRCs) is quarantined — empty columns, flag set — rather than
+// failing the open; only an unwalkable frame, a corrupt global section,
+// or a layout that lies about totals rejects the container. The
+// recovery ladder (shard/recovery.hpp) turns that into shard-by-shard
+// degradation instead of generation-level fallback.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/status.hpp"
+#include "geo/bbox.hpp"
+#include "shard/world.hpp"
+#include "store/store.hpp"
+
+namespace fa::shard {
+
+struct OpenOptions {
+  // Also CRC every per-shard payload against the section table (the
+  // open stays zero-copy; this adds one sequential pass over the file).
+  // Off by default: serving trusts the structural floor and the
+  // store's commit-time fsync; the inspector and recovery turn it on.
+  bool deep_verify = false;
+};
+
+std::string encode_sharded(const ShardedWorld& sw);
+
+// Opens a container over caller-owned bytes. `payload` is retained by
+// every shard, keeping the bytes alive for the life of the view (and of
+// any successor views that still share untouched shards).
+fault::Result<ShardedWorld> open_sharded(const void* data, std::size_t size,
+                                         std::shared_ptr<const void> payload,
+                                         std::string source,
+                                         const OpenOptions& options = {});
+fault::Result<ShardedWorld> open_sharded(
+    std::shared_ptr<const store::MappedFile> file, std::string source,
+    const OpenOptions& options = {});
+// mmap + open in one step.
+fault::Result<ShardedWorld> open_sharded_file(const std::string& path,
+                                              const OpenOptions& options = {});
+
+// -- inspection (fa_store_inspect, tests) ------------------------------
+
+struct ShardReport {
+  std::uint32_t shard = 0;
+  geo::BBox bounds;
+  std::uint64_t n_points = 0;
+  std::uint64_t bytes = 0;  // sum of the shard's section payloads
+  bool structural_ok = false;
+  bool crc_ok = false;
+};
+
+struct ContainerReport {
+  std::uint64_t file_size = 0;
+  std::uint64_t total_points = 0;
+  std::uint64_t tiles_x = 0, tiles_y = 0;
+  bool globals_ok = false;  // frame + global sections decode and CRC clean
+  std::vector<ShardReport> shards;
+  bool ok() const;
+};
+
+// Deep-verifying structural walk for tooling: reports per-shard bounds,
+// payload bytes, and CRC status without building a serving view.
+// Returns an error Status only when the frame or the global sections
+// are too damaged to enumerate shards at all.
+fault::Result<ContainerReport> inspect_sharded(const void* data,
+                                               std::size_t size,
+                                               std::string source);
+
+}  // namespace fa::shard

@@ -1,0 +1,142 @@
+#include "shard/recovery.hpp"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "shard/codec.hpp"
+
+namespace fa::shard {
+
+namespace {
+
+using fault::ErrCode;
+using fault::Status;
+
+// Same read-corruption seam as the monolithic loader — one name, one
+// key scheme ("store.read.corrupt" by generation number), so existing
+// chaos configs exercise both ladders. MAP_PRIVATE keeps flips
+// process-local.
+void apply_read_corruption(store::MappedFile& file, std::uint64_t key) {
+  const auto& injector = fault::Injector::global();
+  if (!injector.fires("store.read.corrupt", key)) return;
+  unsigned char* bytes = file.mutable_data();
+  const std::uint64_t flips =
+      1 + injector.draw("store.read.corrupt", key ^ 0x9E3779B97F4A7C15ull) % 4;
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::uint64_t r = injector.draw("store.read.corrupt", key + 1 + i);
+    bytes[r % file.size()] ^= static_cast<unsigned char>(1u << (r % 8));
+  }
+}
+
+}  // namespace
+
+fault::Result<ShardedWorld> ShardRecoveryManager::load_generation(
+    const store::Generation& generation, bool* migrated) {
+  if (migrated) *migrated = false;
+  const std::string path = dir_.file_path(generation.filename);
+  auto mapped = store::MappedFile::open(path);
+  if (!mapped.ok()) return mapped.status();
+  auto file =
+      std::make_shared<store::MappedFile>(std::move(mapped).take());
+  apply_read_corruption(*file, generation.number);
+
+  if (file->size() < 8) {
+    return Status::error(ErrCode::kTruncated, file->size(), path,
+                         "image shorter than a magic");
+  }
+  if (std::memcmp(file->data(), store::kMagic, 8) == 0) {
+    // Pre-sharding monolithic image: full-ladder decode, then migrate.
+    // Delegating keeps the manifest-CRC rung and decode semantics in
+    // one place; the remap is cheap next to the decode itself.
+    store::RecoveryManager mono(dir_);
+    auto loaded = mono.load_generation(generation);
+    if (!loaded.ok()) return loaded.status();
+    obs::count(obs::metrics::kShardMigrations);
+    if (migrated) *migrated = true;
+    store::LoadedWorld lw = std::move(loaded).take();
+    return ShardedWorld::from_world(lw.world, lw.provider_risk, layout_);
+  }
+
+  // FASHRD01 (or garbage — open_sharded rejects a bad magic). Always
+  // deep-verify: the per-shard payload CRCs run as a parallel sweep
+  // inside open_sharded, so integrity costs one fan-out over the file
+  // instead of the monolithic ladder's serial whole-file pass — and a
+  // failed CRC quarantines precisely the damaged shard while the rest
+  // of the geography serves. The all-or-nothing manifest rung is
+  // exactly what sharding exists to relax.
+  OpenOptions options;
+  options.deep_verify = true;
+  const void* data = file->data();
+  const std::size_t size = file->size();
+  auto opened = open_sharded(data, size, std::move(file), path, options);
+  if (!opened.ok()) return opened.status();
+  ShardedWorld world = std::move(opened).take();
+  if (world.shard_count() > 0 &&
+      world.quarantined_count() == world.shard_count()) {
+    return Status::error(ErrCode::kIoFailure, world.shard_count(), path,
+                         "every shard quarantined; nothing servable");
+  }
+  if (world.quarantined_count() > 0) {
+    obs::count(obs::metrics::kShardDegradedServes);
+  }
+  return world;
+}
+
+fault::Result<RecoveredShardedWorld> ShardRecoveryManager::recover(
+    store::RecoveryReport* report) {
+  obs::Span span(obs::metrics::kStoreRecoverNs);
+  store::Manifest manifest;
+  auto from_manifest = dir_.read_manifest();
+  if (from_manifest.ok()) {
+    manifest = std::move(from_manifest.value());
+  } else {
+    obs::count(obs::metrics::kStoreManifestFallbacks);
+    if (report) {
+      report->manifest_fallback = true;
+      report->steps.push_back(from_manifest.status());
+    }
+    manifest = dir_.scan();
+  }
+  if (manifest.generations.empty()) {
+    return Status::error(ErrCode::kIoFailure, 0, dir_.path(),
+                         "store holds no generations");
+  }
+  Status last;
+  for (auto it = manifest.generations.rbegin();
+       it != manifest.generations.rend(); ++it) {
+    obs::count(obs::metrics::kStoreRecoverAttempts);
+    bool migrated = false;
+    auto loaded = load_generation(*it, &migrated);
+    if (loaded.ok()) {
+      obs::count(obs::metrics::kStoreRecoverLoaded);
+      if (report) {
+        Status okstep;
+        okstep.source = dir_.file_path(it->filename);
+        okstep.message = migrated ? "loaded (migrated from monolithic image)"
+                                  : "loaded";
+        report->steps.push_back(okstep);
+      }
+      return RecoveredShardedWorld{std::move(loaded).take(), *it, migrated};
+    }
+    obs::count(obs::metrics::kStoreRecoverRejected);
+    last = loaded.status();
+    if (report) report->steps.push_back(last);
+  }
+  last.message = "every generation rejected; newest failure: " + last.message;
+  return last;
+}
+
+fault::Result<RecoveredShardedWorld> recover_sharded(
+    const std::string& path, const LayoutOptions& layout,
+    store::RecoveryReport* report) {
+  auto dir = store::StoreDir::open(path, /*create=*/false);
+  if (!dir.ok()) return dir.status();
+  ShardRecoveryManager manager(std::move(dir).take(), layout);
+  return manager.recover(report);
+}
+
+}  // namespace fa::shard

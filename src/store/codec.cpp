@@ -7,500 +7,182 @@
 #include "cellnet/providers.hpp"
 #include "cellnet/types.hpp"
 #include "geo/bbox.hpp"
+#include "store/access.hpp"
+#include "store/image.hpp"
 #include "synth/usatlas.hpp"
 
 namespace fa::store {
-
-// The one piece of code allowed behind the private walls of the classes
-// it rehydrates. Restoring a world is assignment of the exact arrays a
-// build would have produced — no re-derivation — so the friend surface
-// is "read the private SoA members, write them back".
-struct Access {
-  // --- readers (encode) -----------------------------------------------
-  static const std::vector<std::uint8_t>& txr_class(const core::World& w) {
-    return w.txr_class_;
-  }
-  static const std::vector<std::int32_t>& txr_county(const core::World& w) {
-    return w.txr_county_;
-  }
-  static const std::vector<std::uint8_t>& txr_provider(const core::World& w) {
-    return w.txr_provider_;
-  }
-  static const std::vector<std::uint32_t>& binned(const index::GridIndex& g) {
-    return g.binned_;
-  }
-  static const std::vector<double>& binned_x(const index::GridIndex& g) {
-    return g.binned_x_;
-  }
-  static const std::vector<double>& binned_y(const index::GridIndex& g) {
-    return g.binned_y_;
-  }
-  static const std::vector<std::uint32_t>& cell_start(
-      const index::GridIndex& g) {
-    return g.cell_start_;
-  }
-  static int cols(const index::GridIndex& g) { return g.cols_; }
-  static int rows(const index::GridIndex& g) { return g.rows_; }
-  static double inv_cw(const index::GridIndex& g) { return g.inv_cw_; }
-  static double inv_ch(const index::GridIndex& g) { return g.inv_ch_; }
-
-  // --- writers (decode) -----------------------------------------------
-  static index::GridIndex make_index(std::vector<geo::Vec2> points,
-                                     std::vector<std::uint32_t> binned,
-                                     std::vector<double> binned_x,
-                                     std::vector<double> binned_y,
-                                     std::vector<std::uint32_t> cell_start,
-                                     geo::BBox bounds, int cols, int rows,
-                                     double inv_cw, double inv_ch) {
-    index::GridIndex g;
-    g.points_ = std::move(points);
-    g.binned_ = std::move(binned);
-    g.binned_x_ = std::move(binned_x);
-    g.binned_y_ = std::move(binned_y);
-    g.cell_start_ = std::move(cell_start);
-    g.bounds_ = bounds;
-    g.cols_ = cols;
-    g.rows_ = rows;
-    g.inv_cw_ = inv_cw;
-    g.inv_ch_ = inv_ch;
-    return g;
-  }
-
-  static synth::WhpModel make_whp(raster::ClassRaster grid,
-                                  raster::Raster<std::int16_t> states,
-                                  raster::MaskRaster urban,
-                                  raster::MaskRaster roads) {
-    synth::WhpModel m;  // proj_ is parameter-free: default construction
-    m.grid_ = std::move(grid);
-    m.states_ = std::move(states);
-    m.urban_ = std::move(urban);
-    m.roads_ = std::move(roads);
-    return m;
-  }
-
-  static synth::CountyMap make_counties(std::vector<synth::County> counties) {
-    synth::CountyMap map;
-    map.atlas_ = &synth::UsAtlas::get();
-    map.by_state_.assign(
-        static_cast<std::size_t>(map.atlas_->num_states()), {});
-    for (std::size_t i = 0; i < counties.size(); ++i) {
-      // build() appends in counties_ order too, so this reproduces
-      // by_state_ exactly.
-      map.by_state_[static_cast<std::size_t>(counties[i].state)].push_back(
-          static_cast<int>(i));
-    }
-    map.counties_ = std::move(counties);
-    return map;
-  }
-
-  static core::World make_world(synth::ScenarioConfig config,
-                                synth::WhpModel whp,
-                                cellnet::CellCorpus corpus,
-                                synth::CountyMap counties,
-                                std::size_t ingest_dropped,
-                                std::size_t ingest_repaired,
-                                std::vector<std::uint8_t> txr_class,
-                                std::vector<std::int32_t> txr_county,
-                                std::vector<std::uint8_t> txr_provider,
-                                index::GridIndex txr_index) {
-    core::World w;
-    w.config_ = config;
-    w.atlas_ = &synth::UsAtlas::get();
-    w.whp_ = std::make_shared<const synth::WhpModel>(std::move(whp));
-    w.corpus_ = std::move(corpus);
-    w.counties_ =
-        std::make_shared<const synth::CountyMap>(std::move(counties));
-    w.ingest_dropped_ = ingest_dropped;
-    w.ingest_repaired_ = ingest_repaired;
-    // providers_ is the built-in deterministic registry, already
-    // default-constructed.
-    w.txr_class_ = std::move(txr_class);
-    w.txr_county_ = std::move(txr_county);
-    w.txr_provider_ = std::move(txr_provider);
-    w.txr_index_ = std::move(txr_index);
-    return w;
-  }
-};
 
 namespace {
 
 using fault::ErrCode;
 using fault::Status;
 
-// ---------------------------------------------------------------------
-// encode
-// ---------------------------------------------------------------------
-
-class ImageBuilder {
- public:
-  explicit ImageBuilder(std::size_t section_count) {
-    buf_.resize(kHeaderSize + section_count * kSectionEntrySize, '\0');
-    sections_.reserve(section_count);
-  }
-
-  void raw(const void* p, std::size_t n) {
-    if (n) buf_.append(static_cast<const char*>(p), n);
-  }
-  template <class T>
-  void put(T v) {
-    raw(&v, sizeof v);
-  }
-  template <class T>
-  void vec(const std::vector<T>& v) {
-    raw(v.data(), v.size() * sizeof(T));
-  }
-
-  void begin(SectionKind kind) {
-    buf_.resize(align_up(buf_.size()), '\0');
-    cur_ = SectionInfo{kind, buf_.size(), 0, 0};
-  }
-  void end() {
-    cur_.length = buf_.size() - cur_.offset;
-    cur_.crc = crc32(buf_.data() + cur_.offset, cur_.length);
-    sections_.push_back(cur_);
-  }
-  template <class T>
-  void section_vec(SectionKind kind, const std::vector<T>& v) {
-    begin(kind);
-    vec(v);
-    end();
-  }
-  void section_raster_u8(SectionKind kind, const raster::Raster<std::uint8_t>& r) {
-    begin(kind);
-    geometry(r.geom());
-    vec(r.data());
-    end();
-  }
-
-  void geometry(const raster::GridGeometry& g) {
-    put<double>(g.origin_x);
-    put<double>(g.origin_y);
-    put<double>(g.cell_w);
-    put<double>(g.cell_h);
-    put<std::int32_t>(g.cols);
-    put<std::int32_t>(g.rows);
-  }
-
-  // Patches header + table, computes the CRC ladder, appends the footer.
-  std::string finish() {
-    const std::uint64_t data_end = buf_.size();
-    char* h = buf_.data();
-    std::memcpy(h, kMagic, 8);
-    patch_u32(8, kFormatVersion);
-    patch_u32(12, kEndianTag);
-    patch_u64(16, sections_.size());
-    patch_u64(24, kHeaderSize);
-    patch_u64(32, data_end);
-    // [40, 60) stays zero (reserved).
-    patch_u32(60, crc32(h, 60));
-    for (std::size_t i = 0; i < sections_.size(); ++i) {
-      const std::size_t off = kHeaderSize + i * kSectionEntrySize;
-      patch_u32(off, static_cast<std::uint32_t>(sections_[i].kind));
-      patch_u32(off + 4, 0);
-      patch_u64(off + 8, sections_[i].offset);
-      patch_u64(off + 16, sections_[i].length);
-      patch_u32(off + 24, sections_[i].crc);
-      patch_u32(off + 28, 0);
-    }
-    const std::uint32_t body_crc = crc32(buf_.data(), data_end);
-    char footer[kFooterSize] = {};
-    const std::uint64_t file_size = data_end + kFooterSize;
-    std::memcpy(footer, &file_size, 8);
-    std::memcpy(footer + 8, &body_crc, 4);
-    std::memcpy(footer + 16, kFooterMagic, 8);
-    const std::uint32_t footer_crc = crc32(footer, 24);
-    std::memcpy(footer + 24, &footer_crc, 4);
-    buf_.append(footer, kFooterSize);
-    return std::move(buf_);
-  }
-
- private:
-  void patch_u32(std::size_t off, std::uint32_t v) {
-    std::memcpy(buf_.data() + off, &v, 4);
-  }
-  void patch_u64(std::size_t off, std::uint64_t v) {
-    std::memcpy(buf_.data() + off, &v, 8);
-  }
-
-  std::string buf_;
-  std::vector<SectionInfo> sections_;
-  SectionInfo cur_;
-};
-
-// ---------------------------------------------------------------------
-// decode helpers
-// ---------------------------------------------------------------------
-
-std::uint32_t load_u32(const unsigned char* p) {
-  std::uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
-}
-std::uint64_t load_u64(const unsigned char* p) {
-  std::uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
-
-// Sequential reader over one validated section payload.
-struct Cursor {
-  const unsigned char* p;
-  std::size_t n;
-  std::size_t off = 0;
-
-  template <class T>
-  T get() {
-    T v{};
-    std::memcpy(&v, p + off, sizeof v);
-    off += sizeof v;
-    return v;
-  }
-};
-
-template <class T>
-std::vector<T> copy_vec(const unsigned char* p, std::size_t bytes) {
-  std::vector<T> v(bytes / sizeof(T));
-  if (bytes) std::memcpy(v.data(), p, bytes);
-  return v;
-}
-
-Status fail(ErrCode code, std::uint64_t offset, const std::string& source,
-            std::string message) {
-  return Status::error(code, offset, source, std::move(message));
-}
-
-struct SectionLookup {
-  const unsigned char* base = nullptr;
-  std::vector<SectionInfo> sections;
-  std::string source;
-
-  const SectionInfo* find(SectionKind kind) const {
-    for (const auto& s : sections) {
-      if (s.kind == kind) return &s;
-    }
-    return nullptr;
-  }
-};
-
-// Walks header/table/footer and validates the full CRC ladder. On
-// success `out` holds every section with in-bounds, CRC-clean payloads.
-Status validate_image(const void* data, std::size_t size,
-                      const std::string& source, SectionLookup& out,
-                      FileReport* report) {
-  const auto* base = static_cast<const unsigned char*>(data);
-  if (size < kHeaderSize + kFooterSize) {
-    return fail(ErrCode::kTruncated, size, source,
-                "file shorter than header + footer");
-  }
-  if (std::memcmp(base, kMagic, 8) != 0) {
-    return fail(ErrCode::kBadMagic, 0, source, "bad snapshot magic");
-  }
-  const std::uint32_t version = load_u32(base + 8);
-  if (report) report->version = version;
-  if (version != kFormatVersion) {
-    return fail(ErrCode::kSchema, 8, source,
-                "unsupported format version " + std::to_string(version));
-  }
-  if (load_u32(base + 12) != kEndianTag) {
-    return fail(ErrCode::kSchema, 12, source,
-                "endianness mismatch (file written on foreign-endian host)");
-  }
-  if (load_u32(base + 60) != crc32(base, 60)) {
-    return fail(ErrCode::kParse, 60, source, "header checksum mismatch");
-  }
-  if (report) report->header_ok = true;
-
-  const std::uint64_t section_count = load_u64(base + 16);
-  const std::uint64_t table_offset = load_u64(base + 24);
-  const std::uint64_t data_end = load_u64(base + 32);
-  if (table_offset != kHeaderSize) {
-    return fail(ErrCode::kSchema, 24, source, "unexpected table offset");
-  }
-  if (section_count > (size / kSectionEntrySize) + 1) {
-    return fail(ErrCode::kSchema, 16, source, "implausible section count");
-  }
-  const std::uint64_t table_end =
-      table_offset + section_count * kSectionEntrySize;
-  if (table_end > size || data_end > size || table_end > data_end) {
-    return fail(ErrCode::kTruncated, 32, source,
-                "section table or data extends past end of file");
-  }
-
-  // Footer first: it pins file_size and the whole-body CRC, so torn
-  // tails and padding flips are caught even before section walks.
-  const unsigned char* footer = base + size - kFooterSize;
-  if (std::memcmp(footer + 16, kFooterMagic, 8) != 0) {
-    return fail(ErrCode::kTruncated, size - kFooterSize + 16, source,
-                "footer magic missing (torn write?)");
-  }
-  if (load_u32(footer + 24) != crc32(footer, 24)) {
-    return fail(ErrCode::kParse, size - kFooterSize + 24, source,
-                "footer checksum mismatch");
-  }
-  // The 4 pad bytes after footer_crc are the only ones no CRC covers;
-  // requiring them zero keeps "every byte is validated" literally true.
-  if (load_u32(footer + 28) != 0) {
-    return fail(ErrCode::kParse, size - kFooterSize + 28, source,
-                "footer padding is not zero");
-  }
-  if (load_u64(footer) != size) {
-    return fail(ErrCode::kTruncated, size - kFooterSize, source,
-                "footer file size disagrees with actual size");
-  }
-  if (data_end != size - kFooterSize) {
-    return fail(ErrCode::kSchema, 32, source,
-                "header data_end disagrees with footer position");
-  }
-  if (report) report->footer_ok = true;
-  // The whole-body CRC duplicates the per-section CRCs over the
-  // payloads; a second full pass would double cold-start checksum time.
-  // The strict decode path instead proves the same total coverage in
-  // one pass: per-section CRCs for payloads (below) plus explicit
-  // zero checks for every byte they skip (reserved entry fields,
-  // alignment padding, table slack). The inspector still verifies the
-  // redundant whole-body CRC — it is the cross-check on the ladder
-  // itself.
-  const bool body_ok =
-      report ? load_u32(footer + 8) == crc32(base, data_end) : true;
-  if (report) report->body_crc_ok = body_ok;
-
-  out.base = base;
-  out.source = source;
-  out.sections.reserve(section_count);
-  Status first_bad;  // inspect mode records all, returns first failure
-  for (std::uint64_t i = 0; i < section_count; ++i) {
-    const unsigned char* e = base + table_offset + i * kSectionEntrySize;
-    SectionInfo info;
-    info.kind = static_cast<SectionKind>(load_u32(e));
-    info.offset = load_u64(e + 8);
-    info.length = load_u64(e + 16);
-    info.crc = load_u32(e + 24);
-    const std::uint64_t entry_off = table_offset + i * kSectionEntrySize;
-    bool crc_ok = false;
-    if (load_u32(e + 4) != 0 || load_u32(e + 28) != 0) {
-      if (first_bad.ok()) {
-        first_bad = fail(ErrCode::kParse, entry_off, source,
-                         "section entry reserved bytes are not zero");
-      }
-    }
-    if (info.offset < table_end || info.offset > data_end ||
-        info.length > data_end - info.offset) {
-      if (first_bad.ok()) {
-        first_bad = fail(ErrCode::kOutOfRange, entry_off, source,
-                         std::string("section ") +
-                             std::string(section_kind_name(info.kind)) +
-                             " payload out of bounds");
-      }
-    } else {
-      crc_ok = crc32(base + info.offset, info.length) == info.crc;
-      if (!crc_ok && first_bad.ok()) {
-        first_bad = fail(ErrCode::kParse, info.offset, source,
-                         std::string("section ") +
-                             std::string(section_kind_name(info.kind)) +
-                             " checksum mismatch");
-      }
-    }
-    out.sections.push_back(info);
-    if (report) report->sections.push_back(SectionReport{info, crc_ok});
-  }
-  if (!first_bad.ok()) return first_bad;
-  if (!body_ok) {
-    // Every section passed but a covered byte (padding, table slack)
-    // flipped — still a corrupt file.
-    return fail(ErrCode::kParse, size - kFooterSize + 8, source,
-                "body checksum mismatch");
-  }
-
-  // Sections must tile [table_end, data_end) in ascending order with
-  // zero-filled gaps: together with the per-section CRCs this covers
-  // every body byte without the redundant second CRC pass.
-  std::uint64_t cursor = table_end;
-  for (const SectionInfo& s : out.sections) {
-    if (s.offset < cursor) {
-      return fail(ErrCode::kSchema, s.offset, source,
-                  "section payloads overlap or are out of order");
-    }
-    for (std::uint64_t b = cursor; b < s.offset; ++b) {
-      if (base[b] != 0) {
-        return fail(ErrCode::kParse, b, source, "padding byte is not zero");
-      }
-    }
-    cursor = s.offset + s.length;
-  }
-  for (std::uint64_t b = cursor; b < data_end; ++b) {
-    if (base[b] != 0) {
-      return fail(ErrCode::kParse, b, source, "padding byte is not zero");
-    }
-  }
-  return Status{};
-}
-
-// Fetches a required section and checks an exact or element-size shape.
-const SectionInfo* need(const SectionLookup& img, SectionKind kind,
-                        Status& status) {
-  const SectionInfo* s = img.find(kind);
-  if (!s) {
-    status = fail(ErrCode::kSchema, 0, img.source,
-                  std::string("missing section ") +
-                      std::string(section_kind_name(kind)));
-  }
-  return s;
-}
-
-bool check_len(const SectionLookup& img, const SectionInfo& s,
-               std::uint64_t want, Status& status) {
-  if (s.length == want) return true;
-  status = fail(ErrCode::kSchema, s.offset, img.source,
-                std::string("section ") +
-                    std::string(section_kind_name(s.kind)) + " has length " +
-                    std::to_string(s.length) + ", expected " +
-                    std::to_string(want));
-  return false;
-}
-
-constexpr std::size_t kGeomBytes = 40;
-
-template <class T>
-Status decode_raster(const SectionLookup& img, SectionKind kind,
-                     raster::Raster<T>& out) {
-  Status status;
-  const SectionInfo* s = need(img, kind, status);
-  if (!s) return status;
-  if (s->length < kGeomBytes) {
-    return fail(ErrCode::kTruncated, s->offset, img.source,
-                std::string("raster section ") +
-                    std::string(section_kind_name(kind)) + " too short");
-  }
-  Cursor c{img.base + s->offset, static_cast<std::size_t>(s->length)};
-  raster::GridGeometry geom;
-  geom.origin_x = c.get<double>();
-  geom.origin_y = c.get<double>();
-  geom.cell_w = c.get<double>();
-  geom.cell_h = c.get<double>();
-  geom.cols = c.get<std::int32_t>();
-  geom.rows = c.get<std::int32_t>();
-  if (!std::isfinite(geom.origin_x) || !std::isfinite(geom.origin_y) ||
-      !std::isfinite(geom.cell_w) || !std::isfinite(geom.cell_h) ||
-      geom.cell_w <= 0.0 || geom.cell_h <= 0.0 || geom.cols < 0 ||
-      geom.rows < 0) {
-    return fail(ErrCode::kOutOfRange, s->offset, img.source,
-                std::string("raster section ") +
-                    std::string(section_kind_name(kind)) +
-                    " has invalid geometry");
-  }
-  const std::uint64_t cell_bytes = geom.cell_count() * sizeof(T);
-  if (s->length - kGeomBytes != cell_bytes) {
-    return fail(ErrCode::kSchema, s->offset, img.source,
-                std::string("raster section ") +
-                    std::string(section_kind_name(kind)) +
-                    " cell payload disagrees with cols*rows");
-  }
-  out = raster::Raster<T>(geom);
-  if (cell_bytes) std::memcpy(out.data().data(), c.p + c.off, cell_bytes);
-  return Status{};
-}
-
 }  // namespace
+
+// ---------------------------------------------------------------------
+// shared section codecs
+// ---------------------------------------------------------------------
+
+void encode_meta_section(ImageBuilder& b, const MetaFields& meta) {
+  b.begin(SectionKind::kMeta);
+  b.put<std::uint64_t>(meta.config.seed);
+  b.put<double>(meta.config.corpus_scale);
+  b.put<double>(meta.config.whp_cell_m);
+  b.put<std::int32_t>(meta.config.counties_per_state);
+  b.put<std::uint32_t>(0);
+  b.put<std::uint64_t>(meta.ingest_dropped);
+  b.put<std::uint64_t>(meta.ingest_repaired);
+  b.put<std::uint64_t>(meta.transceivers);
+  b.end();
+}
+
+void encode_county_sections(ImageBuilder& b, const synth::CountyMap& map) {
+  const auto& counties = map.counties();
+  b.begin(SectionKind::kCountyTable);
+  for (const auto& c : counties) {
+    b.put<std::int32_t>(c.state);
+    b.put<std::uint32_t>(c.is_major ? 1u : 0u);
+    b.put<double>(c.anchor.lon);
+    b.put<double>(c.anchor.lat);
+    b.put<double>(c.population);
+  }
+  b.end();
+  b.begin(SectionKind::kCountyNames);
+  b.put<std::uint32_t>(static_cast<std::uint32_t>(counties.size()));
+  std::uint32_t off = 0;
+  for (const auto& c : counties) {
+    b.put<std::uint32_t>(off);
+    off += static_cast<std::uint32_t>(c.name.size());
+  }
+  b.put<std::uint32_t>(off);
+  for (const auto& c : counties) b.raw(c.name.data(), c.name.size());
+  b.end();
+}
+
+void encode_provider_risk_section(ImageBuilder& b,
+                                  const core::ProviderRiskResult& risk) {
+  b.begin(SectionKind::kProviderRisk);
+  for (const auto& row : risk.rows) {
+    b.put<std::uint64_t>(row.fleet);
+    b.put<std::uint64_t>(row.moderate);
+    b.put<std::uint64_t>(row.high);
+    b.put<std::uint64_t>(row.very_high);
+  }
+  b.put<std::uint64_t>(risk.regional_brands_at_risk);
+  b.end();
+}
+
+fault::Status decode_meta(const SectionLookup& img, MetaFields& out) {
+  Status status;
+  const SectionInfo* meta = need(img, SectionKind::kMeta, status);
+  if (!meta) return status;
+  if (!check_len(img, *meta, 56, status)) return status;
+  Cursor mc{img.base + meta->offset, static_cast<std::size_t>(meta->length)};
+  out.config.seed = mc.get<std::uint64_t>();
+  out.config.corpus_scale = mc.get<double>();
+  out.config.whp_cell_m = mc.get<double>();
+  out.config.counties_per_state = mc.get<std::int32_t>();
+  (void)mc.get<std::uint32_t>();
+  out.ingest_dropped = mc.get<std::uint64_t>();
+  out.ingest_repaired = mc.get<std::uint64_t>();
+  out.transceivers = mc.get<std::uint64_t>();
+  if (!std::isfinite(out.config.corpus_scale) ||
+      out.config.corpus_scale <= 0.0 ||
+      !std::isfinite(out.config.whp_cell_m) || out.config.whp_cell_m <= 0.0 ||
+      out.config.counties_per_state < 0) {
+    return fail(ErrCode::kOutOfRange, meta->offset, img.source,
+                "meta section carries an invalid scenario config");
+  }
+  if (out.transceivers > (1ull << 32)) {
+    return fail(ErrCode::kOutOfRange, meta->offset, img.source,
+                "implausible transceiver count");
+  }
+  return {};
+}
+
+fault::Status decode_counties(const SectionLookup& img,
+                              std::vector<synth::County>& out) {
+  Status status;
+  const SectionInfo* ctab = need(img, SectionKind::kCountyTable, status);
+  if (!ctab) return status;
+  const SectionInfo* cnames = need(img, SectionKind::kCountyNames, status);
+  if (!cnames) return status;
+  if (ctab->length % 32 != 0) {
+    return fail(ErrCode::kSchema, ctab->offset, img.source,
+                "county table length is not a whole number of records");
+  }
+  const std::uint64_t county_count = ctab->length / 32;
+  const int num_states = synth::UsAtlas::get().num_states();
+  if (cnames->length < 4 + (county_count + 1) * 4) {
+    return fail(ErrCode::kTruncated, cnames->offset, img.source,
+                "county name table too short");
+  }
+  Cursor nc{img.base + cnames->offset,
+            static_cast<std::size_t>(cnames->length)};
+  if (nc.get<std::uint32_t>() != county_count) {
+    return fail(ErrCode::kSchema, cnames->offset, img.source,
+                "county name count disagrees with county table");
+  }
+  const std::uint64_t blob_bytes = cnames->length - 4 - (county_count + 1) * 4;
+  std::vector<synth::County> counties(county_count);
+  std::vector<std::uint32_t> offs(county_count + 1);
+  for (auto& o : offs) o = nc.get<std::uint32_t>();
+  if (offs.back() != blob_bytes) {
+    return fail(ErrCode::kSchema, cnames->offset, img.source,
+                "county name blob size disagrees with offsets");
+  }
+  // Validate the whole offset array before touching the blob: a
+  // CRC-consistent but hostile image could pass the checks for early
+  // indices while a later one is wild, and copying as we validate
+  // would read past the section (and potentially the mmap) before the
+  // bad index is reached. Monotone non-decreasing plus the pinned
+  // offs.back() == blob_bytes bounds every slice inside the blob.
+  for (std::uint64_t i = 0; i < county_count; ++i) {
+    if (offs[i] > offs[i + 1]) {
+      return fail(ErrCode::kOutOfRange, cnames->offset, img.source,
+                  "county name offsets not monotonic");
+    }
+  }
+  const char* blob = reinterpret_cast<const char*>(nc.p + nc.off);
+  Cursor tc{img.base + ctab->offset, static_cast<std::size_t>(ctab->length)};
+  for (std::uint64_t i = 0; i < county_count; ++i) {
+    auto& c = counties[i];
+    c.state = tc.get<std::int32_t>();
+    c.is_major = tc.get<std::uint32_t>() != 0;
+    c.anchor.lon = tc.get<double>();
+    c.anchor.lat = tc.get<double>();
+    c.population = tc.get<double>();
+    if (c.state < 0 || c.state >= num_states) {
+      return fail(ErrCode::kOutOfRange, ctab->offset + i * 32, img.source,
+                  "county state index out of range");
+    }
+    c.name.assign(blob + offs[i], offs[i + 1] - offs[i]);
+  }
+  out = std::move(counties);
+  return {};
+}
+
+fault::Status decode_provider_risk(const SectionLookup& img,
+                                   core::ProviderRiskResult& out) {
+  Status status;
+  const SectionInfo* risk = need(img, SectionKind::kProviderRisk, status);
+  if (!risk) return status;
+  if (!check_len(img, *risk, cellnet::kNumProviders * 4 * 8 + 8, status)) {
+    return status;
+  }
+  Cursor rc{img.base + risk->offset, static_cast<std::size_t>(risk->length)};
+  for (int p = 0; p < cellnet::kNumProviders; ++p) {
+    auto& row = out.rows[static_cast<std::size_t>(p)];
+    row.provider = static_cast<cellnet::Provider>(p);
+    row.fleet = rc.get<std::uint64_t>();
+    row.moderate = rc.get<std::uint64_t>();
+    row.high = rc.get<std::uint64_t>();
+    row.very_high = rc.get<std::uint64_t>();
+  }
+  out.regional_brands_at_risk = rc.get<std::uint64_t>();
+  return {};
+}
 
 // ---------------------------------------------------------------------
 // encode_world
@@ -512,16 +194,8 @@ std::string encode_world(const core::World& world,
   const std::size_t n = txr.size();
   ImageBuilder b(kSectionCount);
 
-  b.begin(SectionKind::kMeta);
-  b.put<std::uint64_t>(world.config().seed);
-  b.put<double>(world.config().corpus_scale);
-  b.put<double>(world.config().whp_cell_m);
-  b.put<std::int32_t>(world.config().counties_per_state);
-  b.put<std::uint32_t>(0);
-  b.put<std::uint64_t>(world.ingest_dropped());
-  b.put<std::uint64_t>(world.ingest_repaired());
-  b.put<std::uint64_t>(n);
-  b.end();
+  encode_meta_section(b, MetaFields{world.config(), world.ingest_dropped(),
+                                    world.ingest_repaired(), n});
 
   // Transceiver SoA columns.
   {
@@ -561,28 +235,7 @@ std::string encode_world(const core::World& world,
   b.section_raster_u8(SectionKind::kWhpUrban, world.whp().urban_mask());
   b.section_raster_u8(SectionKind::kWhpRoads, world.whp().road_mask());
 
-  {
-    const auto& counties = world.counties().counties();
-    b.begin(SectionKind::kCountyTable);
-    for (const auto& c : counties) {
-      b.put<std::int32_t>(c.state);
-      b.put<std::uint32_t>(c.is_major ? 1u : 0u);
-      b.put<double>(c.anchor.lon);
-      b.put<double>(c.anchor.lat);
-      b.put<double>(c.population);
-    }
-    b.end();
-    b.begin(SectionKind::kCountyNames);
-    b.put<std::uint32_t>(static_cast<std::uint32_t>(counties.size()));
-    std::uint32_t off = 0;
-    for (const auto& c : counties) {
-      b.put<std::uint32_t>(off);
-      off += static_cast<std::uint32_t>(c.name.size());
-    }
-    b.put<std::uint32_t>(off);
-    for (const auto& c : counties) b.raw(c.name.data(), c.name.size());
-    b.end();
-  }
+  encode_county_sections(b, world.counties());
 
   {
     const auto& idx = world.txr_index();
@@ -604,15 +257,7 @@ std::string encode_world(const core::World& world,
     b.section_vec(SectionKind::kIndexCellStart, Access::cell_start(idx));
   }
 
-  b.begin(SectionKind::kProviderRisk);
-  for (const auto& row : provider_risk.rows) {
-    b.put<std::uint64_t>(row.fleet);
-    b.put<std::uint64_t>(row.moderate);
-    b.put<std::uint64_t>(row.high);
-    b.put<std::uint64_t>(row.very_high);
-  }
-  b.put<std::uint64_t>(provider_risk.regional_brands_at_risk);
-  b.end();
+  encode_provider_risk_section(b, provider_risk);
 
   return b.finish();
 }
@@ -630,29 +275,12 @@ fault::Result<LoadedWorld> decode_world(const void* data, std::size_t size,
   Status status;
 
   // meta
-  const SectionInfo* meta = need(img, SectionKind::kMeta, status);
-  if (!meta) return status;
-  if (!check_len(img, *meta, 56, status)) return status;
-  Cursor mc{img.base + meta->offset, static_cast<std::size_t>(meta->length)};
-  synth::ScenarioConfig config;
-  config.seed = mc.get<std::uint64_t>();
-  config.corpus_scale = mc.get<double>();
-  config.whp_cell_m = mc.get<double>();
-  config.counties_per_state = mc.get<std::int32_t>();
-  (void)mc.get<std::uint32_t>();
-  const auto ingest_dropped = mc.get<std::uint64_t>();
-  const auto ingest_repaired = mc.get<std::uint64_t>();
-  const std::uint64_t n = mc.get<std::uint64_t>();
-  if (!std::isfinite(config.corpus_scale) || config.corpus_scale <= 0.0 ||
-      !std::isfinite(config.whp_cell_m) || config.whp_cell_m <= 0.0 ||
-      config.counties_per_state < 0) {
-    return fail(ErrCode::kOutOfRange, meta->offset, source,
-                "meta section carries an invalid scenario config");
-  }
-  if (n > (1ull << 32)) {
-    return fail(ErrCode::kOutOfRange, meta->offset, source,
-                "implausible transceiver count");
-  }
+  MetaFields meta;
+  if (Status s = decode_meta(img, meta); !s.ok()) return s;
+  const synth::ScenarioConfig config = meta.config;
+  const std::uint64_t ingest_dropped = meta.ingest_dropped;
+  const std::uint64_t ingest_repaired = meta.ingest_repaired;
+  const std::uint64_t n = meta.transceivers;
 
   // Transceiver columns — every column must agree on n.
   struct Col {
@@ -697,63 +325,9 @@ fault::Result<LoadedWorld> decode_world(const void* data, std::size_t size,
       copy_vec<std::uint8_t>(col_ptr(SectionKind::kTxrProvider), n);
 
   // counties (needed before txr_county domain check)
-  const SectionInfo* ctab = need(img, SectionKind::kCountyTable, status);
-  if (!ctab) return status;
-  const SectionInfo* cnames = need(img, SectionKind::kCountyNames, status);
-  if (!cnames) return status;
-  if (ctab->length % 32 != 0) {
-    return fail(ErrCode::kSchema, ctab->offset, source,
-                "county table length is not a whole number of records");
-  }
-  const std::uint64_t county_count = ctab->length / 32;
-  const int num_states = synth::UsAtlas::get().num_states();
-  if (cnames->length < 4 + (county_count + 1) * 4) {
-    return fail(ErrCode::kTruncated, cnames->offset, source,
-                "county name table too short");
-  }
-  Cursor nc{img.base + cnames->offset,
-            static_cast<std::size_t>(cnames->length)};
-  if (nc.get<std::uint32_t>() != county_count) {
-    return fail(ErrCode::kSchema, cnames->offset, source,
-                "county name count disagrees with county table");
-  }
-  const std::uint64_t blob_bytes = cnames->length - 4 - (county_count + 1) * 4;
-  std::vector<synth::County> counties(county_count);
-  {
-    std::vector<std::uint32_t> offs(county_count + 1);
-    for (auto& o : offs) o = nc.get<std::uint32_t>();
-    if (offs.back() != blob_bytes) {
-      return fail(ErrCode::kSchema, cnames->offset, source,
-                  "county name blob size disagrees with offsets");
-    }
-    // Validate the whole offset array before touching the blob: a
-    // CRC-consistent but hostile image could pass the checks for early
-    // indices while a later one is wild, and copying as we validate
-    // would read past the section (and potentially the mmap) before the
-    // bad index is reached. Monotone non-decreasing plus the pinned
-    // offs.back() == blob_bytes bounds every slice inside the blob.
-    for (std::uint64_t i = 0; i < county_count; ++i) {
-      if (offs[i] > offs[i + 1]) {
-        return fail(ErrCode::kOutOfRange, cnames->offset, source,
-                    "county name offsets not monotonic");
-      }
-    }
-    const char* blob = reinterpret_cast<const char*>(nc.p + nc.off);
-    Cursor tc{img.base + ctab->offset, static_cast<std::size_t>(ctab->length)};
-    for (std::uint64_t i = 0; i < county_count; ++i) {
-      auto& c = counties[i];
-      c.state = tc.get<std::int32_t>();
-      c.is_major = tc.get<std::uint32_t>() != 0;
-      c.anchor.lon = tc.get<double>();
-      c.anchor.lat = tc.get<double>();
-      c.population = tc.get<double>();
-      if (c.state < 0 || c.state >= num_states) {
-        return fail(ErrCode::kOutOfRange, ctab->offset + i * 32, source,
-                    "county state index out of range");
-      }
-      c.name.assign(blob + offs[i], offs[i + 1] - offs[i]);
-    }
-  }
+  std::vector<synth::County> counties;
+  if (Status s = decode_counties(img, counties); !s.ok()) return s;
+  const std::uint64_t county_count = counties.size();
 
   // Domain checks on the cached per-transceiver columns.
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -885,25 +459,8 @@ fault::Result<LoadedWorld> decode_world(const void* data, std::size_t size,
   }
 
   // provider risk aggregate
-  const SectionInfo* risk = need(img, SectionKind::kProviderRisk, status);
-  if (!risk) return status;
-  if (!check_len(img, *risk,
-                 cellnet::kNumProviders * 4 * 8 + 8, status)) {
-    return status;
-  }
   core::ProviderRiskResult stored_risk;
-  {
-    Cursor rc{img.base + risk->offset, static_cast<std::size_t>(risk->length)};
-    for (int p = 0; p < cellnet::kNumProviders; ++p) {
-      auto& row = stored_risk.rows[static_cast<std::size_t>(p)];
-      row.provider = static_cast<cellnet::Provider>(p);
-      row.fleet = rc.get<std::uint64_t>();
-      row.moderate = rc.get<std::uint64_t>();
-      row.high = rc.get<std::uint64_t>();
-      row.very_high = rc.get<std::uint64_t>();
-    }
-    stored_risk.regional_brands_at_risk = rc.get<std::uint64_t>();
-  }
+  if (Status s = decode_provider_risk(img, stored_risk); !s.ok()) return s;
 
   // assemble
   std::vector<cellnet::Transceiver> records(n);
@@ -934,6 +491,7 @@ fault::Result<LoadedWorld> decode_world(const void* data, std::size_t size,
 
   // Semantic cross-check: the stored aggregate must be re-derivable from
   // the restored arrays. Catches "checksums fine, writer was wrong".
+  const SectionInfo* risk = img.find(SectionKind::kProviderRisk);
   const core::ProviderRiskResult fresh = core::run_provider_risk(loaded.world);
   for (int p = 0; p < cellnet::kNumProviders; ++p) {
     const auto& a = stored_risk.rows[static_cast<std::size_t>(p)];

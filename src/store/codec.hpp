@@ -25,6 +25,7 @@
 #include "core/world.hpp"
 #include "fault/status.hpp"
 #include "store/format.hpp"
+#include "store/image.hpp"
 
 namespace fa::store {
 
@@ -64,5 +65,29 @@ struct FileReport {
 // image is too mangled to walk at all (short file, bad magic).
 fault::Result<FileReport> inspect_image(const void* data, std::size_t size,
                                         std::string source = "fastore");
+
+// -- shared section codecs ----------------------------------------------
+// The global sections (scenario meta, county layer, provider-risk
+// aggregate) have one byte layout used by both container flavors; the
+// monolithic codec and the sharded one (fa::shard) encode and decode
+// them through these.
+
+struct MetaFields {
+  synth::ScenarioConfig config;
+  std::uint64_t ingest_dropped = 0;
+  std::uint64_t ingest_repaired = 0;
+  std::uint64_t transceivers = 0;
+};
+
+void encode_meta_section(ImageBuilder& b, const MetaFields& meta);
+void encode_county_sections(ImageBuilder& b, const synth::CountyMap& counties);
+void encode_provider_risk_section(ImageBuilder& b,
+                                  const core::ProviderRiskResult& risk);
+
+fault::Status decode_meta(const SectionLookup& img, MetaFields& out);
+fault::Status decode_counties(const SectionLookup& img,
+                              std::vector<synth::County>& out);
+fault::Status decode_provider_risk(const SectionLookup& img,
+                                   core::ProviderRiskResult& out);
 
 }  // namespace fa::store

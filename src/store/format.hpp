@@ -27,7 +27,15 @@ namespace fa::store {
 
 // "FASNAP01": file magic, bumped with the format version.
 inline constexpr char kMagic[8] = {'F', 'A', 'S', 'N', 'A', 'P', '0', '1'};
+// "FASHRD01": the geo-sharded container (fa::shard). Same byte layout
+// as FASNAP01 — header, entry table, aligned payloads, footer — but
+// per-shard sections repeat a kind once per shard and carry the owning
+// shard id in the entry bytes FASNAP01 keeps reserved-zero.
+inline constexpr char kShardMagic[8] = {'F', 'A', 'S', 'H', 'R', 'D', '0', '1'};
 inline constexpr char kFooterMagic[8] = {'F', 'A', 'E', 'N', 'D', '0', '0', '1'};
+// Owner id marking a section as whole-world (not shard-local) inside a
+// FASHRD01 container. Monolithic images write 0 in the owner bytes.
+inline constexpr std::uint32_t kGlobalOwner = 0xFFFFFFFFu;
 inline constexpr std::uint32_t kFormatVersion = 1;
 // Written natively; a reader on a foreign-endian machine sees the bytes
 // reversed and rejects with kSchema instead of silently transposing.
@@ -63,22 +71,42 @@ enum class SectionKind : std::uint32_t {
   kIndexBinnedY = 21,     // f64[n] ys in bin order
   kIndexCellStart = 22,   // u32[cols*rows+1] bin span starts
   kProviderRisk = 23,     // per-provider exposure aggregate (cross-check)
+  // --- FASHRD01 only (owner bytes carry the shard id) -----------------
+  kShardLayout = 24,     // tile grid, tile->shard table, per-shard meta
+  kShardIds = 25,        // u32[n_s] global txr ids in local bin order
+  kShardX = 26,          // f64[n_s] lons in local bin order
+  kShardY = 27,          // f64[n_s] lats in local bin order
+  kShardCellStart = 28,  // u32[cols_s*rows_s+1] local bin span starts
+  kShardClass = 29,      // u8[n_s] WHP class in bin order
+  kShardProvider = 30,   // u8[n_s] provider in bin order
+  kShardRadio = 31,      // u8[n_s] RadioType in bin order
+  kShardMcc = 32,        // u16[n_s]
+  kShardMnc = 33,        // u16[n_s]
+  kShardCellId = 34,     // u32[n_s]
+  kShardState = 35,      // i16[n_s]
+  kShardCounty = 36,     // i32[n_s]
 };
 // The index's id-ordered point array is NOT a section on purpose: it is
 // bit-identical to (txr.lon, txr.lat) and restored from them; the
 // decoder cross-checks the binned SoA arrays against that source.
 
-// Every image carries exactly this many sections (one per kind above).
+// Every monolithic image carries exactly this many sections (one per
+// FASNAP01 kind above). Sharded containers are variable-count.
 inline constexpr std::size_t kSectionCount = 23;
+// Sections a FASHRD01 container carries per shard (kShardIds..kShardCounty).
+inline constexpr std::size_t kShardSectionsPerShard = 12;
 
 std::string_view section_kind_name(SectionKind kind);
 
-// One parsed section-table entry.
+// One parsed section-table entry. `owner` is the shard id for FASHRD01
+// shard-local sections (kGlobalOwner for whole-world ones); monolithic
+// images keep it 0 on disk and validate it as reserved.
 struct SectionInfo {
   SectionKind kind{};
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
   std::uint32_t crc = 0;
+  std::uint32_t owner = 0;
 };
 
 // CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib/PNG checksum).

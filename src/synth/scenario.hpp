@@ -31,6 +31,17 @@ struct ScenarioConfig {
   // Number of transceivers in the full (unscaled) corpus.
   static constexpr std::size_t kFullCorpusSize = 5364949;
 
+  // Continental scale-out preset: the full 5,364,949-transceiver corpus
+  // with a WHP grid coarse enough that the hazard rasters stay a small
+  // fraction of the image (the transceiver columns dominate, which is
+  // what the sharded container is built to serve).
+  static ScenarioConfig continental() {
+    ScenarioConfig c;
+    c.corpus_scale = 1.0;
+    c.whp_cell_m = 5400.0;
+    return c;
+  }
+
   std::size_t corpus_size() const {
     return static_cast<std::size_t>(
         static_cast<double>(kFullCorpusSize) / corpus_scale);

@@ -1,0 +1,174 @@
+// Selective re-shard equivalence: apply_update() must be byte-identical
+// (encode_sharded included) to re-sharding the successor world from
+// scratch over the same layout, while actually sharing the untouched
+// shards with the base by refcount.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "delta/apply.hpp"
+#include "delta/feed.hpp"
+#include "shard/apply.hpp"
+#include "shard/codec.hpp"
+#include "shard_test_util.hpp"
+
+namespace fa::shard {
+namespace {
+
+using testing::small_risk;
+using testing::small_sharded;
+using testing::small_world;
+
+TEST(ShardApply, ChainMatchesFromScratchReshardEveryTick) {
+  ShardedWorld view(small_sharded());
+  core::World world(small_world());
+  core::ProviderRiskResult risk(small_risk());
+
+  delta::FeedOptions feed_options;
+  feed_options.seed = 97;
+  // Retires force a full reshard by design; keep them out of this chain
+  // so the selective path (and its sharing) is what gets exercised. A
+  // sparse feed keeps some of the 6 shards untouched each tick — the
+  // default ~32 CONUS-wide events reliably dirty all of them.
+  feed_options.w_retire = 0.0;
+  feed_options.events_per_tick_mean = 4.0;
+  delta::FeedGenerator gen(world, feed_options);
+  delta::FeedIngestor ingestor;
+
+  std::size_t applied = 0;
+  std::size_t shared_total = 0;
+  for (int tick = 0; tick < 6; ++tick) {
+    auto cleaned = ingestor.ingest(gen.tick());
+    ASSERT_TRUE(cleaned.ok());
+    if (cleaned.value().empty()) continue;
+    auto result = delta::Applier::apply(world, risk, cleaned.value(), {});
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    delta::ApplyResult update = std::move(result).take();
+
+    ShardApplyStats stats;
+    ShardedWorld next = apply_update(view, update, &stats);
+    const ShardedWorld reference = ShardedWorld::from_world(
+        update.world, update.provider_risk, view.layout());
+    ASSERT_EQ(encode_sharded(next), encode_sharded(reference))
+        << "tick " << tick << ": selective re-shard diverged from scratch";
+    EXPECT_FALSE(stats.full_reshard) << "retire-free batch full-resharded";
+    EXPECT_EQ(stats.rebuilt + stats.shared, view.shard_count());
+    shared_total += stats.shared;
+
+    view = std::move(next);
+    world = std::move(update.world);
+    risk = std::move(update.provider_risk);
+    ++applied;
+  }
+  ASSERT_GT(applied, 0u) << "feed produced no applicable batches";
+  // The whole point of routing dirty boxes: most shards ride along.
+  EXPECT_GT(shared_total, 0u) << "no shard was ever shared with its base";
+}
+
+TEST(ShardApply, RetiringBatchFullReshardsAndStillMatches) {
+  // A batch with retires re-densifies ids; apply_update must fall back
+  // to the reference derivation and say so in the stats.
+  ShardedWorld view(small_sharded());
+  delta::FeedOptions feed_options;
+  feed_options.seed = 11;
+  feed_options.w_add = 0.0;
+  feed_options.w_move = 0.0;
+  delta::FeedGenerator gen(small_world(), feed_options);
+  delta::FeedIngestor ingestor;
+  std::optional<delta::ApplyResult> update;
+  for (int tick = 0; tick < 8 && !update; ++tick) {
+    auto cleaned = ingestor.ingest(gen.tick());
+    ASSERT_TRUE(cleaned.ok());
+    if (cleaned.value().empty()) continue;
+    auto result = delta::Applier::apply(small_world(), small_risk(),
+                                        cleaned.value(), {});
+    ASSERT_TRUE(result.ok());
+    if (result.value().stats.retires == 0) continue;
+    update = std::move(result).take();
+  }
+  ASSERT_TRUE(update.has_value()) << "feed never emitted a retire";
+
+  ShardApplyStats stats;
+  const ShardedWorld next = apply_update(view, *update, &stats);
+  EXPECT_TRUE(stats.full_reshard);
+  EXPECT_EQ(stats.shared, 0u);
+  EXPECT_EQ(encode_sharded(next),
+            encode_sharded(ShardedWorld::from_world(
+                update->world, update->provider_risk, view.layout())));
+}
+
+TEST(ShardApply, UntouchedShardsShareColumnStorage) {
+  ShardedWorld view(small_sharded());
+  delta::FeedOptions feed_options;
+  feed_options.seed = 201;
+  feed_options.w_retire = 0.0;
+  feed_options.events_per_tick_mean = 4.0;
+  delta::FeedGenerator gen(small_world(), feed_options);
+  delta::FeedIngestor ingestor;
+  auto cleaned = ingestor.ingest(gen.tick());
+  ASSERT_TRUE(cleaned.ok());
+  ASSERT_FALSE(cleaned.value().empty());
+  auto result = delta::Applier::apply(small_world(), small_risk(),
+                                      cleaned.value(), {});
+  ASSERT_TRUE(result.ok());
+  delta::ApplyResult update = std::move(result).take();
+
+  ShardApplyStats stats;
+  const ShardedWorld next = apply_update(view, update, &stats);
+  ASSERT_FALSE(stats.full_reshard);
+  ASSERT_GT(stats.shared, 0u) << "sparse batch still dirtied every shard";
+  std::size_t pointer_shared = 0;
+  for (std::size_t s = 0; s < next.shard_count(); ++s) {
+    if (next.shard(s).n() > 0 && view.shard(s).n() > 0 &&
+        next.shard(s).ids.data() == view.shard(s).ids.data()) {
+      ++pointer_shared;
+    }
+  }
+  EXPECT_EQ(pointer_shared, stats.shared)
+      << "stats.shared must mean actual storage reuse, not a recount";
+}
+
+TEST(ShardApply, ApplyOverOpenedContainerSharesTheMapping) {
+  // A delta landing on a zero-copy cold-started view: untouched shards
+  // must keep pointing into the original container bytes.
+  auto owned = std::make_shared<std::string>(testing::small_image());
+  auto opened = open_sharded(owned->data(), owned->size(), owned,
+                             "apply-over-mmap");
+  ASSERT_TRUE(opened.ok());
+  const ShardedWorld base = std::move(opened).take();
+
+  delta::FeedOptions feed_options;
+  feed_options.seed = 57;
+  feed_options.w_retire = 0.0;
+  feed_options.events_per_tick_mean = 4.0;
+  delta::FeedGenerator gen(small_world(), feed_options);
+  delta::FeedIngestor ingestor;
+  auto cleaned = ingestor.ingest(gen.tick());
+  ASSERT_TRUE(cleaned.ok());
+  auto result = delta::Applier::apply(small_world(), small_risk(),
+                                      cleaned.value(), {});
+  ASSERT_TRUE(result.ok());
+  delta::ApplyResult update = std::move(result).take();
+
+  ShardApplyStats stats;
+  const ShardedWorld next = apply_update(base, update, &stats);
+  const ShardedWorld reference = ShardedWorld::from_world(
+      update.world, update.provider_risk, base.layout());
+  EXPECT_EQ(encode_sharded(next), encode_sharded(reference));
+  if (!stats.full_reshard && stats.shared > 0) {
+    bool any_in_container = false;
+    const char* begin = owned->data();
+    const char* end = begin + owned->size();
+    for (std::size_t s = 0; s < next.shard_count(); ++s) {
+      const char* p =
+          reinterpret_cast<const char*>(next.shard(s).ids.data());
+      if (p >= begin && p < end) any_in_container = true;
+    }
+    EXPECT_TRUE(any_in_container)
+        << "shared shards should still view the container bytes";
+  }
+}
+
+}  // namespace
+}  // namespace fa::shard

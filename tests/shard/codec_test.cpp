@@ -1,0 +1,135 @@
+// FASHRD01 codec: deterministic encode, zero-copy open fidelity,
+// shard-level quarantine on damage (never generation-level failure for
+// a single flipped bit), and the inspection report tooling reads.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "shard/codec.hpp"
+#include "shard_test_util.hpp"
+#include "store/codec.hpp"
+
+namespace fa::shard {
+namespace {
+
+using testing::small_image;
+using testing::small_risk;
+using testing::small_sharded;
+using testing::small_world;
+
+fault::Result<ShardedWorld> open_image(const std::string& image,
+                                       const OpenOptions& options = {}) {
+  // Tests keep the bytes alive via a shared copy, the way the mmap path
+  // keeps the MappedFile alive.
+  auto owned = std::make_shared<std::string>(image);
+  return open_sharded(owned->data(), owned->size(), owned, "test-image",
+                      options);
+}
+
+TEST(ShardCodec, EncodeIsDeterministic) {
+  EXPECT_EQ(encode_sharded(small_sharded()), small_image());
+}
+
+TEST(ShardCodec, OpenedViewMatchesBuiltView) {
+  OpenOptions deep;
+  deep.deep_verify = true;
+  auto opened = open_image(small_image(), deep);
+  ASSERT_TRUE(opened.ok()) << opened.status().to_string();
+  const ShardedWorld& view = opened.value();
+  const ShardedWorld& built = small_sharded();
+  ASSERT_EQ(view.shard_count(), built.shard_count());
+  EXPECT_EQ(view.quarantined_count(), 0u);
+  EXPECT_EQ(view.total_points(), built.total_points());
+  EXPECT_TRUE(view.config() == built.config());
+  for (std::size_t s = 0; s < view.shard_count(); ++s) {
+    ASSERT_EQ(view.shard(s).n(), built.shard(s).n()) << "shard " << s;
+    for (std::size_t k = 0; k < view.shard(s).n(); ++k) {
+      ASSERT_EQ(view.shard(s).ids[k], built.shard(s).ids[k]);
+      ASSERT_EQ(view.shard(s).xs[k], built.shard(s).xs[k]);
+      ASSERT_EQ(view.shard(s).cls[k], built.shard(s).cls[k]);
+    }
+  }
+  // And the opened view re-encodes to the same bytes: open is lossless.
+  EXPECT_EQ(encode_sharded(view), small_image());
+}
+
+TEST(ShardCodec, MaterializedWorldEncodesIdenticallyToSource) {
+  auto opened = open_image(small_image());
+  ASSERT_TRUE(opened.ok());
+  auto world = opened.value().materialize();
+  ASSERT_TRUE(world.ok()) << world.status().to_string();
+  EXPECT_EQ(store::encode_world(world.value(), small_risk()),
+            store::encode_world(small_world(), small_risk()));
+}
+
+TEST(ShardCodec, FlippedShardByteQuarantinesOnlyThatShard) {
+  const std::string& clean = small_image();
+  // Find an offset whose damage hits exactly one shard payload: the
+  // inspect report says which (and proves the globals stayed clean).
+  bool exercised = false;
+  for (std::size_t frac = 3; frac <= 7 && !exercised; ++frac) {
+    std::string dirty = clean;
+    const std::size_t at = clean.size() * frac / 10;
+    dirty[at] = static_cast<char>(dirty[at] ^ 0x40);
+    auto report = inspect_sharded(dirty.data(), dirty.size(), "dirty");
+    if (!report.ok() || !report.value().globals_ok) continue;
+    std::size_t bad = 0;
+    for (const ShardReport& sh : report.value().shards) {
+      if (!sh.crc_ok) ++bad;
+    }
+    if (bad != 1) continue;
+    exercised = true;
+    OpenOptions deep;
+    deep.deep_verify = true;
+    auto opened = open_image(dirty, deep);
+    ASSERT_TRUE(opened.ok())
+        << "one damaged shard must not reject the container: "
+        << opened.status().to_string();
+    EXPECT_EQ(opened.value().quarantined_count(), 1u);
+    // Undamaged shards still carry their points.
+    std::uint64_t servable = 0;
+    for (const Shard& sh : opened.value().shards()) {
+      if (!sh.quarantined) servable += sh.n();
+    }
+    EXPECT_GT(servable, 0u);
+    EXPECT_LT(servable, opened.value().total_points());
+  }
+  EXPECT_TRUE(exercised)
+      << "no probe offset landed in a single shard payload; widen probes";
+}
+
+TEST(ShardCodec, TruncationRejectsTheContainer) {
+  const std::string& clean = small_image();
+  const std::string truncated = clean.substr(0, clean.size() / 2);
+  auto opened = open_image(truncated);
+  EXPECT_FALSE(opened.ok());
+}
+
+TEST(ShardCodec, GarbageMagicRejectsTheContainer) {
+  std::string dirty = small_image();
+  dirty[0] = 'X';
+  auto opened = open_image(dirty);
+  EXPECT_FALSE(opened.ok());
+}
+
+TEST(ShardCodec, InspectEnumeratesEveryShard) {
+  const std::string& image = small_image();
+  auto report = inspect_sharded(image.data(), image.size(), "clean");
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  const ContainerReport& r = report.value();
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.globals_ok);
+  EXPECT_EQ(r.file_size, image.size());
+  ASSERT_EQ(r.shards.size(), small_sharded().shard_count());
+  std::uint64_t points = 0;
+  for (const ShardReport& sh : r.shards) {
+    EXPECT_TRUE(sh.structural_ok);
+    EXPECT_TRUE(sh.crc_ok);
+    EXPECT_TRUE(sh.bounds.valid());
+    points += sh.n_points;
+  }
+  EXPECT_EQ(points, small_sharded().total_points());
+}
+
+}  // namespace
+}  // namespace fa::shard

@@ -1,0 +1,90 @@
+// Shared scaffolding for the shard suite: one small world per binary
+// (builds dominate runtime), its canonical sharded view, and helpers to
+// compare sharded and monolithic serving byte-for-byte.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/provider_risk.hpp"
+#include "core/world.hpp"
+#include "serve/snapshot.hpp"
+#include "shard/codec.hpp"
+#include "shard/world.hpp"
+#include "../serve/serve_test_util.hpp"
+
+namespace fa::shard::testing {
+
+// A layout fine enough that the small test world actually straddles
+// shards (the default 32x16/16 would too, but a smaller tile grid keeps
+// per-shard populations comfortably non-trivial at corpus_scale 100).
+inline LayoutOptions small_layout() {
+  LayoutOptions options;
+  options.tiles_x = 8;
+  options.tiles_y = 4;
+  options.target_shards = 6;
+  return options;
+}
+
+inline const core::World& small_world() {
+  static const core::World* world = new core::World(
+      core::World::build(serve::testing::small_config()));
+  return *world;
+}
+
+inline const core::ProviderRiskResult& small_risk() {
+  static const core::ProviderRiskResult* risk =
+      new core::ProviderRiskResult(core::run_provider_risk(small_world()));
+  return *risk;
+}
+
+// The canonical sharded view of small_world(); shards share columns by
+// value semantics, so tests copy freely.
+inline const ShardedWorld& small_sharded() {
+  static const ShardedWorld* sharded = new ShardedWorld(
+      ShardedWorld::from_world(small_world(), small_risk(), small_layout()));
+  return *sharded;
+}
+
+// The canonical FASHRD01 image of small_sharded().
+inline const std::string& small_image() {
+  static const std::string* image =
+      new std::string(encode_sharded(small_sharded()));
+  return *image;
+}
+
+// mkdtemp-backed directory, recursively removed on destruction.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/fashard-test-XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
+
+// Snapshot pair over identical content: the monolithic baseline and the
+// sharded view under test (both at the same epoch, so responses can be
+// compared as whole values).
+inline std::shared_ptr<const serve::Snapshot> monolithic_snapshot() {
+  static const std::shared_ptr<const serve::Snapshot> snap =
+      serve::Snapshot::adopt(small_world(), 1);
+  return snap;
+}
+
+inline std::shared_ptr<const serve::Snapshot> sharded_snapshot() {
+  static const std::shared_ptr<const serve::Snapshot> snap =
+      serve::Snapshot::adopt_sharded(ShardedWorld(small_sharded()), 1);
+  return snap;
+}
+
+}  // namespace fa::shard::testing

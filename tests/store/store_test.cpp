@@ -52,6 +52,37 @@ Manifest sample_manifest() {
   return m;
 }
 
+// Golden vectors for the on-disk polynomial (reflected 0x04C11DB7, the
+// zlib/PNG CRC-32): "123456789" -> 0xCBF43926 is the standard check
+// value. Pins the checksum across implementation changes (table width,
+// slicing factor) — a faster kernel that alters one output bit would
+// silently orphan every existing store.
+TEST(Crc32, MatchesPublishedCheckValues) {
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+  // One flat pass takes the wide kernel (PCLMUL folding where the CPU
+  // has it); chaining the same bytes through sub-128-byte pieces pins
+  // every piece to the table loop. Agreement at every split point
+  // cross-checks the two kernels against each other, plus the seed-
+  // chaining identity crc32(a+b) == crc32(b, crc32(a)).
+  std::string long_input;
+  for (int i = 0; i < 1000; ++i) long_input += "The quick brown fox ";
+  const std::uint32_t flat = crc32(long_input.data(), long_input.size());
+  std::uint32_t pieced = 0;
+  for (std::size_t at = 0; at < long_input.size();) {
+    const std::size_t n = std::min<std::size_t>(
+        127 - (at % 63), long_input.size() - at);
+    pieced = crc32(long_input.data() + at, n, pieced);
+    at += n;
+  }
+  EXPECT_EQ(pieced, flat);
+  const std::uint32_t head = crc32(long_input.data(), 4321);
+  const std::uint32_t chained =
+      crc32(long_input.data() + 4321, long_input.size() - 4321, head);
+  EXPECT_EQ(chained, flat);
+}
+
 TEST(Manifest, FilenameFormat) {
   EXPECT_EQ(generation_filename(1), "gen-000001.fa");
   EXPECT_EQ(generation_filename(123456), "gen-123456.fa");

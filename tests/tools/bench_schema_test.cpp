@@ -104,6 +104,14 @@ const std::vector<BenchSchema>& schemas() {
         "rebuild_s", "apply_mean_s", "apply_p99_s", "byte_identical",
         "delta_speedup", "delta_faster"},
        "", "FA_DELTA_TICKS=4"},
+      {"bench_shard_scale", "shard_scale",
+       {"transceivers", "shards", "mono_image_bytes", "shard_image_bytes",
+        "build_s", "shard_s", "mono_cold_s", "shard_cold_s", "cold_speedup",
+        "cold_faster", "threads", "mono_qps", "shard_qps", "qps_ratio",
+        "qps_faster", "identity_ok"},
+       "",
+       "FA_SHARD_SCALE=400 FA_CELL_M=18000 FA_SHARD_THREADS=2 "
+       "FA_SHARD_QUERIES=100"},
       {"bench_ensemble", "ensemble",
        {"members", "sites", "identical", "baseline_user_hours",
         "greedy_user_hours", "random_user_hours", "optimizer_beats_random",

@@ -13,6 +13,8 @@
 #include <cstring>
 #include <string>
 
+#include "shard/codec.hpp"
+#include "shard/recovery.hpp"
 #include "store/codec.hpp"
 #include "store/format.hpp"
 #include "store/recovery.hpp"
@@ -22,13 +24,57 @@ namespace {
 
 using namespace fa;
 
+// Per-shard listing for a FASHRD01 container: bounds, point count,
+// payload bytes, structural and CRC status. A shard that fails either
+// check is what a cold start would quarantine — flagged loudly, and the
+// exit code goes non-zero.
+bool inspect_sharded_file(const store::MappedFile& mapped,
+                          const std::string& path) {
+  fault::Result<shard::ContainerReport> report =
+      shard::inspect_sharded(mapped.data(), mapped.size(), path);
+  if (!report.ok()) {
+    std::printf("  %-22s CORRUPT     %s\n", path.c_str(),
+                report.status().to_string().c_str());
+    return false;
+  }
+  const shard::ContainerReport& r = report.value();
+  std::printf(
+      "  FASHRD01, %llu bytes, %llu points, %llux%llu tiles, globals %s\n",
+      static_cast<unsigned long long>(r.file_size),
+      static_cast<unsigned long long>(r.total_points),
+      static_cast<unsigned long long>(r.tiles_x),
+      static_cast<unsigned long long>(r.tiles_y),
+      r.globals_ok ? "ok" : "BAD");
+  for (const shard::ShardReport& s : r.shards) {
+    std::printf(
+        "    shard %-3u [%8.3f,%7.3f → %8.3f,%7.3f] %9llu pts %11llu B "
+        "structure=%s crc=%s%s\n",
+        s.shard, s.bounds.min_x, s.bounds.min_y, s.bounds.max_x,
+        s.bounds.max_y, static_cast<unsigned long long>(s.n_points),
+        static_cast<unsigned long long>(s.bytes),
+        s.structural_ok ? "ok" : "BAD", s.crc_ok ? "ok" : "MISMATCH",
+        s.structural_ok && s.crc_ok ? "" : "  << would be quarantined");
+  }
+  if (!r.ok()) {
+    std::printf("  => container FAILS verification\n");
+    return false;
+  }
+  return true;
+}
+
 // Walks one image's ladder; returns true when it verified clean.
+// Dispatches on the magic: FASNAP01 monolithic images walk the section
+// checksum ladder, FASHRD01 containers get the per-shard listing.
 bool inspect_file(const std::string& path) {
   fault::Result<store::MappedFile> mapped = store::MappedFile::open(path);
   if (!mapped.ok()) {
     std::printf("  %-22s UNREADABLE  %s\n", path.c_str(),
                 mapped.status().to_string().c_str());
     return false;
+  }
+  if (mapped.value().size() >= 8 &&
+      std::memcmp(mapped.value().data(), store::kShardMagic, 8) == 0) {
+    return inspect_sharded_file(mapped.value(), path);
   }
   fault::Result<store::FileReport> report = store::inspect_image(
       mapped.value().data(), mapped.value().size(), path);
@@ -96,6 +142,41 @@ int inspect_store(const std::string& dir_path) {
 
   // The bottom line an operator (or a health check) actually wants:
   // would a cold start right now get a world, and from which generation?
+  // A store whose newest generation is a FASHRD01 container boots
+  // through the sharded ladder (which degrades shard-by-shard and
+  // migrates monolithic fallbacks), so report that verdict; otherwise
+  // the monolithic one.
+  bool newest_sharded = false;
+  {
+    fault::Result<store::MappedFile> newest = store::MappedFile::open(
+        dir.file_path(listing.generations.back().filename));
+    newest_sharded = newest.ok() && newest.value().size() >= 8 &&
+                     std::memcmp(newest.value().data(), store::kShardMagic,
+                                 8) == 0;
+  }
+  if (newest_sharded) {
+    fault::Result<shard::RecoveredShardedWorld> rec =
+        shard::recover_sharded(dir_path);
+    if (rec.ok()) {
+      const std::size_t quarantined = rec.value().world.quarantined_count();
+      std::printf("sharded cold start would serve generation %llu",
+                  static_cast<unsigned long long>(
+                      rec.value().generation.number));
+      if (quarantined > 0) {
+        all_ok = false;
+        std::printf(" DEGRADED (%zu of %zu shards quarantined)",
+                    quarantined, rec.value().world.shard_count());
+      }
+      std::printf("%s\n", rec.value().migrated
+                              ? " (migrated from a monolithic image)"
+                              : "");
+    } else {
+      all_ok = false;
+      std::printf("sharded cold start would REBUILD: %s\n",
+                  rec.status().to_string().c_str());
+    }
+    return all_ok ? 0 : 1;
+  }
   fault::Result<store::RecoveredWorld> rec = store::recover_from(dir_path);
   if (rec.ok()) {
     std::printf("cold start would serve generation %llu\n",
